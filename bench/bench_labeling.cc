@@ -1,0 +1,141 @@
+// B1/B2 (DESIGN.md): cost of the compute-view labeling + prune pass as a
+// function of document size and of the number of authorizations — the
+// paper's "fast on-line computation of the view" claim (§1, §6).  The
+// expected shape is linear in document size and near-flat in the number
+// of authorizations beyond the XPath evaluation cost.
+
+#include <benchmark/benchmark.h>
+
+#include "authz/labeling.h"
+#include "authz/prune.h"
+#include "workload/authgen.h"
+#include "workload/docgen.h"
+
+namespace xmlsec {
+namespace {
+
+using authz::LabelMap;
+using authz::PolicyOptions;
+using authz::PruneDocument;
+using authz::TreeLabeler;
+using workload::AuthGenConfig;
+using workload::DocGenConfig;
+using workload::GeneratedWorkload;
+
+/// B1: labeling time vs document size, fixed 64 authorizations.
+void BM_LabelByDocumentSize(benchmark::State& state) {
+  const int64_t target_nodes = state.range(0);
+  DocGenConfig config = workload::ConfigForNodeBudget(target_nodes);
+  auto doc = workload::GenerateDocument(config);
+
+  AuthGenConfig auth_config;
+  auth_config.count = 64;
+  auth_config.seed = 11;
+  GeneratedWorkload workload =
+      workload::GenerateAuthorizations(*doc, "d.xml", "s.dtd", auth_config);
+
+  TreeLabeler labeler(&workload.groups, PolicyOptions{});
+  for (auto _ : state) {
+    auto labels = labeler.Label(*doc, workload.instance_auths,
+                                workload.schema_auths, workload.requester);
+    benchmark::DoNotOptimize(labels);
+  }
+  state.counters["nodes"] = static_cast<double>(doc->node_count());
+  state.counters["nodes_per_s"] = benchmark::Counter(
+      static_cast<double>(doc->node_count()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LabelByDocumentSize)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000);
+
+/// B2: labeling time vs number of authorizations, fixed ~10k-node doc.
+void BM_LabelByAuthCount(benchmark::State& state) {
+  DocGenConfig config = workload::ConfigForNodeBudget(10000);
+  auto doc = workload::GenerateDocument(config);
+
+  AuthGenConfig auth_config;
+  auth_config.count = static_cast<int>(state.range(0));
+  auth_config.seed = 13;
+  GeneratedWorkload workload =
+      workload::GenerateAuthorizations(*doc, "d.xml", "s.dtd", auth_config);
+
+  TreeLabeler labeler(&workload.groups, PolicyOptions{});
+  for (auto _ : state) {
+    auto labels = labeler.Label(*doc, workload.instance_auths,
+                                workload.schema_auths, workload.requester);
+    benchmark::DoNotOptimize(labels);
+  }
+  state.counters["auths"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_LabelByAuthCount)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096);
+
+/// B1b: label+prune together (the full transformation minus parsing).
+void BM_LabelAndPrune(benchmark::State& state) {
+  const int64_t target_nodes = state.range(0);
+  DocGenConfig config = workload::ConfigForNodeBudget(target_nodes);
+  auto doc = workload::GenerateDocument(config);
+
+  AuthGenConfig auth_config;
+  auth_config.count = 64;
+  auth_config.seed = 29;
+  GeneratedWorkload workload =
+      workload::GenerateAuthorizations(*doc, "d.xml", "s.dtd", auth_config);
+
+  TreeLabeler labeler(&workload.groups, PolicyOptions{});
+  for (auto _ : state) {
+    // Pruning mutates, so clone inside the loop (cost reported
+    // separately by the pipeline benchmark).
+    auto clone_node = doc->Clone(true);
+    auto* clone = static_cast<xml::Document*>(clone_node.get());
+    auto labels = labeler.Label(*clone, workload.instance_auths,
+                                workload.schema_auths, workload.requester);
+    PruneDocument(clone, *labels,
+                  authz::CompletenessPolicy::kClosed);
+    benchmark::DoNotOptimize(clone->node_count());
+  }
+  state.counters["nodes"] = static_cast<double>(doc->node_count());
+}
+BENCHMARK(BM_LabelAndPrune)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// B1c: shape sensitivity — same node budget, deep-narrow vs
+/// shallow-wide trees (propagation is one pass either way).
+void BM_LabelByShape(benchmark::State& state) {
+  DocGenConfig config;
+  config.depth = static_cast<int>(state.range(0));
+  config.fanout = static_cast<int>(state.range(1));
+  config.seed = 31;
+  auto doc = workload::GenerateDocument(config);
+
+  AuthGenConfig auth_config;
+  auth_config.count = 64;
+  auth_config.seed = 37;
+  GeneratedWorkload workload =
+      workload::GenerateAuthorizations(*doc, "d.xml", "s.dtd", auth_config);
+
+  TreeLabeler labeler(&workload.groups, PolicyOptions{});
+  for (auto _ : state) {
+    auto labels = labeler.Label(*doc, workload.instance_auths,
+                                workload.schema_auths, workload.requester);
+    benchmark::DoNotOptimize(labels);
+  }
+  state.counters["nodes"] = static_cast<double>(doc->node_count());
+  state.counters["depth"] = static_cast<double>(config.depth);
+}
+BENCHMARK(BM_LabelByShape)
+    ->Args({12, 2})   // deep, narrow: 2^12 leaves
+    ->Args({6, 4})    // balanced
+    ->Args({4, 8})    // shallow, wide
+    ->Args({2, 64});  // very wide
+
+}  // namespace
+}  // namespace xmlsec

@@ -1,0 +1,143 @@
+// B3 (DESIGN.md): per-stage breakdown of the security processor's
+// execution cycle (paper §7): parse -> validate -> clone -> label ->
+// prune -> loosen -> unparse.  Reproduces the paper's architectural
+// claim that enforcement is a modest, single-pass addition to the XML
+// serving pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "authz/labeling.h"
+#include "authz/loosening.h"
+#include "authz/processor.h"
+#include "authz/prune.h"
+#include "workload/authgen.h"
+#include "workload/docgen.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xml/validator.h"
+
+namespace xmlsec {
+namespace {
+
+using workload::AuthGenConfig;
+using workload::GeneratedWorkload;
+
+struct Fixture {
+  explicit Fixture(int64_t nodes) {
+    auto generated =
+        workload::GenerateDocument(workload::ConfigForNodeBudget(nodes));
+    doc = std::move(generated);
+    xml::SerializeOptions options;
+    options.doctype = xml::DoctypeMode::kInternal;
+    text = xml::SerializeDocument(*doc, options);
+    AuthGenConfig auth_config;
+    auth_config.count = 64;
+    auth_config.seed = 23;
+    workload = workload::GenerateAuthorizations(*doc, "d.xml", "s.dtd",
+                                                auth_config);
+  }
+
+  std::unique_ptr<xml::Document> doc;
+  std::string text;
+  GeneratedWorkload workload;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = new Fixture(10000);
+  return *fixture;
+}
+
+void BM_StageParse(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  for (auto _ : state) {
+    auto doc = xml::ParseDocument(f.text);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(f.text.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_StageParse);
+
+void BM_StageValidate(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  xml::Validator validator(f.doc->dtd());
+  for (auto _ : state) {
+    Status s = validator.Validate(f.doc.get());
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_StageValidate);
+
+void BM_StageClone(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  for (auto _ : state) {
+    auto clone = f.doc->Clone(true);
+    benchmark::DoNotOptimize(clone);
+  }
+}
+BENCHMARK(BM_StageClone);
+
+void BM_StageLabel(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  authz::TreeLabeler labeler(&f.workload.groups, authz::PolicyOptions{});
+  for (auto _ : state) {
+    auto labels =
+        labeler.Label(*f.doc, f.workload.instance_auths,
+                      f.workload.schema_auths, f.workload.requester);
+    benchmark::DoNotOptimize(labels);
+  }
+}
+BENCHMARK(BM_StageLabel);
+
+void BM_StagePrune(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  authz::TreeLabeler labeler(&f.workload.groups, authz::PolicyOptions{});
+  auto labels = labeler.Label(*f.doc, f.workload.instance_auths,
+                              f.workload.schema_auths, f.workload.requester);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto clone_node = f.doc->Clone(true);
+    auto* clone = static_cast<xml::Document*>(clone_node.get());
+    state.ResumeTiming();
+    authz::PruneDocument(clone, *labels, authz::CompletenessPolicy::kClosed);
+    benchmark::DoNotOptimize(clone->node_count());
+  }
+}
+BENCHMARK(BM_StagePrune);
+
+void BM_StageLoosen(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  for (auto _ : state) {
+    xml::Dtd loose = authz::LoosenDtd(*f.doc->dtd());
+    benchmark::DoNotOptimize(loose);
+  }
+}
+BENCHMARK(BM_StageLoosen);
+
+void BM_StageUnparse(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  for (auto _ : state) {
+    std::string out = xml::SerializeDocument(*f.doc);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(f.text.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_StageUnparse);
+
+/// The whole §7 cycle end-to-end through the SecurityProcessor.
+void BM_FullTransformation(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  authz::SecurityProcessor processor(&f.workload.groups, {});
+  for (auto _ : state) {
+    auto view =
+        processor.ComputeView(*f.doc, f.workload.instance_auths,
+                              f.workload.schema_auths, f.workload.requester);
+    benchmark::DoNotOptimize(view);
+  }
+  state.counters["nodes"] = static_cast<double>(f.doc->node_count());
+}
+BENCHMARK(BM_FullTransformation);
+
+}  // namespace
+}  // namespace xmlsec

@@ -1,0 +1,113 @@
+// B6 (DESIGN.md): ablations over the model's policy knobs (paper §5/§6):
+// conflict-resolution policy, open vs closed completeness, and the mix of
+// authorization types (local/recursive, weak share, negative share).
+// Expected shape: policy choice is almost free (it only changes the slot
+// resolution rule); heavy recursive shares are cheaper than many locals
+// targeting deep paths because propagation amortizes.
+
+#include <benchmark/benchmark.h>
+
+#include "authz/processor.h"
+#include "workload/authgen.h"
+#include "workload/docgen.h"
+
+namespace xmlsec {
+namespace {
+
+using authz::CompletenessPolicy;
+using authz::ConflictPolicy;
+using authz::PolicyOptions;
+using workload::AuthGenConfig;
+using workload::GeneratedWorkload;
+
+struct Setup {
+  std::unique_ptr<xml::Document> doc;
+  GeneratedWorkload workload;
+};
+
+Setup MakeSetup(AuthGenConfig auth_config) {
+  Setup setup;
+  setup.doc = workload::GenerateDocument(workload::ConfigForNodeBudget(10000));
+  auth_config.seed = 61;
+  setup.workload = workload::GenerateAuthorizations(*setup.doc, "d.xml",
+                                                    "s.dtd", auth_config);
+  return setup;
+}
+
+void RunView(benchmark::State& state, const Setup& setup,
+             PolicyOptions policy) {
+  authz::SecurityProcessor processor(&setup.workload.groups, {policy});
+  int64_t visible = 0;
+  for (auto _ : state) {
+    auto view =
+        processor.ComputeView(*setup.doc, setup.workload.instance_auths,
+                              setup.workload.schema_auths,
+                              setup.workload.requester);
+    if (!view.ok()) {
+      state.SkipWithError(view.status().ToString().c_str());
+      return;
+    }
+    visible = view->empty() ? 0 : view->document->node_count();
+    benchmark::DoNotOptimize(view);
+  }
+  state.counters["visible_nodes"] = static_cast<double>(visible);
+  state.counters["total_nodes"] = static_cast<double>(setup.doc->node_count());
+}
+
+void BM_ConflictPolicy(benchmark::State& state) {
+  AuthGenConfig config;
+  config.count = 128;
+  config.negative_fraction = 0.5;  // Force real conflicts.
+  Setup setup = MakeSetup(config);
+  PolicyOptions policy;
+  policy.conflict = static_cast<ConflictPolicy>(state.range(0));
+  RunView(state, setup, policy);
+}
+BENCHMARK(BM_ConflictPolicy)
+    ->Arg(0)   // denials take precedence
+    ->Arg(1)   // permissions take precedence
+    ->Arg(2);  // nothing takes precedence
+
+void BM_CompletenessPolicy(benchmark::State& state) {
+  AuthGenConfig config;
+  config.count = 64;
+  Setup setup = MakeSetup(config);
+  PolicyOptions policy;
+  policy.completeness = static_cast<CompletenessPolicy>(state.range(0));
+  RunView(state, setup, policy);
+}
+BENCHMARK(BM_CompletenessPolicy)->Arg(0)->Arg(1);  // closed / open
+
+void BM_RecursiveShare(benchmark::State& state) {
+  AuthGenConfig config;
+  config.count = 128;
+  config.recursive_fraction = static_cast<double>(state.range(0)) / 100.0;
+  Setup setup = MakeSetup(config);
+  RunView(state, setup, PolicyOptions{});
+  state.counters["recursive_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RecursiveShare)->Arg(0)->Arg(50)->Arg(100);
+
+void BM_WeakShare(benchmark::State& state) {
+  AuthGenConfig config;
+  config.count = 128;
+  config.weak_fraction = static_cast<double>(state.range(0)) / 100.0;
+  config.schema_fraction = 0.3;  // Weakness only matters against schema.
+  Setup setup = MakeSetup(config);
+  RunView(state, setup, PolicyOptions{});
+  state.counters["weak_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_WeakShare)->Arg(0)->Arg(25)->Arg(75);
+
+void BM_NegativeShare(benchmark::State& state) {
+  AuthGenConfig config;
+  config.count = 128;
+  config.negative_fraction = static_cast<double>(state.range(0)) / 100.0;
+  Setup setup = MakeSetup(config);
+  RunView(state, setup, PolicyOptions{});
+  state.counters["negative_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_NegativeShare)->Arg(0)->Arg(30)->Arg(70)->Arg(100);
+
+}  // namespace
+}  // namespace xmlsec

@@ -1,0 +1,154 @@
+// B8 (DESIGN.md): end-to-end request throughput of the secure document
+// server (paper §7 usage scenario): HTTP parse + Basic-auth decode +
+// password check + repository lookup + compute-view + unparse.  Compares
+// against serving the same document with no enforcement to quantify the
+// security processor's overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "server/document_server.h"
+#include "server/http.h"
+#include "server/repository.h"
+#include "server/user_directory.h"
+#include "workload/authgen.h"
+#include "workload/docgen.h"
+#include "xml/serializer.h"
+
+namespace xmlsec {
+namespace server {
+namespace {
+
+struct ServerFixture {
+  explicit ServerFixture(int projects) {
+    auto doc = workload::GenerateLaboratory(projects, 5, 71);
+    xml::SerializeOptions options;
+    plain_body = xml::SerializeDocument(*doc, options);
+    Status s = repo.AddDtd("laboratory.xml", workload::LaboratoryDtd());
+    s = repo.AddDocument("CSlab.xml", plain_body, "laboratory.xml");
+    s = users.CreateUser("tom", "secret");
+    s = groups.AddMembership("tom", "Foreign");
+    s = repo.AddXacl(R"(<xacl>
+      <authorization subject="Public" object="CSlab.xml" path="/laboratory"
+                     sign="+" type="RW"/>
+      <authorization subject="Foreign" object="laboratory.xml"
+                     path='//paper[./@category="private"]' sign="-" type="R"/>
+      <authorization subject="Public" object="laboratory.xml"
+                     path='//fund' sign="-" type="R"/>
+    </xacl>)");
+    benchmark::DoNotOptimize(s);
+    raw_request = "GET /CSlab.xml HTTP/1.0\r\nAuthorization: Basic " +
+                  Base64Encode("tom:secret") + "\r\n\r\n";
+  }
+
+  Repository repo;
+  UserDirectory users;
+  authz::GroupStore groups;
+  std::string plain_body;
+  std::string raw_request;
+};
+
+ServerFixture& Fixture() {
+  static ServerFixture* fixture = new ServerFixture(100);
+  return *fixture;
+}
+
+void BM_FullHttpRequest(benchmark::State& state) {
+  ServerFixture& f = Fixture();
+  SecureDocumentServer server(&f.repo, &f.users, &f.groups);
+  for (auto _ : state) {
+    std::string response =
+        server.HandleHttp(f.raw_request, "130.100.50.8", "infosys.bld1.it");
+    benchmark::DoNotOptimize(response);
+  }
+}
+BENCHMARK(BM_FullHttpRequest);
+
+/// Ablation: same request stream with the render cache enabled — after
+/// the first miss every request is a memoized string copy.
+void BM_FullHttpRequest_Cached(benchmark::State& state) {
+  ServerFixture& f = Fixture();
+  ServerConfig config;
+  config.view_cache_capacity = 64;
+  SecureDocumentServer server(&f.repo, &f.users, &f.groups, config);
+  for (auto _ : state) {
+    std::string response =
+        server.HandleHttp(f.raw_request, "130.100.50.8", "infosys.bld1.it");
+    benchmark::DoNotOptimize(response);
+  }
+  state.counters["hit_rate"] =
+      server.view_cache().hits() + server.view_cache().misses() > 0
+          ? static_cast<double>(server.view_cache().hits()) /
+                static_cast<double>(server.view_cache().hits() +
+                                    server.view_cache().misses())
+          : 0.0;
+}
+BENCHMARK(BM_FullHttpRequest_Cached);
+
+void BM_ViewComputationOnly(benchmark::State& state) {
+  ServerFixture& f = Fixture();
+  SecureDocumentServer server(&f.repo, &f.users, &f.groups);
+  authz::Requester rq{"tom", "130.100.50.8", "infosys.bld1.it"};
+  for (auto _ : state) {
+    auto view = server.ComputeView(rq, "CSlab.xml");
+    benchmark::DoNotOptimize(view);
+  }
+}
+BENCHMARK(BM_ViewComputationOnly);
+
+/// Baseline: what serving the document WITHOUT enforcement would cost
+/// (serialize the stored DOM).
+void BM_ServeUnprotectedBaseline(benchmark::State& state) {
+  ServerFixture& f = Fixture();
+  const xml::Document* doc = f.repo.FindDocument("CSlab.xml");
+  for (auto _ : state) {
+    std::string body = xml::SerializeDocument(*doc);
+    std::string response = BuildHttpResponse(200, "OK", "text/xml", body);
+    benchmark::DoNotOptimize(response);
+  }
+}
+BENCHMARK(BM_ServeUnprotectedBaseline);
+
+void BM_Authentication(benchmark::State& state) {
+  ServerFixture& f = Fixture();
+  for (auto _ : state) {
+    Status s = f.users.Authenticate("tom", "secret");
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Authentication);
+
+void BM_QueryOverView(benchmark::State& state) {
+  ServerFixture& f = Fixture();
+  SecureDocumentServer server(&f.repo, &f.users, &f.groups);
+  ServerRequest request;
+  request.user = "tom";
+  request.password = "secret";
+  request.ip = "130.100.50.8";
+  request.sym = "infosys.bld1.it";
+  request.uri = "CSlab.xml";
+  request.query = "//paper[@category=\"public\"]/title";
+  for (auto _ : state) {
+    ServerResponse response = server.Handle(request);
+    benchmark::DoNotOptimize(response);
+  }
+}
+BENCHMARK(BM_QueryOverView);
+
+/// Throughput vs document size (number of projects).
+void BM_RequestByDocumentSize(benchmark::State& state) {
+  ServerFixture fixture(static_cast<int>(state.range(0)));
+  SecureDocumentServer server(&fixture.repo, &fixture.users,
+                              &fixture.groups);
+  for (auto _ : state) {
+    std::string response = server.HandleHttp(fixture.raw_request,
+                                             "130.100.50.8",
+                                             "infosys.bld1.it");
+    benchmark::DoNotOptimize(response);
+  }
+  state.counters["projects"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RequestByDocumentSize)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace server
+}  // namespace xmlsec

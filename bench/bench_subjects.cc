@@ -1,0 +1,125 @@
+// B7 (DESIGN.md): cost of the authorization-subject machinery (paper §3):
+// location-pattern matching, ASH comparisons, and group-membership
+// resolution as the group DAG deepens.  BFS over the membership DAG is
+// the dominant term; pattern matching is constant-time on components.
+
+#include <benchmark/benchmark.h>
+
+#include "authz/subject.h"
+#include "common/prng.h"
+
+namespace xmlsec {
+namespace {
+
+using authz::GroupStore;
+using authz::LocationPattern;
+using authz::Requester;
+using authz::RequesterMatches;
+using authz::Subject;
+
+void BM_IpPatternMatch(benchmark::State& state) {
+  LocationPattern pattern = *LocationPattern::ParseIp("151.100.*");
+  bool hit = false;
+  for (auto _ : state) {
+    hit ^= pattern.Matches("151.100.30.8");
+    hit ^= pattern.Matches("10.0.0.1");
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_IpPatternMatch);
+
+void BM_SymbolicPatternMatch(benchmark::State& state) {
+  LocationPattern pattern = *LocationPattern::ParseSymbolic("*.lab.example.com");
+  bool hit = false;
+  for (auto _ : state) {
+    hit ^= pattern.Matches("pc1.lab.example.com");
+    hit ^= pattern.Matches("other.example.org");
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_SymbolicPatternMatch);
+
+/// Membership test cost vs depth of a group chain.
+void BM_MembershipChainDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  GroupStore groups;
+  for (int i = 1; i <= depth; ++i) {
+    Status s = groups.AddMembership("g" + std::to_string(i - 1),
+                                    "g" + std::to_string(i));
+    if (!s.ok()) state.SkipWithError("membership setup failed");
+  }
+  groups.AddUser("u");
+  Status s = groups.AddMembership("u", "g0");
+  if (!s.ok()) state.SkipWithError("membership setup failed");
+  std::string top = "g" + std::to_string(depth);
+  bool hit = false;
+  for (auto _ : state) {
+    hit ^= groups.IsMemberOrSelf("u", top);
+    benchmark::DoNotOptimize(hit);
+  }
+  state.counters["depth"] = static_cast<double>(depth);
+}
+BENCHMARK(BM_MembershipChainDepth)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+/// Membership test cost vs a wide random DAG (users x groups).
+void BM_MembershipDagWidth(benchmark::State& state) {
+  const int users = static_cast<int>(state.range(0));
+  const int groups_n = users / 4 + 1;
+  GroupStore groups;
+  Prng prng(77);
+  for (int g = 1; g < groups_n; ++g) {
+    Status s = groups.AddMembership(
+        "g" + std::to_string(g),
+        "g" + std::to_string(prng.Below(static_cast<uint64_t>(g))));
+    benchmark::DoNotOptimize(s);
+  }
+  for (int u = 0; u < users; ++u) {
+    Status s = groups.AddMembership(
+        "u" + std::to_string(u),
+        "g" + std::to_string(prng.Below(static_cast<uint64_t>(groups_n))));
+    benchmark::DoNotOptimize(s);
+  }
+  bool hit = false;
+  for (auto _ : state) {
+    hit ^= groups.IsMemberOrSelf("u0", "g0");
+    benchmark::DoNotOptimize(hit);
+  }
+  state.counters["users"] = static_cast<double>(users);
+}
+BENCHMARK(BM_MembershipDagWidth)->Arg(64)->Arg(1024)->Arg(16384);
+
+/// Full requester-vs-subject applicability check (the per-authorization
+/// test of compute-view step 1).
+void BM_RequesterMatch(benchmark::State& state) {
+  GroupStore groups;
+  Status s = groups.AddMembership("tom", "Foreign");
+  benchmark::DoNotOptimize(s);
+  Requester tom{"tom", "130.100.50.8", "infosys.bld1.it"};
+  Subject subject = *Subject::Make("Foreign", "130.100.*", "*.it");
+  bool hit = false;
+  for (auto _ : state) {
+    hit ^= RequesterMatches(tom, subject, groups);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_RequesterMatch);
+
+/// ASH partial-order comparison (used for most-specific-subject
+/// overriding during initial_label).
+void BM_SubjectLessEq(benchmark::State& state) {
+  GroupStore groups;
+  Status s = groups.AddMembership("tom", "Foreign");
+  benchmark::DoNotOptimize(s);
+  Subject narrow = *Subject::Make("tom", "130.100.50.8", "infosys.bld1.it");
+  Subject wide = *Subject::Make("Foreign", "130.100.*", "*.it");
+  bool hit = false;
+  for (auto _ : state) {
+    hit ^= authz::SubjectLessEq(narrow, wide, groups);
+    hit ^= authz::SubjectLessEq(wide, narrow, groups);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_SubjectLessEq);
+
+}  // namespace
+}  // namespace xmlsec

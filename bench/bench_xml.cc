@@ -1,0 +1,122 @@
+// B9 (DESIGN.md): substrate characterization — XML parse / validate /
+// serialize throughput and DTD machinery costs.  These bound what any
+// enforcement layered on the substrate can achieve.
+
+#include <benchmark/benchmark.h>
+
+#include "workload/docgen.h"
+#include "xml/content_model.h"
+#include "xml/dtd_parser.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xml/validator.h"
+
+namespace xmlsec {
+namespace xml {
+namespace {
+
+std::string DocumentText(int64_t nodes) {
+  auto doc = workload::GenerateDocument(workload::ConfigForNodeBudget(nodes));
+  SerializeOptions options;
+  options.doctype = DoctypeMode::kInternal;
+  return SerializeDocument(*doc, options);
+}
+
+void BM_ParseThroughput(benchmark::State& state) {
+  std::string text = DocumentText(state.range(0));
+  for (auto _ : state) {
+    auto doc = ParseDocument(text);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(text.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ParseThroughput)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SerializeThroughput(benchmark::State& state) {
+  auto doc = workload::GenerateDocument(
+      workload::ConfigForNodeBudget(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string out = SerializeDocument(*doc);
+    bytes = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_SerializeThroughput)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ValidateThroughput(benchmark::State& state) {
+  auto doc = workload::GenerateDocument(
+      workload::ConfigForNodeBudget(state.range(0)));
+  Validator validator(doc->dtd());
+  for (auto _ : state) {
+    Status s = validator.Validate(doc.get());
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["nodes"] = static_cast<double>(doc->node_count());
+}
+BENCHMARK(BM_ValidateThroughput)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DtdParse(benchmark::State& state) {
+  std::string text = workload::LaboratoryDtd();
+  for (auto _ : state) {
+    auto dtd = ParseDtd(text);
+    benchmark::DoNotOptimize(dtd);
+  }
+}
+BENCHMARK(BM_DtdParse);
+
+void BM_ContentModelCompile(benchmark::State& state) {
+  auto dtd = ParseDtd(
+      "<!ELEMENT e ((a,b?)|(c,(d|e)*,f+))+>");
+  const ContentParticle& particle = *(*dtd)->FindElement("e")->particle;
+  for (auto _ : state) {
+    ContentModelMatcher matcher(particle);
+    benchmark::DoNotOptimize(matcher.state_count());
+  }
+}
+BENCHMARK(BM_ContentModelCompile);
+
+void BM_ContentModelMatch(benchmark::State& state) {
+  auto dtd = ParseDtd("<!ELEMENT e (a?,b*,c+)>");
+  ContentModelMatcher matcher(*(*dtd)->FindElement("e")->particle);
+  std::vector<std::string_view> sequence;
+  for (int i = 0; i < state.range(0); ++i) {
+    sequence.push_back(i < state.range(0) / 2 ? "b" : "c");
+  }
+  sequence.push_back("c");
+  bool ok = false;
+  for (auto _ : state) {
+    ok ^= matcher.Matches(sequence);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["children"] = static_cast<double>(sequence.size());
+}
+BENCHMARK(BM_ContentModelMatch)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_CloneDeep(benchmark::State& state) {
+  auto doc = workload::GenerateDocument(
+      workload::ConfigForNodeBudget(state.range(0)));
+  for (auto _ : state) {
+    auto clone = doc->Clone(true);
+    benchmark::DoNotOptimize(clone);
+  }
+  state.counters["nodes"] = static_cast<double>(doc->node_count());
+}
+BENCHMARK(BM_CloneDeep)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Reindex(benchmark::State& state) {
+  auto doc = workload::GenerateDocument(
+      workload::ConfigForNodeBudget(state.range(0)));
+  for (auto _ : state) {
+    doc->Reindex();
+    benchmark::DoNotOptimize(doc->node_count());
+  }
+  state.counters["nodes"] = static_cast<double>(doc->node_count());
+}
+BENCHMARK(BM_Reindex)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace xml
+}  // namespace xmlsec

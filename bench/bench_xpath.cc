@@ -1,0 +1,104 @@
+// B4 (DESIGN.md): XPath evaluation cost by expression class on a ~10k
+// node document — the objects of the paper's §4 authorization model.
+// Child chains are cheapest; `//` and `ancestor::` traversals pay for
+// subtree walks; predicates add per-candidate evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "workload/docgen.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlsec {
+namespace {
+
+std::unique_ptr<xml::Document>& SharedDoc() {
+  static auto* doc = new std::unique_ptr<xml::Document>(
+      workload::GenerateLaboratory(200, 10, 51));
+  return *doc;
+}
+
+void RunExpr(benchmark::State& state, const char* text) {
+  auto& doc = SharedDoc();
+  auto compiled = xpath::CompileXPath(text);
+  if (!compiled.ok()) {
+    state.SkipWithError(compiled.status().ToString().c_str());
+    return;
+  }
+  xpath::Evaluator evaluator;
+  size_t selected = 0;
+  for (auto _ : state) {
+    auto nodes = evaluator.SelectNodes(**compiled, doc->root());
+    if (!nodes.ok()) {
+      state.SkipWithError(nodes.status().ToString().c_str());
+      return;
+    }
+    selected = nodes->size();
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+  state.counters["doc_nodes"] = static_cast<double>(doc->node_count());
+}
+
+void BM_CompileOnly(benchmark::State& state) {
+  const char* text =
+      "/laboratory//paper[./@category=\"private\"]/title";
+  for (auto _ : state) {
+    auto compiled = xpath::CompileXPath(text);
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_CompileOnly);
+
+void BM_ChildChain(benchmark::State& state) {
+  RunExpr(state, "/laboratory/project/paper/title");
+}
+BENCHMARK(BM_ChildChain);
+
+void BM_DescendantAll(benchmark::State& state) { RunExpr(state, "//title"); }
+BENCHMARK(BM_DescendantAll);
+
+void BM_DescendantWithPredicate(benchmark::State& state) {
+  RunExpr(state, "/laboratory//paper[./@category=\"private\"]");
+}
+BENCHMARK(BM_DescendantWithPredicate);
+
+void BM_PositionalPredicate(benchmark::State& state) {
+  RunExpr(state, "/laboratory/project[42]/paper[1]");
+}
+BENCHMARK(BM_PositionalPredicate);
+
+void BM_AncestorAxis(benchmark::State& state) {
+  RunExpr(state, "//fund/ancestor::project");
+}
+BENCHMARK(BM_AncestorAxis);
+
+void BM_AttributeScan(benchmark::State& state) {
+  RunExpr(state, "//@category");
+}
+BENCHMARK(BM_AttributeScan);
+
+void BM_UnionOfPaths(benchmark::State& state) {
+  RunExpr(state, "//manager | //fund | //paper[@category=\"public\"]");
+}
+BENCHMARK(BM_UnionOfPaths);
+
+void BM_CountAggregate(benchmark::State& state) {
+  auto& doc = SharedDoc();
+  auto compiled = xpath::CompileXPath(
+      "count(//paper[@category=\"public\"]) > count(//fund)");
+  xpath::Evaluator evaluator;
+  for (auto _ : state) {
+    auto value = evaluator.Evaluate(**compiled, doc->root());
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_CountAggregate);
+
+void BM_TextPredicate(benchmark::State& state) {
+  RunExpr(state, "//paper[contains(title, \"7 of prj9\")]");
+}
+BENCHMARK(BM_TextPredicate);
+
+}  // namespace
+}  // namespace xmlsec

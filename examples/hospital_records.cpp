@@ -1,0 +1,187 @@
+// Domain scenario: selective release of hospital records.
+//
+// The motivating use case of the paper's introduction — one XML source,
+// many audiences — mapped onto a richer policy than the running example:
+//
+//   * clinicians on the ward network see clinical data;
+//   * the billing department sees billing data only, wherever it appears;
+//   * a named specialist is granted one patient's psychiatric notes,
+//     which are otherwise denied even to clinicians (exception via
+//     most-specific-object + most-specific-subject);
+//   * patients (group per patient) see their own record but never staff
+//     annotations;
+//   * everything is closed by default.
+//
+// Build & run:  ./build/examples/hospital_records
+
+#include <cstdio>
+
+#include "authz/processor.h"
+#include "authz/xacl.h"
+#include "xml/dtd_parser.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xml/validator.h"
+
+namespace {
+
+using namespace xmlsec;  // NOLINT: example brevity
+
+constexpr char kWardDtd[] = R"(
+<!ELEMENT ward (patient+)>
+<!ATTLIST ward id CDATA #REQUIRED>
+<!ELEMENT patient (name, clinical, billing)>
+<!ATTLIST patient mrn ID #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT clinical (diagnosis*, note*, psychiatric?)>
+<!ELEMENT diagnosis (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+<!ATTLIST note author CDATA #REQUIRED>
+<!ELEMENT psychiatric (note*)>
+<!ELEMENT billing (item*)>
+<!ELEMENT item (#PCDATA)>
+<!ATTLIST item amount CDATA #REQUIRED>
+)";
+
+constexpr char kWardXml[] = R"(<ward id="W3">
+<patient mrn="p1001">
+<name>Maria Rossi</name>
+<clinical>
+<diagnosis>Hypertension</diagnosis>
+<note author="dr.house">Monitor weekly.</note>
+<psychiatric><note author="dr.frasier">Anxiety episodes.</note></psychiatric>
+</clinical>
+<billing><item amount="120">Consultation</item></billing>
+</patient>
+<patient mrn="p1002">
+<name>John Doe</name>
+<clinical>
+<diagnosis>Fracture</diagnosis>
+<note author="dr.house">Cast for 6 weeks.</note>
+</clinical>
+<billing><item amount="480">Radiology</item></billing>
+</patient>
+</ward>)";
+
+// The policy, in XACL.  ward.dtd authorizations are schema level.
+constexpr char kPolicy[] = R"(<xacl>
+  <authorization subject="Clinicians" ip="10.3.*" object="ward.xml"
+      path="/ward" sign="+" type="RW"/>
+  <authorization subject="Clinicians" object="ward.dtd"
+      path="//psychiatric" sign="-" type="R"/>
+  <authorization subject="dr.frasier" object="ward.xml"
+      path='//patient[./@mrn="p1001"]//psychiatric' sign="+" type="R"/>
+  <authorization subject="Billing" object="ward.xml"
+      path="//billing" sign="+" type="R"/>
+  <authorization subject="Billing" object="ward.xml"
+      path="//patient/name" sign="+" type="L"/>
+  <authorization subject="PatientP1001" object="ward.xml"
+      path='//patient[./@mrn="p1001"]' sign="+" type="RW"/>
+  <authorization subject="PatientP1001" object="ward.dtd"
+      path="//note/@author" sign="-" type="L"/>
+  <authorization subject="PatientP1001" object="ward.dtd"
+      path="//psychiatric" sign="-" type="R"/>
+</xacl>)";
+
+void ShowView(const char* title, const authz::SecurityProcessor& processor,
+              const xml::Document& doc,
+              const std::vector<authz::Authorization>& instance,
+              const std::vector<authz::Authorization>& schema,
+              const authz::Requester& rq) {
+  auto view = processor.ComputeView(doc, instance, schema, rq);
+  std::printf("---- %s  %s ----\n", title, rq.ToString().c_str());
+  if (!view.ok()) {
+    std::printf("error: %s\n\n", view.status().ToString().c_str());
+    return;
+  }
+  if (view->empty()) {
+    std::printf("(nothing visible)\n\n");
+    return;
+  }
+  xml::SerializeOptions options;
+  options.xml_declaration = false;
+  options.indent = 2;
+  std::printf("%s\n", view->ToXml(options).c_str());
+}
+
+}  // namespace
+
+int main() {
+  xml::ParseOptions parse_options;
+  parse_options.strip_ignorable_whitespace = true;
+  auto doc_result = xml::ParseDocument(kWardXml, parse_options);
+  if (!doc_result.ok()) {
+    std::fprintf(stderr, "parse: %s\n",
+                 doc_result.status().ToString().c_str());
+    return 1;
+  }
+  auto doc = std::move(doc_result).value();
+  auto dtd_result = xml::ParseDtd(kWardDtd);
+  if (!dtd_result.ok()) {
+    std::fprintf(stderr, "dtd: %s\n", dtd_result.status().ToString().c_str());
+    return 1;
+  }
+  (*dtd_result)->set_name("ward");
+  doc->set_dtd(std::move(dtd_result).value());
+  if (Status s = xml::ValidateDocument(doc.get()); !s.ok()) {
+    std::fprintf(stderr, "validate: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  doc->Reindex();
+
+  auto xacl = authz::ParseXacl(kPolicy);
+  if (!xacl.ok()) {
+    std::fprintf(stderr, "xacl: %s\n", xacl.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<authz::Authorization> instance;
+  std::vector<authz::Authorization> schema;
+  for (const authz::Authorization& auth : xacl->authorizations) {
+    (auth.object.uri == "ward.dtd" ? schema : instance).push_back(auth);
+  }
+
+  authz::GroupStore groups;
+  for (auto [member, group] :
+       std::initializer_list<std::pair<const char*, const char*>>{
+           {"dr.house", "Clinicians"},
+           {"dr.frasier", "Clinicians"},
+           {"nina", "Billing"},
+           {"maria", "PatientP1001"}}) {
+    if (Status s = groups.AddMembership(member, group); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  authz::SecurityProcessor processor(&groups, {});
+
+  // A clinician on the ward network: clinical view, but the psychiatric
+  // section is redacted by the schema-level denial.
+  ShowView("dr.house (clinician, ward network)", processor, *doc, instance,
+           schema, {"dr.house", "10.3.7.21", "ward3.hospital.example"});
+
+  // The same clinician from home: the location pattern does not match,
+  // so the weak ward-wide permission is gone.
+  ShowView("dr.house (clinician, from home)", processor, *doc, instance,
+           schema, {"dr.house", "93.40.12.9", "home.isp.example"});
+
+  // The specialist: the explicit instance-level grant on p1001's
+  // psychiatric notes overrides the schema denial (instance > schema).
+  ShowView("dr.frasier (specialist, ward network)", processor, *doc,
+           instance, schema,
+           {"dr.frasier", "10.3.7.30", "ward3.hospital.example"});
+
+  // Billing: bills and patient names, nothing clinical.
+  ShowView("nina (billing)", processor, *doc, instance, schema,
+           {"nina", "10.9.1.4", "billing.hospital.example"});
+
+  // The patient: her own record, without staff annotations' authorship
+  // or the psychiatric section.
+  ShowView("maria (patient p1001)", processor, *doc, instance, schema,
+           {"maria", "151.66.9.9", "phone.carrier.example"});
+
+  // A stranger: closed policy, empty view.
+  ShowView("stranger", processor, *doc, instance, schema,
+           {"anonymous", "203.0.113.5", "somewhere.example"});
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Write enforcement: the paper's §8 "write and update operations"
+// future-work item, realized with authz::UpdateProcessor.
+//
+// A shared project file is edited by three parties:
+//   * the manager may change anything in her project;
+//   * members may edit paper titles but not the project's funding;
+//   * everybody's edits are checked against write authorizations and the
+//     result is re-validated against the DTD — an edit that would break
+//     the schema is rejected even when permitted.
+//
+// Build & run:  ./build/examples/secure_editor
+
+#include <cstdio>
+
+#include "authz/update.h"
+#include "authz/xacl.h"
+#include "workload/docgen.h"
+#include "xml/dtd_parser.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xml/validator.h"
+
+namespace {
+
+using namespace xmlsec;  // NOLINT: example brevity
+
+constexpr char kDoc[] =
+    "<laboratory>"
+    "<project name=\"Web\" type=\"public\">"
+    "<manager><fname>Alan</fname><lname>Turing</lname></manager>"
+    "<paper category=\"public\"><title>Draft title</title></paper>"
+    "<fund sponsor=\"acme\">50000</fund>"
+    "</project>"
+    "</laboratory>";
+
+constexpr char kWritePolicy[] = R"(<xacl>
+  <authorization subject="alan" object="lab.xml"
+      path='//project[./@name="Web"]' sign="+" type="R" action="write"/>
+  <authorization subject="Members" object="lab.xml"
+      path='//project[./@name="Web"]//paper' sign="+" type="R"
+      action="write"/>
+  <authorization subject="Members" object="lab.xml"
+      path="//fund" sign="-" type="R" action="write"/>
+</xacl>)";
+
+void Try(const authz::UpdateProcessor& processor, const xml::Document& doc,
+         const std::vector<authz::Authorization>& auths,
+         const authz::Requester& rq, const char* label,
+         const authz::UpdateOp& op) {
+  std::vector<authz::UpdateOp> ops = {op};
+  auto outcome = processor.Apply(doc, auths, {}, rq, ops);
+  std::printf("%-46s [%s] -> %s\n", label, rq.user.c_str(),
+              outcome.ok() ? "APPLIED" : outcome.status().ToString().c_str());
+  if (outcome.ok()) {
+    xml::SerializeOptions options;
+    options.xml_declaration = false;
+    std::printf("    %s\n",
+                xml::SerializeDocument(*outcome->document, options).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto doc_result = xml::ParseDocument(kDoc);
+  if (!doc_result.ok()) {
+    std::fprintf(stderr, "%s\n", doc_result.status().ToString().c_str());
+    return 1;
+  }
+  auto doc = std::move(doc_result).value();
+  auto dtd = xml::ParseDtd(workload::LaboratoryDtd());
+  (*dtd)->set_name("laboratory");
+  doc->set_dtd(std::move(dtd).value());
+  if (Status s = xml::ValidateDocument(doc.get()); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  doc->Reindex();
+
+  auto xacl = authz::ParseXacl(kWritePolicy);
+  if (!xacl.ok()) {
+    std::fprintf(stderr, "%s\n", xacl.status().ToString().c_str());
+    return 1;
+  }
+
+  authz::GroupStore groups;
+  if (Status s = groups.AddMembership("grace", "Members"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  authz::Requester alan{"alan", "10.0.0.2", "alan.lab.example"};
+  authz::Requester grace{"grace", "10.0.0.3", "grace.lab.example"};
+
+  authz::UpdateProcessor processor(&groups);
+
+  authz::UpdateOp retitle;
+  retitle.kind = authz::UpdateOpKind::kSetText;
+  retitle.target = "//paper/title";
+  retitle.value = "Serving XML securely";
+  Try(processor, *doc, xacl->authorizations, grace,
+      "member renames the paper", retitle);
+
+  authz::UpdateOp raise_funds;
+  raise_funds.kind = authz::UpdateOpKind::kSetText;
+  raise_funds.target = "//fund";
+  raise_funds.value = "90000";
+  Try(processor, *doc, xacl->authorizations, grace,
+      "member tries to change funding", raise_funds);
+  Try(processor, *doc, xacl->authorizations, alan,
+      "manager changes funding", raise_funds);
+
+  authz::UpdateOp add_member;
+  add_member.kind = authz::UpdateOpKind::kInsertChild;
+  add_member.target = "//project";
+  add_member.before = "paper";  // Content model: (manager,member*,paper*,fund?)
+  add_member.fragment = "<member><fname>Grace</fname>"
+                        "<lname>Hopper</lname></member>";
+  Try(processor, *doc, xacl->authorizations, alan,
+      "manager adds a member (schema-checked)", add_member);
+
+  authz::UpdateOp break_schema;
+  break_schema.kind = authz::UpdateOpKind::kInsertChild;
+  break_schema.target = "//project";
+  break_schema.fragment = "<gadget/>";
+  Try(processor, *doc, xacl->authorizations, alan,
+      "manager inserts an undeclared element", break_schema);
+
+  authz::UpdateOp delete_project;
+  delete_project.kind = authz::UpdateOpKind::kDeleteNode;
+  delete_project.target = "//project";
+  Try(processor, *doc, xacl->authorizations, grace,
+      "member tries to delete the project", delete_project);
+  return 0;
+}

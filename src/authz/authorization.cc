@@ -1,0 +1,97 @@
+#include "authz/authorization.h"
+
+namespace xmlsec {
+namespace authz {
+
+Result<ObjectSpec> ObjectSpec::Parse(std::string_view text) {
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != ':') continue;
+    // "://" — URI scheme separator.
+    if (i + 2 < text.size() && text[i + 1] == '/' && text[i + 2] == '/') {
+      i += 2;
+      continue;
+    }
+    // "::" — XPath axis separator (should not appear before the split,
+    // but be safe).
+    if (i + 1 < text.size() && text[i + 1] == ':') {
+      ++i;
+      continue;
+    }
+    ObjectSpec spec;
+    spec.uri = std::string(text.substr(0, i));
+    spec.path = std::string(text.substr(i + 1));
+    if (spec.uri.empty()) {
+      return Status::InvalidArgument("object '" + std::string(text) +
+                                     "' has an empty URI");
+    }
+    return spec;
+  }
+  if (text.empty()) {
+    return Status::InvalidArgument("empty authorization object");
+  }
+  ObjectSpec spec;
+  spec.uri = std::string(text);
+  return spec;
+}
+
+std::string_view SignToString(Sign sign) {
+  return sign == Sign::kPlus ? "+" : "-";
+}
+
+std::string_view AuthTypeToString(AuthType type) {
+  switch (type) {
+    case AuthType::kLocal:
+      return "L";
+    case AuthType::kRecursive:
+      return "R";
+    case AuthType::kLocalWeak:
+      return "LW";
+    case AuthType::kRecursiveWeak:
+      return "RW";
+  }
+  return "?";
+}
+
+std::string_view ActionToString(Action action) {
+  switch (action) {
+    case Action::kRead:
+      return "read";
+    case Action::kWrite:
+      return "write";
+  }
+  return "?";
+}
+
+Result<Sign> ParseSign(std::string_view text) {
+  if (text == "+") return Sign::kPlus;
+  if (text == "-") return Sign::kMinus;
+  return Status::InvalidArgument("invalid sign '" + std::string(text) +
+                                 "' (expected '+' or '-')");
+}
+
+Result<AuthType> ParseAuthType(std::string_view text) {
+  if (text == "L") return AuthType::kLocal;
+  if (text == "R") return AuthType::kRecursive;
+  if (text == "LW") return AuthType::kLocalWeak;
+  if (text == "RW") return AuthType::kRecursiveWeak;
+  return Status::InvalidArgument("invalid authorization type '" +
+                                 std::string(text) +
+                                 "' (expected L, R, LW, or RW)");
+}
+
+Result<Action> ParseAction(std::string_view text) {
+  if (text == "read") return Action::kRead;
+  if (text == "write") return Action::kWrite;
+  return Status::Unimplemented("unsupported action '" + std::string(text) +
+                               "' (expected 'read' or 'write')");
+}
+
+std::string Authorization::ToString() const {
+  return "<" + subject.ToString() + ", " + object.ToString() + ", " +
+         std::string(ActionToString(action)) + ", " +
+         std::string(SignToString(sign)) + ", " +
+         std::string(AuthTypeToString(type)) + ">";
+}
+
+}  // namespace authz
+}  // namespace xmlsec

@@ -1,0 +1,104 @@
+#ifndef XMLSEC_AUTHZ_AUTHORIZATION_H_
+#define XMLSEC_AUTHZ_AUTHORIZATION_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "authz/subject.h"
+
+namespace xmlsec {
+namespace authz {
+
+/// An authorization object (paper §4): a protected resource URI,
+/// optionally narrowed by an XPath path expression selecting elements or
+/// attributes inside the document.
+struct ObjectSpec {
+  std::string uri;
+  /// XPath expression; empty means the whole document (the root element
+  /// with propagation per the authorization type).
+  std::string path;
+
+  /// Parses the paper's combined `URI:PE` notation.  The separator is the
+  /// first ':' that neither starts a URI scheme ("://") nor belongs to an
+  /// XPath axis ("::").  URIs containing bare ':' (e.g. a port number)
+  /// must use the two-field constructor instead.
+  static Result<ObjectSpec> Parse(std::string_view text);
+
+  std::string ToString() const {
+    return path.empty() ? uri : uri + ":" + path;
+  }
+
+  friend bool operator==(const ObjectSpec& a, const ObjectSpec& b) {
+    return a.uri == b.uri && a.path == b.path;
+  }
+};
+
+/// Sign of an authorization: permission or denial.
+enum class Sign : uint8_t { kPlus, kMinus };
+
+/// Authorization types (Definition 3): Local / Recursive, each optionally
+/// Weak.  Local authorizations apply to the node and its direct
+/// attributes; recursive ones propagate to the whole subtree.  Weak
+/// authorizations are overridden by schema-level authorizations instead
+/// of overriding them.
+enum class AuthType : uint8_t {
+  kLocal,          ///< L
+  kRecursive,      ///< R
+  kLocalWeak,      ///< LW
+  kRecursiveWeak,  ///< RW
+};
+
+/// Actions.  The paper develops read and names write/update as future
+/// work (§8); this library implements write enforcement through
+/// `authz::UpdateProcessor` (see authz/update.h).
+enum class Action : uint8_t { kRead, kWrite };
+
+std::string_view SignToString(Sign sign);
+std::string_view AuthTypeToString(AuthType type);
+std::string_view ActionToString(Action action);
+
+Result<Sign> ParseSign(std::string_view text);
+Result<AuthType> ParseAuthType(std::string_view text);
+Result<Action> ParseAction(std::string_view text);
+
+inline bool IsRecursive(AuthType type) {
+  return type == AuthType::kRecursive || type == AuthType::kRecursiveWeak;
+}
+inline bool IsWeak(AuthType type) {
+  return type == AuthType::kLocalWeak || type == AuthType::kRecursiveWeak;
+}
+
+/// An access authorization — the 5-tuple of Definition 3, extended with
+/// an optional validity window (the paper's §8 "time-based restrictions"
+/// future work).
+///
+/// Whether an authorization is instance level or schema level is decided
+/// by where its URI points (an XML document vs a DTD); the stores in
+/// `server::Repository` and `SecurityProcessor` keep the two sets apart.
+struct Authorization {
+  Subject subject;
+  ObjectSpec object;
+  Action action = Action::kRead;
+  Sign sign = Sign::kPlus;
+  AuthType type = AuthType::kRecursive;
+
+  /// Validity window in seconds since the epoch, inclusive.  The
+  /// defaults make the authorization permanent; it applies to a request
+  /// iff `valid_from <= Requester::time <= valid_until`.
+  int64_t valid_from = std::numeric_limits<int64_t>::min();
+  int64_t valid_until = std::numeric_limits<int64_t>::max();
+
+  bool AppliesAtTime(int64_t time) const {
+    return time >= valid_from && time <= valid_until;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace authz
+}  // namespace xmlsec
+
+#endif  // XMLSEC_AUTHZ_AUTHORIZATION_H_

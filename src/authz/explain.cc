@@ -1,0 +1,309 @@
+#include "authz/explain.h"
+
+#include <map>
+
+#include "xpath/evaluator.h"
+
+namespace xmlsec {
+namespace authz {
+
+namespace {
+
+using xml::Element;
+using xml::Node;
+
+const char* kSlotNames[6] = {"L", "R", "LD", "RD", "LW", "RW"};
+
+/// Applicable-authorization candidates per (node, slot) for the nodes of
+/// interest (the target node and its element ancestors).
+using CandidateMap =
+    std::map<std::pair<const Node*, int>, std::vector<const Authorization*>>;
+
+int SlotIndexFor(const Authorization& auth, bool schema_level,
+                 bool target_is_attribute) {
+  bool recursive = IsRecursive(auth.type);
+  if (target_is_attribute) recursive = false;
+  if (schema_level) return recursive ? 3 : 2;          // RD : LD
+  if (IsWeak(auth.type)) return recursive ? 5 : 4;     // RW : LW
+  return recursive ? 1 : 0;                            // R : L
+}
+
+SlotExplanation ResolveSlotExplained(
+    const std::vector<const Authorization*>& candidates,
+    const GroupStore& groups, ConflictPolicy policy) {
+  SlotExplanation out;
+  bool any_plus = false;
+  bool any_minus = false;
+  for (const Authorization* a : candidates) {
+    bool overridden = false;
+    for (const Authorization* b : candidates) {
+      if (a != b && SubjectLess(b->subject, a->subject, groups)) {
+        overridden = true;
+        break;
+      }
+    }
+    if (overridden) {
+      out.overridden.push_back(a);
+      continue;
+    }
+    out.winning.push_back(a);
+    (a->sign == Sign::kPlus ? any_plus : any_minus) = true;
+  }
+  if (!any_plus && !any_minus) {
+    out.sign = TriSign::kEps;
+    out.winning.clear();
+    return out;
+  }
+  switch (policy) {
+    case ConflictPolicy::kDenialsTakePrecedence:
+      out.sign = any_minus ? TriSign::kMinus : TriSign::kPlus;
+      break;
+    case ConflictPolicy::kPermissionsTakePrecedence:
+      out.sign = any_plus ? TriSign::kPlus : TriSign::kMinus;
+      break;
+    case ConflictPolicy::kNothingTakesPrecedence:
+      out.sign = (any_plus && any_minus) ? TriSign::kEps
+                 : any_plus              ? TriSign::kPlus
+                                         : TriSign::kMinus;
+      break;
+  }
+  return out;
+}
+
+std::string NodePathOf(const Node* node) {
+  if (node == nullptr) return "(none)";
+  std::vector<std::string> parts;
+  const Node* cur = node;
+  if (cur->IsAttribute()) {
+    parts.push_back("@" + cur->NodeName());
+    cur = cur->parent();
+  }
+  for (; cur != nullptr && cur->IsElement(); cur = cur->parent()) {
+    parts.push_back(cur->NodeName());
+  }
+  std::string out;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    out += "/" + *it;
+  }
+  return out.empty() ? "/" : out;
+}
+
+}  // namespace
+
+const char* LabelSlotName(LabelSlot slot) {
+  return kSlotNames[static_cast<int>(slot)];
+}
+
+std::string NodeExplanation::ToString() const {
+  std::string out = "final sign: ";
+  out.push_back(TriSignToChar(final_sign));
+  out.push_back('\n');
+  if (final_sign != TriSign::kEps) {
+    out += "decided by slot ";
+    out += LabelSlotName(winning_slot);
+    if (inherited_from != nullptr) {
+      out += ", inherited from " + NodePathOf(inherited_from);
+    } else {
+      out += " (explicit on the node)";
+    }
+    out.push_back('\n');
+  } else {
+    out += "no authorization applies (completeness policy decides)\n";
+  }
+  for (int i = 0; i < 6; ++i) {
+    const SlotExplanation& slot = slots[static_cast<size_t>(i)];
+    if (slot.sign == TriSign::kEps && slot.winning.empty() &&
+        slot.overridden.empty()) {
+      continue;
+    }
+    out += "  ";
+    out += kSlotNames[i];
+    out += " = ";
+    out.push_back(TriSignToChar(slot.sign));
+    out.push_back('\n');
+    for (const Authorization* a : slot.winning) {
+      out += "    by " + a->ToString() + "\n";
+    }
+    for (const Authorization* a : slot.overridden) {
+      out += "    overridden (less specific subject): " + a->ToString() +
+             "\n";
+    }
+  }
+  return out;
+}
+
+Result<NodeExplanation> ExplainNode(
+    const xml::Document& doc, std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths, const Requester& rq,
+    const GroupStore& groups, PolicyOptions policy, const Node* node) {
+  if (node == nullptr || (!node->IsElement() && !node->IsAttribute())) {
+    return Status::InvalidArgument(
+        "explanations cover elements and attributes");
+  }
+
+  // Nodes whose explicit labels matter: the node and its element chain.
+  std::vector<const Node*> chain;
+  for (const Node* cur = node; cur != nullptr; cur = cur->parent()) {
+    if (cur->IsElement() || cur->IsAttribute()) chain.push_back(cur);
+  }
+
+  xpath::VariableBindings vars;
+  vars.emplace("user", xpath::Value(rq.user));
+  vars.emplace("ip", xpath::Value(rq.ip));
+  vars.emplace("sym", xpath::Value(rq.sym));
+  vars.emplace("time", xpath::Value(static_cast<double>(rq.time)));
+
+  CandidateMap candidates;
+  auto collect = [&](std::span<const Authorization> auths,
+                     bool schema_level) -> Status {
+    for (const Authorization& auth : auths) {
+      if (static_cast<int>(auth.action) != policy.action) continue;
+      if (!auth.AppliesAtTime(rq.time)) continue;
+      if (!RequesterMatches(rq, auth.subject, groups)) continue;
+      xpath::NodeSet targets;
+      if (auth.object.path.empty()) {
+        targets.push_back(doc.root());
+      } else {
+        XMLSEC_ASSIGN_OR_RETURN(
+            targets, xpath::SelectXPath(auth.object.path, doc.root(), &vars));
+      }
+      for (const Node* target : targets) {
+        if (target->type() == xml::NodeType::kDocument) target = doc.root();
+        for (const Node* interesting : chain) {
+          if (target == interesting) {
+            int slot =
+                SlotIndexFor(auth, schema_level, target->IsAttribute());
+            candidates[{target, slot}].push_back(&auth);
+          }
+        }
+      }
+    }
+    return Status::OK();
+  };
+  XMLSEC_RETURN_IF_ERROR(collect(instance_auths, false));
+  XMLSEC_RETURN_IF_ERROR(collect(schema_auths, true));
+
+  auto slot_of = [&](const Node* n, int slot) {
+    auto it = candidates.find({n, slot});
+    if (it == candidates.end()) return SlotExplanation{};
+    return ResolveSlotExplained(it->second, groups, policy.conflict);
+  };
+
+  NodeExplanation out;
+  for (int i = 0; i < 6; ++i) {
+    out.slots[static_cast<size_t>(i)] = slot_of(node, i);
+  }
+
+  // Recursive-slot inheritance, mirroring the naive labeler.
+  const Element* start =
+      node->IsAttribute() ? node->ParentElement() : node->AsElement();
+  auto walk_pair = [&](TriSign* r, TriSign* rw, const Node** source) {
+    *r = TriSign::kEps;
+    *rw = TriSign::kEps;
+    *source = nullptr;
+    for (const Node* m = start; m != nullptr && m->IsElement();
+         m = m->parent()) {
+      TriSign mr = slot_of(m, 1).sign;
+      TriSign mrw = slot_of(m, 5).sign;
+      if (mr != TriSign::kEps || mrw != TriSign::kEps) {
+        *r = mr;
+        *rw = mrw;
+        *source = m;
+        return;
+      }
+    }
+  };
+  auto walk_rd = [&](const Node** source) {
+    *source = nullptr;
+    for (const Node* m = start; m != nullptr && m->IsElement();
+         m = m->parent()) {
+      TriSign mrd = slot_of(m, 3).sign;
+      if (mrd != TriSign::kEps) {
+        *source = m;
+        return mrd;
+      }
+    }
+    return TriSign::kEps;
+  };
+
+  TriSign r;
+  TriSign rw;
+  const Node* r_source;
+  walk_pair(&r, &rw, &r_source);
+  const Node* rd_source;
+  TriSign rd = walk_rd(&rd_source);
+
+  struct Entry {
+    LabelSlot slot;
+    TriSign sign;
+    const Node* source;  // nullptr = explicit on the node
+  };
+  std::vector<Entry> sequence;
+  if (node->IsElement()) {
+    sequence = {
+        {LabelSlot::kL, slot_of(node, 0).sign, nullptr},
+        {LabelSlot::kR, r, r_source == node ? nullptr : r_source},
+        {LabelSlot::kLD, slot_of(node, 2).sign, nullptr},
+        {LabelSlot::kRD, rd, rd_source == node ? nullptr : rd_source},
+        {LabelSlot::kLW, slot_of(node, 4).sign, nullptr},
+        {LabelSlot::kRW, rw, r_source == node ? nullptr : r_source},
+    };
+  } else {
+    const Element* p = start;
+    TriSign inst = slot_of(p, 0).sign != TriSign::kEps ? slot_of(p, 0).sign
+                                                       : r;
+    const Node* inst_src = slot_of(p, 0).sign != TriSign::kEps
+                               ? static_cast<const Node*>(p)
+                               : r_source;
+    TriSign schema = slot_of(p, 2).sign != TriSign::kEps
+                         ? slot_of(p, 2).sign
+                         : rd;
+    const Node* schema_src = slot_of(p, 2).sign != TriSign::kEps
+                                 ? static_cast<const Node*>(p)
+                                 : rd_source;
+    TriSign weak = slot_of(p, 4).sign != TriSign::kEps ? slot_of(p, 4).sign
+                                                       : rw;
+    const Node* weak_src = slot_of(p, 4).sign != TriSign::kEps
+                               ? static_cast<const Node*>(p)
+                               : r_source;
+    sequence = {
+        {LabelSlot::kL, slot_of(node, 0).sign, nullptr},
+        {LabelSlot::kR, inst, inst_src},
+        {LabelSlot::kLD, slot_of(node, 2).sign, nullptr},
+        {LabelSlot::kRD, schema, schema_src},
+        {LabelSlot::kLW, slot_of(node, 4).sign, nullptr},
+        {LabelSlot::kRW, weak, weak_src},
+    };
+  }
+
+  for (const Entry& entry : sequence) {
+    if (entry.sign != TriSign::kEps) {
+      out.final_sign = entry.sign;
+      out.winning_slot = entry.slot;
+      out.inherited_from = entry.source;
+      break;
+    }
+  }
+  return out;
+}
+
+Result<std::string> ExplainPath(
+    const xml::Document& doc, std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths, const Requester& rq,
+    const GroupStore& groups, PolicyOptions policy, std::string_view path) {
+  XMLSEC_ASSIGN_OR_RETURN(xpath::NodeSet nodes,
+                          xpath::SelectXPath(path, doc.root()));
+  if (nodes.size() != 1) {
+    return Status::InvalidArgument("explain path '" + std::string(path) +
+                                   "' selects " +
+                                   std::to_string(nodes.size()) +
+                                   " node(s), expected exactly 1");
+  }
+  XMLSEC_ASSIGN_OR_RETURN(NodeExplanation explanation,
+                          ExplainNode(doc, instance_auths, schema_auths, rq,
+                                      groups, policy, nodes.front()));
+  return NodePathOf(nodes.front()) + "\n" + explanation.ToString();
+}
+
+}  // namespace authz
+}  // namespace xmlsec

@@ -1,0 +1,73 @@
+#ifndef XMLSEC_AUTHZ_EXPLAIN_H_
+#define XMLSEC_AUTHZ_EXPLAIN_H_
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "authz/authorization.h"
+#include "authz/labeling.h"
+#include "authz/policy.h"
+#include "authz/subject.h"
+#include "xml/dom.h"
+
+namespace xmlsec {
+namespace authz {
+
+/// Names of the 6-tuple slots, in priority order (paper §6.1).
+enum class LabelSlot : int { kL = 0, kR, kLD, kRD, kLW, kRW };
+
+const char* LabelSlotName(LabelSlot slot);
+
+/// Why one slot of one node carries its sign.
+struct SlotExplanation {
+  TriSign sign = TriSign::kEps;
+  /// Authorizations that produced the sign (after most-specific-subject
+  /// filtering and conflict resolution).
+  std::vector<const Authorization*> winning;
+  /// Applicable authorizations dropped because a strictly more specific
+  /// subject also applies.
+  std::vector<const Authorization*> overridden;
+};
+
+/// Full provenance of one node's final sign — the answer to "why can('t)
+/// this requester see this node?".
+struct NodeExplanation {
+  TriSign final_sign = TriSign::kEps;
+  /// The slot whose sign won (meaningless when final_sign is ε).
+  LabelSlot winning_slot = LabelSlot::kL;
+  /// For inherited recursive signs: the ancestor element carrying the
+  /// explicit authorization; nullptr when the sign is explicit on the
+  /// node (or final_sign is ε).
+  const xml::Node* inherited_from = nullptr;
+  /// Per-slot detail for the *explicit* authorizations on this node.
+  std::array<SlotExplanation, 6> slots;
+
+  /// Human-readable multi-line report.
+  std::string ToString() const;
+};
+
+/// Explains the final sign of `node` for requester `rq` under the given
+/// authorization sets — same semantics as `TreeLabeler` (verified
+/// equivalent by the differential property tests of the naive labeler,
+/// which this shares its resolution logic with).
+///
+/// `node` must be an element or attribute of `doc`.
+Result<NodeExplanation> ExplainNode(
+    const xml::Document& doc, std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths, const Requester& rq,
+    const GroupStore& groups, PolicyOptions policy, const xml::Node* node);
+
+/// Convenience: explanation rendered as text for the node selected by
+/// `path` (must select exactly one element/attribute).
+Result<std::string> ExplainPath(
+    const xml::Document& doc, std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths, const Requester& rq,
+    const GroupStore& groups, PolicyOptions policy, std::string_view path);
+
+}  // namespace authz
+}  // namespace xmlsec
+
+#endif  // XMLSEC_AUTHZ_EXPLAIN_H_

@@ -1,0 +1,383 @@
+#include "authz/labeling.h"
+
+#include <array>
+#include <unordered_map>
+
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlsec {
+namespace authz {
+
+namespace {
+
+using xml::Attr;
+using xml::Document;
+using xml::Element;
+using xml::Node;
+
+char SignChar(TriSign s) {
+  switch (s) {
+    case TriSign::kEps:
+      return 'e';
+    case TriSign::kPlus:
+      return '+';
+    case TriSign::kMinus:
+      return '-';
+  }
+  return '?';
+}
+
+/// Slot indices of the 6-tuple.
+enum Slot : int { kL = 0, kR = 1, kLD = 2, kRD = 3, kLW = 4, kRW = 5 };
+
+/// Explicit (pre-propagation) slot signs for every node, indexed by
+/// doc_order.
+struct InitialLabels {
+  std::vector<std::array<TriSign, 6>> slots;
+
+  explicit InitialLabels(size_t n)
+      : slots(n, {TriSign::kEps, TriSign::kEps, TriSign::kEps, TriSign::kEps,
+                  TriSign::kEps, TriSign::kEps}) {}
+
+  TriSign Get(const Node* node, Slot slot) const {
+    return slots[static_cast<size_t>(node->doc_order())][slot];
+  }
+};
+
+/// Which slot an authorization contributes to for a given target node.
+Slot SlotFor(const Authorization& auth, bool schema_level,
+             bool target_is_attribute) {
+  bool recursive = IsRecursive(auth.type);
+  if (target_is_attribute) recursive = false;  // R on attribute acts as L.
+  if (schema_level) return recursive ? kRD : kLD;
+  if (IsWeak(auth.type)) return recursive ? kRW : kLW;
+  return recursive ? kR : kL;
+}
+
+/// Resolves one node/slot candidate list: drop authorizations overridden
+/// by a strictly more specific subject, then combine the survivors per
+/// the conflict policy.
+TriSign ResolveSlot(const std::vector<const Authorization*>& candidates,
+                    const GroupStore& groups, ConflictPolicy policy) {
+  bool any_plus = false;
+  bool any_minus = false;
+  for (const Authorization* a : candidates) {
+    bool overridden = false;
+    for (const Authorization* b : candidates) {
+      if (a != b && SubjectLess(b->subject, a->subject, groups)) {
+        overridden = true;
+        break;
+      }
+    }
+    if (overridden) continue;
+    if (a->sign == Sign::kPlus) {
+      any_plus = true;
+    } else {
+      any_minus = true;
+    }
+  }
+  if (!any_plus && !any_minus) return TriSign::kEps;
+  switch (policy) {
+    case ConflictPolicy::kDenialsTakePrecedence:
+      return any_minus ? TriSign::kMinus : TriSign::kPlus;
+    case ConflictPolicy::kPermissionsTakePrecedence:
+      return any_plus ? TriSign::kPlus : TriSign::kMinus;
+    case ConflictPolicy::kNothingTakesPrecedence:
+      if (any_plus && any_minus) return TriSign::kEps;
+      return any_plus ? TriSign::kPlus : TriSign::kMinus;
+  }
+  return TriSign::kEps;
+}
+
+/// Bindings for `$user`, `$ip`, `$sym`, and `$time` inside authorization
+/// path expressions — self-referential policies such as
+/// `//record[@owner=$user]` need no per-user authorization entries.
+xpath::VariableBindings RequesterBindings(const Requester& rq) {
+  xpath::VariableBindings vars;
+  vars.emplace("user", xpath::Value(rq.user));
+  vars.emplace("ip", xpath::Value(rq.ip));
+  vars.emplace("sym", xpath::Value(rq.sym));
+  vars.emplace("time", xpath::Value(static_cast<double>(rq.time)));
+  return vars;
+}
+
+/// Evaluates an authorization's target node-set.  An empty path targets
+/// the root element; a node-set containing the document node is remapped
+/// to the root element (authorizations on "the document" govern the root
+/// with propagation per their type).
+Result<xpath::NodeSet> TargetNodes(const Authorization& auth,
+                                   const Document& doc,
+                                   const xpath::VariableBindings& vars) {
+  if (auth.object.path.empty()) {
+    xpath::NodeSet set;
+    set.push_back(doc.root());
+    return set;
+  }
+  XMLSEC_ASSIGN_OR_RETURN(
+      xpath::NodeSet set,
+      xpath::SelectXPath(auth.object.path, doc.root(), &vars));
+  for (const Node*& node : set) {
+    if (node->type() == xml::NodeType::kDocument) node = doc.root();
+  }
+  xpath::SortDocumentOrder(&set);
+  return set;
+}
+
+/// Runs requester filtering + initial labeling for both authorization
+/// levels; shared by the propagation labeler and the naive baseline.
+Result<InitialLabels> ComputeInitialLabels(
+    const Document& doc, std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths, const Requester& rq,
+    const GroupStore& groups, PolicyOptions policy, LabelingStats* stats) {
+  const auto node_count = static_cast<size_t>(doc.node_count());
+  InitialLabels initial(node_count);
+
+  // Per (node, slot) candidate lists, sparse.
+  std::unordered_map<uint64_t, std::vector<const Authorization*>> candidates;
+  const xpath::VariableBindings bindings = RequesterBindings(rq);
+
+  auto collect = [&](std::span<const Authorization> auths,
+                     bool schema_level) -> Status {
+    for (const Authorization& auth : auths) {
+      if (static_cast<int>(auth.action) != policy.action) continue;
+      if (!auth.AppliesAtTime(rq.time)) continue;
+      if (!RequesterMatches(rq, auth.subject, groups)) continue;
+      if (stats != nullptr) {
+        (schema_level ? stats->applicable_schema_auths
+                      : stats->applicable_instance_auths)++;
+      }
+      XMLSEC_ASSIGN_OR_RETURN(xpath::NodeSet targets,
+                              TargetNodes(auth, doc, bindings));
+      if (stats != nullptr) {
+        stats->xpath_evaluations++;
+        stats->target_nodes += static_cast<int64_t>(targets.size());
+      }
+      for (const Node* node : targets) {
+        if (!node->IsElement() && !node->IsAttribute()) continue;
+        Slot slot = SlotFor(auth, schema_level, node->IsAttribute());
+        uint64_t key =
+            static_cast<uint64_t>(node->doc_order()) * 6 +
+            static_cast<uint64_t>(slot);
+        candidates[key].push_back(&auth);
+      }
+    }
+    return Status::OK();
+  };
+
+  XMLSEC_RETURN_IF_ERROR(collect(instance_auths, /*schema_level=*/false));
+  XMLSEC_RETURN_IF_ERROR(collect(schema_auths, /*schema_level=*/true));
+
+  for (const auto& [key, auths] : candidates) {
+    size_t node_index = key / 6;
+    int slot = static_cast<int>(key % 6);
+    initial.slots[node_index][slot] =
+        ResolveSlot(auths, groups, policy.conflict);
+  }
+  return initial;
+}
+
+TriSign First2(TriSign a, TriSign b) {
+  return a != TriSign::kEps ? a : b;
+}
+
+/// Pre-order propagation (paper Fig. 2, procedure `label`).
+class Propagator {
+ public:
+  Propagator(const InitialLabels& initial, LabelMap* labels)
+      : initial_(initial), labels_(labels) {}
+
+  void LabelRoot(const Element* root) {
+    NodeLabel& lab = Init(root);
+    lab.final_sign =
+        FirstDef({lab.l, lab.r, lab.ld, lab.rd, lab.lw, lab.rw});
+    Descend(root, lab);
+  }
+
+ private:
+  /// Copies the node's initial tuple into the label map and records the
+  /// explicit values.
+  NodeLabel& Init(const Node* node) {
+    const auto& slots = initial_.slots[static_cast<size_t>(node->doc_order())];
+    NodeLabel& lab = labels_->At(node);
+    lab.l = slots[kL];
+    lab.r = slots[kR];
+    lab.ld = slots[kLD];
+    lab.rd = slots[kRD];
+    lab.lw = slots[kLW];
+    lab.rw = slots[kRW];
+    lab.l_explicit = lab.l;
+    lab.ld_explicit = lab.ld;
+    lab.lw_explicit = lab.lw;
+    return lab;
+  }
+
+  void Descend(const Element* el, const NodeLabel& lab) {
+    for (const auto& attr : el->attributes()) {
+      LabelAttribute(attr.get(), lab);
+    }
+    for (const auto& child : el->children()) {
+      if (child->IsElement()) {
+        LabelElement(static_cast<const Element*>(child.get()), lab);
+      } else {
+        // Text / CDATA / comment / PI nodes are the "values" of the
+        // paper's tree: visible iff their element is.
+        labels_->At(child.get()).final_sign = lab.final_sign;
+      }
+    }
+  }
+
+  void LabelElement(const Element* el, const NodeLabel& parent) {
+    NodeLabel& lab = Init(el);
+    // Most specific object overrides: the node's own recursive signs (of
+    // either strength) suppress the propagated pair.
+    if (lab.r == TriSign::kEps && lab.rw == TriSign::kEps) {
+      lab.r = parent.r;
+      lab.rw = parent.rw;
+    }
+    // Schema-level recursive signs propagate independently.
+    lab.rd = First2(lab.rd, parent.rd);
+    lab.final_sign =
+        FirstDef({lab.l, lab.r, lab.ld, lab.rd, lab.lw, lab.rw});
+    Descend(el, lab);
+  }
+
+  void LabelAttribute(const Attr* attr, const NodeLabel& parent) {
+    NodeLabel& lab = Init(attr);
+    // An element's Local authorizations cover its direct attributes; its
+    // merged recursive signs cover them too, at lower priority.  The
+    // priority sequence mirrors the element rule — instance, then
+    // schema, then weak; explicit-on-attribute before propagated.
+    TriSign inst = First2(parent.l_explicit, parent.r);
+    TriSign schema = First2(parent.ld_explicit, parent.rd);
+    TriSign weak = First2(parent.lw_explicit, parent.rw);
+    lab.final_sign = FirstDef({lab.l, inst, lab.ld, schema, lab.lw, weak});
+  }
+
+  const InitialLabels& initial_;
+  LabelMap* labels_;
+};
+
+}  // namespace
+
+char TriSignToChar(TriSign s) { return SignChar(s); }
+
+TriSign FirstDef(std::initializer_list<TriSign> signs) {
+  for (TriSign s : signs) {
+    if (s != TriSign::kEps) return s;
+  }
+  return TriSign::kEps;
+}
+
+std::string NodeLabel::ToString() const {
+  std::string out = "<";
+  out += SignChar(l);
+  out += SignChar(r);
+  out += SignChar(ld);
+  out += SignChar(rd);
+  out += SignChar(lw);
+  out += SignChar(rw);
+  out += "|";
+  out += SignChar(final_sign);
+  out += ">";
+  return out;
+}
+
+Result<LabelMap> TreeLabeler::Label(const Document& doc,
+                                    std::span<const Authorization> instance_auths,
+                                    std::span<const Authorization> schema_auths,
+                                    const Requester& rq,
+                                    LabelingStats* stats) const {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("document has no root element");
+  }
+  XMLSEC_ASSIGN_OR_RETURN(
+      InitialLabels initial,
+      ComputeInitialLabels(doc, instance_auths, schema_auths, rq, *groups_,
+                           policy_, stats));
+  LabelMap labels(static_cast<size_t>(doc.node_count()));
+  Propagator propagator(initial, &labels);
+  propagator.LabelRoot(doc.root());
+  if (stats != nullptr) {
+    stats->labeled_nodes = doc.node_count();
+  }
+  return labels;
+}
+
+Result<LabelMap> LabelTreeNaive(const Document& doc,
+                                std::span<const Authorization> instance_auths,
+                                std::span<const Authorization> schema_auths,
+                                const Requester& rq, const GroupStore& groups,
+                                PolicyOptions policy) {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("document has no root element");
+  }
+  XMLSEC_ASSIGN_OR_RETURN(
+      InitialLabels initial,
+      ComputeInitialLabels(doc, instance_auths, schema_auths, rq, groups,
+                           policy, nullptr));
+  LabelMap labels(static_cast<size_t>(doc.node_count()));
+
+  // Per-element declarative semantics: walk the ancestor chain for each
+  // recursive slot, independently per node.
+  auto recursive_pair = [&](const Element* el, TriSign* r, TriSign* rw) {
+    *r = TriSign::kEps;
+    *rw = TriSign::kEps;
+    for (const Node* m = el; m != nullptr && m->IsElement();
+         m = m->parent()) {
+      TriSign mr = initial.Get(m, kR);
+      TriSign mrw = initial.Get(m, kRW);
+      if (mr != TriSign::kEps || mrw != TriSign::kEps) {
+        *r = mr;
+        *rw = mrw;
+        return;
+      }
+    }
+  };
+  auto recursive_schema = [&](const Element* el) {
+    for (const Node* m = el; m != nullptr && m->IsElement();
+         m = m->parent()) {
+      TriSign mrd = initial.Get(m, kRD);
+      if (mrd != TriSign::kEps) return mrd;
+    }
+    return TriSign::kEps;
+  };
+
+  auto element_final = [&](const Element* el) {
+    TriSign r;
+    TriSign rw;
+    recursive_pair(el, &r, &rw);
+    TriSign rd = recursive_schema(el);
+    return FirstDef({initial.Get(el, kL), r, initial.Get(el, kLD), rd,
+                     initial.Get(el, kLW), rw});
+  };
+
+  std::function<void(const Element*)> visit = [&](const Element* el) {
+    NodeLabel& lab = labels.At(el);
+    lab.final_sign = element_final(el);
+    for (const auto& attr : el->attributes()) {
+      TriSign r;
+      TriSign rw;
+      recursive_pair(el, &r, &rw);
+      TriSign inst = First2(initial.Get(el, kL), r);
+      TriSign schema = First2(initial.Get(el, kLD), recursive_schema(el));
+      TriSign weak = First2(initial.Get(el, kLW), rw);
+      labels.At(attr.get()).final_sign =
+          FirstDef({initial.Get(attr.get(), kL), inst,
+                    initial.Get(attr.get(), kLD), schema,
+                    initial.Get(attr.get(), kLW), weak});
+    }
+    for (const auto& child : el->children()) {
+      if (child->IsElement()) {
+        visit(static_cast<const Element*>(child.get()));
+      } else {
+        labels.At(child.get()).final_sign = lab.final_sign;
+      }
+    }
+  };
+  visit(doc.root());
+  return labels;
+}
+
+}  // namespace authz
+}  // namespace xmlsec

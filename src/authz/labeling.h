@@ -1,0 +1,142 @@
+#ifndef XMLSEC_AUTHZ_LABELING_H_
+#define XMLSEC_AUTHZ_LABELING_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "authz/authorization.h"
+#include "authz/policy.h"
+#include "authz/subject.h"
+#include "xml/dom.h"
+
+namespace xmlsec {
+namespace authz {
+
+/// Sign values of the labeling process: '+', '-', or 'ε' (no
+/// authorization).
+enum class TriSign : uint8_t { kEps, kPlus, kMinus };
+
+char TriSignToChar(TriSign s);
+
+/// First value different from ε in the sequence — the paper's
+/// `first_def`.
+TriSign FirstDef(std::initializer_list<TriSign> signs);
+
+/// The 6-tuple ⟨L, R, LD, RD, LW, RW⟩ attached to each node during
+/// labeling, plus the pre-propagation ("explicit") values needed to
+/// propagate element authorizations onto attributes, and the resulting
+/// final sign.
+struct NodeLabel {
+  // Working values; r/rd/rw are merged with propagated parent values
+  // during the pre-order pass.
+  TriSign l = TriSign::kEps;
+  TriSign r = TriSign::kEps;
+  TriSign ld = TriSign::kEps;
+  TriSign rd = TriSign::kEps;
+  TriSign lw = TriSign::kEps;
+  TriSign rw = TriSign::kEps;
+
+  // Values as set by initial_label, before propagation (used when
+  // propagating an element's Local authorizations to its attributes).
+  TriSign l_explicit = TriSign::kEps;
+  TriSign ld_explicit = TriSign::kEps;
+  TriSign lw_explicit = TriSign::kEps;
+
+  /// The winning sign for the node (ε when no authorization applies —
+  /// interpreted by the completeness policy at prune time).
+  TriSign final_sign = TriSign::kEps;
+
+  std::string ToString() const;
+};
+
+/// Labels for every node of one document, indexed by `doc_order()`.
+class LabelMap {
+ public:
+  LabelMap() = default;
+  explicit LabelMap(size_t node_count) : labels_(node_count) {}
+
+  NodeLabel& At(const xml::Node* node) {
+    return labels_[static_cast<size_t>(node->doc_order())];
+  }
+  const NodeLabel& At(const xml::Node* node) const {
+    return labels_[static_cast<size_t>(node->doc_order())];
+  }
+
+  /// Final sign of `node` (ε for nodes outside the map).
+  TriSign FinalSign(const xml::Node* node) const {
+    auto index = static_cast<size_t>(node->doc_order());
+    return index < labels_.size() ? labels_[index].final_sign : TriSign::kEps;
+  }
+
+  size_t size() const { return labels_.size(); }
+
+ private:
+  std::vector<NodeLabel> labels_;
+};
+
+/// Counters from one labeling run (exposed for benchmarks and
+/// EXPERIMENTS.md).
+struct LabelingStats {
+  int64_t applicable_instance_auths = 0;
+  int64_t applicable_schema_auths = 0;
+  int64_t xpath_evaluations = 0;
+  int64_t target_nodes = 0;  ///< total nodes selected by authorizations
+  int64_t labeled_nodes = 0;
+};
+
+/// The compute-view tree labeler (paper Fig. 2).
+///
+/// Given a document, the instance-level authorizations defined on it, the
+/// schema-level authorizations defined on its DTD, and a requester, it
+/// produces the final sign of every node in a single pre-order pass:
+///
+///  1. authorizations not applicable to the requester are dropped;
+///  2. each remaining authorization's path expression is evaluated once,
+///     marking its target nodes (`initial_label`);
+///  3. per node and per authorization type, authorizations whose subject
+///     is strictly less specific than another applicable one are
+///     discarded, and remaining conflicts resolve by the configured
+///     conflict policy (the paper: denials take precedence);
+///  4. recursive signs propagate parent→child unless overridden on the
+///     child ("most specific object takes precedence"), schema-level
+///     signs propagate independently, and the final sign per node is
+///     `first_def(L, R, LD, RD, LW, RW)` — instance over schema over
+///     weak; an element's Local signs propagate to its attributes.
+class TreeLabeler {
+ public:
+  TreeLabeler(const GroupStore* groups, PolicyOptions policy)
+      : groups_(groups), policy_(policy) {}
+
+  /// Labels `doc`.  The document must be `Reindex()`ed (parsers do this).
+  /// Relative path expressions are evaluated with the root element as
+  /// context node; absolute ones from the document node.
+  Result<LabelMap> Label(const xml::Document& doc,
+                         std::span<const Authorization> instance_auths,
+                         std::span<const Authorization> schema_auths,
+                         const Requester& rq,
+                         LabelingStats* stats = nullptr) const;
+
+ private:
+  const GroupStore* groups_;
+  PolicyOptions policy_;
+};
+
+/// Reference labeler that applies the model's *declarative* semantics
+/// independently per node (for each node, walk its ancestor chain to find
+/// the most specific applicable authorizations), with no propagation
+/// pass.  Produces the same final signs as `TreeLabeler` — used as a
+/// differential-testing oracle and as the baseline the paper's
+/// propagation algorithm is measured against.
+Result<LabelMap> LabelTreeNaive(const xml::Document& doc,
+                                std::span<const Authorization> instance_auths,
+                                std::span<const Authorization> schema_auths,
+                                const Requester& rq, const GroupStore& groups,
+                                PolicyOptions policy);
+
+}  // namespace authz
+}  // namespace xmlsec
+
+#endif  // XMLSEC_AUTHZ_LABELING_H_

@@ -1,0 +1,127 @@
+#include "authz/lint.h"
+
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlsec {
+namespace authz {
+
+namespace {
+
+bool UsesRequesterVariables(const std::string& path) {
+  return path.find('$') != std::string::npos;
+}
+
+bool SameExceptSign(const Authorization& a, const Authorization& b) {
+  return a.subject == b.subject && a.object == b.object &&
+         a.action == b.action && a.type == b.type &&
+         a.valid_from == b.valid_from && a.valid_until == b.valid_until;
+}
+
+}  // namespace
+
+std::vector<LintFinding> LintPolicy(
+    std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths, const GroupStore& groups,
+    const xml::Document* doc) {
+  std::vector<LintFinding> findings;
+  auto add = [&](LintSeverity severity, const char* code,
+                 std::string message, int index) {
+    findings.push_back(LintFinding{severity, code, std::move(message), index});
+  };
+
+  // Gather the combined view with level flags.
+  struct Entry {
+    const Authorization* auth;
+    bool schema;
+  };
+  std::vector<Entry> all;
+  for (const Authorization& a : instance_auths) all.push_back({&a, false});
+  for (const Authorization& a : schema_auths) all.push_back({&a, true});
+
+  for (size_t i = 0; i < all.size(); ++i) {
+    const Authorization& auth = *all[i].auth;
+    const int index = static_cast<int>(i);
+
+    if (all[i].schema && IsWeak(auth.type)) {
+      add(LintSeverity::kError, "weak-schema",
+          "schema-level authorization is declared weak: " + auth.ToString(),
+          index);
+    }
+
+    if (auth.valid_from > auth.valid_until) {
+      add(LintSeverity::kError, "empty-window",
+          "validity window is empty (valid_from > valid_until): " +
+              auth.ToString(),
+          index);
+    }
+
+    const bool has_membership_edges =
+        groups.memberships().count(auth.subject.ug) > 0;
+    if (!auth.subject.ug.empty() &&
+        auth.subject.ug != groups.universal_group() &&
+        !groups.HasUser(auth.subject.ug) &&
+        !groups.HasGroup(auth.subject.ug) && !has_membership_edges) {
+      add(LintSeverity::kWarning, "unknown-subject",
+          "subject '" + auth.subject.ug +
+              "' is not a declared user or group",
+          index);
+    }
+
+    if (!auth.object.path.empty()) {
+      auto compiled = xpath::CompileXPath(auth.object.path);
+      if (!compiled.ok()) {
+        add(LintSeverity::kError, "bad-path",
+            "object path does not compile: " + compiled.status().message(),
+            index);
+      } else if (doc != nullptr && doc->root() != nullptr &&
+                 !UsesRequesterVariables(auth.object.path)) {
+        xpath::Evaluator evaluator;
+        auto selected = evaluator.SelectNodes(**compiled, doc->root());
+        if (selected.ok() && selected->empty()) {
+          add(LintSeverity::kWarning, "dead-target",
+              "object path selects no node of the document: " +
+                  auth.object.path,
+              index);
+        }
+      }
+    }
+
+    // Pairwise checks against earlier entries (same level only).
+    for (size_t j = 0; j < i; ++j) {
+      if (all[j].schema != all[i].schema) continue;
+      const Authorization& other = *all[j].auth;
+      if (!SameExceptSign(auth, other)) continue;
+      if (auth.sign == other.sign) {
+        add(LintSeverity::kWarning, "duplicate",
+            "authorization repeats entry #" + std::to_string(j) + ": " +
+                auth.ToString(),
+            index);
+      } else {
+        add(LintSeverity::kWarning, "contradiction",
+            "authorization contradicts entry #" + std::to_string(j) +
+                " (same subject/object/type, opposite sign): " +
+                auth.ToString(),
+            index);
+      }
+    }
+  }
+  return findings;
+}
+
+std::string LintReport(const std::vector<LintFinding>& findings) {
+  if (findings.empty()) return "policy lint: clean\n";
+  std::string out;
+  for (const LintFinding& finding : findings) {
+    out += finding.severity == LintSeverity::kError ? "error" : "warning";
+    out += "[" + finding.code + "]";
+    if (finding.auth_index >= 0) {
+      out += " auth#" + std::to_string(finding.auth_index);
+    }
+    out += ": " + finding.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace authz
+}  // namespace xmlsec

@@ -1,0 +1,62 @@
+#ifndef XMLSEC_AUTHZ_LINT_H_
+#define XMLSEC_AUTHZ_LINT_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "authz/authorization.h"
+#include "authz/subject.h"
+#include "xml/dom.h"
+
+namespace xmlsec {
+namespace authz {
+
+enum class LintSeverity { kWarning, kError };
+
+/// One policy-lint finding.
+struct LintFinding {
+  LintSeverity severity = LintSeverity::kWarning;
+  /// Stable machine-readable code, e.g. "dead-target".
+  std::string code;
+  std::string message;
+  /// Index of the authorization in the concatenated (instance, then
+  /// schema) input sequence; -1 for findings about the set as a whole.
+  int auth_index = -1;
+};
+
+/// Static policy checks (a policy author's compile step):
+///
+///   * `bad-path` (error) — the XPath object does not compile;
+///   * `dead-target` (warning) — the path selects nothing on the given
+///     document (skipped for paths using requester variables, whose
+///     selection is per-request);
+///   * `unknown-subject` (warning) — the subject's user/group is not
+///     declared in the GroupStore (and is not the universal group);
+///   * `weak-schema` (error) — a weak authorization in the schema set;
+///   * `empty-window` (error) — valid_from > valid_until;
+///   * `duplicate` (warning) — two identical authorizations;
+///   * `contradiction` (warning) — two authorizations identical except
+///     for their sign (resolved by the conflict policy at runtime, but
+///     usually a mistake);
+///   * `shadowed-subject` (warning) — an authorization that can never
+///     win because an identical-object, identical-type authorization
+///     with a strictly more specific subject always overrides it is NOT
+///     reported (the more specific one may not apply to every requester)
+///     — but the exact-equal-subject case is covered by `duplicate` /
+///     `contradiction`.
+///
+/// `doc` may be null: document-dependent checks are skipped.
+std::vector<LintFinding> LintPolicy(
+    std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths, const GroupStore& groups,
+    const xml::Document* doc);
+
+/// Renders findings one per line ("error[bad-path]: ...").
+std::string LintReport(const std::vector<LintFinding>& findings);
+
+}  // namespace authz
+}  // namespace xmlsec
+
+#endif  // XMLSEC_AUTHZ_LINT_H_

@@ -1,0 +1,75 @@
+#include "authz/loosening.h"
+
+namespace xmlsec {
+namespace authz {
+
+namespace {
+
+using xml::AttrDecl;
+using xml::AttrDefaultKind;
+using xml::Cardinality;
+using xml::ContentParticle;
+
+Cardinality Loosen(Cardinality c) {
+  switch (c) {
+    case Cardinality::kOne:
+      return Cardinality::kOptional;
+    case Cardinality::kOneOrMore:
+      return Cardinality::kZeroOrMore;
+    case Cardinality::kOptional:
+    case Cardinality::kZeroOrMore:
+      return c;
+  }
+  return c;
+}
+
+void LoosenParticle(ContentParticle* particle) {
+  particle->cardinality = Loosen(particle->cardinality);
+  for (ContentParticle& child : particle->children) {
+    LoosenParticle(&child);
+  }
+}
+
+}  // namespace
+
+xml::Dtd LoosenDtd(const xml::Dtd& dtd) {
+  xml::Dtd out = dtd;  // Entities / notations / name copied as-is.
+
+  // Content models: make every particle optional.  (A choice group with
+  // optional members already accepts the empty sequence once its own
+  // cardinality is `?`/`*`; loosening members too is harmless and keeps
+  // the transformation purely local.)
+  xml::Dtd rebuilt;
+  rebuilt.set_name(out.name());
+  for (const auto& [name, decl] : out.elements()) {
+    xml::ElementDecl loosened = decl;
+    if (loosened.particle.has_value()) {
+      LoosenParticle(&*loosened.particle);
+    }
+    Status s = rebuilt.AddElementDecl(std::move(loosened));
+    (void)s;  // Source DTD had unique declarations.
+  }
+  for (const auto& [element, attrs] : out.attlists()) {
+    for (const AttrDecl& attr : attrs) {
+      AttrDecl loosened = attr;
+      if (loosened.default_kind == AttrDefaultKind::kRequired) {
+        loosened.default_kind = AttrDefaultKind::kImplied;
+      }
+      rebuilt.AddAttrDecl(element, std::move(loosened));
+    }
+  }
+  for (const auto& [name, entity] : out.general_entities()) {
+    rebuilt.AddEntity(entity);
+  }
+  for (const auto& [name, entity] : out.parameter_entities()) {
+    rebuilt.AddEntity(entity);
+  }
+  for (const auto& [name, notation] : out.notations()) {
+    Status s = rebuilt.AddNotation(notation);
+    (void)s;
+  }
+  return rebuilt;
+}
+
+}  // namespace authz
+}  // namespace xmlsec

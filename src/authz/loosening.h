@@ -1,0 +1,23 @@
+#ifndef XMLSEC_AUTHZ_LOOSENING_H_
+#define XMLSEC_AUTHZ_LOOSENING_H_
+
+#include "xml/dtd.h"
+
+namespace xmlsec {
+namespace authz {
+
+/// The paper's DTD *loosening* transformation (§6.2): every construct
+/// that makes content mandatory becomes optional, so that any pruned view
+/// of a valid document is valid with respect to the loosened DTD and a
+/// requester cannot tell protected data from absent data.
+///
+/// Concretely: `#REQUIRED` attributes become `#IMPLIED`; in element
+/// content models the occurrence indicators map `1 → ?` and `+ → *`
+/// (recursively through sequence/choice groups).  Entity, notation, and
+/// enumeration declarations are preserved unchanged.
+xml::Dtd LoosenDtd(const xml::Dtd& dtd);
+
+}  // namespace authz
+}  // namespace xmlsec
+
+#endif  // XMLSEC_AUTHZ_LOOSENING_H_

@@ -1,0 +1,29 @@
+#include "authz/policy.h"
+
+namespace xmlsec {
+namespace authz {
+
+std::string_view ConflictPolicyToString(ConflictPolicy policy) {
+  switch (policy) {
+    case ConflictPolicy::kDenialsTakePrecedence:
+      return "denials-take-precedence";
+    case ConflictPolicy::kPermissionsTakePrecedence:
+      return "permissions-take-precedence";
+    case ConflictPolicy::kNothingTakesPrecedence:
+      return "nothing-takes-precedence";
+  }
+  return "?";
+}
+
+std::string_view CompletenessPolicyToString(CompletenessPolicy policy) {
+  switch (policy) {
+    case CompletenessPolicy::kClosed:
+      return "closed";
+    case CompletenessPolicy::kOpen:
+      return "open";
+  }
+  return "?";
+}
+
+}  // namespace authz
+}  // namespace xmlsec

@@ -1,0 +1,45 @@
+#ifndef XMLSEC_AUTHZ_POLICY_H_
+#define XMLSEC_AUTHZ_POLICY_H_
+
+#include <string_view>
+
+namespace xmlsec {
+namespace authz {
+
+/// How conflicts between authorizations with *uncomparable* subjects are
+/// resolved, after "most specific subject takes precedence" has been
+/// applied (paper §5).  The paper's reference configuration is
+/// kDenialsTakePrecedence; the others are supported as alternative
+/// policies for the multiple-policy scenario of [11].
+enum class ConflictPolicy {
+  kDenialsTakePrecedence,      ///< any remaining '-' wins
+  kPermissionsTakePrecedence,  ///< any remaining '+' wins
+  kNothingTakesPrecedence,     ///< unresolved conflict => no authorization
+};
+
+/// Interpretation of nodes with no (derived) authorization after
+/// labeling (paper §6.2): closed denies, open permits.
+enum class CompletenessPolicy {
+  kClosed,
+  kOpen,
+};
+
+/// Per-document policy configuration.  The paper allows different
+/// policies on the same server but exactly one per document.
+struct PolicyOptions {
+  ConflictPolicy conflict = ConflictPolicy::kDenialsTakePrecedence;
+  CompletenessPolicy completeness = CompletenessPolicy::kClosed;
+  /// Which action's authorizations the labeling considers.  Read views
+  /// use kRead (0); the update processor labels with kWrite (1).
+  /// (Declared as int to avoid a circular include with
+  /// authorization.h; values match `authz::Action`.)
+  int action = 0;
+};
+
+std::string_view ConflictPolicyToString(ConflictPolicy policy);
+std::string_view CompletenessPolicyToString(CompletenessPolicy policy);
+
+}  // namespace authz
+}  // namespace xmlsec
+
+#endif  // XMLSEC_AUTHZ_POLICY_H_

@@ -1,0 +1,51 @@
+#include "authz/processor.h"
+
+#include "authz/loosening.h"
+#include "xml/validator.h"
+
+namespace xmlsec {
+namespace authz {
+
+Result<View> SecurityProcessor::ComputeView(
+    const xml::Document& doc, std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths, const Requester& rq) const {
+  for (const Authorization& auth : schema_auths) {
+    if (IsWeak(auth.type)) {
+      return Status::InvalidArgument(
+          "schema-level authorization " + auth.ToString() +
+          " is declared weak; weakness applies only at instance level");
+    }
+  }
+
+  // Work on a clone so the cached original stays intact.
+  std::unique_ptr<xml::Node> cloned = doc.Clone(/*deep=*/true);
+  auto view_doc = std::unique_ptr<xml::Document>(
+      static_cast<xml::Document*>(cloned.release()));
+
+  View view;
+  TreeLabeler labeler(groups_, options_.policy);
+  XMLSEC_ASSIGN_OR_RETURN(
+      LabelMap labels,
+      labeler.Label(*view_doc, instance_auths, schema_auths, rq,
+                    &view.stats.labeling));
+
+  PruneDocument(view_doc.get(), labels, options_.policy.completeness,
+                &view.stats.prune);
+
+  // Attach the loosened DTD so the published view hides redactions.
+  if (view_doc->dtd() != nullptr) {
+    view_doc->set_dtd(std::make_unique<xml::Dtd>(LoosenDtd(*view_doc->dtd())));
+    if (options_.validate_output && view_doc->root() != nullptr) {
+      xml::ValidationOptions vopts;
+      vopts.add_default_attributes = false;  // Do not re-add pruned attrs.
+      xml::Validator validator(view_doc->dtd(), vopts);
+      XMLSEC_RETURN_IF_ERROR(validator.Validate(view_doc.get()));
+    }
+  }
+
+  view.document = std::move(view_doc);
+  return view;
+}
+
+}  // namespace authz
+}  // namespace xmlsec

@@ -1,0 +1,83 @@
+#ifndef XMLSEC_AUTHZ_PROCESSOR_H_
+#define XMLSEC_AUTHZ_PROCESSOR_H_
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/result.h"
+#include "authz/authorization.h"
+#include "authz/labeling.h"
+#include "authz/policy.h"
+#include "authz/prune.h"
+#include "authz/subject.h"
+#include "xml/dom.h"
+#include "xml/serializer.h"
+
+namespace xmlsec {
+namespace authz {
+
+/// Configuration of the security processor.
+struct ProcessorOptions {
+  PolicyOptions policy;
+  /// Check the *output* view against the loosened DTD (an invariant of
+  /// the construction — §6.2); enable in tests and debugging.
+  bool validate_output = false;
+};
+
+/// Aggregated metrics of one view computation.
+struct ViewStats {
+  LabelingStats labeling;
+  PruneStats prune;
+};
+
+/// The result of the paper's on-line transformation: a pruned document
+/// whose attached DTD is the loosened schema.
+struct View {
+  std::unique_ptr<xml::Document> document;
+  ViewStats stats;
+
+  /// True when nothing at all is visible to the requester.
+  bool empty() const { return document == nullptr || document->root() == nullptr; }
+
+  /// Unparses the view (§7 step 4).
+  std::string ToXml(const xml::SerializeOptions& options = {}) const {
+    return document == nullptr ? std::string()
+                               : xml::SerializeDocument(*document, options);
+  }
+};
+
+/// Server-side security processor (paper §7): labels a document for a
+/// requester, prunes it, and attaches the loosened DTD.
+///
+/// The execution cycle mirrors the paper's four steps; parsing and
+/// unparsing live in the `xml` library, so `ComputeView` covers the tree
+/// labeling and transformation steps and never mutates the input
+/// document (it works on a deep clone).
+class SecurityProcessor {
+ public:
+  SecurityProcessor(const GroupStore* groups, ProcessorOptions options = {})
+      : groups_(groups), options_(options) {}
+
+  /// Computes the view of `rq` on `doc` under the given instance-level
+  /// and schema-level authorizations (those defined on the document's
+  /// URI and on its DTD's URI, respectively).
+  ///
+  /// Fails with InvalidArgument when a schema-level authorization is
+  /// declared weak — the paper defines weakness only at instance level.
+  Result<View> ComputeView(const xml::Document& doc,
+                           std::span<const Authorization> instance_auths,
+                           std::span<const Authorization> schema_auths,
+                           const Requester& rq) const;
+
+  const ProcessorOptions& options() const { return options_; }
+
+ private:
+  const GroupStore* groups_;
+  ProcessorOptions options_;
+};
+
+}  // namespace authz
+}  // namespace xmlsec
+
+#endif  // XMLSEC_AUTHZ_PROCESSOR_H_

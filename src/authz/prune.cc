@@ -1,0 +1,103 @@
+#include "authz/prune.h"
+
+namespace xmlsec {
+namespace authz {
+
+namespace {
+
+using xml::Element;
+using xml::Node;
+
+bool Permitted(TriSign sign, CompletenessPolicy completeness) {
+  if (completeness == CompletenessPolicy::kClosed) {
+    return sign == TriSign::kPlus;
+  }
+  return sign != TriSign::kMinus;  // Open: ε reads as permission.
+}
+
+class Pruner {
+ public:
+  Pruner(const LabelMap& labels, CompletenessPolicy completeness,
+         PruneStats* stats)
+      : labels_(labels), completeness_(completeness), stats_(stats) {}
+
+  /// Returns true when `el` must be removed by its parent.
+  bool PruneElement(Element* el) {
+    // Post-order: children first.
+    for (size_t i = el->child_count(); i > 0; --i) {
+      Node* child = el->child(i - 1);
+      if (child->IsElement()) {
+        if (PruneElement(static_cast<Element*>(child))) {
+          el->RemoveChildAt(i - 1);
+          Count(&PruneStats::removed_elements);
+        }
+      } else {
+        if (!Permitted(labels_.FinalSign(child), completeness_)) {
+          el->RemoveChildAt(i - 1);
+          Count(&PruneStats::removed_character_data);
+        }
+      }
+    }
+    // Attributes.
+    std::vector<std::string> to_remove;
+    for (const auto& attr : el->attributes()) {
+      if (!Permitted(labels_.FinalSign(attr.get()), completeness_)) {
+        to_remove.push_back(attr->name());
+      }
+    }
+    for (const std::string& name : to_remove) {
+      el->RemoveAttribute(name);
+      Count(&PruneStats::removed_attributes);
+    }
+
+    const bool self_permitted =
+        Permitted(labels_.FinalSign(el), completeness_);
+    const bool empty = el->children().empty() && el->attributes().empty();
+    if (!self_permitted && empty) return true;  // Remove whole subtree.
+    if (!self_permitted && stats_ != nullptr) {
+      stats_->skeleton_elements++;
+    }
+    return false;
+  }
+
+ private:
+  void Count(int64_t PruneStats::*field) {
+    if (stats_ != nullptr) (stats_->*field)++;
+  }
+
+  const LabelMap& labels_;
+  CompletenessPolicy completeness_;
+  PruneStats* stats_;
+};
+
+}  // namespace
+
+void PruneDocument(xml::Document* doc, const LabelMap& labels,
+                   CompletenessPolicy completeness, PruneStats* stats) {
+  if (stats != nullptr) stats->nodes_before = doc->node_count();
+  Pruner pruner(labels, completeness, stats);
+
+  for (size_t i = doc->child_count(); i > 0; --i) {
+    Node* child = doc->child(i - 1);
+    if (child->IsElement()) {
+      if (pruner.PruneElement(static_cast<Element*>(child))) {
+        doc->RemoveChildAt(i - 1);
+        if (stats != nullptr) stats->removed_elements++;
+      }
+    } else {
+      // Prolog/epilog comments and PIs are content too: they survive only
+      // when some authorization labels them positive, which plain tree
+      // authorizations never do — under the closed policy they are
+      // stripped from views.
+      if (!Permitted(labels.FinalSign(child), completeness)) {
+        doc->RemoveChildAt(i - 1);
+        if (stats != nullptr) stats->removed_character_data++;
+      }
+    }
+  }
+  doc->Reindex();
+  if (stats != nullptr) stats->nodes_after = doc->node_count();
+}
+
+}  // namespace authz
+}  // namespace xmlsec

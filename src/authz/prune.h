@@ -1,0 +1,40 @@
+#ifndef XMLSEC_AUTHZ_PRUNE_H_
+#define XMLSEC_AUTHZ_PRUNE_H_
+
+#include <cstdint>
+
+#include "authz/labeling.h"
+#include "authz/policy.h"
+#include "xml/dom.h"
+
+namespace xmlsec {
+namespace authz {
+
+/// Counters from one prune pass.
+struct PruneStats {
+  int64_t nodes_before = 0;
+  int64_t nodes_after = 0;
+  int64_t removed_elements = 0;
+  int64_t removed_attributes = 0;
+  int64_t removed_character_data = 0;
+  /// Elements kept only as structure (their own sign is not '+', but a
+  /// descendant's is) — the paper's tag-skeleton preservation.
+  int64_t skeleton_elements = 0;
+};
+
+/// The paper's `prune` procedure (Fig. 2): post-order removal of every
+/// subtree containing no permitted node.  Under the closed policy a node
+/// is permitted iff its final sign is '+'; under the open policy, iff it
+/// is not '-'.  Start/end tags of non-permitted elements with permitted
+/// descendants are preserved to retain document structure.
+///
+/// Mutates `doc` (the security processor works on a clone) and reindexes
+/// it afterwards.
+void PruneDocument(xml::Document* doc, const LabelMap& labels,
+                   CompletenessPolicy completeness,
+                   PruneStats* stats = nullptr);
+
+}  // namespace authz
+}  // namespace xmlsec
+
+#endif  // XMLSEC_AUTHZ_PRUNE_H_

@@ -1,0 +1,259 @@
+#include "authz/subject.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/str_util.h"
+
+namespace xmlsec {
+namespace authz {
+
+namespace {
+
+bool IsValidIpOctet(std::string_view s) {
+  if (s.empty() || s.size() > 3) return false;
+  int value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  return value <= 255;
+}
+
+bool IsValidHostLabel(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Checks that wildcards form a suffix of `components` (canonical
+/// most-significant-first order) and are not interleaved.
+bool WildcardsFormSuffix(const std::vector<std::string>& components) {
+  bool seen_wildcard = false;
+  for (const std::string& c : components) {
+    if (c == "*") {
+      seen_wildcard = true;
+    } else if (seen_wildcard) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<LocationPattern> LocationPattern::ParseIp(std::string_view text) {
+  if (text == "*") return Any(Kind::kIp);
+  std::vector<std::string> parts = SplitString(text, '.');
+  if (parts.empty() || parts.size() > 4) {
+    return Status::InvalidArgument("malformed IP pattern '" +
+                                   std::string(text) + "'");
+  }
+  for (const std::string& part : parts) {
+    if (part == "*") continue;
+    if (!IsValidIpOctet(part)) {
+      return Status::InvalidArgument("malformed IP pattern component '" +
+                                     part + "' in '" + std::string(text) +
+                                     "'");
+    }
+  }
+  // "151.100.*" abbreviates "151.100.*.*".
+  while (parts.size() < 4) {
+    if (parts.back() != "*") {
+      return Status::InvalidArgument("IP pattern '" + std::string(text) +
+                                     "' has fewer than 4 components");
+    }
+    parts.push_back("*");
+  }
+  if (!WildcardsFormSuffix(parts)) {
+    return Status::InvalidArgument(
+        "wildcards in IP pattern '" + std::string(text) +
+        "' must be contiguous right-most components");
+  }
+  return LocationPattern(Kind::kIp, std::move(parts));
+}
+
+Result<LocationPattern> LocationPattern::ParseSymbolic(std::string_view text) {
+  if (text == "*") return Any(Kind::kSymbolic);
+  std::vector<std::string> parts = SplitString(text, '.');
+  if (parts.empty()) {
+    return Status::InvalidArgument("empty symbolic pattern");
+  }
+  for (const std::string& part : parts) {
+    if (part == "*") continue;
+    if (!IsValidHostLabel(part)) {
+      return Status::InvalidArgument(
+          "malformed symbolic pattern component '" + part + "' in '" +
+          std::string(text) + "'");
+    }
+  }
+  // Canonical order: most significant first = reversed label order.
+  std::reverse(parts.begin(), parts.end());
+  if (!WildcardsFormSuffix(parts)) {
+    return Status::InvalidArgument(
+        "wildcards in symbolic pattern '" + std::string(text) +
+        "' must be contiguous left-most components");
+  }
+  return LocationPattern(Kind::kSymbolic, std::move(parts));
+}
+
+LocationPattern LocationPattern::Any(Kind kind) {
+  return LocationPattern(kind, {"*"});
+}
+
+bool LocationPattern::Matches(std::string_view address) const {
+  if (components_.size() == 1 && components_[0] == "*") return true;
+  std::vector<std::string> parts = SplitString(address, '.');
+  if (kind_ == Kind::kSymbolic) std::reverse(parts.begin(), parts.end());
+  if (kind_ == Kind::kIp && parts.size() != 4) return false;
+  if (kind_ == Kind::kSymbolic && parts.size() < 1) return false;
+  // The pattern may be shorter than a symbolic address ("*.lab.com" is
+  // {com,lab,*} and must match {com,lab,host1,sub} — the trailing '*'
+  // absorbs the remainder).  For IPs both sides have 4 components.
+  size_t i = 0;
+  for (; i < components_.size(); ++i) {
+    if (components_[i] == "*") return true;  // Wildcard suffix absorbs rest.
+    if (i >= parts.size() || components_[i] != parts[i]) return false;
+  }
+  return i == parts.size();
+}
+
+bool LocationPattern::LessEq(const LocationPattern& other) const {
+  if (kind_ != other.kind_) return false;
+  if (other.components_.size() == 1 && other.components_[0] == "*") {
+    return true;
+  }
+  size_t i = 0;
+  for (; i < other.components_.size(); ++i) {
+    const std::string& oc = other.components_[i];
+    if (oc == "*") return true;  // Suffix of wildcards in `other`.
+    if (i >= components_.size() || components_[i] != oc) return false;
+  }
+  // `other` is fully concrete up to its length; `this` must not extend
+  // beyond it with concrete components unless other ended in wildcard
+  // (handled above).
+  return i == components_.size();
+}
+
+bool LocationPattern::IsConcrete() const {
+  for (const std::string& c : components_) {
+    if (c == "*") return false;
+  }
+  return true;
+}
+
+std::string LocationPattern::ToString() const {
+  std::vector<std::string> parts = components_;
+  if (kind_ == Kind::kSymbolic) std::reverse(parts.begin(), parts.end());
+  return JoinStrings(parts, ".");
+}
+
+void GroupStore::AddUser(std::string_view name) {
+  users_.insert(std::string(name));
+}
+
+void GroupStore::AddGroup(std::string_view name) {
+  groups_.insert(std::string(name));
+}
+
+Status GroupStore::AddMembership(std::string_view member,
+                                 std::string_view group) {
+  if (member == group) {
+    return Status::InvalidArgument("membership of '" + std::string(member) +
+                                   "' in itself");
+  }
+  // Reject cycles: `group` must not already be (transitively) a member of
+  // `member`.
+  if (IsMemberOrSelf(group, member)) {
+    return Status::InvalidArgument(
+        "membership edge " + std::string(member) + " -> " +
+        std::string(group) + " would create a cycle");
+  }
+  groups_.insert(std::string(group));
+  parents_[std::string(member)].insert(std::string(group));
+  return Status::OK();
+}
+
+bool GroupStore::IsMemberOrSelf(std::string_view member,
+                                std::string_view ancestor) const {
+  if (member == ancestor) return true;
+  if (!universal_group_.empty() && ancestor == universal_group_) return true;
+  // BFS over parent edges.
+  std::deque<std::string> work;
+  std::set<std::string> visited;
+  work.emplace_back(member);
+  while (!work.empty()) {
+    std::string current = std::move(work.front());
+    work.pop_front();
+    auto it = parents_.find(current);
+    if (it == parents_.end()) continue;
+    for (const std::string& parent : it->second) {
+      if (parent == ancestor) return true;
+      if (visited.insert(parent).second) work.push_back(parent);
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> GroupStore::GroupsOf(std::string_view member) const {
+  std::set<std::string> found;
+  std::deque<std::string> work;
+  work.emplace_back(member);
+  while (!work.empty()) {
+    std::string current = std::move(work.front());
+    work.pop_front();
+    auto it = parents_.find(current);
+    if (it == parents_.end()) continue;
+    for (const std::string& parent : it->second) {
+      if (found.insert(parent).second) work.push_back(parent);
+    }
+  }
+  if (!universal_group_.empty()) found.insert(universal_group_);
+  found.erase(std::string(member));
+  return std::vector<std::string>(found.begin(), found.end());
+}
+
+Result<Subject> Subject::Make(std::string_view ug, std::string_view ip,
+                              std::string_view sym) {
+  XMLSEC_ASSIGN_OR_RETURN(LocationPattern ip_pattern,
+                          LocationPattern::ParseIp(ip));
+  XMLSEC_ASSIGN_OR_RETURN(LocationPattern sym_pattern,
+                          LocationPattern::ParseSymbolic(sym));
+  Subject subject;
+  subject.ug = std::string(ug);
+  subject.ip = std::move(ip_pattern);
+  subject.sym = std::move(sym_pattern);
+  return subject;
+}
+
+std::string Subject::ToString() const {
+  return "<" + ug + ", " + ip.ToString() + ", " + sym.ToString() + ">";
+}
+
+bool SubjectLessEq(const Subject& a, const Subject& b,
+                   const GroupStore& groups) {
+  return groups.IsMemberOrSelf(a.ug, b.ug) && a.ip.LessEq(b.ip) &&
+         a.sym.LessEq(b.sym);
+}
+
+bool SubjectLess(const Subject& a, const Subject& b,
+                 const GroupStore& groups) {
+  return SubjectLessEq(a, b, groups) && !(a == b);
+}
+
+std::string Requester::ToString() const {
+  return "(" + user + ", " + ip + ", " + sym + ")";
+}
+
+bool RequesterMatches(const Requester& rq, const Subject& subject,
+                      const GroupStore& groups) {
+  return groups.IsMemberOrSelf(rq.user, subject.ug) &&
+         subject.ip.Matches(rq.ip) && subject.sym.Matches(rq.sym);
+}
+
+}  // namespace authz
+}  // namespace xmlsec

@@ -1,0 +1,180 @@
+#ifndef XMLSEC_AUTHZ_SUBJECT_H_
+#define XMLSEC_AUTHZ_SUBJECT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace xmlsec {
+namespace authz {
+
+/// A location pattern over either numeric IP addresses or symbolic host
+/// names (paper §3).
+///
+/// Wildcard `*` components must be contiguous and sit at the *right* end
+/// of IP patterns (`151.100.*.*`) and at the *left* end of symbolic
+/// patterns (`*.lab.com`), matching the specificity direction of each
+/// naming scheme.  `151.100.*` abbreviates `151.100.*.*`.  The single
+/// pattern `*` matches every address of its kind.
+class LocationPattern {
+ public:
+  enum class Kind { kIp, kSymbolic };
+
+  /// Parses an IP pattern; rejects malformed octets or misplaced
+  /// wildcards.
+  static Result<LocationPattern> ParseIp(std::string_view text);
+
+  /// Parses a symbolic-name pattern.
+  static Result<LocationPattern> ParseSymbolic(std::string_view text);
+
+  /// The universal pattern `*` of the given kind.
+  static LocationPattern Any(Kind kind);
+
+  Kind kind() const { return kind_; }
+
+  /// True when this pattern matches the (fully concrete) address.
+  bool Matches(std::string_view address) const;
+
+  /// The partial order of the paper (≤ip / ≤sn): true when *this* is at
+  /// least as specific as `other`, i.e. every component of `other` is
+  /// either `*` or equal to the corresponding component of this pattern.
+  /// Comparison is position-wise left-to-right for IPs and right-to-left
+  /// for symbolic names.
+  bool LessEq(const LocationPattern& other) const;
+
+  /// True when the pattern contains no wildcard.
+  bool IsConcrete() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const LocationPattern& a, const LocationPattern& b) {
+    return a.kind_ == b.kind_ && a.components_ == b.components_;
+  }
+
+ private:
+  LocationPattern(Kind kind, std::vector<std::string> components)
+      : kind_(kind), components_(std::move(components)) {}
+
+  /// Components ordered most-significant first: for IPs, as written; for
+  /// symbolic names, reversed ("cs.lab.com" -> {com, lab, cs}).  In this
+  /// canonical order wildcards always form a suffix.
+  Kind kind_;
+  std::vector<std::string> components_;
+};
+
+/// The server's user/group directory (paper §3): groups are named sets of
+/// users, need not be disjoint, and can be nested.  Membership edges form
+/// a DAG (cycles are rejected).
+///
+/// One group may be designated *universal* (default "Public"): every
+/// user, including anonymous, is implicitly a member.
+class GroupStore {
+ public:
+  GroupStore() = default;
+
+  /// Declares a user identity.  Optional — membership edges implicitly
+  /// declare their endpoints — but useful for validation and listing.
+  void AddUser(std::string_view name);
+
+  /// Declares an (empty) group.
+  void AddGroup(std::string_view name);
+
+  /// Adds `member` (a user or a group) to `group`.  Fails if the edge
+  /// would create a membership cycle.
+  Status AddMembership(std::string_view member, std::string_view group);
+
+  /// Name of the group that implicitly contains every user ("" disables).
+  void set_universal_group(std::string name) {
+    universal_group_ = std::move(name);
+  }
+  const std::string& universal_group() const { return universal_group_; }
+
+  /// True when `member` equals `ancestor` or is transitively a member of
+  /// it (the UG component of the paper's ASH order).
+  bool IsMemberOrSelf(std::string_view member,
+                      std::string_view ancestor) const;
+
+  /// All groups `member` transitively belongs to (universal group
+  /// included when set), not including `member` itself.
+  std::vector<std::string> GroupsOf(std::string_view member) const;
+
+  /// Direct membership edges (member -> parent groups), for
+  /// serialization and inspection.
+  const std::map<std::string, std::set<std::string>>& memberships() const {
+    return parents_;
+  }
+
+  bool HasUser(std::string_view name) const {
+    return users_.count(std::string(name)) > 0;
+  }
+  bool HasGroup(std::string_view name) const {
+    return groups_.count(std::string(name)) > 0 ||
+           name == universal_group_;
+  }
+
+ private:
+  std::set<std::string> users_;
+  std::set<std::string> groups_;
+  /// member -> set of direct parent groups.
+  std::map<std::string, std::set<std::string>> parents_;
+  std::string universal_group_ = "Public";
+};
+
+/// An authorization subject: the triple (user-or-group, IP pattern,
+/// symbolic pattern) of Definition 1.
+struct Subject {
+  std::string ug;          ///< user or group identifier
+  LocationPattern ip = LocationPattern::Any(LocationPattern::Kind::kIp);
+  LocationPattern sym =
+      LocationPattern::Any(LocationPattern::Kind::kSymbolic);
+
+  /// Builds a subject, parsing both patterns ("*" for either means any).
+  static Result<Subject> Make(std::string_view ug, std::string_view ip,
+                              std::string_view sym);
+
+  std::string ToString() const;
+
+  friend bool operator==(const Subject& a, const Subject& b) {
+    return a.ug == b.ug && a.ip == b.ip && a.sym == b.sym;
+  }
+};
+
+/// The ASH partial order (Definition 1): `a ≤ b` iff a.ug is b.ug or a
+/// member of it, a.ip ≤ip b.ip, and a.sym ≤sn b.sym.
+bool SubjectLessEq(const Subject& a, const Subject& b,
+                   const GroupStore& groups);
+
+/// Strictly more specific: a ≤ b and a != b.
+bool SubjectLess(const Subject& a, const Subject& b,
+                 const GroupStore& groups);
+
+/// A concrete access requester: authenticated user identity plus the
+/// connection's numeric and symbolic addresses — a minimal element of the
+/// ASH hierarchy.
+struct Requester {
+  std::string user;  ///< authenticated identity ("anonymous" when none)
+  std::string ip;    ///< e.g. "130.100.50.8"
+  std::string sym;   ///< e.g. "infosys.bld1.it"
+  /// Request time, seconds since the epoch — evaluated against
+  /// authorization validity windows (0 satisfies permanent
+  /// authorizations, which are the default).
+  int64_t time = 0;
+
+  std::string ToString() const;
+};
+
+/// True when authorizations for `subject` apply to `rq`: the user matches
+/// (identity, transitive group membership, or the universal group) and
+/// both location patterns match the connection addresses.
+bool RequesterMatches(const Requester& rq, const Subject& subject,
+                      const GroupStore& groups);
+
+}  // namespace authz
+}  // namespace xmlsec
+
+#endif  // XMLSEC_AUTHZ_SUBJECT_H_

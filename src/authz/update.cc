@@ -1,0 +1,174 @@
+#include "authz/update.h"
+
+#include "authz/labeling.h"
+#include "xml/parser.h"
+#include "xml/validator.h"
+#include "xpath/evaluator.h"
+
+namespace xmlsec {
+namespace authz {
+
+namespace {
+
+using xml::Document;
+using xml::Element;
+using xml::Node;
+
+/// True when `node` and (for elements) its whole subtree, attributes
+/// included, carry a positive write label.
+bool SubtreeWritable(const Node* node, const LabelMap& labels) {
+  bool ok = true;
+  xml::ForEachNode(node, [&](const Node* n) {
+    if (labels.FinalSign(n) != TriSign::kPlus) ok = false;
+  });
+  return ok;
+}
+
+Status Denied(const UpdateOp& op, const char* what) {
+  return Status::PermissionDenied(
+      std::string("write denied: ") + what + " (target '" + op.target +
+      "')");
+}
+
+}  // namespace
+
+Result<UpdateOutcome> UpdateProcessor::Apply(
+    const Document& doc, std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths, const Requester& rq,
+    std::span<const UpdateOp> ops, bool validate_result) const {
+  // Work on a clone; the original is never touched.
+  std::unique_ptr<Node> cloned = doc.Clone(/*deep=*/true);
+  auto work = std::unique_ptr<Document>(
+      static_cast<Document*>(cloned.release()));
+
+  TreeLabeler labeler(groups_, policy_);
+  UpdateOutcome outcome;
+  xpath::VariableBindings vars;
+  vars.emplace("user", xpath::Value(rq.user));
+  vars.emplace("ip", xpath::Value(rq.ip));
+  vars.emplace("sym", xpath::Value(rq.sym));
+  vars.emplace("time", xpath::Value(static_cast<double>(rq.time)));
+
+  for (const UpdateOp& op : ops) {
+    // (Re)label the current state: earlier operations may have changed
+    // which nodes exist and which authorizations select them.
+    work->Reindex();
+    XMLSEC_ASSIGN_OR_RETURN(
+        LabelMap labels,
+        labeler.Label(*work, instance_auths, schema_auths, rq));
+
+    XMLSEC_ASSIGN_OR_RETURN(
+        xpath::NodeSet selected,
+        xpath::SelectXPath(op.target, work->root(), &vars));
+    if (selected.size() != 1) {
+      return Status::InvalidArgument(
+          "update target '" + op.target + "' selects " +
+          std::to_string(selected.size()) + " node(s), expected exactly 1");
+    }
+    // The evaluator hands out const pointers; we own the tree.
+    Node* node = const_cast<Node*>(selected.front());
+    Element* element = node->AsElement();
+    if (element == nullptr) {
+      return Status::InvalidArgument("update target '" + op.target +
+                                     "' is not an element");
+    }
+
+    switch (op.kind) {
+      case UpdateOpKind::kInsertChild: {
+        if (labels.FinalSign(element) != TriSign::kPlus) {
+          return Denied(op, "no write permission on the target element");
+        }
+        // Parse the fragment through a tiny wrapper document so entity
+        // and well-formedness rules apply.
+        XMLSEC_ASSIGN_OR_RETURN(
+            std::unique_ptr<Document> fragment,
+            xml::ParseDocument("<fragment>" + op.fragment + "</fragment>"));
+        const Node* anchor = nullptr;
+        if (!op.before.empty()) {
+          XMLSEC_ASSIGN_OR_RETURN(
+              xpath::NodeSet anchors,
+              xpath::SelectXPath(op.before, element, &vars));
+          if (anchors.size() != 1 || anchors.front()->parent() != element) {
+            return Status::InvalidArgument(
+                "insert anchor '" + op.before +
+                "' must select exactly one child of the target");
+          }
+          anchor = anchors.front();
+        }
+        Element* holder = fragment->root();
+        while (!holder->children().empty()) {
+          std::unique_ptr<Node> child =
+              holder->RemoveChild(holder->child(0));
+          element->InsertBefore(std::move(child), anchor);
+        }
+        break;
+      }
+      case UpdateOpKind::kDeleteNode: {
+        if (!SubtreeWritable(element, labels)) {
+          return Denied(op,
+                        "subtree contains nodes without write permission");
+        }
+        Node* parent = element->parent();
+        // The root element's parent is the document node.
+        if (parent == nullptr || !parent->IsElement()) {
+          return Status::InvalidArgument("cannot delete the document root");
+        }
+        parent->RemoveChild(element);
+        break;
+      }
+      case UpdateOpKind::kSetAttribute: {
+        const xml::Attr* existing = element->FindAttribute(op.name);
+        const Node* guard = existing != nullptr
+                                ? static_cast<const Node*>(existing)
+                                : static_cast<const Node*>(element);
+        if (labels.FinalSign(guard) != TriSign::kPlus) {
+          return Denied(op, "no write permission on the attribute");
+        }
+        element->SetAttribute(op.name, op.value);
+        break;
+      }
+      case UpdateOpKind::kRemoveAttribute: {
+        const xml::Attr* existing = element->FindAttribute(op.name);
+        if (existing == nullptr) {
+          return Status::NotFound("attribute '" + op.name +
+                                  "' not present on update target");
+        }
+        if (labels.FinalSign(existing) != TriSign::kPlus) {
+          return Denied(op, "no write permission on the attribute");
+        }
+        element->RemoveAttribute(op.name);
+        break;
+      }
+      case UpdateOpKind::kSetText: {
+        if (labels.FinalSign(element) != TriSign::kPlus) {
+          return Denied(op, "no write permission on the target element");
+        }
+        // Replacing content destroys existing children: all must be
+        // writable.
+        for (const auto& child : element->children()) {
+          if (!SubtreeWritable(child.get(), labels)) {
+            return Denied(op,
+                          "existing content is not writable by requester");
+          }
+        }
+        while (!element->children().empty()) {
+          element->RemoveChildAt(element->child_count() - 1);
+        }
+        element->AppendText(op.value);
+        break;
+      }
+    }
+    ++outcome.ops_applied;
+  }
+
+  work->Reindex();
+  if (validate_result && work->dtd() != nullptr && !work->dtd()->empty()) {
+    XMLSEC_RETURN_IF_ERROR(xml::ValidateDocument(work.get()));
+    work->Reindex();
+  }
+  outcome.document = std::move(work);
+  return outcome;
+}
+
+}  // namespace authz
+}  // namespace xmlsec

@@ -1,0 +1,91 @@
+#ifndef XMLSEC_AUTHZ_UPDATE_H_
+#define XMLSEC_AUTHZ_UPDATE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "authz/authorization.h"
+#include "authz/policy.h"
+#include "authz/subject.h"
+#include "xml/dom.h"
+
+namespace xmlsec {
+namespace authz {
+
+/// Kinds of document mutations subject to write control.
+enum class UpdateOpKind {
+  kInsertChild,      ///< append a parsed XML fragment under the target
+  kDeleteNode,       ///< remove the target element and its subtree
+  kSetAttribute,     ///< set/overwrite an attribute on the target
+  kRemoveAttribute,  ///< drop an attribute from the target
+  kSetText,          ///< replace the target's children with one text node
+};
+
+/// One mutation request.  `target` is an XPath expression that must
+/// select exactly one element of the document.
+struct UpdateOp {
+  UpdateOpKind kind = UpdateOpKind::kSetText;
+  std::string target;
+  std::string name;      ///< attribute name (Set/RemoveAttribute)
+  std::string value;     ///< attribute value / text (SetAttribute, SetText)
+  std::string fragment;  ///< XML fragment (InsertChild), e.g. "<x>1</x>"
+  /// kInsertChild placement: XPath (evaluated with the target as context
+  /// node) selecting the child to insert before; empty appends.  Lets
+  /// callers satisfy ordered content models.
+  std::string before;
+};
+
+/// Outcome of a successful update batch.
+struct UpdateOutcome {
+  std::unique_ptr<xml::Document> document;  ///< mutated copy
+  int64_t ops_applied = 0;
+};
+
+/// Write-action enforcement — the paper's §8 "support for write and
+/// update operations" future-work item, realized on the same labeling
+/// machinery: the document is labeled under `Action::kWrite`
+/// authorizations, and an operation is legal iff every node it touches
+/// carries a '+' write label:
+///
+///   * kSetAttribute / kRemoveAttribute: the attribute's label when it
+///     exists, the element's otherwise;
+///   * kSetText: the element and every removed child;
+///   * kInsertChild: the target element (a writer of an element may
+///     extend its content);
+///   * kDeleteNode: the element and its *entire* subtree — a requester
+///     cannot delete content they may not even know about.
+///
+/// The batch is atomic: it is applied to a clone, each operation checked
+/// against the write labeling of the current clone state, and the result
+/// optionally re-validated against the document's DTD; any failure
+/// leaves the original untouched.
+class UpdateProcessor {
+ public:
+  UpdateProcessor(const GroupStore* groups, PolicyOptions policy = {})
+      : groups_(groups), policy_(policy) {
+    policy_.action = static_cast<int>(Action::kWrite);
+  }
+
+  /// Applies `ops` on behalf of `rq`.  Returns PermissionDenied when an
+  /// operation touches a node without a positive write label,
+  /// InvalidArgument when a target selects zero or several nodes, and
+  /// ValidationError when the mutated document violates its DTD.
+  Result<UpdateOutcome> Apply(const xml::Document& doc,
+                              std::span<const Authorization> instance_auths,
+                              std::span<const Authorization> schema_auths,
+                              const Requester& rq,
+                              std::span<const UpdateOp> ops,
+                              bool validate_result = true) const;
+
+ private:
+  const GroupStore* groups_;
+  PolicyOptions policy_;
+};
+
+}  // namespace authz
+}  // namespace xmlsec
+
+#endif  // XMLSEC_AUTHZ_UPDATE_H_

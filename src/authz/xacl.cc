@@ -1,0 +1,147 @@
+#include "authz/xacl.h"
+
+#include <limits>
+
+#include "common/str_util.h"
+#include "xml/dtd_parser.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xml/validator.h"
+
+namespace xmlsec {
+namespace authz {
+
+namespace {
+
+constexpr std::string_view kXaclDtd = R"(
+<!ELEMENT xacl (authorization*)>
+<!ATTLIST xacl base-uri CDATA #IMPLIED>
+<!ELEMENT authorization EMPTY>
+<!ATTLIST authorization
+  subject CDATA #REQUIRED
+  ip      CDATA "*"
+  sym     CDATA "*"
+  object  CDATA #REQUIRED
+  path    CDATA #IMPLIED
+  action  CDATA "read"
+  sign    CDATA #REQUIRED
+  type    (L|R|LW|RW) "R"
+  valid-from  CDATA #IMPLIED
+  valid-until CDATA #IMPLIED>
+)";
+
+bool IsAbsoluteUri(std::string_view uri) {
+  return uri.find("://") != std::string_view::npos;
+}
+
+}  // namespace
+
+std::string_view XaclDtd() { return kXaclDtd; }
+
+Result<XaclFile> ParseXacl(std::string_view text) {
+  XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> doc,
+                          xml::ParseDocument(text));
+  // Validate against the built-in XACL DTD (ignoring any DTD the file
+  // itself may carry).
+  XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<xml::Dtd> dtd, xml::ParseDtd(kXaclDtd));
+  dtd->set_name("xacl");
+  xml::Validator validator(dtd.get());
+  XMLSEC_RETURN_IF_ERROR(validator.Validate(doc.get()));
+
+  const xml::Element* root = doc->root();
+  XaclFile out;
+  out.base_uri = root->GetAttribute("base-uri").value_or("");
+
+  for (const xml::Element* el : root->GetElementsByTagName("authorization")) {
+    Authorization auth;
+    XMLSEC_ASSIGN_OR_RETURN(
+        auth.subject,
+        Subject::Make(el->GetAttribute("subject").value_or(""),
+                      el->GetAttribute("ip").value_or("*"),
+                      el->GetAttribute("sym").value_or("*")));
+    if (auth.subject.ug.empty()) {
+      return Status::InvalidArgument("XACL authorization has empty subject");
+    }
+
+    std::string object = el->GetAttribute("object").value_or("");
+    std::optional<std::string> path = el->GetAttribute("path");
+    if (path.has_value()) {
+      auth.object.uri = std::move(object);
+      auth.object.path = *path;
+    } else {
+      XMLSEC_ASSIGN_OR_RETURN(auth.object, ObjectSpec::Parse(object));
+    }
+    if (auth.object.uri.empty()) {
+      return Status::InvalidArgument("XACL authorization has empty object");
+    }
+    if (!out.base_uri.empty() && !IsAbsoluteUri(auth.object.uri)) {
+      auth.object.uri = out.base_uri + auth.object.uri;
+    }
+
+    XMLSEC_ASSIGN_OR_RETURN(
+        auth.action, ParseAction(el->GetAttribute("action").value_or("read")));
+    XMLSEC_ASSIGN_OR_RETURN(auth.sign,
+                            ParseSign(el->GetAttribute("sign").value_or("")));
+    XMLSEC_ASSIGN_OR_RETURN(
+        auth.type, ParseAuthType(el->GetAttribute("type").value_or("R")));
+
+    // Optional validity window (epoch seconds).
+    for (auto [attr, field] :
+         {std::pair{"valid-from", &auth.valid_from},
+          std::pair{"valid-until", &auth.valid_until}}) {
+      std::optional<std::string> raw = el->GetAttribute(attr);
+      if (!raw.has_value()) continue;
+      int64_t value = ParseDecimal(*raw);
+      if (value < 0) {
+        return Status::InvalidArgument(std::string("XACL ") + attr +
+                                       " must be a non-negative epoch "
+                                       "timestamp, got '" +
+                                       *raw + "'");
+      }
+      *field = value;
+    }
+    out.authorizations.push_back(std::move(auth));
+  }
+  return out;
+}
+
+std::string SerializeXacl(const XaclFile& xacl) {
+  xml::Document doc;
+  doc.SetXmlDecl("1.0", "UTF-8", false);
+  auto root = std::make_unique<xml::Element>("xacl");
+  if (!xacl.base_uri.empty()) {
+    root->SetAttribute("base-uri", xacl.base_uri);
+  }
+  for (const Authorization& auth : xacl.authorizations) {
+    auto el = std::make_unique<xml::Element>("authorization");
+    el->SetAttribute("subject", auth.subject.ug);
+    el->SetAttribute("ip", auth.subject.ip.ToString());
+    el->SetAttribute("sym", auth.subject.sym.ToString());
+    std::string uri = auth.object.uri;
+    if (!xacl.base_uri.empty() && StartsWith(uri, xacl.base_uri)) {
+      uri = uri.substr(xacl.base_uri.size());
+    }
+    el->SetAttribute("object", uri);
+    if (!auth.object.path.empty()) {
+      el->SetAttribute("path", auth.object.path);
+    }
+    el->SetAttribute("action", ActionToString(auth.action));
+    el->SetAttribute("sign", SignToString(auth.sign));
+    el->SetAttribute("type", AuthTypeToString(auth.type));
+    if (auth.valid_from != std::numeric_limits<int64_t>::min()) {
+      el->SetAttribute("valid-from", std::to_string(auth.valid_from));
+    }
+    if (auth.valid_until != std::numeric_limits<int64_t>::max()) {
+      el->SetAttribute("valid-until", std::to_string(auth.valid_until));
+    }
+    root->AppendChild(std::move(el));
+  }
+  doc.AppendChild(std::move(root));
+  doc.Reindex();
+  xml::SerializeOptions options;
+  options.indent = 2;
+  return xml::SerializeDocument(doc, options);
+}
+
+}  // namespace authz
+}  // namespace xmlsec

@@ -1,0 +1,48 @@
+#ifndef XMLSEC_AUTHZ_XACL_H_
+#define XMLSEC_AUTHZ_XACL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "authz/authorization.h"
+
+namespace xmlsec {
+namespace authz {
+
+/// The XACL document type: the paper's XML Access Control List (§7),
+/// itself an XML document — this library eats its own dog food by
+/// parsing and validating XACLs with its XML substrate.
+///
+/// ```xml
+/// <?xml version="1.0"?>
+/// <xacl base-uri="http://www.lab.com/">
+///   <authorization subject="Foreign" ip="*" sym="*"
+///                  object="laboratory.xml"
+///                  path='/laboratory//paper[./@category="private"]'
+///                  action="read" sign="-" type="R"/>
+/// </xacl>
+/// ```
+///
+/// `object` may also carry the combined `URI:PATH` notation; `path`, when
+/// present, wins.  A relative `object` URI is resolved against
+/// `base-uri`.
+struct XaclFile {
+  std::string base_uri;
+  std::vector<Authorization> authorizations;
+};
+
+/// The DTD all XACL documents must satisfy.
+std::string_view XaclDtd();
+
+/// Parses and validates an XACL document.
+Result<XaclFile> ParseXacl(std::string_view text);
+
+/// Renders an XACL document (inverse of `ParseXacl` up to formatting).
+std::string SerializeXacl(const XaclFile& xacl);
+
+}  // namespace authz
+}  // namespace xmlsec
+
+#endif  // XMLSEC_AUTHZ_XACL_H_

@@ -1,0 +1,59 @@
+#ifndef XMLSEC_COMMON_PRNG_H_
+#define XMLSEC_COMMON_PRNG_H_
+
+#include <cstdint>
+
+namespace xmlsec {
+
+/// Deterministic xorshift128+ generator for workload synthesis.
+///
+/// Workload generation must be reproducible across runs and platforms so
+/// that benchmark series are comparable; std::mt19937 would also work but
+/// a self-contained generator keeps the substrate dependency-free.
+class Prng {
+ public:
+  explicit Prng(uint64_t seed) {
+    // SplitMix64 seeding to avoid weak all-zero-ish states.
+    state_[0] = SplitMix(&seed);
+    state_[1] = SplitMix(&seed);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = state_[0];
+    const uint64_t y = state_[1];
+    state_[0] = y;
+    x ^= x << 23;
+    state_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return state_[1] + y;
+  }
+
+  /// Uniform value in [0, bound); bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive; requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability `p` (clamped to [0,1]).
+  bool Chance(double p) {
+    if (p <= 0) return false;
+    if (p >= 1) return true;
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* s) {
+    uint64_t z = (*s += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state_[2];
+};
+
+}  // namespace xmlsec
+
+#endif  // XMLSEC_COMMON_PRNG_H_

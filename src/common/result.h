@@ -1,0 +1,78 @@
+#ifndef XMLSEC_COMMON_RESULT_H_
+#define XMLSEC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace xmlsec {
+
+/// Either a value of type `T` or a non-OK `Status` explaining why the
+/// value could not be produced.  Mirrors `arrow::Result` / `absl::StatusOr`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (the error path).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define XMLSEC_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  XMLSEC_ASSIGN_OR_RETURN_IMPL_(                                  \
+      XMLSEC_STATUS_MACROS_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define XMLSEC_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                  \
+  if (!result.ok()) return result.status();               \
+  lhs = std::move(result).value()
+
+#define XMLSEC_STATUS_MACROS_CONCAT_(x, y) XMLSEC_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define XMLSEC_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+}  // namespace xmlsec
+
+#endif  // XMLSEC_COMMON_RESULT_H_

@@ -1,0 +1,117 @@
+#ifndef XMLSEC_COMMON_STATUS_H_
+#define XMLSEC_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xmlsec {
+
+/// Machine-readable classification of an error condition.
+///
+/// The set is intentionally small and stable; detail goes in the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller supplied a malformed value.
+  kNotFound,          ///< A referenced entity (URI, user, ...) is unknown.
+  kAlreadyExists,     ///< Attempt to redefine an existing entity.
+  kParseError,        ///< Input text is not well-formed (XML, XPath, ...).
+  kValidationError,   ///< Document violates its DTD.
+  kPermissionDenied,  ///< The requester may not access the object at all.
+  kUnauthenticated,   ///< Credentials missing or wrong.
+  kUnimplemented,     ///< Feature recognized but not supported.
+  kInternal,          ///< Invariant violation inside the library.
+};
+
+/// Returns the canonical spelling of a code, e.g. "ParseError".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail: a code plus a human-readable
+/// message.  `Status::OK()` is represented without allocation.
+///
+/// This library does not throw exceptions across its public API; every
+/// fallible operation returns a `Status` or a `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(code, std::move(message))) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// The singleton-like success value.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ValidationError(std::string msg) {
+    return Status(StatusCode::kValidationError, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Unauthenticated(std::string msg) {
+    return Status(StatusCode::kUnauthenticated, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string* empty = new std::string;
+    return rep_ ? rep_->message : *empty;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    Rep(StatusCode c, std::string m) : code(c), message(std::move(m)) {}
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Evaluates `expr` (a Status expression) and returns it from the
+/// enclosing function if it is not OK.
+#define XMLSEC_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::xmlsec::Status _status = (expr);              \
+    if (!_status.ok()) return _status;              \
+  } while (false)
+
+}  // namespace xmlsec
+
+#endif  // XMLSEC_COMMON_STATUS_H_

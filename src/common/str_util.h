@@ -1,0 +1,44 @@
+#ifndef XMLSEC_COMMON_STR_UTIL_H_
+#define XMLSEC_COMMON_STR_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xmlsec {
+
+/// Splits `s` on `sep`, keeping empty fields ("a..b" -> {"a","","b"}).
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive items.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// True if `s` begins with / ends with the given affix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII-only case conversion (XML names are case-sensitive; this is used
+/// for protocol headers only).
+std::string AsciiToLower(std::string_view s);
+
+/// Collapses runs of XML whitespace (space, tab, CR, LF) into single
+/// spaces and strips the ends — XPath `normalize-space` semantics.
+std::string NormalizeSpace(std::string_view s);
+
+/// True if every character of `s` is XML whitespace (or `s` is empty).
+bool IsXmlWhitespace(std::string_view s);
+
+/// Formats like printf into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parses a non-negative decimal integer; returns -1 on any malformation.
+int64_t ParseDecimal(std::string_view s);
+
+}  // namespace xmlsec
+
+#endif  // XMLSEC_COMMON_STR_UTIL_H_

@@ -1,0 +1,50 @@
+#include "server/audit_log.h"
+
+#include "common/str_util.h"
+
+namespace xmlsec {
+namespace server {
+
+std::string AuditEntry::ToString() const {
+  std::string out = StrFormat(
+      "t=%lld %s@%s(%s) GET %s", static_cast<long long>(time), user.c_str(),
+      ip.c_str(), sym.c_str(), uri.c_str());
+  if (!query.empty()) out += "?query=" + query;
+  out += StrFormat(" -> %d %lld/%lld", http_status,
+                   static_cast<long long>(visible_nodes),
+                   static_cast<long long>(total_nodes));
+  if (cache_hit) out += " [cache]";
+  return out;
+}
+
+void AuditLog::Record(AuditEntry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back(std::move(entry));
+  ++total_recorded_;
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::vector<AuditEntry> AuditLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<AuditEntry>(entries_.begin(), entries_.end());
+}
+
+std::vector<AuditEntry> AuditLog::TakeAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<AuditEntry> out(entries_.begin(), entries_.end());
+  entries_.clear();
+  return out;
+}
+
+size_t AuditLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+int64_t AuditLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_recorded_;
+}
+
+}  // namespace server
+}  // namespace xmlsec

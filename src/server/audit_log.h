@@ -1,0 +1,60 @@
+#ifndef XMLSEC_SERVER_AUDIT_LOG_H_
+#define XMLSEC_SERVER_AUDIT_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xmlsec {
+namespace server {
+
+/// One access decision, as recorded by the document server.
+struct AuditEntry {
+  int64_t time = 0;         ///< request time (requester clock)
+  std::string user;
+  std::string ip;
+  std::string sym;
+  std::string uri;
+  std::string query;        ///< XPath query, when one was made
+  int http_status = 0;
+  int64_t visible_nodes = 0;
+  int64_t total_nodes = 0;
+  bool cache_hit = false;
+
+  /// One-line rendering: `time user@ip(sym) GET uri -> status k/n [hit]`.
+  std::string ToString() const;
+};
+
+/// Bounded in-memory audit trail, thread-safe.  A security server must
+/// be able to answer "who saw what, when" — this collects the decisions
+/// the enforcement point makes; persistence is the embedder's concern
+/// (drain with `TakeAll`).
+class AuditLog {
+ public:
+  /// Keeps at most `capacity` most recent entries.
+  explicit AuditLog(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void Record(AuditEntry entry);
+
+  /// Snapshot of the current entries, oldest first.
+  std::vector<AuditEntry> Entries() const;
+
+  /// Drains the log (e.g. to flush to durable storage).
+  std::vector<AuditEntry> TakeAll();
+
+  size_t size() const;
+  int64_t total_recorded() const;
+
+ private:
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  std::deque<AuditEntry> entries_;
+  int64_t total_recorded_ = 0;
+};
+
+}  // namespace server
+}  // namespace xmlsec
+
+#endif  // XMLSEC_SERVER_AUDIT_LOG_H_

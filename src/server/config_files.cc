@@ -1,0 +1,74 @@
+#include "server/config_files.h"
+
+#include <map>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace xmlsec {
+namespace server {
+
+Status LoadGroupsFile(std::string_view text, authz::GroupStore* groups) {
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    // Strip trailing comments, then whitespace.
+    std::string line = raw_line;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::string_view trimmed = StripAsciiWhitespace(line);
+    if (trimmed.empty()) continue;
+
+    size_t colon = trimmed.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::ParseError("groups file: missing ':' in line '" +
+                                std::string(trimmed) + "'");
+    }
+    std::string group(StripAsciiWhitespace(trimmed.substr(0, colon)));
+    if (group.empty()) {
+      return Status::ParseError("groups file: empty group name in line '" +
+                                std::string(trimmed) + "'");
+    }
+    groups->AddGroup(group);
+    std::string_view members = trimmed.substr(colon + 1);
+    std::string current;
+    auto flush = [&]() -> Status {
+      if (current.empty()) return Status::OK();
+      Status s = groups->AddMembership(current, group);
+      current.clear();
+      if (!s.ok()) {
+        return Status::ParseError("groups file: " + s.message());
+      }
+      return Status::OK();
+    };
+    for (char c : members) {
+      if (c == ' ' || c == '\t' || c == ',') {
+        XMLSEC_RETURN_IF_ERROR(flush());
+      } else {
+        current.push_back(c);
+      }
+    }
+    XMLSEC_RETURN_IF_ERROR(flush());
+  }
+  return Status::OK();
+}
+
+std::string SaveGroupsFile(const authz::GroupStore& groups) {
+  // Invert member -> parents into group -> members.
+  std::map<std::string, std::set<std::string>> by_group;
+  for (const auto& [member, parents] : groups.memberships()) {
+    for (const std::string& group : parents) {
+      by_group[group].insert(member);
+    }
+  }
+  std::string out;
+  for (const auto& [group, members] : by_group) {
+    out += group + ":";
+    for (const std::string& member : members) {
+      out += " " + member;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace server
+}  // namespace xmlsec

@@ -1,0 +1,34 @@
+#ifndef XMLSEC_SERVER_CONFIG_FILES_H_
+#define XMLSEC_SERVER_CONFIG_FILES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "authz/subject.h"
+
+namespace xmlsec {
+namespace server {
+
+/// Loads Apache-AuthGroupFile-style group definitions into a
+/// `GroupStore` (the deployment style the paper's §1.1 discusses):
+///
+/// ```
+/// # comments and blank lines allowed
+/// Staff: alice bob
+/// Admins: alice
+/// Employees: Staff Admins     # groups may nest
+/// ```
+///
+/// Members may themselves be group names (nested groups, §3); cycles are
+/// rejected with the offending line in the message.
+Status LoadGroupsFile(std::string_view text, authz::GroupStore* groups);
+
+/// Inverse of `LoadGroupsFile`: one `group: members...` line per group,
+/// sorted, reloadable.
+std::string SaveGroupsFile(const authz::GroupStore& groups);
+
+}  // namespace server
+}  // namespace xmlsec
+
+#endif  // XMLSEC_SERVER_CONFIG_FILES_H_

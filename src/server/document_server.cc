@@ -1,0 +1,197 @@
+#include "server/document_server.h"
+
+#include "xpath/evaluator.h"
+
+namespace xmlsec {
+namespace server {
+
+Result<authz::View> SecureDocumentServer::ComputeView(
+    const authz::Requester& rq, std::string_view uri) const {
+  const xml::Document* doc = repository_->FindDocument(uri);
+  if (doc == nullptr) {
+    return Status::NotFound("document '" + std::string(uri) +
+                            "' is not registered");
+  }
+  std::span<const authz::Authorization> instance =
+      repository_->InstanceAuths(uri);
+  std::span<const authz::Authorization> schema;
+  std::string dtd_uri = repository_->DtdUriOf(uri);
+  if (!dtd_uri.empty()) {
+    schema = repository_->SchemaAuths(dtd_uri);
+  }
+  authz::ProcessorOptions options = config_.processor;
+  options.policy = repository_->PolicyOf(uri, options.policy);
+  authz::SecurityProcessor processor(groups_, options);
+  return processor.ComputeView(*doc, instance, schema, rq);
+}
+
+ServerResponse SecureDocumentServer::Handle(
+    const ServerRequest& request) const {
+  ServerResponse response;
+  bool cache_hit = false;
+  auto record = [&]() {
+    if (audit_ == nullptr) return;
+    AuditEntry entry;
+    entry.time = request.time;
+    entry.user = request.user.empty() ? "anonymous" : request.user;
+    entry.ip = request.ip;
+    entry.sym = request.sym;
+    entry.uri = request.uri;
+    entry.query = request.query;
+    entry.http_status = response.http_status;
+    entry.visible_nodes = response.stats.prune.nodes_after;
+    entry.total_nodes = response.stats.prune.nodes_before;
+    entry.cache_hit = cache_hit;
+    audit_->Record(std::move(entry));
+  };
+
+  Status auth_status = users_->Authenticate(request.user, request.password);
+  if (!auth_status.ok()) {
+    response.http_status = 401;
+    response.reason = "Unauthorized";
+    response.content_type = "text/plain";
+    response.body = auth_status.ToString() + "\n";
+    record();
+    return response;
+  }
+
+  authz::Requester rq;
+  rq.user = request.user.empty() ? "anonymous" : request.user;
+  rq.ip = request.ip;
+  rq.sym = request.sym;
+  rq.time = request.time;
+
+  // Serve memoized renderings when safe: plain GETs only, and never
+  // while time-limited authorizations are loaded (their outcome depends
+  // on the request time).
+  const bool cacheable = config_.view_cache_capacity > 0 &&
+                         request.query.empty() &&
+                         !repository_->has_time_limited_auths();
+  ViewCache::Key cache_key{request.uri, rq.user, rq.ip, rq.sym};
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    std::optional<std::string> hit =
+        cache_.Get(cache_key, repository_->version());
+    if (hit.has_value()) {
+      response.body = std::move(*hit);
+      cache_hit = true;
+      record();
+      return response;
+    }
+  }
+
+  Result<authz::View> view = ComputeView(rq, request.uri);
+  if (!view.ok()) {
+    response.content_type = "text/plain";
+    response.body = view.status().ToString() + "\n";
+    if (view.status().code() == StatusCode::kNotFound) {
+      response.http_status = 404;
+      response.reason = "Not Found";
+    } else {
+      response.http_status = 500;
+      response.reason = "Internal Server Error";
+    }
+    record();
+    return response;
+  }
+  response.stats = view->stats;
+
+  // The closed-world contract: an empty view and a missing document are
+  // indistinguishable to the requester.
+  if (view->empty()) {
+    response.http_status = 404;
+    response.reason = "Not Found";
+    response.content_type = "text/plain";
+    response.body = "NotFound: document '" + request.uri +
+                    "' is not registered\n";
+    record();
+    return response;
+  }
+
+  if (!request.query.empty()) {
+    xpath::VariableBindings vars;
+    vars.emplace("user", xpath::Value(rq.user));
+    vars.emplace("ip", xpath::Value(rq.ip));
+    vars.emplace("sym", xpath::Value(rq.sym));
+    Result<xpath::NodeSet> selected = xpath::SelectXPath(
+        request.query, view->document->root(), &vars);
+    if (!selected.ok()) {
+      response.http_status = 400;
+      response.reason = "Bad Request";
+      response.content_type = "text/plain";
+      response.body = selected.status().ToString() + "\n";
+      record();
+      return response;
+    }
+    std::string body = "<query-result count=\"" +
+                       std::to_string(selected->size()) + "\">\n";
+    for (const xml::Node* node : *selected) {
+      if (node->IsAttribute()) {
+        body += "<attribute name=\"" + node->NodeName() + "\">" +
+                xml::EscapeText(node->NodeValue()) + "</attribute>\n";
+      } else {
+        body += xml::SerializeNode(*node) + "\n";
+      }
+    }
+    body += "</query-result>\n";
+    response.body = std::move(body);
+    record();
+    return response;
+  }
+
+  xml::SerializeOptions serialize = config_.serialize;
+  if (config_.emit_loosened_dtd) {
+    serialize.doctype = xml::DoctypeMode::kInternal;
+  }
+  response.body = view->ToXml(serialize);
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_.Put(cache_key, repository_->version(), response.body);
+  }
+  record();
+  return response;
+}
+
+std::string SecureDocumentServer::HandleHttp(std::string_view raw_request,
+                                             std::string_view ip,
+                                             std::string_view sym) const {
+  Result<HttpRequest> parsed = ParseHttpRequest(raw_request);
+  if (!parsed.ok()) {
+    return BuildHttpResponse(400, "Bad Request", "text/plain",
+                             parsed.status().ToString() + "\n");
+  }
+  if (parsed->method != "GET" && parsed->method != "HEAD") {
+    return BuildHttpResponse(405, "Method Not Allowed", "text/plain",
+                             "only GET is supported\n");
+  }
+
+  ServerRequest request;
+  request.ip = std::string(ip);
+  request.sym = std::string(sym);
+  request.uri = parsed->path;
+  if (!request.uri.empty() && request.uri.front() == '/') {
+    request.uri.erase(request.uri.begin());
+  }
+  auto query_it = parsed->query.find("query");
+  if (query_it != parsed->query.end()) request.query = query_it->second;
+
+  auto auth_it = parsed->headers.find("authorization");
+  if (auth_it != parsed->headers.end()) {
+    Result<std::pair<std::string, std::string>> credentials =
+        ParseBasicAuth(auth_it->second);
+    if (!credentials.ok()) {
+      return BuildHttpResponse(401, "Unauthorized", "text/plain",
+                               credentials.status().ToString() + "\n");
+    }
+    request.user = credentials->first;
+    request.password = credentials->second;
+  }
+
+  ServerResponse response = Handle(request);
+  return BuildHttpResponse(response.http_status, response.reason,
+                           response.content_type,
+                           parsed->method == "HEAD" ? "" : response.body);
+}
+
+}  // namespace server
+}  // namespace xmlsec

@@ -1,0 +1,115 @@
+#ifndef XMLSEC_SERVER_DOCUMENT_SERVER_H_
+#define XMLSEC_SERVER_DOCUMENT_SERVER_H_
+
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "authz/processor.h"
+#include "authz/subject.h"
+#include "server/audit_log.h"
+#include "server/http.h"
+#include "server/repository.h"
+#include "server/user_directory.h"
+#include "server/view_cache.h"
+#include "xml/serializer.h"
+
+namespace xmlsec {
+namespace server {
+
+/// Server configuration.
+struct ServerConfig {
+  authz::ProcessorOptions processor;
+  xml::SerializeOptions serialize;
+  /// Append the loosened DTD as an internal subset of served views, so a
+  /// client can re-validate what it received (paper §7: "the resulting
+  /// XML document, together with the loosened DTD, can then be
+  /// transmitted").
+  bool emit_loosened_dtd = true;
+  /// Number of rendered views memoized per server (0 disables the
+  /// cache).  Entries invalidate automatically when the repository
+  /// changes; the cache is bypassed entirely while any time-limited
+  /// authorization is loaded.
+  size_t view_cache_capacity = 0;
+};
+
+/// A request to the secure document server, independent of transport.
+struct ServerRequest {
+  std::string user;      ///< "" or "anonymous" for unauthenticated
+  std::string password;
+  std::string ip;        ///< connection's numeric address
+  std::string sym;       ///< connection's symbolic name
+  std::string uri;       ///< requested document URI
+  std::string query;     ///< optional XPath evaluated over the view
+  int64_t time = 0;      ///< request time (authorization validity windows)
+};
+
+/// Transport-level outcome.
+struct ServerResponse {
+  int http_status = 200;
+  std::string reason = "OK";
+  std::string content_type = "text/xml";
+  std::string body;
+  authz::ViewStats stats;
+};
+
+/// The complete server-side enforcement point of the paper (§7): it
+/// authenticates the requester, resolves the document and its DTD and
+/// authorization sets in the repository, runs the security processor,
+/// and unparses the resulting view.
+///
+/// Queries (§8 future work) are supported by evaluating an XPath
+/// expression *over the computed view* — evaluation after enforcement
+/// guarantees a query can never observe data the view hides.
+class SecureDocumentServer {
+ public:
+  SecureDocumentServer(const Repository* repository,
+                       const UserDirectory* users,
+                       const authz::GroupStore* groups,
+                       ServerConfig config = {})
+      : repository_(repository),
+        users_(users),
+        groups_(groups),
+        config_(std::move(config)),
+        cache_(config_.view_cache_capacity) {}
+
+  /// Full request cycle; never returns a C++ error — failures map to
+  /// HTTP-style statuses in the response.
+  ServerResponse Handle(const ServerRequest& request) const;
+
+  /// Parses a raw HTTP request head and serves it.  The connection
+  /// addresses come from the transport.  The document URI is the request
+  /// path without its leading '/'; credentials come from Basic auth; an
+  /// XPath query may be passed as `?query=...`.
+  std::string HandleHttp(std::string_view raw_request, std::string_view ip,
+                         std::string_view sym) const;
+
+  /// Computes the view of `rq` on `uri` (no authentication — callers
+  /// that already authenticated, e.g. tests and benchmarks).
+  Result<authz::View> ComputeView(const authz::Requester& rq,
+                                  std::string_view uri) const;
+
+  /// Cache statistics (zero when caching is disabled).
+  const ViewCache& view_cache() const { return cache_; }
+
+  /// Attaches an audit trail; every handled request is recorded.  The
+  /// log must outlive the server.  Pass nullptr to detach.
+  void set_audit_log(AuditLog* log) { audit_ = log; }
+
+ private:
+  const Repository* repository_;
+  const UserDirectory* users_;
+  const authz::GroupStore* groups_;
+  ServerConfig config_;
+  /// Render cache; mutated on the read path, guarded for concurrent
+  /// transports (the TCP listener may serve requests from many threads).
+  mutable std::mutex cache_mutex_;
+  mutable ViewCache cache_;
+  AuditLog* audit_ = nullptr;
+};
+
+}  // namespace server
+}  // namespace xmlsec
+
+#endif  // XMLSEC_SERVER_DOCUMENT_SERVER_H_

@@ -1,0 +1,198 @@
+#include "server/http.h"
+
+#include "common/str_util.h"
+
+namespace xmlsec {
+namespace server {
+
+namespace {
+
+constexpr char kBase64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int Base64Value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+void ParseQueryString(std::string_view text,
+                      std::map<std::string, std::string>* out) {
+  for (const std::string& pair : SplitString(text, '&')) {
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      (*out)[PercentDecode(pair)] = "";
+    } else {
+      (*out)[PercentDecode(std::string_view(pair).substr(0, eq))] =
+          PercentDecode(std::string_view(pair).substr(eq + 1));
+    }
+  }
+}
+
+}  // namespace
+
+Result<HttpRequest> ParseHttpRequest(std::string_view text) {
+  HttpRequest request;
+  size_t pos = 0;
+  auto next_line = [&]() -> std::string_view {
+    size_t end = text.find('\n', pos);
+    std::string_view line;
+    if (end == std::string_view::npos) {
+      line = text.substr(pos);
+      pos = text.size();
+    } else {
+      line = text.substr(pos, end - pos);
+      pos = end + 1;
+    }
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    return line;
+  };
+
+  std::string_view request_line = next_line();
+  std::vector<std::string> parts = SplitString(request_line, ' ');
+  if (parts.size() != 3) {
+    return Status::ParseError("malformed HTTP request line: '" +
+                              std::string(request_line) + "'");
+  }
+  request.method = parts[0];
+  request.version = parts[2];
+  if (!StartsWith(request.version, "HTTP/")) {
+    return Status::ParseError("malformed HTTP version '" + request.version +
+                              "'");
+  }
+
+  std::string_view target = parts[1];
+  size_t question = target.find('?');
+  if (question != std::string_view::npos) {
+    ParseQueryString(target.substr(question + 1), &request.query);
+    target = target.substr(0, question);
+  }
+  request.path = PercentDecode(target);
+
+  while (pos < text.size()) {
+    std::string_view line = next_line();
+    if (line.empty()) break;  // End of headers.
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::ParseError("malformed HTTP header line: '" +
+                                std::string(line) + "'");
+    }
+    std::string name = AsciiToLower(StripAsciiWhitespace(line.substr(0, colon)));
+    std::string value(StripAsciiWhitespace(line.substr(colon + 1)));
+    request.headers[name] = value;
+  }
+  return request;
+}
+
+Result<std::pair<std::string, std::string>> ParseBasicAuth(
+    std::string_view header_value) {
+  std::string_view value = StripAsciiWhitespace(header_value);
+  if (!StartsWith(value, "Basic ")) {
+    return Status::InvalidArgument("only Basic authentication is supported");
+  }
+  XMLSEC_ASSIGN_OR_RETURN(
+      std::string decoded,
+      Base64Decode(StripAsciiWhitespace(value.substr(6))));
+  size_t colon = decoded.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(
+        "Basic credentials must be 'user:password'");
+  }
+  return std::make_pair(decoded.substr(0, colon), decoded.substr(colon + 1));
+}
+
+std::string BuildHttpResponse(int status, std::string_view reason,
+                              std::string_view content_type,
+                              std::string_view body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " +
+                    std::string(reason) + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string Base64Encode(std::string_view data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    uint32_t v = (static_cast<uint8_t>(data[i]) << 16) |
+                 (static_cast<uint8_t>(data[i + 1]) << 8) |
+                 static_cast<uint8_t>(data[i + 2]);
+    out.push_back(kBase64Alphabet[(v >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(v >> 12) & 63]);
+    out.push_back(kBase64Alphabet[(v >> 6) & 63]);
+    out.push_back(kBase64Alphabet[v & 63]);
+    i += 3;
+  }
+  size_t rest = data.size() - i;
+  if (rest == 1) {
+    uint32_t v = static_cast<uint8_t>(data[i]) << 16;
+    out.push_back(kBase64Alphabet[(v >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(v >> 12) & 63]);
+    out.append("==");
+  } else if (rest == 2) {
+    uint32_t v = (static_cast<uint8_t>(data[i]) << 16) |
+                 (static_cast<uint8_t>(data[i + 1]) << 8);
+    out.push_back(kBase64Alphabet[(v >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(v >> 12) & 63]);
+    out.push_back(kBase64Alphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<std::string> Base64Decode(std::string_view data) {
+  std::string out;
+  uint32_t acc = 0;
+  int bits = 0;
+  for (char c : data) {
+    if (c == '=' || c == '\n' || c == '\r') continue;
+    int v = Base64Value(c);
+    if (v < 0) {
+      return Status::InvalidArgument("invalid base64 character");
+    }
+    acc = (acc << 6) | static_cast<uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<char>((acc >> bits) & 0xFF));
+    }
+  }
+  return out;
+}
+
+std::string PercentDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '%' && i + 2 < text.size()) {
+      int hi = HexValue(text[i + 1]);
+      int lo = HexValue(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(c == '+' ? ' ' : c);
+  }
+  return out;
+}
+
+}  // namespace server
+}  // namespace xmlsec

@@ -1,0 +1,52 @@
+#ifndef XMLSEC_SERVER_HTTP_H_
+#define XMLSEC_SERVER_HTTP_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace xmlsec {
+namespace server {
+
+/// A parsed HTTP request head (the paper's access channel, §7: documents
+/// are requested via HTTP).  Transport is out of scope: callers hand the
+/// raw request text plus the connection's addresses to the document
+/// server.
+struct HttpRequest {
+  std::string method;   ///< e.g. "GET"
+  std::string path;     ///< decoded path, no query string
+  std::string version;  ///< e.g. "HTTP/1.0"
+  /// Header fields, names lower-cased.
+  std::map<std::string, std::string> headers;
+  /// Decoded query parameters.
+  std::map<std::string, std::string> query;
+};
+
+/// Parses an HTTP/1.0 / 1.1 request head (request line + headers, up to
+/// the blank line).  Percent-decodes the path and query parameters.
+Result<HttpRequest> ParseHttpRequest(std::string_view text);
+
+/// Extracts "user:password" from a `Basic` Authorization header value.
+/// Returns InvalidArgument on malformed input.
+Result<std::pair<std::string, std::string>> ParseBasicAuth(
+    std::string_view header_value);
+
+/// Renders a response with the given status code/reason, content type,
+/// and body (adds Content-Length).
+std::string BuildHttpResponse(int status, std::string_view reason,
+                              std::string_view content_type,
+                              std::string_view body);
+
+/// RFC 4648 base64.
+std::string Base64Encode(std::string_view data);
+Result<std::string> Base64Decode(std::string_view data);
+
+/// Percent-decoding of URI components ("%41" -> "A", "+" -> " ").
+std::string PercentDecode(std::string_view text);
+
+}  // namespace server
+}  // namespace xmlsec
+
+#endif  // XMLSEC_SERVER_HTTP_H_

@@ -1,0 +1,217 @@
+#include "server/repository.h"
+
+#include <limits>
+
+#include "authz/xacl.h"
+#include "xml/dtd_parser.h"
+#include "xml/parser.h"
+#include "xml/validator.h"
+
+namespace xmlsec {
+namespace server {
+
+Status Repository::AddDtd(std::string_view uri, std::string_view text) {
+  if (dtds_.find(uri) != dtds_.end()) {
+    return Status::AlreadyExists("DTD '" + std::string(uri) +
+                                 "' already registered");
+  }
+  XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<xml::Dtd> dtd, xml::ParseDtd(text));
+  dtds_.emplace(std::string(uri), std::move(dtd));
+  dtd_texts_.emplace(std::string(uri), std::string(text));
+  ++version_;
+  return Status::OK();
+}
+
+const xml::Dtd* Repository::FindDtd(std::string_view uri) const {
+  auto it = dtds_.find(uri);
+  return it == dtds_.end() ? nullptr : it->second.get();
+}
+
+Status Repository::AddDocument(std::string_view uri, std::string_view text,
+                               std::string_view dtd_uri) {
+  if (documents_.find(uri) != documents_.end()) {
+    return Status::AlreadyExists("document '" + std::string(uri) +
+                                 "' already registered");
+  }
+  xml::ParseOptions options;
+  options.resolver = [this](std::string_view system_id) -> Result<std::string> {
+    auto it = dtd_texts_.find(std::string(system_id));
+    if (it == dtd_texts_.end()) {
+      return Status::NotFound("external DTD '" + std::string(system_id) +
+                              "' is not registered");
+    }
+    return it->second;
+  };
+  XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> doc,
+                          xml::ParseDocument(text, options));
+
+  DocumentEntry entry;
+  if (!dtd_uri.empty()) {
+    const xml::Dtd* dtd = FindDtd(dtd_uri);
+    if (dtd == nullptr) {
+      return Status::NotFound("DTD '" + std::string(dtd_uri) +
+                              "' is not registered");
+    }
+    auto copy = std::make_unique<xml::Dtd>(*dtd);
+    if (copy->name().empty() && doc->root() != nullptr) {
+      copy->set_name(doc->root()->tag());
+    }
+    doc->set_dtd(std::move(copy));
+    entry.dtd_uri = std::string(dtd_uri);
+  } else if (!doc->doctype_system_id().empty() &&
+             dtds_.find(doc->doctype_system_id()) != dtds_.end()) {
+    entry.dtd_uri = doc->doctype_system_id();
+  }
+
+  if (doc->dtd() != nullptr && !doc->dtd()->empty()) {
+    XMLSEC_RETURN_IF_ERROR(xml::ValidateDocument(doc.get()));
+    doc->Reindex();  // Defaulted attributes got added.
+  }
+  entry.document = std::move(doc);
+  documents_.emplace(std::string(uri), std::move(entry));
+  ++version_;
+  return Status::OK();
+}
+
+const xml::Document* Repository::FindDocument(std::string_view uri) const {
+  auto it = documents_.find(uri);
+  return it == documents_.end() ? nullptr : it->second.document.get();
+}
+
+std::string Repository::DtdUriOf(std::string_view doc_uri) const {
+  auto it = documents_.find(doc_uri);
+  return it == documents_.end() ? std::string() : it->second.dtd_uri;
+}
+
+Status Repository::SetDocumentPolicy(std::string_view doc_uri,
+                                     authz::PolicyOptions policy) {
+  auto it = documents_.find(doc_uri);
+  if (it == documents_.end()) {
+    return Status::NotFound("document '" + std::string(doc_uri) +
+                            "' is not registered");
+  }
+  it->second.policy = policy;
+  ++version_;
+  return Status::OK();
+}
+
+authz::PolicyOptions Repository::PolicyOf(
+    std::string_view doc_uri, authz::PolicyOptions fallback) const {
+  auto it = documents_.find(doc_uri);
+  if (it == documents_.end() || !it->second.policy.has_value()) {
+    return fallback;
+  }
+  return *it->second.policy;
+}
+
+std::vector<std::string> Repository::DocumentUris() const {
+  std::vector<std::string> out;
+  out.reserve(documents_.size());
+  for (const auto& [uri, entry] : documents_) out.push_back(uri);
+  return out;
+}
+
+Status Repository::AddAuthorization(const authz::Authorization& auth) {
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  const bool time_limited =
+      auth.valid_from != kMin || auth.valid_until != kMax;
+  const std::string& uri = auth.object.uri;
+  if (dtds_.find(uri) != dtds_.end()) {
+    if (authz::IsWeak(auth.type)) {
+      return Status::InvalidArgument(
+          "authorization " + auth.ToString() +
+          " targets DTD '" + uri +
+          "' but is weak; weakness applies only at instance level");
+    }
+    schema_auths_[uri].push_back(auth);
+    ++authorization_count_;
+    ++version_;
+    has_time_limited_auths_ |= time_limited;
+    return Status::OK();
+  }
+  if (documents_.find(uri) != documents_.end()) {
+    instance_auths_[uri].push_back(auth);
+    ++authorization_count_;
+    ++version_;
+    has_time_limited_auths_ |= time_limited;
+    return Status::OK();
+  }
+  return Status::NotFound("authorization object URI '" + uri +
+                          "' matches no registered document or DTD");
+}
+
+Status Repository::AddXacl(std::string_view xacl_text) {
+  XMLSEC_ASSIGN_OR_RETURN(authz::XaclFile xacl, authz::ParseXacl(xacl_text));
+  for (const authz::Authorization& auth : xacl.authorizations) {
+    XMLSEC_RETURN_IF_ERROR(AddAuthorization(auth));
+  }
+  return Status::OK();
+}
+
+Status Repository::RemoveDocument(std::string_view uri) {
+  auto it = documents_.find(uri);
+  if (it == documents_.end()) {
+    return Status::NotFound("document '" + std::string(uri) +
+                            "' is not registered");
+  }
+  documents_.erase(it);
+  auto auth_it = instance_auths_.find(uri);
+  if (auth_it != instance_auths_.end()) {
+    authorization_count_ -= auth_it->second.size();
+    instance_auths_.erase(auth_it);
+  }
+  ++version_;
+  return Status::OK();
+}
+
+Status Repository::ReplaceDocument(std::string_view uri,
+                                   std::string_view text,
+                                   std::string_view dtd_uri) {
+  auto it = documents_.find(uri);
+  if (it == documents_.end()) {
+    return Status::NotFound("document '" + std::string(uri) +
+                            "' is not registered");
+  }
+  // Stage through AddDocument semantics without disturbing the existing
+  // entry on failure: parse into a scratch repository entry first.
+  std::optional<authz::PolicyOptions> saved_policy = it->second.policy;
+  std::string effective_dtd_uri =
+      dtd_uri.empty() ? it->second.dtd_uri : std::string(dtd_uri);
+  DocumentEntry old_entry = std::move(it->second);
+  documents_.erase(it);
+  Status added = AddDocument(uri, text, effective_dtd_uri);
+  if (!added.ok()) {
+    documents_.emplace(std::string(uri), std::move(old_entry));
+    return added;
+  }
+  documents_.find(uri)->second.policy = saved_policy;
+  ++version_;
+  return Status::OK();
+}
+
+Status Repository::ClearInstanceAuths(std::string_view doc_uri) {
+  auto it = instance_auths_.find(doc_uri);
+  if (it == instance_auths_.end()) return Status::OK();
+  authorization_count_ -= it->second.size();
+  instance_auths_.erase(it);
+  ++version_;
+  return Status::OK();
+}
+
+std::span<const authz::Authorization> Repository::InstanceAuths(
+    std::string_view doc_uri) const {
+  auto it = instance_auths_.find(doc_uri);
+  if (it == instance_auths_.end()) return {};
+  return it->second;
+}
+
+std::span<const authz::Authorization> Repository::SchemaAuths(
+    std::string_view dtd_uri) const {
+  auto it = schema_auths_.find(dtd_uri);
+  if (it == schema_auths_.end()) return {};
+  return it->second;
+}
+
+}  // namespace server
+}  // namespace xmlsec

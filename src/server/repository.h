@@ -1,0 +1,125 @@
+#ifndef XMLSEC_SERVER_REPOSITORY_H_
+#define XMLSEC_SERVER_REPOSITORY_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "authz/authorization.h"
+#include "authz/policy.h"
+#include "xml/dom.h"
+#include "xml/dtd.h"
+
+namespace xmlsec {
+namespace server {
+
+/// The server-side store of protected resources: DTDs, XML documents
+/// (parsed and validated at registration time so requests are served from
+/// warm DOM trees), and the authorizations — instance level keyed by
+/// document URI, schema level keyed by DTD URI.
+class Repository {
+ public:
+  Repository() = default;
+
+  // --- Schemas ---------------------------------------------------------
+
+  /// Registers a DTD under `uri`.  `text` is external-subset syntax.
+  Status AddDtd(std::string_view uri, std::string_view text);
+
+  const xml::Dtd* FindDtd(std::string_view uri) const;
+
+  // --- Documents -------------------------------------------------------
+
+  /// Parses, binds to its DTD, validates, and stores a document.
+  ///
+  /// The DTD is found in this order: explicit `dtd_uri` argument; the
+  /// document's `<!DOCTYPE ... SYSTEM "id">` system identifier looked up
+  /// among registered DTDs; the document's internal subset.  A document
+  /// with no DTD at all is accepted (well-formed-only resources).
+  Status AddDocument(std::string_view uri, std::string_view text,
+                     std::string_view dtd_uri = "");
+
+  const xml::Document* FindDocument(std::string_view uri) const;
+
+  /// URI of the DTD governing `doc_uri` ("" when none).
+  std::string DtdUriOf(std::string_view doc_uri) const;
+
+  /// Sets the access-control policy for one document (paper §5: several
+  /// policies may coexist on a server, but exactly one governs each
+  /// document).  Documents without an explicit policy use the server
+  /// default.
+  Status SetDocumentPolicy(std::string_view doc_uri,
+                           authz::PolicyOptions policy);
+
+  /// The policy of `doc_uri`: its own when set, `fallback` otherwise.
+  authz::PolicyOptions PolicyOf(std::string_view doc_uri,
+                                authz::PolicyOptions fallback) const;
+
+  std::vector<std::string> DocumentUris() const;
+
+  // --- Authorizations --------------------------------------------------
+
+  /// Routes an authorization to the instance or schema set by its object
+  /// URI.  Fails with NotFound when the URI matches no registered
+  /// resource, and with InvalidArgument for weak schema authorizations.
+  Status AddAuthorization(const authz::Authorization& auth);
+
+  /// Loads every authorization of an XACL document (see authz/xacl.h).
+  Status AddXacl(std::string_view xacl_text);
+
+  /// Removes a document together with its instance authorizations and
+  /// policy.  Cached views invalidate via the version bump.
+  Status RemoveDocument(std::string_view uri);
+
+  /// Replaces a document's content in place (same DTD binding rules as
+  /// `AddDocument`); its authorizations are kept.
+  Status ReplaceDocument(std::string_view uri, std::string_view text,
+                         std::string_view dtd_uri = "");
+
+  /// Drops every instance authorization on `doc_uri` (policy reset).
+  Status ClearInstanceAuths(std::string_view doc_uri);
+
+  std::span<const authz::Authorization> InstanceAuths(
+      std::string_view doc_uri) const;
+  std::span<const authz::Authorization> SchemaAuths(
+      std::string_view dtd_uri) const;
+
+  /// Instance + applicable schema authorizations counts (diagnostics).
+  size_t authorization_count() const { return authorization_count_; }
+
+  /// Monotonic counter bumped on every mutation (document, DTD, or
+  /// authorization added) — used by `ViewCache` for invalidation.
+  uint64_t version() const { return version_; }
+
+  /// True when any stored authorization carries a validity window;
+  /// cached views would then be time-dependent and must be bypassed.
+  bool has_time_limited_auths() const { return has_time_limited_auths_; }
+
+ private:
+  struct DocumentEntry {
+    std::unique_ptr<xml::Document> document;
+    std::string dtd_uri;
+    std::optional<authz::PolicyOptions> policy;
+  };
+
+  std::map<std::string, std::unique_ptr<xml::Dtd>, std::less<>> dtds_;
+  std::map<std::string, std::string, std::less<>> dtd_texts_;
+  std::map<std::string, DocumentEntry, std::less<>> documents_;
+  std::map<std::string, std::vector<authz::Authorization>, std::less<>>
+      instance_auths_;
+  std::map<std::string, std::vector<authz::Authorization>, std::less<>>
+      schema_auths_;
+  size_t authorization_count_ = 0;
+  uint64_t version_ = 0;
+  bool has_time_limited_auths_ = false;
+};
+
+}  // namespace server
+}  // namespace xmlsec
+
+#endif  // XMLSEC_SERVER_REPOSITORY_H_

@@ -1,0 +1,45 @@
+#ifndef XMLSEC_SERVER_SHA256_H_
+#define XMLSEC_SERVER_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xmlsec {
+namespace server {
+
+/// Minimal self-contained SHA-256 (FIPS 180-4), used to store salted
+/// password digests in the user directory.  Not constant-time; adequate
+/// for the reproduction's authentication substrate, not for production
+/// secret handling.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(std::string_view data);
+
+  /// Finalizes and returns the 32-byte digest.  The object must be
+  /// `Reset()` before reuse.
+  std::array<uint8_t, 32> Digest();
+
+  /// Convenience: hex digest of `data`.
+  static std::string HexDigest(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t length_ = 0;  // total bytes
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;
+};
+
+/// Lowercase hex encoding.
+std::string ToHex(const uint8_t* data, size_t size);
+
+}  // namespace server
+}  // namespace xmlsec
+
+#endif  // XMLSEC_SERVER_SHA256_H_

@@ -1,0 +1,154 @@
+#include "server/tcp_listener.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace xmlsec {
+namespace server {
+
+namespace {
+
+constexpr size_t kMaxRequestHead = 64 * 1024;
+
+std::string PeerAddress(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return "0.0.0.0";
+  }
+  char buffer[INET_ADDRSTRLEN] = {0};
+  if (inet_ntop(AF_INET, &addr.sin_addr, buffer, sizeof(buffer)) == nullptr) {
+    return "0.0.0.0";
+  }
+  return buffer;
+}
+
+}  // namespace
+
+TcpHttpListener::~TcpHttpListener() { Stop(); }
+
+Status TcpHttpListener::Start(uint16_t port) {
+  if (listen_fd_ >= 0) {
+    return Status::InvalidArgument("listener already started");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket(): ") + strerror(errno));
+  }
+  int reuse = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status out = Status::Internal(std::string("bind(): ") + strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return out;
+  }
+  if (listen(listen_fd_, 16) != 0) {
+    Status out =
+        Status::Internal(std::string("listen(): ") + strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return out;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpHttpListener::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true);
+  // Unblock accept().
+  shutdown(listen_fd_, SHUT_RDWR);
+  close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+}
+
+void TcpHttpListener::AcceptLoop() {
+  while (!stopping_.load()) {
+    int connection = accept(listen_fd_, nullptr, nullptr);
+    if (connection < 0) {
+      if (stopping_.load() || errno == EBADF || errno == EINVAL) return;
+      continue;  // Transient (EINTR, ECONNABORTED).
+    }
+    ServeConnection(connection);
+    close(connection);
+  }
+}
+
+void TcpHttpListener::ServeConnection(int connection_fd) {
+  std::string head;
+  char buffer[4096];
+  while (head.size() < kMaxRequestHead &&
+         head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    ssize_t n = read(connection_fd, buffer, sizeof(buffer));
+    if (n <= 0) break;
+    head.append(buffer, static_cast<size_t>(n));
+  }
+  if (head.empty()) return;
+
+  std::string ip = PeerAddress(connection_fd);
+  std::string sym = ip == "127.0.0.1" ? sym_for_loopback_ : "";
+  std::string response = server_->HandleHttp(head, ip, sym);
+  requests_served_.fetch_add(1);
+
+  size_t written = 0;
+  while (written < response.size()) {
+    ssize_t n = write(connection_fd, response.data() + written,
+                      response.size() - written);
+    if (n <= 0) break;
+    written += static_cast<size_t>(n);
+  }
+}
+
+Result<std::string> FetchHttp(uint16_t port, std::string_view request) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status out =
+        Status::Internal(std::string("connect(): ") + strerror(errno));
+    close(fd);
+    return out;
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  shutdown(fd, SHUT_WR);
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = read(fd, buffer, sizeof(buffer))) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+}  // namespace server
+}  // namespace xmlsec

@@ -1,0 +1,69 @@
+#ifndef XMLSEC_SERVER_TCP_LISTENER_H_
+#define XMLSEC_SERVER_TCP_LISTENER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "server/document_server.h"
+
+namespace xmlsec {
+namespace server {
+
+/// Minimal blocking HTTP/1.0 listener over POSIX sockets — the actual
+/// "requested via an HTTP connection" transport of the paper's §7
+/// scenario.  One accept loop on a background thread; each connection is
+/// served synchronously (request head up to 64 KiB, one response,
+/// close), which matches HTTP/1.0 semantics and keeps the substrate
+/// simple.
+///
+/// The requester's numeric address comes from the peer socket; the
+/// symbolic name is derived from a static suffix (reverse DNS is out of
+/// scope for the reproduction): loopback peers get `sym_for_loopback`.
+class TcpHttpListener {
+ public:
+  explicit TcpHttpListener(const SecureDocumentServer* server,
+                           std::string sym_for_loopback = "localhost")
+      : server_(server), sym_for_loopback_(std::move(sym_for_loopback)) {}
+
+  ~TcpHttpListener();
+
+  TcpHttpListener(const TcpHttpListener&) = delete;
+  TcpHttpListener& operator=(const TcpHttpListener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
+  /// accept loop.
+  Status Start(uint16_t port);
+
+  /// The bound port (valid after Start succeeds).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, joins the accept thread.  Idempotent.
+  void Stop();
+
+  int64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int connection_fd);
+
+  const SecureDocumentServer* server_;
+  std::string sym_for_loopback_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int64_t> requests_served_{0};
+};
+
+/// Test/client helper: opens a connection to 127.0.0.1:`port`, sends
+/// `request` verbatim, reads until the peer closes, returns the raw
+/// response.
+Result<std::string> FetchHttp(uint16_t port, std::string_view request);
+
+}  // namespace server
+}  // namespace xmlsec
+
+#endif  // XMLSEC_SERVER_TCP_LISTENER_H_

@@ -1,0 +1,109 @@
+#include "server/user_directory.h"
+
+#include "common/str_util.h"
+#include "server/sha256.h"
+
+namespace xmlsec {
+namespace server {
+
+std::string UserDirectory::ComputeDigest(std::string_view salt,
+                                         std::string_view password) {
+  Sha256 hasher;
+  hasher.Update(salt);
+  hasher.Update("$");
+  hasher.Update(password);
+  auto digest = hasher.Digest();
+  return ToHex(digest.data(), digest.size());
+}
+
+std::string UserDirectory::NextSalt() {
+  // Deterministic per-directory salt stream: unique per user, which is
+  // what the salt is for (rainbow-table separation between entries).
+  return "s" + std::to_string(++salt_counter_);
+}
+
+Status UserDirectory::CreateUser(std::string_view user,
+                                 std::string_view password) {
+  if (user.empty()) {
+    return Status::InvalidArgument("user name must not be empty");
+  }
+  if (user == "anonymous") {
+    return Status::InvalidArgument(
+        "'anonymous' is reserved for unauthenticated access");
+  }
+  if (entries_.count(std::string(user)) > 0) {
+    return Status::AlreadyExists("user '" + std::string(user) +
+                                 "' already exists");
+  }
+  Entry entry;
+  entry.salt = NextSalt();
+  entry.digest = ComputeDigest(entry.salt, password);
+  entries_.emplace(std::string(user), std::move(entry));
+  return Status::OK();
+}
+
+Status UserDirectory::SetPassword(std::string_view user,
+                                  std::string_view password) {
+  auto it = entries_.find(std::string(user));
+  if (it == entries_.end()) {
+    return Status::NotFound("user '" + std::string(user) + "' not found");
+  }
+  it->second.salt = NextSalt();
+  it->second.digest = ComputeDigest(it->second.salt, password);
+  return Status::OK();
+}
+
+Status UserDirectory::RemoveUser(std::string_view user) {
+  if (entries_.erase(std::string(user)) == 0) {
+    return Status::NotFound("user '" + std::string(user) + "' not found");
+  }
+  return Status::OK();
+}
+
+Status UserDirectory::Authenticate(std::string_view user,
+                                   std::string_view password) const {
+  if (user == "anonymous" || user.empty()) {
+    if (allow_anonymous_) return Status::OK();
+    return Status::Unauthenticated("anonymous access is disabled");
+  }
+  auto it = entries_.find(std::string(user));
+  if (it == entries_.end()) {
+    return Status::Unauthenticated("unknown user '" + std::string(user) +
+                                   "'");
+  }
+  if (ComputeDigest(it->second.salt, password) != it->second.digest) {
+    return Status::Unauthenticated("wrong password for user '" +
+                                   std::string(user) + "'");
+  }
+  return Status::OK();
+}
+
+std::string UserDirectory::SavePasswordFile() const {
+  std::string out;
+  for (const auto& [user, entry] : entries_) {
+    out += user + ":" + entry.salt + ":" + entry.digest + "\n";
+  }
+  return out;
+}
+
+Status UserDirectory::LoadPasswordFile(std::string_view text) {
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    std::string_view line = StripAsciiWhitespace(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    std::vector<std::string> fields = SplitString(line, ':');
+    if (fields.size() != 3 || fields[0].empty() || fields[1].empty() ||
+        fields[2].size() != 64) {
+      return Status::ParseError("malformed password-file line: '" +
+                                std::string(line) + "'");
+    }
+    if (fields[0] == "anonymous") {
+      return Status::InvalidArgument(
+          "'anonymous' cannot appear in a password file");
+    }
+    entries_[fields[0]] = Entry{fields[1], fields[2]};
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace xmlsec

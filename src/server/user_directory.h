@@ -1,0 +1,69 @@
+#ifndef XMLSEC_SERVER_USER_DIRECTORY_H_
+#define XMLSEC_SERVER_USER_DIRECTORY_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xmlsec {
+namespace server {
+
+/// The server's local identity store (paper §3: identities are
+/// established and authenticated by the server).  Passwords are stored as
+/// salted SHA-256 digests, Unix-password-file style.
+class UserDirectory {
+ public:
+  UserDirectory() = default;
+
+  /// Registers `user` with `password`.  Fails on duplicates.
+  Status CreateUser(std::string_view user, std::string_view password);
+
+  /// Replaces an existing user's password.
+  Status SetPassword(std::string_view user, std::string_view password);
+
+  Status RemoveUser(std::string_view user);
+
+  /// OK when the credentials are valid; Unauthenticated otherwise.
+  /// The reserved identity "anonymous" authenticates with any password
+  /// when `allow_anonymous` is set.
+  Status Authenticate(std::string_view user, std::string_view password) const;
+
+  bool HasUser(std::string_view user) const {
+    return entries_.count(std::string(user)) > 0;
+  }
+  size_t size() const { return entries_.size(); }
+
+  void set_allow_anonymous(bool allow) { allow_anonymous_ = allow; }
+  bool allow_anonymous() const { return allow_anonymous_; }
+
+  /// Renders the directory in Unix-password-file style (the mechanism
+  /// the paper's §1.1 cites from Apache):
+  /// one `user:salt:sha256hex` line per entry.
+  std::string SavePasswordFile() const;
+
+  /// Loads entries from `SavePasswordFile` output (or a hand-written
+  /// file).  Lines may be blank or `#` comments.  Existing entries with
+  /// the same name are replaced.
+  Status LoadPasswordFile(std::string_view text);
+
+ private:
+  struct Entry {
+    std::string salt;
+    std::string digest;  // hex SHA-256 of salt + password
+  };
+
+  static std::string ComputeDigest(std::string_view salt,
+                                   std::string_view password);
+  std::string NextSalt();
+
+  std::map<std::string, Entry> entries_;
+  uint64_t salt_counter_ = 0;
+  bool allow_anonymous_ = true;
+};
+
+}  // namespace server
+}  // namespace xmlsec
+
+#endif  // XMLSEC_SERVER_USER_DIRECTORY_H_

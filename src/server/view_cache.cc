@@ -1,0 +1,46 @@
+#include "server/view_cache.h"
+
+namespace xmlsec {
+namespace server {
+
+std::optional<std::string> ViewCache::Get(const Key& key, uint64_t version) {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.version != version) {
+    if (it != entries_.end()) {
+      // Stale: computed against an older repository state.
+      lru_.erase(it->second.lru_position);
+      entries_.erase(it);
+    }
+    ++misses_;
+    return std::nullopt;
+  }
+  // Refresh LRU position.
+  lru_.erase(it->second.lru_position);
+  lru_.push_front(key);
+  it->second.lru_position = lru_.begin();
+  ++hits_;
+  return it->second.body;
+}
+
+void ViewCache::Put(const Key& key, uint64_t version, std::string body) {
+  if (capacity_ == 0) return;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.erase(it->second.lru_position);
+    entries_.erase(it);
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{version, std::move(body), lru_.begin()});
+}
+
+void ViewCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace server
+}  // namespace xmlsec

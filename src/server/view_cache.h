@@ -1,0 +1,71 @@
+#ifndef XMLSEC_SERVER_VIEW_CACHE_H_
+#define XMLSEC_SERVER_VIEW_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+
+namespace xmlsec {
+namespace server {
+
+/// LRU cache of rendered views, keyed by (document URI, requester).
+///
+/// The paper computes views on line per request (§7); since a view
+/// depends only on the document, the policy, and the requester triple, a
+/// server can memoize the rendered result.  Entries carry the repository
+/// `version` they were computed against and are dropped when the
+/// repository has changed since (documents or authorizations added).
+///
+/// Requests with time-limited authorizations must bypass the cache (the
+/// server checks this; see `Repository::has_time_limited_auths`).
+class ViewCache {
+ public:
+  /// `capacity` = maximum number of cached views (0 disables caching).
+  explicit ViewCache(size_t capacity) : capacity_(capacity) {}
+
+  struct Key {
+    std::string uri;
+    std::string user;
+    std::string ip;
+    std::string sym;
+
+    friend bool operator<(const Key& a, const Key& b) {
+      return std::tie(a.uri, a.user, a.ip, a.sym) <
+             std::tie(b.uri, b.user, b.ip, b.sym);
+    }
+  };
+
+  /// Cached rendered body for `key`, when present and computed against
+  /// `version`.  Refreshes LRU order.
+  std::optional<std::string> Get(const Key& key, uint64_t version);
+
+  /// Stores a rendered body.  No-op when capacity is 0.
+  void Put(const Key& key, uint64_t version, std::string body);
+
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    uint64_t version;
+    std::string body;
+    std::list<Key>::iterator lru_position;
+  };
+
+  size_t capacity_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  // Front = most recently used.
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace server
+}  // namespace xmlsec
+
+#endif  // XMLSEC_SERVER_VIEW_CACHE_H_

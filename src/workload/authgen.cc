@@ -1,0 +1,146 @@
+#include "workload/authgen.h"
+
+#include "common/prng.h"
+
+namespace xmlsec {
+namespace workload {
+
+namespace {
+
+using authz::Authorization;
+using authz::AuthType;
+using authz::GroupStore;
+using authz::LocationPattern;
+using authz::Sign;
+using authz::Subject;
+using xml::Element;
+using xml::Node;
+
+/// Absolute tag path from the root to `el`, e.g. "/root/n1x2/n2x0".
+std::string AbsolutePathOf(const Element* el) {
+  std::vector<const Element*> chain;
+  for (const Element* cur = el; cur != nullptr; cur = cur->ParentElement()) {
+    chain.push_back(cur);
+  }
+  std::string path;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    path += "/";
+    path += (*it)->tag();
+  }
+  return path;
+}
+
+void CollectElements(const Element* el, std::vector<const Element*>* out) {
+  out->push_back(el);
+  for (const auto& child : el->children()) {
+    if (child->IsElement()) {
+      CollectElements(static_cast<const Element*>(child.get()), out);
+    }
+  }
+}
+
+}  // namespace
+
+GeneratedWorkload GenerateAuthorizations(const xml::Document& doc,
+                                         const std::string& doc_uri,
+                                         const std::string& dtd_uri,
+                                         const AuthGenConfig& config) {
+  Prng prng(config.seed);
+  GeneratedWorkload out;
+
+  // Population: users u0..uN, groups g0..gM arranged in a chain with
+  // cross-links (a small DAG); every user belongs to one base group.
+  for (int g = 0; g < config.num_groups; ++g) {
+    out.groups.AddGroup("g" + std::to_string(g));
+    if (g > 0) {
+      Status s = out.groups.AddMembership("g" + std::to_string(g),
+                                          "g" + std::to_string(g - 1));
+      (void)s;
+    }
+  }
+  for (int u = 0; u < config.num_users; ++u) {
+    std::string name = "u" + std::to_string(u);
+    out.users.push_back(name);
+    out.groups.AddUser(name);
+    if (config.num_groups > 0) {
+      Status s = out.groups.AddMembership(
+          name, "g" + std::to_string(
+                          prng.Below(static_cast<uint64_t>(config.num_groups))));
+      (void)s;
+    }
+  }
+
+  out.requester.user = out.users.empty() ? "anonymous" : out.users[0];
+  out.requester.ip = "151.100.30.8";
+  out.requester.sym = "pc1.lab.example.com";
+
+  std::vector<const Element*> elements;
+  CollectElements(doc.root(), &elements);
+
+  auto random_subject = [&]() {
+    Subject subject;
+    uint64_t pick = prng.Below(4);
+    if (pick == 0 || out.users.empty()) {
+      subject.ug = out.groups.universal_group();
+    } else if (pick == 1) {
+      subject.ug = "g" + std::to_string(
+                             prng.Below(static_cast<uint64_t>(
+                                 std::max(1, config.num_groups))));
+    } else {
+      subject.ug =
+          out.users[prng.Below(static_cast<uint64_t>(out.users.size()))];
+    }
+    // Locations: mostly wildcard, sometimes a matching prefix pattern.
+    if (prng.Chance(0.25)) {
+      subject.ip = LocationPattern::ParseIp("151.100.*").value();
+    }
+    if (prng.Chance(0.25)) {
+      subject.sym = LocationPattern::ParseSymbolic("*.example.com").value();
+    }
+    return subject;
+  };
+
+  for (int i = 0; i < config.count; ++i) {
+    Authorization auth;
+    auth.subject = random_subject();
+
+    const Element* target =
+        elements[prng.Below(static_cast<uint64_t>(elements.size()))];
+    bool schema_level = prng.Chance(config.schema_fraction);
+    std::string path;
+    if (prng.Chance(config.descendant_fraction)) {
+      path = "//" + target->tag();
+    } else {
+      path = AbsolutePathOf(target);
+    }
+    if (prng.Chance(config.predicate_fraction) &&
+        target->attribute_count() > 0) {
+      const auto& attr = target->attributes().front();
+      path += "[./@" + attr->name() + "=\"" + attr->value() + "\"]";
+    }
+    if (prng.Chance(config.attribute_fraction) &&
+        target->attribute_count() > 0) {
+      path += "/@" + target->attributes().front()->name();
+    }
+    auth.object.uri = schema_level ? dtd_uri : doc_uri;
+    auth.object.path = path;
+
+    auth.sign = prng.Chance(config.negative_fraction) ? Sign::kMinus
+                                                      : Sign::kPlus;
+    bool recursive = prng.Chance(config.recursive_fraction);
+    bool weak = !schema_level && prng.Chance(config.weak_fraction);
+    auth.type = recursive ? (weak ? AuthType::kRecursiveWeak
+                                  : AuthType::kRecursive)
+                          : (weak ? AuthType::kLocalWeak : AuthType::kLocal);
+
+    if (schema_level) {
+      out.schema_auths.push_back(std::move(auth));
+    } else {
+      out.instance_auths.push_back(std::move(auth));
+    }
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace xmlsec

@@ -1,0 +1,52 @@
+#ifndef XMLSEC_WORKLOAD_AUTHGEN_H_
+#define XMLSEC_WORKLOAD_AUTHGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "authz/authorization.h"
+#include "authz/subject.h"
+#include "xml/dom.h"
+
+namespace xmlsec {
+namespace workload {
+
+/// Mix parameters of a synthetic authorization workload.
+struct AuthGenConfig {
+  int count = 16;
+  double negative_fraction = 0.3;
+  double recursive_fraction = 0.7;
+  double weak_fraction = 0.1;       ///< instance-level only
+  double schema_fraction = 0.2;     ///< routed to the schema set
+  double attribute_fraction = 0.15; ///< path ends in an attribute
+  double descendant_fraction = 0.2; ///< use //tag instead of a full path
+  double predicate_fraction = 0.25; ///< attach an attribute predicate
+  int num_users = 8;
+  int num_groups = 4;
+  uint64_t seed = 7;
+};
+
+/// A generated access-control scenario over one document: a group
+/// hierarchy, user population, split authorization sets, and a concrete
+/// requester that a configurable share of subjects applies to.
+struct GeneratedWorkload {
+  authz::GroupStore groups;
+  std::vector<std::string> users;
+  std::vector<authz::Authorization> instance_auths;
+  std::vector<authz::Authorization> schema_auths;
+  authz::Requester requester;
+};
+
+/// Generates authorizations whose path expressions target actual nodes of
+/// `doc` (sampled uniformly), so every authorization is live.
+/// `doc_uri` / `dtd_uri` fill the object URIs.
+GeneratedWorkload GenerateAuthorizations(const xml::Document& doc,
+                                         const std::string& doc_uri,
+                                         const std::string& dtd_uri,
+                                         const AuthGenConfig& config);
+
+}  // namespace workload
+}  // namespace xmlsec
+
+#endif  // XMLSEC_WORKLOAD_AUTHGEN_H_

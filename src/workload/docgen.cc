@@ -1,0 +1,199 @@
+#include "workload/docgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prng.h"
+#include "common/str_util.h"
+#include "xml/dtd_parser.h"
+#include "xml/parser.h"
+
+namespace xmlsec {
+namespace workload {
+
+namespace {
+
+using xml::Attr;
+using xml::AttrDecl;
+using xml::AttrDefaultKind;
+using xml::AttrType;
+using xml::Cardinality;
+using xml::ContentKind;
+using xml::ContentParticle;
+using xml::Document;
+using xml::Dtd;
+using xml::Element;
+using xml::ElementDecl;
+
+std::string TagName(int level, int k) {
+  return "n" + std::to_string(level) + "x" + std::to_string(k);
+}
+
+void BuildSubtree(Element* parent, int level, const DocGenConfig& config,
+                  Prng* prng) {
+  if (level > config.depth) return;
+  for (int i = 0; i < config.fanout; ++i) {
+    int k = static_cast<int>(prng->Below(
+        static_cast<uint64_t>(std::max(1, config.vocabulary))));
+    auto child = std::make_unique<Element>(TagName(level, k));
+    for (int a = 0; a < config.attrs_per_element; ++a) {
+      child->SetAttribute("a" + std::to_string(a),
+                          "v" + std::to_string(prng->Below(16)));
+    }
+    if (prng->Chance(config.text_probability)) {
+      child->AppendText("t" + std::to_string(prng->Below(1000)));
+    }
+    Element* raw = static_cast<Element*>(parent->AppendChild(std::move(child)));
+    BuildSubtree(raw, level + 1, config, prng);
+  }
+}
+
+/// DTD matching the generator's shape: each level-tag admits any mix of
+/// next-level tags plus text, and declares the generated attributes.
+std::unique_ptr<Dtd> BuildDtd(const DocGenConfig& config) {
+  auto dtd = std::make_unique<Dtd>();
+  dtd->set_name("root");
+
+  auto declare = [&](const std::string& name, int level) {
+    ElementDecl decl;
+    decl.name = name;
+    if (level > config.depth) {
+      decl.content_kind = ContentKind::kMixed;  // Leaves: text only.
+    } else {
+      decl.content_kind = ContentKind::kMixed;
+      for (int k = 0; k < std::max(1, config.vocabulary); ++k) {
+        decl.mixed_names.push_back(TagName(level, k));
+      }
+    }
+    Status s = dtd->AddElementDecl(std::move(decl));
+    (void)s;
+    for (int a = 0; a < config.attrs_per_element; ++a) {
+      AttrDecl attr;
+      attr.name = "a" + std::to_string(a);
+      attr.type = AttrType::kCData;
+      attr.default_kind = AttrDefaultKind::kImplied;
+      dtd->AddAttrDecl(name, std::move(attr));
+    }
+  };
+
+  declare("root", 1);
+  for (int level = 1; level <= config.depth; ++level) {
+    for (int k = 0; k < std::max(1, config.vocabulary); ++k) {
+      declare(TagName(level, k), level + 1);
+    }
+  }
+  return dtd;
+}
+
+}  // namespace
+
+std::unique_ptr<Document> GenerateDocument(const DocGenConfig& config) {
+  Prng prng(config.seed);
+  auto doc = std::make_unique<Document>();
+  doc->SetXmlDecl("1.0", "UTF-8", false);
+  auto root = std::make_unique<Element>("root");
+  Element* root_raw = static_cast<Element*>(doc->AppendChild(std::move(root)));
+  BuildSubtree(root_raw, 1, config, &prng);
+  doc->set_doctype_name("root");
+  doc->set_dtd(BuildDtd(config));
+  doc->Reindex();
+  return doc;
+}
+
+int64_t ApproxNodeCount(const DocGenConfig& config) {
+  // Elements: geometric series of fanout^level, levels 0..depth.
+  double elements = 1;
+  double level_count = 1;
+  for (int level = 1; level <= config.depth; ++level) {
+    level_count *= config.fanout;
+    elements += level_count;
+  }
+  double per_element =
+      1.0 + config.attrs_per_element + config.text_probability;
+  return static_cast<int64_t>(elements * per_element);
+}
+
+DocGenConfig ConfigForNodeBudget(int64_t target_nodes, DocGenConfig base) {
+  // Keep depth, solve for fanout; fall back to growing depth for very
+  // large budgets with small fanout.
+  for (int fanout = 2; fanout <= 64; ++fanout) {
+    base.fanout = fanout;
+    if (ApproxNodeCount(base) >= target_nodes) return base;
+  }
+  while (ApproxNodeCount(base) < target_nodes && base.depth < 24) {
+    base.depth++;
+  }
+  return base;
+}
+
+std::string LaboratoryDtd() {
+  return R"(<!ELEMENT laboratory (project*)>
+<!ATTLIST laboratory name CDATA #IMPLIED>
+<!ELEMENT project (manager, member*, paper*, fund?)>
+<!ATTLIST project
+  name CDATA #REQUIRED
+  type (internal|public) #REQUIRED>
+<!ELEMENT manager (fname, lname)>
+<!ELEMENT member (fname, lname)>
+<!ELEMENT fname (#PCDATA)>
+<!ELEMENT lname (#PCDATA)>
+<!ELEMENT paper (title, abstract?)>
+<!ATTLIST paper category (private|internal|public) #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT abstract (#PCDATA)>
+<!ELEMENT fund (#PCDATA)>
+<!ATTLIST fund sponsor CDATA #IMPLIED>
+)";
+}
+
+std::unique_ptr<Document> GenerateLaboratory(int projects,
+                                             int papers_per_project,
+                                             uint64_t seed) {
+  Prng prng(seed);
+  static const char* kFirst[] = {"Ada",   "Grace", "Alan",  "Edsger",
+                                 "Barbara", "Donald", "Tony", "Leslie"};
+  static const char* kLast[] = {"Lovelace", "Hopper",   "Turing", "Dijkstra",
+                                "Liskov",   "Knuth",    "Hoare",  "Lamport"};
+  static const char* kCategories[] = {"private", "internal", "public"};
+
+  std::string xml = "<laboratory name=\"CSlab\">\n";
+  for (int p = 0; p < projects; ++p) {
+    const char* type = prng.Chance(0.5) ? "internal" : "public";
+    xml += StrFormat("<project name=\"prj%d\" type=\"%s\">\n", p, type);
+    xml += StrFormat("<manager><fname>%s</fname><lname>%s</lname></manager>\n",
+                     kFirst[prng.Below(8)], kLast[prng.Below(8)]);
+    int members = static_cast<int>(prng.Below(3));
+    for (int m = 0; m < members; ++m) {
+      xml += StrFormat("<member><fname>%s</fname><lname>%s</lname></member>\n",
+                       kFirst[prng.Below(8)], kLast[prng.Below(8)]);
+    }
+    for (int q = 0; q < papers_per_project; ++q) {
+      const char* category = kCategories[prng.Below(3)];
+      xml += StrFormat(
+          "<paper category=\"%s\"><title>Paper %d of prj%d</title>"
+          "<abstract>About topic %llu.</abstract></paper>\n",
+          category, q, p, static_cast<unsigned long long>(prng.Below(100)));
+    }
+    if (prng.Chance(0.6)) {
+      xml += StrFormat("<fund sponsor=\"sponsor%llu\">%llu</fund>\n",
+                       static_cast<unsigned long long>(prng.Below(5)),
+                       static_cast<unsigned long long>(prng.Below(100000)));
+    }
+    xml += "</project>\n";
+  }
+  xml += "</laboratory>\n";
+
+  // Parse (cheap) so the result is a proper indexed DOM with DTD.
+  auto parsed = xml::ParseDocument(xml);
+  // The generator emits well-formed XML by construction.
+  std::unique_ptr<Document> doc = std::move(parsed).value();
+  auto dtd_result = xml::ParseDtd(LaboratoryDtd());
+  std::unique_ptr<Dtd> dtd = std::move(dtd_result).value();
+  dtd->set_name("laboratory");
+  doc->set_dtd(std::move(dtd));
+  doc->set_doctype_name("laboratory");
+  return doc;
+}
+
+}  // namespace workload
+}  // namespace xmlsec

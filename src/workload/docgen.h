@@ -1,0 +1,51 @@
+#ifndef XMLSEC_WORKLOAD_DOCGEN_H_
+#define XMLSEC_WORKLOAD_DOCGEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "xml/dom.h"
+#include "xml/dtd.h"
+
+namespace xmlsec {
+namespace workload {
+
+/// Shape parameters of a synthetic document tree.
+struct DocGenConfig {
+  int depth = 4;              ///< levels below the root
+  int fanout = 4;             ///< element children per element
+  int attrs_per_element = 2;  ///< attributes per element
+  int vocabulary = 4;         ///< distinct tag names per level
+  double text_probability = 0.5;  ///< chance an element carries text
+  uint64_t seed = 42;
+};
+
+/// Generates a random document of the given shape, with a DTD attached
+/// that the document is valid against (level-stratified tag vocabulary,
+/// starred choice content models, CDATA attributes).
+std::unique_ptr<xml::Document> GenerateDocument(const DocGenConfig& config);
+
+/// Upper-bound node count (elements + attributes + text) for `config` —
+/// used by benchmarks to pick shapes of a target size.
+int64_t ApproxNodeCount(const DocGenConfig& config);
+
+/// Picks depth/fanout for roughly `target_nodes` total nodes, keeping the
+/// other config fields.
+DocGenConfig ConfigForNodeBudget(int64_t target_nodes, DocGenConfig base = {});
+
+/// Generates a document in the paper's running "laboratory" schema
+/// (Fig. 1): projects with name/type attributes, managers, and papers
+/// with category attributes — the workload its motivating examples
+/// protect.  Valid against `LaboratoryDtd()`.
+std::unique_ptr<xml::Document> GenerateLaboratory(int projects,
+                                                  int papers_per_project,
+                                                  uint64_t seed);
+
+/// The laboratory DTD source (external-subset syntax).
+std::string LaboratoryDtd();
+
+}  // namespace workload
+}  // namespace xmlsec
+
+#endif  // XMLSEC_WORKLOAD_DOCGEN_H_

@@ -1,0 +1,127 @@
+#include "xml/canonical.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace xmlsec {
+namespace xml {
+
+namespace {
+
+void EscapeTextC14n(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        *out += "&amp;";
+        break;
+      case '<':
+        *out += "&lt;";
+        break;
+      case '>':
+        *out += "&gt;";
+        break;
+      case '\r':
+        *out += "&#xD;";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void EscapeAttrC14n(std::string_view value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '&':
+        *out += "&amp;";
+        break;
+      case '<':
+        *out += "&lt;";
+        break;
+      case '"':
+        *out += "&quot;";
+        break;
+      case '\t':
+        *out += "&#x9;";
+        break;
+      case '\n':
+        *out += "&#xA;";
+        break;
+      case '\r':
+        *out += "&#xD;";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void Render(const Node& node, std::string* out) {
+  switch (node.type()) {
+    case NodeType::kDocument:
+      for (const auto& child : node.children()) {
+        Render(*child, out);
+      }
+      break;
+    case NodeType::kElement: {
+      const auto& el = static_cast<const Element&>(node);
+      *out += "<" + el.tag();
+      std::vector<const Attr*> attrs;
+      attrs.reserve(el.attribute_count());
+      for (const auto& attr : el.attributes()) attrs.push_back(attr.get());
+      std::sort(attrs.begin(), attrs.end(),
+                [](const Attr* a, const Attr* b) {
+                  return a->name() < b->name();
+                });
+      for (const Attr* attr : attrs) {
+        *out += " " + attr->name() + "=\"";
+        EscapeAttrC14n(attr->value(), out);
+        *out += "\"";
+      }
+      *out += ">";
+      // Merge adjacent character data (text and CDATA render the same).
+      std::string pending;
+      auto flush = [&]() {
+        if (pending.empty()) return;
+        EscapeTextC14n(pending, out);
+        pending.clear();
+      };
+      for (const auto& child : node.children()) {
+        if (child->IsText()) {
+          pending += child->NodeValue();
+        } else {
+          flush();
+          Render(*child, out);
+        }
+      }
+      flush();
+      *out += "</" + el.tag() + ">";
+      break;
+    }
+    case NodeType::kText:
+    case NodeType::kCData:
+      EscapeTextC14n(node.NodeValue(), out);
+      break;
+    case NodeType::kAttribute:
+    case NodeType::kComment:
+    case NodeType::kProcessingInstruction:
+      break;  // Dropped in canonical form.
+  }
+}
+
+}  // namespace
+
+std::string CanonicalXml(const Document& doc) {
+  std::string out;
+  Render(doc, &out);
+  return out;
+}
+
+std::string CanonicalXml(const Node& node) {
+  std::string out;
+  Render(node, &out);
+  return out;
+}
+
+}  // namespace xml
+}  // namespace xmlsec

@@ -1,0 +1,29 @@
+#ifndef XMLSEC_XML_CANONICAL_H_
+#define XMLSEC_XML_CANONICAL_H_
+
+#include <string>
+
+#include "xml/dom.h"
+
+namespace xmlsec {
+namespace xml {
+
+/// Canonical rendering in the spirit of W3C Canonical XML (C14N),
+/// restricted to this library's data model: UTF-8, no XML declaration or
+/// DOCTYPE, attributes sorted by name, empty elements written as
+/// start/end pairs, adjacent text merged, CDATA folded into text,
+/// comments and processing instructions dropped, and the C14N escape set
+/// (`&`, `<`, `>` in text; `&`, `<`, `"`, tab, CR, LF in attributes).
+///
+/// Two documents have equal canonical forms iff they carry the same
+/// content under these rules — the right equality for comparing computed
+/// views, caching, and signing.
+std::string CanonicalXml(const Document& doc);
+
+/// Canonical form of a single subtree.
+std::string CanonicalXml(const Node& node);
+
+}  // namespace xml
+}  // namespace xmlsec
+
+#endif  // XMLSEC_XML_CANONICAL_H_

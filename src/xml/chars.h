@@ -1,0 +1,39 @@
+#ifndef XMLSEC_XML_CHARS_H_
+#define XMLSEC_XML_CHARS_H_
+
+namespace xmlsec {
+namespace xml {
+
+/// XML whitespace (production S).
+inline bool IsXmlSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+inline bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+inline bool IsHexDigit(char c) {
+  return IsDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+
+inline bool IsAsciiLetter(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+/// First character of an XML Name.  Multi-byte UTF-8 lead/continuation
+/// bytes are accepted wholesale: the library stores names as raw UTF-8 and
+/// does not re-validate Unicode classes (adequate for the access-control
+/// semantics, which never inspect code points).
+inline bool IsNameStartChar(char c) {
+  return IsAsciiLetter(c) || c == '_' || c == ':' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+/// Subsequent character of an XML Name.
+inline bool IsNameChar(char c) {
+  return IsNameStartChar(c) || IsDigit(c) || c == '-' || c == '.';
+}
+
+}  // namespace xml
+}  // namespace xmlsec
+
+#endif  // XMLSEC_XML_CHARS_H_

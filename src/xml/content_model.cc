@@ -1,0 +1,135 @@
+#include "xml/content_model.h"
+
+#include <deque>
+
+namespace xmlsec {
+namespace xml {
+
+ContentModelMatcher::ContentModelMatcher(const ContentParticle& particle) {
+  Fragment all = Compile(particle);
+  start_ = all.start;
+  accept_ = all.accept;
+}
+
+int ContentModelMatcher::NewState() {
+  states_.emplace_back();
+  return static_cast<int>(states_.size()) - 1;
+}
+
+int ContentModelMatcher::SymbolId(const std::string& name) {
+  auto it = symbols_.find(name);
+  if (it != symbols_.end()) return it->second;
+  int id = static_cast<int>(symbols_.size());
+  symbols_.emplace(name, id);
+  return id;
+}
+
+ContentModelMatcher::Fragment ContentModelMatcher::Compile(
+    const ContentParticle& particle) {
+  Fragment frag{};
+  switch (particle.kind) {
+    case ContentParticle::Kind::kName: {
+      frag.start = NewState();
+      frag.accept = NewState();
+      states_[frag.start].moves.emplace_back(SymbolId(particle.name),
+                                             frag.accept);
+      break;
+    }
+    case ContentParticle::Kind::kSequence: {
+      frag.start = NewState();
+      int cursor = frag.start;
+      for (const ContentParticle& child : particle.children) {
+        Fragment sub = Compile(child);
+        states_[cursor].eps.push_back(sub.start);
+        cursor = sub.accept;
+      }
+      frag.accept = cursor;
+      break;
+    }
+    case ContentParticle::Kind::kChoice: {
+      frag.start = NewState();
+      frag.accept = NewState();
+      for (const ContentParticle& child : particle.children) {
+        Fragment sub = Compile(child);
+        states_[frag.start].eps.push_back(sub.start);
+        states_[sub.accept].eps.push_back(frag.accept);
+      }
+      break;
+    }
+  }
+  return ApplyCardinality(frag, particle.cardinality);
+}
+
+ContentModelMatcher::Fragment ContentModelMatcher::ApplyCardinality(
+    Fragment inner, Cardinality cardinality) {
+  switch (cardinality) {
+    case Cardinality::kOne:
+      return inner;
+    case Cardinality::kOptional: {
+      states_[inner.start].eps.push_back(inner.accept);
+      return inner;
+    }
+    case Cardinality::kZeroOrMore: {
+      Fragment frag{NewState(), NewState()};
+      states_[frag.start].eps.push_back(inner.start);
+      states_[frag.start].eps.push_back(frag.accept);
+      states_[inner.accept].eps.push_back(inner.start);
+      states_[inner.accept].eps.push_back(frag.accept);
+      return frag;
+    }
+    case Cardinality::kOneOrMore: {
+      Fragment frag{NewState(), NewState()};
+      states_[frag.start].eps.push_back(inner.start);
+      states_[inner.accept].eps.push_back(inner.start);
+      states_[inner.accept].eps.push_back(frag.accept);
+      return frag;
+    }
+  }
+  return inner;
+}
+
+void ContentModelMatcher::EpsClosure(std::vector<char>* set) const {
+  std::deque<int> work;
+  for (size_t i = 0; i < set->size(); ++i) {
+    if ((*set)[i]) work.push_back(static_cast<int>(i));
+  }
+  while (!work.empty()) {
+    int s = work.front();
+    work.pop_front();
+    for (int next : states_[s].eps) {
+      if (!(*set)[next]) {
+        (*set)[next] = 1;
+        work.push_back(next);
+      }
+    }
+  }
+}
+
+bool ContentModelMatcher::Matches(
+    const std::vector<std::string_view>& names) const {
+  std::vector<char> current(states_.size(), 0);
+  current[start_] = 1;
+  EpsClosure(&current);
+  for (std::string_view name : names) {
+    auto sym = symbols_.find(name);
+    if (sym == symbols_.end()) return false;  // Name not in the model.
+    std::vector<char> next(states_.size(), 0);
+    bool any = false;
+    for (size_t s = 0; s < current.size(); ++s) {
+      if (!current[s]) continue;
+      for (const auto& [symbol, target] : states_[s].moves) {
+        if (symbol == sym->second) {
+          next[target] = 1;
+          any = true;
+        }
+      }
+    }
+    if (!any) return false;
+    EpsClosure(&next);
+    current.swap(next);
+  }
+  return current[accept_] != 0;
+}
+
+}  // namespace xml
+}  // namespace xmlsec

@@ -1,0 +1,64 @@
+#ifndef XMLSEC_XML_CONTENT_MODEL_H_
+#define XMLSEC_XML_CONTENT_MODEL_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/dtd.h"
+
+namespace xmlsec {
+namespace xml {
+
+/// Compiled recognizer for one element content model.
+///
+/// The EBNF-style content particle is compiled to a Thompson NFA over the
+/// alphabet of child element names; matching simulates the NFA with
+/// epsilon closures.  This accepts exactly the language of the content
+/// model.  (XML 1.0 additionally requires content models to be
+/// *deterministic*; we do not reject non-deterministic models — NFA
+/// simulation handles them — which makes the validator strictly more
+/// permissive, never less.)
+class ContentModelMatcher {
+ public:
+  /// Compiles `particle`.  The matcher is immutable afterwards and safe
+  /// for concurrent use.
+  explicit ContentModelMatcher(const ContentParticle& particle);
+
+  /// True when the sequence of child element names is in the model's
+  /// language.
+  bool Matches(const std::vector<std::string_view>& names) const;
+
+  /// Number of NFA states (exposed for tests and benchmarks).
+  size_t state_count() const { return states_.size(); }
+
+ private:
+  struct State {
+    /// Transitions on a symbol id.
+    std::vector<std::pair<int, int>> moves;
+    /// Epsilon transitions.
+    std::vector<int> eps;
+  };
+
+  struct Fragment {
+    int start;
+    int accept;
+  };
+
+  int NewState();
+  Fragment Compile(const ContentParticle& particle);
+  Fragment ApplyCardinality(Fragment inner, Cardinality cardinality);
+  int SymbolId(const std::string& name);
+  void EpsClosure(std::vector<char>* set) const;
+
+  std::vector<State> states_;
+  std::map<std::string, int, std::less<>> symbols_;
+  int start_ = 0;
+  int accept_ = 0;
+};
+
+}  // namespace xml
+}  // namespace xmlsec
+
+#endif  // XMLSEC_XML_CONTENT_MODEL_H_

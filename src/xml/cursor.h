@@ -1,0 +1,106 @@
+#ifndef XMLSEC_XML_CURSOR_H_
+#define XMLSEC_XML_CURSOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/chars.h"
+
+namespace xmlsec {
+namespace xml {
+
+/// A position-tracking scanner over an in-memory buffer, shared by the
+/// XML document parser and the DTD parser.
+class TextCursor {
+ public:
+  explicit TextCursor(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+  /// Current character; '\0' at end of input.
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+
+  /// Character `k` ahead of the current one; '\0' past the end.
+  char PeekAt(size_t k) const {
+    return pos_ + k >= text_.size() ? '\0' : text_[pos_ + k];
+  }
+
+  /// Consumes and returns the current character ('\0' at end).
+  char Advance() {
+    if (AtEnd()) return '\0';
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  /// True when the remaining input begins with `s`.
+  bool LookingAt(std::string_view s) const {
+    return text_.substr(pos_, s.size()) == s;
+  }
+
+  /// Consumes `s` if the input begins with it.
+  bool Match(std::string_view s) {
+    if (!LookingAt(s)) return false;
+    for (size_t i = 0; i < s.size(); ++i) Advance();
+    return true;
+  }
+
+  /// Consumes a run of XML whitespace; returns whether any was consumed.
+  bool SkipSpace() {
+    bool any = false;
+    while (!AtEnd() && IsXmlSpace(Peek())) {
+      Advance();
+      any = true;
+    }
+    return any;
+  }
+
+  /// Reads an XML Name; empty string when the input does not start one.
+  std::string ReadName() {
+    std::string name;
+    if (!AtEnd() && IsNameStartChar(Peek())) {
+      name.push_back(Advance());
+      while (!AtEnd() && IsNameChar(Peek())) name.push_back(Advance());
+    }
+    return name;
+  }
+
+  /// Reads an XML Nmtoken (name characters, no start-char restriction).
+  std::string ReadNmtoken() {
+    std::string tok;
+    while (!AtEnd() && IsNameChar(Peek())) tok.push_back(Advance());
+    return tok;
+  }
+
+  /// Builds a ParseError status pointing at the current position.
+  Status Error(std::string_view what) const {
+    return Status::ParseError(std::string(what) + " at line " +
+                              std::to_string(line_) + ", column " +
+                              std::to_string(column_));
+  }
+
+  /// Raw substring access (used for slicing out scanned regions).
+  std::string_view Slice(size_t begin, size_t end) const {
+    return text_.substr(begin, end - begin);
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace xml
+}  // namespace xmlsec
+
+#endif  // XMLSEC_XML_CURSOR_H_

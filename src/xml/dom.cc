@@ -1,0 +1,350 @@
+#include "xml/dom.h"
+
+#include <cassert>
+
+#include "xml/dtd.h"
+
+namespace xmlsec {
+namespace xml {
+
+std::string_view NodeTypeToString(NodeType type) {
+  switch (type) {
+    case NodeType::kDocument:
+      return "document";
+    case NodeType::kElement:
+      return "element";
+    case NodeType::kAttribute:
+      return "attribute";
+    case NodeType::kText:
+      return "text";
+    case NodeType::kCData:
+      return "cdata";
+    case NodeType::kComment:
+      return "comment";
+    case NodeType::kProcessingInstruction:
+      return "processing-instruction";
+  }
+  return "unknown";
+}
+
+Node* Node::AppendChild(std::unique_ptr<Node> node) {
+  assert(node != nullptr);
+  assert(node->parent_ == nullptr);
+  node->parent_ = this;
+  children_.push_back(std::move(node));
+  return children_.back().get();
+}
+
+Node* Node::InsertBefore(std::unique_ptr<Node> node, const Node* reference) {
+  assert(node != nullptr);
+  assert(node->parent_ == nullptr);
+  if (reference == nullptr) return AppendChild(std::move(node));
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].get() == reference) {
+      node->parent_ = this;
+      Node* raw = node.get();
+      children_.insert(children_.begin() + static_cast<ptrdiff_t>(i),
+                       std::move(node));
+      return raw;
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Node> Node::ReplaceChild(std::unique_ptr<Node> node,
+                                         Node* old_child) {
+  assert(node != nullptr);
+  assert(node->parent_ == nullptr);
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].get() == old_child) {
+      node->parent_ = this;
+      std::unique_ptr<Node> out = std::move(children_[i]);
+      children_[i] = std::move(node);
+      out->parent_ = nullptr;
+      return out;
+    }
+  }
+  return nullptr;
+}
+
+void Node::Normalize() {
+  for (size_t i = 0; i < children_.size();) {
+    Node* child = children_[i].get();
+    if (child->type_ == NodeType::kText) {
+      auto* text = static_cast<Text*>(child);
+      if (text->data().empty()) {
+        RemoveChildAt(i);
+        continue;
+      }
+      if (i + 1 < children_.size() &&
+          children_[i + 1]->type_ == NodeType::kText) {
+        auto* next = static_cast<Text*>(children_[i + 1].get());
+        text->set_data(text->data() + next->data());
+        RemoveChildAt(i + 1);
+        continue;  // Re-check the (possibly longer) merged node.
+      }
+    }
+    child->Normalize();
+    ++i;
+  }
+}
+
+std::unique_ptr<Node> Node::RemoveChild(Node* child) {
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].get() == child) {
+      std::unique_ptr<Node> out = std::move(children_[i]);
+      children_.erase(children_.begin() + static_cast<ptrdiff_t>(i));
+      out->parent_ = nullptr;
+      return out;
+    }
+  }
+  return nullptr;
+}
+
+void Node::RemoveChildAt(size_t i) {
+  assert(i < children_.size());
+  children_[i]->parent_ = nullptr;
+  children_.erase(children_.begin() + static_cast<ptrdiff_t>(i));
+}
+
+Element* Node::ParentElement() const {
+  Node* p = parent_;
+  while (p != nullptr && p->type_ != NodeType::kElement) p = p->parent_;
+  return p != nullptr ? static_cast<Element*>(p) : nullptr;
+}
+
+Element* Node::AsElement() {
+  return IsElement() ? static_cast<Element*>(this) : nullptr;
+}
+const Element* Node::AsElement() const {
+  return IsElement() ? static_cast<const Element*>(this) : nullptr;
+}
+Attr* Node::AsAttr() {
+  return IsAttribute() ? static_cast<Attr*>(this) : nullptr;
+}
+const Attr* Node::AsAttr() const {
+  return IsAttribute() ? static_cast<const Attr*>(this) : nullptr;
+}
+
+std::unique_ptr<Node> Attr::Clone(bool /*deep*/) const {
+  auto copy = std::make_unique<Attr>(name_, value_);
+  copy->set_defaulted(defaulted_);
+  copy->set_source_position(line(), column());
+  return copy;
+}
+
+std::unique_ptr<Node> Element::Clone(bool deep) const {
+  auto copy = std::make_unique<Element>(tag_);
+  copy->set_source_position(line(), column());
+  for (const auto& attr : attributes_) {
+    std::unique_ptr<Node> a = attr->Clone(true);
+    std::unique_ptr<Attr> owned(static_cast<Attr*>(a.release()));
+    Status s = copy->AddAttribute(std::move(owned));
+    assert(s.ok());
+    (void)s;
+  }
+  if (deep) {
+    for (const auto& child : children_) {
+      copy->AppendChild(child->Clone(true));
+    }
+  }
+  return copy;
+}
+
+std::optional<std::string> Element::GetAttribute(std::string_view name) const {
+  const Attr* attr = FindAttribute(name);
+  if (attr == nullptr) return std::nullopt;
+  return attr->value();
+}
+
+Attr* Element::FindAttribute(std::string_view name) {
+  for (const auto& attr : attributes_) {
+    if (attr->name() == name) return attr.get();
+  }
+  return nullptr;
+}
+
+const Attr* Element::FindAttribute(std::string_view name) const {
+  for (const auto& attr : attributes_) {
+    if (attr->name() == name) return attr.get();
+  }
+  return nullptr;
+}
+
+Attr* Element::SetAttribute(std::string_view name, std::string_view value) {
+  Attr* existing = FindAttribute(name);
+  if (existing != nullptr) {
+    existing->set_value(std::string(value));
+    return existing;
+  }
+  auto attr = std::make_unique<Attr>(std::string(name), std::string(value));
+  attr->parent_ = this;
+  attributes_.push_back(std::move(attr));
+  return attributes_.back().get();
+}
+
+Status Element::AddAttribute(std::unique_ptr<Attr> attr) {
+  if (FindAttribute(attr->name()) != nullptr) {
+    return Status::AlreadyExists("duplicate attribute '" + attr->name() +
+                                 "' on element '" + tag_ + "'");
+  }
+  attr->parent_ = this;
+  attributes_.push_back(std::move(attr));
+  return Status::OK();
+}
+
+bool Element::RemoveAttribute(std::string_view name) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i]->name() == name) {
+      attributes_.erase(attributes_.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Element*> Element::ChildElements() const {
+  std::vector<Element*> out;
+  for (const auto& child : children_) {
+    if (child->IsElement()) out.push_back(static_cast<Element*>(child.get()));
+  }
+  return out;
+}
+
+Element* Element::FirstChildElement(std::string_view tag) const {
+  for (const auto& child : children_) {
+    if (child->IsElement()) {
+      auto* el = static_cast<Element*>(child.get());
+      if (el->tag() == tag) return el;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Element*> Element::GetElementsByTagName(std::string_view tag) const {
+  std::vector<Element*> out;
+  // Pre-order descent, excluding this element itself (DOM semantics).
+  std::function<void(const Element*)> visit = [&](const Element* el) {
+    for (const auto& child : el->children()) {
+      if (child->IsElement()) {
+        auto* ce = static_cast<Element*>(child.get());
+        if (tag == "*" || ce->tag() == tag) out.push_back(ce);
+        visit(ce);
+      }
+    }
+  };
+  visit(this);
+  return out;
+}
+
+std::string Element::TextContent() const {
+  std::string out;
+  std::function<void(const Node*)> visit = [&](const Node* node) {
+    for (const auto& child : node->children()) {
+      if (child->IsText()) {
+        out += static_cast<const Text*>(child.get())->data();
+      } else if (child->IsElement()) {
+        visit(child.get());
+      }
+    }
+  };
+  visit(this);
+  return out;
+}
+
+void Element::AppendText(std::string_view data) {
+  AppendChild(std::make_unique<Text>(std::string(data)));
+}
+
+std::unique_ptr<Node> Text::Clone(bool /*deep*/) const {
+  auto copy = std::make_unique<Text>(data_, type() == NodeType::kCData);
+  copy->set_source_position(line(), column());
+  return copy;
+}
+
+std::unique_ptr<Node> Comment::Clone(bool /*deep*/) const {
+  auto copy = std::make_unique<Comment>(data_);
+  copy->set_source_position(line(), column());
+  return copy;
+}
+
+std::unique_ptr<Node> ProcessingInstruction::Clone(bool /*deep*/) const {
+  auto copy = std::make_unique<ProcessingInstruction>(target_, data_);
+  copy->set_source_position(line(), column());
+  return copy;
+}
+
+Document::~Document() = default;
+
+std::unique_ptr<Node> Document::Clone(bool deep) const {
+  auto copy = std::make_unique<Document>();
+  if (has_xml_decl_) copy->SetXmlDecl(version_, encoding_, standalone_);
+  copy->doctype_name_ = doctype_name_;
+  copy->doctype_system_id_ = doctype_system_id_;
+  if (dtd_ != nullptr) copy->set_dtd(std::make_unique<Dtd>(*dtd_));
+  if (deep) {
+    for (const auto& child : children_) {
+      copy->AppendChild(child->Clone(true));
+    }
+  }
+  copy->Reindex();
+  return copy;
+}
+
+Element* Document::root() const {
+  for (const auto& child : children_) {
+    if (child->IsElement()) return static_cast<Element*>(child.get());
+  }
+  return nullptr;
+}
+
+void Document::set_dtd(std::unique_ptr<Dtd> dtd) { dtd_ = std::move(dtd); }
+
+void Document::Reindex() {
+  int64_t counter = 0;
+  std::function<void(Node*)> visit = [&](Node* node) {
+    node->doc_order_ = counter++;
+    if (Element* el = node->AsElement()) {
+      for (const auto& attr : el->attributes()) {
+        attr->doc_order_ = counter++;
+      }
+    }
+    for (const auto& child : node->children_) {
+      visit(child.get());
+    }
+  };
+  visit(this);
+  node_count_ = counter;
+}
+
+void ForEachNode(Node* node, const std::function<void(Node*)>& fn) {
+  fn(node);
+  if (Element* el = node->AsElement()) {
+    for (const auto& attr : el->attributes()) fn(attr.get());
+  }
+  for (const auto& child : node->children()) {
+    ForEachNode(child.get(), fn);
+  }
+}
+
+void ForEachNode(const Node* node,
+                 const std::function<void(const Node*)>& fn) {
+  fn(node);
+  if (const Element* el = node->AsElement()) {
+    for (const auto& attr : el->attributes()) fn(attr.get());
+  }
+  for (const auto& child : node->children()) {
+    const Node* c = child.get();
+    ForEachNode(c, fn);
+  }
+}
+
+bool IsAncestorOrSelf(const Node* maybe_ancestor, const Node* node) {
+  for (const Node* cur = node; cur != nullptr; cur = cur->parent()) {
+    if (cur == maybe_ancestor) return true;
+  }
+  return false;
+}
+
+}  // namespace xml
+}  // namespace xmlsec

@@ -1,0 +1,355 @@
+#ifndef XMLSEC_XML_DOM_H_
+#define XMLSEC_XML_DOM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/dtd.h"
+
+namespace xmlsec {
+namespace xml {
+
+class Attr;
+class Document;
+class Element;
+
+/// Kinds of DOM nodes, following DOM Level 1 Core (the subset the paper's
+/// security processor manipulates).
+enum class NodeType {
+  kDocument,
+  kElement,
+  kAttribute,
+  kText,
+  kCData,
+  kComment,
+  kProcessingInstruction,
+};
+
+std::string_view NodeTypeToString(NodeType type);
+
+/// Base class of every node in the document tree.
+///
+/// Ownership: a parent owns its children through `std::unique_ptr`;
+/// `parent()` is a non-owning back pointer.  Attributes are owned by their
+/// element but are reachable through the same `Node` interface so that the
+/// tree-labeling algorithm of the paper (which labels elements *and*
+/// attributes) can treat them uniformly.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeType type() const { return type_; }
+
+  /// Owning parent; for an attribute this is its owner element; nullptr
+  /// for the document node and for detached nodes.
+  Node* parent() const { return parent_; }
+
+  /// DOM nodeName: tag name for elements, attribute name for attributes,
+  /// "#text", "#cdata-section", "#comment", "#document", or the PI target.
+  virtual std::string NodeName() const = 0;
+
+  /// DOM nodeValue: character data for text/CDATA/comment/PI/attribute
+  /// nodes; empty for document and element nodes.
+  virtual std::string NodeValue() const { return std::string(); }
+
+  /// Deep structural copy (children and attributes included when `deep`).
+  /// The copy is detached (no parent) and belongs to no document index.
+  virtual std::unique_ptr<Node> Clone(bool deep) const = 0;
+
+  /// Child list (empty for node kinds that cannot have children).
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+  size_t child_count() const { return children_.size(); }
+  Node* child(size_t i) const { return children_[i].get(); }
+
+  /// Appends `node` as the last child and returns a raw pointer to it.
+  Node* AppendChild(std::unique_ptr<Node> node);
+
+  /// Inserts `node` immediately before `reference` (a direct child);
+  /// appends when `reference` is null.  Returns the inserted node, or
+  /// null when `reference` is not a child (DOM insertBefore).
+  Node* InsertBefore(std::unique_ptr<Node> node, const Node* reference);
+
+  /// Replaces direct child `old_child` with `node`; returns ownership of
+  /// the old child, or null when `old_child` is not a child of this node
+  /// (DOM replaceChild).
+  std::unique_ptr<Node> ReplaceChild(std::unique_ptr<Node> node,
+                                     Node* old_child);
+
+  /// Detaches `child` (which must be a direct child) and returns ownership.
+  std::unique_ptr<Node> RemoveChild(Node* child);
+
+  /// Removes the i-th child.
+  void RemoveChildAt(size_t i);
+
+  /// Merges adjacent text children and drops empty ones, recursively
+  /// (DOM normalize).  CDATA sections are left intact.
+  void Normalize();
+
+  /// The element containing this node, skipping the document node; for an
+  /// attribute this is the owner element.  nullptr at the top of the tree.
+  Element* ParentElement() const;
+
+  /// Position of this node in a pre-order traversal of its document, with
+  /// attributes ordered just after their element (XPath document order).
+  /// Valid only after `Document::Reindex()`.
+  int64_t doc_order() const { return doc_order_; }
+
+  /// 1-based source position captured by the parser (0 when synthetic).
+  int line() const { return line_; }
+  int column() const { return column_; }
+  void set_source_position(int line, int column) {
+    line_ = line;
+    column_ = column;
+  }
+
+  bool IsElement() const { return type_ == NodeType::kElement; }
+  bool IsAttribute() const { return type_ == NodeType::kAttribute; }
+  bool IsText() const {
+    return type_ == NodeType::kText || type_ == NodeType::kCData;
+  }
+
+  /// this as Element / Attr; null when the type does not match.
+  Element* AsElement();
+  const Element* AsElement() const;
+  Attr* AsAttr();
+  const Attr* AsAttr() const;
+
+ protected:
+  explicit Node(NodeType type) : type_(type) {}
+
+  friend class Document;
+  friend class Element;
+
+  NodeType type_;
+  Node* parent_ = nullptr;
+  std::vector<std::unique_ptr<Node>> children_;
+  int64_t doc_order_ = -1;
+  int line_ = 0;
+  int column_ = 0;
+};
+
+/// An attribute node.  Its value is stored flat (entity references are
+/// expanded by the parser); in the paper's tree model the value is a child
+/// "value node" of the attribute — visibility of the value follows the
+/// visibility of the attribute itself.
+class Attr final : public Node {
+ public:
+  Attr(std::string name, std::string value)
+      : Node(NodeType::kAttribute),
+        name_(std::move(name)),
+        value_(std::move(value)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& value() const { return value_; }
+  void set_value(std::string value) { value_ = std::move(value); }
+
+  /// True when the value came from a DTD default rather than the document.
+  bool is_defaulted() const { return defaulted_; }
+  void set_defaulted(bool d) { defaulted_ = d; }
+
+  std::string NodeName() const override { return name_; }
+  std::string NodeValue() const override { return value_; }
+  std::unique_ptr<Node> Clone(bool deep) const override;
+
+ private:
+  std::string name_;
+  std::string value_;
+  bool defaulted_ = false;
+};
+
+/// An element node with a tag name, ordered attributes, and children.
+class Element final : public Node {
+ public:
+  explicit Element(std::string tag) : Node(NodeType::kElement), tag_(std::move(tag)) {}
+
+  const std::string& tag() const { return tag_; }
+
+  std::string NodeName() const override { return tag_; }
+  std::unique_ptr<Node> Clone(bool deep) const override;
+
+  /// Attribute list in document order.
+  const std::vector<std::unique_ptr<Attr>>& attributes() const {
+    return attributes_;
+  }
+  size_t attribute_count() const { return attributes_.size(); }
+
+  /// The value of attribute `name`, or nullopt when absent.
+  std::optional<std::string> GetAttribute(std::string_view name) const;
+
+  /// The attribute node named `name`, or nullptr.
+  Attr* FindAttribute(std::string_view name);
+  const Attr* FindAttribute(std::string_view name) const;
+
+  /// Sets (adding or overwriting) attribute `name`; returns the node.
+  Attr* SetAttribute(std::string_view name, std::string_view value);
+
+  /// Attaches an already-built attribute node; fails on duplicates.
+  Status AddAttribute(std::unique_ptr<Attr> attr);
+
+  /// Removes attribute `name`; returns whether it existed.
+  bool RemoveAttribute(std::string_view name);
+
+  /// Child elements only (skips text/comment/PI children).
+  std::vector<Element*> ChildElements() const;
+
+  /// First child element with the given tag, or nullptr.
+  Element* FirstChildElement(std::string_view tag) const;
+
+  /// All descendant elements with the given tag, in document order
+  /// ("*" matches every element) — DOM getElementsByTagName.
+  std::vector<Element*> GetElementsByTagName(std::string_view tag) const;
+
+  /// Concatenation of all descendant text (XPath string-value).
+  std::string TextContent() const;
+
+  /// Creates and appends a text child node.
+  void AppendText(std::string_view data);
+
+ private:
+  std::string tag_;
+  std::vector<std::unique_ptr<Attr>> attributes_;
+};
+
+/// Character data (text or CDATA section).
+class Text final : public Node {
+ public:
+  explicit Text(std::string data, bool cdata = false)
+      : Node(cdata ? NodeType::kCData : NodeType::kText),
+        data_(std::move(data)) {}
+
+  const std::string& data() const { return data_; }
+  void set_data(std::string d) { data_ = std::move(d); }
+
+  std::string NodeName() const override {
+    return type() == NodeType::kCData ? "#cdata-section" : "#text";
+  }
+  std::string NodeValue() const override { return data_; }
+  std::unique_ptr<Node> Clone(bool deep) const override;
+
+ private:
+  std::string data_;
+};
+
+/// A comment node (`<!-- ... -->`).
+class Comment final : public Node {
+ public:
+  explicit Comment(std::string data)
+      : Node(NodeType::kComment), data_(std::move(data)) {}
+
+  const std::string& data() const { return data_; }
+
+  std::string NodeName() const override { return "#comment"; }
+  std::string NodeValue() const override { return data_; }
+  std::unique_ptr<Node> Clone(bool deep) const override;
+
+ private:
+  std::string data_;
+};
+
+/// A processing instruction (`<?target data?>`).
+class ProcessingInstruction final : public Node {
+ public:
+  ProcessingInstruction(std::string target, std::string data)
+      : Node(NodeType::kProcessingInstruction),
+        target_(std::move(target)),
+        data_(std::move(data)) {}
+
+  const std::string& target() const { return target_; }
+  const std::string& data() const { return data_; }
+
+  std::string NodeName() const override { return target_; }
+  std::string NodeValue() const override { return data_; }
+  std::unique_ptr<Node> Clone(bool deep) const override;
+
+ private:
+  std::string target_;
+  std::string data_;
+};
+
+/// The document node: prolog items, one root element, epilog items, plus
+/// metadata from the XML declaration and document type declaration.
+class Document final : public Node {
+ public:
+  Document() : Node(NodeType::kDocument) {}
+  ~Document() override;  // Out of line: Dtd is incomplete here.
+
+  std::string NodeName() const override { return "#document"; }
+  std::unique_ptr<Node> Clone(bool deep) const override;
+
+  /// The single root element (nullptr for an empty shell under
+  /// construction; a parsed document always has one).
+  Element* root() const;
+
+  /// XML declaration data, when present.
+  const std::string& version() const { return version_; }
+  const std::string& encoding() const { return encoding_; }
+  bool standalone() const { return standalone_; }
+  bool has_xml_decl() const { return has_xml_decl_; }
+  void SetXmlDecl(std::string version, std::string encoding, bool standalone) {
+    has_xml_decl_ = true;
+    version_ = std::move(version);
+    encoding_ = std::move(encoding);
+    standalone_ = standalone;
+  }
+
+  /// Name declared in `<!DOCTYPE name ...>`; empty when absent.
+  const std::string& doctype_name() const { return doctype_name_; }
+  void set_doctype_name(std::string name) { doctype_name_ = std::move(name); }
+
+  /// SYSTEM identifier of the external DTD subset; empty when absent.
+  const std::string& doctype_system_id() const { return doctype_system_id_; }
+  void set_doctype_system_id(std::string id) {
+    doctype_system_id_ = std::move(id);
+  }
+
+  /// The DTD attached to this document (internal subset, external subset,
+  /// or one supplied programmatically); may be null.
+  const Dtd* dtd() const { return dtd_.get(); }
+  Dtd* mutable_dtd() { return dtd_.get(); }
+  void set_dtd(std::unique_ptr<Dtd> dtd);
+
+  /// Recomputes `doc_order()` for every node, attributes included.
+  /// Must be called after structural mutation before relying on document
+  /// order (the parser and the pruner call it).
+  void Reindex();
+
+  /// Total number of nodes (elements + attributes + character data +
+  /// comments + PIs + the document node) — the `n` of complexity claims.
+  int64_t node_count() const { return node_count_; }
+
+ private:
+  bool has_xml_decl_ = false;
+  std::string version_ = "1.0";
+  std::string encoding_ = "UTF-8";
+  bool standalone_ = false;
+  std::string doctype_name_;
+  std::string doctype_system_id_;
+  std::unique_ptr<Dtd> dtd_;
+  int64_t node_count_ = 0;
+};
+
+/// Calls `fn` for every node of the subtree rooted at `node` in document
+/// order (attributes visited right after their element).  `node` itself is
+/// included.
+void ForEachNode(Node* node, const std::function<void(Node*)>& fn);
+void ForEachNode(const Node* node, const std::function<void(const Node*)>& fn);
+
+/// True when `maybe_ancestor` is `node` or one of its ancestors (an
+/// attribute's ancestors start at its owner element).
+bool IsAncestorOrSelf(const Node* maybe_ancestor, const Node* node);
+
+}  // namespace xml
+}  // namespace xmlsec
+
+#endif  // XMLSEC_XML_DOM_H_

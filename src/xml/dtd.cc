@@ -1,0 +1,154 @@
+#include "xml/dtd.h"
+
+namespace xmlsec {
+namespace xml {
+
+std::string_view CardinalitySuffix(Cardinality c) {
+  switch (c) {
+    case Cardinality::kOne:
+      return "";
+    case Cardinality::kOptional:
+      return "?";
+    case Cardinality::kZeroOrMore:
+      return "*";
+    case Cardinality::kOneOrMore:
+      return "+";
+  }
+  return "";
+}
+
+std::string ContentParticle::ToString() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kName:
+      out = name;
+      break;
+    case Kind::kSequence:
+    case Kind::kChoice: {
+      const char sep = kind == Kind::kSequence ? ',' : '|';
+      out.push_back('(');
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out.push_back(sep);
+        out.append(children[i].ToString());
+      }
+      out.push_back(')');
+      break;
+    }
+  }
+  out += CardinalitySuffix(cardinality);
+  return out;
+}
+
+std::string ElementDecl::ContentToString() const {
+  switch (content_kind) {
+    case ContentKind::kEmpty:
+      return "EMPTY";
+    case ContentKind::kAny:
+      return "ANY";
+    case ContentKind::kMixed: {
+      if (mixed_names.empty()) return "(#PCDATA)";
+      std::string out = "(#PCDATA";
+      for (const std::string& n : mixed_names) {
+        out += "|";
+        out += n;
+      }
+      out += ")*";
+      return out;
+    }
+    case ContentKind::kChildren:
+      return particle.has_value() ? particle->ToString() : "ANY";
+  }
+  return "ANY";
+}
+
+std::string_view AttrTypeToString(AttrType t) {
+  switch (t) {
+    case AttrType::kCData:
+      return "CDATA";
+    case AttrType::kId:
+      return "ID";
+    case AttrType::kIdRef:
+      return "IDREF";
+    case AttrType::kIdRefs:
+      return "IDREFS";
+    case AttrType::kEntity:
+      return "ENTITY";
+    case AttrType::kEntities:
+      return "ENTITIES";
+    case AttrType::kNmToken:
+      return "NMTOKEN";
+    case AttrType::kNmTokens:
+      return "NMTOKENS";
+    case AttrType::kNotation:
+      return "NOTATION";
+    case AttrType::kEnumeration:
+      return "";  // rendered as the enumeration itself
+  }
+  return "CDATA";
+}
+
+Status Dtd::AddElementDecl(ElementDecl decl) {
+  auto [it, inserted] = elements_.emplace(decl.name, std::move(decl));
+  if (!inserted) {
+    return Status::ValidationError("element '" + it->first +
+                                   "' declared more than once");
+  }
+  return Status::OK();
+}
+
+const ElementDecl* Dtd::FindElement(std::string_view name) const {
+  auto it = elements_.find(std::string(name));
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+void Dtd::AddAttrDecl(std::string_view element, AttrDecl decl) {
+  std::vector<AttrDecl>& list = attlists_[std::string(element)];
+  for (const AttrDecl& existing : list) {
+    if (existing.name == decl.name) return;  // First declaration wins.
+  }
+  list.push_back(std::move(decl));
+}
+
+const AttrDecl* Dtd::FindAttr(std::string_view element,
+                              std::string_view attr) const {
+  const std::vector<AttrDecl>* list = FindAttlist(element);
+  if (list == nullptr) return nullptr;
+  for (const AttrDecl& decl : *list) {
+    if (decl.name == attr) return &decl;
+  }
+  return nullptr;
+}
+
+const std::vector<AttrDecl>* Dtd::FindAttlist(std::string_view element) const {
+  auto it = attlists_.find(std::string(element));
+  return it == attlists_.end() ? nullptr : &it->second;
+}
+
+void Dtd::AddEntity(EntityDecl decl) {
+  auto& table = decl.is_parameter ? parameter_entities_ : general_entities_;
+  table.emplace(decl.name, std::move(decl));  // First binding wins.
+}
+
+const EntityDecl* Dtd::FindEntity(std::string_view name,
+                                  bool parameter) const {
+  const auto& table = parameter ? parameter_entities_ : general_entities_;
+  auto it = table.find(std::string(name));
+  return it == table.end() ? nullptr : &it->second;
+}
+
+Status Dtd::AddNotation(NotationDecl decl) {
+  auto [it, inserted] = notations_.emplace(decl.name, std::move(decl));
+  if (!inserted) {
+    return Status::ValidationError("notation '" + it->first +
+                                   "' declared more than once");
+  }
+  return Status::OK();
+}
+
+const NotationDecl* Dtd::FindNotation(std::string_view name) const {
+  auto it = notations_.find(std::string(name));
+  return it == notations_.end() ? nullptr : &it->second;
+}
+
+}  // namespace xml
+}  // namespace xmlsec

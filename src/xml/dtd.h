@@ -1,0 +1,195 @@
+#ifndef XMLSEC_XML_DTD_H_
+#define XMLSEC_XML_DTD_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmlsec {
+namespace xml {
+
+/// Occurrence indicator of a content particle — the EBNF-style labels of
+/// XML 1.0 element declarations (`?`, `*`, `+`, or none).
+enum class Cardinality {
+  kOne,         ///< exactly one (no label)
+  kOptional,    ///< `?` — zero or one
+  kZeroOrMore,  ///< `*`
+  kOneOrMore,   ///< `+`
+};
+
+std::string_view CardinalitySuffix(Cardinality c);
+
+/// A node of an element content model: either an element name or a
+/// sequence / choice group, each with an occurrence indicator.
+struct ContentParticle {
+  enum class Kind { kName, kSequence, kChoice };
+
+  Kind kind = Kind::kName;
+  std::string name;                       ///< set when kind == kName
+  std::vector<ContentParticle> children;  ///< set for groups
+  Cardinality cardinality = Cardinality::kOne;
+
+  /// Renders back to DTD syntax, e.g. `(a,(b|c)*,d?)`.
+  std::string ToString() const;
+};
+
+/// Category of element content.
+enum class ContentKind {
+  kEmpty,     ///< EMPTY
+  kAny,       ///< ANY
+  kMixed,     ///< (#PCDATA | name | ...)*  or bare (#PCDATA)
+  kChildren,  ///< deterministic child-element content model
+};
+
+/// `<!ELEMENT name content>`.
+struct ElementDecl {
+  std::string name;
+  ContentKind content_kind = ContentKind::kAny;
+  /// Element names admitted in mixed content (kMixed only).
+  std::vector<std::string> mixed_names;
+  /// Content model (kChildren only).
+  std::optional<ContentParticle> particle;
+
+  /// Renders the content specification in DTD syntax.
+  std::string ContentToString() const;
+};
+
+/// XML 1.0 attribute types.
+enum class AttrType {
+  kCData,
+  kId,
+  kIdRef,
+  kIdRefs,
+  kEntity,
+  kEntities,
+  kNmToken,
+  kNmTokens,
+  kNotation,
+  kEnumeration,
+};
+
+std::string_view AttrTypeToString(AttrType t);
+
+/// XML 1.0 attribute default kinds.
+enum class AttrDefaultKind {
+  kRequired,  ///< #REQUIRED
+  kImplied,   ///< #IMPLIED
+  kFixed,     ///< #FIXED "value"
+  kDefault,   ///< "value"
+};
+
+/// One attribute definition inside `<!ATTLIST element ...>`.
+struct AttrDecl {
+  std::string name;
+  AttrType type = AttrType::kCData;
+  /// Allowed tokens for kEnumeration / kNotation types.
+  std::vector<std::string> enum_values;
+  AttrDefaultKind default_kind = AttrDefaultKind::kImplied;
+  /// Default (or fixed) value for kFixed / kDefault.
+  std::string default_value;
+};
+
+/// `<!ENTITY name "value">` (internal) or `<!ENTITY name SYSTEM "uri">`
+/// (external — recorded but not fetched; resolution is injected by the
+/// caller when needed).
+struct EntityDecl {
+  std::string name;
+  bool is_parameter = false;
+  bool is_external = false;
+  std::string value;      ///< replacement text (internal entities)
+  std::string public_id;  ///< external entities
+  std::string system_id;
+  std::string ndata;      ///< notation name for unparsed entities
+};
+
+/// `<!NOTATION name PUBLIC|SYSTEM ...>`.
+struct NotationDecl {
+  std::string name;
+  std::string public_id;
+  std::string system_id;
+};
+
+/// A parsed Document Type Definition: the schema of the paper's
+/// schema-level authorizations.
+///
+/// Value-semantic (copyable) so that documents can own private copies and
+/// the loosening transformation can produce derived DTDs.
+class Dtd {
+ public:
+  Dtd() = default;
+
+  /// Name of the expected root element (from `<!DOCTYPE name ...>`);
+  /// empty when the DTD was parsed standalone.
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- Element declarations -------------------------------------------
+
+  /// Registers an element declaration; duplicate declarations are a
+  /// validity error in XML 1.0.
+  Status AddElementDecl(ElementDecl decl);
+
+  const ElementDecl* FindElement(std::string_view name) const;
+  const std::map<std::string, ElementDecl>& elements() const {
+    return elements_;
+  }
+
+  // --- Attribute-list declarations ------------------------------------
+
+  /// Merges an attribute definition for `element`.  Per XML 1.0, when the
+  /// same attribute is declared twice the first declaration is binding
+  /// (the second is ignored, not an error).
+  void AddAttrDecl(std::string_view element, AttrDecl decl);
+
+  const AttrDecl* FindAttr(std::string_view element,
+                           std::string_view attr) const;
+  const std::vector<AttrDecl>* FindAttlist(std::string_view element) const;
+  const std::map<std::string, std::vector<AttrDecl>>& attlists() const {
+    return attlists_;
+  }
+
+  // --- Entities and notations -----------------------------------------
+
+  /// Registers an entity.  Per XML 1.0 the first binding wins; a repeat
+  /// declaration is silently ignored.
+  void AddEntity(EntityDecl decl);
+
+  /// Finds a general (`is_parameter == false`) or parameter entity.
+  const EntityDecl* FindEntity(std::string_view name, bool parameter) const;
+  const std::map<std::string, EntityDecl>& general_entities() const {
+    return general_entities_;
+  }
+  const std::map<std::string, EntityDecl>& parameter_entities() const {
+    return parameter_entities_;
+  }
+
+  Status AddNotation(NotationDecl decl);
+  const NotationDecl* FindNotation(std::string_view name) const;
+  const std::map<std::string, NotationDecl>& notations() const {
+    return notations_;
+  }
+
+  /// True when this DTD declares nothing at all.
+  bool empty() const {
+    return elements_.empty() && attlists_.empty() &&
+           general_entities_.empty() && parameter_entities_.empty() &&
+           notations_.empty();
+  }
+
+ private:
+  std::string name_;
+  std::map<std::string, ElementDecl> elements_;
+  std::map<std::string, std::vector<AttrDecl>> attlists_;
+  std::map<std::string, EntityDecl> general_entities_;
+  std::map<std::string, EntityDecl> parameter_entities_;
+  std::map<std::string, NotationDecl> notations_;
+};
+
+}  // namespace xml
+}  // namespace xmlsec
+
+#endif  // XMLSEC_XML_DTD_H_

@@ -1,0 +1,34 @@
+#ifndef XMLSEC_XML_DTD_PARSER_H_
+#define XMLSEC_XML_DTD_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/dtd.h"
+
+namespace xmlsec {
+namespace xml {
+
+/// Parses a standalone DTD (an external subset file, or the body of an
+/// internal subset between `[` and `]`).
+///
+/// Supported markup: `<!ELEMENT>`, `<!ATTLIST>`, `<!ENTITY>` (general and
+/// parameter, internal and external), `<!NOTATION>`, comments, processing
+/// instructions, and conditional sections (`<![INCLUDE[`, `<![IGNORE[`).
+/// Parameter-entity references are textually expanded with a recursion
+/// limit, following external-subset semantics (recognized anywhere outside
+/// comments).
+Result<std::unique_ptr<Dtd>> ParseDtd(std::string_view text);
+
+/// Same as `ParseDtd` but merges declarations into an existing DTD
+/// (used to combine internal and external subsets; per XML 1.0 the
+/// internal subset is processed first and its bindings win for entities
+/// and attribute definitions).
+Status ParseDtdInto(std::string_view text, Dtd* dtd);
+
+}  // namespace xml
+}  // namespace xmlsec
+
+#endif  // XMLSEC_XML_DTD_PARSER_H_

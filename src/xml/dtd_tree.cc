@@ -1,0 +1,148 @@
+#include "xml/dtd_tree.h"
+
+#include <set>
+#include <vector>
+
+namespace xmlsec {
+namespace xml {
+
+namespace {
+
+/// One child edge of the schema tree: target name and arc cardinality.
+struct Edge {
+  std::string name;
+  Cardinality cardinality;
+};
+
+/// Flattens a content particle into child edges.  Group cardinalities
+/// compose with member cardinalities pessimistically: a member inside a
+/// `*` or `?` group can occur zero times, inside a `+` group many times.
+void CollectEdges(const ContentParticle& particle, Cardinality outer,
+                  std::vector<Edge>* out) {
+  Cardinality combined = particle.cardinality;
+  // Compose outer group cardinality with this particle's.
+  auto optional_of = [](Cardinality c) {
+    switch (c) {
+      case Cardinality::kOne:
+        return Cardinality::kOptional;
+      case Cardinality::kOneOrMore:
+        return Cardinality::kZeroOrMore;
+      default:
+        return c;
+    }
+  };
+  auto repeated_of = [](Cardinality c) {
+    switch (c) {
+      case Cardinality::kOne:
+        return Cardinality::kOneOrMore;
+      case Cardinality::kOptional:
+        return Cardinality::kZeroOrMore;
+      default:
+        return c;
+    }
+  };
+  switch (outer) {
+    case Cardinality::kOne:
+      break;
+    case Cardinality::kOptional:
+      combined = optional_of(combined);
+      break;
+    case Cardinality::kOneOrMore:
+      combined = repeated_of(combined);
+      break;
+    case Cardinality::kZeroOrMore:
+      combined = optional_of(repeated_of(combined));
+      break;
+  }
+
+  if (particle.kind == ContentParticle::Kind::kName) {
+    out->push_back(Edge{particle.name, combined});
+    return;
+  }
+  // Members of a choice are individually optional.
+  Cardinality member_outer =
+      particle.kind == ContentParticle::Kind::kChoice
+          ? (combined == Cardinality::kOne ||
+                     combined == Cardinality::kOptional
+                 ? Cardinality::kOptional
+                 : Cardinality::kZeroOrMore)
+          : combined;
+  for (const ContentParticle& child : particle.children) {
+    CollectEdges(child, member_outer, out);
+  }
+}
+
+const char* ArcLabel(Cardinality c) {
+  switch (c) {
+    case Cardinality::kOne:
+      return "---";
+    case Cardinality::kOptional:
+      return "--?";
+    case Cardinality::kZeroOrMore:
+      return "--*";
+    case Cardinality::kOneOrMore:
+      return "--+";
+  }
+  return "---";
+}
+
+void Render(const Dtd& dtd, const std::string& name, int depth,
+            std::set<std::string>* on_branch, std::string* out) {
+  std::string indent(static_cast<size_t>(depth) * 6, ' ');
+  if (depth == 0) {
+    *out += "(" + name + ")\n";
+  }
+  const ElementDecl* decl = dtd.FindElement(name);
+  on_branch->insert(name);
+
+  // Attributes first (squares in the paper's figure).
+  if (const std::vector<AttrDecl>* attrs = dtd.FindAttlist(name)) {
+    for (const AttrDecl& attr : *attrs) {
+      Cardinality c = attr.default_kind == AttrDefaultKind::kRequired ||
+                              attr.default_kind == AttrDefaultKind::kFixed ||
+                              attr.default_kind == AttrDefaultKind::kDefault
+                          ? Cardinality::kOne
+                          : Cardinality::kOptional;
+      *out += indent + " |" + ArcLabel(c) + " [" + attr.name + "]\n";
+    }
+  }
+
+  if (decl != nullptr) {
+    std::vector<Edge> edges;
+    if (decl->content_kind == ContentKind::kChildren &&
+        decl->particle.has_value()) {
+      CollectEdges(*decl->particle, Cardinality::kOne, &edges);
+    } else if (decl->content_kind == ContentKind::kMixed) {
+      for (const std::string& mixed : decl->mixed_names) {
+        edges.push_back(Edge{mixed, Cardinality::kZeroOrMore});
+      }
+    }
+    for (const Edge& edge : edges) {
+      bool cycle = on_branch->count(edge.name) > 0;
+      *out += indent + " |" + ArcLabel(edge.cardinality) + " (" + edge.name +
+              (cycle ? ")^\n" : ")\n");
+      if (!cycle) {
+        Render(dtd, edge.name, depth + 1, on_branch, out);
+      }
+    }
+  }
+  on_branch->erase(name);
+}
+
+}  // namespace
+
+std::string DtdTreeString(const Dtd& dtd, const std::string& root) {
+  std::string start = root;
+  if (start.empty()) start = dtd.name();
+  if (start.empty() && !dtd.elements().empty()) {
+    start = dtd.elements().begin()->first;
+  }
+  if (start.empty()) return "(empty DTD)\n";
+  std::string out;
+  std::set<std::string> on_branch;
+  Render(dtd, start, 0, &on_branch, &out);
+  return out;
+}
+
+}  // namespace xml
+}  // namespace xmlsec

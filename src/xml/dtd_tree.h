@@ -1,0 +1,34 @@
+#ifndef XMLSEC_XML_DTD_TREE_H_
+#define XMLSEC_XML_DTD_TREE_H_
+
+#include <string>
+
+#include "xml/dtd.h"
+
+namespace xmlsec {
+namespace xml {
+
+/// Renders a DTD as the paper's graphical tree model (Fig. 1b): one node
+/// per element and attribute, arcs labeled with the cardinality of the
+/// relationship.  Elements print as `(name)`, attributes as `[name]`,
+/// arcs as `--*`, `--+`, `--?`, or `---` (exactly one).
+///
+/// ```
+/// (laboratory)
+///  |--? [name]
+///  |--* (project)
+///        |--- [name]
+///        |--- [type]
+///        |--- (manager)
+///        ...
+/// ```
+///
+/// Recursion in the schema is cut at the second occurrence of an element
+/// along one branch (printed as `(name)^`).  `root` selects the starting
+/// element; empty uses the DTD's declared name or the first declaration.
+std::string DtdTreeString(const Dtd& dtd, const std::string& root = "");
+
+}  // namespace xml
+}  // namespace xmlsec
+
+#endif  // XMLSEC_XML_DTD_TREE_H_

@@ -1,0 +1,603 @@
+#include "xml/parser.h"
+
+#include <cstdint>
+
+#include "common/str_util.h"
+#include "xml/cursor.h"
+#include "xml/dtd_parser.h"
+
+namespace xmlsec {
+namespace xml {
+
+namespace {
+
+constexpr int kMaxEntityDepth = 32;
+
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+class XmlParser {
+ public:
+  XmlParser(std::string_view text, const ParseOptions& options,
+            const Dtd* entity_source, int entity_depth)
+      : cur_(text),
+        options_(options),
+        entity_source_(entity_source),
+        entity_depth_(entity_depth) {}
+
+  Status ParseDocumentNode(Document* doc) {
+    XMLSEC_RETURN_IF_ERROR(MaybeParseXmlDecl(doc));
+    XMLSEC_RETURN_IF_ERROR(ParseMisc(doc));
+    if (cur_.LookingAt("<!DOCTYPE")) {
+      XMLSEC_RETURN_IF_ERROR(ParseDoctype(doc));
+      entity_source_ = doc->dtd();
+      XMLSEC_RETURN_IF_ERROR(ParseMisc(doc));
+    }
+    if (cur_.Peek() != '<') {
+      return cur_.Error("expected root element");
+    }
+    XMLSEC_RETURN_IF_ERROR(ParseElement(doc));
+    XMLSEC_RETURN_IF_ERROR(ParseMisc(doc));
+    if (!cur_.AtEnd()) {
+      return cur_.Error("content after document end");
+    }
+    return Status::OK();
+  }
+
+  /// Parses a sequence of content items (text, elements, CDATA, comments,
+  /// PIs, entity references) until end of input — used for the
+  /// replacement text of general entities.
+  Status ParseContentFragment(Node* parent) {
+    return ParseContent(parent, /*expect_end_tag=*/false, "");
+  }
+
+ private:
+  // --- Prolog ----------------------------------------------------------
+
+  Status MaybeParseXmlDecl(Document* doc) {
+    if (!cur_.LookingAt("<?xml")) return Status::OK();
+    // Must be followed by whitespace to be a declaration (and not a PI
+    // named e.g. "xml-stylesheet").
+    if (!IsXmlSpace(cur_.PeekAt(5))) return Status::OK();
+    cur_.Match("<?xml");
+    std::string version = "1.0";
+    std::string encoding = "UTF-8";
+    bool standalone = false;
+    cur_.SkipSpace();
+    if (!cur_.Match("version")) return cur_.Error("expected 'version'");
+    XMLSEC_RETURN_IF_ERROR(ParseEq());
+    XMLSEC_ASSIGN_OR_RETURN(version, ParseQuotedLiteral());
+    cur_.SkipSpace();
+    if (cur_.Match("encoding")) {
+      XMLSEC_RETURN_IF_ERROR(ParseEq());
+      XMLSEC_ASSIGN_OR_RETURN(encoding, ParseQuotedLiteral());
+      cur_.SkipSpace();
+    }
+    if (cur_.Match("standalone")) {
+      XMLSEC_RETURN_IF_ERROR(ParseEq());
+      XMLSEC_ASSIGN_OR_RETURN(std::string value, ParseQuotedLiteral());
+      if (value == "yes") {
+        standalone = true;
+      } else if (value == "no") {
+        standalone = false;
+      } else {
+        return cur_.Error("standalone must be 'yes' or 'no'");
+      }
+      cur_.SkipSpace();
+    }
+    if (!cur_.Match("?>")) return cur_.Error("expected '?>'");
+    doc->SetXmlDecl(std::move(version), std::move(encoding), standalone);
+    return Status::OK();
+  }
+
+  Status ParseEq() {
+    cur_.SkipSpace();
+    if (!cur_.Match("=")) return cur_.Error("expected '='");
+    cur_.SkipSpace();
+    return Status::OK();
+  }
+
+  Result<std::string> ParseQuotedLiteral() {
+    char quote = cur_.Peek();
+    if (quote != '"' && quote != '\'') {
+      return cur_.Error("expected quoted literal");
+    }
+    cur_.Advance();
+    std::string out;
+    while (!cur_.AtEnd() && cur_.Peek() != quote) out.push_back(cur_.Advance());
+    if (cur_.AtEnd()) return cur_.Error("unterminated literal");
+    cur_.Advance();
+    return out;
+  }
+
+  /// Misc ::= Comment | PI | S — between prolog parts and after the root.
+  Status ParseMisc(Document* doc) {
+    while (true) {
+      cur_.SkipSpace();
+      if (cur_.LookingAt("<!--")) {
+        XMLSEC_RETURN_IF_ERROR(ParseComment(doc));
+      } else if (cur_.LookingAt("<?") && !cur_.LookingAt("<?xml ")) {
+        XMLSEC_RETURN_IF_ERROR(ParsePi(doc));
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Status ParseDoctype(Document* doc) {
+    cur_.Match("<!DOCTYPE");
+    if (!cur_.SkipSpace()) return cur_.Error("expected space after <!DOCTYPE");
+    std::string name = cur_.ReadName();
+    if (name.empty()) return cur_.Error("expected document type name");
+    doc->set_doctype_name(name);
+    cur_.SkipSpace();
+    std::string system_id;
+    if (cur_.Match("SYSTEM")) {
+      cur_.SkipSpace();
+      XMLSEC_ASSIGN_OR_RETURN(system_id, ParseQuotedLiteral());
+      cur_.SkipSpace();
+    } else if (cur_.Match("PUBLIC")) {
+      cur_.SkipSpace();
+      XMLSEC_RETURN_IF_ERROR(ParseQuotedLiteral().status());
+      cur_.SkipSpace();
+      XMLSEC_ASSIGN_OR_RETURN(system_id, ParseQuotedLiteral());
+      cur_.SkipSpace();
+    }
+    doc->set_doctype_system_id(system_id);
+
+    auto dtd = std::make_unique<Dtd>();
+    dtd->set_name(name);
+    if (cur_.Match("[")) {
+      size_t begin = cur_.pos();
+      XMLSEC_RETURN_IF_ERROR(SkipInternalSubset());
+      std::string_view subset = cur_.Slice(begin, cur_.pos() - 1);
+      XMLSEC_RETURN_IF_ERROR(ParseDtdInto(subset, dtd.get()));
+      cur_.SkipSpace();
+    }
+    if (!system_id.empty() && options_.resolver) {
+      Result<std::string> external = options_.resolver(system_id);
+      if (!external.ok()) return external.status();
+      // Internal subset was parsed first; its bindings win (XML 1.0).
+      XMLSEC_RETURN_IF_ERROR(ParseDtdInto(*external, dtd.get()));
+    }
+    if (!cur_.Match(">")) return cur_.Error("expected '>' closing <!DOCTYPE");
+    doc->set_dtd(std::move(dtd));
+    return Status::OK();
+  }
+
+  /// Advances past the internal subset up to and including the closing
+  /// ']', skipping quoted literals and comments.
+  Status SkipInternalSubset() {
+    while (!cur_.AtEnd()) {
+      char c = cur_.Peek();
+      if (c == ']') {
+        cur_.Advance();
+        return Status::OK();
+      }
+      if (c == '"' || c == '\'') {
+        cur_.Advance();
+        while (!cur_.AtEnd() && cur_.Peek() != c) cur_.Advance();
+        if (cur_.AtEnd()) return cur_.Error("unterminated literal in DTD");
+        cur_.Advance();
+      } else if (cur_.LookingAt("<!--")) {
+        cur_.Match("<!--");
+        while (!cur_.AtEnd() && !cur_.Match("-->")) cur_.Advance();
+      } else {
+        cur_.Advance();
+      }
+    }
+    return cur_.Error("unterminated internal DTD subset");
+  }
+
+  // --- Content ---------------------------------------------------------
+
+  Status ParseElement(Node* parent) {
+    if (++element_depth_ > options_.max_depth) {
+      return cur_.Error("element nesting exceeds max_depth (" +
+                        std::to_string(options_.max_depth) + ")");
+    }
+    Status status = ParseElementImpl(parent);
+    --element_depth_;
+    return status;
+  }
+
+  Status ParseElementImpl(Node* parent) {
+    int start_line = cur_.line();
+    int start_col = cur_.column();
+    if (!cur_.Match("<")) return cur_.Error("expected '<'");
+    std::string tag = cur_.ReadName();
+    if (tag.empty()) return cur_.Error("expected element name");
+    auto element = std::make_unique<Element>(tag);
+    element->set_source_position(start_line, start_col);
+    Element* el = element.get();
+    parent->AppendChild(std::move(element));
+
+    XMLSEC_RETURN_IF_ERROR(ParseAttributes(el));
+    cur_.SkipSpace();
+    if (cur_.Match("/>")) return Status::OK();
+    if (!cur_.Match(">")) return cur_.Error("expected '>' or '/>'");
+    XMLSEC_RETURN_IF_ERROR(ParseContent(el, /*expect_end_tag=*/true, tag));
+    return Status::OK();
+  }
+
+  Status ParseAttributes(Element* el) {
+    while (true) {
+      bool spaced = cur_.SkipSpace();
+      char c = cur_.Peek();
+      if (c == '>' || c == '/' || c == '\0') return Status::OK();
+      if (!spaced) return cur_.Error("expected whitespace before attribute");
+      int line = cur_.line();
+      int col = cur_.column();
+      std::string name = cur_.ReadName();
+      if (name.empty()) return cur_.Error("expected attribute name");
+      XMLSEC_RETURN_IF_ERROR(ParseEq());
+      XMLSEC_ASSIGN_OR_RETURN(std::string value, ParseAttValue());
+      auto attr = std::make_unique<Attr>(std::move(name), std::move(value));
+      attr->set_source_position(line, col);
+      Status added = el->AddAttribute(std::move(attr));
+      if (!added.ok()) return cur_.Error(added.message());
+    }
+  }
+
+  /// AttValue with normalization: references expanded, literal whitespace
+  /// characters replaced by spaces (XML 1.0 §3.3.3, CDATA normalization).
+  Result<std::string> ParseAttValue() {
+    char quote = cur_.Peek();
+    if (quote != '"' && quote != '\'') {
+      return cur_.Error("expected quoted attribute value");
+    }
+    cur_.Advance();
+    std::string out;
+    while (true) {
+      if (cur_.AtEnd()) return cur_.Error("unterminated attribute value");
+      char c = cur_.Peek();
+      if (c == quote) {
+        cur_.Advance();
+        return out;
+      }
+      if (c == '<') {
+        return cur_.Error("'<' not allowed in attribute value");
+      }
+      if (c == '&') {
+        XMLSEC_RETURN_IF_ERROR(ExpandReferenceIntoText(&out, 0));
+        continue;
+      }
+      cur_.Advance();
+      out.push_back(IsXmlSpace(c) ? ' ' : c);
+    }
+  }
+
+  Status ParseContent(Node* parent, bool expect_end_tag,
+                      std::string_view tag) {
+    std::string pending_text;
+    int text_line = 0;
+    int text_col = 0;
+    std::function<void()> flush_text = [&]() {
+      if (pending_text.empty()) return;
+      if (!(options_.strip_ignorable_whitespace &&
+            IsXmlWhitespace(pending_text))) {
+        auto text = std::make_unique<Text>(std::move(pending_text));
+        text->set_source_position(text_line, text_col);
+        parent->AppendChild(std::move(text));
+      }
+      pending_text.clear();
+    };
+
+    while (true) {
+      if (cur_.AtEnd()) {
+        if (expect_end_tag) {
+          return cur_.Error("unexpected end of input inside element '" +
+                            std::string(tag) + "'");
+        }
+        flush_text();
+        return Status::OK();
+      }
+      char c = cur_.Peek();
+      if (c == '<') {
+        if (cur_.LookingAt("</")) {
+          flush_text();
+          if (!expect_end_tag) {
+            return cur_.Error("unbalanced end tag in entity content");
+          }
+          cur_.Match("</");
+          std::string end_name = cur_.ReadName();
+          cur_.SkipSpace();
+          if (!cur_.Match(">")) return cur_.Error("expected '>' in end tag");
+          if (end_name != tag) {
+            return cur_.Error("mismatched end tag </" + end_name +
+                              ">, expected </" + std::string(tag) + ">");
+          }
+          return Status::OK();
+        }
+        if (cur_.LookingAt("<!--")) {
+          flush_text();
+          XMLSEC_RETURN_IF_ERROR(ParseComment(parent));
+          continue;
+        }
+        if (cur_.LookingAt("<![CDATA[")) {
+          flush_text();
+          XMLSEC_RETURN_IF_ERROR(ParseCData(parent));
+          continue;
+        }
+        if (cur_.LookingAt("<?")) {
+          flush_text();
+          XMLSEC_RETURN_IF_ERROR(ParsePi(parent));
+          continue;
+        }
+        if (cur_.LookingAt("<!")) {
+          return cur_.Error("unexpected markup declaration in content");
+        }
+        flush_text();
+        XMLSEC_RETURN_IF_ERROR(ParseElement(parent));
+        continue;
+      }
+      if (c == '&') {
+        if (pending_text.empty()) {
+          text_line = cur_.line();
+          text_col = cur_.column();
+        }
+        XMLSEC_RETURN_IF_ERROR(
+            ExpandReferenceIntoContent(parent, &pending_text, &flush_text));
+        continue;
+      }
+      if (cur_.LookingAt("]]>")) {
+        return cur_.Error("']]>' not allowed in character data");
+      }
+      if (pending_text.empty()) {
+        text_line = cur_.line();
+        text_col = cur_.column();
+      }
+      pending_text.push_back(cur_.Advance());
+    }
+  }
+
+  Status ParseComment(Node* parent) {
+    int line = cur_.line();
+    int col = cur_.column();
+    cur_.Match("<!--");
+    std::string data;
+    while (!cur_.AtEnd()) {
+      if (cur_.Match("-->")) {
+        if (options_.keep_comments) {
+          auto node = std::make_unique<Comment>(std::move(data));
+          node->set_source_position(line, col);
+          parent->AppendChild(std::move(node));
+        }
+        return Status::OK();
+      }
+      if (cur_.LookingAt("--")) {
+        return cur_.Error("'--' not allowed inside comment");
+      }
+      data.push_back(cur_.Advance());
+    }
+    return cur_.Error("unterminated comment");
+  }
+
+  Status ParseCData(Node* parent) {
+    int line = cur_.line();
+    int col = cur_.column();
+    cur_.Match("<![CDATA[");
+    std::string data;
+    while (!cur_.AtEnd()) {
+      if (cur_.Match("]]>")) {
+        auto node = std::make_unique<Text>(std::move(data), /*cdata=*/true);
+        node->set_source_position(line, col);
+        parent->AppendChild(std::move(node));
+        return Status::OK();
+      }
+      data.push_back(cur_.Advance());
+    }
+    return cur_.Error("unterminated CDATA section");
+  }
+
+  Status ParsePi(Node* parent) {
+    int line = cur_.line();
+    int col = cur_.column();
+    cur_.Match("<?");
+    std::string target = cur_.ReadName();
+    if (target.empty()) return cur_.Error("expected PI target");
+    if (AsciiToLower(target) == "xml") {
+      return cur_.Error("PI target 'xml' is reserved");
+    }
+    std::string data;
+    if (cur_.SkipSpace()) {
+      while (!cur_.AtEnd() && !cur_.LookingAt("?>")) {
+        data.push_back(cur_.Advance());
+      }
+    }
+    if (!cur_.Match("?>")) return cur_.Error("unterminated PI");
+    if (options_.keep_processing_instructions) {
+      auto node = std::make_unique<ProcessingInstruction>(std::move(target),
+                                                          std::move(data));
+      node->set_source_position(line, col);
+      parent->AppendChild(std::move(node));
+    }
+    return Status::OK();
+  }
+
+  // --- References ------------------------------------------------------
+
+  /// Reads `&...;` at the cursor and returns the entity name, or expands
+  /// a character reference / predefined entity directly into `*text`.
+  /// Returns an empty name when the reference was fully handled.
+  Result<std::string> ReadReference(std::string* text) {
+    cur_.Match("&");
+    if (cur_.Match("#")) {
+      uint32_t cp = 0;
+      bool any = false;
+      if (cur_.Match("x") || cur_.Match("X")) {
+        while (IsHexDigit(cur_.Peek())) {
+          char c = cur_.Advance();
+          cp = cp * 16 + static_cast<uint32_t>(IsDigit(c)    ? c - '0'
+                                               : (c >= 'a') ? c - 'a' + 10
+                                                            : c - 'A' + 10);
+          any = true;
+        }
+      } else {
+        while (IsDigit(cur_.Peek())) {
+          cp = cp * 10 + static_cast<uint32_t>(cur_.Advance() - '0');
+          any = true;
+        }
+      }
+      if (!any || !cur_.Match(";")) {
+        return cur_.Error("malformed character reference");
+      }
+      if (cp == 0 || cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) {
+        return cur_.Error("character reference out of range");
+      }
+      AppendUtf8(cp, text);
+      return std::string();
+    }
+    std::string name = cur_.ReadName();
+    if (name.empty() || !cur_.Match(";")) {
+      return cur_.Error("malformed entity reference");
+    }
+    if (name == "amp") {
+      text->push_back('&');
+      return std::string();
+    }
+    if (name == "lt") {
+      text->push_back('<');
+      return std::string();
+    }
+    if (name == "gt") {
+      text->push_back('>');
+      return std::string();
+    }
+    if (name == "apos") {
+      text->push_back('\'');
+      return std::string();
+    }
+    if (name == "quot") {
+      text->push_back('"');
+      return std::string();
+    }
+    return name;
+  }
+
+  /// Reference inside an attribute value: entity replacement text may not
+  /// contain '<'; nested references are expanded recursively.
+  Status ExpandReferenceIntoText(std::string* out, int depth) {
+    if (depth > kMaxEntityDepth) {
+      return cur_.Error("entity expansion exceeds depth limit");
+    }
+    XMLSEC_ASSIGN_OR_RETURN(std::string name, ReadReference(out));
+    if (name.empty()) return Status::OK();
+    const EntityDecl* decl = FindGeneralEntity(name);
+    if (decl == nullptr) {
+      return cur_.Error("undeclared entity '&" + name + ";'");
+    }
+    if (decl->is_external) {
+      return cur_.Error("external entity '&" + name +
+                        ";' not allowed in attribute value");
+    }
+    // The replacement text is scanned for further references; literal
+    // whitespace normalizes to spaces as in direct attribute text.
+    for (size_t i = 0; i < decl->value.size();) {
+      char c = decl->value[i];
+      if (c == '<') {
+        return cur_.Error("entity '&" + name +
+                          ";' expands to '<' inside attribute value");
+      }
+      if (c == '&') {
+        // Delegate to a sub-parser over the remainder of the value.
+        XmlParser sub(std::string_view(decl->value).substr(i), options_,
+                      entity_source_, entity_depth_ + 1);
+        std::string tail;
+        XMLSEC_RETURN_IF_ERROR(sub.ExpandReferenceIntoText(&tail, depth + 1));
+        out->append(tail);
+        i += sub.cur_.pos();
+        continue;
+      }
+      out->push_back(IsXmlSpace(c) ? ' ' : c);
+      ++i;
+    }
+    return Status::OK();
+  }
+
+  /// Reference in element content: character refs and predefined entities
+  /// become text; general entities are parsed as balanced content
+  /// fragments (they may contain markup).
+  Status ExpandReferenceIntoContent(Node* parent, std::string* pending_text,
+                                    const std::function<void()>* flush_text) {
+    XMLSEC_ASSIGN_OR_RETURN(std::string name, ReadReference(pending_text));
+    if (name.empty()) return Status::OK();
+    const EntityDecl* decl = FindGeneralEntity(name);
+    if (decl == nullptr) {
+      return cur_.Error("undeclared entity '&" + name + ";'");
+    }
+    if (decl->is_external) {
+      return cur_.Error("external general entity '&" + name +
+                        ";' is not supported in content");
+    }
+    if (!decl->ndata.empty()) {
+      return cur_.Error("unparsed entity '&" + name +
+                        ";' referenced in content");
+    }
+    if (entity_depth_ + 1 > kMaxEntityDepth) {
+      return cur_.Error("entity expansion exceeds depth limit");
+    }
+    // Fast path: plain text replacement (no markup, no nested refs).
+    if (decl->value.find_first_of("<&") == std::string::npos) {
+      pending_text->append(decl->value);
+      return Status::OK();
+    }
+    (*flush_text)();
+    XmlParser sub(decl->value, options_, entity_source_, entity_depth_ + 1);
+    sub.element_depth_ = element_depth_;  // Depth bound spans entities.
+    Status status = sub.ParseContentFragment(parent);
+    if (!status.ok()) {
+      return Status::ParseError("in expansion of entity '&" + name +
+                                ";': " + status.message());
+    }
+    return Status::OK();
+  }
+
+  const EntityDecl* FindGeneralEntity(std::string_view name) const {
+    if (entity_source_ == nullptr) return nullptr;
+    return entity_source_->FindEntity(name, /*parameter=*/false);
+  }
+
+  TextCursor cur_;
+  const ParseOptions& options_;
+  const Dtd* entity_source_;
+  int entity_depth_;
+  int element_depth_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Document>> ParseDocument(std::string_view text,
+                                                const ParseOptions& options) {
+  auto doc = std::make_unique<Document>();
+  XmlParser parser(text, options, /*entity_source=*/nullptr,
+                   /*entity_depth=*/0);
+  XMLSEC_RETURN_IF_ERROR(parser.ParseDocumentNode(doc.get()));
+  if (doc->root() == nullptr) {
+    return Status::ParseError("document has no root element");
+  }
+  doc->Reindex();
+  return doc;
+}
+
+Result<std::unique_ptr<Document>> ParseDocument(std::string_view text) {
+  return ParseDocument(text, ParseOptions());
+}
+
+}  // namespace xml
+}  // namespace xmlsec

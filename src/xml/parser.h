@@ -1,0 +1,55 @@
+#ifndef XMLSEC_XML_PARSER_H_
+#define XMLSEC_XML_PARSER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/dom.h"
+#include "xml/dtd.h"
+
+namespace xmlsec {
+namespace xml {
+
+/// Resolves an external identifier (DTD SYSTEM id) to its text.
+/// Supplied by the embedding application (e.g. the document repository);
+/// the parser itself performs no I/O.
+using ExternalResolver =
+    std::function<Result<std::string>(std::string_view system_id)>;
+
+/// Knobs for `ParseDocument`.
+struct ParseOptions {
+  /// Keep comment nodes in the tree.
+  bool keep_comments = true;
+  /// Keep processing-instruction nodes in the tree.
+  bool keep_processing_instructions = true;
+  /// Drop text nodes that consist purely of whitespace and sit between
+  /// element children (markup pretty-printing).  Off by default: the XML
+  /// spec keeps all character data.
+  bool strip_ignorable_whitespace = false;
+  /// Used to load the external DTD subset referenced by `<!DOCTYPE name
+  /// SYSTEM "...">`.  When unset, external subsets are recorded by system
+  /// id but not loaded.
+  ExternalResolver resolver;
+  /// Maximum element nesting depth.  The parser recurses per level, so
+  /// this bounds stack use on adversarial input ("billion-opens").
+  int max_depth = 512;
+};
+
+/// Parses a complete XML document (prolog, one root element, epilog),
+/// checking well-formedness: proper nesting, matching end tags, attribute
+/// uniqueness, legal references.  The internal DTD subset (and external
+/// subset when a resolver is given) is parsed and attached to the
+/// document; *validity* is checked separately by `Validator`.
+Result<std::unique_ptr<Document>> ParseDocument(std::string_view text,
+                                                const ParseOptions& options);
+
+/// Convenience overload with default options.
+Result<std::unique_ptr<Document>> ParseDocument(std::string_view text);
+
+}  // namespace xml
+}  // namespace xmlsec
+
+#endif  // XMLSEC_XML_PARSER_H_

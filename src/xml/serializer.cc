@@ -1,0 +1,303 @@
+#include "xml/serializer.h"
+
+#include "common/str_util.h"
+
+namespace xmlsec {
+namespace xml {
+
+namespace {
+
+void AppendIndent(std::string* out, int indent, int depth) {
+  if (indent < 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+}
+
+/// True when the element's children should each go on their own line:
+/// pretty-printing must not alter mixed content.
+bool HasOnlyStructuralChildren(const Element& el) {
+  if (el.children().empty()) return false;
+  for (const auto& child : el.children()) {
+    if (child->IsText() && !IsXmlWhitespace(child->NodeValue())) return false;
+  }
+  return true;
+}
+
+void SerializeNodeImpl(const Node& node, std::string* out, int indent,
+                       int depth) {
+  switch (node.type()) {
+    case NodeType::kDocument: {
+      for (const auto& child : node.children()) {
+        SerializeNodeImpl(*child, out, indent, depth);
+        if (indent >= 0) out->push_back('\n');
+      }
+      break;
+    }
+    case NodeType::kElement: {
+      const auto& el = static_cast<const Element&>(node);
+      out->push_back('<');
+      out->append(el.tag());
+      for (const auto& attr : el.attributes()) {
+        out->push_back(' ');
+        out->append(attr->name());
+        out->append("=\"");
+        out->append(EscapeAttrValue(attr->value()));
+        out->push_back('"');
+      }
+      if (el.children().empty()) {
+        out->append("/>");
+        break;
+      }
+      out->push_back('>');
+      const bool structural = indent >= 0 && HasOnlyStructuralChildren(el);
+      for (const auto& child : el.children()) {
+        if (structural && child->IsText()) continue;  // Old pretty-space.
+        if (structural) AppendIndent(out, indent, depth + 1);
+        SerializeNodeImpl(*child, out, indent, depth + 1);
+      }
+      if (structural) AppendIndent(out, indent, depth);
+      out->append("</");
+      out->append(el.tag());
+      out->push_back('>');
+      break;
+    }
+    case NodeType::kAttribute: {
+      const auto& attr = static_cast<const Attr&>(node);
+      out->append(attr.name());
+      out->append("=\"");
+      out->append(EscapeAttrValue(attr.value()));
+      out->push_back('"');
+      break;
+    }
+    case NodeType::kText:
+      out->append(EscapeText(node.NodeValue()));
+      break;
+    case NodeType::kCData: {
+      out->append("<![CDATA[");
+      out->append(node.NodeValue());  // Parser guarantees no "]]>" inside.
+      out->append("]]>");
+      break;
+    }
+    case NodeType::kComment: {
+      out->append("<!--");
+      out->append(node.NodeValue());
+      out->append("-->");
+      break;
+    }
+    case NodeType::kProcessingInstruction: {
+      const auto& pi = static_cast<const ProcessingInstruction&>(node);
+      out->append("<?");
+      out->append(pi.target());
+      if (!pi.data().empty()) {
+        out->push_back(' ');
+        out->append(pi.data());
+      }
+      out->append("?>");
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    switch (c) {
+      case '&':
+        out.append("&amp;");
+        break;
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        // Only "]]>" requires escaping; escape every '>' for simplicity
+        // and symmetry with common serializers.
+        out.append("&gt;");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttrValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '&':
+        out.append("&amp;");
+        break;
+      case '<':
+        out.append("&lt;");
+        break;
+      case '"':
+        out.append("&quot;");
+        break;
+      case '\n':
+        out.append("&#10;");
+        break;
+      case '\t':
+        out.append("&#9;");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string SerializeDocument(const Document& doc,
+                              const SerializeOptions& options) {
+  std::string out;
+  if (options.xml_declaration) {
+    out += "<?xml version=\"" + doc.version() + "\" encoding=\"" +
+           doc.encoding() + "\"?>";
+    if (options.indent >= 0) out.push_back('\n');
+  }
+  const std::string root_name =
+      doc.root() != nullptr ? doc.root()->tag() : doc.doctype_name();
+  switch (options.doctype) {
+    case DoctypeMode::kNone:
+      break;
+    case DoctypeMode::kSystem:
+      if (!doc.doctype_system_id().empty()) {
+        out += "<!DOCTYPE " + root_name + " SYSTEM \"" +
+               doc.doctype_system_id() + "\">";
+        if (options.indent >= 0) out.push_back('\n');
+      }
+      break;
+    case DoctypeMode::kInternal:
+      if (doc.dtd() != nullptr) {
+        out += "<!DOCTYPE " + root_name + " [\n";
+        out += SerializeDtd(*doc.dtd());
+        out += "]>";
+        if (options.indent >= 0) out.push_back('\n');
+      }
+      break;
+  }
+  for (const auto& child : doc.children()) {
+    SerializeNodeImpl(*child, &out, options.indent, 0);
+    if (options.indent >= 0) out.push_back('\n');
+  }
+  // Drop a trailing newline duplication.
+  while (out.size() >= 2 && out[out.size() - 1] == '\n' &&
+         out[out.size() - 2] == '\n') {
+    out.pop_back();
+  }
+  return out;
+}
+
+std::string SerializeNode(const Node& node, int indent) {
+  std::string out;
+  SerializeNodeImpl(node, &out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Escapes a DTD quoted literal (entity value or attribute default) so
+/// that reparsing yields the same stored value: '&' would start a
+/// reference, '%' a parameter-entity reference, '"' ends the literal.
+std::string EscapeDtdLiteral(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '&':
+        out += "&#38;";
+        break;
+      case '"':
+        out += "&#34;";
+        break;
+      case '%':
+        out += "&#37;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void AppendAttlist(const std::string& element,
+                   const std::vector<AttrDecl>& attrs, std::string* out) {
+  *out += "<!ATTLIST " + element;
+  for (const AttrDecl& attr : attrs) {
+    *out += "\n  " + attr.name + " ";
+    if (attr.type == AttrType::kEnumeration ||
+        attr.type == AttrType::kNotation) {
+      if (attr.type == AttrType::kNotation) *out += "NOTATION ";
+      *out += "(";
+      for (size_t i = 0; i < attr.enum_values.size(); ++i) {
+        if (i > 0) *out += "|";
+        *out += attr.enum_values[i];
+      }
+      *out += ")";
+    } else {
+      *out += std::string(AttrTypeToString(attr.type));
+    }
+    *out += " ";
+    switch (attr.default_kind) {
+      case AttrDefaultKind::kRequired:
+        *out += "#REQUIRED";
+        break;
+      case AttrDefaultKind::kImplied:
+        *out += "#IMPLIED";
+        break;
+      case AttrDefaultKind::kFixed:
+        *out += "#FIXED \"" + EscapeDtdLiteral(attr.default_value) + "\"";
+        break;
+      case AttrDefaultKind::kDefault:
+        *out += "\"" + EscapeDtdLiteral(attr.default_value) + "\"";
+        break;
+    }
+  }
+  *out += ">\n";
+}
+
+}  // namespace
+
+std::string SerializeDtd(const Dtd& dtd) {
+  std::string out;
+  for (const auto& [name, decl] : dtd.elements()) {
+    out += "<!ELEMENT " + name + " " + decl.ContentToString() + ">\n";
+    const std::vector<AttrDecl>* attlist = dtd.FindAttlist(name);
+    if (attlist != nullptr) AppendAttlist(name, *attlist, &out);
+  }
+  // Attlists for elements without element declarations (legal in XML).
+  for (const auto& [element, attrs] : dtd.attlists()) {
+    if (dtd.FindElement(element) != nullptr) continue;
+    AppendAttlist(element, attrs, &out);
+  }
+  for (const auto& [name, entity] : dtd.general_entities()) {
+    if (entity.is_external) {
+      out += "<!ENTITY " + name + " SYSTEM \"" + entity.system_id + "\"";
+      if (!entity.ndata.empty()) out += " NDATA " + entity.ndata;
+      out += ">\n";
+    } else {
+      out += "<!ENTITY " + name + " \"" + EscapeDtdLiteral(entity.value) +
+             "\">\n";
+    }
+  }
+  for (const auto& [name, notation] : dtd.notations()) {
+    out += "<!NOTATION " + name;
+    if (!notation.public_id.empty()) {
+      out += " PUBLIC \"" + notation.public_id + "\"";
+      if (!notation.system_id.empty()) {
+        out += " \"" + notation.system_id + "\"";
+      }
+    } else {
+      out += " SYSTEM \"" + notation.system_id + "\"";
+    }
+    out += ">\n";
+  }
+  return out;
+}
+
+}  // namespace xml
+}  // namespace xmlsec

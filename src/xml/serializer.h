@@ -1,0 +1,50 @@
+#ifndef XMLSEC_XML_SERIALIZER_H_
+#define XMLSEC_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/dom.h"
+#include "xml/dtd.h"
+
+namespace xmlsec {
+namespace xml {
+
+/// How the document type declaration is emitted.
+enum class DoctypeMode {
+  kNone,      ///< omit the DOCTYPE line
+  kSystem,    ///< `<!DOCTYPE name SYSTEM "uri">` (uri from the document)
+  kInternal,  ///< inline the document's DTD as an internal subset
+};
+
+/// Knobs for `SerializeDocument`.
+struct SerializeOptions {
+  /// Emit `<?xml version=... ?>`.
+  bool xml_declaration = true;
+  DoctypeMode doctype = DoctypeMode::kNone;
+  /// Pretty-print with this many spaces per nesting level; -1 emits the
+  /// tree verbatim (exact character data round-trip).
+  int indent = -1;
+};
+
+/// Escapes character data for element content (&, <, and the ]]> guard).
+std::string EscapeText(std::string_view text);
+
+/// Escapes an attribute value for double-quoted output (&, <, ").
+std::string EscapeAttrValue(std::string_view value);
+
+/// Unparses a DOM tree back to XML text — the "unparsing" step of the
+/// paper's security processor (§7, step 4).
+std::string SerializeDocument(const Document& doc,
+                              const SerializeOptions& options = {});
+
+/// Serializes a single subtree (element and descendants).
+std::string SerializeNode(const Node& node, int indent = -1);
+
+/// Renders a DTD as external-subset text (`<!ELEMENT ...>` lines) —
+/// used to publish the loosened DTD next to a computed view.
+std::string SerializeDtd(const Dtd& dtd);
+
+}  // namespace xml
+}  // namespace xmlsec
+
+#endif  // XMLSEC_XML_SERIALIZER_H_

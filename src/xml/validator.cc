@@ -1,0 +1,348 @@
+#include "xml/validator.h"
+
+#include "common/str_util.h"
+#include "xml/chars.h"
+
+namespace xmlsec {
+namespace xml {
+
+namespace {
+
+bool IsValidName(std::string_view s) {
+  if (s.empty() || !IsNameStartChar(s[0])) return false;
+  for (char c : s.substr(1)) {
+    if (!IsNameChar(c)) return false;
+  }
+  return true;
+}
+
+bool IsValidNmtoken(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!IsNameChar(c)) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> SplitTokens(std::string_view s) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (IsXmlSpace(c)) {
+      if (!current.empty()) out.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+}  // namespace
+
+Validator::Validator(const Dtd* dtd, ValidationOptions options)
+    : dtd_(dtd), options_(options) {}
+
+Status Validator::Validate(Document* doc) {
+  errors_.clear();
+  seen_ids_.clear();
+  pending_idrefs_.clear();
+
+  Element* root = doc->root();
+  if (root == nullptr) {
+    return Status::ValidationError("document has no root element");
+  }
+  if (!dtd_->name().empty() && root->tag() != dtd_->name()) {
+    AddError(*root, "root element '" + root->tag() +
+                        "' does not match DOCTYPE name '" + dtd_->name() +
+                        "'");
+  }
+  ValidateElement(root);
+
+  // Resolve deferred IDREFs against the full ID set.
+  for (const auto& [id, context] : pending_idrefs_) {
+    if (seen_ids_.find(id) == seen_ids_.end()) {
+      errors_.push_back("IDREF '" + id + "' in " + context +
+                        " does not match any ID in the document");
+    }
+  }
+
+  if (errors_.empty()) return Status::OK();
+  return Status::ValidationError(
+      errors_.front() +
+      (errors_.size() > 1
+           ? " (and " + std::to_string(errors_.size() - 1) + " more)"
+           : ""));
+}
+
+void Validator::ValidateElement(Element* el) {
+  const ElementDecl* decl = dtd_->FindElement(el->tag());
+  if (decl == nullptr) {
+    if (options_.strict_declarations) {
+      AddError(*el, "element '" + el->tag() + "' is not declared");
+    }
+  } else {
+    switch (decl->content_kind) {
+      case ContentKind::kEmpty: {
+        for (const auto& child : el->children()) {
+          if (child->IsElement() ||
+              (child->IsText() && !IsXmlWhitespace(child->NodeValue()))) {
+            AddError(*el, "element '" + el->tag() +
+                              "' is declared EMPTY but has content");
+            break;
+          }
+        }
+        break;
+      }
+      case ContentKind::kAny:
+        break;  // Children validated recursively below.
+      case ContentKind::kMixed: {
+        for (const auto& child : el->children()) {
+          if (!child->IsElement()) continue;
+          const auto* ce = static_cast<const Element*>(child.get());
+          bool allowed = false;
+          for (const std::string& name : decl->mixed_names) {
+            if (ce->tag() == name) {
+              allowed = true;
+              break;
+            }
+          }
+          if (!allowed) {
+            AddError(*ce, "element '" + ce->tag() +
+                              "' not allowed in mixed content of '" +
+                              el->tag() + "'");
+          }
+        }
+        break;
+      }
+      case ContentKind::kChildren: {
+        std::vector<std::string_view> names;
+        bool has_text = false;
+        for (const auto& child : el->children()) {
+          if (child->IsElement()) {
+            names.push_back(
+                static_cast<const Element*>(child.get())->tag());
+          } else if (child->IsText() &&
+                     !IsXmlWhitespace(child->NodeValue())) {
+            has_text = true;
+          }
+        }
+        if (has_text) {
+          AddError(*el, "element '" + el->tag() +
+                            "' has character data but is declared with "
+                            "element content");
+        }
+        const ContentModelMatcher* matcher = MatcherFor(*decl);
+        if (matcher != nullptr && !matcher->Matches(names)) {
+          std::string seq;
+          for (size_t i = 0; i < names.size(); ++i) {
+            if (i > 0) seq += ",";
+            seq += names[i];
+          }
+          AddError(*el, "content of element '" + el->tag() + "' (" + seq +
+                            ") does not match model " +
+                            decl->ContentToString());
+        }
+        break;
+      }
+    }
+  }
+
+  ValidateAttributes(el);
+
+  for (const auto& child : el->children()) {
+    if (child->IsElement()) {
+      ValidateElement(static_cast<Element*>(child.get()));
+    }
+  }
+}
+
+void Validator::ValidateAttributes(Element* el) {
+  const std::vector<AttrDecl>* attlist = dtd_->FindAttlist(el->tag());
+
+  // Every attribute present must be declared (strict mode) and well-typed.
+  for (const auto& attr : el->attributes()) {
+    const AttrDecl* decl =
+        attlist != nullptr ? dtd_->FindAttr(el->tag(), attr->name()) : nullptr;
+    if (decl == nullptr) {
+      if (options_.strict_declarations) {
+        AddError(*attr, "attribute '" + attr->name() +
+                            "' is not declared for element '" + el->tag() +
+                            "'");
+      }
+      continue;
+    }
+    CheckAttrValue(*el, *decl, attr->value());
+  }
+
+  if (attlist == nullptr) return;
+
+  // Required / defaulted attributes.
+  for (const AttrDecl& decl : *attlist) {
+    const Attr* present = el->FindAttribute(decl.name);
+    if (present != nullptr) {
+      if (decl.default_kind == AttrDefaultKind::kFixed &&
+          present->value() != decl.default_value) {
+        AddError(*present, "attribute '" + decl.name + "' of element '" +
+                               el->tag() + "' must have the #FIXED value '" +
+                               decl.default_value + "'");
+      }
+      continue;
+    }
+    switch (decl.default_kind) {
+      case AttrDefaultKind::kRequired:
+        AddError(*el, "required attribute '" + decl.name +
+                          "' missing on element '" + el->tag() + "'");
+        break;
+      case AttrDefaultKind::kImplied:
+        break;
+      case AttrDefaultKind::kFixed:
+      case AttrDefaultKind::kDefault:
+        if (options_.add_default_attributes) {
+          Attr* added = el->SetAttribute(decl.name, decl.default_value);
+          added->set_defaulted(true);
+        }
+        break;
+    }
+  }
+}
+
+void Validator::CheckAttrValue(const Element& el, const AttrDecl& decl,
+                               const std::string& value) {
+  const std::string context =
+      "attribute '" + decl.name + "' of element '" + el.tag() + "'";
+  switch (decl.type) {
+    case AttrType::kCData:
+      break;
+    case AttrType::kId: {
+      if (!IsValidName(value)) {
+        errors_.push_back("ID " + context + " is not a valid name: '" +
+                          value + "'");
+        break;
+      }
+      if (!seen_ids_.insert(value).second) {
+        errors_.push_back("duplicate ID '" + value + "' (" + context + ")");
+      }
+      break;
+    }
+    case AttrType::kIdRef: {
+      if (!IsValidName(value)) {
+        errors_.push_back("IDREF " + context + " is not a valid name");
+      } else {
+        pending_idrefs_.emplace_back(value, context);
+      }
+      break;
+    }
+    case AttrType::kIdRefs: {
+      std::vector<std::string> refs = SplitTokens(value);
+      if (refs.empty()) {
+        errors_.push_back("IDREFS " + context + " is empty");
+      }
+      for (const std::string& ref : refs) {
+        if (!IsValidName(ref)) {
+          errors_.push_back("IDREFS " + context + " contains invalid name '" +
+                            ref + "'");
+        } else {
+          pending_idrefs_.emplace_back(ref, context);
+        }
+      }
+      break;
+    }
+    case AttrType::kEntity:
+    case AttrType::kEntities: {
+      std::vector<std::string> names = decl.type == AttrType::kEntity
+                                           ? std::vector<std::string>{value}
+                                           : SplitTokens(value);
+      for (const std::string& name : names) {
+        const EntityDecl* entity = dtd_->FindEntity(name, false);
+        if (entity == nullptr || entity->ndata.empty()) {
+          errors_.push_back(context + " must name an unparsed entity, got '" +
+                            name + "'");
+        }
+      }
+      break;
+    }
+    case AttrType::kNmToken: {
+      if (!IsValidNmtoken(value)) {
+        errors_.push_back("NMTOKEN " + context + " has invalid value '" +
+                          value + "'");
+      }
+      break;
+    }
+    case AttrType::kNmTokens: {
+      std::vector<std::string> tokens = SplitTokens(value);
+      if (tokens.empty()) {
+        errors_.push_back("NMTOKENS " + context + " is empty");
+      }
+      for (const std::string& token : tokens) {
+        if (!IsValidNmtoken(token)) {
+          errors_.push_back("NMTOKENS " + context +
+                            " contains invalid token '" + token + "'");
+        }
+      }
+      break;
+    }
+    case AttrType::kNotation: {
+      bool found = false;
+      for (const std::string& allowed : decl.enum_values) {
+        if (value == allowed) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        errors_.push_back(context + " value '" + value +
+                          "' is not among the declared notations");
+      } else if (dtd_->FindNotation(value) == nullptr) {
+        errors_.push_back(context + " names undeclared notation '" + value +
+                          "'");
+      }
+      break;
+    }
+    case AttrType::kEnumeration: {
+      bool found = false;
+      for (const std::string& allowed : decl.enum_values) {
+        if (value == allowed) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        errors_.push_back(context + " value '" + value +
+                          "' is not in the enumeration");
+      }
+      break;
+    }
+  }
+}
+
+const ContentModelMatcher* Validator::MatcherFor(const ElementDecl& decl) {
+  if (!decl.particle.has_value()) return nullptr;
+  auto it = matchers_.find(decl.name);
+  if (it == matchers_.end()) {
+    it = matchers_
+             .emplace(decl.name,
+                      std::make_unique<ContentModelMatcher>(*decl.particle))
+             .first;
+  }
+  return it->second.get();
+}
+
+void Validator::AddError(const Node& node, std::string message) {
+  if (node.line() > 0) {
+    message += StrFormat(" (line %d, column %d)", node.line(), node.column());
+  }
+  errors_.push_back(std::move(message));
+}
+
+Status ValidateDocument(Document* doc, ValidationOptions options) {
+  if (doc->dtd() == nullptr) {
+    return Status::InvalidArgument("document has no attached DTD");
+  }
+  Validator validator(doc->dtd(), options);
+  return validator.Validate(doc);
+}
+
+}  // namespace xml
+}  // namespace xmlsec

@@ -1,0 +1,75 @@
+#ifndef XMLSEC_XML_VALIDATOR_H_
+#define XMLSEC_XML_VALIDATOR_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/content_model.h"
+#include "xml/dom.h"
+#include "xml/dtd.h"
+
+namespace xmlsec {
+namespace xml {
+
+/// Knobs for validation.
+struct ValidationOptions {
+  /// Inject attributes with DTD default / #FIXED values when absent from
+  /// the document (XML 1.0 attribute defaulting).
+  bool add_default_attributes = true;
+  /// Treat undeclared elements / attributes as errors (full XML validity).
+  /// When false, unknown names are permitted — useful for loosened-schema
+  /// scenarios.
+  bool strict_declarations = true;
+};
+
+/// Validates documents against a DTD: element content models (compiled
+/// once and cached), attribute declarations, ID uniqueness, IDREF
+/// resolution, root element name.
+///
+/// A `Validator` instance caches compiled content models for its DTD and
+/// may validate many documents (the security processor validates both the
+/// original document and the pruned view).
+class Validator {
+ public:
+  explicit Validator(const Dtd* dtd, ValidationOptions options = {});
+
+  /// Validates `doc`.  All violations are collected in `errors()`; the
+  /// returned status is OK when there are none, otherwise a
+  /// ValidationError carrying the first message and the total count.
+  /// May mutate the document when `add_default_attributes` is set.
+  Status Validate(Document* doc);
+
+  /// Violations found by the last `Validate` call, human-readable,
+  /// document order.
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  void ValidateElement(Element* el);
+  void ValidateAttributes(Element* el);
+  void CheckAttrValue(const Element& el, const AttrDecl& decl,
+                      const std::string& value);
+  const ContentModelMatcher* MatcherFor(const ElementDecl& decl);
+  void AddError(const Node& node, std::string message);
+
+  const Dtd* dtd_;
+  ValidationOptions options_;
+  std::vector<std::string> errors_;
+  std::map<std::string, std::unique_ptr<ContentModelMatcher>> matchers_;
+
+  // Per-document ID bookkeeping.
+  std::set<std::string> seen_ids_;
+  std::vector<std::pair<std::string, std::string>> pending_idrefs_;
+};
+
+/// One-shot convenience: validates `doc` against its attached DTD.
+/// Fails with InvalidArgument when the document has no DTD.
+Status ValidateDocument(Document* doc, ValidationOptions options = {});
+
+}  // namespace xml
+}  // namespace xmlsec
+
+#endif  // XMLSEC_XML_VALIDATOR_H_

@@ -1,0 +1,155 @@
+#include "xpath/ast.h"
+
+namespace xmlsec {
+namespace xpath {
+
+const char* AxisToString(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kSelf:
+      return "self";
+    case Axis::kAttribute:
+      return "attribute";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kPreceding:
+      return "preceding";
+  }
+  return "?";
+}
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr:
+      return "or";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNeq:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "div";
+    case BinaryOp::kMod:
+      return "mod";
+    case BinaryOp::kUnion:
+      return "|";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string StepToString(const Step& step) {
+  std::string out;
+  out += AxisToString(step.axis);
+  out += "::";
+  switch (step.test) {
+    case NodeTestKind::kName:
+      out += step.name;
+      break;
+    case NodeTestKind::kWildcard:
+      out += "*";
+      break;
+    case NodeTestKind::kText:
+      out += "text()";
+      break;
+    case NodeTestKind::kComment:
+      out += "comment()";
+      break;
+    case NodeTestKind::kPi:
+      out += "processing-instruction(" +
+             (step.name.empty() ? "" : "\"" + step.name + "\"") + ")";
+      break;
+    case NodeTestKind::kAnyNode:
+      out += "node()";
+      break;
+  }
+  for (const auto& pred : step.predicates) {
+    out += "[" + pred->ToString() + "]";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kBinary:
+      return "(" + lhs->ToString() + " " + BinaryOpToString(op) + " " +
+             rhs->ToString() + ")";
+    case Kind::kNegate:
+      return "-" + operand->ToString();
+    case Kind::kLiteral:
+      return "\"" + literal + "\"";
+    case Kind::kVariable:
+      return "$" + literal;
+    case Kind::kNumber: {
+      std::string repr = std::to_string(number);
+      // Trim trailing zeros for readability.
+      while (repr.find('.') != std::string::npos &&
+             (repr.back() == '0' || repr.back() == '.')) {
+        bool dot = repr.back() == '.';
+        repr.pop_back();
+        if (dot) break;
+      }
+      return repr;
+    }
+    case Kind::kFunctionCall: {
+      std::string out = function_name + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kPath: {
+      std::string out;
+      if (base != nullptr) {
+        out += base->ToString();
+        for (const auto& pred : base_predicates) {
+          out += "[" + pred->ToString() + "]";
+        }
+      }
+      if (absolute) out += "/";
+      for (size_t i = 0; i < steps.size(); ++i) {
+        if (i > 0 || (base != nullptr && !absolute)) out += "/";
+        out += StepToString(steps[i]);
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace xpath
+}  // namespace xmlsec

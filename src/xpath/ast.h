@@ -1,0 +1,117 @@
+#ifndef XMLSEC_XPATH_AST_H_
+#define XMLSEC_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xmlsec {
+namespace xpath {
+
+/// XPath 1.0 axes supported by the engine (all of the paper's §4 plus the
+/// sibling/document-order axes).
+enum class Axis {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kSelf,
+  kAttribute,
+  kFollowingSibling,
+  kPrecedingSibling,
+  kFollowing,
+  kPreceding,
+};
+
+const char* AxisToString(Axis axis);
+
+/// Node tests.
+enum class NodeTestKind {
+  kName,      ///< a specific element/attribute name
+  kWildcard,  ///< `*`
+  kText,      ///< `text()`
+  kComment,   ///< `comment()`
+  kPi,        ///< `processing-instruction()` (optionally with a target)
+  kAnyNode,   ///< `node()`
+};
+
+/// Binary operators, in increasing precedence groups.
+enum class BinaryOp {
+  kOr,
+  kAnd,
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kUnion,
+};
+
+const char* BinaryOpToString(BinaryOp op);
+
+struct Expr;
+
+/// One location step: `axis::node-test[pred]*`.
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTestKind test = NodeTestKind::kName;
+  std::string name;       ///< for kName (and kPi target when given)
+  std::vector<std::unique_ptr<Expr>> predicates;
+};
+
+/// A parsed XPath expression tree.
+struct Expr {
+  enum class Kind {
+    kBinary,
+    kNegate,
+    kLiteral,
+    kNumber,
+    kVariable,
+    kFunctionCall,
+    kPath,
+  };
+
+  explicit Expr(Kind k) : kind(k) {}
+
+  Kind kind;
+
+  // kBinary
+  BinaryOp op = BinaryOp::kOr;
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+
+  // kNegate
+  std::unique_ptr<Expr> operand;
+
+  // kLiteral / kNumber / kVariable (variable name in `literal`)
+  std::string literal;
+  double number = 0;
+
+  // kFunctionCall
+  std::string function_name;
+  std::vector<std::unique_ptr<Expr>> args;
+
+  // kPath: optional filter base (a primary expression with predicates),
+  // absolute flag, and steps.  A bare primary expression is a kPath with
+  // `base` set and no steps.
+  std::unique_ptr<Expr> base;
+  std::vector<std::unique_ptr<Expr>> base_predicates;
+  bool absolute = false;
+  std::vector<Step> steps;
+
+  /// Unparses back to (canonical) XPath syntax, for diagnostics.
+  std::string ToString() const;
+};
+
+}  // namespace xpath
+}  // namespace xmlsec
+
+#endif  // XMLSEC_XPATH_AST_H_

@@ -1,0 +1,681 @@
+#include "xpath/evaluator.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "common/str_util.h"
+#include "xml/dtd.h"
+#include "xpath/parser.h"
+
+namespace xmlsec {
+namespace xpath {
+
+namespace {
+
+using xml::Attr;
+using xml::Document;
+using xml::Element;
+using xml::Node;
+using xml::NodeType;
+
+/// Evaluation context: the context node plus the proximity position and
+/// size used by position() and last().
+struct Context {
+  const Node* node;
+  size_t position;  // 1-based
+  size_t size;
+  const VariableBindings* variables;  // may be null
+};
+
+const Node* RootOf(const Node* node) {
+  const Node* cur = node;
+  while (cur->parent() != nullptr) cur = cur->parent();
+  return cur;
+}
+
+class EvalImpl {
+ public:
+  explicit EvalImpl(const VariableBindings* variables)
+      : ctx_variables_(variables) {}
+
+  Result<Value> Evaluate(const Expr& expr, const Context& ctx) const {
+    switch (expr.kind) {
+      case Expr::Kind::kBinary:
+        return EvaluateBinary(expr, ctx);
+      case Expr::Kind::kNegate: {
+        XMLSEC_ASSIGN_OR_RETURN(Value inner, Evaluate(*expr.operand, ctx));
+        return Value(-inner.ToNumber());
+      }
+      case Expr::Kind::kLiteral:
+        return Value(expr.literal);
+      case Expr::Kind::kNumber:
+        return Value(expr.number);
+      case Expr::Kind::kVariable: {
+        if (ctx.variables != nullptr) {
+          auto it = ctx.variables->find(expr.literal);
+          if (it != ctx.variables->end()) return it->second;
+        }
+        return Status::InvalidArgument("unbound XPath variable '$" +
+                                       expr.literal + "'");
+      }
+      case Expr::Kind::kFunctionCall:
+        return EvaluateFunction(expr, ctx);
+      case Expr::Kind::kPath:
+        return EvaluatePath(expr, ctx);
+    }
+    return Status::Internal("unknown expression kind");
+  }
+
+ private:
+  // --- Operators -------------------------------------------------------
+
+  Result<Value> EvaluateBinary(const Expr& expr, const Context& ctx) const {
+    if (expr.op == BinaryOp::kOr || expr.op == BinaryOp::kAnd) {
+      XMLSEC_ASSIGN_OR_RETURN(Value lhs, Evaluate(*expr.lhs, ctx));
+      bool l = lhs.ToBool();
+      if (expr.op == BinaryOp::kOr && l) return Value(true);
+      if (expr.op == BinaryOp::kAnd && !l) return Value(false);
+      XMLSEC_ASSIGN_OR_RETURN(Value rhs, Evaluate(*expr.rhs, ctx));
+      return Value(rhs.ToBool());
+    }
+
+    XMLSEC_ASSIGN_OR_RETURN(Value lhs, Evaluate(*expr.lhs, ctx));
+    XMLSEC_ASSIGN_OR_RETURN(Value rhs, Evaluate(*expr.rhs, ctx));
+
+    switch (expr.op) {
+      case BinaryOp::kEq:
+      case BinaryOp::kNeq:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        return Value(Compare(expr.op, lhs, rhs));
+      case BinaryOp::kAdd:
+        return Value(lhs.ToNumber() + rhs.ToNumber());
+      case BinaryOp::kSub:
+        return Value(lhs.ToNumber() - rhs.ToNumber());
+      case BinaryOp::kMul:
+        return Value(lhs.ToNumber() * rhs.ToNumber());
+      case BinaryOp::kDiv:
+        return Value(lhs.ToNumber() / rhs.ToNumber());
+      case BinaryOp::kMod:
+        return Value(std::fmod(lhs.ToNumber(), rhs.ToNumber()));
+      case BinaryOp::kUnion: {
+        if (!lhs.is_node_set() || !rhs.is_node_set()) {
+          return Status::InvalidArgument(
+              "operands of '|' must be node-sets");
+        }
+        NodeSet merged = lhs.nodes();
+        merged.insert(merged.end(), rhs.nodes().begin(), rhs.nodes().end());
+        SortDocumentOrder(&merged);
+        return Value(std::move(merged));
+      }
+      default:
+        return Status::Internal("unexpected binary operator");
+    }
+  }
+
+  static bool NumCompare(BinaryOp op, double a, double b) {
+    switch (op) {
+      case BinaryOp::kEq:
+        return a == b;
+      case BinaryOp::kNeq:
+        return a != b;
+      case BinaryOp::kLt:
+        return a < b;
+      case BinaryOp::kLe:
+        return a <= b;
+      case BinaryOp::kGt:
+        return a > b;
+      case BinaryOp::kGe:
+        return a >= b;
+      default:
+        return false;
+    }
+  }
+
+  /// XPath 1.0 §3.4 comparison semantics.
+  static bool Compare(BinaryOp op, const Value& lhs, const Value& rhs) {
+    const bool relational = op == BinaryOp::kLt || op == BinaryOp::kLe ||
+                            op == BinaryOp::kGt || op == BinaryOp::kGe;
+    if (lhs.is_node_set() && rhs.is_node_set()) {
+      for (const Node* a : lhs.nodes()) {
+        const std::string sa = StringValueOf(*a);
+        for (const Node* b : rhs.nodes()) {
+          const std::string sb = StringValueOf(*b);
+          bool hit = relational
+                         ? NumCompare(op, StringToNumber(sa),
+                                      StringToNumber(sb))
+                         : (op == BinaryOp::kEq ? sa == sb : sa != sb);
+          if (hit) return true;
+        }
+      }
+      return false;
+    }
+    if (lhs.is_node_set() || rhs.is_node_set()) {
+      const Value& set = lhs.is_node_set() ? lhs : rhs;
+      const Value& other = lhs.is_node_set() ? rhs : lhs;
+      const bool set_on_left = lhs.is_node_set();
+      if (!relational && other.kind() == Value::Kind::kBool) {
+        bool a = set.ToBool();
+        bool b = other.ToBool();
+        return op == BinaryOp::kEq ? a == b : a != b;
+      }
+      for (const Node* n : set.nodes()) {
+        const std::string sv = StringValueOf(*n);
+        bool hit;
+        if (relational || other.kind() == Value::Kind::kNumber ||
+            other.kind() == Value::Kind::kBool) {
+          double a = StringToNumber(sv);
+          double b = other.ToNumber();
+          hit = set_on_left ? NumCompare(op, a, b) : NumCompare(op, b, a);
+        } else {
+          const std::string b = other.ToString();
+          hit = op == BinaryOp::kEq ? sv == b : sv != b;
+        }
+        if (hit) return true;
+      }
+      return false;
+    }
+    // Neither operand is a node-set.
+    if (relational) {
+      return NumCompare(op, lhs.ToNumber(), rhs.ToNumber());
+    }
+    if (lhs.kind() == Value::Kind::kBool ||
+        rhs.kind() == Value::Kind::kBool) {
+      bool a = lhs.ToBool();
+      bool b = rhs.ToBool();
+      return op == BinaryOp::kEq ? a == b : a != b;
+    }
+    if (lhs.kind() == Value::Kind::kNumber ||
+        rhs.kind() == Value::Kind::kNumber) {
+      return NumCompare(op, lhs.ToNumber(), rhs.ToNumber());
+    }
+    return op == BinaryOp::kEq ? lhs.ToString() == rhs.ToString()
+                               : lhs.ToString() != rhs.ToString();
+  }
+
+  // --- Paths -----------------------------------------------------------
+
+  Result<Value> EvaluatePath(const Expr& expr, const Context& ctx) const {
+    NodeSet current;
+    if (expr.base != nullptr) {
+      XMLSEC_ASSIGN_OR_RETURN(Value base, Evaluate(*expr.base, ctx));
+      if (!expr.base_predicates.empty() || !expr.steps.empty()) {
+        if (!base.is_node_set()) {
+          return Status::InvalidArgument(
+              "filter/path applied to a non-node-set value");
+        }
+      }
+      if (!base.is_node_set()) return base;  // Parenthesized primary.
+      current = base.nodes();
+      for (const auto& pred : expr.base_predicates) {
+        XMLSEC_ASSIGN_OR_RETURN(current, FilterByPredicate(*pred, current));
+      }
+      if (expr.steps.empty() && expr.base_predicates.empty()) {
+        return Value(std::move(current));
+      }
+    } else if (expr.absolute) {
+      current.push_back(RootOf(ctx.node));
+    } else {
+      current.push_back(ctx.node);
+    }
+
+    for (const Step& step : expr.steps) {
+      NodeSet next;
+      for (const Node* node : current) {
+        XMLSEC_ASSIGN_OR_RETURN(NodeSet selected, ApplyStep(step, node));
+        next.insert(next.end(), selected.begin(), selected.end());
+      }
+      SortDocumentOrder(&next);
+      current = std::move(next);
+    }
+    return Value(std::move(current));
+  }
+
+  const VariableBindings* ctx_variables_;
+
+  Result<NodeSet> ApplyStep(const Step& step, const Node* node) const {
+    NodeSet candidates = AxisNodes(step.axis, node);
+    NodeSet tested;
+    tested.reserve(candidates.size());
+    for (const Node* candidate : candidates) {
+      if (MatchesTest(step, candidate)) tested.push_back(candidate);
+    }
+    for (const auto& pred : step.predicates) {
+      XMLSEC_ASSIGN_OR_RETURN(tested, FilterByPredicate(*pred, tested));
+    }
+    return tested;
+  }
+
+  /// Applies one predicate to a candidate list.  `AxisNodes` yields
+  /// candidates in *axis order* for every axis (reverse axes emit the
+  /// nearest node first), so the proximity position is simply the list
+  /// index + 1.
+  Result<NodeSet> FilterByPredicate(const Expr& pred,
+                                    const NodeSet& nodes) const {
+    NodeSet out;
+    const size_t size = nodes.size();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const size_t position = i + 1;
+      Context sub{nodes[i], position, size, ctx_variables_};
+      XMLSEC_ASSIGN_OR_RETURN(Value v, Evaluate(pred, sub));
+      bool keep;
+      if (v.kind() == Value::Kind::kNumber) {
+        keep = v.ToNumber() == static_cast<double>(position);
+      } else {
+        keep = v.ToBool();
+      }
+      if (keep) out.push_back(nodes[i]);
+    }
+    return out;
+  }
+
+  /// Nodes on `axis` from `node`, in axis order (document order for
+  /// forward axes, reverse document order handled by position logic).
+  static NodeSet AxisNodes(Axis axis, const Node* node) {
+    NodeSet out;
+    switch (axis) {
+      case Axis::kChild:
+        for (const auto& child : node->children()) out.push_back(child.get());
+        break;
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf: {
+        if (axis == Axis::kDescendantOrSelf) out.push_back(node);
+        CollectDescendants(node, &out);
+        break;
+      }
+      case Axis::kParent: {
+        if (node->parent() != nullptr) out.push_back(node->parent());
+        break;
+      }
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf: {
+        if (axis == Axis::kAncestorOrSelf) out.push_back(node);
+        for (const Node* p = node->parent(); p != nullptr; p = p->parent()) {
+          out.push_back(p);
+        }
+        break;
+      }
+      case Axis::kSelf:
+        out.push_back(node);
+        break;
+      case Axis::kAttribute: {
+        if (const Element* el = node->AsElement()) {
+          for (const auto& attr : el->attributes()) out.push_back(attr.get());
+        }
+        break;
+      }
+      case Axis::kFollowingSibling:
+      case Axis::kPrecedingSibling: {
+        const Node* parent = node->parent();
+        if (parent == nullptr || node->IsAttribute()) break;
+        bool after = false;
+        NodeSet before;
+        for (const auto& sibling : parent->children()) {
+          if (sibling.get() == node) {
+            after = true;
+            continue;
+          }
+          if (after && axis == Axis::kFollowingSibling) {
+            out.push_back(sibling.get());
+          } else if (!after && axis == Axis::kPrecedingSibling) {
+            before.push_back(sibling.get());
+          }
+        }
+        if (axis == Axis::kPrecedingSibling) {
+          // Reverse axis order: nearest sibling first.
+          out.assign(before.rbegin(), before.rend());
+        }
+        break;
+      }
+      case Axis::kFollowing:
+      case Axis::kPreceding: {
+        // All nodes after (before) this node in document order, excluding
+        // descendants (ancestors) and attributes.
+        const Node* root = RootOf(node);
+        const Node* anchor = node->IsAttribute() ? node->parent() : node;
+        NodeSet all;
+        CollectDescendants(root, &all);
+        for (const Node* candidate : all) {
+          if (candidate->IsAttribute()) continue;
+          if (axis == Axis::kFollowing) {
+            if (candidate->doc_order() > anchor->doc_order() &&
+                !xml::IsAncestorOrSelf(anchor, candidate)) {
+              out.push_back(candidate);
+            }
+          } else {
+            if (candidate->doc_order() < anchor->doc_order() &&
+                !xml::IsAncestorOrSelf(candidate, anchor)) {
+              out.push_back(candidate);
+            }
+          }
+        }
+        if (axis == Axis::kPreceding) {
+          NodeSet reversed(out.rbegin(), out.rend());
+          out = std::move(reversed);
+        }
+        break;
+      }
+    }
+    return out;
+  }
+
+  static void CollectDescendants(const Node* node, NodeSet* out) {
+    for (const auto& child : node->children()) {
+      out->push_back(child.get());
+      CollectDescendants(child.get(), out);
+    }
+  }
+
+  static bool MatchesTest(const Step& step, const Node* node) {
+    const bool principal_is_attribute = step.axis == Axis::kAttribute;
+    switch (step.test) {
+      case NodeTestKind::kName:
+        if (principal_is_attribute) {
+          return node->IsAttribute() && node->NodeName() == step.name;
+        }
+        return node->IsElement() && node->NodeName() == step.name;
+      case NodeTestKind::kWildcard:
+        return principal_is_attribute ? node->IsAttribute()
+                                      : node->IsElement();
+      case NodeTestKind::kText:
+        return node->IsText();
+      case NodeTestKind::kComment:
+        return node->type() == NodeType::kComment;
+      case NodeTestKind::kPi:
+        return node->type() == NodeType::kProcessingInstruction &&
+               (step.name.empty() || node->NodeName() == step.name);
+      case NodeTestKind::kAnyNode:
+        return true;
+    }
+    return false;
+  }
+
+  // --- Functions -------------------------------------------------------
+
+  Result<Value> EvaluateFunction(const Expr& expr, const Context& ctx) const {
+    const std::string& name = expr.function_name;
+    auto arity_error = [&](const char* expected) {
+      return Status::InvalidArgument("XPath function " + name + "() expects " +
+                                     expected + " argument(s), got " +
+                                     std::to_string(expr.args.size()));
+    };
+
+    // Zero-argument context functions.
+    if (name == "last") {
+      if (!expr.args.empty()) return arity_error("0");
+      return Value(static_cast<double>(ctx.size));
+    }
+    if (name == "position") {
+      if (!expr.args.empty()) return arity_error("0");
+      return Value(static_cast<double>(ctx.position));
+    }
+    if (name == "true") {
+      if (!expr.args.empty()) return arity_error("0");
+      return Value(true);
+    }
+    if (name == "false") {
+      if (!expr.args.empty()) return arity_error("0");
+      return Value(false);
+    }
+
+    // Evaluate arguments eagerly (no lazy semantics needed).
+    std::vector<Value> args;
+    args.reserve(expr.args.size());
+    for (const auto& arg : expr.args) {
+      XMLSEC_ASSIGN_OR_RETURN(Value v, Evaluate(*arg, ctx));
+      args.push_back(std::move(v));
+    }
+
+    if (name == "count") {
+      if (args.size() != 1 || !args[0].is_node_set()) {
+        return Status::InvalidArgument("count() expects one node-set");
+      }
+      return Value(static_cast<double>(args[0].nodes().size()));
+    }
+    if (name == "id") {
+      if (args.size() != 1) return arity_error("1");
+      return EvaluateIdFunction(args[0], ctx);
+    }
+    if (name == "name" || name == "local-name") {
+      if (args.size() > 1) return arity_error("0 or 1");
+      const Node* target = ctx.node;
+      if (!args.empty()) {
+        if (!args[0].is_node_set()) {
+          return Status::InvalidArgument(name + "() expects a node-set");
+        }
+        if (args[0].nodes().empty()) return Value(std::string());
+        target = args[0].nodes().front();
+      }
+      switch (target->type()) {
+        case NodeType::kElement:
+        case NodeType::kAttribute:
+        case NodeType::kProcessingInstruction:
+          return Value(target->NodeName());
+        default:
+          return Value(std::string());
+      }
+    }
+    if (name == "string") {
+      if (args.size() > 1) return arity_error("0 or 1");
+      if (args.empty()) return Value(StringValueOf(*ctx.node));
+      return Value(args[0].ToString());
+    }
+    if (name == "concat") {
+      if (args.size() < 2) return arity_error("2 or more");
+      std::string out;
+      for (const Value& v : args) out += v.ToString();
+      return Value(std::move(out));
+    }
+    if (name == "starts-with") {
+      if (args.size() != 2) return arity_error("2");
+      return Value(StartsWith(args[0].ToString(), args[1].ToString()));
+    }
+    if (name == "contains") {
+      if (args.size() != 2) return arity_error("2");
+      return Value(args[0].ToString().find(args[1].ToString()) !=
+                   std::string::npos);
+    }
+    if (name == "substring-before") {
+      if (args.size() != 2) return arity_error("2");
+      std::string s = args[0].ToString();
+      size_t pos = s.find(args[1].ToString());
+      return Value(pos == std::string::npos ? std::string()
+                                            : s.substr(0, pos));
+    }
+    if (name == "substring-after") {
+      if (args.size() != 2) return arity_error("2");
+      std::string s = args[0].ToString();
+      std::string needle = args[1].ToString();
+      size_t pos = s.find(needle);
+      return Value(pos == std::string::npos ? std::string()
+                                            : s.substr(pos + needle.size()));
+    }
+    if (name == "substring") {
+      if (args.size() != 2 && args.size() != 3) return arity_error("2 or 3");
+      return EvaluateSubstring(args);
+    }
+    if (name == "string-length") {
+      if (args.size() > 1) return arity_error("0 or 1");
+      std::string s =
+          args.empty() ? StringValueOf(*ctx.node) : args[0].ToString();
+      return Value(static_cast<double>(s.size()));
+    }
+    if (name == "normalize-space") {
+      if (args.size() > 1) return arity_error("0 or 1");
+      std::string s =
+          args.empty() ? StringValueOf(*ctx.node) : args[0].ToString();
+      return Value(NormalizeSpace(s));
+    }
+    if (name == "translate") {
+      if (args.size() != 3) return arity_error("3");
+      std::string s = args[0].ToString();
+      std::string from = args[1].ToString();
+      std::string to = args[2].ToString();
+      std::string out;
+      out.reserve(s.size());
+      for (char c : s) {
+        size_t pos = from.find(c);
+        if (pos == std::string::npos) {
+          out.push_back(c);
+        } else if (pos < to.size()) {
+          out.push_back(to[pos]);
+        }  // else: removed
+      }
+      return Value(std::move(out));
+    }
+    if (name == "boolean") {
+      if (args.size() != 1) return arity_error("1");
+      return Value(args[0].ToBool());
+    }
+    if (name == "not") {
+      if (args.size() != 1) return arity_error("1");
+      return Value(!args[0].ToBool());
+    }
+    if (name == "number") {
+      if (args.size() > 1) return arity_error("0 or 1");
+      if (args.empty()) return Value(StringToNumber(StringValueOf(*ctx.node)));
+      return Value(args[0].ToNumber());
+    }
+    if (name == "sum") {
+      if (args.size() != 1 || !args[0].is_node_set()) {
+        return Status::InvalidArgument("sum() expects one node-set");
+      }
+      double total = 0;
+      for (const Node* n : args[0].nodes()) {
+        total += StringToNumber(StringValueOf(*n));
+      }
+      return Value(total);
+    }
+    if (name == "floor") {
+      if (args.size() != 1) return arity_error("1");
+      return Value(std::floor(args[0].ToNumber()));
+    }
+    if (name == "ceiling") {
+      if (args.size() != 1) return arity_error("1");
+      return Value(std::ceil(args[0].ToNumber()));
+    }
+    if (name == "round") {
+      if (args.size() != 1) return arity_error("1");
+      double v = args[0].ToNumber();
+      if (std::isnan(v) || std::isinf(v)) return Value(v);
+      return Value(std::floor(v + 0.5));
+    }
+    return Status::InvalidArgument("unknown XPath function '" + name + "'");
+  }
+
+  static Result<Value> EvaluateSubstring(const std::vector<Value>& args) {
+    std::string s = args[0].ToString();
+    double start = args[1].ToNumber();
+    double length = args.size() == 3
+                        ? args[2].ToNumber()
+                        : std::numeric_limits<double>::infinity();
+    if (std::isnan(start) || std::isnan(length)) return Value(std::string());
+    double begin = std::floor(start + 0.5);
+    double end = args.size() == 3 ? begin + std::floor(length + 0.5)
+                                  : std::numeric_limits<double>::infinity();
+    std::string out;
+    for (size_t i = 0; i < s.size(); ++i) {
+      double pos = static_cast<double>(i + 1);
+      if (pos >= begin && pos < end) out.push_back(s[i]);
+    }
+    return Value(std::move(out));
+  }
+
+  Result<Value> EvaluateIdFunction(const Value& arg,
+                                   const Context& ctx) const {
+    // Gather the requested IDs.
+    std::vector<std::string> wanted;
+    if (arg.is_node_set()) {
+      for (const Node* n : arg.nodes()) {
+        for (std::string& token : SplitString(StringValueOf(*n), ' ')) {
+          if (!token.empty()) wanted.push_back(std::move(token));
+        }
+      }
+    } else {
+      std::string joined = arg.ToString();
+      std::string current;
+      for (char c : joined + " ") {
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+          if (!current.empty()) wanted.push_back(current);
+          current.clear();
+        } else {
+          current.push_back(c);
+        }
+      }
+    }
+    const Node* root = RootOf(ctx.node);
+    const Document* doc = root->type() == NodeType::kDocument
+                              ? static_cast<const Document*>(root)
+                              : nullptr;
+    const xml::Dtd* dtd = doc != nullptr ? doc->dtd() : nullptr;
+    NodeSet out;
+    if (dtd != nullptr) {
+      NodeSet all;
+      all.push_back(root);
+      CollectDescendants(root, &all);
+      for (const Node* n : all) {
+        const Element* el = n->AsElement();
+        if (el == nullptr) continue;
+        for (const auto& attr : el->attributes()) {
+          const xml::AttrDecl* decl = dtd->FindAttr(el->tag(), attr->name());
+          if (decl == nullptr || decl->type != xml::AttrType::kId) continue;
+          for (const std::string& id : wanted) {
+            if (attr->value() == id) {
+              out.push_back(el);
+              break;
+            }
+          }
+        }
+      }
+    }
+    SortDocumentOrder(&out);
+    return Value(std::move(out));
+  }
+};
+
+}  // namespace
+
+Result<Value> Evaluator::Evaluate(const Expr& expr, const xml::Node* context,
+                                  const VariableBindings* variables) const {
+  if (context == nullptr) {
+    return Status::InvalidArgument("XPath context node is null");
+  }
+  EvalImpl impl(variables);
+  Context ctx{context, 1, 1, variables};
+  return impl.Evaluate(expr, ctx);
+}
+
+Result<NodeSet> Evaluator::SelectNodes(
+    const Expr& expr, const xml::Node* context,
+    const VariableBindings* variables) const {
+  XMLSEC_ASSIGN_OR_RETURN(Value v, Evaluate(expr, context, variables));
+  if (!v.is_node_set()) {
+    return Status::InvalidArgument(
+        "XPath expression does not yield a node-set: " + expr.ToString());
+  }
+  return std::move(v.nodes());
+}
+
+Result<Value> EvaluateXPath(std::string_view expr_text,
+                            const xml::Node* context,
+                            const VariableBindings* variables) {
+  XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> expr,
+                          CompileXPath(expr_text));
+  Evaluator evaluator;
+  return evaluator.Evaluate(*expr, context, variables);
+}
+
+Result<NodeSet> SelectXPath(std::string_view expr_text,
+                            const xml::Node* context,
+                            const VariableBindings* variables) {
+  XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> expr,
+                          CompileXPath(expr_text));
+  Evaluator evaluator;
+  return evaluator.SelectNodes(*expr, context, variables);
+}
+
+}  // namespace xpath
+}  // namespace xmlsec

@@ -1,0 +1,55 @@
+#ifndef XMLSEC_XPATH_EVALUATOR_H_
+#define XMLSEC_XPATH_EVALUATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/dom.h"
+#include "xpath/ast.h"
+#include "xpath/value.h"
+
+namespace xmlsec {
+namespace xpath {
+
+/// Values for `$name` variable references.  Unknown variables are
+/// evaluation errors (XPath 1.0 semantics).
+using VariableBindings = std::map<std::string, Value, std::less<>>;
+
+/// Evaluates compiled XPath expressions against a DOM tree.
+///
+/// The evaluator is stateless across calls and safe to reuse; node-set
+/// results are returned in document order (the owning document must have
+/// been `Reindex()`ed, which the parser guarantees).
+class Evaluator {
+ public:
+  Evaluator() = default;
+
+  /// Evaluates `expr` with `context` as the context node (position 1,
+  /// size 1).  `context` may be the document node or any node within it.
+  /// `variables` supplies values for `$name` references (may be null).
+  Result<Value> Evaluate(const Expr& expr, const xml::Node* context,
+                         const VariableBindings* variables = nullptr) const;
+
+  /// Evaluates and requires a node-set result.
+  Result<NodeSet> SelectNodes(const Expr& expr, const xml::Node* context,
+                              const VariableBindings* variables = nullptr) const;
+};
+
+/// One-shot convenience: compile and evaluate `expr_text` against
+/// `context`.
+Result<Value> EvaluateXPath(std::string_view expr_text,
+                            const xml::Node* context,
+                            const VariableBindings* variables = nullptr);
+
+/// One-shot convenience returning a node-set.
+Result<NodeSet> SelectXPath(std::string_view expr_text,
+                            const xml::Node* context,
+                            const VariableBindings* variables = nullptr);
+
+}  // namespace xpath
+}  // namespace xmlsec
+
+#endif  // XMLSEC_XPATH_EVALUATOR_H_

@@ -1,0 +1,243 @@
+#include "xpath/lexer.h"
+
+#include <cstdlib>
+
+#include "xml/chars.h"
+
+namespace xmlsec {
+namespace xpath {
+
+namespace {
+
+using xml::IsDigit;
+using xml::IsNameChar;
+using xml::IsNameStartChar;
+using xml::IsXmlSpace;
+
+/// True when the previous token can end an operand, which makes a
+/// following `*` / `and` / `or` / `div` / `mod` an operator (XPath 1.0
+/// §3.7 lexical rule).
+bool PrecedingEndsOperand(const std::vector<Token>& tokens) {
+  if (tokens.empty()) return false;
+  switch (tokens.back().kind) {
+    case TokenKind::kName:
+    case TokenKind::kVariable:
+    case TokenKind::kLiteral:
+    case TokenKind::kNumber:
+    case TokenKind::kRParen:
+    case TokenKind::kRBracket:
+    case TokenKind::kDot:
+    case TokenKind::kDotDot:
+    case TokenKind::kStar:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, size_t offset, std::string value = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(value);
+    t.offset = offset;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (IsXmlSpace(c)) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    switch (c) {
+      case '/':
+        if (i + 1 < text.size() && text[i + 1] == '/') {
+          push(TokenKind::kDoubleSlash, start);
+          i += 2;
+        } else {
+          push(TokenKind::kSlash, start);
+          ++i;
+        }
+        continue;
+      case '@':
+        push(TokenKind::kAt, start);
+        ++i;
+        continue;
+      case '(':
+        push(TokenKind::kLParen, start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, start);
+        ++i;
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, start);
+        ++i;
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, start);
+        ++i;
+        continue;
+      case ',':
+        push(TokenKind::kComma, start);
+        ++i;
+        continue;
+      case '|':
+        push(TokenKind::kUnion, start);
+        ++i;
+        continue;
+      case '+':
+        push(TokenKind::kOpPlus, start);
+        ++i;
+        continue;
+      case '-':
+        push(TokenKind::kOpMinus, start);
+        ++i;
+        continue;
+      case '=':
+        push(TokenKind::kOpEq, start);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          push(TokenKind::kOpNeq, start);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("unexpected '!' in XPath at offset " +
+                                  std::to_string(i));
+      case '<':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          push(TokenKind::kOpLe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kOpLt, start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          push(TokenKind::kOpGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kOpGt, start);
+          ++i;
+        }
+        continue;
+      case '*':
+        push(PrecedingEndsOperand(tokens) ? TokenKind::kOpMul
+                                          : TokenKind::kStar,
+             start);
+        ++i;
+        continue;
+      case ':':
+        if (i + 1 < text.size() && text[i + 1] == ':') {
+          push(TokenKind::kAxisSep, start);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("stray ':' in XPath at offset " +
+                                  std::to_string(i));
+      case '.':
+        if (i + 1 < text.size() && text[i + 1] == '.') {
+          push(TokenKind::kDotDot, start);
+          i += 2;
+          continue;
+        }
+        if (i + 1 < text.size() && IsDigit(text[i + 1])) {
+          break;  // Number like ".5" — handled below.
+        }
+        push(TokenKind::kDot, start);
+        ++i;
+        continue;
+      case '$': {
+        ++i;
+        size_t j = i;
+        while (j < text.size() && IsNameChar(text[j]) && text[j] != ':') ++j;
+        if (j == i) {
+          return Status::ParseError("expected variable name after '$'");
+        }
+        push(TokenKind::kVariable, start, std::string(text.substr(i, j - i)));
+        i = j;
+        continue;
+      }
+      case '"':
+      case '\'': {
+        size_t end = text.find(c, i + 1);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated string literal in XPath");
+        }
+        push(TokenKind::kLiteral, start,
+             std::string(text.substr(i + 1, end - i - 1)));
+        i = end + 1;
+        continue;
+      }
+      default:
+        break;
+    }
+
+    if (IsDigit(c) || c == '.') {
+      size_t j = i;
+      while (j < text.size() && IsDigit(text[j])) ++j;
+      if (j < text.size() && text[j] == '.') {
+        ++j;
+        while (j < text.size() && IsDigit(text[j])) ++j;
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = std::string(text.substr(i, j - i));
+      t.number = std::strtod(t.text.c_str(), nullptr);
+      t.offset = i;
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    if (IsNameStartChar(c) && c != ':') {
+      size_t j = i + 1;
+      while (j < text.size() && IsNameChar(text[j]) && text[j] != ':') ++j;
+      std::string name(text.substr(i, j - i));
+      if (PrecedingEndsOperand(tokens)) {
+        if (name == "and") {
+          push(TokenKind::kOpAnd, start);
+          i = j;
+          continue;
+        }
+        if (name == "or") {
+          push(TokenKind::kOpOr, start);
+          i = j;
+          continue;
+        }
+        if (name == "div") {
+          push(TokenKind::kOpDiv, start);
+          i = j;
+          continue;
+        }
+        if (name == "mod") {
+          push(TokenKind::kOpMod, start);
+          i = j;
+          continue;
+        }
+      }
+      push(TokenKind::kName, start, std::move(name));
+      i = j;
+      continue;
+    }
+
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' in XPath at offset " + std::to_string(i));
+  }
+
+  push(TokenKind::kEnd, text.size());
+  return tokens;
+}
+
+}  // namespace xpath
+}  // namespace xmlsec

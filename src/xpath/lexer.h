@@ -1,0 +1,63 @@
+#ifndef XMLSEC_XPATH_LEXER_H_
+#define XMLSEC_XPATH_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xmlsec {
+namespace xpath {
+
+/// Token kinds of the XPath 1.0 lexical grammar.
+enum class TokenKind {
+  kEnd,
+  kName,        ///< NCName (possibly an axis or function name)
+  kVariable,    ///< $name
+  kLiteral,     ///< quoted string
+  kNumber,
+  kSlash,       ///< /
+  kDoubleSlash, ///< //
+  kAt,          ///< @
+  kDot,         ///< .
+  kDotDot,      ///< ..
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kUnion,       ///< |
+  kStar,        ///< * (wildcard)
+  kAxisSep,     ///< ::
+  kOpOr,
+  kOpAnd,
+  kOpDiv,
+  kOpMod,
+  kOpMul,       ///< * (operator)
+  kOpEq,
+  kOpNeq,
+  kOpLt,
+  kOpLe,
+  kOpGt,
+  kOpGe,
+  kOpPlus,
+  kOpMinus,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   ///< name text or literal content
+  double number = 0;  ///< for kNumber
+  size_t offset = 0;  ///< byte offset in the source expression
+};
+
+/// Tokenizes an XPath expression, applying the XPath 1.0 disambiguation
+/// rule: `*` and the NCNames and/or/div/mod are operators exactly when
+/// the preceding token could end an operand.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace xpath
+}  // namespace xmlsec
+
+#endif  // XMLSEC_XPATH_LEXER_H_

@@ -1,0 +1,396 @@
+#include "xpath/parser.h"
+
+#include <utility>
+
+#include "xpath/lexer.h"
+
+namespace xmlsec {
+namespace xpath {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<Expr>> Parse() {
+    XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> expr, ParseOr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing tokens after expression");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+  Status Error(std::string_view what) const {
+    return Status::ParseError("XPath: " + std::string(what) + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  static std::unique_ptr<Expr> MakeBinary(BinaryOp op,
+                                          std::unique_ptr<Expr> lhs,
+                                          std::unique_ptr<Expr> rhs) {
+    auto expr = std::make_unique<Expr>(Expr::Kind::kBinary);
+    expr->op = op;
+    expr->lhs = std::move(lhs);
+    expr->rhs = std::move(rhs);
+    return expr;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAnd());
+    while (Match(TokenKind::kOpOr)) {
+      XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAnd());
+      lhs = MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseEquality());
+    while (Match(TokenKind::kOpAnd)) {
+      XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseEquality());
+      lhs = MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseEquality() {
+    XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseRelational());
+    while (true) {
+      BinaryOp op;
+      if (Match(TokenKind::kOpEq)) {
+        op = BinaryOp::kEq;
+      } else if (Match(TokenKind::kOpNeq)) {
+        op = BinaryOp::kNeq;
+      } else {
+        return lhs;
+      }
+      XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseRelational());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseRelational() {
+    XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAdditive());
+    while (true) {
+      BinaryOp op;
+      if (Match(TokenKind::kOpLt)) {
+        op = BinaryOp::kLt;
+      } else if (Match(TokenKind::kOpLe)) {
+        op = BinaryOp::kLe;
+      } else if (Match(TokenKind::kOpGt)) {
+        op = BinaryOp::kGt;
+      } else if (Match(TokenKind::kOpGe)) {
+        op = BinaryOp::kGe;
+      } else {
+        return lhs;
+      }
+      XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAdditive());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (Match(TokenKind::kOpPlus)) {
+        op = BinaryOp::kAdd;
+      } else if (Match(TokenKind::kOpMinus)) {
+        op = BinaryOp::kSub;
+      } else {
+        return lhs;
+      }
+      XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs,
+                              ParseMultiplicative());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMultiplicative() {
+    XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (Match(TokenKind::kOpMul)) {
+        op = BinaryOp::kMul;
+      } else if (Match(TokenKind::kOpDiv)) {
+        op = BinaryOp::kDiv;
+      } else if (Match(TokenKind::kOpMod)) {
+        op = BinaryOp::kMod;
+      } else {
+        return lhs;
+      }
+      XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (Match(TokenKind::kOpMinus)) {
+      XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseUnary());
+      auto expr = std::make_unique<Expr>(Expr::Kind::kNegate);
+      expr->operand = std::move(inner);
+      return expr;
+    }
+    return ParseUnion();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnion() {
+    XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParsePath());
+    while (Match(TokenKind::kUnion)) {
+      XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParsePath());
+      lhs = MakeBinary(BinaryOp::kUnion, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  /// True when the upcoming tokens start a location step rather than a
+  /// primary expression.
+  bool StartsStep() const {
+    switch (Peek().kind) {
+      case TokenKind::kAt:
+      case TokenKind::kDot:
+      case TokenKind::kDotDot:
+      case TokenKind::kStar:
+        return true;
+      case TokenKind::kName:
+        // A name is a function call when followed by '(' — except the
+        // node-type tests, which are steps.
+        if (Peek(1).kind == TokenKind::kLParen) {
+          const std::string& n = Peek().text;
+          return n == "text" || n == "node" || n == "comment" ||
+                 n == "processing-instruction";
+        }
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePath() {
+    auto path = std::make_unique<Expr>(Expr::Kind::kPath);
+
+    if (Peek().kind == TokenKind::kSlash ||
+        Peek().kind == TokenKind::kDoubleSlash) {
+      path->absolute = true;
+      if (Match(TokenKind::kDoubleSlash)) {
+        Step implicit;
+        implicit.axis = Axis::kDescendantOrSelf;
+        implicit.test = NodeTestKind::kAnyNode;
+        path->steps.push_back(std::move(implicit));
+      } else {
+        Match(TokenKind::kSlash);
+        if (!StartsStep()) return path;  // Bare "/" selects the root.
+      }
+      XMLSEC_RETURN_IF_ERROR(ParseRelativePath(path.get()));
+      return path;
+    }
+
+    if (StartsStep()) {
+      XMLSEC_RETURN_IF_ERROR(ParseRelativePath(path.get()));
+      return path;
+    }
+
+    // FilterExpr: primary expression, optional predicates, optional
+    // trailing path.
+    XMLSEC_ASSIGN_OR_RETURN(path->base, ParsePrimary());
+    while (Peek().kind == TokenKind::kLBracket) {
+      XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> pred, ParsePredicate());
+      path->base_predicates.push_back(std::move(pred));
+    }
+    if (Peek().kind == TokenKind::kSlash ||
+        Peek().kind == TokenKind::kDoubleSlash) {
+      if (Match(TokenKind::kDoubleSlash)) {
+        Step implicit;
+        implicit.axis = Axis::kDescendantOrSelf;
+        implicit.test = NodeTestKind::kAnyNode;
+        path->steps.push_back(std::move(implicit));
+      } else {
+        Match(TokenKind::kSlash);
+      }
+      XMLSEC_RETURN_IF_ERROR(ParseRelativePath(path.get()));
+    }
+    // A bare primary expression needs no path wrapper.
+    if (path->steps.empty() && path->base_predicates.empty()) {
+      return std::move(path->base);
+    }
+    return path;
+  }
+
+  Status ParseRelativePath(Expr* path) {
+    XMLSEC_RETURN_IF_ERROR(ParseStep(path));
+    while (true) {
+      if (Match(TokenKind::kDoubleSlash)) {
+        Step implicit;
+        implicit.axis = Axis::kDescendantOrSelf;
+        implicit.test = NodeTestKind::kAnyNode;
+        path->steps.push_back(std::move(implicit));
+      } else if (!Match(TokenKind::kSlash)) {
+        return Status::OK();
+      }
+      XMLSEC_RETURN_IF_ERROR(ParseStep(path));
+    }
+  }
+
+  Status ParseStep(Expr* path) {
+    Step step;
+    if (Match(TokenKind::kDot)) {
+      step.axis = Axis::kSelf;
+      step.test = NodeTestKind::kAnyNode;
+      path->steps.push_back(std::move(step));
+      return Status::OK();
+    }
+    if (Match(TokenKind::kDotDot)) {
+      step.axis = Axis::kParent;
+      step.test = NodeTestKind::kAnyNode;
+      path->steps.push_back(std::move(step));
+      return Status::OK();
+    }
+
+    if (Match(TokenKind::kAt)) {
+      step.axis = Axis::kAttribute;
+    } else if (Peek().kind == TokenKind::kName &&
+               Peek(1).kind == TokenKind::kAxisSep) {
+      XMLSEC_ASSIGN_OR_RETURN(step.axis, ParseAxisName(Advance().text));
+      Match(TokenKind::kAxisSep);
+    }
+
+    // Node test.
+    if (Match(TokenKind::kStar)) {
+      step.test = NodeTestKind::kWildcard;
+    } else if (Peek().kind == TokenKind::kName) {
+      std::string name = Advance().text;
+      if (Peek().kind == TokenKind::kLParen &&
+          (name == "text" || name == "node" || name == "comment" ||
+           name == "processing-instruction")) {
+        Match(TokenKind::kLParen);
+        if (name == "text") {
+          step.test = NodeTestKind::kText;
+        } else if (name == "node") {
+          step.test = NodeTestKind::kAnyNode;
+        } else if (name == "comment") {
+          step.test = NodeTestKind::kComment;
+        } else {
+          step.test = NodeTestKind::kPi;
+          if (Peek().kind == TokenKind::kLiteral) {
+            step.name = Advance().text;
+          }
+        }
+        if (!Match(TokenKind::kRParen)) {
+          return Error("expected ')' after node type test");
+        }
+      } else {
+        step.test = NodeTestKind::kName;
+        step.name = std::move(name);
+      }
+    } else {
+      return Error("expected node test");
+    }
+
+    while (Peek().kind == TokenKind::kLBracket) {
+      XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> pred, ParsePredicate());
+      step.predicates.push_back(std::move(pred));
+    }
+    path->steps.push_back(std::move(step));
+    return Status::OK();
+  }
+
+  Result<Axis> ParseAxisName(const std::string& name) {
+    if (name == "child") return Axis::kChild;
+    if (name == "descendant") return Axis::kDescendant;
+    if (name == "descendant-or-self") return Axis::kDescendantOrSelf;
+    if (name == "parent") return Axis::kParent;
+    if (name == "ancestor") return Axis::kAncestor;
+    if (name == "ancestor-or-self") return Axis::kAncestorOrSelf;
+    if (name == "self") return Axis::kSelf;
+    if (name == "attribute") return Axis::kAttribute;
+    if (name == "following-sibling") return Axis::kFollowingSibling;
+    if (name == "preceding-sibling") return Axis::kPrecedingSibling;
+    if (name == "following") return Axis::kFollowing;
+    if (name == "preceding") return Axis::kPreceding;
+    return Status::ParseError("XPath: unknown axis '" + name + "'");
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePredicate() {
+    Match(TokenKind::kLBracket);
+    XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> expr, ParseOr());
+    if (!Match(TokenKind::kRBracket)) {
+      return Error("expected ']' closing predicate");
+    }
+    return expr;
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kLiteral: {
+        auto expr = std::make_unique<Expr>(Expr::Kind::kLiteral);
+        expr->literal = Advance().text;
+        return expr;
+      }
+      case TokenKind::kVariable: {
+        auto expr = std::make_unique<Expr>(Expr::Kind::kVariable);
+        expr->literal = Advance().text;
+        return expr;
+      }
+      case TokenKind::kNumber: {
+        auto expr = std::make_unique<Expr>(Expr::Kind::kNumber);
+        expr->number = Advance().number;
+        return expr;
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseOr());
+        if (!Match(TokenKind::kRParen)) {
+          return Error("expected ')'");
+        }
+        return inner;
+      }
+      case TokenKind::kName: {
+        if (Peek(1).kind != TokenKind::kLParen) {
+          return Error("expected expression");
+        }
+        auto expr = std::make_unique<Expr>(Expr::Kind::kFunctionCall);
+        expr->function_name = Advance().text;
+        Match(TokenKind::kLParen);
+        if (!Match(TokenKind::kRParen)) {
+          while (true) {
+            XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> arg, ParseOr());
+            expr->args.push_back(std::move(arg));
+            if (Match(TokenKind::kComma)) continue;
+            if (Match(TokenKind::kRParen)) break;
+            return Error("expected ',' or ')' in function arguments");
+          }
+        }
+        return expr;
+      }
+      default:
+        return Error("expected expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Expr>> CompileXPath(std::string_view text) {
+  XMLSEC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace xpath
+}  // namespace xmlsec

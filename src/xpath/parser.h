@@ -1,0 +1,25 @@
+#ifndef XMLSEC_XPATH_PARSER_H_
+#define XMLSEC_XPATH_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "xpath/ast.h"
+
+namespace xmlsec {
+namespace xpath {
+
+/// Compiles an XPath 1.0 expression to an AST.
+///
+/// Supports the full location-path sublanguage the paper's authorization
+/// objects use (absolute/relative paths, `//`, `.`, `..`, `@`, wildcards,
+/// axes with `::`, positional and boolean predicates) plus general
+/// expressions (boolean/relational/arithmetic operators, function calls,
+/// string and number literals, union `|`, filter expressions).
+Result<std::unique_ptr<Expr>> CompileXPath(std::string_view text);
+
+}  // namespace xpath
+}  // namespace xmlsec
+
+#endif  // XMLSEC_XPATH_PARSER_H_

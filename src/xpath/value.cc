@@ -1,0 +1,111 @@
+#include "xpath/value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace xmlsec {
+namespace xpath {
+
+bool Value::ToBool() const {
+  switch (kind_) {
+    case Kind::kNodeSet:
+      return !nodes_.empty();
+    case Kind::kBool:
+      return bool_;
+    case Kind::kNumber:
+      return number_ != 0 && !std::isnan(number_);
+    case Kind::kString:
+      return !string_.empty();
+  }
+  return false;
+}
+
+double Value::ToNumber() const {
+  switch (kind_) {
+    case Kind::kNodeSet:
+      return StringToNumber(ToString());
+    case Kind::kBool:
+      return bool_ ? 1.0 : 0.0;
+    case Kind::kNumber:
+      return number_;
+    case Kind::kString:
+      return StringToNumber(string_);
+  }
+  return std::nan("");
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNodeSet:
+      return nodes_.empty() ? std::string() : StringValueOf(*nodes_.front());
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kNumber:
+      return NumberToString(number_);
+    case Kind::kString:
+      return string_;
+  }
+  return std::string();
+}
+
+std::string StringValueOf(const xml::Node& node) {
+  switch (node.type()) {
+    case xml::NodeType::kElement:
+      return static_cast<const xml::Element&>(node).TextContent();
+    case xml::NodeType::kDocument: {
+      const xml::Element* root =
+          static_cast<const xml::Document&>(node).root();
+      return root != nullptr ? root->TextContent() : std::string();
+    }
+    default:
+      return node.NodeValue();
+  }
+}
+
+double StringToNumber(std::string_view s) {
+  std::string_view trimmed = StripAsciiWhitespace(s);
+  if (trimmed.empty()) return std::nan("");
+  // XPath Number ::= '-'? Digits ('.' Digits?)? | '-'? '.' Digits
+  size_t i = 0;
+  if (trimmed[0] == '-') i = 1;
+  bool digits = false;
+  bool dot = false;
+  for (; i < trimmed.size(); ++i) {
+    char c = trimmed[i];
+    if (c >= '0' && c <= '9') {
+      digits = true;
+    } else if (c == '.' && !dot) {
+      dot = true;
+    } else {
+      return std::nan("");
+    }
+  }
+  if (!digits) return std::nan("");
+  return std::strtod(std::string(trimmed).c_str(), nullptr);
+}
+
+std::string NumberToString(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "Infinity" : "-Infinity";
+  if (value == 0) return "0";
+  if (value == static_cast<double>(static_cast<int64_t>(value))) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  std::string out = StrFormat("%.12g", value);
+  return out;
+}
+
+void SortDocumentOrder(NodeSet* nodes) {
+  std::sort(nodes->begin(), nodes->end(),
+            [](const xml::Node* a, const xml::Node* b) {
+              return a->doc_order() < b->doc_order();
+            });
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+}  // namespace xpath
+}  // namespace xmlsec

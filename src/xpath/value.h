@@ -1,0 +1,74 @@
+#ifndef XMLSEC_XPATH_VALUE_H_
+#define XMLSEC_XPATH_VALUE_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/dom.h"
+
+namespace xmlsec {
+namespace xpath {
+
+/// An ordered, duplicate-free set of nodes in document order.
+using NodeSet = std::vector<const xml::Node*>;
+
+/// The XPath 1.0 value model: node-set, boolean, number, or string, with
+/// the standard coercion rules between them.
+class Value {
+ public:
+  enum class Kind { kNodeSet, kBool, kNumber, kString };
+
+  Value() : kind_(Kind::kNodeSet) {}
+  explicit Value(NodeSet nodes)
+      : kind_(Kind::kNodeSet), nodes_(std::move(nodes)) {}
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_node_set() const { return kind_ == Kind::kNodeSet; }
+
+  /// Precondition: `is_node_set()`.
+  const NodeSet& nodes() const { return nodes_; }
+  NodeSet& nodes() { return nodes_; }
+
+  /// XPath boolean(): non-empty node-set, non-zero non-NaN number,
+  /// non-empty string.
+  bool ToBool() const;
+
+  /// XPath number(): string-value parsed as IEEE double (NaN on failure);
+  /// booleans map to 0/1; node-sets convert through their string-value.
+  double ToNumber() const;
+
+  /// XPath string(): first node's string-value for node-sets; standard
+  /// number formatting ("NaN", "Infinity", integers without decimals).
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  NodeSet nodes_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+};
+
+/// XPath string-value of a node (XPath 1.0 §5): concatenated descendant
+/// text for elements and the document, the value for attributes, the data
+/// for text/comment/PI nodes.
+std::string StringValueOf(const xml::Node& node);
+
+/// Parses a string as an XPath number (optional sign, decimal); NaN when
+/// the trimmed string is not a number.
+double StringToNumber(std::string_view s);
+
+/// Formats per the XPath number→string rules.
+std::string NumberToString(double value);
+
+/// Sorts into document order and removes duplicates.  Requires the nodes'
+/// document to have been `Reindex()`ed.
+void SortDocumentOrder(NodeSet* nodes);
+
+}  // namespace xpath
+}  // namespace xmlsec
+
+#endif  // XMLSEC_XPATH_VALUE_H_

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "authz/authorization.h"
+#include "authz/policy.h"
+
+namespace xmlsec {
+namespace authz {
+namespace {
+
+TEST(ObjectSpecTest, UriOnly) {
+  auto spec = ObjectSpec::Parse("CSlab.xml");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->uri, "CSlab.xml");
+  EXPECT_EQ(spec->path, "");
+}
+
+TEST(ObjectSpecTest, UriWithAbsolutePath) {
+  auto spec = ObjectSpec::Parse(
+      "laboratory.xml:/laboratory//paper[./@category=\"private\"]");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->uri, "laboratory.xml");
+  EXPECT_EQ(spec->path, "/laboratory//paper[./@category=\"private\"]");
+}
+
+TEST(ObjectSpecTest, UriWithRelativePath) {
+  auto spec = ObjectSpec::Parse("CSlab.xml:project[./@type=\"internal\"]");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->uri, "CSlab.xml");
+  EXPECT_EQ(spec->path, "project[./@type=\"internal\"]");
+}
+
+TEST(ObjectSpecTest, HttpSchemeNotSplit) {
+  auto spec = ObjectSpec::Parse(
+      "http://www.lab.com/CSlab.xml:/laboratory/project");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->uri, "http://www.lab.com/CSlab.xml");
+  EXPECT_EQ(spec->path, "/laboratory/project");
+}
+
+TEST(ObjectSpecTest, HttpUriWithoutPath) {
+  auto spec = ObjectSpec::Parse("http://www.lab.com/CSlab.xml");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->uri, "http://www.lab.com/CSlab.xml");
+  EXPECT_EQ(spec->path, "");
+}
+
+TEST(ObjectSpecTest, AxisSeparatorInPathSurvives) {
+  auto spec = ObjectSpec::Parse("doc.xml:fund/ancestor::project");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->uri, "doc.xml");
+  EXPECT_EQ(spec->path, "fund/ancestor::project");
+}
+
+TEST(ObjectSpecTest, RoundTripToString) {
+  auto spec = ObjectSpec::Parse("doc.xml:/a/b");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->ToString(), "doc.xml:/a/b");
+  auto again = ObjectSpec::Parse(spec->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *spec);
+}
+
+TEST(ObjectSpecTest, EmptyRejected) {
+  EXPECT_FALSE(ObjectSpec::Parse("").ok());
+  EXPECT_FALSE(ObjectSpec::Parse(":/a").ok());
+}
+
+TEST(EnumsTest, SignRoundTrip) {
+  EXPECT_EQ(SignToString(Sign::kPlus), "+");
+  EXPECT_EQ(SignToString(Sign::kMinus), "-");
+  EXPECT_EQ(*ParseSign("+"), Sign::kPlus);
+  EXPECT_EQ(*ParseSign("-"), Sign::kMinus);
+  EXPECT_FALSE(ParseSign("plus").ok());
+}
+
+TEST(EnumsTest, TypeRoundTrip) {
+  for (AuthType type : {AuthType::kLocal, AuthType::kRecursive,
+                        AuthType::kLocalWeak, AuthType::kRecursiveWeak}) {
+    auto parsed = ParseAuthType(AuthTypeToString(type));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, type);
+  }
+  EXPECT_FALSE(ParseAuthType("X").ok());
+  EXPECT_FALSE(ParseAuthType("l").ok());
+}
+
+TEST(EnumsTest, TypePredicates) {
+  EXPECT_TRUE(IsRecursive(AuthType::kRecursive));
+  EXPECT_TRUE(IsRecursive(AuthType::kRecursiveWeak));
+  EXPECT_FALSE(IsRecursive(AuthType::kLocal));
+  EXPECT_TRUE(IsWeak(AuthType::kLocalWeak));
+  EXPECT_TRUE(IsWeak(AuthType::kRecursiveWeak));
+  EXPECT_FALSE(IsWeak(AuthType::kRecursive));
+}
+
+TEST(EnumsTest, ActionParsing) {
+  EXPECT_EQ(*ParseAction("read"), Action::kRead);
+  EXPECT_EQ(*ParseAction("write"), Action::kWrite);
+  Status update = ParseAction("update").status();
+  EXPECT_EQ(update.code(), StatusCode::kUnimplemented);
+}
+
+TEST(AuthorizationTest, ToStringMatchesPaperNotation) {
+  Authorization auth;
+  auth.subject = *Subject::Make("Foreign", "*", "*");
+  auth.object =
+      *ObjectSpec::Parse("laboratory.xml:/laboratory//paper");
+  auth.sign = Sign::kMinus;
+  auth.type = AuthType::kRecursive;
+  EXPECT_EQ(auth.ToString(),
+            "<<Foreign, *, *>, laboratory.xml:/laboratory//paper, read, -, "
+            "R>");
+}
+
+TEST(PolicyTest, Names) {
+  EXPECT_EQ(ConflictPolicyToString(ConflictPolicy::kDenialsTakePrecedence),
+            "denials-take-precedence");
+  EXPECT_EQ(
+      ConflictPolicyToString(ConflictPolicy::kPermissionsTakePrecedence),
+      "permissions-take-precedence");
+  EXPECT_EQ(ConflictPolicyToString(ConflictPolicy::kNothingTakesPrecedence),
+            "nothing-takes-precedence");
+  EXPECT_EQ(CompletenessPolicyToString(CompletenessPolicy::kClosed),
+            "closed");
+  EXPECT_EQ(CompletenessPolicyToString(CompletenessPolicy::kOpen), "open");
+}
+
+}  // namespace
+}  // namespace authz
+}  // namespace xmlsec

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "authz/explain.h"
+#include "authz/lint.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+
+namespace xmlsec {
+namespace authz {
+namespace {
+
+using xml::Document;
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto result = xml::ParseDocument(
+        "<laboratory>"
+        "<project name=\"P1\" type=\"internal\">"
+        "<paper category=\"private\"><title>T1</title></paper>"
+        "<paper category=\"public\"><title>T2</title></paper>"
+        "</project>"
+        "</laboratory>");
+    ASSERT_TRUE(result.ok()) << result.status();
+    doc_ = std::move(result).value();
+    requester_ = {"Tom", "130.100.50.8", "infosys.bld1.it"};
+    ASSERT_TRUE(groups_.AddMembership("Tom", "Foreign").ok());
+  }
+
+  Authorization Auth(std::string_view ug, std::string_view path, Sign sign,
+                     AuthType type, std::string_view uri = "doc.xml") {
+    Authorization auth;
+    auth.subject = *Subject::Make(ug, "*", "*");
+    auth.object.uri = std::string(uri);
+    auth.object.path = std::string(path);
+    auth.sign = sign;
+    auth.type = type;
+    return auth;
+  }
+
+  Result<NodeExplanation> Explain(
+      const std::vector<Authorization>& instance,
+      const std::vector<Authorization>& schema, std::string_view path) {
+    auto nodes = xpath::SelectXPath(path, doc_->root());
+    EXPECT_TRUE(nodes.ok()) << nodes.status();
+    EXPECT_EQ(nodes->size(), 1u);
+    return ExplainNode(*doc_, instance, schema, requester_, groups_,
+                       PolicyOptions{}, nodes->front());
+  }
+
+  std::unique_ptr<Document> doc_;
+  GroupStore groups_;
+  Requester requester_;
+};
+
+TEST_F(ExplainTest, ExplicitAuthorizationOnNode) {
+  std::vector<Authorization> instance = {
+      Auth("Public", "//paper[@category=\"private\"]", Sign::kMinus,
+           AuthType::kRecursive)};
+  auto explanation = Explain(instance, {}, "//paper[1]");
+  ASSERT_TRUE(explanation.ok()) << explanation.status();
+  EXPECT_EQ(explanation->final_sign, TriSign::kMinus);
+  EXPECT_EQ(explanation->winning_slot, LabelSlot::kR);
+  EXPECT_EQ(explanation->inherited_from, nullptr);
+  const SlotExplanation& r = explanation->slots[1];
+  ASSERT_EQ(r.winning.size(), 1u);
+  EXPECT_EQ(r.winning[0]->sign, Sign::kMinus);
+}
+
+TEST_F(ExplainTest, InheritedSignNamesTheAncestor) {
+  std::vector<Authorization> instance = {
+      Auth("Public", "/laboratory", Sign::kPlus, AuthType::kRecursive)};
+  auto explanation = Explain(instance, {}, "//paper[1]/title");
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_EQ(explanation->final_sign, TriSign::kPlus);
+  EXPECT_EQ(explanation->winning_slot, LabelSlot::kR);
+  ASSERT_NE(explanation->inherited_from, nullptr);
+  EXPECT_EQ(explanation->inherited_from->NodeName(), "laboratory");
+  // The report mentions the inheritance chain.
+  std::string report = explanation->ToString();
+  EXPECT_NE(report.find("inherited from /laboratory"), std::string::npos);
+}
+
+TEST_F(ExplainTest, OverriddenAuthorizationListed) {
+  std::vector<Authorization> instance = {
+      Auth("Foreign", "//paper", Sign::kMinus, AuthType::kRecursive),
+      Auth("Tom", "//paper", Sign::kPlus, AuthType::kRecursive)};
+  auto explanation = Explain(instance, {}, "//paper[1]");
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_EQ(explanation->final_sign, TriSign::kPlus);
+  const SlotExplanation& r = explanation->slots[1];
+  ASSERT_EQ(r.winning.size(), 1u);
+  EXPECT_EQ(r.winning[0]->subject.ug, "Tom");
+  ASSERT_EQ(r.overridden.size(), 1u);
+  EXPECT_EQ(r.overridden[0]->subject.ug, "Foreign");
+  EXPECT_NE(explanation->ToString().find("overridden"), std::string::npos);
+}
+
+TEST_F(ExplainTest, SchemaBeatenByInstance) {
+  std::vector<Authorization> instance = {
+      Auth("Public", "//paper[1]", Sign::kMinus, AuthType::kRecursive)};
+  std::vector<Authorization> schema = {
+      Auth("Public", "//paper", Sign::kPlus, AuthType::kRecursive,
+           "dtd.xml")};
+  auto explanation = Explain(instance, schema, "//paper[1]");
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_EQ(explanation->final_sign, TriSign::kMinus);
+  EXPECT_EQ(explanation->winning_slot, LabelSlot::kR);
+  // The schema slot is populated but outranked.
+  EXPECT_EQ(explanation->slots[3].sign, TriSign::kPlus);
+}
+
+TEST_F(ExplainTest, AttributeInheritsParentLocal) {
+  std::vector<Authorization> instance = {
+      Auth("Public", "//project", Sign::kPlus, AuthType::kLocal)};
+  auto explanation = Explain(instance, {}, "//project/@name");
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_EQ(explanation->final_sign, TriSign::kPlus);
+  EXPECT_EQ(explanation->winning_slot, LabelSlot::kR);  // inherited slot
+  ASSERT_NE(explanation->inherited_from, nullptr);
+  EXPECT_EQ(explanation->inherited_from->NodeName(), "project");
+}
+
+TEST_F(ExplainTest, EpsilonWhenNothingApplies) {
+  auto explanation = Explain({}, {}, "//paper[1]/title");
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_EQ(explanation->final_sign, TriSign::kEps);
+  EXPECT_NE(explanation->ToString().find("no authorization applies"),
+            std::string::npos);
+}
+
+TEST_F(ExplainTest, AgreesWithTreeLabelerOnEveryNode) {
+  std::vector<Authorization> instance = {
+      Auth("Public", "", Sign::kPlus, AuthType::kRecursive),
+      Auth("Foreign", "//paper[@category=\"private\"]", Sign::kMinus,
+           AuthType::kRecursive),
+      Auth("Tom", "//title", Sign::kPlus, AuthType::kLocal)};
+  std::vector<Authorization> schema = {
+      Auth("Public", "//paper", Sign::kMinus, AuthType::kLocal, "dtd.xml")};
+
+  TreeLabeler labeler(&groups_, PolicyOptions{});
+  auto labels = labeler.Label(*doc_, instance, schema, requester_);
+  ASSERT_TRUE(labels.ok());
+
+  xml::ForEachNode(
+      static_cast<const xml::Node*>(doc_.get()), [&](const xml::Node* node) {
+        if (!node->IsElement() && !node->IsAttribute()) return;
+        auto explanation = ExplainNode(*doc_, instance, schema, requester_,
+                                       groups_, PolicyOptions{}, node);
+        ASSERT_TRUE(explanation.ok()) << explanation.status();
+        EXPECT_EQ(explanation->final_sign, labels->FinalSign(node))
+            << node->NodeName();
+      });
+}
+
+TEST_F(ExplainTest, ExplainPathRendersReport) {
+  std::vector<Authorization> instance = {
+      Auth("Public", "/laboratory", Sign::kPlus, AuthType::kRecursive)};
+  auto report = ExplainPath(*doc_, instance, {}, requester_, groups_,
+                            PolicyOptions{}, "//paper[2]/title");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_NE(report->find("/laboratory/project/paper/title"),
+            std::string::npos);
+  EXPECT_NE(report->find("final sign: +"), std::string::npos);
+  // Ambiguous path is rejected.
+  EXPECT_FALSE(ExplainPath(*doc_, instance, {}, requester_, groups_,
+                           PolicyOptions{}, "//paper")
+                   .ok());
+}
+
+// --- Lint ---------------------------------------------------------------
+
+class LintTest : public ExplainTest {};
+
+TEST_F(LintTest, CleanPolicyHasNoFindings) {
+  groups_.AddGroup("Staff");
+  std::vector<Authorization> instance = {
+      Auth("Staff", "//paper", Sign::kPlus, AuthType::kRecursive)};
+  auto findings = LintPolicy(instance, {}, groups_, doc_.get());
+  EXPECT_TRUE(findings.empty()) << LintReport(findings);
+  EXPECT_EQ(LintReport(findings), "policy lint: clean\n");
+}
+
+TEST_F(LintTest, FlagsBadPath) {
+  std::vector<Authorization> instance = {
+      Auth("Foreign", "//paper[", Sign::kPlus, AuthType::kRecursive)};
+  auto findings = LintPolicy(instance, {}, groups_, doc_.get());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "bad-path");
+  EXPECT_EQ(findings[0].severity, LintSeverity::kError);
+  EXPECT_EQ(findings[0].auth_index, 0);
+}
+
+TEST_F(LintTest, FlagsDeadTarget) {
+  std::vector<Authorization> instance = {
+      Auth("Foreign", "//nonexistent", Sign::kPlus, AuthType::kRecursive)};
+  auto findings = LintPolicy(instance, {}, groups_, doc_.get());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "dead-target");
+  // Without a document the check is skipped.
+  EXPECT_TRUE(LintPolicy(instance, {}, groups_, nullptr).empty());
+}
+
+TEST_F(LintTest, VariablePathsNotFlaggedAsDead) {
+  std::vector<Authorization> instance = {
+      Auth("Foreign", "//paper[@owner=$user]", Sign::kPlus,
+           AuthType::kRecursive)};
+  EXPECT_TRUE(LintPolicy(instance, {}, groups_, doc_.get()).empty());
+}
+
+TEST_F(LintTest, FlagsUnknownSubject) {
+  std::vector<Authorization> instance = {
+      Auth("Ghosts", "//paper", Sign::kPlus, AuthType::kRecursive)};
+  auto findings = LintPolicy(instance, {}, groups_, doc_.get());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "unknown-subject");
+  // The universal group and known users are fine.
+  std::vector<Authorization> ok = {
+      Auth("Public", "//paper", Sign::kPlus, AuthType::kRecursive),
+      Auth("Tom", "//paper", Sign::kMinus, AuthType::kLocal)};
+  EXPECT_TRUE(LintPolicy(ok, {}, groups_, doc_.get()).empty());
+}
+
+TEST_F(LintTest, FlagsWeakSchemaAndEmptyWindow) {
+  Authorization weak = Auth("Foreign", "//paper", Sign::kPlus,
+                            AuthType::kRecursiveWeak, "dtd.xml");
+  Authorization inverted = Auth("Foreign", "//paper", Sign::kPlus,
+                                AuthType::kRecursive);
+  inverted.valid_from = 100;
+  inverted.valid_until = 50;
+  std::vector<Authorization> instance = {inverted};
+  std::vector<Authorization> schema = {weak};
+  auto findings = LintPolicy(instance, schema, groups_, doc_.get());
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].code, "empty-window");
+  EXPECT_EQ(findings[1].code, "weak-schema");
+}
+
+TEST_F(LintTest, FlagsDuplicatesAndContradictions) {
+  Authorization a = Auth("Foreign", "//paper", Sign::kPlus,
+                         AuthType::kRecursive);
+  Authorization duplicate = a;
+  Authorization contradiction = a;
+  contradiction.sign = Sign::kMinus;
+  std::vector<Authorization> instance = {a, duplicate, contradiction};
+  auto findings = LintPolicy(instance, {}, groups_, doc_.get());
+  // duplicate matches #0; contradiction matches both #0 and #1.
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].code, "duplicate");
+  EXPECT_EQ(findings[1].code, "contradiction");
+  EXPECT_EQ(findings[2].code, "contradiction");
+  std::string report = LintReport(findings);
+  EXPECT_NE(report.find("warning[duplicate] auth#1"), std::string::npos);
+}
+
+TEST_F(LintTest, InstanceAndSchemaNotCrossMatched) {
+  Authorization a = Auth("Foreign", "//paper", Sign::kPlus,
+                         AuthType::kRecursive);
+  std::vector<Authorization> instance = {a};
+  std::vector<Authorization> schema = {a};  // Same tuple, different level.
+  auto findings = LintPolicy(instance, schema, groups_, doc_.get());
+  EXPECT_TRUE(findings.empty()) << LintReport(findings);
+}
+
+}  // namespace
+}  // namespace authz
+}  // namespace xmlsec

@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include "authz/labeling.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+
+namespace xmlsec {
+namespace authz {
+namespace {
+
+using xml::Document;
+using xml::Node;
+
+constexpr char kDoc[] = R"(<laboratory>
+<project name="P1" type="internal">
+<manager><fname>Ada</fname></manager>
+<paper category="private"><title>T1</title></paper>
+<paper category="public"><title>T2</title></paper>
+</project>
+<project name="P2" type="public">
+<manager><fname>Alan</fname></manager>
+<paper category="public"><title>T3</title></paper>
+</project>
+</laboratory>)";
+
+class LabelingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto result = xml::ParseDocument(kDoc);
+    ASSERT_TRUE(result.ok()) << result.status();
+    doc_ = std::move(result).value();
+    requester_ = {"Tom", "130.100.50.8", "infosys.bld1.it"};
+    ASSERT_TRUE(groups_.AddMembership("Tom", "Foreign").ok());
+  }
+
+  /// Builds an instance-level authorization on the test document.
+  Authorization Auth(std::string_view subject_ug, std::string_view path,
+                     Sign sign, AuthType type) {
+    Authorization auth;
+    auth.subject = *Subject::Make(subject_ug, "*", "*");
+    auth.object.uri = "doc.xml";
+    auth.object.path = std::string(path);
+    auth.sign = sign;
+    auth.type = type;
+    return auth;
+  }
+
+  LabelMap Label(const std::vector<Authorization>& instance,
+                 const std::vector<Authorization>& schema = {},
+                 PolicyOptions policy = {}) {
+    TreeLabeler labeler(&groups_, policy);
+    auto result = labeler.Label(*doc_, instance, schema, requester_, &stats_);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::move(result).value();
+  }
+
+  /// Final sign of the unique node selected by `path`.
+  TriSign SignAt(const LabelMap& labels, std::string_view path) {
+    auto nodes = xpath::SelectXPath(path, doc_->root());
+    EXPECT_TRUE(nodes.ok()) << path << ": " << nodes.status();
+    EXPECT_EQ(nodes->size(), 1u) << path;
+    return labels.FinalSign(nodes->front());
+  }
+
+  std::unique_ptr<Document> doc_;
+  GroupStore groups_;
+  Requester requester_;
+  LabelingStats stats_;
+};
+
+TEST_F(LabelingTest, NoAuthorizationsMeansAllEpsilon) {
+  LabelMap labels = Label({});
+  EXPECT_EQ(SignAt(labels, "/laboratory"), TriSign::kEps);
+  EXPECT_EQ(SignAt(labels, "//paper[@category=\"private\"]"), TriSign::kEps);
+}
+
+TEST_F(LabelingTest, RecursivePlusOnRootCoversEverything) {
+  LabelMap labels = Label({Auth("Public", "", Sign::kPlus,
+                                AuthType::kRecursive)});
+  EXPECT_EQ(SignAt(labels, "/laboratory"), TriSign::kPlus);
+  EXPECT_EQ(SignAt(labels, "//project[1]"), TriSign::kPlus);
+  EXPECT_EQ(SignAt(labels, "//project[1]/@name"), TriSign::kPlus);
+  EXPECT_EQ(SignAt(labels, "//paper[@category=\"private\"]/title"),
+            TriSign::kPlus);
+}
+
+TEST_F(LabelingTest, MostSpecificObjectOverridesPropagation) {
+  // Everything readable, except private papers (paper Example 1 pattern).
+  LabelMap labels = Label(
+      {Auth("Public", "", Sign::kPlus, AuthType::kRecursive),
+       Auth("Public", "//paper[./@category=\"private\"]", Sign::kMinus,
+            AuthType::kRecursive)});
+  EXPECT_EQ(SignAt(labels, "/laboratory"), TriSign::kPlus);
+  EXPECT_EQ(SignAt(labels, "//paper[@category=\"private\"]"),
+            TriSign::kMinus);
+  EXPECT_EQ(SignAt(labels, "//paper[@category=\"private\"]/title"),
+            TriSign::kMinus);
+  EXPECT_EQ(SignAt(labels, "//paper[@category=\"private\"]/@category"),
+            TriSign::kMinus);
+  // Sibling public paper untouched.
+  EXPECT_EQ(SignAt(labels, "//project[1]/paper[@category=\"public\"]"),
+            TriSign::kPlus);
+}
+
+TEST_F(LabelingTest, LocalAppliesToAttributesNotChildren) {
+  LabelMap labels = Label(
+      {Auth("Public", "/laboratory/project[1]", Sign::kPlus,
+            AuthType::kLocal)});
+  EXPECT_EQ(SignAt(labels, "//project[1]"), TriSign::kPlus);
+  EXPECT_EQ(SignAt(labels, "//project[1]/@name"), TriSign::kPlus);
+  EXPECT_EQ(SignAt(labels, "//project[1]/@type"), TriSign::kPlus);
+  // Children and their attributes are NOT covered by a local auth.
+  EXPECT_EQ(SignAt(labels, "//project[1]/manager"), TriSign::kEps);
+  EXPECT_EQ(SignAt(labels, "//project[1]/paper[1]/@category"),
+            TriSign::kEps);
+}
+
+TEST_F(LabelingTest, ExplicitAttributeAuthOverridesParentLocal) {
+  LabelMap labels = Label(
+      {Auth("Public", "/laboratory/project[1]", Sign::kPlus,
+            AuthType::kLocal),
+       Auth("Public", "/laboratory/project[1]/@type", Sign::kMinus,
+            AuthType::kLocal)});
+  EXPECT_EQ(SignAt(labels, "//project[1]/@name"), TriSign::kPlus);
+  EXPECT_EQ(SignAt(labels, "//project[1]/@type"), TriSign::kMinus);
+}
+
+TEST_F(LabelingTest, RecursiveAuthCoversAttributesDownTheTree) {
+  LabelMap labels = Label(
+      {Auth("Public", "/laboratory/project[2]", Sign::kPlus,
+            AuthType::kRecursive)});
+  EXPECT_EQ(SignAt(labels, "//project[2]/paper/@category"), TriSign::kPlus);
+  EXPECT_EQ(SignAt(labels, "//project[1]/paper[1]/@category"),
+            TriSign::kEps);
+}
+
+TEST_F(LabelingTest, MostSpecificSubjectTakesPrecedence) {
+  // Foreign (Tom's group) is denied, but Tom himself is permitted: the
+  // more specific subject wins.
+  LabelMap labels = Label(
+      {Auth("Foreign", "//paper", Sign::kMinus, AuthType::kRecursive),
+       Auth("Tom", "//paper", Sign::kPlus, AuthType::kRecursive)});
+  EXPECT_EQ(SignAt(labels, "//project[1]/paper[1]"), TriSign::kPlus);
+}
+
+TEST_F(LabelingTest, UncomparableSubjectsDenialsTakePrecedence) {
+  ASSERT_TRUE(groups_.AddMembership("Tom", "Students").ok());
+  LabelMap labels = Label(
+      {Auth("Foreign", "//paper", Sign::kMinus, AuthType::kRecursive),
+       Auth("Students", "//paper", Sign::kPlus, AuthType::kRecursive)});
+  EXPECT_EQ(SignAt(labels, "//project[1]/paper[1]"), TriSign::kMinus);
+}
+
+TEST_F(LabelingTest, UncomparableSubjectsPermissionsPolicy) {
+  ASSERT_TRUE(groups_.AddMembership("Tom", "Students").ok());
+  PolicyOptions policy;
+  policy.conflict = ConflictPolicy::kPermissionsTakePrecedence;
+  LabelMap labels = Label(
+      {Auth("Foreign", "//paper", Sign::kMinus, AuthType::kRecursive),
+       Auth("Students", "//paper", Sign::kPlus, AuthType::kRecursive)},
+      {}, policy);
+  EXPECT_EQ(SignAt(labels, "//project[1]/paper[1]"), TriSign::kPlus);
+}
+
+TEST_F(LabelingTest, UncomparableSubjectsNothingPolicy) {
+  ASSERT_TRUE(groups_.AddMembership("Tom", "Students").ok());
+  PolicyOptions policy;
+  policy.conflict = ConflictPolicy::kNothingTakesPrecedence;
+  LabelMap labels = Label(
+      {Auth("Foreign", "//paper", Sign::kMinus, AuthType::kRecursive),
+       Auth("Students", "//paper", Sign::kPlus, AuthType::kRecursive)},
+      {}, policy);
+  EXPECT_EQ(SignAt(labels, "//project[1]/paper[1]"), TriSign::kEps);
+}
+
+TEST_F(LabelingTest, NonApplicableAuthorizationsIgnored) {
+  LabelMap labels = Label(
+      {Auth("Admin", "", Sign::kPlus, AuthType::kRecursive),
+       // Applicable group but wrong location:
+       [&] {
+         Authorization a = Auth("Foreign", "", Sign::kPlus,
+                                AuthType::kRecursive);
+         a.subject = *Subject::Make("Foreign", "150.*", "*");
+         return a;
+       }()});
+  EXPECT_EQ(SignAt(labels, "/laboratory"), TriSign::kEps);
+  EXPECT_EQ(stats_.applicable_instance_auths, 0);
+}
+
+TEST_F(LabelingTest, SchemaAuthorizationsPropagate) {
+  std::vector<Authorization> schema = {
+      Auth("Public", "//manager", Sign::kPlus, AuthType::kRecursive)};
+  LabelMap labels = Label({}, schema);
+  EXPECT_EQ(SignAt(labels, "//project[1]/manager"), TriSign::kPlus);
+  EXPECT_EQ(SignAt(labels, "//project[1]/manager/fname"), TriSign::kPlus);
+  EXPECT_EQ(SignAt(labels, "//project[1]/paper[1]"), TriSign::kEps);
+}
+
+TEST_F(LabelingTest, InstanceOverridesSchema) {
+  std::vector<Authorization> schema = {
+      Auth("Public", "//paper", Sign::kPlus, AuthType::kRecursive)};
+  LabelMap labels = Label(
+      {Auth("Public", "//paper[./@category=\"private\"]", Sign::kMinus,
+            AuthType::kRecursive)},
+      schema);
+  EXPECT_EQ(SignAt(labels, "//paper[@category=\"private\"]"),
+            TriSign::kMinus);
+  EXPECT_EQ(SignAt(labels, "//project[1]/paper[@category=\"public\"]"),
+            TriSign::kPlus);
+}
+
+TEST_F(LabelingTest, WeakInstanceYieldsToSchema) {
+  // Weak instance permission, schema denial on the same element: the
+  // schema wins (paper §5: weak authorizations are overridden by
+  // schema-level ones).
+  std::vector<Authorization> schema = {
+      Auth("Public", "//paper[./@category=\"private\"]", Sign::kMinus,
+           AuthType::kRecursive)};
+  LabelMap labels = Label(
+      {Auth("Public", "//paper", Sign::kPlus, AuthType::kRecursiveWeak)},
+      schema);
+  EXPECT_EQ(SignAt(labels, "//paper[@category=\"private\"]"),
+            TriSign::kMinus);
+  // Where the schema is silent, the weak authorization applies.
+  EXPECT_EQ(SignAt(labels, "//project[1]/paper[@category=\"public\"]"),
+            TriSign::kPlus);
+}
+
+TEST_F(LabelingTest, InheritedRecursiveBeatsOwnSchemaSign) {
+  // A non-weak recursive sign propagated from an ancestor has priority
+  // over a schema-level sign on the node itself (first_def order
+  // L,R,LD,RD,LW,RW).
+  std::vector<Authorization> schema = {
+      Auth("Public", "//paper", Sign::kPlus, AuthType::kRecursive)};
+  LabelMap labels = Label(
+      {Auth("Public", "/laboratory/project[1]", Sign::kMinus,
+            AuthType::kRecursive)},
+      schema);
+  EXPECT_EQ(SignAt(labels, "//project[1]/paper[1]"), TriSign::kMinus);
+}
+
+TEST_F(LabelingTest, WeakOverridesPropagationButYieldsPriority) {
+  // Child declares a weak recursive permission; parent propagates a
+  // strong denial.  The child's own (more specific object) declaration
+  // stops the propagation pair, so the weak plus applies.
+  LabelMap labels = Label(
+      {Auth("Public", "/laboratory", Sign::kMinus, AuthType::kRecursive),
+       Auth("Public", "/laboratory/project[1]", Sign::kPlus,
+            AuthType::kRecursiveWeak)});
+  EXPECT_EQ(SignAt(labels, "/laboratory"), TriSign::kMinus);
+  EXPECT_EQ(SignAt(labels, "//project[1]"), TriSign::kPlus);
+  EXPECT_EQ(SignAt(labels, "//project[1]/paper[1]"), TriSign::kPlus);
+  EXPECT_EQ(SignAt(labels, "//project[2]"), TriSign::kMinus);
+}
+
+TEST_F(LabelingTest, TextNodesFollowTheirElement) {
+  LabelMap labels = Label(
+      {Auth("Public", "//title", Sign::kPlus, AuthType::kRecursive)});
+  auto titles = xpath::SelectXPath("//title/text()", doc_->root());
+  ASSERT_TRUE(titles.ok());
+  ASSERT_EQ(titles->size(), 3u);
+  for (const Node* text : *titles) {
+    EXPECT_EQ(labels.FinalSign(text), TriSign::kPlus);
+  }
+}
+
+TEST_F(LabelingTest, AttributeTargetedRecursiveActsAsLocal) {
+  LabelMap labels = Label(
+      {Auth("Public", "//project/@name", Sign::kPlus,
+            AuthType::kRecursive)});
+  EXPECT_EQ(SignAt(labels, "//project[1]/@name"), TriSign::kPlus);
+  EXPECT_EQ(SignAt(labels, "//project[1]"), TriSign::kEps);
+}
+
+TEST_F(LabelingTest, StatsAreFilled) {
+  Label({Auth("Public", "//paper", Sign::kPlus, AuthType::kRecursive),
+         Auth("Admin", "//paper", Sign::kMinus, AuthType::kRecursive)});
+  EXPECT_EQ(stats_.applicable_instance_auths, 1);
+  EXPECT_EQ(stats_.xpath_evaluations, 1);
+  EXPECT_EQ(stats_.target_nodes, 3);
+  EXPECT_EQ(stats_.labeled_nodes, doc_->node_count());
+}
+
+TEST_F(LabelingTest, NaiveLabelerAgreesOnPaperScenario) {
+  std::vector<Authorization> instance = {
+      Auth("Public", "", Sign::kPlus, AuthType::kRecursive),
+      Auth("Foreign", "//paper[./@category=\"private\"]", Sign::kMinus,
+           AuthType::kRecursive),
+      Auth("Tom", "//manager", Sign::kPlus, AuthType::kLocal)};
+  std::vector<Authorization> schema = {
+      Auth("Public", "//fname", Sign::kMinus, AuthType::kRecursive)};
+
+  TreeLabeler labeler(&groups_, PolicyOptions{});
+  auto fast = labeler.Label(*doc_, instance, schema, requester_);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  auto naive = LabelTreeNaive(*doc_, instance, schema, requester_, groups_,
+                              PolicyOptions{});
+  ASSERT_TRUE(naive.ok()) << naive.status();
+  xml::ForEachNode(static_cast<const Node*>(doc_.get()),
+                   [&](const Node* node) {
+                     EXPECT_EQ(fast->FinalSign(node), naive->FinalSign(node))
+                         << "node " << node->NodeName() << " order "
+                         << node->doc_order();
+                   });
+}
+
+TEST_F(LabelingTest, FirstDefSemantics) {
+  EXPECT_EQ(FirstDef({TriSign::kEps, TriSign::kMinus, TriSign::kPlus}),
+            TriSign::kMinus);
+  EXPECT_EQ(FirstDef({TriSign::kEps, TriSign::kEps}), TriSign::kEps);
+  EXPECT_EQ(FirstDef({TriSign::kPlus}), TriSign::kPlus);
+  EXPECT_EQ(FirstDef({}), TriSign::kEps);
+}
+
+TEST_F(LabelingTest, ValidityWindowFiltersAuthorizations) {
+  Authorization timed = Auth("Public", "", Sign::kPlus,
+                             AuthType::kRecursive);
+  timed.valid_from = 100;
+  timed.valid_until = 200;
+
+  requester_.time = 150;
+  LabelMap inside = Label({timed});
+  EXPECT_EQ(SignAt(inside, "/laboratory"), TriSign::kPlus);
+
+  requester_.time = 50;
+  LabelMap before = Label({timed});
+  EXPECT_EQ(SignAt(before, "/laboratory"), TriSign::kEps);
+
+  requester_.time = 201;
+  LabelMap after = Label({timed});
+  EXPECT_EQ(SignAt(after, "/laboratory"), TriSign::kEps);
+}
+
+TEST_F(LabelingTest, WriteAuthorizationsInvisibleToReadLabeling) {
+  Authorization write_auth = Auth("Public", "", Sign::kPlus,
+                                  AuthType::kRecursive);
+  write_auth.action = Action::kWrite;
+  LabelMap labels = Label({write_auth});
+  EXPECT_EQ(SignAt(labels, "/laboratory"), TriSign::kEps);
+}
+
+TEST_F(LabelingTest, SelfReferentialAuthorizationViaUserVariable) {
+  // One policy line covers every user: each sees papers whose title
+  // equals their own user name (stand-in for an @owner attribute).
+  auto doc = xml::ParseDocument(
+      "<laboratory>"
+      "<paper category=\"public\"><title>Tom</title></paper>"
+      "<paper category=\"public\"><title>Ann</title></paper>"
+      "</laboratory>");
+  ASSERT_TRUE(doc.ok());
+  doc_ = std::move(doc).value();
+
+  std::vector<Authorization> auths = {
+      Auth("Public", "//paper[title=$user]", Sign::kPlus,
+           AuthType::kRecursive)};
+
+  requester_.user = "Tom";
+  LabelMap tom = Label(auths);
+  EXPECT_EQ(SignAt(tom, "//paper[1]"), TriSign::kPlus);
+  EXPECT_EQ(SignAt(tom, "//paper[2]"), TriSign::kEps);
+
+  requester_.user = "Ann";
+  // Ann is not in the Foreign group fixture; Public still matches.
+  LabelMap ann = Label(auths);
+  EXPECT_EQ(SignAt(ann, "//paper[1]"), TriSign::kEps);
+  EXPECT_EQ(SignAt(ann, "//paper[2]"), TriSign::kPlus);
+}
+
+TEST_F(LabelingTest, InvalidPathExpressionSurfacesError) {
+  TreeLabeler labeler(&groups_, PolicyOptions{});
+  std::vector<Authorization> bad = {
+      Auth("Public", "/laboratory[", Sign::kPlus, AuthType::kRecursive)};
+  auto result = labeler.Label(*doc_, bad, {}, requester_);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace authz
+}  // namespace xmlsec

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "authz/loosening.h"
+#include "workload/docgen.h"
+#include "xml/dtd_parser.h"
+#include "xml/parser.h"
+#include "xml/validator.h"
+
+namespace xmlsec {
+namespace authz {
+namespace {
+
+using xml::AttrDefaultKind;
+using xml::Cardinality;
+using xml::Dtd;
+
+std::unique_ptr<Dtd> MustParseDtd(std::string_view text) {
+  auto result = xml::ParseDtd(text);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+TEST(LooseningTest, RequiredAttributesBecomeImplied) {
+  auto dtd = MustParseDtd(
+      "<!ELEMENT a EMPTY>"
+      "<!ATTLIST a req CDATA #REQUIRED imp CDATA #IMPLIED "
+      "fix CDATA #FIXED \"f\" def CDATA \"d\">");
+  Dtd loose = LoosenDtd(*dtd);
+  EXPECT_EQ(loose.FindAttr("a", "req")->default_kind,
+            AttrDefaultKind::kImplied);
+  EXPECT_EQ(loose.FindAttr("a", "imp")->default_kind,
+            AttrDefaultKind::kImplied);
+  EXPECT_EQ(loose.FindAttr("a", "fix")->default_kind,
+            AttrDefaultKind::kFixed);
+  EXPECT_EQ(loose.FindAttr("a", "def")->default_kind,
+            AttrDefaultKind::kDefault);
+}
+
+TEST(LooseningTest, CardinalitiesLoosened) {
+  auto dtd = MustParseDtd("<!ELEMENT e (a,b?,c*,d+)>");
+  Dtd loose = LoosenDtd(*dtd);
+  const auto& children = loose.FindElement("e")->particle->children;
+  ASSERT_EQ(children.size(), 4u);
+  EXPECT_EQ(children[0].cardinality, Cardinality::kOptional);     // 1 -> ?
+  EXPECT_EQ(children[1].cardinality, Cardinality::kOptional);     // ? -> ?
+  EXPECT_EQ(children[2].cardinality, Cardinality::kZeroOrMore);   // * -> *
+  EXPECT_EQ(children[3].cardinality, Cardinality::kZeroOrMore);   // + -> *
+}
+
+TEST(LooseningTest, NestedGroupsLoosenedRecursively) {
+  auto dtd = MustParseDtd("<!ELEMENT e ((a,b)+,(c|d))>");
+  Dtd loose = LoosenDtd(*dtd);
+  const auto& p = *loose.FindElement("e")->particle;
+  EXPECT_EQ(p.cardinality, Cardinality::kOptional);
+  EXPECT_EQ(p.children[0].cardinality, Cardinality::kZeroOrMore);
+  EXPECT_EQ(p.children[0].children[0].cardinality, Cardinality::kOptional);
+  EXPECT_EQ(p.children[1].cardinality, Cardinality::kOptional);
+}
+
+TEST(LooseningTest, PreservesEntitiesNotationsAndName) {
+  auto dtd = MustParseDtd(
+      "<!ELEMENT a EMPTY><!ENTITY e \"v\">"
+      "<!NOTATION n SYSTEM \"s\">");
+  dtd->set_name("a");
+  Dtd loose = LoosenDtd(*dtd);
+  EXPECT_EQ(loose.name(), "a");
+  EXPECT_NE(loose.FindEntity("e", false), nullptr);
+  EXPECT_NE(loose.FindNotation("n"), nullptr);
+}
+
+TEST(LooseningTest, EmptyAndAnyAndMixedUnchanged) {
+  auto dtd = MustParseDtd(
+      "<!ELEMENT a EMPTY><!ELEMENT b ANY><!ELEMENT c (#PCDATA|x)*>");
+  Dtd loose = LoosenDtd(*dtd);
+  EXPECT_EQ(loose.FindElement("a")->content_kind, xml::ContentKind::kEmpty);
+  EXPECT_EQ(loose.FindElement("b")->content_kind, xml::ContentKind::kAny);
+  EXPECT_EQ(loose.FindElement("c")->content_kind, xml::ContentKind::kMixed);
+}
+
+TEST(LooseningTest, AnySubsetOfChildrenValidates) {
+  // The defining property of loosening: removing arbitrary children and
+  // attributes from a valid document keeps it valid w.r.t. the loosened
+  // DTD (here checked on a representative pruning pattern).
+  auto dtd = MustParseDtd(
+      "<!ELEMENT lab (head,proj+)>"
+      "<!ELEMENT head (#PCDATA)>"
+      "<!ELEMENT proj (title,member*)>"
+      "<!ELEMENT title (#PCDATA)>"
+      "<!ELEMENT member (#PCDATA)>"
+      "<!ATTLIST proj id CDATA #REQUIRED>");
+  dtd->set_name("lab");
+
+  // A pruned view: head removed, proj's required attribute removed,
+  // title removed from the second proj.
+  auto view = xml::ParseDocument(
+      "<lab><proj><title>t</title></proj><proj><member>m</member></proj>"
+      "</lab>");
+  ASSERT_TRUE(view.ok());
+
+  // Invalid against the original DTD...
+  {
+    xml::Validator strict(dtd.get());
+    EXPECT_FALSE(strict.Validate(view->get()).ok());
+  }
+  // ...valid against the loosened one.
+  Dtd loose = LoosenDtd(*dtd);
+  xml::ValidationOptions options;
+  options.add_default_attributes = false;
+  xml::Validator validator(&loose, options);
+  Status loose_status = validator.Validate(view->get());
+  EXPECT_TRUE(loose_status.ok()) << loose_status;
+}
+
+TEST(LooseningTest, LaboratoryDtdLoosens) {
+  auto dtd = MustParseDtd(workload::LaboratoryDtd());
+  Dtd loose = LoosenDtd(*dtd);
+  // project's name/type were #REQUIRED.
+  EXPECT_EQ(loose.FindAttr("project", "name")->default_kind,
+            AttrDefaultKind::kImplied);
+  EXPECT_EQ(loose.FindAttr("project", "type")->default_kind,
+            AttrDefaultKind::kImplied);
+  // manager (exactly-one) becomes optional.
+  const auto& project = *loose.FindElement("project")->particle;
+  EXPECT_EQ(project.children[0].cardinality, Cardinality::kOptional);
+}
+
+TEST(LooseningTest, Idempotent) {
+  auto dtd = MustParseDtd(
+      "<!ELEMENT e (a+,b)><!ATTLIST e k CDATA #REQUIRED>");
+  Dtd once = LoosenDtd(*dtd);
+  Dtd twice = LoosenDtd(once);
+  EXPECT_EQ(once.FindElement("e")->ContentToString(),
+            twice.FindElement("e")->ContentToString());
+  EXPECT_EQ(once.FindAttr("e", "k")->default_kind,
+            twice.FindAttr("e", "k")->default_kind);
+}
+
+}  // namespace
+}  // namespace authz
+}  // namespace xmlsec

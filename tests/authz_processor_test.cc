@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "authz/processor.h"
+#include "authz/xacl.h"
+#include "workload/docgen.h"
+#include "xml/dtd_parser.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xml/validator.h"
+
+namespace xmlsec {
+namespace authz {
+namespace {
+
+using xml::Document;
+
+/// The paper's CSlab.xml (Fig. 3a, reconstructed from the running
+/// example): an instance of the laboratory DTD of Fig. 1.
+constexpr char kCSlab[] =
+    "<laboratory>"
+    "<project name=\"Access Models\" type=\"internal\">"
+    "<manager><fname>Eve</fname><lname>Smith</lname></manager>"
+    "<paper category=\"private\"><title>Secret</title></paper>"
+    "<paper category=\"public\"><title>Known</title></paper>"
+    "</project>"
+    "<project name=\"Web\" type=\"public\">"
+    "<manager><fname>Alan</fname><lname>Turing</lname></manager>"
+    "<paper category=\"internal\"><title>Draft</title></paper>"
+    "<paper category=\"public\"><title>Published</title></paper>"
+    "</project>"
+    "</laboratory>";
+
+class ProcessorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto doc = xml::ParseDocument(kCSlab);
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    doc_ = std::move(doc).value();
+    auto dtd = xml::ParseDtd(workload::LaboratoryDtd());
+    ASSERT_TRUE(dtd.ok()) << dtd.status();
+    (*dtd)->set_name("laboratory");
+    doc_->set_dtd(std::move(dtd).value());
+    ASSERT_TRUE(xml::ValidateDocument(doc_.get()).ok());
+    doc_->Reindex();
+
+    ASSERT_TRUE(groups_.AddMembership("Tom", "Foreign").ok());
+    ASSERT_TRUE(groups_.AddMembership("Carol", "Admin").ok());
+  }
+
+  Authorization Auth(std::string_view ug, std::string_view ip,
+                     std::string_view sym, std::string_view uri,
+                     std::string_view path, Sign sign, AuthType type) {
+    Authorization auth;
+    auth.subject = *Subject::Make(ug, ip, sym);
+    auth.object.uri = std::string(uri);
+    auth.object.path = std::string(path);
+    auth.sign = sign;
+    auth.type = type;
+    return auth;
+  }
+
+  /// The four authorizations of the paper's Example 1.  The first is
+  /// schema level (it targets laboratory.xml, the DTD); the others are
+  /// instance level on CSlab.xml.  The fourth's type is printed as "W"
+  /// in the paper — we read it as weak recursive, matching the intent
+  /// ("access information about managers").
+  void LoadExample1() {
+    schema_auths_ = {Auth("Foreign", "*", "*", "laboratory.xml",
+                          "/laboratory//paper[./@category=\"private\"]",
+                          Sign::kMinus, AuthType::kRecursive)};
+    instance_auths_ = {
+        Auth("Public", "*", "*", "CSlab.xml",
+             "/laboratory//paper[./@category=\"public\"]", Sign::kPlus,
+             AuthType::kRecursiveWeak),
+        Auth("Admin", "130.89.56.8", "*", "CSlab.xml",
+             "project[./@type=\"internal\"]", Sign::kPlus,
+             AuthType::kRecursive),
+        Auth("Public", "*", "*.it", "CSlab.xml",
+             "project[./@type=\"public\"]/manager", Sign::kPlus,
+             AuthType::kRecursiveWeak)};
+  }
+
+  Result<View> Process(const Requester& rq, ProcessorOptions options = {}) {
+    SecurityProcessor processor(&groups_, options);
+    return processor.ComputeView(*doc_, instance_auths_, schema_auths_, rq);
+  }
+
+  static std::string Compact(const View& view) {
+    xml::SerializeOptions options;
+    options.xml_declaration = false;
+    return view.ToXml(options);
+  }
+
+  std::unique_ptr<Document> doc_;
+  GroupStore groups_;
+  std::vector<Authorization> instance_auths_;
+  std::vector<Authorization> schema_auths_;
+};
+
+TEST_F(ProcessorTest, PaperFigure3TomView) {
+  // Example 2: Tom, member of Foreign, from infosys.bld1.it
+  // (130.100.50.8).  His view (Fig. 3b): the private paper is denied by
+  // the schema-level authorization; public papers are visible through
+  // the weak permission; the manager of the public project is visible
+  // because Tom connects from the it domain; everything else is either
+  // undefined (closed policy: hidden) or kept as bare structure.
+  LoadExample1();
+  Requester tom{"Tom", "130.100.50.8", "infosys.bld1.it"};
+  auto view = Process(tom);
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_EQ(Compact(*view),
+            "<laboratory>"
+            "<project>"
+            "<paper category=\"public\"><title>Known</title></paper>"
+            "</project>"
+            "<project>"
+            "<manager><fname>Alan</fname><lname>Turing</lname></manager>"
+            "<paper category=\"public\"><title>Published</title></paper>"
+            "</project>"
+            "</laboratory>");
+}
+
+TEST_F(ProcessorTest, AdminFromAuthorizedHostSeesInternalProject) {
+  LoadExample1();
+  Requester carol{"Carol", "130.89.56.8", "admin.lab.com"};
+  auto view = Process(carol);
+  ASSERT_TRUE(view.ok()) << view.status();
+  std::string xml = Compact(*view);
+  // The internal project is fully visible (recursive +), including its
+  // private paper: the schema denial only applies to Foreign.
+  EXPECT_NE(xml.find("name=\"Access Models\""), std::string::npos);
+  EXPECT_NE(xml.find("<title>Secret</title>"), std::string::npos);
+  EXPECT_NE(xml.find("<fname>Eve</fname>"), std::string::npos);
+  // But not the public project's manager (Carol is not in the it
+  // domain, and no other authorization covers it).
+  EXPECT_EQ(xml.find("Turing"), std::string::npos);
+}
+
+TEST_F(ProcessorTest, AdminFromOtherHostLosesInternalProject) {
+  LoadExample1();
+  Requester carol{"Carol", "99.99.99.99", "admin.lab.com"};
+  auto view = Process(carol);
+  ASSERT_TRUE(view.ok()) << view.status();
+  std::string xml = Compact(*view);
+  EXPECT_EQ(xml.find("Secret"), std::string::npos);
+  EXPECT_EQ(xml.find("Eve"), std::string::npos);
+  // Public papers remain (Public subject).
+  EXPECT_NE(xml.find("Known"), std::string::npos);
+}
+
+TEST_F(ProcessorTest, ForeignMemberDeniedPrivateEvenWithWeakPlus) {
+  // A weak instance-level permission on all papers cannot override the
+  // schema-level denial for Foreign.
+  LoadExample1();
+  instance_auths_.push_back(Auth("Foreign", "*", "*", "CSlab.xml",
+                                 "//paper", Sign::kPlus,
+                                 AuthType::kRecursiveWeak));
+  Requester tom{"Tom", "130.100.50.8", "infosys.bld1.it"};
+  auto view = Process(tom);
+  ASSERT_TRUE(view.ok()) << view.status();
+  std::string xml = Compact(*view);
+  EXPECT_EQ(xml.find("Secret"), std::string::npos);
+  // The weak plus does reveal the internal-category paper (the schema
+  // rule only covers private papers).
+  EXPECT_NE(xml.find("Draft"), std::string::npos);
+}
+
+TEST_F(ProcessorTest, ViewCarriesLoosenedDtd) {
+  LoadExample1();
+  Requester tom{"Tom", "130.100.50.8", "infosys.bld1.it"};
+  auto view = Process(tom);
+  ASSERT_TRUE(view.ok()) << view.status();
+  ASSERT_NE(view->document->dtd(), nullptr);
+  // name/type were #REQUIRED in Fig. 1; the served DTD has them optional
+  // so the skeleton <project> elements stay valid and redaction is
+  // indistinguishable from absence.
+  EXPECT_EQ(view->document->dtd()->FindAttr("project", "name")->default_kind,
+            xml::AttrDefaultKind::kImplied);
+}
+
+TEST_F(ProcessorTest, ViewValidatesAgainstLoosenedDtd) {
+  LoadExample1();
+  ProcessorOptions options;
+  options.validate_output = true;  // Internal invariant check.
+  Requester tom{"Tom", "130.100.50.8", "infosys.bld1.it"};
+  auto view = Process(tom, options);
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_FALSE(view->empty());
+}
+
+TEST_F(ProcessorTest, OriginalDocumentUntouched) {
+  LoadExample1();
+  std::string before = xml::SerializeDocument(*doc_);
+  Requester tom{"Tom", "130.100.50.8", "infosys.bld1.it"};
+  auto view = Process(tom);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(xml::SerializeDocument(*doc_), before);
+  // Required attributes still intact on the original.
+  EXPECT_EQ(doc_->dtd()->FindAttr("project", "name")->default_kind,
+            xml::AttrDefaultKind::kRequired);
+}
+
+TEST_F(ProcessorTest, StrangerSeesNothing) {
+  LoadExample1();
+  // Anonymous from an unknown host: only the Public weak + applies, but
+  // it is weak... and no schema auth overrides it, so public papers show.
+  Requester anon{"anonymous", "8.8.8.8", "unknown.example.org"};
+  auto view = Process(anon);
+  ASSERT_TRUE(view.ok());
+  std::string xml = Compact(*view);
+  EXPECT_NE(xml.find("Known"), std::string::npos);
+  EXPECT_EQ(xml.find("Secret"), std::string::npos);
+  EXPECT_EQ(xml.find("Turing"), std::string::npos);
+
+  // With no applicable authorizations at all, the view is empty.
+  instance_auths_.clear();
+  schema_auths_.clear();
+  auto empty_view = Process(anon);
+  ASSERT_TRUE(empty_view.ok());
+  EXPECT_TRUE(empty_view->empty());
+  EXPECT_EQ(Compact(*empty_view), "");
+}
+
+TEST_F(ProcessorTest, WeakSchemaAuthorizationRejected) {
+  schema_auths_ = {Auth("Public", "*", "*", "laboratory.xml", "//paper",
+                        Sign::kPlus, AuthType::kRecursiveWeak)};
+  Requester tom{"Tom", "130.100.50.8", "infosys.bld1.it"};
+  auto view = Process(tom);
+  ASSERT_FALSE(view.ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProcessorTest, OpenPolicyRevealsUndefinedNodes) {
+  LoadExample1();
+  ProcessorOptions options;
+  options.policy.completeness = CompletenessPolicy::kOpen;
+  Requester tom{"Tom", "130.100.50.8", "infosys.bld1.it"};
+  auto view = Process(tom, options);
+  ASSERT_TRUE(view.ok());
+  std::string xml = Compact(*view);
+  // Undefined nodes (e.g. project attributes) are now visible...
+  EXPECT_NE(xml.find("name=\"Access Models\""), std::string::npos);
+  EXPECT_NE(xml.find("Draft"), std::string::npos);
+  // ...but explicit denials still hold.
+  EXPECT_EQ(xml.find("Secret"), std::string::npos);
+}
+
+TEST_F(ProcessorTest, DocumentWithoutDtdServedWithoutLoosening) {
+  // Well-formed-only resources are also protectable; there is simply no
+  // schema level and no DTD to loosen.
+  auto doc = xml::ParseDocument("<notes><n owner=\"tom\">x</n></notes>");
+  ASSERT_TRUE(doc.ok());
+  instance_auths_ = {Auth("Public", "*", "*", "notes.xml", "//n",
+                          Sign::kPlus, AuthType::kRecursive)};
+  schema_auths_.clear();
+  SecurityProcessor processor(&groups_, {});
+  Requester anyone{"anyone", "1.2.3.4", "h.example.com"};
+  auto view =
+      processor.ComputeView(**doc, instance_auths_, {}, anyone);
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_EQ(view->document->dtd(), nullptr);
+  xml::SerializeOptions options;
+  options.xml_declaration = false;
+  EXPECT_EQ(view->ToXml(options),
+            "<notes><n owner=\"tom\">x</n></notes>");
+}
+
+TEST_F(ProcessorTest, SelfReferentialPolicyThroughProcessor) {
+  // One authorization serves every owner their own nodes.
+  auto doc = xml::ParseDocument(
+      "<notes><n owner=\"tom\">t-note</n><n owner=\"ann\">a-note</n>"
+      "</notes>");
+  ASSERT_TRUE(doc.ok());
+  std::vector<Authorization> auths = {
+      Auth("Public", "*", "*", "notes.xml", "//n[@owner=$user]",
+           Sign::kPlus, AuthType::kRecursive)};
+  SecurityProcessor processor(&groups_, {});
+
+  Requester tom{"tom", "1.1.1.1", "a.example"};
+  auto tom_view = processor.ComputeView(**doc, auths, {}, tom);
+  ASSERT_TRUE(tom_view.ok());
+  std::string tom_xml = Compact(*tom_view);
+  EXPECT_NE(tom_xml.find("t-note"), std::string::npos);
+  EXPECT_EQ(tom_xml.find("a-note"), std::string::npos);
+
+  Requester ann{"ann", "1.1.1.1", "a.example"};
+  auto ann_view = processor.ComputeView(**doc, auths, {}, ann);
+  ASSERT_TRUE(ann_view.ok());
+  std::string ann_xml = Compact(*ann_view);
+  EXPECT_EQ(ann_xml.find("t-note"), std::string::npos);
+  EXPECT_NE(ann_xml.find("a-note"), std::string::npos);
+}
+
+TEST_F(ProcessorTest, StatsReportWork) {
+  LoadExample1();
+  Requester tom{"Tom", "130.100.50.8", "infosys.bld1.it"};
+  auto view = Process(tom);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->stats.labeling.applicable_schema_auths, 1);
+  EXPECT_EQ(view->stats.labeling.applicable_instance_auths, 2);
+  EXPECT_GT(view->stats.prune.nodes_before, view->stats.prune.nodes_after);
+  EXPECT_GT(view->stats.prune.skeleton_elements, 0);
+}
+
+}  // namespace
+}  // namespace authz
+}  // namespace xmlsec

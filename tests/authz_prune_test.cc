@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "authz/labeling.h"
+#include "authz/prune.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xmlsec {
+namespace authz {
+namespace {
+
+using xml::Document;
+
+class PruneTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Document> Parse(std::string_view text) {
+    auto result = xml::ParseDocument(text);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::move(result).value();
+  }
+
+  Authorization Auth(std::string_view path, Sign sign, AuthType type) {
+    Authorization auth;
+    auth.subject = *Subject::Make("Public", "*", "*");
+    auth.object.uri = "doc.xml";
+    auth.object.path = std::string(path);
+    auth.sign = sign;
+    auth.type = type;
+    return auth;
+  }
+
+  /// Labels `doc` with `auths` and prunes; returns compact XML.
+  std::string LabelAndPrune(Document* doc,
+                            const std::vector<Authorization>& auths,
+                            CompletenessPolicy completeness =
+                                CompletenessPolicy::kClosed) {
+    GroupStore groups;
+    Requester rq{"u", "1.2.3.4", "h.example.com"};
+    PolicyOptions policy;
+    policy.completeness = completeness;
+    TreeLabeler labeler(&groups, policy);
+    auto labels = labeler.Label(*doc, auths, {}, rq);
+    EXPECT_TRUE(labels.ok()) << labels.status();
+    PruneDocument(doc, *labels, completeness, &stats_);
+    xml::SerializeOptions options;
+    options.xml_declaration = false;
+    return SerializeDocument(*doc, options);
+  }
+
+  PruneStats stats_;
+};
+
+TEST_F(PruneTest, FullyPermittedDocumentUnchanged) {
+  auto doc = Parse("<a x=\"1\"><b>t</b><c/></a>");
+  std::string out =
+      LabelAndPrune(doc.get(), {Auth("", Sign::kPlus, AuthType::kRecursive)});
+  EXPECT_EQ(out, "<a x=\"1\"><b>t</b><c/></a>");
+  EXPECT_EQ(stats_.nodes_after, stats_.nodes_before);
+  EXPECT_EQ(stats_.skeleton_elements, 0);
+}
+
+TEST_F(PruneTest, NothingPermittedPrunesEverything) {
+  auto doc = Parse("<a x=\"1\"><b>t</b></a>");
+  std::string out = LabelAndPrune(doc.get(), {});
+  EXPECT_EQ(out, "");
+  EXPECT_EQ(doc->root(), nullptr);
+}
+
+TEST_F(PruneTest, DeniedSubtreeRemoved) {
+  auto doc = Parse("<a><keep>1</keep><drop>2</drop></a>");
+  std::string out = LabelAndPrune(
+      doc.get(), {Auth("", Sign::kPlus, AuthType::kRecursive),
+                  Auth("//drop", Sign::kMinus, AuthType::kRecursive)});
+  EXPECT_EQ(out, "<a><keep>1</keep></a>");
+  EXPECT_GE(stats_.removed_elements, 1);
+}
+
+TEST_F(PruneTest, SkeletonTagsPreservedForPermittedDescendants) {
+  // The start/end tags of elements with a permitted descendant survive
+  // even when the element itself is not permitted (paper §6.2).
+  auto doc = Parse("<a><mid attr=\"x\">hidden<leaf>seen</leaf></mid></a>");
+  std::string out = LabelAndPrune(
+      doc.get(), {Auth("//leaf", Sign::kPlus, AuthType::kRecursive)});
+  // 'a' and 'mid' are skeleton; mid's attribute and text are pruned.
+  EXPECT_EQ(out, "<a><mid><leaf>seen</leaf></mid></a>");
+  EXPECT_EQ(stats_.skeleton_elements, 2);
+  EXPECT_EQ(stats_.removed_attributes, 1);
+}
+
+TEST_F(PruneTest, AttributesPrunedIndividually) {
+  auto doc = Parse("<a x=\"1\" y=\"2\"/>");
+  std::string out = LabelAndPrune(
+      doc.get(), {Auth("/a", Sign::kPlus, AuthType::kLocal),
+                  Auth("/a/@y", Sign::kMinus, AuthType::kLocal)});
+  EXPECT_EQ(out, "<a x=\"1\"/>");
+}
+
+TEST_F(PruneTest, LocalAuthKeepsElementWithoutChildren) {
+  auto doc = Parse("<a><b k=\"v\"><c>deep</c></b></a>");
+  std::string out = LabelAndPrune(
+      doc.get(), {Auth("/a/b", Sign::kPlus, AuthType::kLocal)});
+  // b and its attribute survive; c (not covered by the local auth) and
+  // the skeleton-less text go away; a is skeleton.
+  EXPECT_EQ(out, "<a><b k=\"v\"/></a>");
+}
+
+TEST_F(PruneTest, OpenPolicyKeepsUndefinedNodes) {
+  auto doc = Parse("<a><b>t</b><c/></a>");
+  std::string out = LabelAndPrune(
+      doc.get(), {Auth("//c", Sign::kMinus, AuthType::kRecursive)},
+      CompletenessPolicy::kOpen);
+  EXPECT_EQ(out, "<a><b>t</b></a>");
+}
+
+TEST_F(PruneTest, ClosedPolicyDropsUndefinedNodes) {
+  auto doc = Parse("<a><b>t</b><c/></a>");
+  std::string out = LabelAndPrune(
+      doc.get(), {Auth("//b", Sign::kPlus, AuthType::kRecursive)});
+  EXPECT_EQ(out, "<a><b>t</b></a>");
+}
+
+TEST_F(PruneTest, CommentsAndPisFollowTheirElement) {
+  auto doc = Parse("<a><b><!--note--><?pi d?>x</b><c><!--gone--></c></a>");
+  std::string out = LabelAndPrune(
+      doc.get(), {Auth("//b", Sign::kPlus, AuthType::kRecursive)});
+  EXPECT_EQ(out, "<a><b><!--note--><?pi d?>x</b></a>");
+}
+
+TEST_F(PruneTest, PrologCommentsStrippedUnderClosedPolicy) {
+  auto doc = Parse("<!--prolog--><a>x</a><!--epilog-->");
+  std::string out = LabelAndPrune(
+      doc.get(), {Auth("", Sign::kPlus, AuthType::kRecursive)});
+  EXPECT_EQ(out, "<a>x</a>");
+}
+
+TEST_F(PruneTest, MixedSignsDeepTree) {
+  auto doc = Parse(
+      "<r><u1><v1>a</v1><v2>b</v2></u1><u2><v3>c</v3></u2></r>");
+  std::string out = LabelAndPrune(
+      doc.get(), {Auth("", Sign::kPlus, AuthType::kRecursive),
+                  Auth("//u1", Sign::kMinus, AuthType::kRecursive),
+                  Auth("//v2", Sign::kPlus, AuthType::kRecursive)});
+  EXPECT_EQ(out, "<r><u1><v2>b</v2></u1><u2><v3>c</v3></u2></r>");
+}
+
+TEST_F(PruneTest, StatsCountsAreConsistent) {
+  auto doc = Parse("<a x=\"1\"><b>t</b><c/><d>u</d></a>");
+  int64_t before = doc->node_count();
+  LabelAndPrune(doc.get(), {Auth("//b", Sign::kPlus, AuthType::kRecursive)});
+  EXPECT_EQ(stats_.nodes_before, before);
+  EXPECT_EQ(stats_.nodes_after, doc->node_count());
+  EXPECT_LT(stats_.nodes_after, stats_.nodes_before);
+}
+
+TEST_F(PruneTest, ReindexesAfterPruning) {
+  auto doc = Parse("<a><b/><c/><d/></a>");
+  LabelAndPrune(doc.get(), {Auth("//c", Sign::kPlus, AuthType::kRecursive)});
+  // doc, a, c — contiguous doc orders.
+  EXPECT_EQ(doc->node_count(), 3);
+  EXPECT_EQ(doc->doc_order(), 0);
+  EXPECT_EQ(doc->root()->doc_order(), 1);
+  EXPECT_EQ(doc->root()->child(0)->doc_order(), 2);
+}
+
+}  // namespace
+}  // namespace authz
+}  // namespace xmlsec

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "authz/subject.h"
+
+namespace xmlsec {
+namespace authz {
+namespace {
+
+LocationPattern Ip(std::string_view text) {
+  auto result = LocationPattern::ParseIp(text);
+  EXPECT_TRUE(result.ok()) << text << ": " << result.status();
+  return *result;
+}
+
+LocationPattern Sym(std::string_view text) {
+  auto result = LocationPattern::ParseSymbolic(text);
+  EXPECT_TRUE(result.ok()) << text << ": " << result.status();
+  return *result;
+}
+
+TEST(LocationPatternTest, IpParsingAndToString) {
+  EXPECT_EQ(Ip("150.100.30.8").ToString(), "150.100.30.8");
+  EXPECT_EQ(Ip("151.100.*.*").ToString(), "151.100.*.*");
+  // Paper: "151.100.*" is equivalent to "151.100.*.*".
+  EXPECT_EQ(Ip("151.100.*").ToString(), "151.100.*.*");
+  EXPECT_EQ(Ip("*").ToString(), "*");
+}
+
+TEST(LocationPatternTest, IpRejectsMalformed) {
+  EXPECT_FALSE(LocationPattern::ParseIp("300.1.1.1").ok());
+  EXPECT_FALSE(LocationPattern::ParseIp("1.2.3.4.5").ok());
+  EXPECT_FALSE(LocationPattern::ParseIp("a.b.c.d").ok());
+  EXPECT_FALSE(LocationPattern::ParseIp("1.2.3").ok());  // short, no wildcard
+  EXPECT_FALSE(LocationPattern::ParseIp("").ok());
+}
+
+TEST(LocationPatternTest, IpWildcardsMustBeRightmost) {
+  // Paper: wildcards must be continuous and right-most in IP patterns.
+  EXPECT_FALSE(LocationPattern::ParseIp("151.*.30.8").ok());
+  EXPECT_FALSE(LocationPattern::ParseIp("*.100.30.8").ok());
+  EXPECT_FALSE(LocationPattern::ParseIp("151.*.30.*").ok());
+  EXPECT_TRUE(LocationPattern::ParseIp("151.100.30.*").ok());
+}
+
+TEST(LocationPatternTest, SymbolicWildcardsMustBeLeftmost) {
+  // Paper: wildcards must be left-most in symbolic patterns.
+  EXPECT_TRUE(LocationPattern::ParseSymbolic("*.lab.com").ok());
+  EXPECT_TRUE(LocationPattern::ParseSymbolic("*.*.com").ok());
+  EXPECT_FALSE(LocationPattern::ParseSymbolic("www.*.com").ok());
+  EXPECT_FALSE(LocationPattern::ParseSymbolic("lab.*").ok());
+}
+
+TEST(LocationPatternTest, IpMatching) {
+  EXPECT_TRUE(Ip("151.100.*").Matches("151.100.30.8"));
+  EXPECT_TRUE(Ip("*").Matches("10.0.0.1"));
+  EXPECT_TRUE(Ip("150.100.30.8").Matches("150.100.30.8"));
+  EXPECT_FALSE(Ip("150.100.30.8").Matches("150.100.30.9"));
+  EXPECT_FALSE(Ip("151.100.*").Matches("151.101.30.8"));
+  EXPECT_FALSE(Ip("151.100.30.8").Matches("not-an-ip"));
+}
+
+TEST(LocationPatternTest, SymbolicMatching) {
+  EXPECT_TRUE(Sym("*.it").Matches("infosys.bld1.it"));
+  EXPECT_TRUE(Sym("*.lab.com").Matches("tweety.lab.com"));
+  EXPECT_TRUE(Sym("*.lab.com").Matches("deep.sub.lab.com"));
+  EXPECT_FALSE(Sym("*.lab.com").Matches("tweety.lab.org"));
+  EXPECT_TRUE(Sym("tweety.lab.com").Matches("tweety.lab.com"));
+  EXPECT_FALSE(Sym("tweety.lab.com").Matches("sylvester.lab.com"));
+  EXPECT_TRUE(Sym("*").Matches("anything.at.all"));
+}
+
+TEST(LocationPatternTest, PartialOrderIp) {
+  // p1 <= p2 iff every component of p2 is * or equal (Definition 1).
+  EXPECT_TRUE(Ip("150.100.30.8").LessEq(Ip("150.100.*")));
+  EXPECT_TRUE(Ip("150.100.*").LessEq(Ip("150.*")));
+  EXPECT_TRUE(Ip("150.100.*").LessEq(Ip("*")));
+  EXPECT_FALSE(Ip("150.*").LessEq(Ip("150.100.*")));
+  EXPECT_FALSE(Ip("151.100.*").LessEq(Ip("150.100.*")));
+  // Reflexive.
+  EXPECT_TRUE(Ip("150.100.*").LessEq(Ip("150.100.*")));
+}
+
+TEST(LocationPatternTest, PartialOrderSymbolic) {
+  EXPECT_TRUE(Sym("tweety.lab.com").LessEq(Sym("*.lab.com")));
+  EXPECT_TRUE(Sym("*.lab.com").LessEq(Sym("*.com")));
+  EXPECT_TRUE(Sym("*.lab.com").LessEq(Sym("*")));
+  EXPECT_FALSE(Sym("*.com").LessEq(Sym("*.lab.com")));
+  EXPECT_FALSE(Sym("*.lab.com").LessEq(Sym("*.lab.org")));
+}
+
+TEST(LocationPatternTest, KindsDoNotCompare) {
+  EXPECT_FALSE(Ip("150.100.30.8").LessEq(Sym("*")));
+}
+
+TEST(LocationPatternTest, Concreteness) {
+  EXPECT_TRUE(Ip("1.2.3.4").IsConcrete());
+  EXPECT_FALSE(Ip("1.2.3.*").IsConcrete());
+  EXPECT_TRUE(Sym("a.b.c").IsConcrete());
+  EXPECT_FALSE(Sym("*.b.c").IsConcrete());
+}
+
+TEST(GroupStoreTest, DirectAndTransitiveMembership) {
+  GroupStore groups;
+  ASSERT_TRUE(groups.AddMembership("Alice", "Staff").ok());
+  ASSERT_TRUE(groups.AddMembership("Staff", "Employees").ok());
+  EXPECT_TRUE(groups.IsMemberOrSelf("Alice", "Staff"));
+  EXPECT_TRUE(groups.IsMemberOrSelf("Alice", "Employees"));
+  EXPECT_TRUE(groups.IsMemberOrSelf("Staff", "Employees"));
+  EXPECT_FALSE(groups.IsMemberOrSelf("Employees", "Staff"));
+  EXPECT_FALSE(groups.IsMemberOrSelf("Bob", "Staff"));
+  EXPECT_TRUE(groups.IsMemberOrSelf("Alice", "Alice"));
+}
+
+TEST(GroupStoreTest, NonDisjointGroups) {
+  GroupStore groups;
+  ASSERT_TRUE(groups.AddMembership("Tom", "Foreign").ok());
+  ASSERT_TRUE(groups.AddMembership("Tom", "Students").ok());
+  EXPECT_TRUE(groups.IsMemberOrSelf("Tom", "Foreign"));
+  EXPECT_TRUE(groups.IsMemberOrSelf("Tom", "Students"));
+}
+
+TEST(GroupStoreTest, UniversalGroupContainsEveryone) {
+  GroupStore groups;
+  EXPECT_TRUE(groups.IsMemberOrSelf("total-stranger", "Public"));
+  EXPECT_TRUE(groups.IsMemberOrSelf("anonymous", "Public"));
+  groups.set_universal_group("Everyone");
+  EXPECT_FALSE(groups.IsMemberOrSelf("stranger", "Public"));
+  EXPECT_TRUE(groups.IsMemberOrSelf("stranger", "Everyone"));
+  groups.set_universal_group("");
+  EXPECT_FALSE(groups.IsMemberOrSelf("stranger", "Everyone"));
+}
+
+TEST(GroupStoreTest, CyclesRejected) {
+  GroupStore groups;
+  ASSERT_TRUE(groups.AddMembership("A", "B").ok());
+  ASSERT_TRUE(groups.AddMembership("B", "C").ok());
+  EXPECT_FALSE(groups.AddMembership("C", "A").ok());
+  EXPECT_FALSE(groups.AddMembership("A", "A").ok());
+}
+
+TEST(GroupStoreTest, GroupsOfListsTransitiveClosure) {
+  GroupStore groups;
+  ASSERT_TRUE(groups.AddMembership("Alice", "Staff").ok());
+  ASSERT_TRUE(groups.AddMembership("Staff", "Employees").ok());
+  std::vector<std::string> of_alice = groups.GroupsOf("Alice");
+  EXPECT_EQ(of_alice, (std::vector<std::string>{"Employees", "Public",
+                                                "Staff"}));
+}
+
+TEST(SubjectTest, MakeAndToString) {
+  auto subject = Subject::Make("Sam", "*", "*.lab.com");
+  ASSERT_TRUE(subject.ok()) << subject.status();
+  EXPECT_EQ(subject->ToString(), "<Sam, *, *.lab.com>");
+  EXPECT_FALSE(Subject::Make("X", "999.1.1.1", "*").ok());
+  EXPECT_FALSE(Subject::Make("X", "*", "x.*").ok());
+}
+
+TEST(SubjectTest, AshPartialOrder) {
+  GroupStore groups;
+  ASSERT_TRUE(groups.AddMembership("Alice", "Staff").ok());
+
+  Subject alice_here = *Subject::Make("Alice", "150.100.30.8", "pc.lab.com");
+  Subject staff_net = *Subject::Make("Staff", "150.100.*", "*");
+  Subject staff_any = *Subject::Make("Staff", "*", "*");
+  Subject public_any = *Subject::Make("Public", "*", "*");
+
+  EXPECT_TRUE(SubjectLessEq(alice_here, staff_net, groups));
+  EXPECT_TRUE(SubjectLessEq(alice_here, staff_any, groups));
+  EXPECT_TRUE(SubjectLessEq(staff_net, staff_any, groups));
+  EXPECT_TRUE(SubjectLessEq(staff_any, public_any, groups));
+  EXPECT_FALSE(SubjectLessEq(staff_any, staff_net, groups));
+  // All three components must be comparable.
+  Subject alice_elsewhere = *Subject::Make("Alice", "9.9.9.9", "*");
+  EXPECT_FALSE(SubjectLessEq(alice_elsewhere, staff_net, groups));
+}
+
+TEST(SubjectTest, StrictOrderExcludesEquality) {
+  GroupStore groups;
+  Subject a = *Subject::Make("Public", "*", "*");
+  Subject b = *Subject::Make("Public", "*", "*");
+  EXPECT_TRUE(SubjectLessEq(a, b, groups));
+  EXPECT_FALSE(SubjectLess(a, b, groups));
+  Subject c = *Subject::Make("Public", "150.*", "*");
+  EXPECT_TRUE(SubjectLess(c, a, groups));
+}
+
+TEST(RequesterTest, MatchesSubjects) {
+  GroupStore groups;
+  ASSERT_TRUE(groups.AddMembership("Tom", "Foreign").ok());
+
+  Requester tom{"Tom", "130.100.50.8", "infosys.bld1.it"};
+  EXPECT_TRUE(RequesterMatches(tom, *Subject::Make("Tom", "*", "*"), groups));
+  EXPECT_TRUE(
+      RequesterMatches(tom, *Subject::Make("Foreign", "*", "*"), groups));
+  EXPECT_TRUE(
+      RequesterMatches(tom, *Subject::Make("Public", "*", "*.it"), groups));
+  EXPECT_TRUE(RequesterMatches(
+      tom, *Subject::Make("Public", "130.100.*", "*"), groups));
+  EXPECT_FALSE(
+      RequesterMatches(tom, *Subject::Make("Admin", "*", "*"), groups));
+  EXPECT_FALSE(RequesterMatches(
+      tom, *Subject::Make("Tom", "150.*", "*"), groups));
+  EXPECT_FALSE(RequesterMatches(
+      tom, *Subject::Make("Tom", "*", "*.com"), groups));
+}
+
+TEST(RequesterTest, PaperExample1Subjects) {
+  // The four subjects of the paper's Example 1, against user Tom, member
+  // of Foreign, connecting from infosys.bld1.it (130.100.50.8).
+  GroupStore groups;
+  ASSERT_TRUE(groups.AddMembership("Tom", "Foreign").ok());
+  Requester tom{"Tom", "130.100.50.8", "infosys.bld1.it"};
+
+  EXPECT_TRUE(RequesterMatches(
+      tom, *Subject::Make("Foreign", "*", "*"), groups));
+  EXPECT_TRUE(RequesterMatches(
+      tom, *Subject::Make("Public", "*", "*"), groups));
+  // Admin from a specific host: does not apply to Tom.
+  EXPECT_FALSE(RequesterMatches(
+      tom, *Subject::Make("Admin", "130.89.56.8", "*"), groups));
+  // Public from the it domain: applies.
+  EXPECT_TRUE(RequesterMatches(
+      tom, *Subject::Make("Public", "*", "*.it"), groups));
+}
+
+}  // namespace
+}  // namespace authz
+}  // namespace xmlsec

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "authz/update.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xmlsec {
+namespace authz {
+namespace {
+
+using xml::Document;
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto result = xml::ParseDocument(
+        "<inventory>"
+        "<item sku=\"A1\" qty=\"3\"><desc>bolts</desc></item>"
+        "<item sku=\"B2\" qty=\"9\"><desc>nuts</desc>"
+        "<audit>checked</audit></item>"
+        "</inventory>");
+    ASSERT_TRUE(result.ok()) << result.status();
+    doc_ = std::move(result).value();
+    requester_ = {"clerk", "10.0.0.5", "till1.shop.example"};
+    ASSERT_TRUE(groups_.AddMembership("clerk", "Clerks").ok());
+  }
+
+  Authorization WriteAuth(std::string_view ug, std::string_view path,
+                          Sign sign, AuthType type) {
+    Authorization auth;
+    auth.subject = *Subject::Make(ug, "*", "*");
+    auth.object.uri = "inv.xml";
+    auth.object.path = std::string(path);
+    auth.action = Action::kWrite;
+    auth.sign = sign;
+    auth.type = type;
+    return auth;
+  }
+
+  Result<UpdateOutcome> Apply(const std::vector<Authorization>& auths,
+                              const std::vector<UpdateOp>& ops) {
+    UpdateProcessor processor(&groups_);
+    return processor.Apply(*doc_, auths, {}, requester_, ops,
+                           /*validate_result=*/false);
+  }
+
+  static std::string Compact(const Document& doc) {
+    xml::SerializeOptions options;
+    options.xml_declaration = false;
+    return SerializeDocument(doc, options);
+  }
+
+  std::unique_ptr<Document> doc_;
+  GroupStore groups_;
+  Requester requester_;
+};
+
+TEST_F(UpdateTest, SetAttributeWithPermission) {
+  UpdateOp op;
+  op.kind = UpdateOpKind::kSetAttribute;
+  op.target = "//item[@sku=\"A1\"]";
+  op.name = "qty";
+  op.value = "5";
+  auto outcome = Apply(
+      {WriteAuth("Clerks", "//item", Sign::kPlus, AuthType::kRecursive)},
+      {op});
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->ops_applied, 1);
+  EXPECT_NE(Compact(*outcome->document).find("qty=\"5\""),
+            std::string::npos);
+  // Original untouched.
+  EXPECT_NE(Compact(*doc_).find("qty=\"3\""), std::string::npos);
+}
+
+TEST_F(UpdateTest, SetAttributeDeniedWithoutPermission) {
+  UpdateOp op;
+  op.kind = UpdateOpKind::kSetAttribute;
+  op.target = "//item[@sku=\"A1\"]";
+  op.name = "qty";
+  op.value = "5";
+  auto outcome = Apply({}, {op});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(UpdateTest, ReadAuthorizationsDoNotGrantWrite) {
+  Authorization read_auth =
+      WriteAuth("Clerks", "//item", Sign::kPlus, AuthType::kRecursive);
+  read_auth.action = Action::kRead;
+  UpdateOp op;
+  op.kind = UpdateOpKind::kSetText;
+  op.target = "//item[@sku=\"A1\"]/desc";
+  op.value = "screws";
+  auto outcome = Apply({read_auth}, {op});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(UpdateTest, ExplicitAttributeDenialBlocksOnlyThatAttribute) {
+  std::vector<Authorization> auths = {
+      WriteAuth("Clerks", "//item", Sign::kPlus, AuthType::kRecursive),
+      WriteAuth("Public", "//item/@sku", Sign::kMinus, AuthType::kLocal)};
+  UpdateOp set_sku;
+  set_sku.kind = UpdateOpKind::kSetAttribute;
+  set_sku.target = "//item[@qty=\"3\"]";
+  set_sku.name = "sku";
+  set_sku.value = "A9";
+  auto denied = Apply(auths, {set_sku});
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+
+  UpdateOp set_qty = set_sku;
+  set_qty.name = "qty";
+  set_qty.value = "4";
+  auto allowed = Apply(auths, {set_qty});
+  ASSERT_TRUE(allowed.ok()) << allowed.status();
+}
+
+TEST_F(UpdateTest, InsertChildFragment) {
+  UpdateOp op;
+  op.kind = UpdateOpKind::kInsertChild;
+  op.target = "/inventory";
+  op.fragment = "<item sku=\"C3\" qty=\"1\"><desc>washers</desc></item>";
+  auto outcome = Apply(
+      {WriteAuth("Clerks", "/inventory", Sign::kPlus, AuthType::kLocal)},
+      {op});
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_NE(Compact(*outcome->document).find("washers"), std::string::npos);
+}
+
+TEST_F(UpdateTest, InsertChildAtAnchor) {
+  UpdateOp op;
+  op.kind = UpdateOpKind::kInsertChild;
+  op.target = "//item[@sku=\"B2\"]";
+  op.before = "audit";
+  op.fragment = "<note>restocked</note>";
+  auto outcome = Apply(
+      {WriteAuth("Clerks", "//item", Sign::kPlus, AuthType::kRecursive)},
+      {op});
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  auto items = outcome->document->root()->GetElementsByTagName("item");
+  const xml::Element* b2 = items[1];
+  // Order: desc, note (inserted), audit.
+  std::vector<std::string> tags;
+  for (const xml::Element* child : b2->ChildElements()) {
+    tags.push_back(child->tag());
+  }
+  EXPECT_EQ(tags, (std::vector<std::string>{"desc", "note", "audit"}));
+}
+
+TEST_F(UpdateTest, InsertAnchorMustBeChildOfTarget) {
+  UpdateOp op;
+  op.kind = UpdateOpKind::kInsertChild;
+  op.target = "//item[@sku=\"A1\"]";
+  op.before = "//audit";  // Child of the *other* item.
+  op.fragment = "<note/>";
+  auto outcome = Apply(
+      {WriteAuth("Clerks", "//item", Sign::kPlus, AuthType::kRecursive)},
+      {op});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(UpdateTest, MalformedFragmentRejected) {
+  UpdateOp op;
+  op.kind = UpdateOpKind::kInsertChild;
+  op.target = "/inventory";
+  op.fragment = "<broken>";
+  auto outcome = Apply(
+      {WriteAuth("Clerks", "/inventory", Sign::kPlus, AuthType::kLocal)},
+      {op});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(UpdateTest, DeleteRequiresWholeSubtreeWritable) {
+  // The clerk may write items but NOT audit records inside them.
+  std::vector<Authorization> auths = {
+      WriteAuth("Clerks", "//item", Sign::kPlus, AuthType::kRecursive),
+      WriteAuth("Public", "//audit", Sign::kMinus, AuthType::kRecursive)};
+  UpdateOp del;
+  del.kind = UpdateOpKind::kDeleteNode;
+  del.target = "//item[@sku=\"B2\"]";
+  auto denied = Apply(auths, {del});
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+
+  // The item without an audit trail can be deleted.
+  del.target = "//item[@sku=\"A1\"]";
+  auto allowed = Apply(auths, {del});
+  ASSERT_TRUE(allowed.ok()) << allowed.status();
+  EXPECT_EQ(Compact(*allowed->document).find("bolts"), std::string::npos);
+}
+
+TEST_F(UpdateTest, DeleteRootRejected) {
+  UpdateOp del;
+  del.kind = UpdateOpKind::kDeleteNode;
+  del.target = "/inventory";
+  auto outcome = Apply(
+      {WriteAuth("Clerks", "", Sign::kPlus, AuthType::kRecursive)}, {del});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(UpdateTest, SetTextReplacesContent) {
+  UpdateOp op;
+  op.kind = UpdateOpKind::kSetText;
+  op.target = "//item[@sku=\"A1\"]/desc";
+  op.value = "hex bolts";
+  auto outcome = Apply(
+      {WriteAuth("Clerks", "//item", Sign::kPlus, AuthType::kRecursive)},
+      {op});
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_NE(Compact(*outcome->document).find("hex bolts"),
+            std::string::npos);
+  EXPECT_EQ(Compact(*outcome->document).find(">bolts<"), std::string::npos);
+}
+
+TEST_F(UpdateTest, AmbiguousTargetRejected) {
+  UpdateOp op;
+  op.kind = UpdateOpKind::kSetAttribute;
+  op.target = "//item";  // two items
+  op.name = "qty";
+  op.value = "0";
+  auto outcome = Apply(
+      {WriteAuth("Clerks", "", Sign::kPlus, AuthType::kRecursive)}, {op});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(UpdateTest, BatchIsAtomicOnDenial) {
+  std::vector<Authorization> auths = {
+      WriteAuth("Clerks", "//item[./@sku=\"A1\"]", Sign::kPlus,
+                AuthType::kRecursive)};
+  UpdateOp ok_op;
+  ok_op.kind = UpdateOpKind::kSetAttribute;
+  ok_op.target = "//item[@sku=\"A1\"]";
+  ok_op.name = "qty";
+  ok_op.value = "7";
+  UpdateOp bad_op = ok_op;
+  bad_op.target = "//item[@sku=\"B2\"]";  // Not writable.
+  auto outcome = Apply(auths, {ok_op, bad_op});
+  ASSERT_FALSE(outcome.ok());
+  // Nothing leaked into the original document.
+  EXPECT_NE(Compact(*doc_).find("qty=\"3\""), std::string::npos);
+}
+
+TEST_F(UpdateTest, RemoveAttribute) {
+  UpdateOp op;
+  op.kind = UpdateOpKind::kRemoveAttribute;
+  op.target = "//item[@sku=\"A1\"]";
+  op.name = "qty";
+  auto outcome = Apply(
+      {WriteAuth("Clerks", "//item", Sign::kPlus, AuthType::kRecursive)},
+      {op});
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(Compact(*outcome->document).find("qty=\"3\""),
+            std::string::npos);
+  // Removing a non-existent attribute is NotFound.
+  auto missing = Apply(
+      {WriteAuth("Clerks", "//item", Sign::kPlus, AuthType::kRecursive)},
+      {op, op});
+  ASSERT_FALSE(missing.ok());
+}
+
+TEST_F(UpdateTest, ValidationGuardsDtdInvariants) {
+  auto result = xml::ParseDocument(
+      "<!DOCTYPE inventory [<!ELEMENT inventory (item+)>"
+      "<!ELEMENT item (desc)><!ELEMENT desc (#PCDATA)>"
+      "<!ATTLIST item sku CDATA #REQUIRED>]>"
+      "<inventory><item sku=\"A1\"><desc>bolts</desc></item></inventory>");
+  ASSERT_TRUE(result.ok()) << result.status();
+  doc_ = std::move(result).value();
+
+  UpdateProcessor processor(&groups_);
+  std::vector<Authorization> auths = {
+      WriteAuth("Clerks", "", Sign::kPlus, AuthType::kRecursive)};
+  UpdateOp bad;
+  bad.kind = UpdateOpKind::kInsertChild;
+  bad.target = "/inventory";
+  bad.fragment = "<unexpected/>";
+  std::vector<UpdateOp> ops = {bad};
+  auto outcome =
+      processor.Apply(*doc_, auths, {}, requester_, ops,
+                      /*validate_result=*/true);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kValidationError);
+}
+
+TEST_F(UpdateTest, TimeWindowRestrictsWrite) {
+  Authorization shift =
+      WriteAuth("Clerks", "//item", Sign::kPlus, AuthType::kRecursive);
+  shift.valid_from = 1000;
+  shift.valid_until = 2000;
+  UpdateOp op;
+  op.kind = UpdateOpKind::kSetAttribute;
+  op.target = "//item[@sku=\"A1\"]";
+  op.name = "qty";
+  op.value = "8";
+
+  requester_.time = 1500;  // Inside the shift.
+  auto inside = Apply({shift}, {op});
+  EXPECT_TRUE(inside.ok()) << inside.status();
+
+  requester_.time = 3000;  // After it.
+  auto outside = Apply({shift}, {op});
+  ASSERT_FALSE(outside.ok());
+  EXPECT_EQ(outside.status().code(), StatusCode::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace authz
+}  // namespace xmlsec

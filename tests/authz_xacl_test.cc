@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "authz/xacl.h"
+
+namespace xmlsec {
+namespace authz {
+namespace {
+
+constexpr char kExample1Xacl[] = R"(<?xml version="1.0"?>
+<xacl base-uri="http://www.lab.com/">
+  <authorization subject="Foreign" object="laboratory.xml"
+      path='/laboratory//paper[./@category="private"]'
+      sign="-" type="R"/>
+  <authorization subject="Public" object="CSlab.xml"
+      path='/laboratory//paper[./@category="public"]'
+      sign="+" type="RW"/>
+  <authorization subject="Admin" ip="130.89.56.8" object="CSlab.xml"
+      path='project[./@type="internal"]' sign="+" type="R"/>
+  <authorization subject="Public" sym="*.it" object="CSlab.xml"
+      path='project[./@type="public"]/manager' sign="+" type="RW"/>
+</xacl>)";
+
+TEST(XaclTest, PaperExample1) {
+  auto xacl = ParseXacl(kExample1Xacl);
+  ASSERT_TRUE(xacl.ok()) << xacl.status();
+  EXPECT_EQ(xacl->base_uri, "http://www.lab.com/");
+  ASSERT_EQ(xacl->authorizations.size(), 4u);
+
+  const Authorization& a1 = xacl->authorizations[0];
+  EXPECT_EQ(a1.subject.ToString(), "<Foreign, *, *>");
+  EXPECT_EQ(a1.object.uri, "http://www.lab.com/laboratory.xml");
+  EXPECT_EQ(a1.object.path, "/laboratory//paper[./@category=\"private\"]");
+  EXPECT_EQ(a1.sign, Sign::kMinus);
+  EXPECT_EQ(a1.type, AuthType::kRecursive);
+
+  const Authorization& a3 = xacl->authorizations[2];
+  EXPECT_EQ(a3.subject.ug, "Admin");
+  EXPECT_EQ(a3.subject.ip.ToString(), "130.89.56.8");
+  EXPECT_EQ(a3.subject.sym.ToString(), "*");
+
+  const Authorization& a4 = xacl->authorizations[3];
+  EXPECT_EQ(a4.subject.sym.ToString(), "*.it");
+  EXPECT_EQ(a4.type, AuthType::kRecursiveWeak);
+}
+
+TEST(XaclTest, DefaultsApplied) {
+  auto xacl = ParseXacl(
+      "<xacl><authorization subject=\"u\" object=\"d.xml\" sign=\"+\"/>"
+      "</xacl>");
+  ASSERT_TRUE(xacl.ok()) << xacl.status();
+  const Authorization& a = xacl->authorizations[0];
+  EXPECT_EQ(a.subject.ip.ToString(), "*");
+  EXPECT_EQ(a.subject.sym.ToString(), "*");
+  EXPECT_EQ(a.action, Action::kRead);
+  EXPECT_EQ(a.type, AuthType::kRecursive);  // XACL DTD default
+  EXPECT_EQ(a.object.path, "");
+}
+
+TEST(XaclTest, CombinedObjectNotation) {
+  auto xacl = ParseXacl(
+      "<xacl><authorization subject=\"u\" "
+      "object='d.xml:/a/b[@k=\"v\"]' sign=\"-\"/></xacl>");
+  ASSERT_TRUE(xacl.ok()) << xacl.status();
+  EXPECT_EQ(xacl->authorizations[0].object.uri, "d.xml");
+  EXPECT_EQ(xacl->authorizations[0].object.path, "/a/b[@k=\"v\"]");
+}
+
+TEST(XaclTest, AbsoluteUriNotRebased) {
+  auto xacl = ParseXacl(
+      "<xacl base-uri=\"http://a/\">"
+      "<authorization subject=\"u\" object=\"http://b/d.xml\" sign=\"+\"/>"
+      "</xacl>");
+  ASSERT_TRUE(xacl.ok());
+  EXPECT_EQ(xacl->authorizations[0].object.uri, "http://b/d.xml");
+}
+
+TEST(XaclTest, RejectsBadSign) {
+  auto result = ParseXacl(
+      "<xacl><authorization subject=\"u\" object=\"d\" sign=\"±\"/></xacl>");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(XaclTest, RejectsBadType) {
+  // type is an enumerated attribute in the XACL DTD, so validation
+  // rejects unknown tokens before authorization parsing.
+  auto result = ParseXacl(
+      "<xacl><authorization subject=\"u\" object=\"d\" sign=\"+\" "
+      "type=\"Q\"/></xacl>");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kValidationError);
+}
+
+TEST(XaclTest, RejectsMissingSubject) {
+  auto result = ParseXacl(
+      "<xacl><authorization object=\"d\" sign=\"+\"/></xacl>");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(XaclTest, ParsesWriteActionRejectsUnknown) {
+  auto write = ParseXacl(
+      "<xacl><authorization subject=\"u\" object=\"d\" sign=\"+\" "
+      "action=\"write\"/></xacl>");
+  ASSERT_TRUE(write.ok()) << write.status();
+  EXPECT_EQ(write->authorizations[0].action, Action::kWrite);
+  auto bogus = ParseXacl(
+      "<xacl><authorization subject=\"u\" object=\"d\" sign=\"+\" "
+      "action=\"shred\"/></xacl>");
+  EXPECT_FALSE(bogus.ok());
+  EXPECT_EQ(bogus.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(XaclTest, RejectsWrongRootElement) {
+  auto result = ParseXacl("<policies/>");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(XaclTest, RejectsBadLocationPattern) {
+  auto result = ParseXacl(
+      "<xacl><authorization subject=\"u\" ip=\"1.*.3.4\" object=\"d\" "
+      "sign=\"+\"/></xacl>");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(XaclTest, SerializeRoundTrip) {
+  auto xacl = ParseXacl(kExample1Xacl);
+  ASSERT_TRUE(xacl.ok());
+  std::string rendered = SerializeXacl(*xacl);
+  auto again = ParseXacl(rendered);
+  ASSERT_TRUE(again.ok()) << again.status() << "\n" << rendered;
+  ASSERT_EQ(again->authorizations.size(), xacl->authorizations.size());
+  for (size_t i = 0; i < xacl->authorizations.size(); ++i) {
+    EXPECT_EQ(again->authorizations[i].ToString(),
+              xacl->authorizations[i].ToString());
+  }
+}
+
+TEST(XaclTest, EmptyXaclIsValid) {
+  auto xacl = ParseXacl("<xacl/>");
+  ASSERT_TRUE(xacl.ok()) << xacl.status();
+  EXPECT_TRUE(xacl->authorizations.empty());
+}
+
+TEST(XaclTest, XaclDtdItselfParses) {
+  EXPECT_FALSE(XaclDtd().empty());
+}
+
+}  // namespace
+}  // namespace authz
+}  // namespace xmlsec

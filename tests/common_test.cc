@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace xmlsec {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "boom");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kParseError,
+        StatusCode::kValidationError, StatusCode::kPermissionDenied,
+        StatusCode::kUnauthenticated, StatusCode::kUnimplemented,
+        StatusCode::kInternal}) {
+    EXPECT_FALSE(StatusCodeToString(code).empty());
+    EXPECT_NE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  XMLSEC_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> err = Quarter(6);  // 6/2 = 3, odd.
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StrUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(SplitString("a.b.c", '.'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("a..b", '.'),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitString("", '.'), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString(".x.", '.'),
+            (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(JoinStrings({}, "."), "");
+  EXPECT_EQ(JoinStrings({"solo"}, "."), "solo");
+}
+
+TEST(StrUtilTest, Strip) {
+  EXPECT_EQ(StripAsciiWhitespace("  x \t\r\n"), "x");
+  EXPECT_EQ(StripAsciiWhitespace("\n\n"), "");
+  EXPECT_EQ(StripAsciiWhitespace("a b"), "a b");
+}
+
+TEST(StrUtilTest, Affixes) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("ftp://x", "http://"));
+  EXPECT_TRUE(EndsWith("file.xml", ".xml"));
+  EXPECT_FALSE(EndsWith("xml", ".xml"));
+}
+
+TEST(StrUtilTest, NormalizeSpace) {
+  EXPECT_EQ(NormalizeSpace("  a\t\tb \n c  "), "a b c");
+  EXPECT_EQ(NormalizeSpace(""), "");
+  EXPECT_EQ(NormalizeSpace(" \t\n"), "");
+}
+
+TEST(StrUtilTest, IsXmlWhitespace) {
+  EXPECT_TRUE(IsXmlWhitespace(" \t\r\n"));
+  EXPECT_TRUE(IsXmlWhitespace(""));
+  EXPECT_FALSE(IsXmlWhitespace(" x "));
+}
+
+TEST(StrUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StrUtilTest, ParseDecimal) {
+  EXPECT_EQ(ParseDecimal("0"), 0);
+  EXPECT_EQ(ParseDecimal("123456"), 123456);
+  EXPECT_EQ(ParseDecimal(""), -1);
+  EXPECT_EQ(ParseDecimal("12a"), -1);
+  EXPECT_EQ(ParseDecimal("-5"), -1);
+}
+
+TEST(PrngTest, DeterministicForSeed) {
+  Prng a(123);
+  Prng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(PrngTest, DifferentSeedsDiffer) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(PrngTest, RangeBounds) {
+  Prng prng(9);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = prng.Range(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(PrngTest, ChanceExtremes) {
+  Prng prng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(prng.Chance(0.0));
+    EXPECT_TRUE(prng.Chance(1.0));
+  }
+}
+
+TEST(PrngTest, ChanceIsRoughlyCalibrated) {
+  Prng prng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (prng.Chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace xmlsec

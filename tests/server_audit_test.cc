@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "server/audit_log.h"
+#include "server/document_server.h"
+#include "server/repository.h"
+#include "server/user_directory.h"
+#include "workload/docgen.h"
+
+namespace xmlsec {
+namespace server {
+namespace {
+
+class AuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        repo_.AddDtd("laboratory.xml", workload::LaboratoryDtd()).ok());
+    ASSERT_TRUE(repo_
+                    .AddDocument("CSlab.xml",
+                                 "<laboratory><project name=\"P\" "
+                                 "type=\"public\"><manager><fname>A</fname>"
+                                 "<lname>B</lname></manager>"
+                                 "<paper category=\"public\">"
+                                 "<title>T</title></paper></project>"
+                                 "</laboratory>",
+                                 "laboratory.xml")
+                    .ok());
+    ASSERT_TRUE(repo_.AddXacl(
+                        "<xacl><authorization subject=\"Public\" "
+                        "object=\"CSlab.xml\" path=\"/laboratory\" "
+                        "sign=\"+\" type=\"R\"/></xacl>")
+                    .ok());
+    ASSERT_TRUE(users_.CreateUser("tom", "secret").ok());
+  }
+
+  ServerRequest Request(const char* uri) {
+    ServerRequest request;
+    request.user = "tom";
+    request.password = "secret";
+    request.ip = "10.0.0.1";
+    request.sym = "pc.lab.example";
+    request.uri = uri;
+    request.time = 1234;
+    return request;
+  }
+
+  Repository repo_;
+  UserDirectory users_;
+  authz::GroupStore groups_;
+};
+
+TEST_F(AuditTest, RecordsSuccessfulRequests) {
+  AuditLog audit;
+  SecureDocumentServer server(&repo_, &users_, &groups_);
+  server.set_audit_log(&audit);
+
+  server.Handle(Request("CSlab.xml"));
+  ASSERT_EQ(audit.size(), 1u);
+  AuditEntry entry = audit.Entries()[0];
+  EXPECT_EQ(entry.user, "tom");
+  EXPECT_EQ(entry.ip, "10.0.0.1");
+  EXPECT_EQ(entry.uri, "CSlab.xml");
+  EXPECT_EQ(entry.http_status, 200);
+  EXPECT_EQ(entry.time, 1234);
+  EXPECT_GT(entry.visible_nodes, 0);
+  EXPECT_FALSE(entry.cache_hit);
+  std::string line = entry.ToString();
+  EXPECT_NE(line.find("tom@10.0.0.1"), std::string::npos);
+  EXPECT_NE(line.find("-> 200"), std::string::npos);
+}
+
+TEST_F(AuditTest, RecordsDenialsAndMisses) {
+  AuditLog audit;
+  SecureDocumentServer server(&repo_, &users_, &groups_);
+  server.set_audit_log(&audit);
+
+  ServerRequest bad_password = Request("CSlab.xml");
+  bad_password.password = "wrong";
+  server.Handle(bad_password);
+  server.Handle(Request("ghost.xml"));
+  ASSERT_EQ(audit.size(), 2u);
+  EXPECT_EQ(audit.Entries()[0].http_status, 401);
+  EXPECT_EQ(audit.Entries()[1].http_status, 404);
+}
+
+TEST_F(AuditTest, RecordsQueriesAndCacheHits) {
+  AuditLog audit;
+  ServerConfig config;
+  config.view_cache_capacity = 8;
+  SecureDocumentServer server(&repo_, &users_, &groups_, config);
+  server.set_audit_log(&audit);
+
+  ServerRequest query = Request("CSlab.xml");
+  query.query = "//title";
+  server.Handle(query);
+  server.Handle(Request("CSlab.xml"));  // miss, fills cache
+  server.Handle(Request("CSlab.xml"));  // hit
+  ASSERT_EQ(audit.size(), 3u);
+  EXPECT_EQ(audit.Entries()[0].query, "//title");
+  EXPECT_FALSE(audit.Entries()[1].cache_hit);
+  EXPECT_TRUE(audit.Entries()[2].cache_hit);
+  EXPECT_NE(audit.Entries()[2].ToString().find("[cache]"),
+            std::string::npos);
+}
+
+TEST_F(AuditTest, CapacityBoundsAndDrain) {
+  AuditLog audit(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    AuditEntry entry;
+    entry.uri = "r" + std::to_string(i);
+    audit.Record(std::move(entry));
+  }
+  EXPECT_EQ(audit.size(), 3u);
+  EXPECT_EQ(audit.total_recorded(), 5);
+  std::vector<AuditEntry> drained = audit.TakeAll();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].uri, "r2");  // Oldest kept entry.
+  EXPECT_EQ(drained[2].uri, "r4");
+  EXPECT_EQ(audit.size(), 0u);
+  EXPECT_EQ(audit.total_recorded(), 5);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xmlsec

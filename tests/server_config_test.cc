@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "server/config_files.h"
+#include "server/document_server.h"
+#include "server/repository.h"
+#include "server/user_directory.h"
+#include "workload/docgen.h"
+
+namespace xmlsec {
+namespace server {
+namespace {
+
+TEST(GroupsFileTest, ParsesApacheStyle) {
+  authz::GroupStore groups;
+  Status s = LoadGroupsFile(
+      "# staff roster\n"
+      "Staff: alice bob\n"
+      "Admins: alice\n"
+      "\n"
+      "Employees: Staff Admins   # nested groups\n",
+      &groups);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_TRUE(groups.IsMemberOrSelf("alice", "Staff"));
+  EXPECT_TRUE(groups.IsMemberOrSelf("bob", "Staff"));
+  EXPECT_FALSE(groups.IsMemberOrSelf("bob", "Admins"));
+  EXPECT_TRUE(groups.IsMemberOrSelf("alice", "Employees"));
+  EXPECT_TRUE(groups.IsMemberOrSelf("bob", "Employees"));
+}
+
+TEST(GroupsFileTest, CommaSeparatorsAccepted) {
+  authz::GroupStore groups;
+  ASSERT_TRUE(LoadGroupsFile("G: a, b,c\n", &groups).ok());
+  EXPECT_TRUE(groups.IsMemberOrSelf("a", "G"));
+  EXPECT_TRUE(groups.IsMemberOrSelf("b", "G"));
+  EXPECT_TRUE(groups.IsMemberOrSelf("c", "G"));
+}
+
+TEST(GroupsFileTest, RejectsMissingColonAndCycles) {
+  authz::GroupStore groups;
+  EXPECT_FALSE(LoadGroupsFile("just words\n", &groups).ok());
+  authz::GroupStore groups2;
+  Status s = LoadGroupsFile("A: B\nB: A\n", &groups2);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("cycle"), std::string::npos);
+}
+
+TEST(GroupsFileTest, SaveLoadRoundTrip) {
+  authz::GroupStore groups;
+  ASSERT_TRUE(LoadGroupsFile("Staff: alice bob\nAdmins: alice Staff\n",
+                             &groups)
+                  .ok());
+  std::string rendered = SaveGroupsFile(groups);
+  authz::GroupStore reloaded;
+  ASSERT_TRUE(LoadGroupsFile(rendered, &reloaded).ok());
+  EXPECT_TRUE(reloaded.IsMemberOrSelf("alice", "Staff"));
+  EXPECT_TRUE(reloaded.IsMemberOrSelf("bob", "Admins"));
+  EXPECT_EQ(SaveGroupsFile(reloaded), rendered);
+}
+
+TEST(PasswordFileTest, SaveLoadRoundTrip) {
+  UserDirectory users;
+  ASSERT_TRUE(users.CreateUser("tom", "secret").ok());
+  ASSERT_TRUE(users.CreateUser("ann", "hunter2").ok());
+  std::string file = users.SavePasswordFile();
+
+  UserDirectory restored;
+  ASSERT_TRUE(restored.LoadPasswordFile(file).ok());
+  EXPECT_TRUE(restored.Authenticate("tom", "secret").ok());
+  EXPECT_TRUE(restored.Authenticate("ann", "hunter2").ok());
+  EXPECT_FALSE(restored.Authenticate("tom", "hunter2").ok());
+}
+
+TEST(PasswordFileTest, CommentsAndBlanksSkipped) {
+  UserDirectory users;
+  ASSERT_TRUE(users.CreateUser("tom", "pw").ok());
+  std::string file = "# directory\n\n" + users.SavePasswordFile();
+  UserDirectory restored;
+  ASSERT_TRUE(restored.LoadPasswordFile(file).ok());
+  EXPECT_TRUE(restored.Authenticate("tom", "pw").ok());
+}
+
+TEST(PasswordFileTest, MalformedLinesRejected) {
+  UserDirectory users;
+  EXPECT_FALSE(users.LoadPasswordFile("tom:salt\n").ok());
+  EXPECT_FALSE(users.LoadPasswordFile("tom:salt:short\n").ok());
+  EXPECT_FALSE(
+      users
+          .LoadPasswordFile("anonymous:s:" + std::string(64, 'a') + "\n")
+          .ok());
+}
+
+class PerDocumentPolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        repo_.AddDtd("laboratory.xml", workload::LaboratoryDtd()).ok());
+    const char* doc =
+        "<laboratory><project name=\"P\" type=\"public\">"
+        "<manager><fname>A</fname><lname>B</lname></manager>"
+        "<paper category=\"public\"><title>T</title></paper>"
+        "</project></laboratory>";
+    ASSERT_TRUE(repo_.AddDocument("open.xml", doc, "laboratory.xml").ok());
+    ASSERT_TRUE(repo_.AddDocument("closed.xml", doc, "laboratory.xml").ok());
+    // One denial on each document; no permissions at all.
+    for (const char* uri : {"open.xml", "closed.xml"}) {
+      authz::Authorization denial;
+      denial.subject = *authz::Subject::Make("Public", "*", "*");
+      denial.object.uri = uri;
+      denial.object.path = "//manager";
+      denial.sign = authz::Sign::kMinus;
+      denial.type = authz::AuthType::kRecursive;
+      ASSERT_TRUE(repo_.AddAuthorization(denial).ok());
+    }
+    // open.xml is governed by the open completeness policy.
+    authz::PolicyOptions open_policy;
+    open_policy.completeness = authz::CompletenessPolicy::kOpen;
+    ASSERT_TRUE(repo_.SetDocumentPolicy("open.xml", open_policy).ok());
+  }
+
+  Repository repo_;
+  UserDirectory users_;
+  authz::GroupStore groups_;
+};
+
+TEST_F(PerDocumentPolicyTest, PoliciesCoexistOnOneServer) {
+  SecureDocumentServer server(&repo_, &users_, &groups_);
+  ServerRequest request;
+  request.ip = "1.2.3.4";
+  request.sym = "h.example.com";
+
+  // The open-policy document: undefined nodes are visible, the explicit
+  // denial is not.
+  request.uri = "open.xml";
+  ServerResponse open_response = server.Handle(request);
+  EXPECT_EQ(open_response.http_status, 200);
+  EXPECT_NE(open_response.body.find("<title>T</title>"), std::string::npos);
+  // The manager subtree is denied (its tags appear only inside the
+  // emitted DTD, never as content).
+  EXPECT_EQ(open_response.body.find("<fname>"), std::string::npos);
+  EXPECT_EQ(open_response.body.find("<manager>"), std::string::npos);
+
+  // The same content under the (default) closed policy: nothing visible.
+  request.uri = "closed.xml";
+  ServerResponse closed_response = server.Handle(request);
+  EXPECT_EQ(closed_response.http_status, 404);
+}
+
+TEST_F(PerDocumentPolicyTest, PolicyOfFallsBack) {
+  authz::PolicyOptions fallback;
+  fallback.conflict = authz::ConflictPolicy::kPermissionsTakePrecedence;
+  authz::PolicyOptions closed = repo_.PolicyOf("closed.xml", fallback);
+  EXPECT_EQ(closed.conflict,
+            authz::ConflictPolicy::kPermissionsTakePrecedence);
+  authz::PolicyOptions open = repo_.PolicyOf("open.xml", fallback);
+  EXPECT_EQ(open.completeness, authz::CompletenessPolicy::kOpen);
+  EXPECT_FALSE(repo_.SetDocumentPolicy("ghost.xml", fallback).ok());
+}
+
+TEST_F(PerDocumentPolicyTest, LifecycleOperations) {
+  const uint64_t before = repo_.version();
+
+  // Replace keeps the policy and authorizations, bumps the version.
+  Status replaced = repo_.ReplaceDocument(
+      "open.xml",
+      "<laboratory><project name=\"Q\" type=\"internal\">"
+      "<manager><fname>C</fname><lname>D</lname></manager>"
+      "</project></laboratory>");
+  ASSERT_TRUE(replaced.ok()) << replaced;
+  EXPECT_GT(repo_.version(), before);
+  EXPECT_EQ(repo_.PolicyOf("open.xml", {}).completeness,
+            authz::CompletenessPolicy::kOpen);
+  EXPECT_EQ(repo_.InstanceAuths("open.xml").size(), 1u);
+  EXPECT_NE(repo_.FindDocument("open.xml"), nullptr);
+
+  // Replacing with an invalid document fails and leaves the old one.
+  Status bad = repo_.ReplaceDocument("open.xml",
+                                     "<laboratory><bogus/></laboratory>");
+  EXPECT_EQ(bad.code(), StatusCode::kValidationError);
+  ASSERT_NE(repo_.FindDocument("open.xml"), nullptr);
+  EXPECT_EQ(repo_.FindDocument("open.xml")
+                ->root()
+                ->GetElementsByTagName("project")
+                .size(),
+            1u);
+
+  // Clearing authorizations empties the instance set only.
+  ASSERT_TRUE(repo_.ClearInstanceAuths("open.xml").ok());
+  EXPECT_TRUE(repo_.InstanceAuths("open.xml").empty());
+
+  // Removal drops document + remaining authorizations.
+  ASSERT_TRUE(repo_.RemoveDocument("closed.xml").ok());
+  EXPECT_EQ(repo_.FindDocument("closed.xml"), nullptr);
+  EXPECT_TRUE(repo_.InstanceAuths("closed.xml").empty());
+  EXPECT_EQ(repo_.RemoveDocument("closed.xml").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(repo_.ReplaceDocument("closed.xml", "<a/>").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(PerDocumentPolicyTest, CacheInvalidatesOnRemovalAndReplace) {
+  ServerConfig config;
+  config.view_cache_capacity = 4;
+  SecureDocumentServer server(&repo_, &users_, &groups_, config);
+  ServerRequest request;
+  request.ip = "1.2.3.4";
+  request.sym = "h.example.com";
+  request.uri = "open.xml";
+  ServerResponse first = server.Handle(request);
+  EXPECT_EQ(first.http_status, 200);
+
+  ASSERT_TRUE(repo_
+                  .ReplaceDocument("open.xml",
+                                   "<laboratory><project name=\"Z\" "
+                                   "type=\"public\"><manager>"
+                                   "<fname>X</fname><lname>Y</lname>"
+                                   "</manager></project></laboratory>")
+                  .ok());
+  ServerResponse second = server.Handle(request);
+  EXPECT_NE(second.body, first.body);
+  EXPECT_NE(second.body.find("name=\"Z\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xmlsec

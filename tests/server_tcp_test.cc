@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "server/document_server.h"
+#include "server/http.h"
+#include "server/repository.h"
+#include "server/tcp_listener.h"
+#include "server/user_directory.h"
+#include "workload/docgen.h"
+
+namespace xmlsec {
+namespace server {
+namespace {
+
+class TcpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        repo_.AddDtd("laboratory.xml", workload::LaboratoryDtd()).ok());
+    ASSERT_TRUE(repo_
+                    .AddDocument("CSlab.xml",
+                                 "<laboratory>"
+                                 "<project name=\"P\" type=\"public\">"
+                                 "<manager><fname>A</fname>"
+                                 "<lname>B</lname></manager>"
+                                 "<paper category=\"private\">"
+                                 "<title>Secret</title></paper>"
+                                 "<paper category=\"public\">"
+                                 "<title>Known</title></paper>"
+                                 "</project></laboratory>",
+                                 "laboratory.xml")
+                    .ok());
+    ASSERT_TRUE(users_.CreateUser("tom", "secret").ok());
+    ASSERT_TRUE(groups_.AddMembership("tom", "Foreign").ok());
+    ASSERT_TRUE(repo_.AddXacl(
+                        "<xacl>"
+                        "<authorization subject=\"Public\" "
+                        "object=\"CSlab.xml\" path=\"/laboratory\" "
+                        "sign=\"+\" type=\"RW\"/>"
+                        "<authorization subject=\"Foreign\" "
+                        "object=\"laboratory.xml\" "
+                        "path='//paper[./@category=&quot;private&quot;]' "
+                        "sign=\"-\" type=\"R\"/>"
+                        "</xacl>")
+                    .ok());
+    server_ = std::make_unique<SecureDocumentServer>(&repo_, &users_,
+                                                     &groups_);
+    ASSERT_TRUE(listener_ == nullptr);
+    listener_ = std::make_unique<TcpHttpListener>(server_.get(),
+                                                  "client.lab.example");
+    Status started = listener_->Start(0);
+    ASSERT_TRUE(started.ok()) << started;
+    ASSERT_GT(listener_->port(), 0);
+  }
+
+  void TearDown() override { listener_->Stop(); }
+
+  Repository repo_;
+  UserDirectory users_;
+  authz::GroupStore groups_;
+  std::unique_ptr<SecureDocumentServer> server_;
+  std::unique_ptr<TcpHttpListener> listener_;
+};
+
+TEST_F(TcpServerTest, ServesViewOverRealSocket) {
+  std::string request =
+      "GET /CSlab.xml HTTP/1.0\r\nAuthorization: Basic " +
+      Base64Encode("tom:secret") + "\r\n\r\n";
+  auto response = FetchHttp(listener_->port(), request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_NE(response->find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response->find("Known"), std::string::npos);
+  // The schema denial for Foreign holds across the wire.
+  EXPECT_EQ(response->find("Secret"), std::string::npos);
+  EXPECT_EQ(listener_->requests_served(), 1);
+}
+
+TEST_F(TcpServerTest, AnonymousPeerAddressIsUsed) {
+  // Anonymous loopback client: 127.0.0.1 / client.lab.example.
+  auto response =
+      FetchHttp(listener_->port(), "GET /CSlab.xml HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(response.ok()) << response.status();
+  // anonymous is not in Foreign: the private paper is visible.
+  EXPECT_NE(response->find("Secret"), std::string::npos);
+}
+
+TEST_F(TcpServerTest, MalformedRequestGets400) {
+  auto response = FetchHttp(listener_->port(), "NOISE\r\n\r\n");
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("400"), std::string::npos);
+}
+
+TEST_F(TcpServerTest, SequentialClients) {
+  for (int i = 0; i < 8; ++i) {
+    auto response =
+        FetchHttp(listener_->port(), "GET /CSlab.xml HTTP/1.0\r\n\r\n");
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_NE(response->find("200 OK"), std::string::npos);
+  }
+  EXPECT_EQ(listener_->requests_served(), 8);
+}
+
+TEST_F(TcpServerTest, ConcurrentClients) {
+  constexpr int kClients = 6;
+  std::vector<std::thread> threads;
+  std::vector<std::string> responses(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([this, &responses, i] {
+      auto response =
+          FetchHttp(listener_->port(), "GET /CSlab.xml HTTP/1.0\r\n\r\n");
+      if (response.ok()) responses[static_cast<size_t>(i)] = *response;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::string& response : responses) {
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+  }
+}
+
+TEST_F(TcpServerTest, StopIsIdempotentAndRestartable) {
+  listener_->Stop();
+  listener_->Stop();
+  // A fresh listener can bind again.
+  TcpHttpListener second(server_.get());
+  ASSERT_TRUE(second.Start(0).ok());
+  auto response = FetchHttp(second.port(), "GET /CSlab.xml HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("200 OK"), std::string::npos);
+  second.Stop();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xmlsec

@@ -1,0 +1,477 @@
+#include <gtest/gtest.h>
+
+#include "server/document_server.h"
+#include "server/http.h"
+#include "server/repository.h"
+#include "server/sha256.h"
+#include "server/user_directory.h"
+#include "server/view_cache.h"
+#include "workload/docgen.h"
+
+namespace xmlsec {
+namespace server {
+namespace {
+
+// --- SHA-256 (FIPS 180-4 test vectors) ---------------------------------
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256::HexDigest(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256::HexDigest("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::HexDigest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk);
+  auto digest = hasher.Digest();
+  EXPECT_EQ(ToHex(digest.data(), digest.size()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Sha256 hasher;
+  hasher.Update("hello ");
+  hasher.Update("world");
+  auto digest = hasher.Digest();
+  EXPECT_EQ(ToHex(digest.data(), digest.size()),
+            Sha256::HexDigest("hello world"));
+}
+
+// --- User directory -----------------------------------------------------
+
+TEST(UserDirectoryTest, CreateAndAuthenticate) {
+  UserDirectory users;
+  ASSERT_TRUE(users.CreateUser("tom", "secret").ok());
+  EXPECT_TRUE(users.Authenticate("tom", "secret").ok());
+  Status wrong = users.Authenticate("tom", "wrong");
+  EXPECT_EQ(wrong.code(), StatusCode::kUnauthenticated);
+  Status unknown = users.Authenticate("bob", "x");
+  EXPECT_EQ(unknown.code(), StatusCode::kUnauthenticated);
+}
+
+TEST(UserDirectoryTest, DuplicateUserRejected) {
+  UserDirectory users;
+  ASSERT_TRUE(users.CreateUser("tom", "a").ok());
+  EXPECT_EQ(users.CreateUser("tom", "b").code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(UserDirectoryTest, AnonymousPolicy) {
+  UserDirectory users;
+  EXPECT_TRUE(users.Authenticate("anonymous", "").ok());
+  EXPECT_TRUE(users.Authenticate("", "").ok());
+  users.set_allow_anonymous(false);
+  EXPECT_FALSE(users.Authenticate("anonymous", "").ok());
+  EXPECT_FALSE(users.CreateUser("anonymous", "x").ok());
+}
+
+TEST(UserDirectoryTest, PasswordChangeAndRemoval) {
+  UserDirectory users;
+  ASSERT_TRUE(users.CreateUser("tom", "old").ok());
+  ASSERT_TRUE(users.SetPassword("tom", "new").ok());
+  EXPECT_FALSE(users.Authenticate("tom", "old").ok());
+  EXPECT_TRUE(users.Authenticate("tom", "new").ok());
+  ASSERT_TRUE(users.RemoveUser("tom").ok());
+  EXPECT_FALSE(users.Authenticate("tom", "new").ok());
+  EXPECT_EQ(users.SetPassword("tom", "x").code(), StatusCode::kNotFound);
+}
+
+TEST(UserDirectoryTest, SaltsDifferAcrossUsers) {
+  // Same password, different users: digests must differ (salted).
+  UserDirectory users;
+  ASSERT_TRUE(users.CreateUser("a", "pw").ok());
+  ASSERT_TRUE(users.CreateUser("b", "pw").ok());
+  EXPECT_TRUE(users.Authenticate("a", "pw").ok());
+  EXPECT_TRUE(users.Authenticate("b", "pw").ok());
+}
+
+// --- HTTP ----------------------------------------------------------------
+
+TEST(HttpTest, ParseRequestLineAndHeaders) {
+  auto request = ParseHttpRequest(
+      "GET /CSlab.xml?query=%2F%2Fpaper&x=1 HTTP/1.0\r\n"
+      "Host: www.lab.com\r\n"
+      "Authorization: Basic dG9tOnNlY3JldA==\r\n"
+      "\r\n");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->path, "/CSlab.xml");
+  EXPECT_EQ(request->version, "HTTP/1.0");
+  EXPECT_EQ(request->headers.at("host"), "www.lab.com");
+  EXPECT_EQ(request->query.at("query"), "//paper");
+  EXPECT_EQ(request->query.at("x"), "1");
+}
+
+TEST(HttpTest, MalformedRequestsRejected) {
+  EXPECT_FALSE(ParseHttpRequest("").ok());
+  EXPECT_FALSE(ParseHttpRequest("GET /\r\n").ok());
+  EXPECT_FALSE(ParseHttpRequest("GET / NOTHTTP\r\n\r\n").ok());
+  EXPECT_FALSE(ParseHttpRequest("GET / HTTP/1.0\r\nBadHeader\r\n\r\n").ok());
+}
+
+TEST(HttpTest, Base64RoundTrip) {
+  for (std::string_view s :
+       {"", "f", "fo", "foo", "foob", "fooba", "foobar",
+        "tom:secret", "binary\x01\x02\xff"}) {
+    std::string encoded = Base64Encode(s);
+    auto decoded = Base64Decode(encoded);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, s);
+  }
+  EXPECT_EQ(Base64Encode("foobar"), "Zm9vYmFy");
+  EXPECT_EQ(Base64Encode("foob"), "Zm9vYg==");
+}
+
+TEST(HttpTest, Base64RejectsGarbage) {
+  EXPECT_FALSE(Base64Decode("not base64!!").ok());
+}
+
+TEST(HttpTest, BasicAuth) {
+  auto credentials = ParseBasicAuth("Basic " + Base64Encode("tom:secret"));
+  ASSERT_TRUE(credentials.ok());
+  EXPECT_EQ(credentials->first, "tom");
+  EXPECT_EQ(credentials->second, "secret");
+  EXPECT_FALSE(ParseBasicAuth("Bearer xyz").ok());
+  EXPECT_FALSE(ParseBasicAuth("Basic " + Base64Encode("no-colon")).ok());
+}
+
+TEST(HttpTest, PercentDecode) {
+  EXPECT_EQ(PercentDecode("a%20b+c"), "a b c");
+  EXPECT_EQ(PercentDecode("%2F%2f"), "//");
+  EXPECT_EQ(PercentDecode("100%"), "100%");  // Malformed escape untouched.
+}
+
+TEST(HttpTest, BuildResponse) {
+  std::string response = BuildHttpResponse(200, "OK", "text/xml", "<a/>");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 4\r\n"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\n<a/>"), std::string::npos);
+}
+
+// --- Repository and server ----------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        repo_.AddDtd("laboratory.xml", workload::LaboratoryDtd()).ok());
+    ASSERT_TRUE(repo_
+                    .AddDocument("CSlab.xml",
+                                 "<laboratory>"
+                                 "<project name=\"P1\" type=\"internal\">"
+                                 "<manager><fname>Eve</fname>"
+                                 "<lname>Smith</lname></manager>"
+                                 "<paper category=\"private\">"
+                                 "<title>Secret</title></paper>"
+                                 "<paper category=\"public\">"
+                                 "<title>Known</title></paper>"
+                                 "</project></laboratory>",
+                                 "laboratory.xml")
+                    .ok());
+    ASSERT_TRUE(users_.CreateUser("tom", "secret").ok());
+    ASSERT_TRUE(groups_.AddMembership("tom", "Foreign").ok());
+    ASSERT_TRUE(repo_.AddXacl(
+                        "<xacl>"
+                        // Weak recursive permission: readable by default,
+                        // but schema-level authorizations still override
+                        // (the strong form would defeat the DTD denial
+                        // below — instance > schema for non-weak auths).
+                        "<authorization subject=\"Public\" "
+                        "object=\"CSlab.xml\" path=\"/laboratory\" "
+                        "sign=\"+\" type=\"RW\"/>"
+                        "<authorization subject=\"Foreign\" "
+                        "object=\"laboratory.xml\" "
+                        "path='//paper[./@category=&quot;private&quot;]' "
+                        "sign=\"-\" type=\"R\"/>"
+                        "</xacl>")
+                    .ok());
+  }
+
+  Repository repo_;
+  UserDirectory users_;
+  authz::GroupStore groups_;
+};
+
+TEST_F(ServerTest, RepositoryLookups) {
+  EXPECT_NE(repo_.FindDtd("laboratory.xml"), nullptr);
+  EXPECT_EQ(repo_.FindDtd("nope.dtd"), nullptr);
+  EXPECT_NE(repo_.FindDocument("CSlab.xml"), nullptr);
+  EXPECT_EQ(repo_.DtdUriOf("CSlab.xml"), "laboratory.xml");
+  EXPECT_EQ(repo_.InstanceAuths("CSlab.xml").size(), 1u);
+  EXPECT_EQ(repo_.SchemaAuths("laboratory.xml").size(), 1u);
+  EXPECT_EQ(repo_.DocumentUris(), std::vector<std::string>{"CSlab.xml"});
+}
+
+TEST_F(ServerTest, RepositoryRejectsInvalidDocument) {
+  // Missing required attribute 'type'.
+  Status s = repo_.AddDocument("bad.xml",
+                               "<laboratory><project name=\"x\">"
+                               "<manager><fname>a</fname><lname>b</lname>"
+                               "</manager></project></laboratory>",
+                               "laboratory.xml");
+  EXPECT_EQ(s.code(), StatusCode::kValidationError);
+}
+
+TEST_F(ServerTest, RepositoryRejectsAuthForUnknownUri) {
+  authz::Authorization auth;
+  auth.subject = *authz::Subject::Make("Public", "*", "*");
+  auth.object.uri = "ghost.xml";
+  Status s = repo_.AddAuthorization(auth);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServerTest, RepositoryRejectsWeakSchemaAuth) {
+  authz::Authorization auth;
+  auth.subject = *authz::Subject::Make("Public", "*", "*");
+  auth.object.uri = "laboratory.xml";
+  auth.type = authz::AuthType::kRecursiveWeak;
+  EXPECT_EQ(repo_.AddAuthorization(auth).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerTest, ForeignUserGetsRedactedView) {
+  SecureDocumentServer server(&repo_, &users_, &groups_);
+  ServerRequest request;
+  request.user = "tom";
+  request.password = "secret";
+  request.ip = "130.100.50.8";
+  request.sym = "infosys.bld1.it";
+  request.uri = "CSlab.xml";
+  ServerResponse response = server.Handle(request);
+  EXPECT_EQ(response.http_status, 200);
+  EXPECT_EQ(response.body.find("Secret"), std::string::npos);
+  EXPECT_NE(response.body.find("Known"), std::string::npos);
+  EXPECT_NE(response.body.find("Eve"), std::string::npos);
+  // Loosened DTD travels with the view.
+  EXPECT_NE(response.body.find("<!DOCTYPE laboratory ["), std::string::npos);
+  EXPECT_NE(response.body.find("#IMPLIED"), std::string::npos);
+}
+
+TEST_F(ServerTest, AnonymousSeesPublicView) {
+  SecureDocumentServer server(&repo_, &users_, &groups_);
+  ServerRequest request;
+  request.ip = "8.8.8.8";
+  request.sym = "x.example.org";
+  request.uri = "CSlab.xml";
+  ServerResponse response = server.Handle(request);
+  EXPECT_EQ(response.http_status, 200);
+  // anonymous is not in Foreign, so the schema denial does not apply.
+  EXPECT_NE(response.body.find("Secret"), std::string::npos);
+}
+
+TEST_F(ServerTest, WrongPasswordIs401) {
+  SecureDocumentServer server(&repo_, &users_, &groups_);
+  ServerRequest request;
+  request.user = "tom";
+  request.password = "nope";
+  request.uri = "CSlab.xml";
+  EXPECT_EQ(server.Handle(request).http_status, 401);
+}
+
+TEST_F(ServerTest, UnknownDocumentIs404) {
+  SecureDocumentServer server(&repo_, &users_, &groups_);
+  ServerRequest request;
+  request.uri = "ghost.xml";
+  EXPECT_EQ(server.Handle(request).http_status, 404);
+}
+
+TEST_F(ServerTest, EmptyViewIndistinguishableFromMissing) {
+  // A document nobody granted anything on answers exactly like a
+  // missing document (closed policy, paper §6.2 intent).
+  ASSERT_TRUE(repo_
+                  .AddDocument("hidden.xml",
+                               "<laboratory><project name=\"x\" "
+                               "type=\"public\"><manager><fname>a</fname>"
+                               "<lname>b</lname></manager></project>"
+                               "</laboratory>",
+                               "laboratory.xml")
+                  .ok());
+  SecureDocumentServer server(&repo_, &users_, &groups_);
+  ServerRequest for_hidden;
+  for_hidden.uri = "hidden.xml";
+  ServerRequest for_missing;
+  for_missing.uri = "missing.xml";
+  ServerResponse hidden = server.Handle(for_hidden);
+  ServerResponse missing = server.Handle(for_missing);
+  EXPECT_EQ(hidden.http_status, 404);
+  EXPECT_EQ(missing.http_status, 404);
+  // The bodies must not let the requester tell the two cases apart.
+  std::string hidden_body = hidden.body;
+  std::string missing_body = missing.body;
+  size_t pos;
+  while ((pos = hidden_body.find("hidden")) != std::string::npos) {
+    hidden_body.replace(pos, 6, "X");
+  }
+  while ((pos = missing_body.find("missing")) != std::string::npos) {
+    missing_body.replace(pos, 7, "X");
+  }
+  EXPECT_EQ(hidden_body, missing_body);
+}
+
+TEST_F(ServerTest, QueryRunsOverTheView) {
+  SecureDocumentServer server(&repo_, &users_, &groups_);
+  ServerRequest request;
+  request.user = "tom";
+  request.password = "secret";
+  request.ip = "130.100.50.8";
+  request.sym = "infosys.bld1.it";
+  request.uri = "CSlab.xml";
+  request.query = "//paper/title";
+  ServerResponse response = server.Handle(request);
+  EXPECT_EQ(response.http_status, 200);
+  // The private paper is already out of the view: the query cannot
+  // reach it.
+  EXPECT_NE(response.body.find("count=\"1\""), std::string::npos);
+  EXPECT_NE(response.body.find("<title>Known</title>"), std::string::npos);
+  EXPECT_EQ(response.body.find("Secret"), std::string::npos);
+}
+
+TEST_F(ServerTest, BadQueryIs400) {
+  SecureDocumentServer server(&repo_, &users_, &groups_);
+  ServerRequest request;
+  request.uri = "CSlab.xml";
+  request.query = "///[";
+  EXPECT_EQ(server.Handle(request).http_status, 400);
+}
+
+TEST_F(ServerTest, ViewCacheServesIdenticalBodies) {
+  ServerConfig config;
+  config.view_cache_capacity = 8;
+  SecureDocumentServer server(&repo_, &users_, &groups_, config);
+  ServerRequest request;
+  request.user = "tom";
+  request.password = "secret";
+  request.ip = "130.100.50.8";
+  request.sym = "infosys.bld1.it";
+  request.uri = "CSlab.xml";
+
+  ServerResponse first = server.Handle(request);
+  ServerResponse second = server.Handle(request);
+  EXPECT_EQ(first.http_status, 200);
+  EXPECT_EQ(first.body, second.body);
+  EXPECT_EQ(server.view_cache().hits(), 1);
+  EXPECT_EQ(server.view_cache().misses(), 1);
+
+  // A different requester gets its own entry — and a different view.
+  ServerRequest anon = request;
+  anon.user.clear();
+  anon.password.clear();
+  ServerResponse other = server.Handle(anon);
+  EXPECT_NE(other.body, first.body);
+  EXPECT_EQ(server.view_cache().misses(), 2);
+}
+
+TEST_F(ServerTest, ViewCacheInvalidatedByRepositoryChange) {
+  ServerConfig config;
+  config.view_cache_capacity = 8;
+  SecureDocumentServer server(&repo_, &users_, &groups_, config);
+  ServerRequest request;
+  request.user = "tom";
+  request.password = "secret";
+  request.ip = "130.100.50.8";
+  request.sym = "infosys.bld1.it";
+  request.uri = "CSlab.xml";
+
+  ServerResponse before = server.Handle(request);
+  EXPECT_NE(before.body.find("Eve"), std::string::npos);
+
+  // Revoke: deny managers to Foreign.  The cached view must not leak.
+  ASSERT_TRUE(repo_
+                  .AddXacl("<xacl><authorization subject=\"Foreign\" "
+                           "object=\"CSlab.xml\" path=\"//manager\" "
+                           "sign=\"-\" type=\"R\"/></xacl>")
+                  .ok());
+  ServerResponse after = server.Handle(request);
+  EXPECT_NE(before.body, after.body);
+  EXPECT_EQ(after.body.find("Eve"), std::string::npos);
+}
+
+TEST_F(ServerTest, ViewCacheBypassedForTimeLimitedPolicies) {
+  authz::Authorization timed;
+  timed.subject = *authz::Subject::Make("Public", "*", "*");
+  timed.object.uri = "CSlab.xml";
+  timed.object.path = "//manager";
+  timed.sign = authz::Sign::kMinus;
+  timed.type = authz::AuthType::kRecursive;
+  timed.valid_from = 100;
+  timed.valid_until = 200;
+  ASSERT_TRUE(repo_.AddAuthorization(timed).ok());
+  EXPECT_TRUE(repo_.has_time_limited_auths());
+
+  ServerConfig config;
+  config.view_cache_capacity = 8;
+  SecureDocumentServer server(&repo_, &users_, &groups_, config);
+  ServerRequest request;
+  request.uri = "CSlab.xml";
+  server.Handle(request);
+  server.Handle(request);
+  EXPECT_EQ(server.view_cache().hits(), 0);
+  EXPECT_EQ(server.view_cache().size(), 0u);
+}
+
+TEST(ViewCacheTest, LruEviction) {
+  ViewCache cache(2);
+  cache.Put({"a", "u", "i", "s"}, 1, "A");
+  cache.Put({"b", "u", "i", "s"}, 1, "B");
+  EXPECT_TRUE(cache.Get({"a", "u", "i", "s"}, 1).has_value());  // a is MRU
+  cache.Put({"c", "u", "i", "s"}, 1, "C");                      // evicts b
+  EXPECT_FALSE(cache.Get({"b", "u", "i", "s"}, 1).has_value());
+  EXPECT_TRUE(cache.Get({"a", "u", "i", "s"}, 1).has_value());
+  EXPECT_TRUE(cache.Get({"c", "u", "i", "s"}, 1).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ViewCacheTest, VersionMismatchDropsEntry) {
+  ViewCache cache(4);
+  cache.Put({"a", "u", "i", "s"}, 1, "A");
+  EXPECT_FALSE(cache.Get({"a", "u", "i", "s"}, 2).has_value());
+  EXPECT_EQ(cache.size(), 0u);  // Stale entry evicted on access.
+}
+
+TEST(ViewCacheTest, ZeroCapacityDisables) {
+  ViewCache cache(0);
+  cache.Put({"a", "u", "i", "s"}, 1, "A");
+  EXPECT_FALSE(cache.Get({"a", "u", "i", "s"}, 1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(ServerTest, FullHttpCycle) {
+  SecureDocumentServer server(&repo_, &users_, &groups_);
+  std::string raw =
+      "GET /CSlab.xml HTTP/1.0\r\n"
+      "Authorization: Basic " + Base64Encode("tom:secret") + "\r\n\r\n";
+  std::string response = server.HandleHttp(raw, "130.100.50.8",
+                                           "infosys.bld1.it");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Known"), std::string::npos);
+  EXPECT_EQ(response.find("Secret"), std::string::npos);
+}
+
+TEST_F(ServerTest, HttpPostRejected) {
+  SecureDocumentServer server(&repo_, &users_, &groups_);
+  std::string response =
+      server.HandleHttp("POST /CSlab.xml HTTP/1.0\r\n\r\n", "1.2.3.4",
+                        "h.example.com");
+  EXPECT_NE(response.find("405"), std::string::npos);
+}
+
+TEST_F(ServerTest, HttpBadRequest) {
+  SecureDocumentServer server(&repo_, &users_, &groups_);
+  std::string response = server.HandleHttp("garbage", "1.2.3.4", "h");
+  EXPECT_NE(response.find("400"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xmlsec

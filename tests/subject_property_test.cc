@@ -1,0 +1,155 @@
+// Property sweeps over the authorization-subject machinery: the ASH
+// order must be a partial order consistent with concrete matching
+// (Definition 1 of the paper).
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "authz/subject.h"
+
+namespace xmlsec {
+namespace authz {
+namespace {
+
+/// Random IP pattern with a wildcard suffix of random length.
+LocationPattern RandomIp(Prng* prng) {
+  int concrete = static_cast<int>(prng->Below(5));  // 0..4 concrete octets
+  std::string text;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) text += ".";
+    text += i < concrete ? std::to_string(prng->Below(4)) : "*";
+  }
+  if (concrete == 0) text = "*";
+  return LocationPattern::ParseIp(text).value();
+}
+
+LocationPattern RandomSym(Prng* prng) {
+  static const char* kLabels[] = {"it", "com", "lab", "cs", "web", "pc1"};
+  int total = 1 + static_cast<int>(prng->Below(4));
+  int wild = static_cast<int>(prng->Below(static_cast<uint64_t>(total + 1)));
+  std::string text;
+  for (int i = 0; i < total; ++i) {
+    if (i > 0) text += ".";
+    text += i < wild ? "*" : kLabels[prng->Below(6)];
+  }
+  if (wild == total) text = "*";
+  auto parsed = LocationPattern::ParseSymbolic(text);
+  return parsed.ok() ? *parsed
+                     : LocationPattern::Any(LocationPattern::Kind::kSymbolic);
+}
+
+std::string RandomIpAddress(Prng* prng) {
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out += ".";
+    out += std::to_string(prng->Below(4));
+  }
+  return out;
+}
+
+std::string RandomSymAddress(Prng* prng) {
+  static const char* kLabels[] = {"it", "com", "lab", "cs", "web", "pc1"};
+  int total = 1 + static_cast<int>(prng->Below(4));
+  std::string out;
+  for (int i = 0; i < total; ++i) {
+    if (i > 0) out += ".";
+    out += kLabels[prng->Below(6)];
+  }
+  return out;
+}
+
+class PatternPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PatternPropertyTest, LessEqIsReflexiveAndTransitive) {
+  Prng prng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    LocationPattern p1 = RandomIp(&prng);
+    LocationPattern p2 = RandomIp(&prng);
+    LocationPattern p3 = RandomIp(&prng);
+    EXPECT_TRUE(p1.LessEq(p1)) << p1.ToString();
+    if (p1.LessEq(p2) && p2.LessEq(p3)) {
+      EXPECT_TRUE(p1.LessEq(p3))
+          << p1.ToString() << " <= " << p2.ToString()
+          << " <= " << p3.ToString();
+    }
+    // Antisymmetry: mutual <= implies equality.
+    if (p1.LessEq(p2) && p2.LessEq(p1)) {
+      EXPECT_EQ(p1.ToString(), p2.ToString());
+    }
+  }
+}
+
+TEST_P(PatternPropertyTest, OrderIsConsistentWithMatching) {
+  // p1 <= p2 means p1 is MORE specific: every address p1 matches, p2
+  // must match too.
+  Prng prng(GetParam() * 7 + 1);
+  int checked = 0;
+  for (int round = 0; round < 500; ++round) {
+    LocationPattern p1 = RandomIp(&prng);
+    LocationPattern p2 = RandomIp(&prng);
+    if (!p1.LessEq(p2)) continue;
+    std::string address = RandomIpAddress(&prng);
+    if (p1.Matches(address)) {
+      EXPECT_TRUE(p2.Matches(address))
+          << p1.ToString() << " <= " << p2.ToString() << ", address "
+          << address;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_P(PatternPropertyTest, SymbolicOrderConsistentWithMatching) {
+  Prng prng(GetParam() * 13 + 5);
+  for (int round = 0; round < 500; ++round) {
+    LocationPattern p1 = RandomSym(&prng);
+    LocationPattern p2 = RandomSym(&prng);
+    if (!p1.LessEq(p2)) continue;
+    std::string address = RandomSymAddress(&prng);
+    if (p1.Matches(address)) {
+      EXPECT_TRUE(p2.Matches(address))
+          << p1.ToString() << " <= " << p2.ToString() << ", address "
+          << address;
+    }
+  }
+}
+
+TEST_P(PatternPropertyTest, SubjectOrderImpliesRequesterContainment) {
+  // If s1 <= s2 in ASH, every requester to whom s1 applies, s2 applies
+  // to as well — this is what makes "most specific subject" sound.
+  Prng prng(GetParam() * 31 + 9);
+  GroupStore groups;
+  ASSERT_TRUE(groups.AddMembership("u0", "g0").ok());
+  ASSERT_TRUE(groups.AddMembership("g0", "g1").ok());
+  ASSERT_TRUE(groups.AddMembership("u1", "g1").ok());
+  static const char* kUgs[] = {"u0", "u1", "g0", "g1", "Public"};
+
+  for (int round = 0; round < 300; ++round) {
+    Subject s1;
+    s1.ug = kUgs[prng.Below(5)];
+    s1.ip = RandomIp(&prng);
+    s1.sym = RandomSym(&prng);
+    Subject s2;
+    s2.ug = kUgs[prng.Below(5)];
+    s2.ip = RandomIp(&prng);
+    s2.sym = RandomSym(&prng);
+    if (!SubjectLessEq(s1, s2, groups)) continue;
+
+    Requester rq;
+    rq.user = prng.Chance(0.5) ? "u0" : "u1";
+    rq.ip = RandomIpAddress(&prng);
+    rq.sym = RandomSymAddress(&prng);
+    if (RequesterMatches(rq, s1, groups)) {
+      EXPECT_TRUE(RequesterMatches(rq, s2, groups))
+          << s1.ToString() << " <= " << s2.ToString() << ", requester "
+          << rq.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace authz
+}  // namespace xmlsec

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "workload/authgen.h"
+#include "workload/docgen.h"
+#include "xml/serializer.h"
+#include "xml/validator.h"
+#include "xpath/evaluator.h"
+
+namespace xmlsec {
+namespace workload {
+namespace {
+
+TEST(DocGenTest, GeneratesValidDocumentOfExpectedShape) {
+  DocGenConfig config;
+  config.depth = 3;
+  config.fanout = 3;
+  config.seed = 1;
+  auto doc = GenerateDocument(config);
+  ASSERT_NE(doc->root(), nullptr);
+  EXPECT_EQ(doc->root()->tag(), "root");
+  // fanout^1 + fanout^2 + fanout^3 = 3 + 9 + 27 element children.
+  EXPECT_EQ(doc->root()->GetElementsByTagName("*").size(), 39u);
+  ASSERT_NE(doc->dtd(), nullptr);
+  EXPECT_TRUE(xml::ValidateDocument(doc.get()).ok());
+}
+
+TEST(DocGenTest, DeterministicForSeed) {
+  DocGenConfig config;
+  config.seed = 7;
+  auto a = GenerateDocument(config);
+  auto b = GenerateDocument(config);
+  EXPECT_EQ(xml::SerializeDocument(*a), xml::SerializeDocument(*b));
+  config.seed = 8;
+  auto c = GenerateDocument(config);
+  EXPECT_NE(xml::SerializeDocument(*a), xml::SerializeDocument(*c));
+}
+
+TEST(DocGenTest, ApproxNodeCountIsClose) {
+  DocGenConfig config;
+  config.depth = 4;
+  config.fanout = 3;
+  auto doc = GenerateDocument(config);
+  int64_t approx = ApproxNodeCount(config);
+  EXPECT_GT(doc->node_count(), approx / 2);
+  EXPECT_LT(doc->node_count(), approx * 2);
+}
+
+TEST(DocGenTest, ConfigForNodeBudgetScales) {
+  DocGenConfig small = ConfigForNodeBudget(100);
+  DocGenConfig large = ConfigForNodeBudget(100000);
+  EXPECT_GE(ApproxNodeCount(small), 100);
+  EXPECT_GE(ApproxNodeCount(large), 100000);
+  auto doc = GenerateDocument(large);
+  EXPECT_GT(doc->node_count(), 50000);
+}
+
+TEST(DocGenTest, LaboratoryConformsToPaperDtd) {
+  auto doc = GenerateLaboratory(5, 4, 42);
+  ASSERT_NE(doc->root(), nullptr);
+  EXPECT_EQ(doc->root()->tag(), "laboratory");
+  EXPECT_EQ(doc->root()->GetElementsByTagName("project").size(), 5u);
+  EXPECT_EQ(doc->root()->GetElementsByTagName("paper").size(), 20u);
+  EXPECT_TRUE(xml::ValidateDocument(doc.get()).ok());
+}
+
+TEST(AuthGenTest, GeneratesRequestedCountAndSplit) {
+  auto doc = GenerateLaboratory(4, 3, 1);
+  AuthGenConfig config;
+  config.count = 64;
+  config.schema_fraction = 0.25;
+  config.seed = 3;
+  GeneratedWorkload workload =
+      GenerateAuthorizations(*doc, "d.xml", "s.dtd", config);
+  EXPECT_EQ(workload.instance_auths.size() + workload.schema_auths.size(),
+            64u);
+  EXPECT_GT(workload.schema_auths.size(), 4u);
+  EXPECT_GT(workload.instance_auths.size(), 32u);
+  for (const auto& auth : workload.instance_auths) {
+    EXPECT_EQ(auth.object.uri, "d.xml");
+  }
+  for (const auto& auth : workload.schema_auths) {
+    EXPECT_EQ(auth.object.uri, "s.dtd");
+    EXPECT_FALSE(authz::IsWeak(auth.type));  // schema auths never weak
+  }
+}
+
+TEST(AuthGenTest, PathsTargetLiveNodes) {
+  auto doc = GenerateLaboratory(3, 2, 9);
+  AuthGenConfig config;
+  config.count = 32;
+  config.seed = 5;
+  GeneratedWorkload workload =
+      GenerateAuthorizations(*doc, "d.xml", "s.dtd", config);
+  // Every generated path must compile and select at least one node.
+  int live = 0;
+  for (const auto& auth : workload.instance_auths) {
+    auto nodes = xpath::SelectXPath(auth.object.path, doc->root());
+    ASSERT_TRUE(nodes.ok()) << auth.object.path << ": " << nodes.status();
+    if (!nodes->empty()) ++live;
+  }
+  EXPECT_EQ(live, static_cast<int>(workload.instance_auths.size()));
+}
+
+TEST(AuthGenTest, RequesterBelongsToPopulation) {
+  auto doc = GenerateLaboratory(2, 2, 4);
+  AuthGenConfig config;
+  GeneratedWorkload workload =
+      GenerateAuthorizations(*doc, "d.xml", "s.dtd", config);
+  EXPECT_FALSE(workload.requester.user.empty());
+  EXPECT_TRUE(workload.groups.IsMemberOrSelf(workload.requester.user,
+                                             "Public"));
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace xmlsec

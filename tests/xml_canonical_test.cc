@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "xml/canonical.h"
+#include "xml/parser.h"
+
+namespace xmlsec {
+namespace xml {
+namespace {
+
+std::string Canon(std::string_view text) {
+  auto doc = ParseDocument(text);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  return CanonicalXml(**doc);
+}
+
+TEST(CanonicalTest, AttributesSorted) {
+  EXPECT_EQ(Canon("<a z=\"1\" m=\"2\" a=\"3\"/>"),
+            "<a a=\"3\" m=\"2\" z=\"1\"></a>");
+  // Attribute order in the source is irrelevant.
+  EXPECT_EQ(Canon("<a z=\"1\" a=\"3\" m=\"2\"/>"),
+            Canon("<a a=\"3\" m=\"2\" z=\"1\"/>"));
+}
+
+TEST(CanonicalTest, EmptyElementExpanded) {
+  EXPECT_EQ(Canon("<a><b/></a>"), "<a><b></b></a>");
+  EXPECT_EQ(Canon("<a><b></b></a>"), Canon("<a><b/></a>"));
+}
+
+TEST(CanonicalTest, CommentsAndPisDropped) {
+  EXPECT_EQ(Canon("<!--x--><a><!--y--><?pi d?>t</a><!--z-->"),
+            "<a>t</a>");
+}
+
+TEST(CanonicalTest, CDataFoldedIntoText) {
+  EXPECT_EQ(Canon("<a>x<![CDATA[<&>]]>y</a>"),
+            "<a>x&lt;&amp;&gt;y</a>");
+  // CDATA vs escaped text: identical canonical form.
+  EXPECT_EQ(Canon("<a><![CDATA[a<b]]></a>"), Canon("<a>a&lt;b</a>"));
+}
+
+TEST(CanonicalTest, AdjacentTextMerged) {
+  auto doc = ParseDocument("<a>one</a>");
+  ASSERT_TRUE(doc.ok());
+  (*doc)->root()->AppendText("two");
+  (*doc)->root()->AppendText("three");
+  EXPECT_EQ(CanonicalXml(**doc), "<a>onetwothree</a>");
+}
+
+TEST(CanonicalTest, NoDeclarationOrDoctype) {
+  EXPECT_EQ(Canon("<?xml version=\"1.0\"?>"
+                  "<!DOCTYPE a [<!ELEMENT a ANY>]><a/>"),
+            "<a></a>");
+}
+
+TEST(CanonicalTest, C14nEscapes) {
+  EXPECT_EQ(Canon("<a k=\"v&amp;&lt;&quot;\">t&amp;&lt;</a>"),
+            "<a k=\"v&amp;&lt;&quot;\">t&amp;&lt;</a>");
+  // Tab/newline in attribute values (via char refs) stay escaped.
+  EXPECT_EQ(Canon("<a k=\"x&#9;y&#10;z\"/>"),
+            "<a k=\"x&#x9;y&#xA;z\"></a>");
+}
+
+TEST(CanonicalTest, EqualityMatchesContentEquality) {
+  // Same content, wildly different markup: equal canonical form.
+  std::string v1 = Canon(
+      "<!DOCTYPE r [<!ENTITY e \"hi\">]>"
+      "<r b=\"2\" a=\"1\"><x>&e;</x><y/></r>");
+  std::string v2 = Canon("<r a=\"1\" b=\"2\"><x>hi</x><y></y></r>");
+  EXPECT_EQ(v1, v2);
+  // Different content: different canonical form.
+  EXPECT_NE(Canon("<r><x>hi</x></r>"), Canon("<r><x>ho</x></r>"));
+}
+
+TEST(CanonicalTest, SubtreeForm) {
+  auto doc = ParseDocument("<a><b k=\"v\">t</b></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(CanonicalXml(*(*doc)->root()->FirstChildElement("b")),
+            "<b k=\"v\">t</b>");
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace xmlsec

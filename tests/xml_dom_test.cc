@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "xml/dom.h"
+#include "xml/parser.h"
+
+namespace xmlsec {
+namespace xml {
+namespace {
+
+std::unique_ptr<Document> Parse(std::string_view text) {
+  auto result = ParseDocument(text);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+TEST(DomTest, BuildTreeManually) {
+  Document doc;
+  auto root = std::make_unique<Element>("a");
+  root->SetAttribute("k", "v");
+  root->AppendText("hello");
+  doc.AppendChild(std::move(root));
+  doc.Reindex();
+
+  ASSERT_NE(doc.root(), nullptr);
+  EXPECT_EQ(doc.root()->tag(), "a");
+  EXPECT_EQ(doc.root()->GetAttribute("k"), "v");
+  EXPECT_EQ(doc.root()->TextContent(), "hello");
+  // document + element + attribute + text
+  EXPECT_EQ(doc.node_count(), 4);
+}
+
+TEST(DomTest, NodeNamesFollowDomLevel1) {
+  Document doc;
+  EXPECT_EQ(doc.NodeName(), "#document");
+  Element el("tag");
+  EXPECT_EQ(el.NodeName(), "tag");
+  Attr attr("name", "value");
+  EXPECT_EQ(attr.NodeName(), "name");
+  EXPECT_EQ(attr.NodeValue(), "value");
+  Text text("data");
+  EXPECT_EQ(text.NodeName(), "#text");
+  Text cdata("data", /*cdata=*/true);
+  EXPECT_EQ(cdata.NodeName(), "#cdata-section");
+  Comment comment("c");
+  EXPECT_EQ(comment.NodeName(), "#comment");
+  ProcessingInstruction pi("target", "data");
+  EXPECT_EQ(pi.NodeName(), "target");
+  EXPECT_EQ(pi.NodeValue(), "data");
+}
+
+TEST(DomTest, DuplicateAttributeRejected) {
+  Element el("e");
+  ASSERT_TRUE(el.AddAttribute(std::make_unique<Attr>("a", "1")).ok());
+  Status s = el.AddAttribute(std::make_unique<Attr>("a", "2"));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(el.GetAttribute("a"), "1");
+}
+
+TEST(DomTest, SetAttributeOverwrites) {
+  Element el("e");
+  el.SetAttribute("a", "1");
+  el.SetAttribute("a", "2");
+  EXPECT_EQ(el.attribute_count(), 1u);
+  EXPECT_EQ(el.GetAttribute("a"), "2");
+}
+
+TEST(DomTest, RemoveAttribute) {
+  Element el("e");
+  el.SetAttribute("a", "1");
+  EXPECT_TRUE(el.RemoveAttribute("a"));
+  EXPECT_FALSE(el.RemoveAttribute("a"));
+  EXPECT_EQ(el.GetAttribute("a"), std::nullopt);
+}
+
+TEST(DomTest, RemoveChildReturnsOwnership) {
+  Element parent("p");
+  Node* child = parent.AppendChild(std::make_unique<Element>("c"));
+  std::unique_ptr<Node> removed = parent.RemoveChild(child);
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(removed->NodeName(), "c");
+  EXPECT_EQ(removed->parent(), nullptr);
+  EXPECT_TRUE(parent.children().empty());
+}
+
+TEST(DomTest, ParentElementSkipsDocument) {
+  auto doc = Parse("<a><b><c/></b></a>");
+  Element* a = doc->root();
+  Element* b = a->FirstChildElement("b");
+  Element* c = b->FirstChildElement("c");
+  EXPECT_EQ(c->ParentElement(), b);
+  EXPECT_EQ(b->ParentElement(), a);
+  EXPECT_EQ(a->ParentElement(), nullptr);
+}
+
+TEST(DomTest, AttributeParentIsOwnerElement) {
+  auto doc = Parse("<a k=\"v\"/>");
+  const Attr* attr = doc->root()->FindAttribute("k");
+  ASSERT_NE(attr, nullptr);
+  EXPECT_EQ(attr->parent(), doc->root());
+  EXPECT_EQ(attr->ParentElement(), doc->root());
+}
+
+TEST(DomTest, GetElementsByTagNameIsDocumentOrder) {
+  auto doc = Parse("<a><b id=\"1\"/><c><b id=\"2\"/></c><b id=\"3\"/></a>");
+  std::vector<Element*> bs = doc->root()->GetElementsByTagName("b");
+  ASSERT_EQ(bs.size(), 3u);
+  EXPECT_EQ(bs[0]->GetAttribute("id"), "1");
+  EXPECT_EQ(bs[1]->GetAttribute("id"), "2");
+  EXPECT_EQ(bs[2]->GetAttribute("id"), "3");
+  EXPECT_EQ(doc->root()->GetElementsByTagName("*").size(), 4u);
+}
+
+TEST(DomTest, TextContentConcatenatesDescendants) {
+  auto doc = Parse("<a>x<b>y<c>z</c></b>w</a>");
+  EXPECT_EQ(doc->root()->TextContent(), "xyzw");
+}
+
+TEST(DomTest, DocOrderAttributesAfterElementBeforeChildren) {
+  auto doc = Parse("<a k=\"v\"><b/></a>");
+  const Element* a = doc->root();
+  const Attr* k = a->FindAttribute("k");
+  const Element* b = a->FirstChildElement("b");
+  EXPECT_LT(a->doc_order(), k->doc_order());
+  EXPECT_LT(k->doc_order(), b->doc_order());
+}
+
+TEST(DomTest, CloneDeepIsIndependent) {
+  auto doc = Parse("<a k=\"v\"><b>text</b></a>");
+  auto clone_node = doc->Clone(true);
+  auto* clone = static_cast<Document*>(clone_node.get());
+  ASSERT_NE(clone->root(), nullptr);
+  EXPECT_EQ(clone->root()->tag(), "a");
+  EXPECT_EQ(clone->root()->GetAttribute("k"), "v");
+  EXPECT_EQ(clone->root()->TextContent(), "text");
+  // Mutating the clone leaves the original intact.
+  clone->root()->SetAttribute("k", "changed");
+  clone->root()->RemoveChild(clone->root()->FirstChildElement("b"));
+  EXPECT_EQ(doc->root()->GetAttribute("k"), "v");
+  EXPECT_NE(doc->root()->FirstChildElement("b"), nullptr);
+}
+
+TEST(DomTest, CloneShallowSkipsChildrenKeepsAttributes) {
+  Element el("e");
+  el.SetAttribute("a", "1");
+  el.AppendChild(std::make_unique<Element>("child"));
+  auto clone = el.Clone(false);
+  auto* cloned = static_cast<Element*>(clone.get());
+  EXPECT_EQ(cloned->attribute_count(), 1u);
+  EXPECT_TRUE(cloned->children().empty());
+}
+
+TEST(DomTest, CloneCopiesDtd) {
+  auto doc = Parse("<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>");
+  ASSERT_NE(doc->dtd(), nullptr);
+  auto clone_node = doc->Clone(true);
+  auto* clone = static_cast<Document*>(clone_node.get());
+  ASSERT_NE(clone->dtd(), nullptr);
+  EXPECT_NE(clone->dtd(), doc->dtd());
+  EXPECT_NE(clone->dtd()->FindElement("a"), nullptr);
+}
+
+TEST(DomTest, ReindexAfterMutation) {
+  auto doc = Parse("<a><b/><c/></a>");
+  int64_t before = doc->node_count();
+  doc->root()->RemoveChild(doc->root()->FirstChildElement("b"));
+  doc->Reindex();
+  EXPECT_EQ(doc->node_count(), before - 1);
+}
+
+TEST(DomTest, ForEachNodeVisitsAttributes) {
+  auto doc = Parse("<a x=\"1\"><b y=\"2\"/>t</a>");
+  int elements = 0;
+  int attributes = 0;
+  int texts = 0;
+  ForEachNode(static_cast<const Node*>(doc.get()), [&](const Node* n) {
+    if (n->IsElement()) ++elements;
+    if (n->IsAttribute()) ++attributes;
+    if (n->IsText()) ++texts;
+  });
+  EXPECT_EQ(elements, 2);
+  EXPECT_EQ(attributes, 2);
+  EXPECT_EQ(texts, 1);
+}
+
+TEST(DomTest, IsAncestorOrSelf) {
+  auto doc = Parse("<a><b><c/></b><d/></a>");
+  Element* a = doc->root();
+  Element* b = a->FirstChildElement("b");
+  Element* c = b->FirstChildElement("c");
+  Element* d = a->FirstChildElement("d");
+  EXPECT_TRUE(IsAncestorOrSelf(a, c));
+  EXPECT_TRUE(IsAncestorOrSelf(c, c));
+  EXPECT_FALSE(IsAncestorOrSelf(c, a));
+  EXPECT_FALSE(IsAncestorOrSelf(b, d));
+}
+
+TEST(DomTest, InsertBefore) {
+  auto doc = Parse("<a><b/><d/></a>");
+  Element* a = doc->root();
+  Node* d = a->FirstChildElement("d");
+  Node* inserted = a->InsertBefore(std::make_unique<Element>("c"), d);
+  ASSERT_NE(inserted, nullptr);
+  EXPECT_EQ(inserted->parent(), a);
+  ASSERT_EQ(a->child_count(), 3u);
+  EXPECT_EQ(a->child(1)->NodeName(), "c");
+  // Null reference appends.
+  a->InsertBefore(std::make_unique<Element>("e"), nullptr);
+  EXPECT_EQ(a->child(3)->NodeName(), "e");
+  // Foreign reference fails.
+  Element other("x");
+  EXPECT_EQ(a->InsertBefore(std::make_unique<Element>("y"), &other),
+            nullptr);
+}
+
+TEST(DomTest, ReplaceChild) {
+  auto doc = Parse("<a><b>old</b></a>");
+  Element* a = doc->root();
+  Node* b = a->FirstChildElement("b");
+  auto replacement = std::make_unique<Element>("c");
+  replacement->AppendText("new");
+  std::unique_ptr<Node> old = a->ReplaceChild(std::move(replacement), b);
+  ASSERT_NE(old, nullptr);
+  EXPECT_EQ(old->NodeName(), "b");
+  EXPECT_EQ(old->parent(), nullptr);
+  ASSERT_EQ(a->child_count(), 1u);
+  EXPECT_EQ(a->child(0)->NodeName(), "c");
+  EXPECT_EQ(a->TextContent(), "new");
+}
+
+TEST(DomTest, NormalizeMergesAdjacentText) {
+  Element el("e");
+  el.AppendText("a");
+  el.AppendText("b");
+  el.AppendChild(std::make_unique<Element>("x"));
+  el.AppendText("");
+  el.AppendText("c");
+  el.Normalize();
+  ASSERT_EQ(el.child_count(), 3u);
+  EXPECT_EQ(el.child(0)->NodeValue(), "ab");
+  EXPECT_EQ(el.child(1)->NodeName(), "x");
+  EXPECT_EQ(el.child(2)->NodeValue(), "c");
+}
+
+TEST(DomTest, NormalizeRecursesAndKeepsCData) {
+  auto doc = Parse("<a><b><![CDATA[x]]>y</b></a>");
+  // Parser already separates CDATA from text; normalize must not merge
+  // across the CDATA boundary.
+  doc->Normalize();
+  const Element* b = doc->root()->FirstChildElement("b");
+  EXPECT_EQ(b->child_count(), 2u);
+}
+
+TEST(DomTest, NodeTypePredicates) {
+  Text text("x");
+  Text cdata("x", true);
+  EXPECT_TRUE(text.IsText());
+  EXPECT_TRUE(cdata.IsText());
+  EXPECT_EQ(cdata.type(), NodeType::kCData);
+  Element el("e");
+  EXPECT_TRUE(el.IsElement());
+  EXPECT_EQ(el.AsElement(), &el);
+  EXPECT_EQ(el.AsAttr(), nullptr);
+  Attr attr("a", "v");
+  EXPECT_EQ(attr.AsAttr(), &attr);
+  EXPECT_EQ(attr.AsElement(), nullptr);
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace xmlsec

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "workload/docgen.h"
+#include "xml/content_model.h"
+#include "xml/dtd.h"
+#include "xml/dtd_parser.h"
+
+namespace xmlsec {
+namespace xml {
+namespace {
+
+std::unique_ptr<Dtd> MustParse(std::string_view text) {
+  auto result = ParseDtd(text);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+TEST(DtdParserTest, ElementDeclKinds) {
+  auto dtd = MustParse(
+      "<!ELEMENT e1 EMPTY>"
+      "<!ELEMENT e2 ANY>"
+      "<!ELEMENT e3 (#PCDATA)>"
+      "<!ELEMENT e4 (#PCDATA|a|b)*>"
+      "<!ELEMENT e5 (a,b?,c*)>");
+  EXPECT_EQ(dtd->FindElement("e1")->content_kind, ContentKind::kEmpty);
+  EXPECT_EQ(dtd->FindElement("e2")->content_kind, ContentKind::kAny);
+  EXPECT_EQ(dtd->FindElement("e3")->content_kind, ContentKind::kMixed);
+  EXPECT_TRUE(dtd->FindElement("e3")->mixed_names.empty());
+  const ElementDecl* e4 = dtd->FindElement("e4");
+  EXPECT_EQ(e4->content_kind, ContentKind::kMixed);
+  EXPECT_EQ(e4->mixed_names, (std::vector<std::string>{"a", "b"}));
+  const ElementDecl* e5 = dtd->FindElement("e5");
+  ASSERT_EQ(e5->content_kind, ContentKind::kChildren);
+  ASSERT_TRUE(e5->particle.has_value());
+  EXPECT_EQ(e5->particle->kind, ContentParticle::Kind::kSequence);
+  ASSERT_EQ(e5->particle->children.size(), 3u);
+  EXPECT_EQ(e5->particle->children[1].cardinality, Cardinality::kOptional);
+  EXPECT_EQ(e5->particle->children[2].cardinality, Cardinality::kZeroOrMore);
+}
+
+TEST(DtdParserTest, NestedGroups) {
+  auto dtd = MustParse("<!ELEMENT e ((a|b)+,(c,d)?)>");
+  const ContentParticle& p = *dtd->FindElement("e")->particle;
+  ASSERT_EQ(p.children.size(), 2u);
+  EXPECT_EQ(p.children[0].kind, ContentParticle::Kind::kChoice);
+  EXPECT_EQ(p.children[0].cardinality, Cardinality::kOneOrMore);
+  EXPECT_EQ(p.children[1].kind, ContentParticle::Kind::kSequence);
+  EXPECT_EQ(p.children[1].cardinality, Cardinality::kOptional);
+}
+
+TEST(DtdParserTest, MixedSeparatorsRejected) {
+  auto result = ParseDtd("<!ELEMENT e (a,b|c)>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(DtdParserTest, DuplicateElementDeclRejected) {
+  auto result = ParseDtd("<!ELEMENT e EMPTY><!ELEMENT e ANY>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kValidationError);
+}
+
+TEST(DtdParserTest, AttlistTypesAndDefaults) {
+  auto dtd = MustParse(
+      "<!ELEMENT e ANY>"
+      "<!ATTLIST e\n"
+      "  id     ID       #REQUIRED\n"
+      "  ref    IDREF    #IMPLIED\n"
+      "  refs   IDREFS   #IMPLIED\n"
+      "  tok    NMTOKEN  #IMPLIED\n"
+      "  toks   NMTOKENS #IMPLIED\n"
+      "  kind   (a|b|c)  \"b\"\n"
+      "  fixed  CDATA    #FIXED \"F\"\n"
+      "  plain  CDATA    \"dflt\">");
+  EXPECT_EQ(dtd->FindAttr("e", "id")->type, AttrType::kId);
+  EXPECT_EQ(dtd->FindAttr("e", "id")->default_kind,
+            AttrDefaultKind::kRequired);
+  EXPECT_EQ(dtd->FindAttr("e", "ref")->type, AttrType::kIdRef);
+  EXPECT_EQ(dtd->FindAttr("e", "refs")->type, AttrType::kIdRefs);
+  EXPECT_EQ(dtd->FindAttr("e", "tok")->type, AttrType::kNmToken);
+  EXPECT_EQ(dtd->FindAttr("e", "toks")->type, AttrType::kNmTokens);
+  const AttrDecl* kind = dtd->FindAttr("e", "kind");
+  EXPECT_EQ(kind->type, AttrType::kEnumeration);
+  EXPECT_EQ(kind->enum_values, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(kind->default_kind, AttrDefaultKind::kDefault);
+  EXPECT_EQ(kind->default_value, "b");
+  const AttrDecl* fixed = dtd->FindAttr("e", "fixed");
+  EXPECT_EQ(fixed->default_kind, AttrDefaultKind::kFixed);
+  EXPECT_EQ(fixed->default_value, "F");
+}
+
+TEST(DtdParserTest, FirstAttlistDeclarationWins) {
+  auto dtd = MustParse(
+      "<!ELEMENT e ANY>"
+      "<!ATTLIST e a CDATA \"one\">"
+      "<!ATTLIST e a CDATA \"two\">");
+  EXPECT_EQ(dtd->FindAttr("e", "a")->default_value, "one");
+}
+
+TEST(DtdParserTest, GeneralAndParameterEntities) {
+  auto dtd = MustParse(
+      "<!ENTITY greeting \"hello\">"
+      "<!ENTITY % level \"CDATA\">"
+      "<!ELEMENT e ANY>"
+      "<!ATTLIST e a %level; #IMPLIED>");
+  const EntityDecl* g = dtd->FindEntity("greeting", false);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value, "hello");
+  EXPECT_NE(dtd->FindEntity("level", true), nullptr);
+  EXPECT_EQ(dtd->FindAttr("e", "a")->type, AttrType::kCData);
+}
+
+TEST(DtdParserTest, ParameterEntityInContentModel) {
+  auto dtd = MustParse(
+      "<!ENTITY % inline \"(b|i)*\">"
+      "<!ELEMENT p %inline;>");
+  const ElementDecl* p = dtd->FindElement("p");
+  ASSERT_EQ(p->content_kind, ContentKind::kChildren);
+  EXPECT_EQ(p->particle->kind, ContentParticle::Kind::kChoice);
+}
+
+TEST(DtdParserTest, NestedParameterEntities) {
+  auto dtd = MustParse(
+      "<!ENTITY % a \"x\">"
+      "<!ENTITY % b \"(%a;,y)\">"
+      "<!ELEMENT e %b;>");
+  EXPECT_EQ(dtd->FindElement("e")->particle->ToString(), "(x,y)");
+}
+
+TEST(DtdParserTest, UndeclaredParameterEntityRejected) {
+  auto result = ParseDtd("<!ELEMENT e %missing;>");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(DtdParserTest, ExternalEntityRecorded) {
+  auto dtd = MustParse(
+      "<!NOTATION gif SYSTEM \"image/gif\">"
+      "<!ENTITY pic SYSTEM \"photo.gif\" NDATA gif>"
+      "<!ENTITY ext PUBLIC \"-//X//EN\" \"x.ent\">");
+  const EntityDecl* pic = dtd->FindEntity("pic", false);
+  ASSERT_NE(pic, nullptr);
+  EXPECT_TRUE(pic->is_external);
+  EXPECT_EQ(pic->system_id, "photo.gif");
+  EXPECT_EQ(pic->ndata, "gif");
+  const EntityDecl* ext = dtd->FindEntity("ext", false);
+  ASSERT_NE(ext, nullptr);
+  EXPECT_EQ(ext->public_id, "-//X//EN");
+  EXPECT_NE(dtd->FindNotation("gif"), nullptr);
+}
+
+TEST(DtdParserTest, CharacterReferencesInEntityValue) {
+  auto dtd = MustParse("<!ENTITY amp2 \"&#38;&#x26;\">");
+  EXPECT_EQ(dtd->FindEntity("amp2", false)->value, "&&");
+}
+
+TEST(DtdParserTest, ConditionalSections) {
+  auto dtd = MustParse(
+      "<![INCLUDE[<!ELEMENT a EMPTY>]]>"
+      "<![IGNORE[<!ELEMENT b EMPTY>]]>");
+  EXPECT_NE(dtd->FindElement("a"), nullptr);
+  EXPECT_EQ(dtd->FindElement("b"), nullptr);
+}
+
+TEST(DtdParserTest, CommentsAndPisSkipped) {
+  auto dtd = MustParse(
+      "<!-- a comment with <!ELEMENT fake EMPTY> inside -->"
+      "<?pi data?>"
+      "<!ELEMENT real EMPTY>");
+  EXPECT_EQ(dtd->FindElement("fake"), nullptr);
+  EXPECT_NE(dtd->FindElement("real"), nullptr);
+}
+
+TEST(DtdParserTest, PaperFigure1LaboratoryDtd) {
+  // The running example of the paper: the laboratory schema (Fig. 1a).
+  auto dtd = MustParse(workload::LaboratoryDtd());
+  const ElementDecl* lab = dtd->FindElement("laboratory");
+  ASSERT_NE(lab, nullptr);
+  ASSERT_EQ(lab->content_kind, ContentKind::kChildren);
+  EXPECT_EQ(lab->particle->ToString(), "(project*)");
+
+  const ElementDecl* project = dtd->FindElement("project");
+  ASSERT_NE(project, nullptr);
+  EXPECT_EQ(project->particle->ToString(), "(manager,member*,paper*,fund?)");
+  const AttrDecl* type = dtd->FindAttr("project", "type");
+  ASSERT_NE(type, nullptr);
+  EXPECT_EQ(type->type, AttrType::kEnumeration);
+  EXPECT_EQ(type->enum_values,
+            (std::vector<std::string>{"internal", "public"}));
+  EXPECT_EQ(type->default_kind, AttrDefaultKind::kRequired);
+
+  const AttrDecl* category = dtd->FindAttr("paper", "category");
+  ASSERT_NE(category, nullptr);
+  EXPECT_EQ(category->enum_values,
+            (std::vector<std::string>{"private", "internal", "public"}));
+  EXPECT_NE(dtd->FindElement("fname"), nullptr);
+  EXPECT_NE(dtd->FindElement("lname"), nullptr);
+}
+
+TEST(ContentModelTest, SequenceMatching) {
+  auto dtd = MustParse("<!ELEMENT e (a,b,c)>");
+  ContentModelMatcher m(*dtd->FindElement("e")->particle);
+  EXPECT_TRUE(m.Matches({"a", "b", "c"}));
+  EXPECT_FALSE(m.Matches({"a", "b"}));
+  EXPECT_FALSE(m.Matches({"a", "c", "b"}));
+  EXPECT_FALSE(m.Matches({}));
+}
+
+TEST(ContentModelTest, ChoiceMatching) {
+  auto dtd = MustParse("<!ELEMENT e (a|b|c)>");
+  ContentModelMatcher m(*dtd->FindElement("e")->particle);
+  EXPECT_TRUE(m.Matches({"a"}));
+  EXPECT_TRUE(m.Matches({"c"}));
+  EXPECT_FALSE(m.Matches({"a", "b"}));
+  EXPECT_FALSE(m.Matches({}));
+}
+
+TEST(ContentModelTest, Cardinalities) {
+  auto dtd = MustParse("<!ELEMENT e (a?,b*,c+)>");
+  ContentModelMatcher m(*dtd->FindElement("e")->particle);
+  EXPECT_TRUE(m.Matches({"c"}));
+  EXPECT_TRUE(m.Matches({"a", "c"}));
+  EXPECT_TRUE(m.Matches({"b", "b", "c", "c"}));
+  EXPECT_TRUE(m.Matches({"a", "b", "c"}));
+  EXPECT_FALSE(m.Matches({"a", "b"}));     // missing required c
+  EXPECT_FALSE(m.Matches({"a", "a", "c"}));  // two a's
+}
+
+TEST(ContentModelTest, NestedGroups) {
+  auto dtd = MustParse("<!ELEMENT e ((a,b)|(c,d))+>");
+  ContentModelMatcher m(*dtd->FindElement("e")->particle);
+  EXPECT_TRUE(m.Matches({"a", "b"}));
+  EXPECT_TRUE(m.Matches({"c", "d"}));
+  EXPECT_TRUE(m.Matches({"a", "b", "c", "d"}));
+  EXPECT_FALSE(m.Matches({"a", "d"}));
+  EXPECT_FALSE(m.Matches({}));
+}
+
+TEST(ContentModelTest, UnknownNameNeverMatches) {
+  auto dtd = MustParse("<!ELEMENT e (a)*>");
+  ContentModelMatcher m(*dtd->FindElement("e")->particle);
+  EXPECT_TRUE(m.Matches({"a", "a"}));
+  EXPECT_FALSE(m.Matches({"z"}));
+}
+
+TEST(ContentModelTest, AmbiguousModelHandledByNfa) {
+  // (a,b)|(a,c) is non-deterministic per XML 1.0; the NFA matcher still
+  // recognizes the language exactly.
+  auto dtd = MustParse("<!ELEMENT e ((a,b)|(a,c))>");
+  ContentModelMatcher m(*dtd->FindElement("e")->particle);
+  EXPECT_TRUE(m.Matches({"a", "b"}));
+  EXPECT_TRUE(m.Matches({"a", "c"}));
+  EXPECT_FALSE(m.Matches({"a"}));
+}
+
+TEST(DtdModelTest, ContentToStringRoundTrip) {
+  auto dtd = MustParse("<!ELEMENT e (a?,(b|c)*,d+)>");
+  EXPECT_EQ(dtd->FindElement("e")->ContentToString(), "(a?,(b|c)*,d+)");
+  auto dtd2 = MustParse("<!ELEMENT e EMPTY>");
+  EXPECT_EQ(dtd2->FindElement("e")->ContentToString(), "EMPTY");
+  auto dtd3 = MustParse("<!ELEMENT e (#PCDATA|x)*>");
+  EXPECT_EQ(dtd3->FindElement("e")->ContentToString(), "(#PCDATA|x)*");
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace xmlsec

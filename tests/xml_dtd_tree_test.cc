@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "workload/docgen.h"
+#include "xml/dtd_parser.h"
+#include "xml/dtd_tree.h"
+
+namespace xmlsec {
+namespace xml {
+namespace {
+
+std::unique_ptr<Dtd> MustParse(std::string_view text) {
+  auto result = ParseDtd(text);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+TEST(DtdTreeTest, PaperFigure1Tree) {
+  auto dtd = MustParse(workload::LaboratoryDtd());
+  dtd->set_name("laboratory");
+  std::string tree = DtdTreeString(*dtd);
+  // The arcs of Fig. 1(b): laboratory --* project; project --- manager,
+  // --* member, --* paper, --? fund; attributes as squares.
+  EXPECT_NE(tree.find("(laboratory)"), std::string::npos);
+  EXPECT_NE(tree.find("|--* (project)"), std::string::npos);
+  EXPECT_NE(tree.find("|--- (manager)"), std::string::npos);
+  EXPECT_NE(tree.find("|--* (member)"), std::string::npos);
+  EXPECT_NE(tree.find("|--* (paper)"), std::string::npos);
+  EXPECT_NE(tree.find("|--? (fund)"), std::string::npos);
+  EXPECT_NE(tree.find("|--- [name]"), std::string::npos);
+  EXPECT_NE(tree.find("|--- [type]"), std::string::npos);
+  EXPECT_NE(tree.find("|--? (abstract)"), std::string::npos);
+  EXPECT_NE(tree.find("|--? [sponsor]"), std::string::npos);
+}
+
+TEST(DtdTreeTest, ChoiceMembersRenderOptional) {
+  auto dtd = MustParse("<!ELEMENT e (a|b)><!ELEMENT a EMPTY>"
+                       "<!ELEMENT b EMPTY>");
+  dtd->set_name("e");
+  std::string tree = DtdTreeString(*dtd);
+  EXPECT_NE(tree.find("|--? (a)"), std::string::npos);
+  EXPECT_NE(tree.find("|--? (b)"), std::string::npos);
+}
+
+TEST(DtdTreeTest, GroupCardinalityComposes) {
+  auto dtd = MustParse("<!ELEMENT e (a,b?)+><!ELEMENT a EMPTY>"
+                       "<!ELEMENT b EMPTY>");
+  dtd->set_name("e");
+  std::string tree = DtdTreeString(*dtd);
+  EXPECT_NE(tree.find("|--+ (a)"), std::string::npos);  // 1 inside + -> +
+  EXPECT_NE(tree.find("|--* (b)"), std::string::npos);  // ? inside + -> *
+}
+
+TEST(DtdTreeTest, RecursionCutWithMarker) {
+  auto dtd = MustParse("<!ELEMENT tree (tree*, leaf?)>"
+                       "<!ELEMENT leaf EMPTY>");
+  dtd->set_name("tree");
+  std::string tree = DtdTreeString(*dtd);
+  EXPECT_NE(tree.find("(tree)^"), std::string::npos);
+  // The recursive branch stops; leaf still rendered once.
+  EXPECT_NE(tree.find("|--? (leaf)"), std::string::npos);
+}
+
+TEST(DtdTreeTest, MixedContentChildren) {
+  auto dtd = MustParse("<!ELEMENT p (#PCDATA|em)*><!ELEMENT em (#PCDATA)>");
+  dtd->set_name("p");
+  std::string tree = DtdTreeString(*dtd);
+  EXPECT_NE(tree.find("|--* (em)"), std::string::npos);
+}
+
+TEST(DtdTreeTest, ExplicitRootAndFallbacks) {
+  auto dtd = MustParse("<!ELEMENT a (b)><!ELEMENT b EMPTY>");
+  // Explicit root.
+  EXPECT_EQ(DtdTreeString(*dtd, "b"), "(b)\n");
+  // No name: first declaration alphabetically.
+  std::string tree = DtdTreeString(*dtd);
+  EXPECT_EQ(tree.find("(a)"), 0u);
+  // Empty DTD.
+  Dtd empty;
+  EXPECT_EQ(DtdTreeString(empty), "(empty DTD)\n");
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace xmlsec

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include "xml/dom.h"
+#include "xml/parser.h"
+
+namespace xmlsec {
+namespace xml {
+namespace {
+
+std::unique_ptr<Document> MustParse(std::string_view text,
+                                    const ParseOptions& options = {}) {
+  auto result = ParseDocument(text, options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+Status ParseError(std::string_view text) {
+  auto result = ParseDocument(text);
+  EXPECT_FALSE(result.ok()) << "expected parse failure for: " << text;
+  return result.ok() ? Status::OK() : result.status();
+}
+
+TEST(ParserTest, MinimalDocument) {
+  auto doc = MustParse("<a/>");
+  ASSERT_NE(doc->root(), nullptr);
+  EXPECT_EQ(doc->root()->tag(), "a");
+  EXPECT_TRUE(doc->root()->children().empty());
+}
+
+TEST(ParserTest, XmlDeclaration) {
+  auto doc = MustParse(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\" standalone=\"yes\"?><a/>");
+  EXPECT_TRUE(doc->has_xml_decl());
+  EXPECT_EQ(doc->version(), "1.0");
+  EXPECT_EQ(doc->encoding(), "UTF-8");
+  EXPECT_TRUE(doc->standalone());
+}
+
+TEST(ParserTest, AttributesSingleAndDoubleQuotes) {
+  auto doc = MustParse("<a x=\"1\" y='2'/>");
+  EXPECT_EQ(doc->root()->GetAttribute("x"), "1");
+  EXPECT_EQ(doc->root()->GetAttribute("y"), "2");
+}
+
+TEST(ParserTest, NestedElementsAndText) {
+  auto doc = MustParse("<a>one<b>two</b>three</a>");
+  const Element* a = doc->root();
+  ASSERT_EQ(a->child_count(), 3u);
+  EXPECT_EQ(a->child(0)->NodeValue(), "one");
+  EXPECT_EQ(a->child(1)->NodeName(), "b");
+  EXPECT_EQ(a->child(2)->NodeValue(), "three");
+}
+
+TEST(ParserTest, PredefinedEntities) {
+  auto doc = MustParse("<a>&lt;&gt;&amp;&apos;&quot;</a>");
+  EXPECT_EQ(doc->root()->TextContent(), "<>&'\"");
+}
+
+TEST(ParserTest, CharacterReferences) {
+  auto doc = MustParse("<a>&#65;&#x42;&#x43;</a>");
+  EXPECT_EQ(doc->root()->TextContent(), "ABC");
+}
+
+TEST(ParserTest, CharacterReferenceMultiByte) {
+  auto doc = MustParse("<a>&#xE9;</a>");  // é
+  EXPECT_EQ(doc->root()->TextContent(), "\xC3\xA9");
+}
+
+TEST(ParserTest, GeneralEntityFromInternalSubset) {
+  auto doc = MustParse(
+      "<!DOCTYPE a [<!ENTITY who \"world\">]><a>hello &who;</a>");
+  EXPECT_EQ(doc->root()->TextContent(), "hello world");
+}
+
+TEST(ParserTest, EntityWithMarkupParsesAsContent) {
+  auto doc = MustParse(
+      "<!DOCTYPE a [<!ENTITY frag \"<b>inner</b>\">]><a>&frag;</a>");
+  const Element* b = doc->root()->FirstChildElement("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->TextContent(), "inner");
+}
+
+TEST(ParserTest, NestedEntityExpansion) {
+  auto doc = MustParse(
+      "<!DOCTYPE a [<!ENTITY x \"1&y;3\"><!ENTITY y \"2\">]><a>&x;</a>");
+  EXPECT_EQ(doc->root()->TextContent(), "123");
+}
+
+TEST(ParserTest, RecursiveEntityIsAnError) {
+  Status s = ParseError(
+      "<!DOCTYPE a [<!ENTITY x \"&y;\"><!ENTITY y \"&x;\">]><a>&x;</a>");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, UndeclaredEntityIsAnError) {
+  Status s = ParseError("<a>&nope;</a>");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("nope"), std::string::npos);
+}
+
+TEST(ParserTest, EntityInAttributeValue) {
+  auto doc = MustParse(
+      "<!DOCTYPE a [<!ENTITY v \"xy\">]><a k=\"-&v;-&amp;\"/>");
+  EXPECT_EQ(doc->root()->GetAttribute("k"), "-xy-&");
+}
+
+TEST(ParserTest, AttributeValueWhitespaceNormalized) {
+  auto doc = MustParse("<a k=\"one\ntwo\tthree\"/>");
+  EXPECT_EQ(doc->root()->GetAttribute("k"), "one two three");
+}
+
+TEST(ParserTest, AttributeValueMayNotContainLt) {
+  ParseError("<a k=\"a<b\"/>");
+}
+
+TEST(ParserTest, CData) {
+  auto doc = MustParse("<a><![CDATA[<not-markup> & stuff]]></a>");
+  ASSERT_EQ(doc->root()->child_count(), 1u);
+  EXPECT_EQ(doc->root()->child(0)->type(), NodeType::kCData);
+  EXPECT_EQ(doc->root()->TextContent(), "<not-markup> & stuff");
+}
+
+TEST(ParserTest, CommentsKeptByDefault) {
+  auto doc = MustParse("<a><!-- note --></a>");
+  ASSERT_EQ(doc->root()->child_count(), 1u);
+  EXPECT_EQ(doc->root()->child(0)->type(), NodeType::kComment);
+  EXPECT_EQ(doc->root()->child(0)->NodeValue(), " note ");
+}
+
+TEST(ParserTest, CommentsDroppedOnRequest) {
+  ParseOptions options;
+  options.keep_comments = false;
+  auto doc = MustParse("<a><!-- note --></a>", options);
+  EXPECT_TRUE(doc->root()->children().empty());
+}
+
+TEST(ParserTest, DoubleHyphenInCommentRejected) {
+  ParseError("<a><!-- bad -- comment --></a>");
+}
+
+TEST(ParserTest, ProcessingInstruction) {
+  auto doc = MustParse("<a><?target some data?></a>");
+  ASSERT_EQ(doc->root()->child_count(), 1u);
+  const auto* pi =
+      static_cast<const ProcessingInstruction*>(doc->root()->child(0));
+  EXPECT_EQ(pi->target(), "target");
+  EXPECT_EQ(pi->data(), "some data");
+}
+
+TEST(ParserTest, PiTargetXmlRejected) {
+  ParseError("<a><?xml version=\"1.0\"?></a>");
+}
+
+TEST(ParserTest, MismatchedTagsRejected) {
+  Status s = ParseError("<a><b></a></b>");
+  EXPECT_NE(s.message().find("mismatched"), std::string::npos);
+}
+
+TEST(ParserTest, UnclosedElementRejected) { ParseError("<a><b></b>"); }
+
+TEST(ParserTest, MultipleRootsRejected) { ParseError("<a/><b/>"); }
+
+TEST(ParserTest, ContentAfterRootCommentAllowed) {
+  auto doc = MustParse("<a/><!-- trailing -->");
+  ASSERT_NE(doc->root(), nullptr);
+}
+
+TEST(ParserTest, DuplicateAttributesRejected) { ParseError("<a x=\"1\" x=\"2\"/>"); }
+
+TEST(ParserTest, CdataEndInTextRejected) { ParseError("<a>bad ]]> text</a>"); }
+
+TEST(ParserTest, DoctypeNameAndSystemId) {
+  auto doc = MustParse(
+      "<!DOCTYPE root SYSTEM \"http://x/root.dtd\"><root/>");
+  EXPECT_EQ(doc->doctype_name(), "root");
+  EXPECT_EQ(doc->doctype_system_id(), "http://x/root.dtd");
+}
+
+TEST(ParserTest, InternalSubsetParsed) {
+  auto doc = MustParse(
+      "<!DOCTYPE a [<!ELEMENT a (b*)><!ELEMENT b EMPTY>]><a><b/></a>");
+  ASSERT_NE(doc->dtd(), nullptr);
+  EXPECT_NE(doc->dtd()->FindElement("a"), nullptr);
+  EXPECT_NE(doc->dtd()->FindElement("b"), nullptr);
+}
+
+TEST(ParserTest, ExternalDtdViaResolver) {
+  ParseOptions options;
+  options.resolver = [](std::string_view id) -> Result<std::string> {
+    EXPECT_EQ(id, "lab.dtd");
+    return std::string("<!ELEMENT a EMPTY>");
+  };
+  auto doc = MustParse("<!DOCTYPE a SYSTEM \"lab.dtd\"><a/>", options);
+  ASSERT_NE(doc->dtd(), nullptr);
+  EXPECT_NE(doc->dtd()->FindElement("a"), nullptr);
+}
+
+TEST(ParserTest, InternalSubsetWinsOverExternal) {
+  ParseOptions options;
+  options.resolver = [](std::string_view) -> Result<std::string> {
+    return std::string("<!ENTITY site \"external\">");
+  };
+  auto doc = MustParse(
+      "<!DOCTYPE a SYSTEM \"x.dtd\" [<!ENTITY site \"internal\">]>"
+      "<a>&site;</a>",
+      options);
+  EXPECT_EQ(doc->root()->TextContent(), "internal");
+}
+
+TEST(ParserTest, StripIgnorableWhitespace) {
+  ParseOptions options;
+  options.strip_ignorable_whitespace = true;
+  auto doc = MustParse("<a>\n  <b/>\n  <c/>\n</a>", options);
+  EXPECT_EQ(doc->root()->child_count(), 2u);
+}
+
+TEST(ParserTest, WhitespaceKeptByDefault) {
+  auto doc = MustParse("<a>\n  <b/>\n</a>");
+  EXPECT_EQ(doc->root()->child_count(), 3u);
+}
+
+TEST(ParserTest, SourcePositionsTracked) {
+  auto doc = MustParse("<a>\n  <b/>\n</a>");
+  const Element* b = doc->root()->FirstChildElement("b");
+  EXPECT_EQ(b->line(), 2);
+  EXPECT_EQ(b->column(), 3);
+}
+
+TEST(ParserTest, Utf8NamesAndContent) {
+  auto doc = MustParse("<données clé=\"été\">straße</données>");
+  EXPECT_EQ(doc->root()->tag(), "données");
+  EXPECT_EQ(doc->root()->GetAttribute("clé"), "été");
+  EXPECT_EQ(doc->root()->TextContent(), "straße");
+}
+
+TEST(ParserTest, DeeplyNestedDocument) {
+  std::string text;
+  const int depth = 200;
+  for (int i = 0; i < depth; ++i) text += "<d>";
+  text += "x";
+  for (int i = 0; i < depth; ++i) text += "</d>";
+  auto doc = MustParse(text);
+  EXPECT_EQ(doc->root()->TextContent(), "x");
+}
+
+TEST(ParserTest, EmptyInputRejected) { ParseError(""); }
+
+TEST(ParserTest, NestingDepthBounded) {
+  std::string text;
+  for (int i = 0; i < 20; ++i) text += "<d>";
+  text += "x";
+  for (int i = 0; i < 20; ++i) text += "</d>";
+  ParseOptions options;
+  options.max_depth = 16;
+  auto result = ParseDocument(text, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("max_depth"), std::string::npos);
+  options.max_depth = 32;
+  EXPECT_TRUE(ParseDocument(text, options).ok());
+}
+
+TEST(ParserTest, DepthBoundSpansEntityExpansion) {
+  // 300 levels via nested entity expansions must trip the default bound
+  // of 512 when combined with 300 literal levels.
+  std::string dtd = "<!DOCTYPE d [<!ENTITY deep \"";
+  for (int i = 0; i < 300; ++i) dtd += "<e>";
+  for (int i = 0; i < 300; ++i) dtd += "</e>";
+  dtd += "\">]>";
+  std::string body;
+  for (int i = 0; i < 300; ++i) body += "<d>";
+  body += "&deep;";
+  for (int i = 0; i < 300; ++i) body += "</d>";
+  auto result = ParseDocument(dtd + body);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("max_depth"), std::string::npos);
+}
+
+TEST(ParserTest, TextBeforeRootRejected) { ParseError("junk<a/>"); }
+
+TEST(ParserTest, NodeCountMatchesStructure) {
+  auto doc = MustParse("<a x=\"1\"><b/>t</a>");
+  // document, a, @x, b, text
+  EXPECT_EQ(doc->node_count(), 5);
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace xmlsec

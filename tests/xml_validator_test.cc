@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/validator.h"
+
+namespace xmlsec {
+namespace xml {
+namespace {
+
+std::unique_ptr<Document> MustParse(std::string_view text) {
+  auto result = ParseDocument(text);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+Status ValidateText(std::string_view text, ValidationOptions options = {}) {
+  auto doc = MustParse(text);
+  return ValidateDocument(doc.get(), options);
+}
+
+TEST(ValidatorTest, ValidDocumentPasses) {
+  EXPECT_TRUE(ValidateText("<!DOCTYPE a [<!ELEMENT a (b*)><!ELEMENT b EMPTY>]>"
+                           "<a><b/><b/></a>")
+                  .ok());
+}
+
+TEST(ValidatorTest, RootMustMatchDoctypeName) {
+  Status s = ValidateText(
+      "<!DOCTYPE a [<!ELEMENT a EMPTY><!ELEMENT b EMPTY>]><b/>");
+  EXPECT_EQ(s.code(), StatusCode::kValidationError);
+  EXPECT_NE(s.message().find("DOCTYPE"), std::string::npos);
+}
+
+TEST(ValidatorTest, UndeclaredElementRejected) {
+  Status s = ValidateText("<!DOCTYPE a [<!ELEMENT a ANY>]><a><zz/></a>");
+  EXPECT_EQ(s.code(), StatusCode::kValidationError);
+  EXPECT_NE(s.message().find("zz"), std::string::npos);
+}
+
+TEST(ValidatorTest, UndeclaredElementAllowedWhenLenient) {
+  ValidationOptions options;
+  options.strict_declarations = false;
+  EXPECT_TRUE(
+      ValidateText("<!DOCTYPE a [<!ELEMENT a ANY>]><a><zz/></a>", options)
+          .ok());
+}
+
+TEST(ValidatorTest, EmptyContentViolations) {
+  Status s = ValidateText("<!DOCTYPE a [<!ELEMENT a EMPTY>]><a>text</a>");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(
+      ValidateText("<!DOCTYPE a [<!ELEMENT a EMPTY>]><a></a>").ok());
+}
+
+TEST(ValidatorTest, ElementContentRejectsText) {
+  Status s = ValidateText(
+      "<!DOCTYPE a [<!ELEMENT a (b)><!ELEMENT b EMPTY>]><a>x<b/></a>");
+  EXPECT_FALSE(s.ok());
+  // Whitespace between children is ignorable.
+  EXPECT_TRUE(ValidateText(
+                  "<!DOCTYPE a [<!ELEMENT a (b)><!ELEMENT b EMPTY>]>"
+                  "<a>\n  <b/>\n</a>")
+                  .ok());
+}
+
+TEST(ValidatorTest, ContentModelViolation) {
+  Status s = ValidateText(
+      "<!DOCTYPE a [<!ELEMENT a (b,c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>]>"
+      "<a><c/><b/></a>");
+  EXPECT_EQ(s.code(), StatusCode::kValidationError);
+  EXPECT_NE(s.message().find("does not match model"), std::string::npos);
+}
+
+TEST(ValidatorTest, MixedContentChecksNames) {
+  const char* dtd =
+      "<!DOCTYPE p [<!ELEMENT p (#PCDATA|em)*><!ELEMENT em (#PCDATA)>"
+      "<!ELEMENT strong (#PCDATA)>]>";
+  EXPECT_TRUE(ValidateText(std::string(dtd) + "<p>a<em>b</em>c</p>").ok());
+  Status s = ValidateText(std::string(dtd) + "<p><strong>x</strong></p>");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("mixed content"), std::string::npos);
+}
+
+TEST(ValidatorTest, RequiredAttributeMissing) {
+  Status s = ValidateText(
+      "<!DOCTYPE a [<!ELEMENT a EMPTY><!ATTLIST a k CDATA #REQUIRED>]><a/>");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("required attribute"), std::string::npos);
+}
+
+TEST(ValidatorTest, DefaultAttributeInjected) {
+  auto doc = MustParse(
+      "<!DOCTYPE a [<!ELEMENT a EMPTY><!ATTLIST a k CDATA \"dflt\">]><a/>");
+  ASSERT_TRUE(ValidateDocument(doc.get()).ok());
+  const Attr* k = doc->root()->FindAttribute("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->value(), "dflt");
+  EXPECT_TRUE(k->is_defaulted());
+}
+
+TEST(ValidatorTest, DefaultInjectionCanBeDisabled) {
+  ValidationOptions options;
+  options.add_default_attributes = false;
+  auto doc = MustParse(
+      "<!DOCTYPE a [<!ELEMENT a EMPTY><!ATTLIST a k CDATA \"dflt\">]><a/>");
+  ASSERT_TRUE(ValidateDocument(doc.get(), options).ok());
+  EXPECT_EQ(doc->root()->FindAttribute("k"), nullptr);
+}
+
+TEST(ValidatorTest, FixedAttributeMustMatch) {
+  const char* dtd =
+      "<!DOCTYPE a [<!ELEMENT a EMPTY><!ATTLIST a v CDATA #FIXED \"1\">]>";
+  EXPECT_TRUE(ValidateText(std::string(dtd) + "<a v=\"1\"/>").ok());
+  EXPECT_FALSE(ValidateText(std::string(dtd) + "<a v=\"2\"/>").ok());
+  // Absent: injected with the fixed value.
+  auto doc = MustParse(std::string(dtd) + "<a/>");
+  ASSERT_TRUE(ValidateDocument(doc.get()).ok());
+  EXPECT_EQ(doc->root()->GetAttribute("v"), "1");
+}
+
+TEST(ValidatorTest, EnumerationChecked) {
+  const char* dtd =
+      "<!DOCTYPE a [<!ELEMENT a EMPTY>"
+      "<!ATTLIST a t (x|y) #REQUIRED>]>";
+  EXPECT_TRUE(ValidateText(std::string(dtd) + "<a t=\"x\"/>").ok());
+  Status s = ValidateText(std::string(dtd) + "<a t=\"z\"/>");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("enumeration"), std::string::npos);
+}
+
+TEST(ValidatorTest, IdUniqueness) {
+  const char* dtd =
+      "<!DOCTYPE a [<!ELEMENT a (b*)><!ELEMENT b EMPTY>"
+      "<!ATTLIST b id ID #REQUIRED>]>";
+  EXPECT_TRUE(
+      ValidateText(std::string(dtd) + "<a><b id=\"x\"/><b id=\"y\"/></a>")
+          .ok());
+  Status s =
+      ValidateText(std::string(dtd) + "<a><b id=\"x\"/><b id=\"x\"/></a>");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("duplicate ID"), std::string::npos);
+}
+
+TEST(ValidatorTest, IdMustBeValidName) {
+  const char* dtd =
+      "<!DOCTYPE a [<!ELEMENT a EMPTY><!ATTLIST a id ID #REQUIRED>]>";
+  Status s = ValidateText(std::string(dtd) + "<a id=\"1bad\"/>");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(ValidatorTest, IdRefResolution) {
+  const char* dtd =
+      "<!DOCTYPE a [<!ELEMENT a (b*)><!ELEMENT b EMPTY>"
+      "<!ATTLIST b id ID #IMPLIED ref IDREF #IMPLIED>]>";
+  EXPECT_TRUE(
+      ValidateText(std::string(dtd) + "<a><b id=\"x\"/><b ref=\"x\"/></a>")
+          .ok());
+  Status s = ValidateText(std::string(dtd) + "<a><b ref=\"ghost\"/></a>");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("ghost"), std::string::npos);
+}
+
+TEST(ValidatorTest, IdRefsChecksEveryToken) {
+  const char* dtd =
+      "<!DOCTYPE a [<!ELEMENT a (b*)><!ELEMENT b EMPTY>"
+      "<!ATTLIST b id ID #IMPLIED refs IDREFS #IMPLIED>]>";
+  EXPECT_TRUE(ValidateText(std::string(dtd) +
+                           "<a><b id=\"x\"/><b id=\"y\"/>"
+                           "<b refs=\"x y\"/></a>")
+                  .ok());
+  EXPECT_FALSE(ValidateText(std::string(dtd) +
+                            "<a><b id=\"x\"/><b refs=\"x ghost\"/></a>")
+                   .ok());
+}
+
+TEST(ValidatorTest, NmtokenSyntax) {
+  const char* dtd =
+      "<!DOCTYPE a [<!ELEMENT a EMPTY><!ATTLIST a t NMTOKEN #IMPLIED>]>";
+  EXPECT_TRUE(ValidateText(std::string(dtd) + "<a t=\"abc-12.3\"/>").ok());
+  EXPECT_FALSE(ValidateText(std::string(dtd) + "<a t=\"has space\"/>").ok());
+}
+
+TEST(ValidatorTest, EntityAttributeNeedsUnparsedEntity) {
+  const char* dtd =
+      "<!DOCTYPE a [<!ELEMENT a EMPTY>"
+      "<!NOTATION gif SYSTEM \"gif\">"
+      "<!ENTITY pic SYSTEM \"p.gif\" NDATA gif>"
+      "<!ENTITY txt \"inline\">"
+      "<!ATTLIST a src ENTITY #IMPLIED>]>";
+  EXPECT_TRUE(ValidateText(std::string(dtd) + "<a src=\"pic\"/>").ok());
+  EXPECT_FALSE(ValidateText(std::string(dtd) + "<a src=\"txt\"/>").ok());
+  EXPECT_FALSE(ValidateText(std::string(dtd) + "<a src=\"none\"/>").ok());
+}
+
+TEST(ValidatorTest, NotationAttribute) {
+  const char* dtd =
+      "<!DOCTYPE a [<!ELEMENT a EMPTY>"
+      "<!NOTATION n1 SYSTEM \"s1\">"
+      "<!ATTLIST a fmt NOTATION (n1|n2) #IMPLIED>]>";
+  EXPECT_TRUE(ValidateText(std::string(dtd) + "<a fmt=\"n1\"/>").ok());
+  // n2 is in the enumeration but never declared.
+  EXPECT_FALSE(ValidateText(std::string(dtd) + "<a fmt=\"n2\"/>").ok());
+  EXPECT_FALSE(ValidateText(std::string(dtd) + "<a fmt=\"n3\"/>").ok());
+}
+
+TEST(ValidatorTest, UndeclaredAttributeRejected) {
+  Status s = ValidateText("<!DOCTYPE a [<!ELEMENT a EMPTY>]><a mystery=\"1\"/>");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("mystery"), std::string::npos);
+}
+
+TEST(ValidatorTest, ErrorListCollectsAll) {
+  auto doc = MustParse(
+      "<!DOCTYPE a [<!ELEMENT a (b)><!ELEMENT b EMPTY>"
+      "<!ATTLIST b k CDATA #REQUIRED>]>"
+      "<a><b/><b/></a>");
+  Validator validator(doc->dtd());
+  Status s = validator.Validate(doc.get());
+  EXPECT_FALSE(s.ok());
+  // Content model violation + two missing required attributes.
+  EXPECT_EQ(validator.errors().size(), 3u);
+}
+
+TEST(ValidatorTest, ValidatorReusableAcrossDocuments) {
+  auto doc1 = MustParse(
+      "<!DOCTYPE a [<!ELEMENT a EMPTY><!ATTLIST a id ID #IMPLIED>]>"
+      "<a id=\"same\"/>");
+  auto doc2 = MustParse("<a id=\"same\"/>");
+  Validator validator(doc1->dtd());
+  EXPECT_TRUE(validator.Validate(doc1.get()).ok());
+  // Same ID in a different document must NOT be a duplicate.
+  EXPECT_TRUE(validator.Validate(doc2.get()).ok());
+}
+
+TEST(ValidatorTest, NoDtdIsInvalidArgument) {
+  auto doc = MustParse("<a/>");
+  Status s = ValidateDocument(doc.get());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace xmlsec

@@ -1,0 +1,144 @@
+// Table-driven XML validity sweep: document snippets against a fixed DTD,
+// expected valid/invalid with a message fragment for the invalid ones.
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/validator.h"
+
+namespace xmlsec {
+namespace xml {
+namespace {
+
+constexpr char kDtd[] =
+    "<!DOCTYPE library [\n"
+    "<!ELEMENT library (section+, index?)>\n"
+    "<!ATTLIST library lang (en|it|de) \"en\">\n"
+    "<!ELEMENT section (heading, (book | journal)*)>\n"
+    "<!ATTLIST section id ID #REQUIRED>\n"
+    "<!ELEMENT heading (#PCDATA)>\n"
+    "<!ELEMENT book (title, author+)>\n"
+    "<!ATTLIST book isbn NMTOKEN #REQUIRED loan IDREF #IMPLIED>\n"
+    "<!ELEMENT journal (title)>\n"
+    "<!ATTLIST journal issue CDATA #REQUIRED>\n"
+    "<!ELEMENT title (#PCDATA)>\n"
+    "<!ELEMENT author (#PCDATA)>\n"
+    "<!ELEMENT index EMPTY>\n"
+    "<!ATTLIST index style CDATA #FIXED \"flat\">\n"
+    "]>";
+
+struct Case {
+  const char* name;
+  const char* body;  // document after the DOCTYPE
+  bool valid;
+  const char* message_fragment;  // for invalid cases
+};
+
+constexpr Case kCases[] = {
+    {"minimal_valid",
+     "<library><section id=\"s1\"><heading>H</heading></section></library>",
+     true, nullptr},
+    {"full_valid",
+     "<library lang=\"it\"><section id=\"s1\"><heading>H</heading>"
+     "<book isbn=\"i1\"><title>T</title><author>A</author></book>"
+     "<journal issue=\"4\"><title>J</title></journal></section>"
+     "<index style=\"flat\"/></library>",
+     true, nullptr},
+    {"choice_repetition_valid",
+     "<library><section id=\"s1\"><heading>H</heading>"
+     "<journal issue=\"1\"><title>a</title></journal>"
+     "<book isbn=\"b\"><title>b</title><author>x</author></book>"
+     "<journal issue=\"2\"><title>c</title></journal>"
+     "</section></library>",
+     true, nullptr},
+    {"missing_required_section",
+     "<library><index/></library>", false, "does not match model"},
+    {"wrong_order",
+     "<library><section id=\"s1\"><book isbn=\"i\"><title>T</title>"
+     "<author>A</author></book><heading>H</heading></section></library>",
+     false, "does not match model"},
+    {"book_without_author",
+     "<library><section id=\"s1\"><heading>H</heading>"
+     "<book isbn=\"i\"><title>T</title></book></section></library>",
+     false, "does not match model"},
+    {"missing_required_id",
+     "<library><section><heading>H</heading></section></library>", false,
+     "required attribute 'id'"},
+    {"duplicate_ids",
+     "<library><section id=\"s1\"><heading>a</heading></section>"
+     "<section id=\"s1\"><heading>b</heading></section></library>",
+     false, "duplicate ID"},
+    {"dangling_idref",
+     "<library><section id=\"s1\"><heading>H</heading>"
+     "<book isbn=\"i\" loan=\"nobody\"><title>T</title>"
+     "<author>A</author></book></section></library>",
+     false, "does not match any ID"},
+    {"valid_idref",
+     "<library><section id=\"s1\"><heading>H</heading>"
+     "<book isbn=\"i\" loan=\"s1\"><title>T</title>"
+     "<author>A</author></book></section></library>",
+     true, nullptr},
+    {"bad_enumeration",
+     "<library lang=\"fr\"><section id=\"s1\"><heading>H</heading>"
+     "</section></library>",
+     false, "not in the enumeration"},
+    {"nmtoken_with_space",
+     "<library><section id=\"s1\"><heading>H</heading>"
+     "<book isbn=\"bad isbn\"><title>T</title><author>A</author></book>"
+     "</section></library>",
+     false, "NMTOKEN"},
+    {"fixed_attribute_wrong_value",
+     "<library><section id=\"s1\"><heading>H</heading></section>"
+     "<index style=\"fancy\"/></library>",
+     false, "#FIXED"},
+    {"empty_element_with_content",
+     "<library><section id=\"s1\"><heading>H</heading></section>"
+     "<index>boo</index></library>",
+     false, "declared EMPTY"},
+    // The content-model violation is reported first; the undeclared
+    // element itself is the "(and 1 more)" entry.
+    {"undeclared_element",
+     "<library><section id=\"s1\"><heading>H</heading><movie/></section>"
+     "</library>",
+     false, "does not match model"},
+    {"undeclared_attribute",
+     "<library mood=\"sunny\"><section id=\"s1\"><heading>H</heading>"
+     "</section></library>",
+     false, "is not declared"},
+    {"text_in_element_content",
+     "<library>words<section id=\"s1\"><heading>H</heading></section>"
+     "</library>",
+     false, "character data"},
+    {"whitespace_between_children_ok",
+     "<library>\n  <section id=\"s1\">\n    <heading>H</heading>\n"
+     "  </section>\n</library>",
+     true, nullptr},
+};
+
+class ValidityConformanceTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ValidityConformanceTest, Validates) {
+  const Case& c = GetParam();
+  auto doc = ParseDocument(std::string(kDtd) + c.body);
+  ASSERT_TRUE(doc.ok()) << c.name << ": " << doc.status();
+  Status status = ValidateDocument(doc->get());
+  if (c.valid) {
+    EXPECT_TRUE(status.ok()) << c.name << ": " << status;
+  } else {
+    ASSERT_FALSE(status.ok()) << c.name;
+    EXPECT_NE(status.message().find(c.message_fragment), std::string::npos)
+        << c.name << ": got '" << status.message() << "', expected fragment '"
+        << c.message_fragment << "'";
+  }
+}
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  return info.param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ValidityConformanceTest,
+                         ::testing::ValuesIn(kCases), CaseName);
+
+}  // namespace
+}  // namespace xml
+}  // namespace xmlsec

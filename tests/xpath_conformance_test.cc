@@ -1,0 +1,212 @@
+// Table-driven XPath 1.0 conformance sweep: each case is one expression
+// evaluated against a fixed document, compared against the expected
+// string/number/boolean/count outcome.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+
+namespace xmlsec {
+namespace xpath {
+namespace {
+
+constexpr char kDoc[] =
+    "<!DOCTYPE shop [<!ELEMENT shop (dept*)><!ELEMENT dept (product*)>"
+    "<!ATTLIST dept code ID #REQUIRED>"
+    "<!ELEMENT product (name, price)>"
+    "<!ATTLIST product grade NMTOKEN #IMPLIED>"
+    "<!ELEMENT name (#PCDATA)><!ELEMENT price (#PCDATA)>]>"
+    "<shop>"
+    "<dept code=\"d1\">"
+    "<product grade=\"a\"><name>anvil</name><price>100</price></product>"
+    "<product grade=\"b\"><name>bolt cutter</name><price>25.5</price>"
+    "</product>"
+    "</dept>"
+    "<dept code=\"d2\">"
+    "<product><name>crate</name><price>7</price></product>"
+    "<product grade=\"a\"><name>drill</name><price>60</price></product>"
+    "<product grade=\"c\"><name>winch</name><price>250</price></product>"
+    "</dept>"
+    "</shop>";
+
+enum class Expect { kCount, kNumber, kString, kBool, kError };
+
+struct Case {
+  const char* expr;
+  Expect expect;
+  double number;       // kCount / kNumber / kBool(0/1)
+  const char* string;  // kString
+};
+
+constexpr Case kCases[] = {
+    // Location paths.
+    {"/shop", Expect::kCount, 1, nullptr},
+    {"/shop/dept", Expect::kCount, 2, nullptr},
+    {"/shop/dept/product", Expect::kCount, 5, nullptr},
+    {"//product", Expect::kCount, 5, nullptr},
+    {"//product/name", Expect::kCount, 5, nullptr},
+    {"/shop//price", Expect::kCount, 5, nullptr},
+    {"//*", Expect::kCount, 18, nullptr},
+    {"//@*", Expect::kCount, 6, nullptr},
+    {"//@grade", Expect::kCount, 4, nullptr},
+    {"/nonexistent", Expect::kCount, 0, nullptr},
+    {"//dept[@code=\"d1\"]/product", Expect::kCount, 2, nullptr},
+    {"//product[@grade]", Expect::kCount, 4, nullptr},
+    {"//product[not(@grade)]", Expect::kCount, 1, nullptr},
+    {"//product[@grade=\"a\"]", Expect::kCount, 2, nullptr},
+    {"//product[price > 50]", Expect::kCount, 3, nullptr},
+    {"//product[price > 50][@grade=\"a\"]", Expect::kCount, 2, nullptr},
+    {"//product[1]", Expect::kCount, 2, nullptr},  // first per dept
+    {"//product[last()]", Expect::kCount, 2, nullptr},
+    {"/shop/dept[2]/product[position()=2]", Expect::kCount, 1, nullptr},
+    {"//product[position() mod 2 = 1]", Expect::kCount, 3, nullptr},
+    // Axes.
+    {"//price/parent::product", Expect::kCount, 5, nullptr},
+    {"//price/..", Expect::kCount, 5, nullptr},
+    {"//name/ancestor::dept", Expect::kCount, 2, nullptr},
+    // 5 names + 5 products + 2 depts + 1 shop:
+    {"//name/ancestor-or-self::*", Expect::kCount, 13, nullptr},
+    {"//dept[1]/descendant::*", Expect::kCount, 6, nullptr},
+    {"//dept[1]/descendant-or-self::dept", Expect::kCount, 1, nullptr},
+    {"//product[name=\"crate\"]/following-sibling::product",
+     Expect::kCount, 2, nullptr},
+    {"//product[name=\"winch\"]/preceding-sibling::product",
+     Expect::kCount, 2, nullptr},
+    {"//product[name=\"crate\"]/following::name", Expect::kCount, 2,
+     nullptr},
+    {"//product[name=\"drill\"]/preceding::price", Expect::kCount, 3,
+     nullptr},
+    {"//name/self::name", Expect::kCount, 5, nullptr},
+    {"//name/self::price", Expect::kCount, 0, nullptr},
+    {"//dept/attribute::code", Expect::kCount, 2, nullptr},
+    // Node tests.
+    {"//name/text()", Expect::kCount, 5, nullptr},
+    {"//dept/node()", Expect::kCount, 5, nullptr},
+    // Unions.
+    {"//name | //price", Expect::kCount, 10, nullptr},
+    {"//name | //name", Expect::kCount, 5, nullptr},
+    // Numbers.
+    {"count(//product)", Expect::kNumber, 5, nullptr},
+    {"count(//dept) * 10", Expect::kNumber, 20, nullptr},
+    {"sum(//price)", Expect::kNumber, 442.5, nullptr},
+    {"sum(//dept[@code=\"d1\"]//price)", Expect::kNumber, 125.5, nullptr},
+    {"floor(25.7)", Expect::kNumber, 25, nullptr},
+    {"ceiling(25.2)", Expect::kNumber, 26, nullptr},
+    {"round(25.5)", Expect::kNumber, 26, nullptr},
+    {"round(-25.5)", Expect::kNumber, -25, nullptr},
+    {"7 mod 3", Expect::kNumber, 1, nullptr},
+    {"8 div 2", Expect::kNumber, 4, nullptr},
+    {"2 + 3 * 4", Expect::kNumber, 14, nullptr},
+    {"(2 + 3) * 4", Expect::kNumber, 20, nullptr},
+    {"-//price[1] + 0", Expect::kNumber, -100, nullptr},
+    {"number(//price[. = 7])", Expect::kNumber, 7, nullptr},
+    {"string-length(\"hello\")", Expect::kNumber, 5, nullptr},
+    {"count(//product[price < 30])", Expect::kNumber, 2, nullptr},
+    // Strings.
+    {"string(//name)", Expect::kString, 0, "anvil"},  // first in doc order
+    {"name(//*[1])", Expect::kString, 0, "shop"},
+    {"local-name(//@code)", Expect::kString, 0, "code"},
+    {"concat(\"a\", \"-\", \"b\")", Expect::kString, 0, "a-b"},
+    {"substring(\"anvil\", 2, 3)", Expect::kString, 0, "nvi"},
+    {"substring-before(\"key=value\", \"=\")", Expect::kString, 0, "key"},
+    {"substring-after(\"key=value\", \"=\")", Expect::kString, 0, "value"},
+    {"normalize-space(\"  a   b \")", Expect::kString, 0, "a b"},
+    {"translate(\"abcabc\", \"ab\", \"AB\")", Expect::kString, 0, "ABcABc"},
+    {"string(3.0)", Expect::kString, 0, "3"},
+    {"string(//dept[2]/@code)", Expect::kString, 0, "d2"},
+    {"string(1 = 1)", Expect::kString, 0, "true"},
+    // Booleans.
+    {"true()", Expect::kBool, 1, nullptr},
+    {"false()", Expect::kBool, 0, nullptr},
+    {"not(false())", Expect::kBool, 1, nullptr},
+    {"boolean(//product)", Expect::kBool, 1, nullptr},
+    {"boolean(//nothing)", Expect::kBool, 0, nullptr},
+    {"contains(\"bolt cutter\", \"cut\")", Expect::kBool, 1, nullptr},
+    {"starts-with(\"anvil\", \"an\")", Expect::kBool, 1, nullptr},
+    {"//price = 60", Expect::kBool, 1, nullptr},
+    {"//price != 60", Expect::kBool, 1, nullptr},
+    {"//price > 249", Expect::kBool, 1, nullptr},
+    {"//price > 250", Expect::kBool, 0, nullptr},
+    {"//name = //name", Expect::kBool, 1, nullptr},
+    {"//dept[1]/product/name = //dept[2]/product/name", Expect::kBool, 0,
+     nullptr},
+    {"count(//product) = 5 and sum(//price) > 400", Expect::kBool, 1,
+     nullptr},
+    {"count(//product) = 4 or contains(\"x\", \"x\")", Expect::kBool, 1,
+     nullptr},
+    {"\"10\" = 10", Expect::kBool, 1, nullptr},
+    {"\"abc\" = \"abc\"", Expect::kBool, 1, nullptr},
+    {"2 < 10", Expect::kBool, 1, nullptr},
+    // id() through the DTD's ID attribute.
+    {"count(id(\"d1\"))", Expect::kNumber, 1, nullptr},
+    {"count(id(\"d1 d2\"))", Expect::kNumber, 2, nullptr},
+    {"count(id(\"zzz\"))", Expect::kNumber, 0, nullptr},
+    {"string(id(\"d2\")/product[1]/name)", Expect::kString, 0, "crate"},
+    // Errors.
+    {"", Expect::kError, 0, nullptr},
+    {"//[", Expect::kError, 0, nullptr},
+    {"1 +", Expect::kError, 0, nullptr},
+    {"nosuchfn(1)", Expect::kError, 0, nullptr},
+    {"count()", Expect::kError, 0, nullptr},
+    {"bogus::x", Expect::kError, 0, nullptr},
+};
+
+class XPathConformanceTest : public ::testing::TestWithParam<Case> {
+ protected:
+  static void SetUpTestSuite() {
+    auto result = xml::ParseDocument(kDoc);
+    ASSERT_TRUE(result.ok()) << result.status();
+    doc_ = result->release();
+  }
+  static void TearDownTestSuite() {
+    delete doc_;
+    doc_ = nullptr;
+  }
+
+  static xml::Document* doc_;
+};
+
+xml::Document* XPathConformanceTest::doc_ = nullptr;
+
+TEST_P(XPathConformanceTest, Evaluates) {
+  const Case& c = GetParam();
+  auto value = EvaluateXPath(c.expr, doc_->root());
+  if (c.expect == Expect::kError) {
+    EXPECT_FALSE(value.ok()) << c.expr;
+    return;
+  }
+  ASSERT_TRUE(value.ok()) << c.expr << ": " << value.status();
+  switch (c.expect) {
+    case Expect::kCount:
+      ASSERT_TRUE(value->is_node_set()) << c.expr;
+      EXPECT_EQ(value->nodes().size(), static_cast<size_t>(c.number))
+          << c.expr;
+      break;
+    case Expect::kNumber:
+      EXPECT_DOUBLE_EQ(value->ToNumber(), c.number) << c.expr;
+      break;
+    case Expect::kString:
+      EXPECT_EQ(value->ToString(), c.string) << c.expr;
+      break;
+    case Expect::kBool:
+      EXPECT_EQ(value->ToBool(), c.number != 0) << c.expr;
+      break;
+    case Expect::kError:
+      break;
+  }
+}
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = "case" + std::to_string(info.index);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, XPathConformanceTest,
+                         ::testing::ValuesIn(kCases), CaseName);
+
+}  // namespace
+}  // namespace xpath
+}  // namespace xmlsec

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlsec {
+namespace xpath {
+namespace {
+
+using xml::Document;
+using xml::Element;
+using xml::ParseDocument;
+
+class XPathEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto result = ParseDocument(R"(<laboratory name="CSlab">
+<project name="Access Models" type="internal">
+<manager><fname>Ada</fname><lname>Lovelace</lname></manager>
+<paper category="private"><title>P1</title></paper>
+<paper category="public"><title>P2</title></paper>
+<fund sponsor="acme">5000</fund>
+</project>
+<project name="Web" type="public">
+<manager><fname>Alan</fname><lname>Turing</lname></manager>
+<paper category="public"><title>P3</title></paper>
+</project>
+</laboratory>)");
+    ASSERT_TRUE(result.ok()) << result.status();
+    doc_ = std::move(result).value();
+  }
+
+  NodeSet Select(std::string_view expr) {
+    auto result = SelectXPath(expr, doc_->root());
+    EXPECT_TRUE(result.ok()) << expr << ": " << result.status();
+    return result.ok() ? *result : NodeSet{};
+  }
+
+  Value Eval(std::string_view expr) {
+    auto result = EvaluateXPath(expr, doc_->root());
+    EXPECT_TRUE(result.ok()) << expr << ": " << result.status();
+    return result.ok() ? *result : Value();
+  }
+
+  std::unique_ptr<Document> doc_;
+};
+
+TEST_F(XPathEvalTest, AbsoluteChildPath) {
+  NodeSet projects = Select("/laboratory/project");
+  EXPECT_EQ(projects.size(), 2u);
+}
+
+TEST_F(XPathEvalTest, RelativePathFromRootElement) {
+  // Relative paths use the context node (here, the root element).
+  NodeSet projects = Select("project");
+  EXPECT_EQ(projects.size(), 2u);
+  NodeSet managers = Select("project/manager");
+  EXPECT_EQ(managers.size(), 2u);
+}
+
+TEST_F(XPathEvalTest, DescendantShortcut) {
+  EXPECT_EQ(Select("//paper").size(), 3u);
+  EXPECT_EQ(Select("/laboratory//fname").size(), 2u);
+  EXPECT_EQ(Select("//title").size(), 3u);
+}
+
+TEST_F(XPathEvalTest, WildcardSelectsElements) {
+  NodeSet children = Select("/laboratory/*");
+  EXPECT_EQ(children.size(), 2u);
+}
+
+TEST_F(XPathEvalTest, AttributeAxis) {
+  NodeSet names = Select("/laboratory/project/@name");
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0]->NodeValue(), "Access Models");
+  EXPECT_EQ(names[1]->NodeValue(), "Web");
+  EXPECT_EQ(Select("//@*").size(), 9u);
+}
+
+TEST_F(XPathEvalTest, AttributePredicateFromPaper) {
+  NodeSet private_papers =
+      Select("/laboratory//paper[./@category=\"private\"]");
+  ASSERT_EQ(private_papers.size(), 1u);
+  NodeSet internal_projects = Select("project[./@type=\"internal\"]");
+  ASSERT_EQ(internal_projects.size(), 1u);
+  EXPECT_EQ(internal_projects[0]->AsElement()->GetAttribute("name"),
+            "Access Models");
+  NodeSet managers = Select("project[./@type=\"public\"]/manager");
+  ASSERT_EQ(managers.size(), 1u);
+  EXPECT_EQ(static_cast<const Element*>(managers[0])->TextContent(),
+            "AlanTuring");
+}
+
+TEST_F(XPathEvalTest, PositionalPredicates) {
+  NodeSet first = Select("/laboratory/project[1]");
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0]->AsElement()->GetAttribute("name"), "Access Models");
+  NodeSet last = Select("/laboratory/project[last()]");
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0]->AsElement()->GetAttribute("name"), "Web");
+  NodeSet pos2 = Select("/laboratory/project[position()=2]");
+  ASSERT_EQ(pos2.size(), 1u);
+  EXPECT_EQ(pos2[0]->AsElement()->GetAttribute("name"), "Web");
+}
+
+TEST_F(XPathEvalTest, AncestorAxisFromPaper) {
+  NodeSet projects = Select("//fund/ancestor::project");
+  ASSERT_EQ(projects.size(), 1u);
+  EXPECT_EQ(projects[0]->AsElement()->GetAttribute("name"), "Access Models");
+}
+
+TEST_F(XPathEvalTest, ParentAndSelf) {
+  EXPECT_EQ(Select("//title/..").size(), 3u);
+  EXPECT_EQ(Select("//title/../self::paper").size(), 3u);
+  EXPECT_EQ(Select(".").size(), 1u);
+}
+
+TEST_F(XPathEvalTest, SiblingAxes) {
+  NodeSet after = Select("//paper[@category=\"private\"]"
+                         "/following-sibling::paper");
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(static_cast<const Element*>(after[0])->TextContent(), "P2");
+  NodeSet before =
+      Select("//fund/preceding-sibling::paper");
+  EXPECT_EQ(before.size(), 2u);
+  // Reverse-axis positional predicate: nearest first.
+  NodeSet nearest = Select("//fund/preceding-sibling::paper[1]");
+  ASSERT_EQ(nearest.size(), 1u);
+  EXPECT_EQ(static_cast<const Element*>(nearest[0])->TextContent(), "P2");
+}
+
+TEST_F(XPathEvalTest, FollowingAndPrecedingAxes) {
+  // 'following' excludes descendants; the private paper is followed by
+  // P2's paper+title, fund, whole second project subtree...
+  NodeSet following =
+      Select("//paper[@category=\"private\"]/following::paper");
+  EXPECT_EQ(following.size(), 2u);
+  NodeSet preceding = Select("//fund/preceding::paper");
+  EXPECT_EQ(preceding.size(), 2u);
+}
+
+TEST_F(XPathEvalTest, TextNodeTest) {
+  NodeSet texts = Select("//fname/text()");
+  ASSERT_EQ(texts.size(), 2u);
+  EXPECT_EQ(texts[0]->NodeValue(), "Ada");
+}
+
+TEST_F(XPathEvalTest, UnionIsDocOrderDeduped) {
+  NodeSet set = Select("//paper | //manager | //paper");
+  EXPECT_EQ(set.size(), 5u);
+  for (size_t i = 1; i < set.size(); ++i) {
+    EXPECT_LT(set[i - 1]->doc_order(), set[i]->doc_order());
+  }
+}
+
+TEST_F(XPathEvalTest, CountAndSum) {
+  EXPECT_DOUBLE_EQ(Eval("count(//paper)").ToNumber(), 3);
+  EXPECT_DOUBLE_EQ(Eval("sum(//fund)").ToNumber(), 5000);
+  EXPECT_DOUBLE_EQ(Eval("count(//zzz)").ToNumber(), 0);
+}
+
+TEST_F(XPathEvalTest, StringFunctions) {
+  EXPECT_EQ(Eval("string(/laboratory/@name)").ToString(), "CSlab");
+  EXPECT_EQ(Eval("concat(\"a\",\"b\",\"c\")").ToString(), "abc");
+  EXPECT_TRUE(Eval("starts-with(\"hello\",\"he\")").ToBool());
+  EXPECT_FALSE(Eval("starts-with(\"hello\",\"lo\")").ToBool());
+  EXPECT_TRUE(Eval("contains(\"hello\",\"ell\")").ToBool());
+  EXPECT_EQ(Eval("substring-before(\"a=b\",\"=\")").ToString(), "a");
+  EXPECT_EQ(Eval("substring-after(\"a=b\",\"=\")").ToString(), "b");
+  EXPECT_EQ(Eval("substring(\"12345\",2,3)").ToString(), "234");
+  EXPECT_EQ(Eval("substring(\"12345\",2)").ToString(), "2345");
+  // Spec rounding edge case.
+  EXPECT_EQ(Eval("substring(\"12345\",1.5,2.6)").ToString(), "234");
+  EXPECT_DOUBLE_EQ(Eval("string-length(\"abcd\")").ToNumber(), 4);
+  EXPECT_EQ(Eval("normalize-space(\"  a  b \")").ToString(), "a b");
+  EXPECT_EQ(Eval("translate(\"bar\",\"abc\",\"ABC\")").ToString(), "BAr");
+  EXPECT_EQ(Eval("translate(\"-a-b-\",\"-\",\"\")").ToString(), "ab");
+}
+
+TEST_F(XPathEvalTest, NameFunctions) {
+  EXPECT_EQ(Eval("name(/laboratory/project[1])").ToString(), "project");
+  EXPECT_EQ(Eval("local-name(//@name)").ToString(), "name");
+  EXPECT_EQ(Eval("name()").ToString(), "laboratory");
+}
+
+TEST_F(XPathEvalTest, BooleanAndNumberFunctions) {
+  EXPECT_TRUE(Eval("boolean(//paper)").ToBool());
+  EXPECT_FALSE(Eval("boolean(//zzz)").ToBool());
+  EXPECT_TRUE(Eval("not(false())").ToBool());
+  EXPECT_DOUBLE_EQ(Eval("number(\"3.5\")").ToNumber(), 3.5);
+  EXPECT_TRUE(std::isnan(Eval("number(\"abc\")").ToNumber()));
+  EXPECT_DOUBLE_EQ(Eval("floor(2.7)").ToNumber(), 2);
+  EXPECT_DOUBLE_EQ(Eval("ceiling(2.1)").ToNumber(), 3);
+  EXPECT_DOUBLE_EQ(Eval("round(2.5)").ToNumber(), 3);
+  EXPECT_DOUBLE_EQ(Eval("round(-2.5)").ToNumber(), -2);
+}
+
+TEST_F(XPathEvalTest, Arithmetic) {
+  EXPECT_DOUBLE_EQ(Eval("1 + 2 * 3").ToNumber(), 7);
+  EXPECT_DOUBLE_EQ(Eval("10 div 4").ToNumber(), 2.5);
+  EXPECT_DOUBLE_EQ(Eval("10 mod 3").ToNumber(), 1);
+  EXPECT_DOUBLE_EQ(Eval("-(2 + 3)").ToNumber(), -5);
+}
+
+TEST_F(XPathEvalTest, ComparisonSemantics) {
+  // Node-set = string: exists a node with that string-value.
+  EXPECT_TRUE(Eval("//fname = \"Ada\"").ToBool());
+  EXPECT_FALSE(Eval("//fname = \"Grace\"").ToBool());
+  // Node-set != string: exists a node with a different value (both can
+  // be true simultaneously — XPath 1.0 semantics).
+  EXPECT_TRUE(Eval("//fname != \"Ada\"").ToBool());
+  // Node-set vs number.
+  EXPECT_TRUE(Eval("//fund = 5000").ToBool());
+  EXPECT_TRUE(Eval("//fund > 4999").ToBool());
+  EXPECT_FALSE(Eval("//fund > 5000").ToBool());
+  // Plain values.
+  EXPECT_TRUE(Eval("\"5\" = 5").ToBool());
+  EXPECT_TRUE(Eval("true() = 1").ToBool());
+  EXPECT_TRUE(Eval("\"a\" = \"a\"").ToBool());
+  EXPECT_FALSE(Eval("\"a\" = \"b\"").ToBool());
+}
+
+TEST_F(XPathEvalTest, BooleanConnectives) {
+  // Short-circuit: the undefined function on the right is never called.
+  EXPECT_TRUE(Eval("true() or frobnicate()").ToBool());
+  EXPECT_FALSE(Eval("false() and frobnicate()").ToBool());
+  EXPECT_TRUE(Eval("1 = 1 and 2 = 2").ToBool());
+}
+
+TEST_F(XPathEvalTest, PredicateWithAndOr) {
+  NodeSet set = Select(
+      "//paper[@category=\"public\" or @category=\"private\"]");
+  EXPECT_EQ(set.size(), 3u);
+  NodeSet both = Select(
+      "//project[@type=\"internal\" and @name=\"Access Models\"]");
+  EXPECT_EQ(both.size(), 1u);
+}
+
+TEST_F(XPathEvalTest, DocumentNodeContext) {
+  auto from_doc = SelectXPath("/laboratory", doc_.get());
+  ASSERT_TRUE(from_doc.ok());
+  EXPECT_EQ(from_doc->size(), 1u);
+}
+
+TEST_F(XPathEvalTest, NonNodeSetToSelectNodesFails) {
+  auto result = SelectXPath("1 + 1", doc_->root());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(XPathEvalTest, UnknownFunctionFails) {
+  auto result = EvaluateXPath("frobnicate(1)", doc_->root());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("frobnicate"), std::string::npos);
+}
+
+TEST_F(XPathEvalTest, ArityErrors) {
+  EXPECT_FALSE(EvaluateXPath("count()", doc_->root()).ok());
+  EXPECT_FALSE(EvaluateXPath("concat(\"a\")", doc_->root()).ok());
+  EXPECT_FALSE(EvaluateXPath("not()", doc_->root()).ok());
+}
+
+TEST_F(XPathEvalTest, NumberFormatting) {
+  EXPECT_EQ(Eval("string(1)").ToString(), "1");
+  EXPECT_EQ(Eval("string(1.5)").ToString(), "1.5");
+  EXPECT_EQ(Eval("string(-17)").ToString(), "-17");
+  EXPECT_EQ(Eval("string(0)").ToString(), "0");
+  EXPECT_EQ(Eval("string(1 div 0)").ToString(), "Infinity");
+  EXPECT_EQ(Eval("string(0 div 0)").ToString(), "NaN");
+}
+
+TEST_F(XPathEvalTest, VariableBindings) {
+  VariableBindings vars;
+  vars.emplace("who", Value(std::string("Ada")));
+  vars.emplace("limit", Value(2.0));
+  vars.emplace("flag", Value(true));
+
+  auto by_name = SelectXPath("//fname[. = $who]", doc_->root(), &vars);
+  ASSERT_TRUE(by_name.ok()) << by_name.status();
+  EXPECT_EQ(by_name->size(), 1u);
+
+  auto arith = EvaluateXPath("$limit * 3", doc_->root(), &vars);
+  ASSERT_TRUE(arith.ok());
+  EXPECT_DOUBLE_EQ(arith->ToNumber(), 6.0);
+
+  auto boolean = EvaluateXPath("$flag and true()", doc_->root(), &vars);
+  ASSERT_TRUE(boolean.ok());
+  EXPECT_TRUE(boolean->ToBool());
+
+  auto positional =
+      SelectXPath("/laboratory/project[position() <= $limit]",
+                  doc_->root(), &vars);
+  ASSERT_TRUE(positional.ok());
+  EXPECT_EQ(positional->size(), 2u);
+}
+
+TEST_F(XPathEvalTest, UnboundVariableIsError) {
+  auto result = EvaluateXPath("$ghost", doc_->root());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("ghost"), std::string::npos);
+  VariableBindings vars;
+  vars.emplace("other", Value(1.0));
+  auto still = EvaluateXPath("$ghost", doc_->root(), &vars);
+  EXPECT_FALSE(still.ok());
+}
+
+TEST_F(XPathEvalTest, VariableSyntaxRoundTrip) {
+  auto compiled = CompileXPath("//a[@owner=$user]");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ((*compiled)->ToString(),
+            CompileXPath((*compiled)->ToString()).value()->ToString());
+}
+
+TEST_F(XPathEvalTest, IdFunction) {
+  auto doc = ParseDocument(
+      "<!DOCTYPE r [<!ELEMENT r (item*)><!ELEMENT item (#PCDATA)>"
+      "<!ATTLIST item key ID #REQUIRED>]>"
+      "<r><item key=\"a\">1</item><item key=\"b\">2</item></r>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  auto set = SelectXPath("id(\"b a\")", (*doc)->root());
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_EQ(set->size(), 2u);
+}
+
+}  // namespace
+}  // namespace xpath
+}  // namespace xmlsec

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "xpath/lexer.h"
+
+namespace xmlsec {
+namespace xpath {
+namespace {
+
+std::vector<Token> MustTokenize(std::string_view text) {
+  auto result = Tokenize(text);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+std::vector<TokenKind> Kinds(std::string_view text) {
+  std::vector<TokenKind> kinds;
+  for (const Token& t : MustTokenize(text)) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds.back(), TokenKind::kEnd);
+  kinds.pop_back();
+  return kinds;
+}
+
+TEST(XPathLexerTest, SimplePath) {
+  EXPECT_EQ(Kinds("/a/b"),
+            (std::vector<TokenKind>{TokenKind::kSlash, TokenKind::kName,
+                                    TokenKind::kSlash, TokenKind::kName}));
+}
+
+TEST(XPathLexerTest, DoubleSlashAndAt) {
+  EXPECT_EQ(Kinds("//a/@b"),
+            (std::vector<TokenKind>{TokenKind::kDoubleSlash, TokenKind::kName,
+                                    TokenKind::kSlash, TokenKind::kAt,
+                                    TokenKind::kName}));
+}
+
+TEST(XPathLexerTest, DotsAndAxes) {
+  EXPECT_EQ(Kinds("./..//ancestor::x"),
+            (std::vector<TokenKind>{
+                TokenKind::kDot, TokenKind::kSlash, TokenKind::kDotDot,
+                TokenKind::kDoubleSlash, TokenKind::kName,
+                TokenKind::kAxisSep, TokenKind::kName}));
+}
+
+TEST(XPathLexerTest, StarDisambiguation) {
+  // Leading: wildcard.  After an operand: multiplication.
+  auto first = MustTokenize("*");
+  EXPECT_EQ(first[0].kind, TokenKind::kStar);
+  auto expr = MustTokenize("2 * 3");
+  EXPECT_EQ(expr[1].kind, TokenKind::kOpMul);
+  auto path = MustTokenize("a/*");
+  EXPECT_EQ(path[2].kind, TokenKind::kStar);
+  auto mult = MustTokenize("a * b");
+  EXPECT_EQ(mult[1].kind, TokenKind::kOpMul);
+}
+
+TEST(XPathLexerTest, WordOperatorDisambiguation) {
+  // "and" after operand is an operator; leading it is a name.
+  auto expr = MustTokenize("a and b");
+  EXPECT_EQ(expr[1].kind, TokenKind::kOpAnd);
+  auto name = MustTokenize("and");
+  EXPECT_EQ(name[0].kind, TokenKind::kName);
+  EXPECT_EQ(name[0].text, "and");
+  auto div = MustTokenize("6 div 2 mod 2");
+  EXPECT_EQ(div[1].kind, TokenKind::kOpDiv);
+  EXPECT_EQ(div[3].kind, TokenKind::kOpMod);
+  auto or_tok = MustTokenize("x or y");
+  EXPECT_EQ(or_tok[1].kind, TokenKind::kOpOr);
+}
+
+TEST(XPathLexerTest, Literals) {
+  auto toks = MustTokenize("\"double\" 'single'");
+  EXPECT_EQ(toks[0].kind, TokenKind::kLiteral);
+  EXPECT_EQ(toks[0].text, "double");
+  EXPECT_EQ(toks[1].kind, TokenKind::kLiteral);
+  EXPECT_EQ(toks[1].text, "single");
+}
+
+TEST(XPathLexerTest, Numbers) {
+  auto toks = MustTokenize("42 3.5 .25");
+  EXPECT_EQ(toks[0].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ(toks[0].number, 42);
+  EXPECT_DOUBLE_EQ(toks[1].number, 3.5);
+  EXPECT_DOUBLE_EQ(toks[2].number, 0.25);
+}
+
+TEST(XPathLexerTest, ComparisonOperators) {
+  EXPECT_EQ(Kinds("a=b"), (std::vector<TokenKind>{TokenKind::kName,
+                                                  TokenKind::kOpEq,
+                                                  TokenKind::kName}));
+  EXPECT_EQ(Kinds("a!=b")[1], TokenKind::kOpNeq);
+  EXPECT_EQ(Kinds("a<b")[1], TokenKind::kOpLt);
+  EXPECT_EQ(Kinds("a<=b")[1], TokenKind::kOpLe);
+  EXPECT_EQ(Kinds("a>b")[1], TokenKind::kOpGt);
+  EXPECT_EQ(Kinds("a>=b")[1], TokenKind::kOpGe);
+}
+
+TEST(XPathLexerTest, HyphenatedNamesVsMinus) {
+  auto name = MustTokenize("starts-with");
+  EXPECT_EQ(name[0].kind, TokenKind::kName);
+  EXPECT_EQ(name[0].text, "starts-with");
+  auto minus = MustTokenize("a - b");
+  EXPECT_EQ(minus[1].kind, TokenKind::kOpMinus);
+  auto tight = MustTokenize("1-2");
+  EXPECT_EQ(tight[1].kind, TokenKind::kOpMinus);
+}
+
+TEST(XPathLexerTest, PredicateBrackets) {
+  EXPECT_EQ(Kinds("a[1]"),
+            (std::vector<TokenKind>{TokenKind::kName, TokenKind::kLBracket,
+                                    TokenKind::kNumber,
+                                    TokenKind::kRBracket}));
+}
+
+TEST(XPathLexerTest, UnionAndParens) {
+  EXPECT_EQ(Kinds("(a|b)"),
+            (std::vector<TokenKind>{TokenKind::kLParen, TokenKind::kName,
+                                    TokenKind::kUnion, TokenKind::kName,
+                                    TokenKind::kRParen}));
+}
+
+TEST(XPathLexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a : b").ok());
+  EXPECT_FALSE(Tokenize("#").ok());
+}
+
+TEST(XPathLexerTest, OffsetsRecorded) {
+  auto toks = MustTokenize("ab cd");
+  EXPECT_EQ(toks[0].offset, 0u);
+  EXPECT_EQ(toks[1].offset, 3u);
+}
+
+}  // namespace
+}  // namespace xpath
+}  // namespace xmlsec

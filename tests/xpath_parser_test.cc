@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "xpath/parser.h"
+
+namespace xmlsec {
+namespace xpath {
+namespace {
+
+std::unique_ptr<Expr> MustCompile(std::string_view text) {
+  auto result = CompileXPath(text);
+  EXPECT_TRUE(result.ok()) << text << ": " << result.status();
+  return std::move(result).value();
+}
+
+TEST(XPathParserTest, AbsolutePathSteps) {
+  auto expr = MustCompile("/laboratory/project");
+  ASSERT_EQ(expr->kind, Expr::Kind::kPath);
+  EXPECT_TRUE(expr->absolute);
+  ASSERT_EQ(expr->steps.size(), 2u);
+  EXPECT_EQ(expr->steps[0].axis, Axis::kChild);
+  EXPECT_EQ(expr->steps[0].name, "laboratory");
+  EXPECT_EQ(expr->steps[1].name, "project");
+}
+
+TEST(XPathParserTest, RelativePath) {
+  auto expr = MustCompile("project/paper");
+  EXPECT_FALSE(expr->absolute);
+  ASSERT_EQ(expr->steps.size(), 2u);
+}
+
+TEST(XPathParserTest, BareSlashSelectsRoot) {
+  auto expr = MustCompile("/");
+  EXPECT_TRUE(expr->absolute);
+  EXPECT_TRUE(expr->steps.empty());
+}
+
+TEST(XPathParserTest, DoubleSlashInsertsDescendantOrSelf) {
+  auto expr = MustCompile("/laboratory//fname");
+  ASSERT_EQ(expr->steps.size(), 3u);
+  EXPECT_EQ(expr->steps[1].axis, Axis::kDescendantOrSelf);
+  EXPECT_EQ(expr->steps[1].test, NodeTestKind::kAnyNode);
+  EXPECT_EQ(expr->steps[2].name, "fname");
+}
+
+TEST(XPathParserTest, LeadingDoubleSlash) {
+  auto expr = MustCompile("//paper");
+  EXPECT_TRUE(expr->absolute);
+  ASSERT_EQ(expr->steps.size(), 2u);
+  EXPECT_EQ(expr->steps[0].axis, Axis::kDescendantOrSelf);
+}
+
+TEST(XPathParserTest, AttributeStep) {
+  auto expr = MustCompile("project/@name");
+  ASSERT_EQ(expr->steps.size(), 2u);
+  EXPECT_EQ(expr->steps[1].axis, Axis::kAttribute);
+  EXPECT_EQ(expr->steps[1].name, "name");
+}
+
+TEST(XPathParserTest, DotAndDotDot) {
+  auto expr = MustCompile("./../x");
+  ASSERT_EQ(expr->steps.size(), 3u);
+  EXPECT_EQ(expr->steps[0].axis, Axis::kSelf);
+  EXPECT_EQ(expr->steps[1].axis, Axis::kParent);
+}
+
+TEST(XPathParserTest, ExplicitAxes) {
+  auto expr = MustCompile("fund/ancestor::project");
+  ASSERT_EQ(expr->steps.size(), 2u);
+  EXPECT_EQ(expr->steps[1].axis, Axis::kAncestor);
+  EXPECT_EQ(expr->steps[1].name, "project");
+  for (const char* axis :
+       {"child", "descendant", "descendant-or-self", "parent", "ancestor",
+        "ancestor-or-self", "self", "attribute", "following-sibling",
+        "preceding-sibling", "following", "preceding"}) {
+    auto e = MustCompile(std::string(axis) + "::node()");
+    EXPECT_EQ(e->steps.size(), 1u) << axis;
+  }
+  EXPECT_FALSE(CompileXPath("sideways::x").ok());
+}
+
+TEST(XPathParserTest, NodeTypeTests) {
+  EXPECT_EQ(MustCompile("text()")->steps[0].test, NodeTestKind::kText);
+  EXPECT_EQ(MustCompile("node()")->steps[0].test, NodeTestKind::kAnyNode);
+  EXPECT_EQ(MustCompile("comment()")->steps[0].test, NodeTestKind::kComment);
+  auto pi = MustCompile("processing-instruction('tgt')");
+  EXPECT_EQ(pi->steps[0].test, NodeTestKind::kPi);
+  EXPECT_EQ(pi->steps[0].name, "tgt");
+  EXPECT_EQ(MustCompile("*")->steps[0].test, NodeTestKind::kWildcard);
+  EXPECT_EQ(MustCompile("@*")->steps[0].test, NodeTestKind::kWildcard);
+}
+
+TEST(XPathParserTest, Predicates) {
+  auto expr = MustCompile("project[./@type=\"internal\"]/paper[2]");
+  ASSERT_EQ(expr->steps.size(), 2u);
+  ASSERT_EQ(expr->steps[0].predicates.size(), 1u);
+  EXPECT_EQ(expr->steps[0].predicates[0]->kind, Expr::Kind::kBinary);
+  ASSERT_EQ(expr->steps[1].predicates.size(), 1u);
+  EXPECT_EQ(expr->steps[1].predicates[0]->kind, Expr::Kind::kNumber);
+}
+
+TEST(XPathParserTest, MultiplePredicatesOnOneStep) {
+  auto expr = MustCompile("a[@x][@y][3]");
+  EXPECT_EQ(expr->steps[0].predicates.size(), 3u);
+}
+
+TEST(XPathParserTest, PaperExample1Expressions) {
+  // All four path expressions from the paper's Example 1 must compile.
+  MustCompile("/laboratory//paper[./@category=\"private\"]");
+  MustCompile("/laboratory//paper[./@category=\"public\"]");
+  MustCompile("project[./@type=\"internal\"]");
+  MustCompile("project[./@type=\"public\"]/manager");
+}
+
+TEST(XPathParserTest, OperatorPrecedence) {
+  auto expr = MustCompile("1 + 2 * 3 = 7 and true()");
+  // Top: and
+  ASSERT_EQ(expr->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(expr->op, BinaryOp::kAnd);
+  // Left of and: (1 + (2*3)) = 7
+  const Expr* eq = expr->lhs.get();
+  ASSERT_EQ(eq->op, BinaryOp::kEq);
+  const Expr* add = eq->lhs.get();
+  ASSERT_EQ(add->op, BinaryOp::kAdd);
+  EXPECT_EQ(add->rhs->op, BinaryOp::kMul);
+}
+
+TEST(XPathParserTest, UnionExpression) {
+  auto expr = MustCompile("a | b | c");
+  ASSERT_EQ(expr->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(expr->op, BinaryOp::kUnion);
+  EXPECT_EQ(expr->lhs->op, BinaryOp::kUnion);
+}
+
+TEST(XPathParserTest, FunctionCalls) {
+  auto expr = MustCompile("concat(\"a\", \"b\", \"c\")");
+  ASSERT_EQ(expr->kind, Expr::Kind::kFunctionCall);
+  EXPECT_EQ(expr->function_name, "concat");
+  EXPECT_EQ(expr->args.size(), 3u);
+}
+
+TEST(XPathParserTest, FilterExpressionWithTrailingPath) {
+  auto expr = MustCompile("id(\"x\")/child::item");
+  ASSERT_NE(expr->base, nullptr);
+  EXPECT_EQ(expr->base->function_name, "id");
+  ASSERT_EQ(expr->steps.size(), 1u);
+  EXPECT_EQ(expr->steps[0].name, "item");
+}
+
+TEST(XPathParserTest, UnaryMinus) {
+  auto expr = MustCompile("-3");
+  ASSERT_EQ(expr->kind, Expr::Kind::kNegate);
+  EXPECT_EQ(expr->operand->kind, Expr::Kind::kNumber);
+}
+
+TEST(XPathParserTest, Errors) {
+  EXPECT_FALSE(CompileXPath("").ok());
+  EXPECT_FALSE(CompileXPath("/a[").ok());
+  EXPECT_FALSE(CompileXPath("/a]").ok());
+  EXPECT_FALSE(CompileXPath("f(1,)").ok());
+  EXPECT_FALSE(CompileXPath("a/").ok());
+  EXPECT_FALSE(CompileXPath("1 +").ok());
+  EXPECT_FALSE(CompileXPath("()").ok());
+}
+
+TEST(XPathParserTest, ToStringIsReparseable) {
+  for (const char* text :
+       {"/laboratory//paper[./@category=\"private\"]",
+        "project[./@type=\"internal\"]/manager", "count(//a) > 3",
+        "a | b/c[2]", "-x + 1"}) {
+    auto expr = MustCompile(text);
+    auto again = CompileXPath(expr->ToString());
+    ASSERT_TRUE(again.ok()) << expr->ToString() << ": " << again.status();
+    EXPECT_EQ((*again)->ToString(), expr->ToString());
+  }
+}
+
+}  // namespace
+}  // namespace xpath
+}  // namespace xmlsec

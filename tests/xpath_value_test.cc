@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xml/parser.h"
+#include "xpath/value.h"
+
+namespace xmlsec {
+namespace xpath {
+namespace {
+
+TEST(ValueTest, DefaultIsEmptyNodeSet) {
+  Value v;
+  EXPECT_TRUE(v.is_node_set());
+  EXPECT_TRUE(v.nodes().empty());
+  EXPECT_FALSE(v.ToBool());
+  EXPECT_EQ(v.ToString(), "");
+  EXPECT_TRUE(std::isnan(v.ToNumber()));
+}
+
+TEST(ValueTest, BooleanCoercions) {
+  EXPECT_TRUE(Value(true).ToBool());
+  EXPECT_FALSE(Value(false).ToBool());
+  EXPECT_DOUBLE_EQ(Value(true).ToNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(Value(false).ToNumber(), 0.0);
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(false).ToString(), "false");
+}
+
+TEST(ValueTest, NumberCoercions) {
+  EXPECT_TRUE(Value(1.0).ToBool());
+  EXPECT_FALSE(Value(0.0).ToBool());
+  EXPECT_FALSE(Value(std::nan("")).ToBool());
+  EXPECT_TRUE(Value(-0.5).ToBool());
+  EXPECT_EQ(Value(42.0).ToString(), "42");
+  EXPECT_EQ(Value(-1.25).ToString(), "-1.25");
+}
+
+TEST(ValueTest, StringCoercions) {
+  EXPECT_TRUE(Value(std::string("x")).ToBool());
+  EXPECT_FALSE(Value(std::string("")).ToBool());
+  EXPECT_DOUBLE_EQ(Value(std::string("  12.5 ")).ToNumber(), 12.5);
+  EXPECT_TRUE(std::isnan(Value(std::string("12x")).ToNumber()));
+}
+
+TEST(ValueTest, StringToNumberGrammar) {
+  EXPECT_DOUBLE_EQ(StringToNumber("5"), 5);
+  EXPECT_DOUBLE_EQ(StringToNumber("-5."), -5);
+  EXPECT_DOUBLE_EQ(StringToNumber(".5"), 0.5);
+  EXPECT_DOUBLE_EQ(StringToNumber("-0.25"), -0.25);
+  EXPECT_TRUE(std::isnan(StringToNumber("")));
+  EXPECT_TRUE(std::isnan(StringToNumber("1e3")));   // no exponents in XPath
+  EXPECT_TRUE(std::isnan(StringToNumber("+5")));    // no leading plus
+  EXPECT_TRUE(std::isnan(StringToNumber("1.2.3")));
+  EXPECT_TRUE(std::isnan(StringToNumber("-")));
+}
+
+TEST(ValueTest, NumberToStringRules) {
+  EXPECT_EQ(NumberToString(0), "0");
+  EXPECT_EQ(NumberToString(-0.0), "0");
+  EXPECT_EQ(NumberToString(7), "7");
+  EXPECT_EQ(NumberToString(-7), "-7");
+  EXPECT_EQ(NumberToString(2.5), "2.5");
+  EXPECT_EQ(NumberToString(std::nan("")), "NaN");
+  EXPECT_EQ(NumberToString(HUGE_VAL), "Infinity");
+  EXPECT_EQ(NumberToString(-HUGE_VAL), "-Infinity");
+}
+
+TEST(ValueTest, StringValueOfNodeKinds) {
+  auto doc = xml::ParseDocument(
+      "<a k=\"attr\">one<b>two</b><!--c--><?p d?></a>");
+  ASSERT_TRUE(doc.ok());
+  const xml::Element* a = (*doc)->root();
+  EXPECT_EQ(StringValueOf(*a), "onetwo");
+  EXPECT_EQ(StringValueOf(**doc), "onetwo");  // document node
+  EXPECT_EQ(StringValueOf(*a->FindAttribute("k")), "attr");
+  EXPECT_EQ(StringValueOf(*a->child(0)), "one");              // text
+  EXPECT_EQ(StringValueOf(*a->child(2)), "c");                // comment
+  EXPECT_EQ(StringValueOf(*a->child(3)), "d");                // PI
+}
+
+TEST(ValueTest, SortDocumentOrderDedupes) {
+  auto doc = xml::ParseDocument("<a><b/><c/><d/></a>");
+  ASSERT_TRUE(doc.ok());
+  const xml::Element* a = (*doc)->root();
+  NodeSet set = {a->child(2), a->child(0), a->child(2), a,
+                 a->child(1), a->child(0)};
+  SortDocumentOrder(&set);
+  ASSERT_EQ(set.size(), 4u);
+  EXPECT_EQ(set[0], a);
+  EXPECT_EQ(set[1], a->child(0));
+  EXPECT_EQ(set[2], a->child(1));
+  EXPECT_EQ(set[3], a->child(2));
+}
+
+TEST(ValueTest, NodeSetToStringUsesFirstNode) {
+  auto doc = xml::ParseDocument("<a><b>first</b><b>second</b></a>");
+  ASSERT_TRUE(doc.ok());
+  const xml::Element* a = (*doc)->root();
+  NodeSet set = {a->child(0), a->child(1)};
+  Value v(std::move(set));
+  EXPECT_EQ(v.ToString(), "first");
+  EXPECT_TRUE(v.ToBool());
+}
+
+}  // namespace
+}  // namespace xpath
+}  // namespace xmlsec
