@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_labeling.dir/bench_labeling.cc.o"
+  "CMakeFiles/bench_labeling.dir/bench_labeling.cc.o.d"
+  "bench_labeling"
+  "bench_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

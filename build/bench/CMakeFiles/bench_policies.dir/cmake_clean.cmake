@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_policies.dir/bench_policies.cc.o"
+  "CMakeFiles/bench_policies.dir/bench_policies.cc.o.d"
+  "bench_policies"
+  "bench_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_server.dir/bench_server.cc.o"
+  "CMakeFiles/bench_server.dir/bench_server.cc.o.d"
+  "bench_server"
+  "bench_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

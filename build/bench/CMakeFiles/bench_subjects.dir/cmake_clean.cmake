@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subjects.dir/bench_subjects.cc.o"
+  "CMakeFiles/bench_subjects.dir/bench_subjects.cc.o.d"
+  "bench_subjects"
+  "bench_subjects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subjects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xml.dir/bench_xml.cc.o"
+  "CMakeFiles/bench_xml.dir/bench_xml.cc.o.d"
+  "bench_xml"
+  "bench_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xpath.dir/bench_xpath.cc.o"
+  "CMakeFiles/bench_xpath.dir/bench_xpath.cc.o.d"
+  "bench_xpath"
+  "bench_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_records.dir/hospital_records.cpp.o"
+  "CMakeFiles/hospital_records.dir/hospital_records.cpp.o.d"
+  "hospital_records"
+  "hospital_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

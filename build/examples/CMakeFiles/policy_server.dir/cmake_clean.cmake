@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_server.dir/policy_server.cpp.o"
+  "CMakeFiles/policy_server.dir/policy_server.cpp.o.d"
+  "policy_server"
+  "policy_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_editor.dir/secure_editor.cpp.o"
+  "CMakeFiles/secure_editor.dir/secure_editor.cpp.o.d"
+  "secure_editor"
+  "secure_editor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_editor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xacl_tool.dir/xacl_tool.cpp.o"
+  "CMakeFiles/xacl_tool.dir/xacl_tool.cpp.o.d"
+  "xacl_tool"
+  "xacl_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xacl_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/authz/authorization.cc" "src/authz/CMakeFiles/xmlsec_authz.dir/authorization.cc.o" "gcc" "src/authz/CMakeFiles/xmlsec_authz.dir/authorization.cc.o.d"
+  "/root/repo/src/authz/explain.cc" "src/authz/CMakeFiles/xmlsec_authz.dir/explain.cc.o" "gcc" "src/authz/CMakeFiles/xmlsec_authz.dir/explain.cc.o.d"
+  "/root/repo/src/authz/labeling.cc" "src/authz/CMakeFiles/xmlsec_authz.dir/labeling.cc.o" "gcc" "src/authz/CMakeFiles/xmlsec_authz.dir/labeling.cc.o.d"
+  "/root/repo/src/authz/lint.cc" "src/authz/CMakeFiles/xmlsec_authz.dir/lint.cc.o" "gcc" "src/authz/CMakeFiles/xmlsec_authz.dir/lint.cc.o.d"
+  "/root/repo/src/authz/loosening.cc" "src/authz/CMakeFiles/xmlsec_authz.dir/loosening.cc.o" "gcc" "src/authz/CMakeFiles/xmlsec_authz.dir/loosening.cc.o.d"
+  "/root/repo/src/authz/policy.cc" "src/authz/CMakeFiles/xmlsec_authz.dir/policy.cc.o" "gcc" "src/authz/CMakeFiles/xmlsec_authz.dir/policy.cc.o.d"
+  "/root/repo/src/authz/processor.cc" "src/authz/CMakeFiles/xmlsec_authz.dir/processor.cc.o" "gcc" "src/authz/CMakeFiles/xmlsec_authz.dir/processor.cc.o.d"
+  "/root/repo/src/authz/prune.cc" "src/authz/CMakeFiles/xmlsec_authz.dir/prune.cc.o" "gcc" "src/authz/CMakeFiles/xmlsec_authz.dir/prune.cc.o.d"
+  "/root/repo/src/authz/subject.cc" "src/authz/CMakeFiles/xmlsec_authz.dir/subject.cc.o" "gcc" "src/authz/CMakeFiles/xmlsec_authz.dir/subject.cc.o.d"
+  "/root/repo/src/authz/update.cc" "src/authz/CMakeFiles/xmlsec_authz.dir/update.cc.o" "gcc" "src/authz/CMakeFiles/xmlsec_authz.dir/update.cc.o.d"
+  "/root/repo/src/authz/xacl.cc" "src/authz/CMakeFiles/xmlsec_authz.dir/xacl.cc.o" "gcc" "src/authz/CMakeFiles/xmlsec_authz.dir/xacl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xpath/CMakeFiles/xmlsec_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmlsec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xmlsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

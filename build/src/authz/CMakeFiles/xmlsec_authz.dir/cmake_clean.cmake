@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlsec_authz.dir/authorization.cc.o"
+  "CMakeFiles/xmlsec_authz.dir/authorization.cc.o.d"
+  "CMakeFiles/xmlsec_authz.dir/explain.cc.o"
+  "CMakeFiles/xmlsec_authz.dir/explain.cc.o.d"
+  "CMakeFiles/xmlsec_authz.dir/labeling.cc.o"
+  "CMakeFiles/xmlsec_authz.dir/labeling.cc.o.d"
+  "CMakeFiles/xmlsec_authz.dir/lint.cc.o"
+  "CMakeFiles/xmlsec_authz.dir/lint.cc.o.d"
+  "CMakeFiles/xmlsec_authz.dir/loosening.cc.o"
+  "CMakeFiles/xmlsec_authz.dir/loosening.cc.o.d"
+  "CMakeFiles/xmlsec_authz.dir/policy.cc.o"
+  "CMakeFiles/xmlsec_authz.dir/policy.cc.o.d"
+  "CMakeFiles/xmlsec_authz.dir/processor.cc.o"
+  "CMakeFiles/xmlsec_authz.dir/processor.cc.o.d"
+  "CMakeFiles/xmlsec_authz.dir/prune.cc.o"
+  "CMakeFiles/xmlsec_authz.dir/prune.cc.o.d"
+  "CMakeFiles/xmlsec_authz.dir/subject.cc.o"
+  "CMakeFiles/xmlsec_authz.dir/subject.cc.o.d"
+  "CMakeFiles/xmlsec_authz.dir/update.cc.o"
+  "CMakeFiles/xmlsec_authz.dir/update.cc.o.d"
+  "CMakeFiles/xmlsec_authz.dir/xacl.cc.o"
+  "CMakeFiles/xmlsec_authz.dir/xacl.cc.o.d"
+  "libxmlsec_authz.a"
+  "libxmlsec_authz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlsec_authz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

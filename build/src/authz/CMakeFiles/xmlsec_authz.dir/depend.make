@@ -1,0 +1,2 @@
+# Empty dependencies file for xmlsec_authz.
+# This may be replaced when dependencies are built.

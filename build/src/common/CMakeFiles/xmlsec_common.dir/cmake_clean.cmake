@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlsec_common.dir/status.cc.o"
+  "CMakeFiles/xmlsec_common.dir/status.cc.o.d"
+  "CMakeFiles/xmlsec_common.dir/str_util.cc.o"
+  "CMakeFiles/xmlsec_common.dir/str_util.cc.o.d"
+  "libxmlsec_common.a"
+  "libxmlsec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlsec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/audit_log.cc" "src/server/CMakeFiles/xmlsec_server.dir/audit_log.cc.o" "gcc" "src/server/CMakeFiles/xmlsec_server.dir/audit_log.cc.o.d"
+  "/root/repo/src/server/config_files.cc" "src/server/CMakeFiles/xmlsec_server.dir/config_files.cc.o" "gcc" "src/server/CMakeFiles/xmlsec_server.dir/config_files.cc.o.d"
+  "/root/repo/src/server/document_server.cc" "src/server/CMakeFiles/xmlsec_server.dir/document_server.cc.o" "gcc" "src/server/CMakeFiles/xmlsec_server.dir/document_server.cc.o.d"
+  "/root/repo/src/server/http.cc" "src/server/CMakeFiles/xmlsec_server.dir/http.cc.o" "gcc" "src/server/CMakeFiles/xmlsec_server.dir/http.cc.o.d"
+  "/root/repo/src/server/repository.cc" "src/server/CMakeFiles/xmlsec_server.dir/repository.cc.o" "gcc" "src/server/CMakeFiles/xmlsec_server.dir/repository.cc.o.d"
+  "/root/repo/src/server/sha256.cc" "src/server/CMakeFiles/xmlsec_server.dir/sha256.cc.o" "gcc" "src/server/CMakeFiles/xmlsec_server.dir/sha256.cc.o.d"
+  "/root/repo/src/server/tcp_listener.cc" "src/server/CMakeFiles/xmlsec_server.dir/tcp_listener.cc.o" "gcc" "src/server/CMakeFiles/xmlsec_server.dir/tcp_listener.cc.o.d"
+  "/root/repo/src/server/user_directory.cc" "src/server/CMakeFiles/xmlsec_server.dir/user_directory.cc.o" "gcc" "src/server/CMakeFiles/xmlsec_server.dir/user_directory.cc.o.d"
+  "/root/repo/src/server/view_cache.cc" "src/server/CMakeFiles/xmlsec_server.dir/view_cache.cc.o" "gcc" "src/server/CMakeFiles/xmlsec_server.dir/view_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/authz/CMakeFiles/xmlsec_authz.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/xmlsec_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmlsec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xmlsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

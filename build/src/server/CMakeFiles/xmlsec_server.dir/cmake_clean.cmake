@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlsec_server.dir/audit_log.cc.o"
+  "CMakeFiles/xmlsec_server.dir/audit_log.cc.o.d"
+  "CMakeFiles/xmlsec_server.dir/config_files.cc.o"
+  "CMakeFiles/xmlsec_server.dir/config_files.cc.o.d"
+  "CMakeFiles/xmlsec_server.dir/document_server.cc.o"
+  "CMakeFiles/xmlsec_server.dir/document_server.cc.o.d"
+  "CMakeFiles/xmlsec_server.dir/http.cc.o"
+  "CMakeFiles/xmlsec_server.dir/http.cc.o.d"
+  "CMakeFiles/xmlsec_server.dir/repository.cc.o"
+  "CMakeFiles/xmlsec_server.dir/repository.cc.o.d"
+  "CMakeFiles/xmlsec_server.dir/sha256.cc.o"
+  "CMakeFiles/xmlsec_server.dir/sha256.cc.o.d"
+  "CMakeFiles/xmlsec_server.dir/tcp_listener.cc.o"
+  "CMakeFiles/xmlsec_server.dir/tcp_listener.cc.o.d"
+  "CMakeFiles/xmlsec_server.dir/user_directory.cc.o"
+  "CMakeFiles/xmlsec_server.dir/user_directory.cc.o.d"
+  "CMakeFiles/xmlsec_server.dir/view_cache.cc.o"
+  "CMakeFiles/xmlsec_server.dir/view_cache.cc.o.d"
+  "libxmlsec_server.a"
+  "libxmlsec_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlsec_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlsec_workload.dir/authgen.cc.o"
+  "CMakeFiles/xmlsec_workload.dir/authgen.cc.o.d"
+  "CMakeFiles/xmlsec_workload.dir/docgen.cc.o"
+  "CMakeFiles/xmlsec_workload.dir/docgen.cc.o.d"
+  "libxmlsec_workload.a"
+  "libxmlsec_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlsec_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/canonical.cc" "src/xml/CMakeFiles/xmlsec_xml.dir/canonical.cc.o" "gcc" "src/xml/CMakeFiles/xmlsec_xml.dir/canonical.cc.o.d"
+  "/root/repo/src/xml/content_model.cc" "src/xml/CMakeFiles/xmlsec_xml.dir/content_model.cc.o" "gcc" "src/xml/CMakeFiles/xmlsec_xml.dir/content_model.cc.o.d"
+  "/root/repo/src/xml/dom.cc" "src/xml/CMakeFiles/xmlsec_xml.dir/dom.cc.o" "gcc" "src/xml/CMakeFiles/xmlsec_xml.dir/dom.cc.o.d"
+  "/root/repo/src/xml/dtd.cc" "src/xml/CMakeFiles/xmlsec_xml.dir/dtd.cc.o" "gcc" "src/xml/CMakeFiles/xmlsec_xml.dir/dtd.cc.o.d"
+  "/root/repo/src/xml/dtd_parser.cc" "src/xml/CMakeFiles/xmlsec_xml.dir/dtd_parser.cc.o" "gcc" "src/xml/CMakeFiles/xmlsec_xml.dir/dtd_parser.cc.o.d"
+  "/root/repo/src/xml/dtd_tree.cc" "src/xml/CMakeFiles/xmlsec_xml.dir/dtd_tree.cc.o" "gcc" "src/xml/CMakeFiles/xmlsec_xml.dir/dtd_tree.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/xml/CMakeFiles/xmlsec_xml.dir/parser.cc.o" "gcc" "src/xml/CMakeFiles/xmlsec_xml.dir/parser.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/xml/CMakeFiles/xmlsec_xml.dir/serializer.cc.o" "gcc" "src/xml/CMakeFiles/xmlsec_xml.dir/serializer.cc.o.d"
+  "/root/repo/src/xml/validator.cc" "src/xml/CMakeFiles/xmlsec_xml.dir/validator.cc.o" "gcc" "src/xml/CMakeFiles/xmlsec_xml.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xmlsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlsec_xml.dir/canonical.cc.o"
+  "CMakeFiles/xmlsec_xml.dir/canonical.cc.o.d"
+  "CMakeFiles/xmlsec_xml.dir/content_model.cc.o"
+  "CMakeFiles/xmlsec_xml.dir/content_model.cc.o.d"
+  "CMakeFiles/xmlsec_xml.dir/dom.cc.o"
+  "CMakeFiles/xmlsec_xml.dir/dom.cc.o.d"
+  "CMakeFiles/xmlsec_xml.dir/dtd.cc.o"
+  "CMakeFiles/xmlsec_xml.dir/dtd.cc.o.d"
+  "CMakeFiles/xmlsec_xml.dir/dtd_parser.cc.o"
+  "CMakeFiles/xmlsec_xml.dir/dtd_parser.cc.o.d"
+  "CMakeFiles/xmlsec_xml.dir/dtd_tree.cc.o"
+  "CMakeFiles/xmlsec_xml.dir/dtd_tree.cc.o.d"
+  "CMakeFiles/xmlsec_xml.dir/parser.cc.o"
+  "CMakeFiles/xmlsec_xml.dir/parser.cc.o.d"
+  "CMakeFiles/xmlsec_xml.dir/serializer.cc.o"
+  "CMakeFiles/xmlsec_xml.dir/serializer.cc.o.d"
+  "CMakeFiles/xmlsec_xml.dir/validator.cc.o"
+  "CMakeFiles/xmlsec_xml.dir/validator.cc.o.d"
+  "libxmlsec_xml.a"
+  "libxmlsec_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlsec_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

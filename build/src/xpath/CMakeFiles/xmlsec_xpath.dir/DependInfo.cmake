@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xpath/ast.cc" "src/xpath/CMakeFiles/xmlsec_xpath.dir/ast.cc.o" "gcc" "src/xpath/CMakeFiles/xmlsec_xpath.dir/ast.cc.o.d"
+  "/root/repo/src/xpath/evaluator.cc" "src/xpath/CMakeFiles/xmlsec_xpath.dir/evaluator.cc.o" "gcc" "src/xpath/CMakeFiles/xmlsec_xpath.dir/evaluator.cc.o.d"
+  "/root/repo/src/xpath/lexer.cc" "src/xpath/CMakeFiles/xmlsec_xpath.dir/lexer.cc.o" "gcc" "src/xpath/CMakeFiles/xmlsec_xpath.dir/lexer.cc.o.d"
+  "/root/repo/src/xpath/parser.cc" "src/xpath/CMakeFiles/xmlsec_xpath.dir/parser.cc.o" "gcc" "src/xpath/CMakeFiles/xmlsec_xpath.dir/parser.cc.o.d"
+  "/root/repo/src/xpath/value.cc" "src/xpath/CMakeFiles/xmlsec_xpath.dir/value.cc.o" "gcc" "src/xpath/CMakeFiles/xmlsec_xpath.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/xmlsec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xmlsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlsec_xpath.dir/ast.cc.o"
+  "CMakeFiles/xmlsec_xpath.dir/ast.cc.o.d"
+  "CMakeFiles/xmlsec_xpath.dir/evaluator.cc.o"
+  "CMakeFiles/xmlsec_xpath.dir/evaluator.cc.o.d"
+  "CMakeFiles/xmlsec_xpath.dir/lexer.cc.o"
+  "CMakeFiles/xmlsec_xpath.dir/lexer.cc.o.d"
+  "CMakeFiles/xmlsec_xpath.dir/parser.cc.o"
+  "CMakeFiles/xmlsec_xpath.dir/parser.cc.o.d"
+  "CMakeFiles/xmlsec_xpath.dir/value.cc.o"
+  "CMakeFiles/xmlsec_xpath.dir/value.cc.o.d"
+  "libxmlsec_xpath.a"
+  "libxmlsec_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlsec_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

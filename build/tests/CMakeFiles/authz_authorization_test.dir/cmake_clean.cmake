@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_authorization_test.dir/authz_authorization_test.cc.o"
+  "CMakeFiles/authz_authorization_test.dir/authz_authorization_test.cc.o.d"
+  "authz_authorization_test"
+  "authz_authorization_test.pdb"
+  "authz_authorization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_authorization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

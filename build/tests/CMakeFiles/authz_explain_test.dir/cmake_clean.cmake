@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_explain_test.dir/authz_explain_test.cc.o"
+  "CMakeFiles/authz_explain_test.dir/authz_explain_test.cc.o.d"
+  "authz_explain_test"
+  "authz_explain_test.pdb"
+  "authz_explain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_labeling_test.dir/authz_labeling_test.cc.o"
+  "CMakeFiles/authz_labeling_test.dir/authz_labeling_test.cc.o.d"
+  "authz_labeling_test"
+  "authz_labeling_test.pdb"
+  "authz_labeling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_labeling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_loosening_test.dir/authz_loosening_test.cc.o"
+  "CMakeFiles/authz_loosening_test.dir/authz_loosening_test.cc.o.d"
+  "authz_loosening_test"
+  "authz_loosening_test.pdb"
+  "authz_loosening_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_loosening_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_processor_test.dir/authz_processor_test.cc.o"
+  "CMakeFiles/authz_processor_test.dir/authz_processor_test.cc.o.d"
+  "authz_processor_test"
+  "authz_processor_test.pdb"
+  "authz_processor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_processor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

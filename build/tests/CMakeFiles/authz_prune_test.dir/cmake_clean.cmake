@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_prune_test.dir/authz_prune_test.cc.o"
+  "CMakeFiles/authz_prune_test.dir/authz_prune_test.cc.o.d"
+  "authz_prune_test"
+  "authz_prune_test.pdb"
+  "authz_prune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_prune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

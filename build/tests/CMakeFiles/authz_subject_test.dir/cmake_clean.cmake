@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_subject_test.dir/authz_subject_test.cc.o"
+  "CMakeFiles/authz_subject_test.dir/authz_subject_test.cc.o.d"
+  "authz_subject_test"
+  "authz_subject_test.pdb"
+  "authz_subject_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_subject_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_update_test.dir/authz_update_test.cc.o"
+  "CMakeFiles/authz_update_test.dir/authz_update_test.cc.o.d"
+  "authz_update_test"
+  "authz_update_test.pdb"
+  "authz_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

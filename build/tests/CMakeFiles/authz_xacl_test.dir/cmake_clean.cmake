@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_xacl_test.dir/authz_xacl_test.cc.o"
+  "CMakeFiles/authz_xacl_test.dir/authz_xacl_test.cc.o.d"
+  "authz_xacl_test"
+  "authz_xacl_test.pdb"
+  "authz_xacl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_xacl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

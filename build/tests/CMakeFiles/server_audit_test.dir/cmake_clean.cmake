@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_audit_test.dir/server_audit_test.cc.o"
+  "CMakeFiles/server_audit_test.dir/server_audit_test.cc.o.d"
+  "server_audit_test"
+  "server_audit_test.pdb"
+  "server_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

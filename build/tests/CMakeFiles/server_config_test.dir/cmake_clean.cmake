@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_config_test.dir/server_config_test.cc.o"
+  "CMakeFiles/server_config_test.dir/server_config_test.cc.o.d"
+  "server_config_test"
+  "server_config_test.pdb"
+  "server_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_tcp_test.dir/server_tcp_test.cc.o"
+  "CMakeFiles/server_tcp_test.dir/server_tcp_test.cc.o.d"
+  "server_tcp_test"
+  "server_tcp_test.pdb"
+  "server_tcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

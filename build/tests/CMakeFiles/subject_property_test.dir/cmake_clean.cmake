@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subject_property_test.dir/subject_property_test.cc.o"
+  "CMakeFiles/subject_property_test.dir/subject_property_test.cc.o.d"
+  "subject_property_test"
+  "subject_property_test.pdb"
+  "subject_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subject_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_dom_test.dir/xml_dom_test.cc.o"
+  "CMakeFiles/xml_dom_test.dir/xml_dom_test.cc.o.d"
+  "xml_dom_test"
+  "xml_dom_test.pdb"
+  "xml_dom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_dom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

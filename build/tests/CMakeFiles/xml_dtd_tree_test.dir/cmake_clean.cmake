@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_dtd_tree_test.dir/xml_dtd_tree_test.cc.o"
+  "CMakeFiles/xml_dtd_tree_test.dir/xml_dtd_tree_test.cc.o.d"
+  "xml_dtd_tree_test"
+  "xml_dtd_tree_test.pdb"
+  "xml_dtd_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_dtd_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

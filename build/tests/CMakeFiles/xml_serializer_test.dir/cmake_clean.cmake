@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_serializer_test.dir/xml_serializer_test.cc.o"
+  "CMakeFiles/xml_serializer_test.dir/xml_serializer_test.cc.o.d"
+  "xml_serializer_test"
+  "xml_serializer_test.pdb"
+  "xml_serializer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_serializer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

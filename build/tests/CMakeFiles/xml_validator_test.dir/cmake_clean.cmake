@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_validator_test.dir/xml_validator_test.cc.o"
+  "CMakeFiles/xml_validator_test.dir/xml_validator_test.cc.o.d"
+  "xml_validator_test"
+  "xml_validator_test.pdb"
+  "xml_validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

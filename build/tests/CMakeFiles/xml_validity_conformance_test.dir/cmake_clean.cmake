@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_validity_conformance_test.dir/xml_validity_conformance_test.cc.o"
+  "CMakeFiles/xml_validity_conformance_test.dir/xml_validity_conformance_test.cc.o.d"
+  "xml_validity_conformance_test"
+  "xml_validity_conformance_test.pdb"
+  "xml_validity_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_validity_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

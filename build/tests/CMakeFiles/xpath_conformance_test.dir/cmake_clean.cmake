@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_conformance_test.dir/xpath_conformance_test.cc.o"
+  "CMakeFiles/xpath_conformance_test.dir/xpath_conformance_test.cc.o.d"
+  "xpath_conformance_test"
+  "xpath_conformance_test.pdb"
+  "xpath_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_lexer_test.dir/xpath_lexer_test.cc.o"
+  "CMakeFiles/xpath_lexer_test.dir/xpath_lexer_test.cc.o.d"
+  "xpath_lexer_test"
+  "xpath_lexer_test.pdb"
+  "xpath_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

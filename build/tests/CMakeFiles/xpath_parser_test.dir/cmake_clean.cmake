@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_parser_test.dir/xpath_parser_test.cc.o"
+  "CMakeFiles/xpath_parser_test.dir/xpath_parser_test.cc.o.d"
+  "xpath_parser_test"
+  "xpath_parser_test.pdb"
+  "xpath_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_value_test.dir/xpath_value_test.cc.o"
+  "CMakeFiles/xpath_value_test.dir/xpath_value_test.cc.o.d"
+  "xpath_value_test"
+  "xpath_value_test.pdb"
+  "xpath_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
