@@ -1,0 +1,109 @@
+// Static policy analyzer cost vs policy size.  The analyzer runs
+// offline (policy-authoring time), so the interesting question is how
+// the shadowing pass (quadratic candidate pairs, each a product-automaton
+// walk) and the coverage table (points x subjects x CoversAllInstances)
+// scale with the number of authorizations — all without touching any
+// document instance.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/schema_paths.h"
+#include "workload/authgen.h"
+#include "workload/docgen.h"
+#include "xml/dtd_parser.h"
+
+namespace xmlsec {
+namespace {
+
+using analysis::AnalyzerOptions;
+using analysis::CoverMode;
+using analysis::PathAnalyzer;
+using analysis::PathQuery;
+using analysis::SchemaGraph;
+using workload::AuthGenConfig;
+using workload::GeneratedWorkload;
+
+struct Setup {
+  std::unique_ptr<xml::Document> doc;
+  GeneratedWorkload workload;
+};
+
+Setup MakeSetup(int auth_count) {
+  Setup setup;
+  workload::DocGenConfig doc_config;
+  doc_config.depth = 4;
+  doc_config.fanout = 4;
+  doc_config.seed = 19;
+  setup.doc = workload::GenerateDocument(doc_config);
+  AuthGenConfig auth_config;
+  auth_config.count = auth_count;
+  auth_config.seed = 83;
+  setup.workload = workload::GenerateAuthorizations(*setup.doc, "d.xml",
+                                                    "s.dtd", auth_config);
+  return setup;
+}
+
+/// Full analysis (findings + coverage) over N generated authorizations.
+void BM_AnalyzePolicy(benchmark::State& state) {
+  Setup setup = MakeSetup(static_cast<int>(state.range(0)));
+  const xml::Dtd* dtd = setup.doc->dtd();
+  size_t findings = 0;
+  for (auto _ : state) {
+    analysis::PolicyAnalysis analysis = analysis::AnalyzePolicy(
+        setup.workload.instance_auths, setup.workload.schema_auths,
+        setup.workload.groups, *dtd, AnalyzerOptions{});
+    findings = analysis.findings.size();
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.counters["findings"] = static_cast<double>(findings);
+  state.counters["auths"] = static_cast<double>(
+      setup.workload.instance_auths.size() +
+      setup.workload.schema_auths.size());
+}
+BENCHMARK(BM_AnalyzePolicy)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+/// Findings only: how much of the full run the coverage table costs.
+void BM_AnalyzePolicyNoCoverage(benchmark::State& state) {
+  Setup setup = MakeSetup(static_cast<int>(state.range(0)));
+  const xml::Dtd* dtd = setup.doc->dtd();
+  AnalyzerOptions options;
+  options.coverage = false;
+  for (auto _ : state) {
+    analysis::PolicyAnalysis analysis = analysis::AnalyzePolicy(
+        setup.workload.instance_auths, setup.workload.schema_auths,
+        setup.workload.groups, *dtd, options);
+    benchmark::DoNotOptimize(analysis);
+  }
+}
+BENCHMARK(BM_AnalyzePolicyNoCoverage)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+/// Micro: one abstract path evaluation over the paper's laboratory DTD.
+void BM_PathAnalyze(benchmark::State& state) {
+  auto dtd = xml::ParseDtd(workload::LaboratoryDtd());
+  SchemaGraph graph = SchemaGraph::Build(**dtd);
+  PathAnalyzer analyzer(&graph);
+  const std::string path = "/laboratory//paper[./@category=\"public\"]";
+  for (auto _ : state) {
+    analysis::AbstractSelection sel = analyzer.Analyze(path);
+    benchmark::DoNotOptimize(sel);
+  }
+}
+BENCHMARK(BM_PathAnalyze);
+
+/// Micro: one containment proof (product-automaton walk).
+void BM_PathCovers(benchmark::State& state) {
+  auto dtd = xml::ParseDtd(workload::LaboratoryDtd());
+  SchemaGraph graph = SchemaGraph::Build(**dtd);
+  PathAnalyzer analyzer(&graph);
+  PathQuery outer{"//paper", false};
+  PathQuery inner{"/laboratory/project/paper", false};
+  for (auto _ : state) {
+    bool covered = analyzer.Covers(outer, inner, CoverMode::kInfluence);
+    benchmark::DoNotOptimize(covered);
+  }
+}
+BENCHMARK(BM_PathCovers);
+
+}  // namespace
+}  // namespace xmlsec

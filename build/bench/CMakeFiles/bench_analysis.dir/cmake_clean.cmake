@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis.dir/bench_analysis.cc.o"
+  "CMakeFiles/bench_analysis.dir/bench_analysis.cc.o.d"
+  "bench_analysis"
+  "bench_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -15,10 +15,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/server/CMakeFiles/xmlsec_server.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/xmlsec_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/xmlsec_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/authz/CMakeFiles/xmlsec_authz.dir/DependInfo.cmake"
   "/root/repo/build/src/xpath/CMakeFiles/xmlsec_xpath.dir/DependInfo.cmake"
   "/root/repo/build/src/xml/CMakeFiles/xmlsec_xml.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/xmlsec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/xmlsec_schema_paths.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

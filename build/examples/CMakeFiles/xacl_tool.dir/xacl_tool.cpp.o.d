@@ -157,13 +157,23 @@ examples/CMakeFiles/xacl_tool.dir/xacl_tool.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/authz/explain.h \
- /usr/include/c++/12/array /usr/include/c++/12/span \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/analysis/analyzer.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/result.h \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/analysis/schema_paths.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/common/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -172,12 +182,10 @@ examples/CMakeFiles/xacl_tool.dir/xacl_tool.cpp.o: \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/ext/concurrence.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
@@ -208,26 +216,21 @@ examples/CMakeFiles/xacl_tool.dir/xacl_tool.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/xml/dtd.h \
+ /root/repo/src/xml/dtd_tree.h /root/repo/src/xpath/ast.h \
  /root/repo/src/authz/authorization.h /usr/include/c++/12/limits \
- /root/repo/src/authz/subject.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/authz/labeling.h \
- /root/repo/src/authz/policy.h /root/repo/src/xml/dom.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/authz/subject.h /root/repo/src/authz/lint.h \
+ /root/repo/src/xml/dom.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/xml/dtd.h \
- /root/repo/src/authz/lint.h /root/repo/src/authz/loosening.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/authz/policy.h /root/repo/src/authz/explain.h \
+ /root/repo/src/authz/labeling.h /root/repo/src/authz/loosening.h \
  /root/repo/src/authz/processor.h /root/repo/src/authz/prune.h \
  /root/repo/src/xml/serializer.h /root/repo/src/authz/xacl.h \
  /root/repo/src/common/str_util.h /root/repo/src/xml/dtd_parser.h \

@@ -7,6 +7,7 @@
 subdirs("common")
 subdirs("xml")
 subdirs("xpath")
+subdirs("analysis")
 subdirs("authz")
 subdirs("server")
 subdirs("workload")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlsec_analysis.dir/analyzer.cc.o"
+  "CMakeFiles/xmlsec_analysis.dir/analyzer.cc.o.d"
+  "libxmlsec_analysis.a"
+  "libxmlsec_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlsec_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

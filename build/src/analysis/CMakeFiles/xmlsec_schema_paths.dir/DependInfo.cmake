@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/schema_paths.cc" "src/analysis/CMakeFiles/xmlsec_schema_paths.dir/schema_paths.cc.o" "gcc" "src/analysis/CMakeFiles/xmlsec_schema_paths.dir/schema_paths.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xpath/CMakeFiles/xmlsec_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmlsec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xmlsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

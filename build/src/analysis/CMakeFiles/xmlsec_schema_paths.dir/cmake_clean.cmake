@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlsec_schema_paths.dir/schema_paths.cc.o"
+  "CMakeFiles/xmlsec_schema_paths.dir/schema_paths.cc.o.d"
+  "libxmlsec_schema_paths.a"
+  "libxmlsec_schema_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlsec_schema_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -222,5 +222,9 @@ src/authz/CMakeFiles/xmlsec_authz.dir/lint.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/xml/dtd.h \
- /root/repo/src/xpath/evaluator.h /root/repo/src/xpath/ast.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/analysis/schema_paths.h /root/repo/src/xml/dtd_tree.h \
+ /root/repo/src/xpath/ast.h /root/repo/src/xpath/evaluator.h \
  /root/repo/src/xpath/value.h /root/repo/src/xpath/parser.h

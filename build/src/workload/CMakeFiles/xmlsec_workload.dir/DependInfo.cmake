@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/authz/CMakeFiles/xmlsec_authz.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/xmlsec_schema_paths.dir/DependInfo.cmake"
   "/root/repo/build/src/xpath/CMakeFiles/xmlsec_xpath.dir/DependInfo.cmake"
   "/root/repo/build/src/xml/CMakeFiles/xmlsec_xml.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/xmlsec_common.dir/DependInfo.cmake"

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_lint_test.dir/authz_lint_test.cc.o"
+  "CMakeFiles/authz_lint_test.dir/authz_lint_test.cc.o.d"
+  "authz_lint_test"
+  "authz_lint_test.pdb"
+  "authz_lint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_lint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

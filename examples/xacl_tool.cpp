@@ -6,12 +6,16 @@
 //   xacl_tool explain <doc.xml> <doc-uri> <dtd.dtd> <dtd-uri> <xacl.xml>
 //                     <user[:groups]> <ip> <sym> <node-xpath>
 //   xacl_tool lint    <doc.xml> <doc-uri> <dtd.dtd> <dtd-uri> <xacl.xml>
+//   xacl_tool analyze <dtd.dtd> <dtd-uri> <xacl.xml> [<doc-uri>]
 //   xacl_tool check   <xacl.xml>
 //   xacl_tool loosen  <dtd.dtd>
 //
 //   view     computes and prints the requester's view of the document
 //   explain  reports why one node is (in)visible to the requester
 //   lint     static policy checks (dead targets, bad paths, ...)
+//   analyze  static schema-only policy analysis: satisfiability,
+//            shadowing, conflicts, and the per-subject decision
+//            coverage table — no document instance needed
 //   check    validates an XACL file and prints its authorizations
 //   loosen   prints the loosened version of a DTD (paper §6.2)
 //
@@ -21,6 +25,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/analyzer.h"
 #include "authz/explain.h"
 #include "authz/lint.h"
 #include "authz/loosening.h"
@@ -143,7 +148,8 @@ int RunLint(int argc, char** argv) {
   if (!scenario.ok()) return Fail(scenario.status());
   authz::GroupStore groups;
   auto findings = authz::LintPolicy(scenario->instance, scenario->schema,
-                                    groups, scenario->doc.get());
+                                    groups, scenario->doc.get(),
+                                    scenario->doc->dtd());
   // Subjects are declared per deployment, not in the XACL; skip the
   // unknown-subject advisories in this offline tool.
   std::vector<authz::LintFinding> shown;
@@ -152,6 +158,49 @@ int RunLint(int argc, char** argv) {
   }
   std::printf("%s", authz::LintReport(shown).c_str());
   for (const authz::LintFinding& finding : shown) {
+    if (finding.severity == authz::LintSeverity::kError) return 1;
+  }
+  return 0;
+}
+
+int RunAnalyze(int argc, char** argv) {
+  if (argc != 5 && argc != 6) {
+    std::fprintf(stderr,
+                 "usage: xacl_tool analyze <dtd.dtd> <dtd-uri> <xacl.xml> "
+                 "[<doc-uri>]\n");
+    return 2;
+  }
+  auto dtd_text = ReadFile(argv[2]);
+  if (!dtd_text.ok()) return Fail(dtd_text.status());
+  auto dtd = xml::ParseDtd(*dtd_text);
+  if (!dtd.ok()) return Fail(dtd.status());
+  const std::string dtd_uri = argv[3];
+  auto xacl_text = ReadFile(argv[4]);
+  if (!xacl_text.ok()) return Fail(xacl_text.status());
+  auto xacl = authz::ParseXacl(*xacl_text);
+  if (!xacl.ok()) return Fail(xacl.status());
+  const std::string doc_uri = argc == 6 ? argv[5] : "";
+
+  std::vector<authz::Authorization> instance;
+  std::vector<authz::Authorization> schema;
+  for (authz::Authorization& auth : xacl->authorizations) {
+    if (auth.object.uri == dtd_uri) {
+      schema.push_back(std::move(auth));
+    } else if (doc_uri.empty() || auth.object.uri == doc_uri) {
+      // Without a doc URI, every non-schema authorization is assumed to
+      // protect an instance of this DTD.
+      instance.push_back(std::move(auth));
+    } else {
+      std::fprintf(stderr, "note: ignoring authorization on '%s'\n",
+                   auth.object.uri.c_str());
+    }
+  }
+
+  authz::GroupStore groups;
+  analysis::PolicyAnalysis analysis = analysis::AnalyzePolicy(
+      instance, schema, groups, **dtd, analysis::AnalyzerOptions{});
+  std::printf("%s", analysis::AnalysisReport(analysis).c_str());
+  for (const authz::LintFinding& finding : analysis.findings) {
     if (finding.severity == authz::LintSeverity::kError) return 1;
   }
   return 0;
@@ -261,6 +310,7 @@ int main(int argc, char** argv) {
   if (mode == "loosen" && argc == 3) return RunLoosen(argv[2]);
   if (mode == "view") return RunView(argc, argv);
   if (mode == "lint") return RunLint(argc, argv);
+  if (mode == "analyze") return RunAnalyze(argc, argv);
   if (mode == "explain") return RunExplain(argc, argv);
   std::fprintf(stderr,
                "usage:\n"
@@ -270,6 +320,8 @@ int main(int argc, char** argv) {
                "<xacl.xml> <user[:groups]> <ip> <sym>\n"
                "  xacl_tool lint <doc.xml> <doc-uri> <dtd.dtd> <dtd-uri> "
                "<xacl.xml>\n"
+               "  xacl_tool analyze <dtd.dtd> <dtd-uri> <xacl.xml> "
+               "[<doc-uri>]\n"
                "  xacl_tool explain <doc.xml> <doc-uri> <dtd.dtd> <dtd-uri> "
                "<xacl.xml> <user[:groups]> <ip> <sym> <node-xpath>\n");
   return 2;

@@ -1,0 +1,373 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace xmlsec {
+namespace analysis {
+
+namespace {
+
+using authz::Action;
+using authz::Authorization;
+using authz::ConflictPolicy;
+using authz::GroupStore;
+using authz::IsRecursive;
+using authz::IsWeak;
+using authz::LintFinding;
+using authz::LintSeverity;
+using authz::Sign;
+using authz::SubjectLessEq;
+
+/// One authorization with its precomputed abstract analysis.
+struct AuthInfo {
+  const Authorization* auth = nullptr;
+  bool schema_level = false;
+  int index = 0;  ///< combined (instance, then schema) index
+  PathQuery query;
+  AbstractSelection selection;  ///< abstract target points
+  AbstractSelection influence;  ///< targets closed under propagation
+
+  bool analyzable() const { return !selection.unknown; }
+  bool unsatisfiable() const { return selection.definitely_empty(); }
+};
+
+bool WindowsOverlap(const Authorization& a, const Authorization& b) {
+  return std::max(a.valid_from, b.valid_from) <=
+         std::min(a.valid_until, b.valid_until);
+}
+
+bool WindowContains(const Authorization& outer, const Authorization& inner) {
+  return outer.valid_from <= inner.valid_from &&
+         outer.valid_until >= inner.valid_until;
+}
+
+/// The sign that wins an unresolved same-slot conflict under `policy`,
+/// or nullopt for kNothingTakesPrecedence (no static winner).
+std::optional<Sign> WinningSign(ConflictPolicy policy) {
+  switch (policy) {
+    case ConflictPolicy::kDenialsTakePrecedence:
+      return Sign::kMinus;
+    case ConflictPolicy::kPermissionsTakePrecedence:
+      return Sign::kPlus;
+    case ConflictPolicy::kNothingTakesPrecedence:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// Sufficient (sound) conditions under which removing `a` provably
+/// leaves every requester's view of every valid document unchanged.
+///
+/// Same-sign domination: `b` applies to every requester/time `a` does,
+/// influences (explicitly or by propagation) every node `a` influences,
+/// and no opposite-sign authorization overlaps `a`'s influence — so the
+/// final sign of every node in `a`'s influence region is `a.sign` (or ε)
+/// with or without `a`, and `b` guarantees it stays non-ε exactly where
+/// `a` made it non-ε.
+///
+/// Opposite-sign override: `b` carries the conflict-winning sign, has
+/// the same subject, level, strength, and propagation type, and
+/// *explicitly* targets every node `a` targets (same slot) — the slot
+/// resolves to `b.sign` with or without `a`.  Explicit coverage is
+/// required because a propagated sign is suppressed by an explicit one
+/// at the same node ("most specific object takes precedence").
+bool ShadowedBy(const AuthInfo& a, const AuthInfo& b,
+                std::span<const AuthInfo> all, const GroupStore& groups,
+                const PathAnalyzer& analyzer, ConflictPolicy conflict) {
+  const Authorization& aa = *a.auth;
+  const Authorization& bb = *b.auth;
+  if (a.schema_level != b.schema_level) return false;
+
+  // Exact twin: an identical authorization at the same level leaves the
+  // labeling input unchanged when `a` is removed — shadowed no matter
+  // what the rest of the policy looks like.  (The tie on equal tuples is
+  // broken by index so only one direction is reported.)
+  if (aa.subject == bb.subject && aa.object == bb.object &&
+      aa.action == bb.action && aa.sign == bb.sign && aa.type == bb.type &&
+      aa.valid_from == bb.valid_from && aa.valid_until == bb.valid_until) {
+    return a.index > b.index;
+  }
+
+  if (aa.action != bb.action) return false;
+  if (IsWeak(aa.type) != IsWeak(bb.type)) return false;
+  if (!WindowContains(bb, aa)) return false;
+  if (!a.analyzable() || !b.analyzable()) return false;
+
+  if (aa.sign == bb.sign) {
+    if (!SubjectLessEq(aa.subject, bb.subject, groups)) return false;
+    if (IsRecursive(aa.type) && !IsRecursive(bb.type)) return false;
+    if (!analyzer.Covers(b.query, a.query, CoverMode::kInfluence)) {
+      return false;
+    }
+    // No opposite-sign authorization may overlap a's influence region:
+    // otherwise a's subject specificity or slot value could shield or
+    // flip nodes there.
+    for (const AuthInfo& c : all) {
+      if (c.index == a.index || c.index == b.index) continue;
+      if (c.auth->action != aa.action) continue;
+      if (c.auth->sign == aa.sign) continue;
+      if (!WindowsOverlap(*c.auth, aa)) continue;
+      if (c.influence.Overlaps(a.influence)) return false;
+    }
+    return true;
+  }
+
+  std::optional<Sign> winner = WinningSign(conflict);
+  if (!winner.has_value() || bb.sign != *winner) return false;
+  if (!(aa.subject == bb.subject)) return false;
+  if (IsRecursive(aa.type) != IsRecursive(bb.type)) return false;
+  return analyzer.Covers(b.query, a.query, CoverMode::kSameSlot);
+}
+
+std::string AuthRef(const AuthInfo& info) {
+  return "auth#" + std::to_string(info.index) + " [" +
+         info.auth->ToString() + "]";
+}
+
+/// Column label of a subject: the user/group, with any non-universal
+/// location pattern appended so distinct subjects stay distinguishable.
+std::string SubjectColumn(const authz::Subject& s) {
+  std::string label = s.ug.empty() ? "(*)" : s.ug;
+  if (std::string ip = s.ip.ToString(); ip != "*") label += "@" + ip;
+  if (std::string sym = s.sym.ToString(); sym != "*") label += "@" + sym;
+  return label;
+}
+
+}  // namespace
+
+std::string_view DecisionToString(Decision d) {
+  switch (d) {
+    case Decision::kOpen:
+      return "open";
+    case Decision::kPlus:
+      return "+";
+    case Decision::kMinus:
+      return "-";
+    case Decision::kPlusOrOpen:
+      return "+?";
+    case Decision::kMinusOrOpen:
+      return "-?";
+    case Decision::kUnknown:
+      return "?";
+  }
+  return "?";
+}
+
+std::string CoverageTable::ToString() const {
+  if (points.empty() || subjects.empty()) return "";
+  std::string out = "decision coverage (";
+  out += std::to_string(points.size()) + " schema points x " +
+         std::to_string(subjects.size()) + " subjects)\n";
+
+  // Column widths.
+  size_t name_width = 0;
+  for (const SchemaPoint& p : points) {
+    name_width = std::max(name_width, p.ToString().size());
+  }
+  std::vector<std::string> labels;
+  std::vector<size_t> widths;
+  for (const authz::Subject& s : subjects) {
+    labels.push_back(SubjectColumn(s));
+    widths.push_back(std::max<size_t>(4, labels.back().size()));
+  }
+
+  auto pad = [](std::string text, size_t width) {
+    if (text.size() < width) text.append(width - text.size(), ' ');
+    return text;
+  };
+
+  out += pad("node", name_width) + " |";
+  for (size_t j = 0; j < subjects.size(); ++j) {
+    out += " " + pad(labels[j], widths[j]);
+  }
+  out += "\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    out += pad(points[i].ToString(), name_width) + " |";
+    for (size_t j = 0; j < subjects.size(); ++j) {
+      out += " " + pad(std::string(DecisionToString(cells[i][j])), widths[j]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+PolicyAnalysis AnalyzePolicy(std::span<const Authorization> instance,
+                             std::span<const Authorization> schema,
+                             const GroupStore& groups, const xml::Dtd& dtd,
+                             const AnalyzerOptions& options) {
+  PolicyAnalysis out;
+  SchemaGraph graph = SchemaGraph::Build(dtd);
+  if (!graph.valid()) {
+    out.findings.push_back(LintFinding{
+        LintSeverity::kWarning, "no-schema",
+        "the DTD declares no analyzable root element; static analysis "
+        "skipped",
+        -1});
+    return out;
+  }
+  PathAnalyzer analyzer(&graph);
+
+  // Precompute the abstract analysis of every authorization.
+  std::vector<AuthInfo> all;
+  auto collect = [&](std::span<const Authorization> auths, bool schema_level) {
+    for (const Authorization& auth : auths) {
+      AuthInfo info;
+      info.auth = &auth;
+      info.schema_level = schema_level;
+      info.index = static_cast<int>(all.size());
+      info.query = PathQuery{auth.object.path, IsRecursive(auth.type)};
+      info.selection = analyzer.Analyze(auth.object.path);
+      info.influence = analyzer.Influence(info.query);
+      all.push_back(std::move(info));
+    }
+  };
+  collect(instance, /*schema_level=*/false);
+  collect(schema, /*schema_level=*/true);
+
+  // --- Pass 1: satisfiability ------------------------------------------
+  for (const AuthInfo& info : all) {
+    if (info.unsatisfiable()) {
+      out.findings.push_back(LintFinding{
+          LintSeverity::kWarning, "unsat-object",
+          "object path can never select a node of any document valid "
+          "against the DTD: " +
+              info.auth->object.path,
+          info.index});
+    }
+  }
+
+  // --- Pass 2: shadowed authorizations ---------------------------------
+  for (const AuthInfo& a : all) {
+    if (!a.analyzable() || a.unsatisfiable()) continue;
+    for (const AuthInfo& b : all) {
+      if (b.index == a.index) continue;
+      if (!ShadowedBy(a, b, all, groups, analyzer,
+                      options.policy.conflict)) {
+        continue;
+      }
+      out.findings.push_back(LintFinding{
+          LintSeverity::kWarning, "shadowed",
+          "authorization is shadowed by " + AuthRef(b) +
+              ": removing it cannot change any requester's view",
+          a.index});
+      break;  // one witness is enough
+    }
+  }
+
+  // --- Pass 3: static conflicts ----------------------------------------
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      const AuthInfo& a = all[i];
+      const AuthInfo& b = all[j];
+      if (a.schema_level != b.schema_level) continue;
+      if (a.auth->action != b.auth->action) continue;
+      if (a.auth->sign == b.auth->sign) continue;
+      if (!WindowsOverlap(*a.auth, *b.auth)) continue;
+      if (!a.analyzable() || !b.analyzable()) continue;
+      if (!a.influence.Overlaps(b.influence)) continue;
+      bool a_le_b = SubjectLessEq(a.auth->subject, b.auth->subject, groups);
+      bool b_le_a = SubjectLessEq(b.auth->subject, a.auth->subject, groups);
+      if (!a_le_b && !b_le_a) continue;  // incomparable: by design
+      std::string resolution;
+      if (a_le_b && b_le_a) {
+        resolution = "resolved by the conflict policy (" +
+                     std::string(authz::ConflictPolicyToString(
+                         options.policy.conflict)) +
+                     ")";
+      } else {
+        resolution = std::string("the more specific subject (") +
+                     (a_le_b ? a.auth->subject.ug : b.auth->subject.ug) +
+                     ") silently wins where both apply";
+      }
+      out.findings.push_back(LintFinding{
+          LintSeverity::kWarning, "schema-conflict",
+          "opposite-sign authorizations overlap on the schema (" +
+              AuthRef(a) + " vs " + AuthRef(b) + "); " + resolution,
+          a.index});
+    }
+  }
+
+  // --- Pass 4: decision coverage table ---------------------------------
+  if (!options.coverage) return out;
+
+  for (const std::string& element : graph.reachable()) {
+    out.coverage.points.push_back(SchemaPoint{element, ""});
+    for (const std::string& attr : graph.Attributes(element)) {
+      out.coverage.points.push_back(SchemaPoint{element, attr});
+    }
+  }
+  for (const AuthInfo& info : all) {
+    const authz::Subject& subject = info.auth->subject;
+    bool known = false;
+    for (const authz::Subject& existing : out.coverage.subjects) {
+      if (existing == subject) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) out.coverage.subjects.push_back(subject);
+  }
+
+  out.coverage.cells.assign(
+      out.coverage.points.size(),
+      std::vector<Decision>(out.coverage.subjects.size(), Decision::kOpen));
+  for (size_t j = 0; j < out.coverage.subjects.size(); ++j) {
+    const authz::Subject& subject = out.coverage.subjects[j];
+    std::vector<const AuthInfo*> applicable;
+    bool has_unknown = false;
+    for (const AuthInfo& info : all) {
+      if (static_cast<int>(info.auth->action) != options.policy.action) {
+        continue;
+      }
+      if (!info.auth->AppliesAtTime(options.at_time)) continue;
+      if (!SubjectLessEq(subject, info.auth->subject, groups)) continue;
+      if (!info.analyzable()) has_unknown = true;
+      applicable.push_back(&info);
+    }
+    for (size_t i = 0; i < out.coverage.points.size(); ++i) {
+      const SchemaPoint& point = out.coverage.points[i];
+      if (has_unknown) {
+        out.coverage.cells[i][j] = Decision::kUnknown;
+        continue;
+      }
+      bool any_plus = false;
+      bool any_minus = false;
+      bool guaranteed = false;
+      for (const AuthInfo* info : applicable) {
+        if (!info->influence.MayContain(point)) continue;
+        (info->auth->sign == Sign::kPlus ? any_plus : any_minus) = true;
+        if (!guaranteed &&
+            analyzer.CoversAllInstances(info->query, point)) {
+          guaranteed = true;
+        }
+      }
+      Decision decision;
+      if (!any_plus && !any_minus) {
+        decision = Decision::kOpen;
+      } else if (any_plus && any_minus) {
+        decision = Decision::kUnknown;
+      } else if (any_plus) {
+        decision = guaranteed ? Decision::kPlus : Decision::kPlusOrOpen;
+      } else {
+        decision = guaranteed ? Decision::kMinus : Decision::kMinusOrOpen;
+      }
+      out.coverage.cells[i][j] = decision;
+    }
+  }
+  return out;
+}
+
+std::string AnalysisReport(const PolicyAnalysis& analysis) {
+  std::string out = authz::LintReport(analysis.findings);
+  std::string table = analysis.coverage.ToString();
+  if (!table.empty()) {
+    out += "\n" + table;
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace xmlsec

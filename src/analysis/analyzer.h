@@ -1,0 +1,101 @@
+#ifndef XMLSEC_ANALYSIS_ANALYZER_H_
+#define XMLSEC_ANALYSIS_ANALYZER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/schema_paths.h"
+#include "authz/authorization.h"
+#include "authz/lint.h"
+#include "authz/policy.h"
+#include "authz/subject.h"
+#include "xml/dtd.h"
+
+namespace xmlsec {
+namespace analysis {
+
+/// Configuration of the static policy analyzer.
+struct AnalyzerOptions {
+  authz::PolicyOptions policy;
+  /// Reference request time for validity windows: only authorizations
+  /// applicable at this time participate in shadowing / conflict /
+  /// coverage reasoning (0 satisfies permanent authorizations).
+  int64_t at_time = 0;
+  /// Compute the per-subject decision coverage table.
+  bool coverage = true;
+};
+
+/// Statically-known default decision of one (schema point, subject)
+/// cell of the coverage table.
+enum class Decision {
+  kOpen,        ///< provably no authorization reaches the point: the
+                ///  completeness policy's default applies ("open" node)
+  kPlus,        ///< provably permitted on every instance
+  kMinus,       ///< provably denied on every instance
+  kPlusOrOpen,  ///< any instance that is reached gets '+', others default
+  kMinusOrOpen, ///< any instance that is reached gets '-', others default
+  kUnknown,     ///< conflicting signs or unanalyzable paths apply
+};
+
+std::string_view DecisionToString(Decision d);
+
+/// The per-subject decision coverage table over the DTD's schema points:
+/// for each element/attribute node of the schema graph and each subject
+/// declared by the policy, the decision every valid document's instances
+/// of that point are statically known to receive.
+struct CoverageTable {
+  std::vector<SchemaPoint> points;        ///< rows (reachable points)
+  std::vector<authz::Subject> subjects;   ///< columns
+  /// cells[row][column]; empty when coverage was disabled.
+  std::vector<std::vector<Decision>> cells;
+
+  Decision At(size_t point, size_t subject) const {
+    return cells[point][subject];
+  }
+  /// Renders an aligned text table (the `xacl_tool analyze` report).
+  std::string ToString() const;
+};
+
+/// Result of one static policy analysis.
+///
+/// Findings reuse the lint vocabulary (`authz::LintFinding`) with the
+/// analyzer's own codes; `auth_index` refers to the concatenated
+/// (instance, then schema) input order, like `authz::LintPolicy`:
+///
+///   * `unsat-object` (warning) — the object path cannot select any node
+///     of any document valid against the DTD;
+///   * `shadowed` (warning) — removing the authorization provably leaves
+///     every requester's view of every valid document unchanged (it is
+///     dominated by another authorization under the most-specific-
+///     subject, conflict-resolution, and L/R/W precedence rules);
+///   * `schema-conflict` (warning) — two same-level authorizations with
+///     opposite signs, comparable subjects, and overlapping objects and
+///     validity windows: the runtime resolves them silently (most
+///     specific subject, then the conflict policy), which is usually
+///     worth a policy author's attention.
+struct PolicyAnalysis {
+  std::vector<authz::LintFinding> findings;
+  CoverageTable coverage;
+};
+
+/// Analyzes a policy purely against a DTD — no document instance.  The
+/// paper (§5–§6) resolves conflicts only dynamically during labeling;
+/// this pass decides satisfiability, shadowing, conflict, and coverage
+/// statically over the schema graph.  All verdicts are conservative:
+/// `unsat-object` and `shadowed` are proofs (never false positives on
+/// analyzable paths), at the cost of missing some true instances.
+PolicyAnalysis AnalyzePolicy(std::span<const authz::Authorization> instance,
+                             std::span<const authz::Authorization> schema,
+                             const authz::GroupStore& groups,
+                             const xml::Dtd& dtd,
+                             const AnalyzerOptions& options = {});
+
+/// Renders the findings followed by the coverage table.
+std::string AnalysisReport(const PolicyAnalysis& analysis);
+
+}  // namespace analysis
+}  // namespace xmlsec
+
+#endif  // XMLSEC_ANALYSIS_ANALYZER_H_

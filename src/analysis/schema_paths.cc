@@ -1,0 +1,721 @@
+#include "analysis/schema_paths.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "xpath/parser.h"
+
+namespace xmlsec {
+namespace analysis {
+
+namespace {
+
+using xpath::Axis;
+using xpath::BinaryOp;
+using xpath::Expr;
+using xpath::NodeTestKind;
+using xpath::Step;
+
+/// Maximum NFA size (states are tracked in a 64-bit set) and maximum
+/// nesting depth of predicate sub-analyses.  Paths beyond either bound
+/// are treated as unanalyzable — never unsound, just imprecise.
+constexpr size_t kMaxStates = 64;
+constexpr int kMaxPredicateDepth = 6;
+
+/// A small word automaton over element names, compiled from the location
+/// steps of one path expression.  A run consumes the element names on
+/// the root-to-node path of a document node (the document node itself is
+/// the empty word); the node is selected iff the run ends in an
+/// accepting state (for attributes: in a state carrying a matching
+/// attribute test).
+struct Nfa {
+  struct Edge {
+    bool any = false;   ///< wildcard: matches every element name
+    std::string name;   ///< matched name when !any
+    size_t to = 0;
+  };
+  struct AttrTest {
+    bool any = false;
+    std::string name;
+
+    bool Matches(const std::string& attr) const {
+      return any || name == attr;
+    }
+  };
+  struct State {
+    bool any_loop = false;  ///< self-loop on every element name
+    std::vector<Edge> edges;
+    /// Predicates of the step this state completes; a candidate node is
+    /// pruned when one of them is provably false at its element type.
+    std::vector<const Expr*> predicates;
+    std::vector<AttrTest> attr_accepts;
+  };
+
+  std::vector<State> states;   ///< state 0 is the start (document node)
+  uint64_t accept_element = 0; ///< bit set of element-accepting states
+  bool has_predicates = false;
+
+  bool AcceptsElement(uint64_t bits) const {
+    return (bits & accept_element) != 0;
+  }
+  bool AcceptsAttribute(uint64_t bits, const std::string& attr) const {
+    for (size_t q = 0; q < states.size(); ++q) {
+      if ((bits & (uint64_t{1} << q)) == 0) continue;
+      for (const AttrTest& test : states[q].attr_accepts) {
+        if (test.Matches(attr)) return true;
+      }
+    }
+    return false;
+  }
+  bool AcceptsAnyAttribute(uint64_t bits) const {
+    for (size_t q = 0; q < states.size(); ++q) {
+      if ((bits & (uint64_t{1} << q)) == 0) continue;
+      if (!states[q].attr_accepts.empty()) return true;
+    }
+    return false;
+  }
+};
+
+/// Compiles path expressions to NFAs and runs them over a SchemaGraph.
+class Machine {
+ public:
+  explicit Machine(const SchemaGraph* graph) : graph_(graph) {}
+
+  /// Compiles `expr` (a location path, possibly a union of paths).  When
+  /// `context_is_document` is true, relative branches consume one
+  /// element letter first — labeling evaluates relative authorization
+  /// paths with the root element as context node.  Otherwise relative
+  /// branches start directly at the context element (predicate mode).
+  Result<Nfa> Compile(const Expr& expr, bool context_is_document) const {
+    Nfa nfa;
+    nfa.states.emplace_back();  // start state 0
+    int64_t context_state = -1;
+    XMLSEC_RETURN_IF_ERROR(
+        AddBranch(expr, context_is_document, &context_state, &nfa));
+    return nfa;
+  }
+
+  /// The automaton of the empty authorization path: exactly the root
+  /// element (the paper's whole-document object).
+  Nfa RootOnly() const {
+    Nfa nfa;
+    nfa.states.emplace_back();
+    nfa.states[0].edges.push_back(Nfa::Edge{true, "", 1});
+    nfa.states.emplace_back();
+    nfa.accept_element = uint64_t{1} << 1;
+    return nfa;
+  }
+
+  /// Consumes element letter `element` from state set `bits`, applying
+  /// predicate pruning at the target states.
+  uint64_t Move(const Nfa& nfa, uint64_t bits, const std::string& element,
+                int depth) const {
+    uint64_t next = 0;
+    for (size_t q = 0; q < nfa.states.size(); ++q) {
+      if ((bits & (uint64_t{1} << q)) == 0) continue;
+      const Nfa::State& state = nfa.states[q];
+      if (state.any_loop) next |= uint64_t{1} << q;
+      for (const Nfa::Edge& edge : state.edges) {
+        if (edge.any || edge.name == element) next |= uint64_t{1} << edge.to;
+      }
+    }
+    // Predicate pruning: a state whose step predicates are provably
+    // false at this element type cannot be on a selecting run.
+    for (size_t q = 0; q < nfa.states.size(); ++q) {
+      if ((next & (uint64_t{1} << q)) == 0) continue;
+      for (const Expr* pred : nfa.states[q].predicates) {
+        if (PredicateProvablyFalse(element, *pred, depth)) {
+          next &= ~(uint64_t{1} << q);
+          break;
+        }
+      }
+    }
+    return next;
+  }
+
+  /// Runs `nfa` over the schema graph.  `start_element` empty starts at
+  /// the document node; otherwise at that element (predicate context).
+  AbstractSelection Simulate(const Nfa& nfa, const std::string& start_element,
+                             int depth) const {
+    AbstractSelection out;
+    if (!graph_->valid()) return out;  // no valid documents exist at all
+    std::set<std::pair<std::string, uint64_t>> seen;
+    std::deque<std::pair<std::string, uint64_t>> queue;
+    queue.emplace_back(start_element, uint64_t{1});
+    seen.insert(queue.front());
+    while (!queue.empty()) {
+      auto [element, bits] = queue.front();
+      queue.pop_front();
+      if (!element.empty()) {
+        if (nfa.AcceptsElement(bits)) {
+          out.points.insert(SchemaPoint{element, ""});
+        }
+        for (const std::string& attr : graph_->Attributes(element)) {
+          if (nfa.AcceptsAttribute(bits, attr)) {
+            out.points.insert(SchemaPoint{element, attr});
+          }
+        }
+      }
+      const std::vector<std::string>* children = nullptr;
+      std::vector<std::string> doc_children;
+      if (element.empty()) {
+        doc_children.push_back(graph_->root());
+        children = &doc_children;
+      } else {
+        children = &graph_->Children(element);
+      }
+      for (const std::string& child : *children) {
+        uint64_t next = Move(nfa, bits, child, depth);
+        if (next == 0) continue;
+        auto item = std::make_pair(child, next);
+        if (seen.insert(item).second) queue.push_back(item);
+      }
+    }
+    return out;
+  }
+
+  /// True when `pred` can be shown false for every node of element type
+  /// `element` in every valid document.  Conservative: only path
+  /// emptiness is exploited (an empty node-set operand makes both a bare
+  /// path predicate and any comparison false).
+  bool PredicateProvablyFalse(const std::string& element, const Expr& pred,
+                              int depth) const {
+    if (depth >= kMaxPredicateDepth) return false;
+    switch (pred.kind) {
+      case Expr::Kind::kBinary:
+        switch (pred.op) {
+          case BinaryOp::kAnd:
+            return PredicateProvablyFalse(element, *pred.lhs, depth) ||
+                   PredicateProvablyFalse(element, *pred.rhs, depth);
+          case BinaryOp::kOr:
+            return PredicateProvablyFalse(element, *pred.lhs, depth) &&
+                   PredicateProvablyFalse(element, *pred.rhs, depth);
+          case BinaryOp::kEq:
+          case BinaryOp::kNeq:
+          case BinaryOp::kLt:
+          case BinaryOp::kLe:
+          case BinaryOp::kGt:
+          case BinaryOp::kGe:
+            // A comparison with an empty node-set operand is false for
+            // every operator (XPath 1.0 §3.4).
+            return OperandProvablyEmpty(element, *pred.lhs, depth) ||
+                   OperandProvablyEmpty(element, *pred.rhs, depth);
+          case BinaryOp::kUnion:
+            return OperandProvablyEmpty(element, pred, depth);
+          default:
+            return false;
+        }
+      case Expr::Kind::kPath:
+        return OperandProvablyEmpty(element, pred, depth);
+      default:
+        return false;
+    }
+  }
+
+ private:
+  struct Frontier {
+    std::vector<size_t> states;
+  };
+
+  Status AddBranch(const Expr& expr, bool context_is_document,
+                   int64_t* context_state, Nfa* nfa) const {
+    if (expr.kind == Expr::Kind::kBinary && expr.op == BinaryOp::kUnion) {
+      XMLSEC_RETURN_IF_ERROR(
+          AddBranch(*expr.lhs, context_is_document, context_state, nfa));
+      return AddBranch(*expr.rhs, context_is_document, context_state, nfa);
+    }
+    if (expr.kind != Expr::Kind::kPath) {
+      return Status::InvalidArgument("not a location path");
+    }
+    if (expr.base != nullptr || !expr.base_predicates.empty()) {
+      return Status::InvalidArgument("filter expression base");
+    }
+
+    Frontier frontier;
+    if (expr.absolute) {
+      frontier.states.push_back(0);
+      if (expr.steps.empty()) {
+        // Bare "/": the document node — labeling remaps it to the root
+        // element.
+        size_t q = NewState(nfa);
+        if (q == 0) return Status::InvalidArgument("path too long");
+        Link(nfa, {0}, Nfa::Edge{true, "", q});
+        nfa->accept_element |= uint64_t{1} << q;
+        return Status::OK();
+      }
+    } else if (context_is_document) {
+      if (*context_state < 0) {
+        size_t q = NewState(nfa);
+        if (q == 0) return Status::InvalidArgument("path too long");
+        Link(nfa, {0}, Nfa::Edge{true, "", q});
+        *context_state = static_cast<int64_t>(q);
+      }
+      frontier.states.push_back(static_cast<size_t>(*context_state));
+    } else {
+      frontier.states.push_back(0);
+    }
+
+    bool attribute_selected = false;
+    for (const Step& step : expr.steps) {
+      if (attribute_selected) {
+        // Attributes have no children: any further step other than
+        // `self::node()` makes this branch select nothing.
+        if (step.axis == Axis::kSelf && step.test == NodeTestKind::kAnyNode &&
+            step.predicates.empty()) {
+          continue;
+        }
+        return Status::OK();  // dead branch: register no acceptance
+      }
+      switch (step.axis) {
+        case Axis::kSelf:
+          if (step.test != NodeTestKind::kAnyNode || !step.predicates.empty()) {
+            return Status::InvalidArgument("self step with test or predicate");
+          }
+          continue;
+        case Axis::kDescendantOrSelf: {
+          if (step.test != NodeTestKind::kAnyNode || !step.predicates.empty()) {
+            return Status::InvalidArgument(
+                "descendant-or-self with test or predicate");
+          }
+          XMLSEC_RETURN_IF_ERROR(AddLoopState(nfa, &frontier));
+          continue;
+        }
+        case Axis::kDescendant: {
+          // descendant::T  ==  descendant-or-self::node()/child::T.
+          XMLSEC_RETURN_IF_ERROR(AddLoopState(nfa, &frontier));
+          XMLSEC_RETURN_IF_ERROR(AddChildStep(nfa, step, &frontier));
+          continue;
+        }
+        case Axis::kChild:
+          XMLSEC_RETURN_IF_ERROR(AddChildStep(nfa, step, &frontier));
+          continue;
+        case Axis::kAttribute: {
+          Nfa::AttrTest test;
+          if (step.test == NodeTestKind::kName) {
+            test.name = step.name;
+          } else if (step.test == NodeTestKind::kWildcard ||
+                     step.test == NodeTestKind::kAnyNode) {
+            test.any = true;
+          } else {
+            return Status::InvalidArgument("attribute step node test");
+          }
+          if (!step.predicates.empty()) nfa->has_predicates = true;
+          for (size_t q : frontier.states) {
+            nfa->states[q].attr_accepts.push_back(test);
+          }
+          attribute_selected = true;
+          continue;
+        }
+        default:
+          return Status::InvalidArgument(
+              std::string("unsupported axis ") + AxisToString(step.axis));
+      }
+    }
+    if (!attribute_selected) {
+      for (size_t q : frontier.states) {
+        nfa->accept_element |= uint64_t{1} << q;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status AddChildStep(Nfa* nfa, const Step& step, Frontier* frontier) const {
+    Nfa::Edge edge;
+    if (step.test == NodeTestKind::kName) {
+      edge.name = step.name;
+    } else if (step.test == NodeTestKind::kWildcard ||
+               step.test == NodeTestKind::kAnyNode) {
+      // node() also admits text/comment/PI children; for element
+      // selection a wildcard over-approximates it soundly.
+      edge.any = true;
+    } else {
+      // text()/comment()/processing-instruction() select non-labelable
+      // nodes; give up rather than mislabel them unsatisfiable.
+      return Status::InvalidArgument("non-element node test");
+    }
+    size_t g = NewState(nfa);
+    if (g == 0) return Status::InvalidArgument("path too long");
+    edge.to = g;
+    Link(nfa, frontier->states, edge);
+    for (const auto& pred : step.predicates) {
+      nfa->states[g].predicates.push_back(pred.get());
+      nfa->has_predicates = true;
+    }
+    frontier->states = {g};
+    return Status::OK();
+  }
+
+  /// Inserts the `//` gap: a fresh predicate-free state reachable from
+  /// the frontier by any letter, looping on any letter; the frontier
+  /// grows (descendant-or-self keeps the current position too).
+  Status AddLoopState(Nfa* nfa, Frontier* frontier) const {
+    size_t m = NewState(nfa);
+    if (m == 0) return Status::InvalidArgument("path too long");
+    nfa->states[m].any_loop = true;
+    Link(nfa, frontier->states, Nfa::Edge{true, "", m});
+    frontier->states.push_back(m);
+    return Status::OK();
+  }
+
+  /// Returns 0 on overflow (state 0 is always the pre-existing start).
+  size_t NewState(Nfa* nfa) const {
+    if (nfa->states.size() >= kMaxStates) return 0;
+    nfa->states.emplace_back();
+    return nfa->states.size() - 1;
+  }
+
+  void Link(Nfa* nfa, const std::vector<size_t>& from, Nfa::Edge edge) const {
+    for (size_t q : from) nfa->states[q].edges.push_back(edge);
+  }
+
+  bool OperandProvablyEmpty(const std::string& element, const Expr& expr,
+                            int depth) const {
+    if (expr.kind == Expr::Kind::kBinary && expr.op == BinaryOp::kUnion) {
+      return OperandProvablyEmpty(element, *expr.lhs, depth) &&
+             OperandProvablyEmpty(element, *expr.rhs, depth);
+    }
+    if (expr.kind != Expr::Kind::kPath) return false;
+    // Relative operand: evaluated from `element`.  Absolute operand:
+    // evaluated from the document node, independent of context.
+    auto nfa = Compile(expr, /*context_is_document=*/expr.absolute);
+    if (!nfa.ok()) return false;
+    AbstractSelection sel =
+        Simulate(*nfa, expr.absolute ? "" : element, depth + 1);
+    return sel.points.empty();
+  }
+
+  const SchemaGraph* graph_;
+};
+
+/// A compiled query: the owned expression tree plus its automaton.
+struct CompiledQuery {
+  std::unique_ptr<Expr> owner;
+  Nfa nfa;
+  bool recursive = false;
+};
+
+Result<CompiledQuery> CompileQuery(const Machine& machine,
+                                   const PathQuery& query) {
+  CompiledQuery out;
+  out.recursive = query.recursive;
+  if (query.path.empty()) {
+    out.nfa = machine.RootOnly();
+    return out;
+  }
+  XMLSEC_ASSIGN_OR_RETURN(out.owner, xpath::CompileXPath(query.path));
+  XMLSEC_ASSIGN_OR_RETURN(out.nfa,
+                          machine.Compile(*out.owner,
+                                          /*context_is_document=*/true));
+  return out;
+}
+
+/// Product item of the containment searches.
+struct ProductItem {
+  std::string element;  ///< empty = document node
+  uint64_t a_bits = 0;
+  uint64_t b_bits = 0;
+  bool a_abs = false;  ///< inner query covers here via recursive ancestor
+  bool b_abs = false;
+
+  friend bool operator<(const ProductItem& x, const ProductItem& y) {
+    return std::tie(x.element, x.a_bits, x.b_bits, x.a_abs, x.b_abs) <
+           std::tie(y.element, y.a_bits, y.b_bits, y.a_abs, y.b_abs);
+  }
+};
+
+}  // namespace
+
+// --- SchemaGraph --------------------------------------------------------
+
+SchemaGraph SchemaGraph::Build(const xml::Dtd& dtd, const std::string& root) {
+  SchemaGraph graph;
+  std::string start = root;
+  if (start.empty()) start = dtd.name();
+  if (start.empty() && !dtd.elements().empty()) {
+    // A bare DTD carries no doctype name.  Prefer the unique element no
+    // other content model references — the only possible document
+    // root — before falling back to the first declaration.
+    std::set<std::string> referenced;
+    for (const auto& [name, decl] : dtd.elements()) {
+      for (const xml::SchemaEdge& edge : xml::SchemaChildEdges(dtd, decl)) {
+        if (edge.name != name) referenced.insert(edge.name);
+      }
+    }
+    std::vector<std::string> sources;
+    for (const auto& [name, decl] : dtd.elements()) {
+      (void)decl;
+      if (referenced.count(name) == 0) sources.push_back(name);
+    }
+    start = sources.size() == 1 ? sources.front()
+                                : dtd.elements().begin()->first;
+  }
+  if (start.empty() || dtd.FindElement(start) == nullptr) {
+    return graph;  // invalid: no analyzable root
+  }
+  graph.root_ = start;
+
+  for (const auto& [name, decl] : dtd.elements()) {
+    std::vector<std::string> children;
+    for (const xml::SchemaEdge& edge : xml::SchemaChildEdges(dtd, decl)) {
+      // Only declared element types can occur in a valid document.
+      if (dtd.FindElement(edge.name) == nullptr) continue;
+      if (std::find(children.begin(), children.end(), edge.name) ==
+          children.end()) {
+        children.push_back(edge.name);
+      }
+    }
+    graph.children_[name] = std::move(children);
+
+    std::vector<std::string> attrs;
+    if (const std::vector<xml::AttrDecl>* attlist = dtd.FindAttlist(name)) {
+      for (const xml::AttrDecl& attr : *attlist) {
+        if (std::find(attrs.begin(), attrs.end(), attr.name) == attrs.end()) {
+          attrs.push_back(attr.name);
+        }
+      }
+    }
+    graph.attrs_[name] = std::move(attrs);
+  }
+
+  // Reachability from the root.
+  std::deque<std::string> queue = {graph.root_};
+  graph.reachable_.insert(graph.root_);
+  while (!queue.empty()) {
+    std::string element = std::move(queue.front());
+    queue.pop_front();
+    for (const std::string& child : graph.Children(element)) {
+      if (graph.reachable_.insert(child).second) queue.push_back(child);
+    }
+  }
+  return graph;
+}
+
+const std::vector<std::string>& SchemaGraph::Children(
+    const std::string& element) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = children_.find(element);
+  return it == children_.end() ? kEmpty : it->second;
+}
+
+const std::vector<std::string>& SchemaGraph::Attributes(
+    const std::string& element) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = attrs_.find(element);
+  return it == attrs_.end() ? kEmpty : it->second;
+}
+
+bool SchemaGraph::HasAttribute(const std::string& element,
+                               const std::string& attr) const {
+  const std::vector<std::string>& attrs = Attributes(element);
+  return std::find(attrs.begin(), attrs.end(), attr) != attrs.end();
+}
+
+std::set<std::string> SchemaGraph::DescendantsOf(
+    const std::set<std::string>& seeds, bool include_seeds) const {
+  std::set<std::string> out;
+  std::deque<std::string> queue(seeds.begin(), seeds.end());
+  std::set<std::string> visited = seeds;
+  while (!queue.empty()) {
+    std::string element = std::move(queue.front());
+    queue.pop_front();
+    for (const std::string& child : Children(element)) {
+      out.insert(child);
+      if (visited.insert(child).second) queue.push_back(child);
+    }
+  }
+  if (include_seeds) out.insert(seeds.begin(), seeds.end());
+  return out;
+}
+
+// --- AbstractSelection --------------------------------------------------
+
+bool AbstractSelection::Overlaps(const AbstractSelection& other) const {
+  if (unknown || other.unknown) return true;  // cannot rule overlap out
+  const AbstractSelection& small = points.size() <= other.points.size()
+                                       ? *this
+                                       : other;
+  const AbstractSelection& large = &small == this ? other : *this;
+  for (const SchemaPoint& p : small.points) {
+    if (large.points.count(p) > 0) return true;
+  }
+  return false;
+}
+
+// --- PathAnalyzer -------------------------------------------------------
+
+AbstractSelection PathAnalyzer::Analyze(const std::string& path) const {
+  if (path.empty()) {
+    AbstractSelection out;
+    if (graph_->valid()) out.points.insert(SchemaPoint{graph_->root(), ""});
+    return out;
+  }
+  auto compiled = xpath::CompileXPath(path);
+  if (!compiled.ok()) {
+    AbstractSelection out;
+    out.unknown = true;
+    return out;
+  }
+  return Analyze(**compiled);
+}
+
+AbstractSelection PathAnalyzer::Analyze(const xpath::Expr& expr) const {
+  Machine machine(graph_);
+  auto nfa = machine.Compile(expr, /*context_is_document=*/true);
+  if (!nfa.ok()) {
+    AbstractSelection out;
+    out.unknown = true;
+    return out;
+  }
+  return machine.Simulate(*nfa, "", 0);
+}
+
+AbstractSelection PathAnalyzer::Influence(const PathQuery& query) const {
+  AbstractSelection sel = Analyze(query.path);
+  if (sel.unknown) return sel;
+  std::set<std::string> elements;
+  for (const SchemaPoint& p : sel.points) {
+    if (!p.is_attribute()) elements.insert(p.element);
+  }
+  AbstractSelection out;
+  out.points = sel.points;  // keeps directly selected attributes
+  std::set<std::string> covered =
+      query.recursive ? graph_->DescendantsOf(elements, /*include_seeds=*/true)
+                      : elements;
+  for (const std::string& element : covered) {
+    out.points.insert(SchemaPoint{element, ""});
+    // Local authorizations on an element cover its attributes; recursive
+    // ones cover every attribute in the subtree.
+    for (const std::string& attr : graph_->Attributes(element)) {
+      out.points.insert(SchemaPoint{element, attr});
+    }
+  }
+  return out;
+}
+
+bool PathAnalyzer::Covers(const PathQuery& b, const PathQuery& a,
+                          CoverMode mode) const {
+  if (!graph_->valid()) return false;
+  Machine machine(graph_);
+  auto qa = CompileQuery(machine, a);
+  auto qb = CompileQuery(machine, b);
+  if (!qa.ok() || !qb.ok()) return false;
+  // Predicates could shrink the outer selection below the inner one;
+  // demand a predicate-free outer query for a sound proof.
+  if (qb->nfa.has_predicates) return false;
+  if (mode == CoverMode::kSameSlot && a.recursive != b.recursive) return false;
+
+  std::set<ProductItem> seen;
+  std::deque<ProductItem> queue;
+  queue.push_back(ProductItem{"", 1, 1, false, false});
+  seen.insert(queue.front());
+  while (!queue.empty()) {
+    ProductItem item = queue.front();
+    queue.pop_front();
+
+    bool a_elem = false;
+    bool b_elem = false;
+    if (!item.element.empty()) {
+      a_elem = qa->nfa.AcceptsElement(item.a_bits);
+      b_elem = qb->nfa.AcceptsElement(item.b_bits);
+      if (mode == CoverMode::kSameSlot) {
+        if (a_elem && !b_elem) return false;
+        for (const std::string& attr : graph_->Attributes(item.element)) {
+          if (qa->nfa.AcceptsAttribute(item.a_bits, attr) &&
+              !qb->nfa.AcceptsAttribute(item.b_bits, attr)) {
+            return false;
+          }
+        }
+      } else {
+        bool a_inf = a_elem || item.a_abs;
+        bool b_inf = b_elem || item.b_abs;
+        if (a_inf && !b_inf) return false;
+        for (const std::string& attr : graph_->Attributes(item.element)) {
+          bool a_attr = a_inf || qa->nfa.AcceptsAttribute(item.a_bits, attr);
+          bool b_attr = b_inf || qb->nfa.AcceptsAttribute(item.b_bits, attr);
+          if (a_attr && !b_attr) return false;
+        }
+      }
+    }
+
+    bool a_abs = item.a_abs || (qa->recursive && a_elem);
+    bool b_abs = item.b_abs || (qb->recursive && b_elem);
+    if (mode == CoverMode::kInfluence && b_abs) {
+      continue;  // everything below is covered by the outer query
+    }
+    const std::vector<std::string>* children;
+    std::vector<std::string> doc_children;
+    if (item.element.empty()) {
+      doc_children.push_back(graph_->root());
+      children = &doc_children;
+    } else {
+      children = &graph_->Children(item.element);
+    }
+    for (const std::string& child : *children) {
+      ProductItem next;
+      next.element = child;
+      next.a_bits = machine.Move(qa->nfa, item.a_bits, child, 0);
+      next.b_bits = machine.Move(qb->nfa, item.b_bits, child, 0);
+      next.a_abs = a_abs;
+      next.b_abs = b_abs;
+      if (next.a_bits == 0 && !next.a_abs) {
+        continue;  // inner query can never influence this subtree
+      }
+      if (seen.insert(next).second) queue.push_back(next);
+    }
+  }
+  return true;
+}
+
+bool PathAnalyzer::CoversAllInstances(const PathQuery& b,
+                                      const SchemaPoint& point) const {
+  if (!graph_->valid()) return false;
+  Machine machine(graph_);
+  auto qb = CompileQuery(machine, b);
+  if (!qb.ok() || qb->nfa.has_predicates) return false;
+  if (point.is_attribute() &&
+      !graph_->HasAttribute(point.element, point.attribute)) {
+    return false;
+  }
+
+  std::set<std::pair<std::string, uint64_t>> seen;
+  std::deque<std::pair<std::string, uint64_t>> queue;
+  queue.emplace_back("", uint64_t{1});
+  seen.insert(queue.front());
+  while (!queue.empty()) {
+    auto [element, bits] = queue.front();
+    queue.pop_front();
+    bool b_elem = !element.empty() && qb->nfa.AcceptsElement(bits);
+    if (element == point.element) {
+      bool covered;
+      if (point.is_attribute()) {
+        covered = b_elem || qb->nfa.AcceptsAttribute(bits, point.attribute);
+      } else {
+        covered = b_elem;
+      }
+      if (!covered) return false;
+    }
+    if (qb->recursive && b_elem) {
+      continue;  // every instance below this node is recursively covered
+    }
+    const std::vector<std::string>* children;
+    std::vector<std::string> doc_children;
+    if (element.empty()) {
+      doc_children.push_back(graph_->root());
+      children = &doc_children;
+    } else {
+      children = &graph_->Children(element);
+    }
+    for (const std::string& child : *children) {
+      uint64_t next = machine.Move(qb->nfa, bits, child, 0);
+      auto item = std::make_pair(child, next);
+      if (seen.insert(item).second) queue.push_back(item);
+    }
+  }
+  return true;
+}
+
+}  // namespace analysis
+}  // namespace xmlsec

@@ -1,0 +1,170 @@
+#ifndef XMLSEC_ANALYSIS_SCHEMA_PATHS_H_
+#define XMLSEC_ANALYSIS_SCHEMA_PATHS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dtd.h"
+#include "xml/dtd_tree.h"
+#include "xpath/ast.h"
+
+namespace xmlsec {
+namespace analysis {
+
+/// The DTD content-model graph: one node per declared element, arcs from
+/// `xml::SchemaChildEdges`, plus the declared attributes per element.
+/// This is the paper's schema graph (Fig. 1b) folded at recursion — the
+/// finite structure all static analyses walk instead of a document
+/// instance.  Only elements *declared* and *reachable from the root* can
+/// occur in a valid document (the validator rejects undeclared element
+/// types), so every analysis is restricted to that sub-graph.
+class SchemaGraph {
+ public:
+  /// Builds the graph.  `root` overrides the start element; empty falls
+  /// back to the DTD's declared doctype name, then the first declaration.
+  static SchemaGraph Build(const xml::Dtd& dtd, const std::string& root = "");
+
+  /// False when the DTD declares nothing usable (no root element).
+  bool valid() const { return !root_.empty(); }
+  const std::string& root() const { return root_; }
+
+  bool HasElement(const std::string& name) const {
+    return children_.count(name) > 0;
+  }
+  /// Distinct child-element names admitted by `element`'s content model
+  /// (declared targets only).
+  const std::vector<std::string>& Children(const std::string& element) const;
+  /// Declared attribute names of `element`.
+  const std::vector<std::string>& Attributes(const std::string& element) const;
+  bool HasAttribute(const std::string& element, const std::string& attr) const;
+
+  /// Elements reachable from the root (the root included).
+  const std::set<std::string>& reachable() const { return reachable_; }
+
+  /// All elements reachable from any element in `seeds` (transitively);
+  /// `include_seeds` adds the seeds themselves.
+  std::set<std::string> DescendantsOf(const std::set<std::string>& seeds,
+                                      bool include_seeds) const;
+
+ private:
+  std::string root_;
+  std::map<std::string, std::vector<std::string>> children_;
+  std::map<std::string, std::vector<std::string>> attrs_;
+  std::set<std::string> reachable_;
+};
+
+/// One node of the schema graph: an element, or an attribute of an
+/// element.  The abstract domain of the path interpreter — a concrete
+/// document node maps to the point named by its tag (and attribute name).
+struct SchemaPoint {
+  std::string element;
+  std::string attribute;  ///< empty => the element node itself
+
+  bool is_attribute() const { return !attribute.empty(); }
+  std::string ToString() const {
+    return is_attribute() ? element + "/@" + attribute : element;
+  }
+  friend bool operator<(const SchemaPoint& a, const SchemaPoint& b) {
+    return std::tie(a.element, a.attribute) < std::tie(b.element, b.attribute);
+  }
+  friend bool operator==(const SchemaPoint& a, const SchemaPoint& b) {
+    return a.element == b.element && a.attribute == b.attribute;
+  }
+};
+
+/// Result of abstractly evaluating a path over the schema graph.
+///
+/// When `unknown` is false, `points` is a sound *over-approximation* of
+/// the schema points the path can select in any valid document: an empty
+/// set proves the path unsatisfiable; a non-empty set means "possibly
+/// these, nothing else".  `unknown` means the path uses constructs the
+/// interpreter does not model (reverse/sibling axes, variables outside
+/// predicates, filter bases, text()/comment() targets) and could select
+/// anything.
+struct AbstractSelection {
+  bool unknown = false;
+  std::set<SchemaPoint> points;
+
+  bool definitely_empty() const { return !unknown && points.empty(); }
+  bool MayContain(const SchemaPoint& p) const {
+    return unknown || points.count(p) > 0;
+  }
+  bool Overlaps(const AbstractSelection& other) const;
+};
+
+/// An authorization object path paired with its propagation behavior —
+/// the unit the containment queries compare.  An empty `path` targets the
+/// root element (the paper's whole-document object).
+struct PathQuery {
+  std::string path;
+  bool recursive = false;  ///< authorization type is R / RW
+};
+
+/// Containment modes of `PathAnalyzer::Covers`.
+enum class CoverMode {
+  /// influence(a) ⊆ influence(b): every node (or attribute) the inner
+  /// query reaches — directly, by recursive propagation, or as an
+  /// attribute of a targeted element — is also reached by the outer one.
+  kInfluence,
+  /// Exact same-slot coverage: the outer path explicitly selects every
+  /// node the inner path selects, with matching node kind (element vs
+  /// attribute) and no credit for recursive propagation.  Required when
+  /// reasoning about opposite-sign overrides, where a propagated sign
+  /// can be suppressed by an explicit one at the same node.
+  kSameSlot,
+};
+
+/// The XPath-over-DTD abstract interpreter (tentpole of the static
+/// analyzer).  Compiles a path's location steps into a small word
+/// automaton over element names and runs it against the schema graph:
+///
+///   * `Analyze`  — satisfiability / abstract point set;
+///   * `Covers`   — word-level path containment (sound: `true` is a
+///     proof, `false` merely "not provable");
+///   * `CoversAllInstances` — does a query select (or recursively cover)
+///     *every* instance of a schema point in every valid document?
+///
+/// Predicates are handled conservatively: a candidate is pruned only
+/// when a predicate is *provably* false against the schema (its path
+/// operand can never select anything); positional, functional, and
+/// variable predicates are kept.  Outer queries of the containment
+/// checks must be predicate-free, since predicates could shrink their
+/// selection.
+class PathAnalyzer {
+ public:
+  explicit PathAnalyzer(const SchemaGraph* graph) : graph_(graph) {}
+
+  AbstractSelection Analyze(const std::string& path) const;
+  AbstractSelection Analyze(const xpath::Expr& expr) const;
+
+  /// Abstract influence set of an authorization: its points, closed
+  /// under recursive propagation (`recursive`) and the element→own
+  /// attributes coverage of Local authorizations.
+  AbstractSelection Influence(const PathQuery& query) const;
+
+  /// True iff provably: every node influenced (kInfluence) or selected
+  /// (kSameSlot) by `a` is influenced/selected by `b` in every valid
+  /// document.  `a`'s predicates are ignored (over-approximation, which
+  /// keeps the proof sound); returns false when `b` has predicates or
+  /// either path is not analyzable.
+  bool Covers(const PathQuery& b, const PathQuery& a, CoverMode mode) const;
+
+  /// True iff provably: `b` influences every instance of `point` in
+  /// every valid document (selects it, selects an ancestor recursively,
+  /// or — for attribute points — selects the owning element).
+  bool CoversAllInstances(const PathQuery& b, const SchemaPoint& point) const;
+
+  const SchemaGraph& graph() const { return *graph_; }
+
+ private:
+  const SchemaGraph* graph_;
+};
+
+}  // namespace analysis
+}  // namespace xmlsec
+
+#endif  // XMLSEC_ANALYSIS_SCHEMA_PATHS_H_

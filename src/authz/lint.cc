@@ -1,5 +1,10 @@
 #include "authz/lint.h"
 
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "analysis/schema_paths.h"
 #include "xpath/evaluator.h"
 #include "xpath/parser.h"
 
@@ -12,10 +17,31 @@ bool UsesRequesterVariables(const std::string& path) {
   return path.find('$') != std::string::npos;
 }
 
-bool SameExceptSign(const Authorization& a, const Authorization& b) {
-  return a.subject == b.subject && a.object == b.object &&
-         a.action == b.action && a.type == b.type &&
-         a.valid_from == b.valid_from && a.valid_until == b.valid_until;
+/// Bucket key of the pairwise duplicate/contradiction scan: everything
+/// of the 5-tuple except the sign and the validity window, plus the
+/// level.  `\x1f` (ASCII unit separator) keeps fields unambiguous.
+std::string PairKey(const Authorization& auth, bool schema_level) {
+  std::string key = schema_level ? "s" : "i";
+  key += '\x1f';
+  key += auth.subject.ug;
+  key += '\x1f';
+  key += auth.subject.ip.ToString();
+  key += '\x1f';
+  key += auth.subject.sym.ToString();
+  key += '\x1f';
+  key += auth.object.uri;
+  key += '\x1f';
+  key += auth.object.path;
+  key += '\x1f';
+  key += ActionToString(auth.action);
+  key += '\x1f';
+  key += AuthTypeToString(auth.type);
+  return key;
+}
+
+bool WindowsOverlap(const Authorization& a, const Authorization& b) {
+  return std::max(a.valid_from, b.valid_from) <=
+         std::min(a.valid_until, b.valid_until);
 }
 
 }  // namespace
@@ -23,7 +49,7 @@ bool SameExceptSign(const Authorization& a, const Authorization& b) {
 std::vector<LintFinding> LintPolicy(
     std::span<const Authorization> instance_auths,
     std::span<const Authorization> schema_auths, const GroupStore& groups,
-    const xml::Document* doc) {
+    const xml::Document* doc, const xml::Dtd* dtd) {
   std::vector<LintFinding> findings;
   auto add = [&](LintSeverity severity, const char* code,
                  std::string message, int index) {
@@ -38,6 +64,19 @@ std::vector<LintFinding> LintPolicy(
   std::vector<Entry> all;
   for (const Authorization& a : instance_auths) all.push_back({&a, false});
   for (const Authorization& a : schema_auths) all.push_back({&a, true});
+
+  // Schema-aware satisfiability (only when a DTD is supplied).
+  analysis::SchemaGraph graph;
+  std::unique_ptr<analysis::PathAnalyzer> path_analyzer;
+  if (dtd != nullptr) {
+    graph = analysis::SchemaGraph::Build(*dtd);
+    if (graph.valid()) {
+      path_analyzer = std::make_unique<analysis::PathAnalyzer>(&graph);
+    }
+  }
+
+  // Pairwise duplicate/contradiction buckets: key -> earlier indices.
+  std::unordered_map<std::string, std::vector<size_t>> buckets;
 
   for (size_t i = 0; i < all.size(); ++i) {
     const Authorization& auth = *all[i].auth;
@@ -74,24 +113,36 @@ std::vector<LintFinding> LintPolicy(
         add(LintSeverity::kError, "bad-path",
             "object path does not compile: " + compiled.status().message(),
             index);
-      } else if (doc != nullptr && doc->root() != nullptr &&
-                 !UsesRequesterVariables(auth.object.path)) {
-        xpath::Evaluator evaluator;
-        auto selected = evaluator.SelectNodes(**compiled, doc->root());
-        if (selected.ok() && selected->empty()) {
-          add(LintSeverity::kWarning, "dead-target",
-              "object path selects no node of the document: " +
+      } else {
+        if (doc != nullptr && doc->root() != nullptr &&
+            !UsesRequesterVariables(auth.object.path)) {
+          xpath::Evaluator evaluator;
+          auto selected = evaluator.SelectNodes(**compiled, doc->root());
+          if (selected.ok() && selected->empty()) {
+            add(LintSeverity::kWarning, "dead-target",
+                "object path selects no node of the document: " +
+                    auth.object.path,
+                index);
+          }
+        }
+        if (path_analyzer != nullptr &&
+            path_analyzer->Analyze(**compiled).definitely_empty()) {
+          add(LintSeverity::kWarning, "unsat-object",
+              "object path can never select a node of any document valid "
+              "against the DTD: " +
                   auth.object.path,
               index);
         }
       }
     }
 
-    // Pairwise checks against earlier entries (same level only).
-    for (size_t j = 0; j < i; ++j) {
-      if (all[j].schema != all[i].schema) continue;
+    // Pairwise checks against earlier same-bucket entries: same level,
+    // subject, object, action, and type; flagged only when the validity
+    // windows overlap (disjoint windows cannot interact at runtime).
+    std::vector<size_t>& bucket = buckets[PairKey(auth, all[i].schema)];
+    for (size_t j : bucket) {
       const Authorization& other = *all[j].auth;
-      if (!SameExceptSign(auth, other)) continue;
+      if (!WindowsOverlap(auth, other)) continue;
       if (auth.sign == other.sign) {
         add(LintSeverity::kWarning, "duplicate",
             "authorization repeats entry #" + std::to_string(j) + ": " +
@@ -105,6 +156,7 @@ std::vector<LintFinding> LintPolicy(
             index);
       }
     }
+    bucket.push_back(i);
   }
   return findings;
 }

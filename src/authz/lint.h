@@ -9,6 +9,7 @@
 #include "authz/authorization.h"
 #include "authz/subject.h"
 #include "xml/dom.h"
+#include "xml/dtd.h"
 
 namespace xmlsec {
 namespace authz {
@@ -36,10 +37,17 @@ struct LintFinding {
 ///     declared in the GroupStore (and is not the universal group);
 ///   * `weak-schema` (error) — a weak authorization in the schema set;
 ///   * `empty-window` (error) — valid_from > valid_until;
-///   * `duplicate` (warning) — two identical authorizations;
-///   * `contradiction` (warning) — two authorizations identical except
-///     for their sign (resolved by the conflict policy at runtime, but
-///     usually a mistake);
+///   * `unsat-object` (warning) — the object path cannot select a node
+///     of any document valid against the supplied DTD (only when `dtd`
+///     is given; delegates to the `analysis::PathAnalyzer` abstract
+///     interpreter, so it is a proof, not a heuristic);
+///   * `duplicate` (warning) — two authorizations that agree on
+///     subject, object, action, type, and sign, with overlapping
+///     validity windows (the later one is redundant while both apply);
+///   * `contradiction` (warning) — same, but with opposite signs
+///     (resolved by the conflict policy at runtime, but usually a
+///     mistake).  Entries whose windows are disjoint are *not* flagged:
+///     alternating signs over time is a legitimate pattern;
 ///   * `shadowed-subject` (warning) — an authorization that can never
 ///     win because an identical-object, identical-type authorization
 ///     with a strictly more specific subject always overrides it is NOT
@@ -47,11 +55,15 @@ struct LintFinding {
 ///     — but the exact-equal-subject case is covered by `duplicate` /
 ///     `contradiction`.
 ///
-/// `doc` may be null: document-dependent checks are skipped.
+/// `doc` may be null: document-dependent checks are skipped.  `dtd` may
+/// be null: schema-dependent checks (`unsat-object`) are skipped.  The
+/// pairwise duplicate/contradiction scan buckets authorizations by
+/// (level, subject, object, action, type), so its cost is linear in the
+/// policy size plus the number of actual collisions.
 std::vector<LintFinding> LintPolicy(
     std::span<const Authorization> instance_auths,
     std::span<const Authorization> schema_auths, const GroupStore& groups,
-    const xml::Document* doc);
+    const xml::Document* doc, const xml::Dtd* dtd = nullptr);
 
 /// Renders findings one per line ("error[bad-path]: ...").
 std::string LintReport(const std::vector<LintFinding>& findings);

@@ -8,17 +8,11 @@ namespace xml {
 
 namespace {
 
-/// One child edge of the schema tree: target name and arc cardinality.
-struct Edge {
-  std::string name;
-  Cardinality cardinality;
-};
-
 /// Flattens a content particle into child edges.  Group cardinalities
 /// compose with member cardinalities pessimistically: a member inside a
 /// `*` or `?` group can occur zero times, inside a `+` group many times.
 void CollectEdges(const ContentParticle& particle, Cardinality outer,
-                  std::vector<Edge>* out) {
+                  std::vector<SchemaEdge>* out) {
   Cardinality combined = particle.cardinality;
   // Compose outer group cardinality with this particle's.
   auto optional_of = [](Cardinality c) {
@@ -56,7 +50,7 @@ void CollectEdges(const ContentParticle& particle, Cardinality outer,
   }
 
   if (particle.kind == ContentParticle::Kind::kName) {
-    out->push_back(Edge{particle.name, combined});
+    out->push_back(SchemaEdge{particle.name, combined});
     return;
   }
   // Members of a choice are individually optional.
@@ -108,16 +102,7 @@ void Render(const Dtd& dtd, const std::string& name, int depth,
   }
 
   if (decl != nullptr) {
-    std::vector<Edge> edges;
-    if (decl->content_kind == ContentKind::kChildren &&
-        decl->particle.has_value()) {
-      CollectEdges(*decl->particle, Cardinality::kOne, &edges);
-    } else if (decl->content_kind == ContentKind::kMixed) {
-      for (const std::string& mixed : decl->mixed_names) {
-        edges.push_back(Edge{mixed, Cardinality::kZeroOrMore});
-      }
-    }
-    for (const Edge& edge : edges) {
+    for (const SchemaEdge& edge : SchemaChildEdges(dtd, *decl)) {
       bool cycle = on_branch->count(edge.name) > 0;
       *out += indent + " |" + ArcLabel(edge.cardinality) + " (" + edge.name +
               (cycle ? ")^\n" : ")\n");
@@ -130,6 +115,32 @@ void Render(const Dtd& dtd, const std::string& name, int depth,
 }
 
 }  // namespace
+
+std::vector<SchemaEdge> SchemaChildEdges(const Dtd& dtd,
+                                         const ElementDecl& decl) {
+  std::vector<SchemaEdge> edges;
+  switch (decl.content_kind) {
+    case ContentKind::kEmpty:
+      break;
+    case ContentKind::kAny:
+      for (const auto& [name, other] : dtd.elements()) {
+        (void)other;
+        edges.push_back(SchemaEdge{name, Cardinality::kZeroOrMore});
+      }
+      break;
+    case ContentKind::kMixed:
+      for (const std::string& mixed : decl.mixed_names) {
+        edges.push_back(SchemaEdge{mixed, Cardinality::kZeroOrMore});
+      }
+      break;
+    case ContentKind::kChildren:
+      if (decl.particle.has_value()) {
+        CollectEdges(*decl.particle, Cardinality::kOne, &edges);
+      }
+      break;
+  }
+  return edges;
+}
 
 std::string DtdTreeString(const Dtd& dtd, const std::string& root) {
   std::string start = root;

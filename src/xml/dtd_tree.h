@@ -2,11 +2,36 @@
 #define XMLSEC_XML_DTD_TREE_H_
 
 #include <string>
+#include <vector>
 
 #include "xml/dtd.h"
 
 namespace xmlsec {
 namespace xml {
+
+/// One child arc of the schema tree/graph: the target element name and
+/// the (pessimistically composed) cardinality of the relationship.
+struct SchemaEdge {
+  std::string name;
+  Cardinality cardinality = Cardinality::kOne;
+
+  friend bool operator==(const SchemaEdge& a, const SchemaEdge& b) {
+    return a.name == b.name && a.cardinality == b.cardinality;
+  }
+};
+
+/// Flattens `decl`'s content specification into child arcs — the edges of
+/// the paper's schema graph (Fig. 1b).  Group cardinalities compose with
+/// member cardinalities pessimistically (a member of a `*` group is
+/// `--*`, members of a choice are individually optional); `kMixed`
+/// members are `--*`; `kAny` content yields one `--*` edge per element
+/// declared in `dtd`; `kEmpty` yields none.
+///
+/// Shared by the tree renderer below and by the static policy analyzer
+/// (`analysis::SchemaGraph`), which walks these edges instead of a
+/// document instance.
+std::vector<SchemaEdge> SchemaChildEdges(const Dtd& dtd,
+                                         const ElementDecl& decl);
 
 /// Renders a DTD as the paper's graphical tree model (Fig. 1b): one node
 /// per element and attribute, arcs labeled with the cardinality of the

@@ -1,0 +1,291 @@
+// Unit tests of the XPath-over-DTD abstract interpreter: schema-graph
+// construction, abstract satisfiability, containment, and whole-schema
+// coverage — all without any document instance.
+
+#include "analysis/schema_paths.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/docgen.h"
+#include "xml/dtd_parser.h"
+
+namespace xmlsec {
+namespace analysis {
+namespace {
+
+std::unique_ptr<xml::Dtd> MustParseDtd(const std::string& text) {
+  auto dtd = xml::ParseDtd(text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return std::move(*dtd);
+}
+
+/// The paper's Fig. 1 laboratory DTD (via the workload generator).
+class LaboratoryPathsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dtd_ = MustParseDtd(workload::LaboratoryDtd());
+    graph_ = SchemaGraph::Build(*dtd_);
+    ASSERT_TRUE(graph_.valid());
+  }
+
+  AbstractSelection Analyze(const std::string& path) {
+    return PathAnalyzer(&graph_).Analyze(path);
+  }
+
+  std::unique_ptr<xml::Dtd> dtd_;
+  SchemaGraph graph_;
+};
+
+TEST_F(LaboratoryPathsTest, InfersRootOfBareDtd) {
+  // The .dtd text has no doctype name; the only unreferenced element is
+  // the document root.
+  EXPECT_EQ(graph_.root(), "laboratory");
+  EXPECT_TRUE(graph_.reachable().count("paper") > 0);
+  EXPECT_TRUE(graph_.HasAttribute("paper", "category"));
+  EXPECT_FALSE(graph_.HasAttribute("paper", "bogus"));
+}
+
+TEST_F(LaboratoryPathsTest, SatisfiablePaths) {
+  for (const char* path :
+       {"/laboratory", "//paper", "/laboratory/project/paper",
+        "project/paper/title", "//paper/@category", "//*",
+        "/laboratory//paper", "project/manager | project/member",
+        "//paper[./@category=\"public\"]"}) {
+    AbstractSelection sel = Analyze(path);
+    EXPECT_FALSE(sel.unknown) << path;
+    EXPECT_FALSE(sel.points.empty()) << path;
+  }
+}
+
+TEST_F(LaboratoryPathsTest, AbstractPointsAreExact) {
+  AbstractSelection sel = Analyze("//paper");
+  ASSERT_FALSE(sel.unknown);
+  EXPECT_EQ(sel.points, (std::set<SchemaPoint>{{"paper", ""}}));
+
+  sel = Analyze("project/*");
+  ASSERT_FALSE(sel.unknown);
+  EXPECT_EQ(sel.points, (std::set<SchemaPoint>{
+                            {"manager", ""}, {"member", ""},
+                            {"paper", ""}, {"fund", ""}}));
+
+  sel = Analyze("//paper/@category");
+  ASSERT_FALSE(sel.unknown);
+  EXPECT_EQ(sel.points, (std::set<SchemaPoint>{{"paper", "category"}}));
+}
+
+TEST_F(LaboratoryPathsTest, UnsatisfiablePaths) {
+  for (const char* path :
+       {"//budget", "/project", "/laboratory/paper", "//paper/title/fund",
+        "project/manager/paper", "//title/@category",
+        // Predicate over a provably empty operand path.
+        "//paper[budget]", "//paper[./@owner=\"tom\"]",
+        "//paper[budget=\"x\"]"}) {
+    AbstractSelection sel = Analyze(path);
+    EXPECT_FALSE(sel.unknown) << path;
+    EXPECT_TRUE(sel.definitely_empty()) << path;
+  }
+}
+
+TEST_F(LaboratoryPathsTest, PredicatesNeverPruneSatisfiableCandidates) {
+  // Positional / function predicates are kept conservatively.
+  for (const char* path :
+       {"//paper[1]", "//paper[last()]", "//paper[./@category]",
+        "//project[manager]"}) {
+    EXPECT_FALSE(Analyze(path).definitely_empty()) << path;
+  }
+}
+
+TEST_F(LaboratoryPathsTest, UnsupportedConstructsAreUnknown) {
+  for (const char* path :
+       {"//paper/..", "//paper/ancestor::project", "//paper/text()",
+        "$var/paper"}) {
+    EXPECT_TRUE(Analyze(path).unknown) << path;
+  }
+  // Unknown is not "empty": it must not prove anything.
+  EXPECT_FALSE(Analyze("//paper/..").definitely_empty());
+}
+
+TEST_F(LaboratoryPathsTest, EmptyPathSelectsRoot) {
+  PathAnalyzer analyzer(&graph_);
+  AbstractSelection sel = analyzer.Analyze("");
+  EXPECT_EQ(sel.points, (std::set<SchemaPoint>{{"laboratory", ""}}));
+}
+
+TEST_F(LaboratoryPathsTest, InfluenceClosesOverPropagation) {
+  PathAnalyzer analyzer(&graph_);
+  // Local on project: the element and its own attributes only.
+  AbstractSelection local =
+      analyzer.Influence(PathQuery{"//project", false});
+  EXPECT_TRUE(local.MayContain({"project", ""}));
+  EXPECT_TRUE(local.MayContain({"project", "type"}));
+  EXPECT_FALSE(local.MayContain({"paper", ""}));
+  // Recursive on project: the whole subtree.
+  AbstractSelection rec = analyzer.Influence(PathQuery{"//project", true});
+  EXPECT_TRUE(rec.MayContain({"paper", "category"}));
+  EXPECT_TRUE(rec.MayContain({"title", ""}));
+  EXPECT_FALSE(rec.MayContain({"laboratory", ""}));
+}
+
+TEST_F(LaboratoryPathsTest, CoversInfluenceMode) {
+  PathAnalyzer analyzer(&graph_);
+  // A recursive authorization on the root influences everything.
+  PathQuery whole{"", true};
+  EXPECT_TRUE(analyzer.Covers(whole, PathQuery{"//paper", false},
+                              CoverMode::kInfluence));
+  EXPECT_TRUE(analyzer.Covers(whole, PathQuery{"//paper/@category", false},
+                              CoverMode::kInfluence));
+  // The reverse does not hold.
+  EXPECT_FALSE(analyzer.Covers(PathQuery{"//paper", false}, whole,
+                               CoverMode::kInfluence));
+  // //paper covers the more specific /laboratory/project/paper.
+  EXPECT_TRUE(analyzer.Covers(PathQuery{"//paper", false},
+                              PathQuery{"/laboratory/project/paper", false},
+                              CoverMode::kInfluence));
+  // A local authorization covers the attributes of its targets.
+  EXPECT_TRUE(analyzer.Covers(PathQuery{"//paper", false},
+                              PathQuery{"//paper/@category", false},
+                              CoverMode::kInfluence));
+  // Outer queries with predicates can never prove containment.
+  EXPECT_FALSE(analyzer.Covers(PathQuery{"//paper[1]", false},
+                               PathQuery{"//paper", false},
+                               CoverMode::kInfluence));
+  // Inner predicates are ignored (over-approximation stays sound).
+  EXPECT_TRUE(analyzer.Covers(PathQuery{"//paper", false},
+                              PathQuery{"//paper[1]", false},
+                              CoverMode::kInfluence));
+}
+
+TEST_F(LaboratoryPathsTest, CoversSameSlotMode) {
+  PathAnalyzer analyzer(&graph_);
+  // Recursive influence earns no credit in same-slot mode: /laboratory
+  // recursive does NOT explicitly select paper nodes.
+  EXPECT_TRUE(analyzer.Covers(PathQuery{"", true},
+                              PathQuery{"//paper", false},
+                              CoverMode::kInfluence));
+  EXPECT_FALSE(analyzer.Covers(PathQuery{"", true},
+                               PathQuery{"//paper", true},
+                               CoverMode::kSameSlot));
+  // Exact element coverage works.
+  EXPECT_TRUE(analyzer.Covers(PathQuery{"//paper", false},
+                              PathQuery{"/laboratory/project/paper", false},
+                              CoverMode::kSameSlot));
+  // An element query does not same-slot-cover an attribute query.
+  EXPECT_FALSE(analyzer.Covers(PathQuery{"//paper", false},
+                               PathQuery{"//paper/@category", false},
+                               CoverMode::kSameSlot));
+  EXPECT_TRUE(analyzer.Covers(PathQuery{"//paper/@*", false},
+                              PathQuery{"//paper/@category", false},
+                              CoverMode::kSameSlot));
+}
+
+TEST_F(LaboratoryPathsTest, CoversAllInstances) {
+  PathAnalyzer analyzer(&graph_);
+  // //paper selects every paper instance.
+  EXPECT_TRUE(
+      analyzer.CoversAllInstances(PathQuery{"//paper", false},
+                                  SchemaPoint{"paper", ""}));
+  // A recursive root authorization influences every instance of every
+  // point.
+  for (const std::string& element : graph_.reachable()) {
+    EXPECT_TRUE(analyzer.CoversAllInstances(PathQuery{"", true},
+                                            SchemaPoint{element, ""}))
+        << element;
+  }
+  // A local root authorization does not reach papers.
+  EXPECT_FALSE(analyzer.CoversAllInstances(PathQuery{"", false},
+                                           SchemaPoint{"paper", ""}));
+  // /laboratory/project covers all projects (the only parent chain),
+  // and covers project attributes through the element.
+  EXPECT_TRUE(
+      analyzer.CoversAllInstances(PathQuery{"/laboratory/project", false},
+                                  SchemaPoint{"project", ""}));
+  EXPECT_TRUE(
+      analyzer.CoversAllInstances(PathQuery{"/laboratory/project", false},
+                                  SchemaPoint{"project", "type"}));
+  // Predicates disqualify the proof (they may deselect instances).
+  EXPECT_FALSE(analyzer.CoversAllInstances(
+      PathQuery{"//paper[./@category=\"public\"]", false},
+      SchemaPoint{"paper", ""}));
+}
+
+// --- Recursive DTD ------------------------------------------------------
+
+class RecursivePathsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dtd_ = MustParseDtd(
+        "<!ELEMENT part (name, part*)>\n"
+        "<!ATTLIST part serial CDATA #REQUIRED>\n"
+        "<!ELEMENT name (#PCDATA)>\n");
+    graph_ = SchemaGraph::Build(*dtd_);
+    ASSERT_TRUE(graph_.valid());
+  }
+
+  std::unique_ptr<xml::Dtd> dtd_;
+  SchemaGraph graph_;
+};
+
+TEST_F(RecursivePathsTest, RecursionFoldsFinitely) {
+  EXPECT_EQ(graph_.root(), "part");
+  PathAnalyzer analyzer(&graph_);
+  // Arbitrarily deep chains stay satisfiable (the document can nest).
+  EXPECT_FALSE(analyzer.Analyze("/part/part/part/part").definitely_empty());
+  EXPECT_FALSE(analyzer.Analyze("//part/name").definitely_empty());
+  // name has no children: nothing below it.
+  EXPECT_TRUE(analyzer.Analyze("//name/part").definitely_empty());
+  EXPECT_TRUE(analyzer.Analyze("/part/name/name").definitely_empty());
+}
+
+TEST_F(RecursivePathsTest, ContainmentUnderRecursion) {
+  PathAnalyzer analyzer(&graph_);
+  // //part covers every nested part chain.
+  EXPECT_TRUE(analyzer.Covers(PathQuery{"//part", false},
+                              PathQuery{"/part/part/part", false},
+                              CoverMode::kSameSlot));
+  // /part/part does NOT cover /part (the root instance is missed).
+  EXPECT_FALSE(analyzer.Covers(PathQuery{"/part/part", false},
+                               PathQuery{"//part", false},
+                               CoverMode::kSameSlot));
+  // A recursive authorization on the root part influences all names.
+  EXPECT_TRUE(analyzer.Covers(PathQuery{"/part", true},
+                              PathQuery{"//name", false},
+                              CoverMode::kInfluence));
+  // A local one does not.
+  EXPECT_FALSE(analyzer.Covers(PathQuery{"/part", false},
+                               PathQuery{"//name", false},
+                               CoverMode::kInfluence));
+  // //part selects every instance of the folded recursive point.
+  EXPECT_TRUE(analyzer.CoversAllInstances(PathQuery{"//part", false},
+                                          SchemaPoint{"part", ""}));
+  // /part selects only the outermost instance.
+  EXPECT_FALSE(analyzer.CoversAllInstances(PathQuery{"/part", false},
+                                           SchemaPoint{"part", ""}));
+  // ...but recursively it covers them all.
+  EXPECT_TRUE(analyzer.CoversAllInstances(PathQuery{"/part", true},
+                                          SchemaPoint{"part", ""}));
+}
+
+TEST(SchemaGraphTest, InvalidWhenEmpty) {
+  auto dtd = MustParseDtd("<!ENTITY x \"y\">");
+  SchemaGraph graph = SchemaGraph::Build(*dtd);
+  EXPECT_FALSE(graph.valid());
+  PathAnalyzer analyzer(&graph);
+  // Nothing is provable against an empty schema; Analyze reports empty
+  // (no valid documents exist at all), Covers refuses.
+  EXPECT_FALSE(
+      analyzer.Covers(PathQuery{"//a", false}, PathQuery{"//a", false},
+                      CoverMode::kInfluence));
+}
+
+TEST(SchemaGraphTest, DescendantsOf) {
+  auto dtd = MustParseDtd(workload::LaboratoryDtd());
+  SchemaGraph graph = SchemaGraph::Build(*dtd);
+  std::set<std::string> below = graph.DescendantsOf({"paper"}, false);
+  EXPECT_EQ(below, (std::set<std::string>{"title", "abstract"}));
+  below = graph.DescendantsOf({"paper"}, true);
+  EXPECT_EQ(below, (std::set<std::string>{"paper", "title", "abstract"}));
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace xmlsec

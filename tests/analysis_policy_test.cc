@@ -1,0 +1,529 @@
+// Tests of the static policy analyzer, including property-style
+// ground-truth checks against the runtime:
+//
+//   * every `unsat-object` verdict is validated by evaluating the path
+//     on generated valid documents (it must select nothing);
+//   * every `shadowed` verdict is validated by removing the
+//     authorization and comparing ComputeView output for a population
+//     of requesters (the view must not change);
+//   * the decision coverage table is validated against the labeling
+//     pass on generated instances of two DTDs, one of them recursive.
+
+#include "analysis/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "authz/labeling.h"
+#include "authz/processor.h"
+#include "workload/authgen.h"
+#include "workload/docgen.h"
+#include "xml/dtd_parser.h"
+#include "xml/parser.h"
+#include "xml/validator.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlsec {
+namespace analysis {
+namespace {
+
+using authz::Authorization;
+using authz::AuthType;
+using authz::GroupStore;
+using authz::Requester;
+using authz::Sign;
+using authz::Subject;
+using authz::TriSign;
+
+Authorization Auth(const std::string& subject, const std::string& path,
+                   Sign sign, AuthType type,
+                   const std::string& uri = "doc.xml") {
+  Authorization auth;
+  auto made = Subject::Make(subject, "*", "*");
+  EXPECT_TRUE(made.ok());
+  auth.subject = *made;
+  auth.object.uri = uri;
+  auth.object.path = path;
+  auth.sign = sign;
+  auth.type = type;
+  return auth;
+}
+
+std::unique_ptr<xml::Dtd> MustParseDtd(const std::string& text) {
+  auto dtd = xml::ParseDtd(text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return std::move(*dtd);
+}
+
+std::vector<const authz::LintFinding*> FindingsWithCode(
+    const PolicyAnalysis& analysis, const std::string& code) {
+  std::vector<const authz::LintFinding*> out;
+  for (const authz::LintFinding& f : analysis.findings) {
+    if (f.code == code) out.push_back(&f);
+  }
+  return out;
+}
+
+const Decision* CellFor(const CoverageTable& table, const SchemaPoint& point,
+                        const Subject& subject) {
+  for (size_t i = 0; i < table.points.size(); ++i) {
+    if (!(table.points[i] == point)) continue;
+    for (size_t j = 0; j < table.subjects.size(); ++j) {
+      if (table.subjects[j] == subject) return &table.cells[i][j];
+    }
+  }
+  return nullptr;
+}
+
+// --- Finding-level unit tests -------------------------------------------
+
+class LaboratoryAnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dtd_ = MustParseDtd(workload::LaboratoryDtd()); }
+
+  PolicyAnalysis Analyze(std::vector<Authorization> instance,
+                         std::vector<Authorization> schema = {},
+                         AnalyzerOptions options = {}) {
+    return AnalyzePolicy(instance, schema, groups_, *dtd_, options);
+  }
+
+  std::unique_ptr<xml::Dtd> dtd_;
+  GroupStore groups_;
+};
+
+TEST_F(LaboratoryAnalyzerTest, FlagsUnsatisfiableObjects) {
+  PolicyAnalysis analysis = Analyze(
+      {Auth("Public", "//budget", Sign::kMinus, AuthType::kRecursive),
+       Auth("Public", "//paper", Sign::kPlus, AuthType::kRecursive)});
+  auto unsat = FindingsWithCode(analysis, "unsat-object");
+  ASSERT_EQ(unsat.size(), 1u);
+  EXPECT_EQ(unsat[0]->auth_index, 0);
+  EXPECT_EQ(unsat[0]->severity, authz::LintSeverity::kWarning);
+}
+
+TEST_F(LaboratoryAnalyzerTest, FlagsSameSignShadowing) {
+  // The broader recursive authorization dominates the narrower one.
+  PolicyAnalysis analysis = Analyze(
+      {Auth("Public", "//project", Sign::kPlus, AuthType::kRecursive),
+       Auth("Public", "//paper", Sign::kPlus, AuthType::kRecursive)});
+  auto shadowed = FindingsWithCode(analysis, "shadowed");
+  ASSERT_EQ(shadowed.size(), 1u);
+  EXPECT_EQ(shadowed[0]->auth_index, 1);
+}
+
+TEST_F(LaboratoryAnalyzerTest, OppositeSignBlocksShadowing) {
+  // Same pair, but a denial overlaps the shadowed region: the narrower
+  // authorization now matters (it can re-permit under a more specific
+  // subject or flip slot resolution), so it must not be reported.
+  groups_.AddMembership("tom", "Public");
+  PolicyAnalysis analysis = Analyze(
+      {Auth("Public", "//project", Sign::kPlus, AuthType::kRecursive),
+       Auth("Public", "//paper", Sign::kPlus, AuthType::kRecursive),
+       Auth("tom", "//paper", Sign::kMinus, AuthType::kLocal)});
+  EXPECT_TRUE(FindingsWithCode(analysis, "shadowed").empty());
+}
+
+TEST_F(LaboratoryAnalyzerTest, SubjectSpecificityRequiredForShadowing) {
+  // The candidate's subject must be dominated by the witness's.
+  groups_.AddUser("tom");
+  groups_.AddGroup("Staff");
+  PolicyAnalysis analysis = Analyze(
+      {Auth("Staff", "//paper", Sign::kPlus, AuthType::kRecursive),
+       Auth("tom", "//paper", Sign::kPlus, AuthType::kRecursive)});
+  // tom is not a member of Staff: neither shadows the other.
+  EXPECT_TRUE(FindingsWithCode(analysis, "shadowed").empty());
+
+  groups_.AddMembership("tom", "Staff");
+  analysis = Analyze(
+      {Auth("Staff", "//paper", Sign::kPlus, AuthType::kRecursive),
+       Auth("tom", "//paper", Sign::kPlus, AuthType::kRecursive)});
+  auto shadowed = FindingsWithCode(analysis, "shadowed");
+  ASSERT_EQ(shadowed.size(), 1u);
+  EXPECT_EQ(shadowed[0]->auth_index, 1);
+}
+
+TEST_F(LaboratoryAnalyzerTest, OppositeSignShadowingUnderDenialsPolicy) {
+  // Identical slots, opposite signs: under denials-take-precedence the
+  // permission can never win — it is shadowed by the denial.
+  PolicyAnalysis analysis = Analyze(
+      {Auth("Public", "//paper", Sign::kPlus, AuthType::kLocal),
+       Auth("Public", "//paper", Sign::kMinus, AuthType::kLocal)});
+  auto shadowed = FindingsWithCode(analysis, "shadowed");
+  ASSERT_EQ(shadowed.size(), 1u);
+  EXPECT_EQ(shadowed[0]->auth_index, 0);
+
+  // Under nothing-takes-precedence there is no static winner.
+  AnalyzerOptions options;
+  options.policy.conflict = authz::ConflictPolicy::kNothingTakesPrecedence;
+  analysis = Analyze(
+      {Auth("Public", "//paper", Sign::kPlus, AuthType::kLocal),
+       Auth("Public", "//paper", Sign::kMinus, AuthType::kLocal)},
+      {}, options);
+  EXPECT_TRUE(FindingsWithCode(analysis, "shadowed").empty());
+}
+
+TEST_F(LaboratoryAnalyzerTest, FlagsStaticConflicts) {
+  groups_.AddMembership("tom", "Public");
+  PolicyAnalysis analysis = Analyze(
+      {Auth("Public", "//project", Sign::kPlus, AuthType::kRecursive),
+       Auth("tom", "//paper", Sign::kMinus, AuthType::kRecursive)});
+  auto conflicts = FindingsWithCode(analysis, "schema-conflict");
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_NE(conflicts[0]->message.find("more specific subject"),
+            std::string::npos);
+
+  // Disjoint objects: no conflict.
+  analysis = Analyze(
+      {Auth("Public", "//manager", Sign::kPlus, AuthType::kRecursive),
+       Auth("tom", "//paper", Sign::kMinus, AuthType::kRecursive)});
+  EXPECT_TRUE(FindingsWithCode(analysis, "schema-conflict").empty());
+
+  // Incomparable subjects: resolved by design, not reported.
+  groups_.AddUser("bob");
+  groups_.AddGroup("Staff");
+  analysis = Analyze(
+      {Auth("Staff", "//paper", Sign::kPlus, AuthType::kRecursive),
+       Auth("bob", "//paper", Sign::kMinus, AuthType::kRecursive)});
+  EXPECT_TRUE(FindingsWithCode(analysis, "schema-conflict").empty());
+}
+
+TEST_F(LaboratoryAnalyzerTest, DisjointWindowsDoNotConflict) {
+  Authorization allow =
+      Auth("Public", "//paper", Sign::kPlus, AuthType::kRecursive);
+  Authorization deny =
+      Auth("Public", "//paper", Sign::kMinus, AuthType::kRecursive);
+  allow.valid_from = 0;
+  allow.valid_until = 99;
+  deny.valid_from = 100;
+  deny.valid_until = 200;
+  PolicyAnalysis analysis = Analyze({allow, deny});
+  EXPECT_TRUE(FindingsWithCode(analysis, "schema-conflict").empty());
+}
+
+TEST_F(LaboratoryAnalyzerTest, CoverageTableDecisions) {
+  groups_.AddMembership("tom", "Public");
+  AnalyzerOptions options;
+  PolicyAnalysis analysis = Analyze(
+      {Auth("Public", "", Sign::kPlus, AuthType::kRecursive),
+       Auth("tom", "//paper", Sign::kMinus, AuthType::kLocal)},
+      {}, options);
+
+  Subject pub = *Subject::Make("Public", "*", "*");
+  Subject tom = *Subject::Make("tom", "*", "*");
+
+  // Public: only the root grant applies — definitely '+' everywhere.
+  for (const SchemaPoint& point : analysis.coverage.points) {
+    const Decision* cell = CellFor(analysis.coverage, point, pub);
+    ASSERT_NE(cell, nullptr);
+    EXPECT_EQ(*cell, Decision::kPlus) << point.ToString();
+  }
+  // tom: the denial overrides on papers (mixed signs => unknown there),
+  // '+' elsewhere.
+  const Decision* cell =
+      CellFor(analysis.coverage, SchemaPoint{"paper", ""}, tom);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(*cell, Decision::kUnknown);
+  cell = CellFor(analysis.coverage, SchemaPoint{"title", ""}, tom);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(*cell, Decision::kPlus);
+}
+
+TEST_F(LaboratoryAnalyzerTest, CoverageOpenAndOrOpenDecisions) {
+  PolicyAnalysis analysis = Analyze(
+      {Auth("Public", "//paper[./@category=\"public\"]", Sign::kPlus,
+            AuthType::kRecursive)});
+  Subject pub = *Subject::Make("Public", "*", "*");
+  // The predicate may deselect instances: '+' or open, never definite.
+  const Decision* cell =
+      CellFor(analysis.coverage, SchemaPoint{"paper", ""}, pub);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(*cell, Decision::kPlusOrOpen);
+  // Untouched regions stay open.
+  cell = CellFor(analysis.coverage, SchemaPoint{"manager", ""}, pub);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(*cell, Decision::kOpen);
+}
+
+TEST_F(LaboratoryAnalyzerTest, ReportContainsFindingsAndTable) {
+  PolicyAnalysis analysis = Analyze(
+      {Auth("Public", "//budget", Sign::kMinus, AuthType::kRecursive)});
+  std::string report = AnalysisReport(analysis);
+  EXPECT_NE(report.find("unsat-object"), std::string::npos);
+  EXPECT_NE(report.find("decision coverage"), std::string::npos);
+  EXPECT_NE(report.find("laboratory"), std::string::npos);
+}
+
+TEST(AnalyzerEdgeTest, EmptyDtdYieldsNoSchemaFinding) {
+  auto dtd = xml::ParseDtd("<!ENTITY x \"y\">");
+  ASSERT_TRUE(dtd.ok());
+  GroupStore groups;
+  PolicyAnalysis analysis = AnalyzePolicy({}, {}, groups, **dtd, {});
+  auto missing = FindingsWithCode(analysis, "no-schema");
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_TRUE(analysis.coverage.points.empty());
+}
+
+// --- Property: unsat verdicts hold on generated documents ---------------
+
+TEST(AnalyzerPropertyTest, UnsatVerdictsSelectNothingOnInstances) {
+  // Candidate paths: a mix of live, dead, and unanalyzable ones.
+  const std::vector<std::string> paths = {
+      "//paper", "//budget", "/laboratory/paper", "project/fund",
+      "//paper[./@category=\"public\"]", "//paper[./@owner]",
+      "//member/lname", "//manager/paper", "//fund/@sponsor",
+      "//title/@id", "project/manager | project/budget", "//paper/.."};
+
+  auto dtd = MustParseDtd(workload::LaboratoryDtd());
+  SchemaGraph graph = SchemaGraph::Build(*dtd);
+  ASSERT_TRUE(graph.valid());
+  PathAnalyzer analyzer(&graph);
+
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    std::unique_ptr<xml::Document> doc =
+        workload::GenerateLaboratory(3, 4, seed);
+    ASSERT_NE(doc->root(), nullptr);
+    for (const std::string& path : paths) {
+      AbstractSelection sel = analyzer.Analyze(path);
+      if (sel.unknown) continue;
+      auto compiled = xpath::CompileXPath(path);
+      ASSERT_TRUE(compiled.ok()) << path;
+      xpath::Evaluator evaluator;
+      auto selected = evaluator.SelectNodes(**compiled, doc->root());
+      ASSERT_TRUE(selected.ok()) << path;
+      if (sel.definitely_empty()) {
+        EXPECT_TRUE(selected->empty())
+            << "claimed unsatisfiable but selects nodes: " << path;
+      }
+      // Soundness of the over-approximation: every concretely selected
+      // element/attribute maps to an abstract point.
+      for (const xml::Node* node : *selected) {
+        if (const xml::Element* el = node->AsElement()) {
+          EXPECT_TRUE(sel.MayContain(SchemaPoint{el->tag(), ""}))
+              << path << " selected element " << el->tag();
+        } else if (const xml::Attr* attr = node->AsAttr()) {
+          const xml::Element* owner = node->ParentElement();
+          ASSERT_NE(owner, nullptr);
+          EXPECT_TRUE(
+              sel.MayContain(SchemaPoint{owner->tag(), attr->name()}))
+              << path << " selected @" << attr->name();
+        }
+      }
+    }
+  }
+}
+
+// --- Property: shadowed auths never change any view ---------------------
+
+TEST(AnalyzerPropertyTest, ShadowedAuthRemovalPreservesViews) {
+  int shadowed_total = 0;
+  for (uint64_t seed : {3u, 11u, 42u, 77u}) {
+    workload::DocGenConfig doc_config;
+    doc_config.depth = 3;
+    doc_config.fanout = 3;
+    doc_config.seed = seed;
+    std::unique_ptr<xml::Document> doc =
+        workload::GenerateDocument(doc_config);
+    ASSERT_NE(doc->dtd(), nullptr);
+
+    workload::AuthGenConfig auth_config;
+    auth_config.count = 24;
+    auth_config.weak_fraction = 0;  // ComputeView rejects weak schema auths
+    auth_config.seed = seed * 31 + 5;
+    workload::GeneratedWorkload wl = workload::GenerateAuthorizations(
+        *doc, "d.xml", "s.dtd", auth_config);
+
+    // Duplicate a few authorizations verbatim so shadowing always has
+    // material to find (generated ones are often pairwise distinct).
+    for (size_t k = 0; k + 1 < wl.instance_auths.size() && k < 4; k += 2) {
+      wl.instance_auths.push_back(wl.instance_auths[k]);
+    }
+
+    PolicyAnalysis analysis = AnalyzePolicy(
+        wl.instance_auths, wl.schema_auths, wl.groups, *doc->dtd(), {});
+
+    // Requester population: the generated requester plus every user.
+    std::vector<Requester> requesters = {wl.requester};
+    for (const std::string& user : wl.users) {
+      Requester rq = wl.requester;
+      rq.user = user;
+      requesters.push_back(rq);
+    }
+
+    authz::SecurityProcessor processor(&wl.groups, {});
+    for (const authz::LintFinding* finding :
+         FindingsWithCode(analysis, "shadowed")) {
+      ++shadowed_total;
+      size_t index = static_cast<size_t>(finding->auth_index);
+      ASSERT_LT(index, wl.instance_auths.size() + wl.schema_auths.size());
+      std::vector<Authorization> instance = wl.instance_auths;
+      std::vector<Authorization> schema = wl.schema_auths;
+      if (index < instance.size()) {
+        instance.erase(instance.begin() + static_cast<int64_t>(index));
+      } else {
+        schema.erase(schema.begin() +
+                     static_cast<int64_t>(index - instance.size()));
+      }
+      for (const Requester& rq : requesters) {
+        auto with = processor.ComputeView(*doc, wl.instance_auths,
+                                          wl.schema_auths, rq);
+        auto without = processor.ComputeView(*doc, instance, schema, rq);
+        ASSERT_TRUE(with.ok() && without.ok());
+        EXPECT_EQ(with->ToXml(), without->ToXml())
+            << "removing shadowed auth#" << index << " changed the view of "
+            << rq.ToString() << " (seed " << seed << ")";
+      }
+    }
+  }
+  // The duplicated authorizations guarantee the property is exercised.
+  EXPECT_GT(shadowed_total, 0);
+}
+
+// --- Property: coverage table matches labeling --------------------------
+
+void CheckNodeAgainstTable(const xml::Node* node,
+                           const authz::LabelMap& labels,
+                           const CoverageTable& table,
+                           const Subject& subject) {
+  SchemaPoint point;
+  if (const xml::Element* el = node->AsElement()) {
+    point = SchemaPoint{el->tag(), ""};
+  } else if (const xml::Attr* attr = node->AsAttr()) {
+    point = SchemaPoint{node->ParentElement()->tag(), attr->name()};
+  } else {
+    return;  // text nodes are not schema points
+  }
+  const Decision* cell = CellFor(table, point, subject);
+  ASSERT_NE(cell, nullptr) << point.ToString();
+  TriSign sign = labels.FinalSign(node);
+  switch (*cell) {
+    case Decision::kOpen:
+      EXPECT_EQ(sign, TriSign::kEps) << point.ToString();
+      break;
+    case Decision::kPlus:
+      EXPECT_EQ(sign, TriSign::kPlus) << point.ToString();
+      break;
+    case Decision::kMinus:
+      EXPECT_EQ(sign, TriSign::kMinus) << point.ToString();
+      break;
+    case Decision::kPlusOrOpen:
+      EXPECT_TRUE(sign == TriSign::kPlus || sign == TriSign::kEps)
+          << point.ToString();
+      break;
+    case Decision::kMinusOrOpen:
+      EXPECT_TRUE(sign == TriSign::kMinus || sign == TriSign::kEps)
+          << point.ToString();
+      break;
+    case Decision::kUnknown:
+      break;  // no static claim
+  }
+}
+
+void CheckTreeAgainstTable(const xml::Node* node,
+                           const authz::LabelMap& labels,
+                           const CoverageTable& table,
+                           const Subject& subject) {
+  CheckNodeAgainstTable(node, labels, table, subject);
+  if (const xml::Element* el = node->AsElement()) {
+    for (const auto& attr : el->attributes()) {
+      CheckNodeAgainstTable(attr.get(), labels, table, subject);
+    }
+  }
+  for (const auto& child : node->children()) {
+    CheckTreeAgainstTable(child.get(), labels, table, subject);
+  }
+}
+
+TEST(AnalyzerPropertyTest, CoverageTableMatchesLabelingOnLaboratory) {
+  auto dtd = MustParseDtd(workload::LaboratoryDtd());
+  GroupStore groups;
+  groups.AddMembership("tom", "Public");
+
+  std::vector<Authorization> instance = {
+      Auth("Public", "//project", Sign::kPlus, AuthType::kRecursive),
+      Auth("tom", "//paper", Sign::kMinus, AuthType::kLocal),
+      Auth("tom", "//fund", Sign::kMinus, AuthType::kRecursive)};
+  std::vector<Authorization> schema = {
+      Auth("Public", "/laboratory", Sign::kPlus, AuthType::kLocal,
+           "s.dtd")};
+
+  PolicyAnalysis analysis =
+      AnalyzePolicy(instance, schema, groups, *dtd, {});
+
+  authz::TreeLabeler labeler(&groups, {});
+  for (uint64_t seed : {2u, 9u, 31u}) {
+    std::unique_ptr<xml::Document> doc =
+        workload::GenerateLaboratory(3, 3, seed);
+    for (const char* user : {"tom", "someone"}) {
+      Requester rq;
+      rq.user = user;
+      rq.ip = "10.0.0.1";
+      rq.sym = "host.example.org";
+      auto labels = labeler.Label(*doc, instance, schema, rq);
+      ASSERT_TRUE(labels.ok());
+      Subject column = *Subject::Make(user, "*", "*");
+      if (CellFor(analysis.coverage, SchemaPoint{"laboratory", ""},
+                  column) == nullptr) {
+        // "someone" is only reachable through the Public column.
+        column = *Subject::Make("Public", "*", "*");
+      }
+      CheckTreeAgainstTable(doc->root(), *labels, analysis.coverage,
+                            column);
+    }
+  }
+}
+
+TEST(AnalyzerPropertyTest, CoverageTableMatchesLabelingOnRecursiveDtd) {
+  const std::string dtd_text =
+      "<!ELEMENT part (name, part*)>\n"
+      "<!ATTLIST part serial CDATA #REQUIRED>\n"
+      "<!ELEMENT name (#PCDATA)>\n";
+  auto dtd = MustParseDtd(dtd_text);
+  GroupStore groups;
+
+  std::vector<Authorization> instance = {
+      Auth("Public", "/part", Sign::kPlus, AuthType::kLocal),
+      Auth("Public", "//name", Sign::kMinus, AuthType::kLocal)};
+
+  PolicyAnalysis analysis = AnalyzePolicy(instance, {}, groups, *dtd, {});
+  Subject pub = *Subject::Make("Public", "*", "*");
+
+  // Static expectations on the folded recursive schema.  The folded
+  // "part" point conflates the outermost part with nested ones, so the
+  // local root grant yields "+ or open", not a definite '+'.
+  const Decision* cell =
+      CellFor(analysis.coverage, SchemaPoint{"part", ""}, pub);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(*cell, Decision::kPlusOrOpen);
+  cell = CellFor(analysis.coverage, SchemaPoint{"name", ""}, pub);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(*cell, Decision::kMinus);  // //name denial hits every name
+
+  // Dynamic confirmation on a nested instance.
+  auto doc = xml::ParseDocument(
+      "<part serial=\"a\"><name>top</name>"
+      "<part serial=\"b\"><name>mid</name>"
+      "<part serial=\"c\"><name>leaf</name></part></part></part>");
+  ASSERT_TRUE(doc.ok());
+  auto parsed_dtd = MustParseDtd(dtd_text);
+  parsed_dtd->set_name("part");
+  (*doc)->set_dtd(std::move(parsed_dtd));
+  ASSERT_TRUE(xml::ValidateDocument(doc->get()).ok());
+  (*doc)->Reindex();
+
+  authz::TreeLabeler labeler(&groups, {});
+  Requester rq;
+  rq.user = "anyone";
+  rq.ip = "10.0.0.1";
+  rq.sym = "host.example.org";
+  auto labels = labeler.Label(**doc, instance, {}, rq);
+  ASSERT_TRUE(labels.ok());
+  CheckTreeAgainstTable((*doc)->root(), *labels, analysis.coverage, pub);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace xmlsec

@@ -1,0 +1,191 @@
+// Focused edge-case tests of the policy linter: weak schema
+// authorizations, empty validity windows, requester-variable paths, the
+// window-overlap semantics of the duplicate/contradiction scan, and the
+// DTD-backed unsat-object check.
+
+#include "authz/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/docgen.h"
+#include "xml/dtd_parser.h"
+#include "xml/parser.h"
+#include "xml/validator.h"
+
+namespace xmlsec {
+namespace authz {
+namespace {
+
+Authorization Auth(const std::string& subject, const std::string& path,
+                   Sign sign, AuthType type) {
+  Authorization auth;
+  auto made = Subject::Make(subject, "*", "*");
+  EXPECT_TRUE(made.ok());
+  auth.subject = *made;
+  auth.object.uri = "doc.xml";
+  auth.object.path = path;
+  auth.sign = sign;
+  auth.type = type;
+  return auth;
+}
+
+std::vector<std::string> Codes(const std::vector<LintFinding>& findings) {
+  std::vector<std::string> out;
+  for (const LintFinding& f : findings) out.push_back(f.code);
+  return out;
+}
+
+class LintEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto doc = xml::ParseDocument(
+        "<laboratory><project name=\"p\" type=\"public\">"
+        "<manager><fname>A</fname><lname>B</lname></manager>"
+        "<paper category=\"public\"><title>t</title></paper>"
+        "</project></laboratory>");
+    ASSERT_TRUE(doc.ok());
+    auto dtd = xml::ParseDtd(workload::LaboratoryDtd());
+    ASSERT_TRUE(dtd.ok());
+    (*dtd)->set_name("laboratory");
+    (*doc)->set_dtd(std::move(*dtd));
+    ASSERT_TRUE(xml::ValidateDocument(doc->get()).ok());
+    (*doc)->Reindex();
+    doc_ = std::move(*doc);
+    groups_.AddGroup("Staff");
+  }
+
+  std::vector<LintFinding> Lint(const std::vector<Authorization>& instance,
+                                const std::vector<Authorization>& schema = {},
+                                bool with_dtd = false) {
+    return LintPolicy(instance, schema, groups_, doc_.get(),
+                      with_dtd ? doc_->dtd() : nullptr);
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  GroupStore groups_;
+};
+
+TEST_F(LintEdgeTest, WeakSchemaIsErrorOnlyAtSchemaLevel) {
+  Authorization weak =
+      Auth("Staff", "//paper", Sign::kPlus, AuthType::kRecursiveWeak);
+  // Weak at instance level: fine.
+  EXPECT_TRUE(Lint({weak}).empty());
+  // Weak at schema level: error.
+  auto findings = Lint({}, {weak});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "weak-schema");
+  EXPECT_EQ(findings[0].severity, LintSeverity::kError);
+  EXPECT_EQ(findings[0].auth_index, 0);
+}
+
+TEST_F(LintEdgeTest, EmptyWindowIsError) {
+  Authorization auth =
+      Auth("Staff", "//paper", Sign::kPlus, AuthType::kRecursive);
+  auth.valid_from = 10;
+  auth.valid_until = 9;
+  auto findings = Lint({auth});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "empty-window");
+  EXPECT_EQ(findings[0].severity, LintSeverity::kError);
+  // A one-second window is not empty.
+  auth.valid_until = 10;
+  EXPECT_TRUE(Lint({auth}).empty());
+}
+
+TEST_F(LintEdgeTest, VariablePathsSkipDeadTargetButNotBadPath) {
+  // $user makes the selection per-request: never reported dead, even
+  // though it selects nothing for any current binding.
+  Authorization variable = Auth("Staff", "//paper[./@category=$user]",
+                                Sign::kPlus, AuthType::kRecursive);
+  EXPECT_TRUE(Lint({variable}).empty());
+  // Syntax errors are still reported on variable paths.
+  Authorization broken =
+      Auth("Staff", "//paper[$user", Sign::kPlus, AuthType::kRecursive);
+  auto findings = Lint({broken});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "bad-path");
+}
+
+TEST_F(LintEdgeTest, DuplicateRequiresOverlappingWindows) {
+  Authorization first =
+      Auth("Staff", "//paper", Sign::kPlus, AuthType::kRecursive);
+  Authorization second = first;
+  // Disjoint windows: same tuple, but they can never both apply.
+  first.valid_from = 0;
+  first.valid_until = 99;
+  second.valid_from = 100;
+  second.valid_until = 199;
+  EXPECT_TRUE(Lint({first, second}).empty());
+  // Touching windows overlap at one instant: flagged.
+  second.valid_from = 99;
+  auto findings = Lint({first, second});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "duplicate");
+  EXPECT_EQ(findings[0].auth_index, 1);
+}
+
+TEST_F(LintEdgeTest, ContradictionRequiresOverlappingWindows) {
+  Authorization allow =
+      Auth("Staff", "//paper", Sign::kPlus, AuthType::kRecursive);
+  Authorization deny = allow;
+  deny.sign = Sign::kMinus;
+  // Fully overlapping (permanent) windows: contradiction.
+  auto findings = Lint({allow, deny});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "contradiction");
+  // Alternating signs over disjoint periods is a legitimate pattern.
+  allow.valid_from = 0;
+  allow.valid_until = 49;
+  deny.valid_from = 50;
+  deny.valid_until = 99;
+  EXPECT_TRUE(Lint({allow, deny}).empty());
+}
+
+TEST_F(LintEdgeTest, DifferentTypesNeverPair) {
+  Authorization local =
+      Auth("Staff", "//paper", Sign::kPlus, AuthType::kLocal);
+  Authorization recursive =
+      Auth("Staff", "//paper", Sign::kPlus, AuthType::kRecursive);
+  EXPECT_TRUE(Lint({local, recursive}).empty());
+}
+
+TEST_F(LintEdgeTest, ContradictionReportedAgainstEveryEarlierEntry) {
+  Authorization a = Auth("Staff", "//paper", Sign::kPlus, AuthType::kRecursive);
+  Authorization b = a;
+  Authorization c = a;
+  c.sign = Sign::kMinus;
+  auto findings = Lint({a, b, c});
+  EXPECT_EQ(Codes(findings), (std::vector<std::string>{
+                                 "duplicate", "contradiction",
+                                 "contradiction"}));
+}
+
+TEST_F(LintEdgeTest, InstanceAndSchemaLevelsNeverPair) {
+  Authorization auth =
+      Auth("Staff", "//paper", Sign::kPlus, AuthType::kRecursive);
+  EXPECT_TRUE(Lint({auth}, {auth}).empty());
+}
+
+TEST_F(LintEdgeTest, UnsatObjectRequiresDtd) {
+  // "//budget" misses this document *and* every valid document.
+  Authorization dead =
+      Auth("Staff", "//budget", Sign::kMinus, AuthType::kRecursive);
+  EXPECT_EQ(Codes(Lint({dead})), (std::vector<std::string>{"dead-target"}));
+  EXPECT_EQ(Codes(Lint({dead}, {}, /*with_dtd=*/true)),
+            (std::vector<std::string>{"dead-target", "unsat-object"}));
+
+  // "//abstract" misses this document but other valid documents have
+  // abstracts: dead-target only, even with the DTD.
+  Authorization instance_dead =
+      Auth("Staff", "//abstract", Sign::kMinus, AuthType::kRecursive);
+  EXPECT_EQ(Codes(Lint({instance_dead}, {}, /*with_dtd=*/true)),
+            (std::vector<std::string>{"dead-target"}));
+}
+
+}  // namespace
+}  // namespace authz
+}  // namespace xmlsec
