@@ -6,9 +6,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "server/document_server.h"
 #include "server/http.h"
 #include "server/repository.h"
+#include "server/tcp_listener.h"
 #include "server/user_directory.h"
 #include "workload/authgen.h"
 #include "workload/docgen.h"
@@ -148,6 +153,51 @@ void BM_RequestByDocumentSize(benchmark::State& state) {
   state.counters["projects"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_RequestByDocumentSize)->Arg(10)->Arg(100)->Arg(1000);
+
+/// Concurrent load over the real TCP path.  Arg = listener worker
+/// threads; 4 client threads hammer the socket.  Compares the bounded
+/// worker pool (Arg 4) against a single serving thread (Arg 1) — the
+/// pool must not be slower than the single-thread baseline.
+void BM_TcpConcurrentLoad(benchmark::State& state) {
+  ServerFixture& f = Fixture();
+  ServerConfig config;
+  config.view_cache_capacity = 64;
+  SecureDocumentServer server(&f.repo, &f.users, &f.groups, config);
+  ListenerConfig listener_config;
+  listener_config.worker_threads = static_cast<int>(state.range(0));
+  listener_config.accept_queue_limit = 256;
+  TcpHttpListener listener(&server, "bench.example", listener_config);
+  if (!listener.Start(0).ok()) {
+    state.SkipWithError("listener failed to start");
+    return;
+  }
+  constexpr int kClientThreads = 4;
+  constexpr int kRequestsPerThread = 8;
+  int64_t completed = 0;
+  for (auto _ : state) {
+    std::atomic<int64_t> round_ok{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClientThreads);
+    for (int c = 0; c < kClientThreads; ++c) {
+      clients.emplace_back([&] {
+        for (int r = 0; r < kRequestsPerThread; ++r) {
+          auto response = FetchHttp(listener.port(), f.raw_request);
+          if (response.ok() &&
+              response->find("200 OK") != std::string::npos) {
+            round_ok.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    completed += round_ok.load();
+  }
+  listener.Stop();
+  state.SetItemsProcessed(completed);
+  state.counters["workers"] = static_cast<double>(state.range(0));
+  state.counters["shed"] = static_cast<double>(listener.requests_shed());
+}
+BENCHMARK(BM_TcpConcurrentLoad)->Arg(1)->Arg(4)->UseRealTime();
 
 }  // namespace
 }  // namespace server

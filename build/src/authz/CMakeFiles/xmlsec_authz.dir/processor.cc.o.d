@@ -222,5 +222,5 @@ src/authz/CMakeFiles/xmlsec_authz.dir/processor.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/xml/dtd.h \
  /root/repo/src/authz/prune.h /root/repo/src/xml/serializer.h \
- /root/repo/src/authz/loosening.h /root/repo/src/xml/validator.h \
- /root/repo/src/xml/content_model.h
+ /root/repo/src/authz/loosening.h /root/repo/src/common/failpoint.h \
+ /root/repo/src/xml/validator.h /root/repo/src/xml/content_model.h

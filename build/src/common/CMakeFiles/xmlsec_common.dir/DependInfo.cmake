@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/failpoint.cc" "src/common/CMakeFiles/xmlsec_common.dir/failpoint.cc.o" "gcc" "src/common/CMakeFiles/xmlsec_common.dir/failpoint.cc.o.d"
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/xmlsec_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/xmlsec_common.dir/status.cc.o.d"
   "/root/repo/src/common/str_util.cc" "src/common/CMakeFiles/xmlsec_common.dir/str_util.cc.o" "gcc" "src/common/CMakeFiles/xmlsec_common.dir/str_util.cc.o.d"
   )

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/xmlsec_common.dir/failpoint.cc.o"
+  "CMakeFiles/xmlsec_common.dir/failpoint.cc.o.d"
   "CMakeFiles/xmlsec_common.dir/status.cc.o"
   "CMakeFiles/xmlsec_common.dir/status.cc.o.d"
   "CMakeFiles/xmlsec_common.dir/str_util.cc.o"

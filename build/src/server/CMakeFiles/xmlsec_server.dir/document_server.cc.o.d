@@ -233,5 +233,8 @@ src/server/CMakeFiles/xmlsec_server.dir/document_server.cc.o: \
  /root/repo/src/server/user_directory.h \
  /root/repo/src/server/view_cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/failpoint.h \
  /root/repo/src/xpath/evaluator.h /root/repo/src/xpath/ast.h \
  /root/repo/src/xpath/value.h

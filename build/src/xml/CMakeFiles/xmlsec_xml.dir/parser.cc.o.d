@@ -214,6 +214,8 @@ src/xml/CMakeFiles/xmlsec_xml.dir/parser.cc.o: \
  /root/repo/src/xml/dom.h /root/repo/src/xml/dtd.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/str_util.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/common/failpoint.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/common/str_util.h \
  /root/repo/src/xml/cursor.h /root/repo/src/xml/chars.h \
  /root/repo/src/xml/dtd_parser.h

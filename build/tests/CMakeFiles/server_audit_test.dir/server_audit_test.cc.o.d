@@ -293,13 +293,17 @@ tests/CMakeFiles/server_audit_test.dir/server_audit_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/common/failpoint.h \
+ /usr/include/c++/12/span /root/repo/src/common/status.h \
  /root/repo/src/server/audit_log.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/server/document_server.h /root/repo/src/common/result.h \
- /root/repo/src/common/status.h /root/repo/src/authz/processor.h \
- /usr/include/c++/12/span /root/repo/src/authz/authorization.h \
+ /root/repo/src/authz/processor.h /root/repo/src/authz/authorization.h \
  /root/repo/src/authz/subject.h /root/repo/src/authz/labeling.h \
  /root/repo/src/authz/policy.h /root/repo/src/xml/dom.h \
  /root/repo/src/xml/dtd.h /root/repo/src/authz/prune.h \

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/server_chaos_test.cc" "tests/CMakeFiles/server_chaos_test.dir/server_chaos_test.cc.o" "gcc" "tests/CMakeFiles/server_chaos_test.dir/server_chaos_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/xmlsec_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xmlsec_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/xmlsec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/authz/CMakeFiles/xmlsec_authz.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/xmlsec_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmlsec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xmlsec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/xmlsec_schema_paths.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_chaos_test.dir/server_chaos_test.cc.o"
+  "CMakeFiles/server_chaos_test.dir/server_chaos_test.cc.o.d"
+  "server_chaos_test"
+  "server_chaos_test.pdb"
+  "server_chaos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

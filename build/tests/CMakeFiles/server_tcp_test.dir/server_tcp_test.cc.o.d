@@ -315,4 +315,5 @@ tests/CMakeFiles/server_tcp_test.dir/server_tcp_test.cc.o: \
  /root/repo/src/server/user_directory.h \
  /root/repo/src/server/view_cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/server/tcp_listener.h /root/repo/src/workload/docgen.h
+ /root/repo/src/server/tcp_listener.h \
+ /usr/include/c++/12/condition_variable /root/repo/src/workload/docgen.h

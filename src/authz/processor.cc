@@ -1,6 +1,7 @@
 #include "authz/processor.h"
 
 #include "authz/loosening.h"
+#include "common/failpoint.h"
 #include "xml/validator.h"
 
 namespace xmlsec {
@@ -9,6 +10,10 @@ namespace authz {
 Result<View> SecurityProcessor::ComputeView(
     const xml::Document& doc, std::span<const Authorization> instance_auths,
     std::span<const Authorization> schema_auths, const Requester& rq) const {
+  // Fault-injection site: a fault inside labeling/prune must abort the
+  // whole view computation (fail closed) — a partially labeled tree must
+  // never escape as a served view.
+  XMLSEC_RETURN_IF_ERROR(failpoint::Check("authz.compute_view"));
   for (const Authorization& auth : schema_auths) {
     if (IsWeak(auth.type)) {
       return Status::InvalidArgument(

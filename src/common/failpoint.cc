@@ -1,0 +1,137 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/str_util.h"
+
+namespace xmlsec {
+namespace failpoint {
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  /// site -> remaining firings (-1 = unlimited).
+  std::map<std::string, int64_t, std::less<>> armed;
+  /// site -> times fired since process start.
+  std::map<std::string, int64_t, std::less<>> triggers;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+/// Count of armed sites, mirrored outside the mutex so the disabled
+/// fast path is a single relaxed load.
+std::atomic<int>& ArmedCount() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+void SyncArmedCountLocked(const Registry& registry) {
+  ArmedCount().store(static_cast<int>(registry.armed.size()),
+                     std::memory_order_relaxed);
+}
+
+void LoadFromEnv() {
+  const char* spec = std::getenv("XMLSEC_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return;
+  for (const std::string& entry : SplitString(spec, ',')) {
+    std::string_view item = StripAsciiWhitespace(entry);
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      Enable(item);
+    } else {
+      int64_t times = -1;
+      std::string count(StripAsciiWhitespace(item.substr(eq + 1)));
+      char* end = nullptr;
+      long long parsed = std::strtoll(count.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0') times = parsed;
+      Enable(StripAsciiWhitespace(item.substr(0, eq)), times);
+    }
+  }
+}
+
+void EnsureEnvLoaded() {
+  static bool loaded = []() {
+    LoadFromEnv();
+    return true;
+  }();
+  (void)loaded;
+}
+
+}  // namespace
+
+std::span<const std::string_view> Sites() { return kSites; }
+
+bool ShouldFail(std::string_view site) {
+  EnsureEnvLoaded();
+  if (ArmedCount().load(std::memory_order_relaxed) == 0) return false;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.armed.find(site);
+  if (it == registry.armed.end()) return false;
+  if (it->second > 0 && --it->second == 0) {
+    registry.armed.erase(it);
+    SyncArmedCountLocked(registry);
+  }
+  ++registry.triggers[std::string(site)];
+  return true;
+}
+
+Status Check(std::string_view site) {
+  if (ShouldFail(site)) {
+    return Status::Internal("failpoint " + std::string(site) + " fired");
+  }
+  return Status::OK();
+}
+
+void Enable(std::string_view site, int64_t times) {
+  if (times == 0) {
+    Disable(site);
+    return;
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.armed[std::string(site)] = times;
+  SyncArmedCountLocked(registry);
+}
+
+void Disable(std::string_view site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.armed.find(site);
+  if (it != registry.armed.end()) registry.armed.erase(it);
+  SyncArmedCountLocked(registry);
+}
+
+void DisableAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.armed.clear();
+  SyncArmedCountLocked(registry);
+}
+
+int64_t TriggerCount(std::string_view site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.triggers.find(site);
+  return it == registry.triggers.end() ? 0 : it->second;
+}
+
+std::vector<std::string> EnabledSites() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::string> out;
+  out.reserve(registry.armed.size());
+  for (const auto& [site, times] : registry.armed) out.push_back(site);
+  return out;
+}
+
+}  // namespace failpoint
+}  // namespace xmlsec

@@ -1,0 +1,76 @@
+#ifndef XMLSEC_COMMON_FAILPOINT_H_
+#define XMLSEC_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmlsec {
+namespace failpoint {
+
+/// Fault-injection registry for the fail-closed serving path.
+///
+/// A *failpoint* is a named site in the code where a test (or an
+/// operator, via the `XMLSEC_FAILPOINTS` environment variable) can make
+/// the next N executions fail with an `Internal` status.  The
+/// enforcement point is audited so that a fault at ANY registered site
+/// degrades into a denial-shaped response — never a partial or unpruned
+/// view (see DESIGN.md, "Robustness model").
+///
+/// Sites are checked with `ShouldFail`/`Check`; the fast path (no
+/// failpoint armed anywhere) is a single relaxed atomic load, so leaving
+/// the checks compiled into production builds is essentially free.
+///
+/// `XMLSEC_FAILPOINTS` syntax: comma-separated `site` or `site=N`
+/// entries, e.g. `XMLSEC_FAILPOINTS="authz.compute_view,server.cache_get=2"`.
+/// A bare site fires on every execution; `=N` arms it for the next N
+/// executions only.  The variable is read once, at the first failpoint
+/// check anywhere in the process.
+
+/// The registered failpoint taxonomy.  Tests sweep this list to prove
+/// the fail-closed property at every site.
+inline constexpr std::string_view kSites[] = {
+    "xml.parse",            // document parsing (registration / replace)
+    "repo.find_document",   // repository document lookup
+    "repo.instance_auths",  // instance authorization-set lookup
+    "repo.schema_auths",    // schema authorization-set lookup
+    "authz.compute_view",   // security processor: labeling + prune
+    "server.cache_get",     // view-cache probe
+    "server.cache_put",     // view-cache insert (degrades, never denies)
+    "server.query",         // XPath-over-view evaluation
+    "server.serialize",     // view unparse
+    "server.audit",         // audit-trail append (no audit -> no view)
+};
+
+/// All registered sites (the taxonomy above).
+std::span<const std::string_view> Sites();
+
+/// True when `site` is armed; consumes one firing when armed with a
+/// finite count.  Thread-safe.
+bool ShouldFail(std::string_view site);
+
+/// `Internal("failpoint <site> fired")` when the site fires, OK
+/// otherwise.  Convenient with `XMLSEC_RETURN_IF_ERROR`.
+Status Check(std::string_view site);
+
+/// Arms `site`: `times < 0` fires on every execution until `Disable`,
+/// `times >= 0` fires on the next `times` executions.
+void Enable(std::string_view site, int64_t times = -1);
+
+void Disable(std::string_view site);
+void DisableAll();
+
+/// How many times `site` has fired since process start.
+int64_t TriggerCount(std::string_view site);
+
+/// Currently armed sites (diagnostics).
+std::vector<std::string> EnabledSites();
+
+}  // namespace failpoint
+}  // namespace xmlsec
+
+#endif  // XMLSEC_COMMON_FAILPOINT_H_

@@ -1,5 +1,7 @@
 #include "server/audit_log.h"
 
+#include <cstdio>
+
 #include "common/str_util.h"
 
 namespace xmlsec {
@@ -17,11 +19,98 @@ std::string AuditEntry::ToString() const {
   return out;
 }
 
+AuditLog::~AuditLog() { DetachFileSink(); }
+
 void AuditLog::Record(AuditEntry entry) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_ != nullptr) {
+    std::string line = entry.ToString();
+    line.push_back('\n');
+    if (sink_bytes_ + line.size() > sink_options_.rotate_bytes &&
+        sink_bytes_ > 0) {
+      RotateLocked();
+    }
+    if (sink_ == nullptr ||
+        std::fwrite(line.data(), 1, line.size(), sink_) != line.size()) {
+      ++sink_write_failures_;
+    } else {
+      sink_bytes_ += line.size();
+      // Durability over throughput: an audit trail that lags the crash
+      // it should explain is useless.
+      std::fflush(sink_);
+    }
+  }
   entries_.push_back(std::move(entry));
   ++total_recorded_;
   while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+Status AuditLog::AttachFileSink(std::string path, FileSinkOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_ != nullptr) {
+    std::fflush(sink_);
+    std::fclose(sink_);
+    sink_ = nullptr;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return Status::Internal("cannot open audit sink '" + path + "'");
+  }
+  long position = std::ftell(file);
+  sink_ = file;
+  sink_path_ = std::move(path);
+  sink_options_ = options;
+  if (sink_options_.rotate_bytes == 0) sink_options_.rotate_bytes = 1;
+  if (sink_options_.max_rotated_files < 0) sink_options_.max_rotated_files = 0;
+  sink_bytes_ = position > 0 ? static_cast<size_t>(position) : 0;
+  return Status::OK();
+}
+
+void AuditLog::DetachFileSink() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_ == nullptr) return;
+  std::fflush(sink_);
+  std::fclose(sink_);
+  sink_ = nullptr;
+  sink_path_.clear();
+  sink_bytes_ = 0;
+}
+
+Status AuditLog::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_ == nullptr) return Status::OK();
+  if (std::fflush(sink_) != 0) {
+    return Status::Internal("audit sink flush failed");
+  }
+  return Status::OK();
+}
+
+int64_t AuditLog::sink_write_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sink_write_failures_;
+}
+
+void AuditLog::RotateLocked() {
+  std::fflush(sink_);
+  std::fclose(sink_);
+  sink_ = nullptr;
+  // Shift path.N-1 -> path.N, ..., path -> path.1; the oldest falls off.
+  int keep = sink_options_.max_rotated_files;
+  if (keep > 0) {
+    std::string oldest = sink_path_ + "." + std::to_string(keep);
+    std::remove(oldest.c_str());
+    for (int i = keep - 1; i >= 1; --i) {
+      std::string from = sink_path_ + "." + std::to_string(i);
+      std::string to = sink_path_ + "." + std::to_string(i + 1);
+      std::rename(from.c_str(), to.c_str());  // Missing generations: no-op.
+    }
+    std::rename(sink_path_.c_str(), (sink_path_ + ".1").c_str());
+  } else {
+    std::remove(sink_path_.c_str());  // No generations kept: truncate.
+  }
+  sink_ = std::fopen(sink_path_.c_str(), "a");
+  sink_bytes_ = 0;
+  if (sink_ == nullptr) ++sink_write_failures_;
 }
 
 std::vector<AuditEntry> AuditLog::Entries() const {

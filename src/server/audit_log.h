@@ -2,10 +2,13 @@
 #define XMLSEC_SERVER_AUDIT_LOG_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace xmlsec {
 namespace server {
@@ -29,14 +32,49 @@ struct AuditEntry {
 
 /// Bounded in-memory audit trail, thread-safe.  A security server must
 /// be able to answer "who saw what, when" — this collects the decisions
-/// the enforcement point makes; persistence is the embedder's concern
-/// (drain with `TakeAll`).
+/// the enforcement point makes.  Persistence is optional: attach a file
+/// sink (`AttachFileSink`) to stream every entry to disk with
+/// size-based rotation, so shed/denied requests under fault injection
+/// remain auditable after the process exits; or drain programmatically
+/// with `TakeAll`.
 class AuditLog {
  public:
+  /// File-sink knobs.
+  struct FileSinkOptions {
+    /// Rotate when the current file would exceed this size.
+    size_t rotate_bytes = 1 << 20;
+    /// Rotated generations kept (`path.1` .. `path.N`); older are
+    /// deleted.
+    int max_rotated_files = 3;
+  };
+
   /// Keeps at most `capacity` most recent entries.
   explicit AuditLog(size_t capacity = 4096) : capacity_(capacity) {}
+  ~AuditLog();
+
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
 
   void Record(AuditEntry entry);
+
+  /// Streams every subsequent entry (one `ToString` line each) to
+  /// `path`, rotating by size.  The file is opened in append mode so a
+  /// restarted server keeps extending its trail.  Replaces any
+  /// previously attached sink.
+  Status AttachFileSink(std::string path, FileSinkOptions options);
+  Status AttachFileSink(std::string path) {
+    return AttachFileSink(std::move(path), FileSinkOptions());
+  }
+
+  /// Flushes and closes the sink.  Idempotent.
+  void DetachFileSink();
+
+  /// Flushes buffered sink output to the OS.
+  Status Flush();
+
+  /// Entries that could not be written to the sink (disk full, rotation
+  /// failure, ...).  They are still retained in memory.
+  int64_t sink_write_failures() const;
 
   /// Snapshot of the current entries, oldest first.
   std::vector<AuditEntry> Entries() const;
@@ -48,10 +86,21 @@ class AuditLog {
   int64_t total_recorded() const;
 
  private:
+  /// Rotates `sink_path_` -> `.1` -> `.2` ... and reopens; caller holds
+  /// `mutex_`.
+  void RotateLocked();
+
   mutable std::mutex mutex_;
   size_t capacity_;
   std::deque<AuditEntry> entries_;
   int64_t total_recorded_ = 0;
+
+  // File sink state (all guarded by mutex_).
+  std::FILE* sink_ = nullptr;
+  std::string sink_path_;
+  FileSinkOptions sink_options_;
+  size_t sink_bytes_ = 0;
+  int64_t sink_write_failures_ = 0;
 };
 
 }  // namespace server

@@ -1,22 +1,51 @@
 #include "server/document_server.h"
 
+#include <chrono>
+
+#include "common/failpoint.h"
 #include "xpath/evaluator.h"
 
 namespace xmlsec {
 namespace server {
 
+namespace {
+
+/// Shapes `response` into a fail-closed denial: the given `5xx`/`504`
+/// status with an EMPTY body.  Internal failure detail must never cross
+/// the trust boundary — an attacker probing fault behaviour learns
+/// nothing but "denied", and a fault can never leak a partial or
+/// unpruned view.
+void FailClosed(ServerResponse* response, int status,
+                std::string_view reason) {
+  response->http_status = status;
+  response->reason = std::string(reason);
+  response->content_type = "text/plain";
+  response->body.clear();
+}
+
+}  // namespace
+
 Result<authz::View> SecureDocumentServer::ComputeView(
     const authz::Requester& rq, std::string_view uri) const {
+  // Fault-injection sites around every repository lookup: a failed
+  // lookup aborts the request instead of proceeding with a partial
+  // (possibly permissive-by-omission) authorization state.
+  XMLSEC_RETURN_IF_ERROR(failpoint::Check("repo.find_document"));
   const xml::Document* doc = repository_->FindDocument(uri);
   if (doc == nullptr) {
     return Status::NotFound("document '" + std::string(uri) +
                             "' is not registered");
   }
+  // A fault while fetching the authorization sets is the dangerous case:
+  // under an `open` policy, silently treating "lookup failed" as "no
+  // authorizations" would serve the WHOLE document.  Abort instead.
+  XMLSEC_RETURN_IF_ERROR(failpoint::Check("repo.instance_auths"));
   std::span<const authz::Authorization> instance =
       repository_->InstanceAuths(uri);
   std::span<const authz::Authorization> schema;
   std::string dtd_uri = repository_->DtdUriOf(uri);
   if (!dtd_uri.empty()) {
+    XMLSEC_RETURN_IF_ERROR(failpoint::Check("repo.schema_auths"));
     schema = repository_->SchemaAuths(dtd_uri);
   }
   authz::ProcessorOptions options = config_.processor;
@@ -44,6 +73,26 @@ ServerResponse SecureDocumentServer::Handle(
     entry.cache_hit = cache_hit;
     audit_->Record(std::move(entry));
   };
+  // Success responses additionally pass the audit gate: if the audit
+  // trail cannot accept the access record, the access itself is denied
+  // ("no audit, no view") — and the denial is recorded best-effort.
+  auto finalize = [&]() -> ServerResponse {
+    if (response.http_status == 200 && failpoint::ShouldFail("server.audit")) {
+      FailClosed(&response, 500, "Internal Server Error");
+    }
+    record();
+    return response;
+  };
+
+  // Per-request wall-clock budget: checked at stage boundaries so a
+  // pathological request aborts with 504 instead of pinning a worker.
+  const bool budgeted = config_.request_budget_ms != 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config_.request_budget_ms);
+  auto over_budget = [&]() {
+    return budgeted && std::chrono::steady_clock::now() >= deadline;
+  };
 
   Status auth_status = users_->Authenticate(request.user, request.password);
   if (!auth_status.ok()) {
@@ -51,8 +100,7 @@ ServerResponse SecureDocumentServer::Handle(
     response.reason = "Unauthorized";
     response.content_type = "text/plain";
     response.body = auth_status.ToString() + "\n";
-    record();
-    return response;
+    return finalize();
   }
 
   authz::Requester rq;
@@ -69,32 +117,47 @@ ServerResponse SecureDocumentServer::Handle(
                          !repository_->has_time_limited_auths();
   ViewCache::Key cache_key{request.uri, rq.user, rq.ip, rq.sym};
   if (cacheable) {
+    // Fault-injection site: a corrupt/failed cache probe must deny, not
+    // fall through to a stale or wrong rendering.
+    if (failpoint::ShouldFail("server.cache_get")) {
+      FailClosed(&response, 500, "Internal Server Error");
+      return finalize();
+    }
     std::lock_guard<std::mutex> lock(cache_mutex_);
     std::optional<std::string> hit =
         cache_.Get(cache_key, repository_->version());
     if (hit.has_value()) {
       response.body = std::move(*hit);
       cache_hit = true;
-      record();
-      return response;
+      return finalize();
     }
+  }
+
+  if (over_budget()) {
+    FailClosed(&response, 504, "Gateway Timeout");
+    return finalize();
   }
 
   Result<authz::View> view = ComputeView(rq, request.uri);
   if (!view.ok()) {
-    response.content_type = "text/plain";
-    response.body = view.status().ToString() + "\n";
     if (view.status().code() == StatusCode::kNotFound) {
       response.http_status = 404;
       response.reason = "Not Found";
+      response.content_type = "text/plain";
+      response.body = view.status().ToString() + "\n";
     } else {
-      response.http_status = 500;
-      response.reason = "Internal Server Error";
+      // Internal faults (including injected failpoints) fail closed:
+      // deny with an empty body, leak nothing.
+      FailClosed(&response, 500, "Internal Server Error");
     }
-    record();
-    return response;
+    return finalize();
   }
   response.stats = view->stats;
+
+  if (over_budget()) {
+    FailClosed(&response, 504, "Gateway Timeout");
+    return finalize();
+  }
 
   // The closed-world contract: an empty view and a missing document are
   // indistinguishable to the requester.
@@ -104,11 +167,16 @@ ServerResponse SecureDocumentServer::Handle(
     response.content_type = "text/plain";
     response.body = "NotFound: document '" + request.uri +
                     "' is not registered\n";
-    record();
-    return response;
+    return finalize();
   }
 
   if (!request.query.empty()) {
+    // Fault-injection site: the query evaluator runs over the pruned
+    // view; a fault there must not fall back to the raw document.
+    if (failpoint::ShouldFail("server.query")) {
+      FailClosed(&response, 500, "Internal Server Error");
+      return finalize();
+    }
     xpath::VariableBindings vars;
     vars.emplace("user", xpath::Value(rq.user));
     vars.emplace("ip", xpath::Value(rq.ip));
@@ -120,8 +188,7 @@ ServerResponse SecureDocumentServer::Handle(
       response.reason = "Bad Request";
       response.content_type = "text/plain";
       response.body = selected.status().ToString() + "\n";
-      record();
-      return response;
+      return finalize();
     }
     std::string body = "<query-result count=\"" +
                        std::to_string(selected->size()) + "\">\n";
@@ -134,22 +201,38 @@ ServerResponse SecureDocumentServer::Handle(
       }
     }
     body += "</query-result>\n";
+    if (over_budget()) {
+      FailClosed(&response, 504, "Gateway Timeout");
+      return finalize();
+    }
     response.body = std::move(body);
-    record();
-    return response;
+    return finalize();
   }
 
+  // Fault-injection site: a serializer fault must not emit a truncated
+  // (hence possibly context-stripped) rendering of the view.
+  if (failpoint::ShouldFail("server.serialize")) {
+    FailClosed(&response, 500, "Internal Server Error");
+    return finalize();
+  }
   xml::SerializeOptions serialize = config_.serialize;
   if (config_.emit_loosened_dtd) {
     serialize.doctype = xml::DoctypeMode::kInternal;
   }
   response.body = view->ToXml(serialize);
-  if (cacheable) {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    cache_.Put(cache_key, repository_->version(), response.body);
+  if (over_budget()) {
+    FailClosed(&response, 504, "Gateway Timeout");
+    return finalize();
   }
-  record();
-  return response;
+  if (cacheable) {
+    // Fault-injection site: an insert fault only degrades (the computed
+    // view is still correct and still served) — it must never deny.
+    if (!failpoint::ShouldFail("server.cache_put")) {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      cache_.Put(cache_key, repository_->version(), response.body);
+    }
+  }
+  return finalize();
 }
 
 std::string SecureDocumentServer::HandleHttp(std::string_view raw_request,

@@ -32,6 +32,12 @@ struct ServerConfig {
   /// changes; the cache is bypassed entirely while any time-limited
   /// authorization is loaded.
   size_t view_cache_capacity = 0;
+  /// Per-request wall-clock budget in milliseconds.  When a request is
+  /// still being processed past its budget, it is aborted at the next
+  /// stage boundary with `504 Gateway Timeout` (empty body) instead of
+  /// stalling a worker indefinitely.  `0` disables the budget; a
+  /// negative value expires every request immediately (test hook).
+  int request_budget_ms = 0;
 };
 
 /// A request to the secure document server, independent of transport.
@@ -76,6 +82,12 @@ class SecureDocumentServer {
 
   /// Full request cycle; never returns a C++ error — failures map to
   /// HTTP-style statuses in the response.
+  ///
+  /// Fail-closed contract: every internal failure (including injected
+  /// failpoints — see common/failpoint.h) yields a denial-shaped `5xx`
+  /// response with an EMPTY body; no partial or unpruned view, and no
+  /// internal error detail, ever leaves the server.  Each outcome is
+  /// recorded in the attached `AuditLog`.
   ServerResponse Handle(const ServerRequest& request) const;
 
   /// Parses a raw HTTP request head and serves it.  The connection

@@ -7,6 +7,12 @@ namespace server {
 
 namespace {
 
+/// Hard caps on what the parser will even look at — the transport caps
+/// the head too, but the parser must stand on its own against oversized
+/// or degenerate input handed to it directly.
+constexpr size_t kMaxParsedHead = 1 << 20;  // 1 MiB
+constexpr size_t kMaxHeaderCount = 128;
+
 constexpr char kBase64Alphabet[] =
     "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
 
@@ -26,23 +32,37 @@ int HexValue(char c) {
   return -1;
 }
 
-void ParseQueryString(std::string_view text,
-                      std::map<std::string, std::string>* out) {
+Status ParseQueryString(std::string_view text,
+                        std::map<std::string, std::string>* out) {
   for (const std::string& pair : SplitString(text, '&')) {
     if (pair.empty()) continue;
     size_t eq = pair.find('=');
     if (eq == std::string::npos) {
-      (*out)[PercentDecode(pair)] = "";
+      XMLSEC_ASSIGN_OR_RETURN(std::string key, PercentDecode(pair));
+      (*out)[std::move(key)] = "";
     } else {
-      (*out)[PercentDecode(std::string_view(pair).substr(0, eq))] =
-          PercentDecode(std::string_view(pair).substr(eq + 1));
+      XMLSEC_ASSIGN_OR_RETURN(
+          std::string key,
+          PercentDecode(std::string_view(pair).substr(0, eq)));
+      XMLSEC_ASSIGN_OR_RETURN(
+          std::string value,
+          PercentDecode(std::string_view(pair).substr(eq + 1)));
+      (*out)[std::move(key)] = std::move(value);
     }
   }
+  return Status::OK();
 }
 
 }  // namespace
 
 Result<HttpRequest> ParseHttpRequest(std::string_view text) {
+  if (text.size() > kMaxParsedHead) {
+    return Status::InvalidArgument("HTTP request head exceeds " +
+                                   std::to_string(kMaxParsedHead) + " bytes");
+  }
+  if (text.find('\0') != std::string_view::npos) {
+    return Status::ParseError("HTTP request head contains a NUL byte");
+  }
   HttpRequest request;
   size_t pos = 0;
   auto next_line = [&]() -> std::string_view {
@@ -61,7 +81,7 @@ Result<HttpRequest> ParseHttpRequest(std::string_view text) {
 
   std::string_view request_line = next_line();
   std::vector<std::string> parts = SplitString(request_line, ' ');
-  if (parts.size() != 3) {
+  if (parts.size() != 3 || parts[0].empty() || parts[1].empty()) {
     return Status::ParseError("malformed HTTP request line: '" +
                               std::string(request_line) + "'");
   }
@@ -73,24 +93,43 @@ Result<HttpRequest> ParseHttpRequest(std::string_view text) {
   }
 
   std::string_view target = parts[1];
+  for (char c : target) {
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) {
+      return Status::ParseError(
+          "control character in HTTP request target");
+    }
+  }
   size_t question = target.find('?');
   if (question != std::string_view::npos) {
-    ParseQueryString(target.substr(question + 1), &request.query);
+    XMLSEC_RETURN_IF_ERROR(
+        ParseQueryString(target.substr(question + 1), &request.query));
     target = target.substr(0, question);
   }
-  request.path = PercentDecode(target);
+  XMLSEC_ASSIGN_OR_RETURN(request.path, PercentDecode(target));
 
+  bool terminated = false;
   while (pos < text.size()) {
     std::string_view line = next_line();
-    if (line.empty()) break;  // End of headers.
+    if (line.empty()) {  // End of headers.
+      terminated = true;
+      break;
+    }
     size_t colon = line.find(':');
-    if (colon == std::string_view::npos) {
+    if (colon == std::string_view::npos || colon == 0) {
       return Status::ParseError("malformed HTTP header line: '" +
                                 std::string(line) + "'");
+    }
+    if (request.headers.size() >= kMaxHeaderCount) {
+      return Status::InvalidArgument("too many HTTP headers (cap " +
+                                     std::to_string(kMaxHeaderCount) + ")");
     }
     std::string name = AsciiToLower(StripAsciiWhitespace(line.substr(0, colon)));
     std::string value(StripAsciiWhitespace(line.substr(colon + 1)));
     request.headers[name] = value;
+  }
+  if (!terminated) {
+    return Status::ParseError(
+        "truncated HTTP request head (missing terminating blank line)");
   }
   return request;
 }
@@ -104,6 +143,9 @@ Result<std::pair<std::string, std::string>> ParseBasicAuth(
   XMLSEC_ASSIGN_OR_RETURN(
       std::string decoded,
       Base64Decode(StripAsciiWhitespace(value.substr(6))));
+  if (decoded.find('\0') != std::string::npos) {
+    return Status::InvalidArgument("NUL byte in Basic credentials");
+  }
   size_t colon = decoded.find(':');
   if (colon == std::string::npos) {
     return Status::InvalidArgument(
@@ -114,11 +156,13 @@ Result<std::pair<std::string, std::string>> ParseBasicAuth(
 
 std::string BuildHttpResponse(int status, std::string_view reason,
                               std::string_view content_type,
-                              std::string_view body) {
+                              std::string_view body,
+                              std::string_view extra_headers) {
   std::string out = "HTTP/1.0 " + std::to_string(status) + " " +
                     std::string(reason) + "\r\n";
   out += "Content-Type: " + std::string(content_type) + "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += extra_headers;
   out += "\r\n";
   out += body;
   return out;
@@ -159,8 +203,18 @@ Result<std::string> Base64Decode(std::string_view data) {
   std::string out;
   uint32_t acc = 0;
   int bits = 0;
+  int padding = 0;
   for (char c : data) {
-    if (c == '=' || c == '\n' || c == '\r') continue;
+    if (c == '\n' || c == '\r') continue;  // MIME line wrapping.
+    if (c == '=') {
+      if (++padding > 2) {
+        return Status::InvalidArgument("excess base64 padding");
+      }
+      continue;
+    }
+    if (padding > 0) {
+      return Status::InvalidArgument("base64 data after padding");
+    }
     int v = Base64Value(c);
     if (v < 0) {
       return Status::InvalidArgument("invalid base64 character");
@@ -172,22 +226,37 @@ Result<std::string> Base64Decode(std::string_view data) {
       out.push_back(static_cast<char>((acc >> bits) & 0xFF));
     }
   }
+  // A single leftover symbol carries only 6 bits — it cannot encode a
+  // byte; the input was truncated mid-group.
+  if (bits == 6) {
+    return Status::InvalidArgument("truncated base64 input");
+  }
   return out;
 }
 
-std::string PercentDecode(std::string_view text) {
+Result<std::string> PercentDecode(std::string_view text) {
   std::string out;
   out.reserve(text.size());
   for (size_t i = 0; i < text.size(); ++i) {
     char c = text[i];
-    if (c == '%' && i + 2 < text.size()) {
+    if (c == '%') {
+      if (i + 2 >= text.size()) {
+        return Status::InvalidArgument("truncated percent escape in '" +
+                                       std::string(text) + "'");
+      }
       int hi = HexValue(text[i + 1]);
       int lo = HexValue(text[i + 2]);
-      if (hi >= 0 && lo >= 0) {
-        out.push_back(static_cast<char>(hi * 16 + lo));
-        i += 2;
-        continue;
+      if (hi < 0 || lo < 0) {
+        return Status::InvalidArgument("malformed percent escape in '" +
+                                       std::string(text) + "'");
       }
+      char decoded = static_cast<char>(hi * 16 + lo);
+      if (decoded == '\0') {
+        return Status::InvalidArgument("embedded NUL in percent-encoded text");
+      }
+      out.push_back(decoded);
+      i += 2;
+      continue;
     }
     out.push_back(c == '+' ? ' ' : c);
   }

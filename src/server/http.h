@@ -26,6 +26,12 @@ struct HttpRequest {
 
 /// Parses an HTTP/1.0 / 1.1 request head (request line + headers, up to
 /// the blank line).  Percent-decodes the path and query parameters.
+///
+/// Hardened against adversarial input: rejects embedded NUL bytes,
+/// heads missing the terminating blank line (truncated reads), oversized
+/// heads, unbounded header counts, control characters in the request
+/// target, and malformed percent-escapes — each with a clean
+/// `ParseError`/`InvalidArgument` instead of a silent mis-parse.
 Result<HttpRequest> ParseHttpRequest(std::string_view text);
 
 /// Extracts "user:password" from a `Basic` Authorization header value.
@@ -34,17 +40,24 @@ Result<std::pair<std::string, std::string>> ParseBasicAuth(
     std::string_view header_value);
 
 /// Renders a response with the given status code/reason, content type,
-/// and body (adds Content-Length).
+/// and body (adds Content-Length).  `extra_headers`, when non-empty,
+/// is spliced verbatim into the header block (each line must end in
+/// "\r\n", e.g. "Retry-After: 1\r\n").
 std::string BuildHttpResponse(int status, std::string_view reason,
                               std::string_view content_type,
-                              std::string_view body);
+                              std::string_view body,
+                              std::string_view extra_headers = "");
 
-/// RFC 4648 base64.
+/// RFC 4648 base64.  `Base64Decode` rejects invalid characters, data
+/// after padding, excess padding, and truncated final groups (a single
+/// trailing symbol encodes fewer than 8 bits).
 std::string Base64Encode(std::string_view data);
 Result<std::string> Base64Decode(std::string_view data);
 
 /// Percent-decoding of URI components ("%41" -> "A", "+" -> " ").
-std::string PercentDecode(std::string_view text);
+/// Fails with `InvalidArgument` on truncated or non-hex escapes and on
+/// escapes decoding to NUL (instead of silently passing them through).
+Result<std::string> PercentDecode(std::string_view text);
 
 }  // namespace server
 }  // namespace xmlsec

@@ -2,18 +2,24 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+
+#include "common/str_util.h"
 
 namespace xmlsec {
 namespace server {
 
 namespace {
 
-constexpr size_t kMaxRequestHead = 64 * 1024;
+using Clock = std::chrono::steady_clock;
 
 std::string PeerAddress(int fd) {
   sockaddr_in addr{};
@@ -28,12 +34,43 @@ std::string PeerAddress(int fd) {
   return buffer;
 }
 
+/// Milliseconds left until `deadline`, clamped to >= 0; -1 when the
+/// deadline is disabled (timeout_ms <= 0).
+int RemainingMs(int timeout_ms, Clock::time_point deadline) {
+  if (timeout_ms <= 0) return -1;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  if (left < 0) return 0;
+  if (left > 60'000) return 60'000;
+  return static_cast<int>(left);
+}
+
+timeval MsToTimeval(int ms) {
+  timeval tv{};
+  if (ms > 0) {
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = static_cast<decltype(tv.tv_usec)>((ms % 1000) * 1000);
+  }
+  return tv;
+}
+
+/// Liveness probes are answered by the listener itself (they must keep
+/// working while the document path is faulted or overloaded).
+bool IsHealthzRequest(std::string_view head) {
+  constexpr std::string_view kPrefix = "GET /healthz";
+  if (!StartsWith(head, kPrefix)) return false;
+  if (head.size() == kPrefix.size()) return true;
+  char next = head[kPrefix.size()];
+  return next == ' ' || next == '?' || next == '\r' || next == '\n';
+}
+
 }  // namespace
 
 TcpHttpListener::~TcpHttpListener() { Stop(); }
 
 Status TcpHttpListener::Start(uint16_t port) {
-  if (listen_fd_ >= 0) {
+  if (listen_fd_ >= 0 || !workers_.empty()) {
     return Status::InvalidArgument("listener already started");
   }
   listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
@@ -54,7 +91,9 @@ Status TcpHttpListener::Start(uint16_t port) {
     listen_fd_ = -1;
     return out;
   }
-  if (listen(listen_fd_, 16) != 0) {
+  int backlog = static_cast<int>(std::clamp<size_t>(
+      config_.accept_queue_limit, 16, 128));
+  if (listen(listen_fd_, backlog) != 0) {
     Status out =
         Status::Internal(std::string("listen(): ") + strerror(errno));
     close(listen_fd_);
@@ -66,18 +105,66 @@ Status TcpHttpListener::Start(uint16_t port) {
   port_ = ntohs(addr.sin_port);
 
   stopping_.store(false);
+  draining_.store(false);
+  requests_served_.store(0);
+  requests_shed_.store(0);
+  read_timeouts_.store(0);
+  write_timeouts_.store(0);
+  oversized_heads_.store(0);
+  health_checks_.store(0);
+
+  int worker_count = std::max(1, config_.worker_threads);
+  workers_.reserve(static_cast<size_t>(worker_count));
+  for (int i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
 
 void TcpHttpListener::Stop() {
-  if (listen_fd_ < 0) return;
+  if (listen_fd_ < 0 && workers_.empty() && !accept_thread_.joinable()) {
+    return;  // Already stopped; idempotent.
+  }
+  draining_.store(true);
   stopping_.store(true);
-  // Unblock accept().
-  shutdown(listen_fd_, SHUT_RDWR);
-  close(listen_fd_);
+  // Unblock accept() (on Linux shutdown() on a listening socket makes a
+  // blocked accept return), then join before closing the fd so the
+  // accept thread never touches a recycled descriptor.
+  if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
-  listen_fd_ = -1;
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  queue_cv_.notify_all();
+
+  // Graceful drain: queued and in-flight requests may finish within the
+  // drain budget...
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_cv_.wait_for(
+        lock,
+        std::chrono::milliseconds(std::max(0, config_.drain_timeout_ms)),
+        [this] { return queue_.empty() && in_flight_fds_.empty(); });
+    // ... then the hard deadline: drop what is still queued and yank the
+    // transport from under what is still running (their poll/recv wakes
+    // immediately and the worker bails out).
+    for (int fd : queue_) close(fd);
+    queue_.clear();
+    for (int fd : in_flight_fds_) shutdown(fd, SHUT_RDWR);
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  draining_.store(false);
+}
+
+size_t TcpHttpListener::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 void TcpHttpListener::AcceptLoop() {
@@ -87,35 +174,216 @@ void TcpHttpListener::AcceptLoop() {
       if (stopping_.load() || errno == EBADF || errno == EINVAL) return;
       continue;  // Transient (EINTR, ECONNABORTED).
     }
-    ServeConnection(connection);
-    close(connection);
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.size() >= config_.accept_queue_limit) {
+        shed = true;
+      } else {
+        queue_.push_back(connection);
+      }
+    }
+    if (shed) {
+      // Overload: answer 503 + Retry-After instead of queueing without
+      // bound (the response is tiny, so this cannot stall the accept
+      // loop on a healthy kernel buffer).
+      requests_shed_.fetch_add(1);
+      WriteAll(connection,
+               BuildHttpResponse(503, "Service Unavailable", "text/plain",
+                                 "overloaded; retry shortly\n",
+                                 "Retry-After: 1\r\n"));
+      GracefulClose(connection, /*max_drain_ms=*/20);
+      continue;
+    }
+    queue_cv_.notify_one();
   }
 }
 
-void TcpHttpListener::ServeConnection(int connection_fd) {
-  std::string head;
+void TcpHttpListener::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load() || !queue_.empty();
+      });
+      if (queue_.empty()) {
+        if (stopping_.load()) return;
+        continue;  // Spurious wakeup.
+      }
+      fd = queue_.front();
+      queue_.pop_front();
+      in_flight_fds_.insert(fd);
+      in_flight_.fetch_add(1);
+    }
+    ServeConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_fds_.erase(fd);
+      in_flight_.fetch_sub(1);
+      if (queue_.empty() && in_flight_fds_.empty()) {
+        drained_cv_.notify_all();
+      }
+    }
+    GracefulClose(fd, /*max_drain_ms=*/100);
+  }
+}
+
+void TcpHttpListener::GracefulClose(int connection_fd, int max_drain_ms) {
+  shutdown(connection_fd, SHUT_WR);  // Push the response + FIN out.
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(std::max(0, max_drain_ms));
+  char drain[1024];
+  for (;;) {
+    int remaining = RemainingMs(max_drain_ms, deadline);
+    if (remaining <= 0) break;
+    pollfd pfd{connection_fd, POLLIN, 0};
+    int ready = poll(&pfd, 1, remaining);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) break;
+    ssize_t n = recv(connection_fd, drain, sizeof(drain), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // FIN or error: buffer is clean.
+  }
+  close(connection_fd);
+}
+
+bool TcpHttpListener::ReadHead(int connection_fd, std::string* head,
+                               int* error_status) {
+  *error_status = 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(
+                         std::max(0, config_.read_timeout_ms));
   char buffer[4096];
-  while (head.size() < kMaxRequestHead &&
-         head.find("\r\n\r\n") == std::string::npos &&
-         head.find("\n\n") == std::string::npos) {
-    ssize_t n = read(connection_fd, buffer, sizeof(buffer));
-    if (n <= 0) break;
-    head.append(buffer, static_cast<size_t>(n));
+  for (;;) {
+    if (head->size() > config_.max_request_head) {
+      *error_status = 431;
+      return false;
+    }
+    if (head->find("\r\n\r\n") != std::string::npos ||
+        head->find("\n\n") != std::string::npos) {
+      return true;
+    }
+    int remaining = RemainingMs(config_.read_timeout_ms, deadline);
+    if (remaining == 0) {
+      *error_status = 408;
+      return false;
+    }
+    pollfd pfd{connection_fd, POLLIN, 0};
+    int ready = poll(&pfd, 1, remaining);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) {  // Deadline expired mid-head (slowloris).
+      *error_status = 408;
+      return false;
+    }
+    ssize_t n = recv(connection_fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;  // Peer reset; nobody left to answer.
+    }
+    if (n == 0) {
+      // Peer half-closed.  Hand whatever arrived to the parser: a
+      // truncated head is answered 400, an empty one is ignored.
+      return !head->empty();
+    }
+    head->append(buffer, static_cast<size_t>(n));
+  }
+}
+
+bool TcpHttpListener::WriteAll(int connection_fd, std::string_view data) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(
+                         std::max(0, config_.write_timeout_ms));
+  size_t written = 0;
+  while (written < data.size()) {
+    int remaining = RemainingMs(config_.write_timeout_ms, deadline);
+    if (remaining == 0) {  // Slow reader: drop, don't stall the worker.
+      write_timeouts_.fetch_add(1);
+      return false;
+    }
+    pollfd pfd{connection_fd, POLLOUT, 0};
+    int ready = poll(&pfd, 1, remaining);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) {
+      write_timeouts_.fetch_add(1);
+      return false;
+    }
+    // MSG_NOSIGNAL: a peer that closed mid-response must surface as
+    // EPIPE, not kill the process with SIGPIPE.
+    ssize_t n = send(connection_fd, data.data() + written,
+                     data.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string TcpHttpListener::HealthzResponse() const {
+  const bool is_draining = draining_.load();
+  std::string body = "{";
+  body += std::string("\"status\":\"") +
+          (is_draining ? "draining" : "ready") + "\"";
+  body += ",\"workers\":" + std::to_string(std::max(1, config_.worker_threads));
+  body += ",\"queue_depth\":" + std::to_string(queue_depth());
+  body += ",\"queue_limit\":" + std::to_string(config_.accept_queue_limit);
+  body += ",\"in_flight\":" + std::to_string(in_flight_.load());
+  body += ",\"served\":" + std::to_string(requests_served_.load());
+  body += ",\"shed\":" + std::to_string(requests_shed_.load());
+  body += ",\"read_timeouts\":" + std::to_string(read_timeouts_.load());
+  body += ",\"write_timeouts\":" + std::to_string(write_timeouts_.load());
+  body += ",\"oversized_heads\":" + std::to_string(oversized_heads_.load());
+  body += "}\n";
+  return BuildHttpResponse(is_draining ? 503 : 200,
+                           is_draining ? "Service Unavailable" : "OK",
+                           "application/json", body);
+}
+
+void TcpHttpListener::ServeConnection(int connection_fd) {
+  // Belt-and-braces: the deadlines are enforced with poll(); the socket
+  // timeouts below additionally bound any recv/send that slips through
+  // (e.g. a race between poll readiness and the peer stalling).
+  timeval rcv = MsToTimeval(config_.read_timeout_ms);
+  setsockopt(connection_fd, SOL_SOCKET, SO_RCVTIMEO, &rcv, sizeof(rcv));
+  timeval snd = MsToTimeval(config_.write_timeout_ms);
+  setsockopt(connection_fd, SOL_SOCKET, SO_SNDTIMEO, &snd, sizeof(snd));
+
+  std::string head;
+  int error_status = 0;
+  if (!ReadHead(connection_fd, &head, &error_status)) {
+    if (error_status == 408) {
+      read_timeouts_.fetch_add(1);
+      WriteAll(connection_fd,
+               BuildHttpResponse(408, "Request Timeout", "text/plain", ""));
+    } else if (error_status == 431) {
+      oversized_heads_.fetch_add(1);
+      WriteAll(connection_fd,
+               BuildHttpResponse(431, "Request Header Fields Too Large",
+                                 "text/plain", ""));
+    }
+    return;  // error_status 0: peer gone, nothing to answer.
   }
   if (head.empty()) return;
+
+  if (IsHealthzRequest(head)) {
+    health_checks_.fetch_add(1);
+    WriteAll(connection_fd, HealthzResponse());
+    return;
+  }
 
   std::string ip = PeerAddress(connection_fd);
   std::string sym = ip == "127.0.0.1" ? sym_for_loopback_ : "";
   std::string response = server_->HandleHttp(head, ip, sym);
   requests_served_.fetch_add(1);
-
-  size_t written = 0;
-  while (written < response.size()) {
-    ssize_t n = write(connection_fd, response.data() + written,
-                      response.size() - written);
-    if (n <= 0) break;
-    written += static_cast<size_t>(n);
-  }
+  WriteAll(connection_fd, response);
 }
 
 Result<std::string> FetchHttp(uint16_t port, std::string_view request) {
@@ -135,15 +403,19 @@ Result<std::string> FetchHttp(uint16_t port, std::string_view request) {
   }
   size_t sent = 0;
   while (sent < request.size()) {
-    ssize_t n = write(fd, request.data() + sent, request.size() - sent);
+    ssize_t n = send(fd, request.data() + sent, request.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     sent += static_cast<size_t>(n);
   }
   shutdown(fd, SHUT_WR);
   std::string response;
   char buffer[4096];
-  ssize_t n;
-  while ((n = read(fd, buffer, sizeof(buffer))) > 0) {
+  for (;;) {
+    ssize_t n = read(fd, buffer, sizeof(buffer));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
     response.append(buffer, static_cast<size_t>(n));
   }
   close(fd);

@@ -2,9 +2,14 @@
 #define XMLSEC_SERVER_TCP_LISTENER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/status.h"
 #include "server/document_server.h"
@@ -12,12 +17,44 @@
 namespace xmlsec {
 namespace server {
 
-/// Minimal blocking HTTP/1.0 listener over POSIX sockets — the actual
-/// "requested via an HTTP connection" transport of the paper's §7
-/// scenario.  One accept loop on a background thread; each connection is
-/// served synchronously (request head up to 64 KiB, one response,
-/// close), which matches HTTP/1.0 semantics and keeps the substrate
-/// simple.
+/// Robustness knobs of the TCP serving path.  Every limit fails closed:
+/// a violated limit produces a clean HTTP error (408/431/503) and a
+/// closed connection, never a hung worker or a partial view.
+struct ListenerConfig {
+  /// Worker threads serving accepted connections.  The accept loop never
+  /// serves inline, so a slow client can stall at most one worker.
+  int worker_threads = 4;
+  /// Accepted connections waiting for a free worker.  Beyond this the
+  /// listener sheds load: `503 Service Unavailable` + `Retry-After`
+  /// instead of letting the backlog (and tail latency) grow unboundedly.
+  size_t accept_queue_limit = 64;
+  /// Per-connection deadline for reading the request head (slowloris
+  /// defence); expiry answers `408 Request Timeout`.
+  int read_timeout_ms = 5000;
+  /// Per-connection deadline for writing the response (slow-reader
+  /// defence); expiry closes the connection.
+  int write_timeout_ms = 5000;
+  /// Request-head cap, enforced incrementally while reading; exceeding
+  /// it answers `431 Request Header Fields Too Large`.
+  size_t max_request_head = 64 * 1024;
+  /// `Stop()` grace period: in-flight and queued requests may finish for
+  /// this long, then remaining connections are force-closed.
+  int drain_timeout_ms = 2000;
+};
+
+/// HTTP/1.0 listener over POSIX sockets — the actual "requested via an
+/// HTTP connection" transport of the paper's §7 scenario, hardened into
+/// a fault-tolerant enforcement point:
+///
+///  * bounded worker pool + bounded accept queue, overload shed with
+///    `503 Retry-After`;
+///  * poll-based read/write deadlines (with `SO_RCVTIMEO`/`SO_SNDTIMEO`
+///    as a belt-and-braces fallback), incremental head-size cap,
+///    `EINTR`-safe partial `recv`/`send` loops;
+///  * `GET /healthz` served by the listener itself: `200 ready` /
+///    `503 draining` plus pool/queue/shed counters (never touches the
+///    document repository, so it works even under failpoints);
+///  * graceful drain on `Stop()` with a hard deadline, then force-close.
 ///
 /// The requester's numeric address comes from the peer socket; the
 /// symbolic name is derived from a static suffix (reverse DNS is out of
@@ -25,37 +62,82 @@ namespace server {
 class TcpHttpListener {
  public:
   explicit TcpHttpListener(const SecureDocumentServer* server,
-                           std::string sym_for_loopback = "localhost")
-      : server_(server), sym_for_loopback_(std::move(sym_for_loopback)) {}
+                           std::string sym_for_loopback = "localhost",
+                           ListenerConfig config = {})
+      : server_(server),
+        sym_for_loopback_(std::move(sym_for_loopback)),
+        config_(config) {}
 
   ~TcpHttpListener();
 
   TcpHttpListener(const TcpHttpListener&) = delete;
   TcpHttpListener& operator=(const TcpHttpListener&) = delete;
 
-  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
-  /// accept loop.
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port), starts the
+  /// accept loop and the worker pool.
   Status Start(uint16_t port);
 
   /// The bound port (valid after Start succeeds).
   uint16_t port() const { return port_; }
 
-  /// Stops accepting, joins the accept thread.  Idempotent.
+  /// Stops accepting, drains in-flight requests up to
+  /// `drain_timeout_ms`, force-closes the rest, joins all threads.
+  /// Idempotent; a stopped listener object can be Start()ed again.
   void Stop();
 
+  // --- Counters (all monotonic since Start, except gauges) --------------
   int64_t requests_served() const { return requests_served_.load(); }
+  int64_t requests_shed() const { return requests_shed_.load(); }
+  int64_t read_timeouts() const { return read_timeouts_.load(); }
+  int64_t write_timeouts() const { return write_timeouts_.load(); }
+  int64_t oversized_heads() const { return oversized_heads_.load(); }
+  int64_t health_checks() const { return health_checks_.load(); }
+  bool draining() const { return draining_.load(); }
+  size_t queue_depth() const;
+  int in_flight() const { return in_flight_.load(); }
 
  private:
   void AcceptLoop();
+  void WorkerLoop();
   void ServeConnection(int connection_fd);
+  /// Reads the request head with the incremental size cap and read
+  /// deadline.  Returns true with the head on success; on failure
+  /// `*error_status` is 408 (deadline), 431 (oversize), or 0 (peer gone,
+  /// nothing to answer).
+  bool ReadHead(int connection_fd, std::string* head, int* error_status);
+  /// EINTR-safe, poll-paced full write with the write deadline;
+  /// tolerates short writes.  False when the peer is gone or the
+  /// deadline expired.
+  bool WriteAll(int connection_fd, std::string_view data);
+  /// Half-closes our side, briefly drains unread client bytes (so the
+  /// kernel does not turn close() into an RST that destroys the
+  /// response in flight), then closes.
+  static void GracefulClose(int connection_fd, int max_drain_ms);
+  std::string HealthzResponse() const;
 
   const SecureDocumentServer* server_;
   std::string sym_for_loopback_;
+  ListenerConfig config_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;    ///< Workers wait for connections.
+  std::condition_variable drained_cv_;  ///< Stop() waits for quiescence.
+  std::deque<int> queue_;               ///< Accepted, unserved connections.
+  std::set<int> in_flight_fds_;         ///< Connections being served now.
+
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<int> in_flight_{0};
   std::atomic<int64_t> requests_served_{0};
+  std::atomic<int64_t> requests_shed_{0};
+  std::atomic<int64_t> read_timeouts_{0};
+  std::atomic<int64_t> write_timeouts_{0};
+  std::atomic<int64_t> oversized_heads_{0};
+  std::atomic<int64_t> health_checks_{0};
 };
 
 /// Test/client helper: opens a connection to 127.0.0.1:`port`, sends

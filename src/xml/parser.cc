@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "xml/cursor.h"
 #include "xml/dtd_parser.h"
@@ -584,6 +585,9 @@ class XmlParser {
 
 Result<std::unique_ptr<Document>> ParseDocument(std::string_view text,
                                                 const ParseOptions& options) {
+  // Fault-injection site: a parser fault must surface as a clean error
+  // (registration refused, nothing half-stored), never a partial tree.
+  XMLSEC_RETURN_IF_ERROR(failpoint::Check("xml.parse"));
   auto doc = std::make_unique<Document>();
   XmlParser parser(text, options, /*entity_source=*/nullptr,
                    /*entity_depth=*/0);

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/failpoint.h"
 #include "server/audit_log.h"
 #include "server/document_server.h"
 #include "server/repository.h"
@@ -118,6 +124,95 @@ TEST_F(AuditTest, CapacityBoundsAndDrain) {
   EXPECT_EQ(drained[2].uri, "r4");
   EXPECT_EQ(audit.size(), 0u);
   EXPECT_EQ(audit.total_recorded(), 5);
+}
+
+// --- File sink durability ------------------------------------------------
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(AuditSinkTest, StreamsEntriesAndRotatesBySize) {
+  std::string path = ::testing::TempDir() + "audit_sink_rotation.log";
+  for (int i = 0; i <= 3; ++i) {
+    std::remove((i == 0 ? path : path + "." + std::to_string(i)).c_str());
+  }
+
+  AuditLog audit(/*capacity=*/64);
+  AuditLog::FileSinkOptions options;
+  options.rotate_bytes = 200;  // A handful of lines per generation.
+  options.max_rotated_files = 2;
+  ASSERT_TRUE(audit.AttachFileSink(path, options).ok());
+  for (int i = 0; i < 20; ++i) {
+    AuditEntry entry;
+    entry.time = i;
+    entry.user = "tom";
+    entry.ip = "10.0.0.1";
+    entry.uri = "CSlab.xml";
+    entry.http_status = i % 2 == 0 ? 200 : 503;
+    audit.Record(std::move(entry));
+  }
+  ASSERT_TRUE(audit.Flush().ok());
+  audit.DetachFileSink();
+
+  EXPECT_EQ(audit.sink_write_failures(), 0);
+  std::string current = ReadWholeFile(path);
+  EXPECT_FALSE(current.empty());
+  EXPECT_NE(current.find("tom@10.0.0.1"), std::string::npos);
+  // Rotation happened: at least one older generation exists.
+  std::string rotated = ReadWholeFile(path + ".1");
+  EXPECT_FALSE(rotated.empty());
+  // Shed/denied requests are on the durable trail too.
+  EXPECT_NE((current + rotated).find("-> 503"), std::string::npos);
+}
+
+TEST_F(AuditTest, FailClosedDenialsAreDurable) {
+  std::string path = ::testing::TempDir() + "audit_sink_denials.log";
+  std::remove(path.c_str());
+
+  AuditLog audit;
+  ASSERT_TRUE(audit.AttachFileSink(path).ok());
+  SecureDocumentServer server(&repo_, &users_, &groups_);
+  server.set_audit_log(&audit);
+
+  failpoint::Enable("authz.compute_view");
+  ServerResponse denied = server.Handle(Request("CSlab.xml"));
+  failpoint::Disable("authz.compute_view");
+  EXPECT_EQ(denied.http_status, 500);
+  EXPECT_TRUE(denied.body.empty()) << "fail-closed 5xx must carry no body";
+
+  ServerResponse ok = server.Handle(Request("CSlab.xml"));
+  EXPECT_EQ(ok.http_status, 200);
+  audit.DetachFileSink();
+
+  std::string trail = ReadWholeFile(path);
+  EXPECT_NE(trail.find("-> 500"), std::string::npos) << trail;
+  EXPECT_NE(trail.find("-> 200"), std::string::npos) << trail;
+}
+
+TEST(AuditSinkTest, ReattachAppendsAcrossRestarts) {
+  std::string path = ::testing::TempDir() + "audit_sink_restart.log";
+  std::remove(path.c_str());
+  {
+    AuditLog audit;
+    ASSERT_TRUE(audit.AttachFileSink(path).ok());
+    AuditEntry entry;
+    entry.uri = "first.xml";
+    audit.Record(std::move(entry));
+  }  // Destructor detaches.
+  {
+    AuditLog audit;
+    ASSERT_TRUE(audit.AttachFileSink(path).ok());
+    AuditEntry entry;
+    entry.uri = "second.xml";
+    audit.Record(std::move(entry));
+  }
+  std::string trail = ReadWholeFile(path);
+  EXPECT_NE(trail.find("first.xml"), std::string::npos);
+  EXPECT_NE(trail.find("second.xml"), std::string::npos);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "server/tcp_listener.h"
 #include "server/user_directory.h"
 #include "workload/docgen.h"
+#include "xml/serializer.h"
 
 namespace xmlsec {
 namespace server {
@@ -117,6 +118,70 @@ TEST_F(TcpServerTest, ConcurrentClients) {
   for (const std::string& response : responses) {
     EXPECT_NE(response.find("200 OK"), std::string::npos);
   }
+}
+
+TEST_F(TcpServerTest, HealthzReportsReadyAndCounters) {
+  auto health = FetchHttp(listener_->port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_NE(health->find("200"), std::string::npos);
+  EXPECT_NE(health->find("\"status\":\"ready\""), std::string::npos);
+  EXPECT_NE(health->find("\"workers\":"), std::string::npos);
+  EXPECT_NE(health->find("\"shed\":"), std::string::npos);
+  EXPECT_EQ(listener_->health_checks(), 1);
+  // Health probes are not document requests.
+  EXPECT_EQ(listener_->requests_served(), 0);
+}
+
+TEST_F(TcpServerTest, WorkerPoolHandlesManyConcurrentClients) {
+  // More clients than workers: the queue absorbs the excess and every
+  // request still completes with a full, well-terminated view.
+  constexpr int kClients = 16;
+  std::vector<std::thread> threads;
+  std::vector<std::string> responses(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([this, &responses, i] {
+      auto response =
+          FetchHttp(listener_->port(), "GET /CSlab.xml HTTP/1.0\r\n\r\n");
+      if (response.ok()) responses[static_cast<size_t>(i)] = *response;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::string& response : responses) {
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    EXPECT_NE(response.find("</laboratory>"), std::string::npos);
+  }
+  EXPECT_EQ(listener_->requests_served(), kClients);
+  EXPECT_EQ(listener_->in_flight(), 0);
+}
+
+TEST_F(TcpServerTest, LargeViewIsWrittenCompletely) {
+  // A multi-hundred-KiB view must survive short writes on the socket
+  // path: the response is complete and byte-exact per Content-Length.
+  auto big = workload::GenerateLaboratory(/*projects=*/400,
+                                          /*papers_per_project=*/6,
+                                          /*seed=*/7);
+  std::string big_text = xml::SerializeDocument(*big);
+  ASSERT_GT(big_text.size(), 100u * 1024);
+  ASSERT_TRUE(repo_.AddDocument("big.xml", big_text, "laboratory.xml").ok());
+  ASSERT_TRUE(repo_.AddXacl(
+                      "<xacl><authorization subject=\"Public\" "
+                      "object=\"big.xml\" path=\"/laboratory\" "
+                      "sign=\"+\" type=\"RW\"/></xacl>")
+                  .ok());
+  auto response =
+      FetchHttp(listener_->port(), "GET /big.xml HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_NE(response->find("200 OK"), std::string::npos);
+  size_t header_end = response->find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  std::string body = response->substr(header_end + 4);
+  EXPECT_GT(body.size(), 100u * 1024);
+  // Body arrived whole, not truncated mid-write.
+  size_t length_pos = response->find("Content-Length: ");
+  ASSERT_NE(length_pos, std::string::npos);
+  size_t declared = std::stoul(response->substr(length_pos + 16));
+  EXPECT_EQ(body.size(), declared);
+  EXPECT_NE(body.rfind("</laboratory>"), std::string::npos);
 }
 
 TEST_F(TcpServerTest, StopIsIdempotentAndRestartable) {

@@ -137,6 +137,21 @@ TEST(HttpTest, Base64RejectsGarbage) {
   EXPECT_FALSE(Base64Decode("not base64!!").ok());
 }
 
+TEST(HttpTest, Base64RejectsTruncatedAndPaddingGames) {
+  // A single leftover symbol encodes only 6 bits: truncated input.
+  EXPECT_FALSE(Base64Decode("Z").ok());
+  EXPECT_FALSE(Base64Decode("Zm9vY").ok());
+  // Data after padding and excess padding are rejected.
+  EXPECT_FALSE(Base64Decode("Zm==9v").ok());
+  EXPECT_FALSE(Base64Decode("Zm9v====").ok());
+  // Unpadded-but-complete groups stay accepted (lenient RFC 4648).
+  auto unpadded = Base64Decode("Zm9vYg");
+  ASSERT_TRUE(unpadded.ok());
+  EXPECT_EQ(*unpadded, "foob");
+  // MIME line wrapping stays accepted.
+  EXPECT_TRUE(Base64Decode("Zm9v\r\nYmFy").ok());
+}
+
 TEST(HttpTest, BasicAuth) {
   auto credentials = ParseBasicAuth("Basic " + Base64Encode("tom:secret"));
   ASSERT_TRUE(credentials.ok());
@@ -147,9 +162,43 @@ TEST(HttpTest, BasicAuth) {
 }
 
 TEST(HttpTest, PercentDecode) {
-  EXPECT_EQ(PercentDecode("a%20b+c"), "a b c");
-  EXPECT_EQ(PercentDecode("%2F%2f"), "//");
-  EXPECT_EQ(PercentDecode("100%"), "100%");  // Malformed escape untouched.
+  auto spaces = PercentDecode("a%20b+c");
+  ASSERT_TRUE(spaces.ok());
+  EXPECT_EQ(*spaces, "a b c");
+  auto slashes = PercentDecode("%2F%2f");
+  ASSERT_TRUE(slashes.ok());
+  EXPECT_EQ(*slashes, "//");
+}
+
+TEST(HttpTest, PercentDecodeRejectsMalformedEscapes) {
+  // Truncated escapes are errors, not silently passed through.
+  EXPECT_FALSE(PercentDecode("100%").ok());
+  EXPECT_FALSE(PercentDecode("%4").ok());
+  // Non-hex escape.
+  EXPECT_FALSE(PercentDecode("%zz").ok());
+  // Smuggled NUL.
+  EXPECT_FALSE(PercentDecode("a%00b").ok());
+}
+
+TEST(HttpTest, ParseRejectsTruncatedAndHostileHeads) {
+  // Missing terminating blank line = truncated read.
+  EXPECT_FALSE(ParseHttpRequest("GET / HTTP/1.0\r\nHost: x\r\n").ok());
+  // Embedded NUL anywhere in the head.
+  EXPECT_FALSE(
+      ParseHttpRequest(std::string("GET /a\0b HTTP/1.0\r\n\r\n", 21)).ok());
+  // Control characters in the request target.
+  EXPECT_FALSE(ParseHttpRequest("GET /a\tb HTTP/1.0\r\n\r\n").ok());
+  // Header with empty name.
+  EXPECT_FALSE(ParseHttpRequest("GET / HTTP/1.0\r\n: v\r\n\r\n").ok());
+  // Unbounded header count.
+  std::string flood = "GET / HTTP/1.0\r\n";
+  for (int i = 0; i < 200; ++i) {
+    flood += "X-H" + std::to_string(i) + ": v\r\n";
+  }
+  flood += "\r\n";
+  EXPECT_FALSE(ParseHttpRequest(flood).ok());
+  // Malformed percent-escapes in the target are a parse error now.
+  EXPECT_FALSE(ParseHttpRequest("GET /doc%zz HTTP/1.0\r\n\r\n").ok());
 }
 
 TEST(HttpTest, BuildResponse) {
