@@ -1,0 +1,131 @@
+// Machine-readable benchmark output (satellite of the observability
+// subsystem).  Google Benchmark's own --benchmark_out JSON is rich but
+// awkward for trend tracking: every field of every run, nested context,
+// version-dependent schema.  The JSON written here is deliberately
+// minimal and stable — one object per benchmark run:
+//
+//   {"name": "BM_FullHttpRequest", "ns_per_op": 61250.4,
+//    "ops_per_second": 16326.4, "iterations": 11200,
+//    "counters": {"hit_rate": 0.999}}
+//
+// so a CI trend job can diff two files with ten lines of python.
+//
+// Usage: give the benchmark binary its own main that calls
+// `RunWithJson(argc, argv, "BENCH_foo.json")`.  The default path is
+// overridable with the XMLSEC_BENCH_JSON environment variable; setting
+// it to the empty string disables the file entirely.  Console output is
+// unchanged (the capturing reporter forwards to ConsoleReporter).
+
+#ifndef XMLSEC_BENCH_BENCH_JSON_H_
+#define XMLSEC_BENCH_BENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xmlsec {
+namespace bench {
+
+/// A display reporter that renders the usual console table AND captures
+/// a simplified record of every (non-aggregate, non-errored) run.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double ns_per_op = 0;
+    double ops_per_second = 0;
+    int64_t iterations = 0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Entry entry;
+      entry.name = run.benchmark_name();
+      entry.iterations = static_cast<int64_t>(run.iterations);
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      entry.ns_per_op = run.real_accumulated_time / iters * 1e9;
+      entry.ops_per_second =
+          entry.ns_per_op > 0 ? 1e9 / entry.ns_per_op : 0.0;
+      for (const auto& [name, counter] : run.counters) {
+        entry.counters.emplace_back(name, counter.value);
+      }
+      entries_.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Writes the captured entries as a JSON array, one object per line.
+  /// Returns false (with a note on stderr) if the file cannot be
+  /// written; benchmarks results were already printed, so callers treat
+  /// this as non-fatal.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(out, "[\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(out,
+                   "  {\"name\": \"%s\", \"ns_per_op\": %.6g, "
+                   "\"ops_per_second\": %.6g, \"iterations\": %lld",
+                   Escape(e.name).c_str(), e.ns_per_op, e.ops_per_second,
+                   static_cast<long long>(e.iterations));
+      if (!e.counters.empty()) {
+        std::fprintf(out, ", \"counters\": {");
+        for (size_t c = 0; c < e.counters.size(); ++c) {
+          std::fprintf(out, "%s\"%s\": %.6g", c == 0 ? "" : ", ",
+                       Escape(e.counters[c].first).c_str(),
+                       e.counters[c].second);
+        }
+        std::fprintf(out, "}");
+      }
+      std::fprintf(out, "}%s\n", i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    std::fclose(out);
+    return true;
+  }
+
+ private:
+  static std::string Escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+/// Drop-in `main` body: run all registered benchmarks with console
+/// output, then write the simplified JSON summary to `default_path`
+/// (cwd-relative) unless XMLSEC_BENCH_JSON overrides it.
+inline int RunWithJson(int argc, char** argv, const char* default_path) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  std::string path = default_path;
+  if (const char* env = std::getenv("XMLSEC_BENCH_JSON")) path = env;
+  if (!path.empty()) reporter.WriteFile(path);
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace xmlsec
+
+#endif  // XMLSEC_BENCH_BENCH_JSON_H_

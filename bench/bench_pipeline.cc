@@ -4,8 +4,12 @@
 // claim that enforcement is a modest, single-pass addition to the XML
 // serving pipeline.
 
+// This binary has its own main (see bench/CMakeLists.txt OWN_MAIN):
+// results are also written to BENCH_pipeline.json for trend tracking.
+
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "authz/labeling.h"
 #include "authz/loosening.h"
 #include "authz/processor.h"
@@ -141,3 +145,7 @@ BENCHMARK(BM_FullTransformation);
 
 }  // namespace
 }  // namespace xmlsec
+
+int main(int argc, char** argv) {
+  return xmlsec::bench::RunWithJson(argc, argv, "BENCH_pipeline.json");
+}

@@ -4,8 +4,19 @@
 // and connection addresses are exactly what a socket would deliver).
 //
 // Build & run:  ./build/examples/policy_server
+//
+// `policy_server --serve <port> [seconds]` skips the scripted demo and
+// instead keeps the TCP listener alive for `seconds` (default 30) so an
+// external client — curl, a CI scrape script, a load generator — can
+// exercise `/CSlab.xml`, `/healthz`, and `/metrics` against a real
+// socket.  The bound port is printed on stdout (one line, flushed) so
+// callers passing port 0 can discover the ephemeral port.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
 
 #include "server/audit_log.h"
 #include "server/document_server.h"
@@ -43,7 +54,21 @@ void Send(const server::SecureDocumentServer& server, const char* label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool serve_mode = false;
+  uint16_t serve_port = 0;
+  int serve_seconds = 30;
+  if (argc >= 2 && std::string(argv[1]) == "--serve") {
+    if (argc < 3 || argc > 4) {
+      std::fprintf(stderr, "usage: policy_server [--serve <port> [seconds]]\n");
+      return 2;
+    }
+    serve_mode = true;
+    serve_port = static_cast<uint16_t>(std::atoi(argv[2]));
+    if (argc == 4) serve_seconds = std::atoi(argv[3]);
+    if (serve_seconds <= 0) serve_seconds = 30;
+  }
+
   server::Repository repo;
   server::UserDirectory users;
   authz::GroupStore groups;
@@ -87,6 +112,25 @@ int main() {
   }
 
   server::SecureDocumentServer server(&repo, &users, &groups);
+
+  if (serve_mode) {
+    // CI / interactive mode: a real listener on the requested port, kept
+    // alive long enough for an external scrape, then a clean drain.
+    server::AuditLog audit;
+    server.set_audit_log(&audit);
+    server::TcpHttpListener listener(&server, "demo.lab.example");
+    if (Status s = listener.Start(serve_port); !s.ok()) {
+      std::fprintf(stderr, "listener: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("listening 127.0.0.1:%u\n", listener.port());
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+    listener.Stop();
+    std::printf("served %lld requests\n",
+                static_cast<long long>(listener.requests_served()));
+    return 0;
+  }
 
   // 1. Tom (Foreign): the private paper is redacted.
   Send(server, "tom fetches CSlab.xml",

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# CI gate for the observability subsystem: boots the example server on
+# an ephemeral port, sends real traffic, scrapes GET /metrics, and
+# fails on (1) any malformed exposition line or (2) a missing core
+# metric family.  Runnable locally:
+#
+#   scripts/check_metrics.sh ./build/examples/policy_server
+set -euo pipefail
+
+SERVER_BIN="${1:-./build/examples/policy_server}"
+OUT="$(mktemp)"
+
+"$SERVER_BIN" --serve 0 30 > "$OUT" &
+SERVER_PID=$!
+cleanup() {
+  kill "$SERVER_PID" 2>/dev/null || true
+  rm -f "$OUT"
+}
+trap cleanup EXIT
+
+# The server prints "listening 127.0.0.1:<port>" once bound.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(awk -F: '/^listening/ {print $2; exit}' "$OUT")
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "check_metrics: server did not start" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+
+# Wait until /healthz reports ready (served by the listener itself).
+for _ in $(seq 1 100); do
+  if curl -fsS "http://127.0.0.1:$PORT/healthz" 2>/dev/null \
+      | grep -q '"status":"ready"'; then
+    break
+  fi
+  sleep 0.1
+done
+
+# Real traffic: two document fetches (a slow-trace-eligible pipeline run
+# plus a repeat), one bad document (404 counter).
+curl -fsS "http://127.0.0.1:$PORT/CSlab.xml" > /dev/null
+curl -fsS "http://127.0.0.1:$PORT/CSlab.xml" > /dev/null
+curl -sS "http://127.0.0.1:$PORT/Missing.xml" > /dev/null || true
+
+SCRAPE=$(curl -fsS "http://127.0.0.1:$PORT/metrics")
+
+# --- 1. Format check: every line must be a comment or a sample
+#        `name[{labels}] <number>`.
+BAD=$(printf '%s\n' "$SCRAPE" \
+  | grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9][^ ]*|)$' \
+  || true)
+if [ -n "$BAD" ]; then
+  echo "check_metrics: malformed exposition lines:" >&2
+  printf '%s\n' "$BAD" >&2
+  exit 1
+fi
+
+# --- 2. Core families must be present (per-stage pipeline histograms,
+#        cache, listener, per-status and failpoint telemetry).
+MISSING=0
+for family in \
+    'xmlsec_requests_total' \
+    'xmlsec_request_duration_seconds_bucket' \
+    'xmlsec_request_duration_seconds_count' \
+    'xmlsec_stage_duration_seconds_count\{stage="label"\}' \
+    'xmlsec_stage_duration_seconds_count\{stage="prune"\}' \
+    'xmlsec_stage_duration_seconds_count\{stage="serialize"\}' \
+    'xmlsec_http_responses_total\{status="200"\}' \
+    'xmlsec_http_responses_total\{status="404"\}' \
+    'xmlsec_view_cache_misses_total' \
+    'xmlsec_listener_requests_total' \
+    'xmlsec_listener_shed_total' \
+    'xmlsec_listener_queue_depth' \
+    'xmlsec_failpoint_trips_total'; do
+  if ! printf '%s\n' "$SCRAPE" | grep -qE "^$family"; then
+    echo "check_metrics: missing core family: $family" >&2
+    MISSING=1
+  fi
+done
+[ "$MISSING" -eq 0 ] || exit 1
+
+SAMPLES=$(printf '%s\n' "$SCRAPE" | grep -c '^xmlsec' || true)
+echo "check_metrics: OK ($SAMPLES xmlsec samples, port $PORT)"

@@ -1,11 +1,25 @@
 #include "authz/processor.h"
 
+#include <chrono>
+
 #include "authz/loosening.h"
 #include "common/failpoint.h"
 #include "xml/validator.h"
 
 namespace xmlsec {
 namespace authz {
+
+namespace {
+
+using StageClock = std::chrono::steady_clock;
+
+int64_t NsSince(StageClock::time_point begin) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             StageClock::now() - begin)
+      .count();
+}
+
+}  // namespace
 
 Result<View> SecurityProcessor::ComputeView(
     const xml::Document& doc, std::span<const Authorization> instance_auths,
@@ -23,21 +37,29 @@ Result<View> SecurityProcessor::ComputeView(
   }
 
   // Work on a clone so the cached original stays intact.
+  StageClock::time_point stage_begin = StageClock::now();
   std::unique_ptr<xml::Node> cloned = doc.Clone(/*deep=*/true);
   auto view_doc = std::unique_ptr<xml::Document>(
       static_cast<xml::Document*>(cloned.release()));
 
   View view;
+  view.stats.clone_ns = NsSince(stage_begin);
+
+  stage_begin = StageClock::now();
   TreeLabeler labeler(groups_, options_.policy);
   XMLSEC_ASSIGN_OR_RETURN(
       LabelMap labels,
       labeler.Label(*view_doc, instance_auths, schema_auths, rq,
                     &view.stats.labeling));
+  view.stats.label_ns = NsSince(stage_begin);
 
+  stage_begin = StageClock::now();
   PruneDocument(view_doc.get(), labels, options_.policy.completeness,
                 &view.stats.prune);
+  view.stats.prune_ns = NsSince(stage_begin);
 
   // Attach the loosened DTD so the published view hides redactions.
+  stage_begin = StageClock::now();
   if (view_doc->dtd() != nullptr) {
     view_doc->set_dtd(std::make_unique<xml::Dtd>(LoosenDtd(*view_doc->dtd())));
     if (options_.validate_output && view_doc->root() != nullptr) {
@@ -47,6 +69,7 @@ Result<View> SecurityProcessor::ComputeView(
       XMLSEC_RETURN_IF_ERROR(validator.Validate(view_doc.get()));
     }
   }
+  view.stats.loosen_ns = NsSince(stage_begin);
 
   view.document = std::move(view_doc);
   return view;

@@ -29,6 +29,17 @@ struct ProcessorOptions {
 struct ViewStats {
   LabelingStats labeling;
   PruneStats prune;
+  /// Per-stage wall-clock durations in nanoseconds, filled by the
+  /// security processor (clone/label/prune/loosen) and the document
+  /// server (repository lookup).  The serving layer feeds these into
+  /// the observability subsystem's stage histograms and slow-request
+  /// traces (src/obs); keeping them here costs four clock reads per
+  /// view and spares the processor any dependency on obs.
+  int64_t lookup_ns = 0;
+  int64_t clone_ns = 0;
+  int64_t label_ns = 0;
+  int64_t prune_ns = 0;
+  int64_t loosen_ns = 0;
 };
 
 /// The result of the paper's on-line transformation: a pruned document

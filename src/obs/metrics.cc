@@ -1,0 +1,339 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/failpoint.h"
+
+namespace xmlsec {
+namespace obs {
+
+namespace internal {
+
+size_t ThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Formats a double with enough precision for exposition without
+/// trailing-zero noise; integers render without a decimal point.
+std::string FormatValue(double value) {
+  if (value == static_cast<int64_t>(value) && value > -9.2e18 &&
+      value < 9.2e18) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%" PRId64,
+                  static_cast<int64_t>(value));
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// `name{labels}` or `name{labels,extra}` (extra = `le="..."`).
+std::string SampleName(const std::string& name, const std::string& labels,
+                       const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return name;
+  std::string out = name;
+  out.push_back('{');
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out.push_back(',');
+  out += extra;
+  out.push_back('}');
+  return out;
+}
+
+Counter* DummyCounter() {
+  static Counter* dummy = []() {
+    static MetricsRegistry scratch;
+    return scratch.GetCounter("xmlsec_obs_type_mismatch_total",
+                              "sink for mistyped metric registrations");
+  }();
+  return dummy;
+}
+
+Gauge* DummyGauge() {
+  static MetricsRegistry scratch;
+  static Gauge* dummy = scratch.GetGauge(
+      "xmlsec_obs_type_mismatch", "sink for mistyped metric registrations");
+  return dummy;
+}
+
+Histogram* DummyHistogram() {
+  static MetricsRegistry scratch;
+  static Histogram* dummy = scratch.GetHistogram(
+      "xmlsec_obs_type_mismatch_seconds",
+      "sink for mistyped metric registrations", {1});
+  return dummy;
+}
+
+}  // namespace
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Histogram(std::vector<int64_t> bounds, double scale)
+    : bounds_(std::move(bounds)), scale_(scale) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  const size_t buckets = bounds_.size() + 1;  // +Inf overflow bucket
+  for (Shard& shard : shards_) {
+    shard.counts = std::make_unique<std::atomic<int64_t>[]>(buckets);
+    for (size_t i = 0; i < buckets; ++i) shard.counts[i].store(0);
+  }
+}
+
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      total += shard.counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+int64_t Histogram::Sum() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> out(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+const std::vector<int64_t>& DefaultLatencyBoundsNs() {
+  static const std::vector<int64_t>* bounds = new std::vector<int64_t>{
+      100'000,        // 100µs
+      250'000,        // 250µs
+      500'000,        // 500µs
+      1'000'000,      // 1ms
+      2'500'000,      // 2.5ms
+      5'000'000,      // 5ms
+      10'000'000,     // 10ms
+      25'000'000,     // 25ms
+      50'000'000,     // 50ms
+      100'000'000,    // 100ms
+      250'000'000,    // 250ms
+      500'000'000,    // 500ms
+      1'000'000'000,  // 1s
+      2'500'000'000,  // 2.5s
+      5'000'000'000,  // 5s
+  };
+  return *bounds;
+}
+
+std::string CanonicalLabels(const MetricsRegistry::Labels& labels) {
+  MetricsRegistry::Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [key, value] : sorted) {
+    if (!out.empty()) out.push_back(',');
+    out += key;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out.push_back('"');
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help,
+                                     const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = families_.try_emplace(std::string(name));
+  Family& family = it->second;
+  if (inserted) {
+    family.type = 'c';
+    family.help = std::string(help);
+  } else if (family.type != 'c') {
+    return DummyCounter();
+  }
+  auto& slot = family.counters[CanonicalLabels(labels)];
+  if (slot == nullptr) slot = std::unique_ptr<Counter>(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = families_.try_emplace(std::string(name));
+  Family& family = it->second;
+  if (inserted) {
+    family.type = 'g';
+    family.help = std::string(help);
+  } else if (family.type != 'g') {
+    return DummyGauge();
+  }
+  auto& slot = family.gauges[CanonicalLabels(labels)];
+  if (slot == nullptr) slot = std::unique_ptr<Gauge>(new Gauge());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         std::vector<int64_t> bounds,
+                                         double scale, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = families_.try_emplace(std::string(name));
+  Family& family = it->second;
+  if (inserted) {
+    family.type = 'h';
+    family.help = std::string(help);
+  } else if (family.type != 'h') {
+    return DummyHistogram();
+  }
+  auto& slot = family.histograms[CanonicalLabels(labels)];
+  if (slot == nullptr) {
+    slot = std::unique_ptr<Histogram>(new Histogram(std::move(bounds), scale));
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::AddCollector(std::string name,
+                                   std::function<std::string()> render) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  collectors_[std::move(name)] = std::move(render);
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  // Collector callbacks may themselves consult the registry, so snapshot
+  // them and run outside the lock.
+  std::vector<std::function<std::string()>> collectors;
+  std::string out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, family] : families_) {
+      out += "# HELP " + name + " " + family.help + "\n";
+      out += "# TYPE " + name + " ";
+      out += family.type == 'c'   ? "counter"
+             : family.type == 'g' ? "gauge"
+                                  : "histogram";
+      out.push_back('\n');
+      for (const auto& [labels, counter] : family.counters) {
+        out += SampleName(name, labels) + " " +
+               FormatValue(static_cast<double>(counter->Value())) + "\n";
+      }
+      for (const auto& [labels, gauge] : family.gauges) {
+        out += SampleName(name, labels) + " " +
+               FormatValue(static_cast<double>(gauge->Value())) + "\n";
+      }
+      for (const auto& [labels, histogram] : family.histograms) {
+        const std::vector<int64_t> counts = histogram->BucketCounts();
+        const std::vector<int64_t>& bounds = histogram->bounds();
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < bounds.size(); ++i) {
+          cumulative += counts[i];
+          out += SampleName(
+                     name + "_bucket", labels,
+                     "le=\"" +
+                         FormatValue(static_cast<double>(bounds[i]) *
+                                     histogram->scale()) +
+                         "\"") +
+                 " " + FormatValue(static_cast<double>(cumulative)) + "\n";
+        }
+        cumulative += counts.back();
+        out += SampleName(name + "_bucket", labels, "le=\"+Inf\"") + " " +
+               FormatValue(static_cast<double>(cumulative)) + "\n";
+        out += SampleName(name + "_sum", labels) + " " +
+               FormatValue(static_cast<double>(histogram->Sum()) *
+                           histogram->scale()) +
+               "\n";
+        out += SampleName(name + "_count", labels) + " " +
+               FormatValue(static_cast<double>(cumulative)) + "\n";
+      }
+    }
+    collectors.reserve(collectors_.size());
+    for (const auto& [name, render] : collectors_) {
+      collectors.push_back(render);
+    }
+  }
+  for (const auto& render : collectors) out += render();
+  return out;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Sample> out;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [labels, counter] : family.counters) {
+      out.push_back({name, labels, static_cast<double>(counter->Value())});
+    }
+    for (const auto& [labels, gauge] : family.gauges) {
+      out.push_back({name, labels, static_cast<double>(gauge->Value())});
+    }
+    for (const auto& [labels, histogram] : family.histograms) {
+      out.push_back({name + "_count", labels,
+                     static_cast<double>(histogram->Count())});
+      out.push_back({name + "_sum", labels,
+                     static_cast<double>(histogram->Sum()) *
+                         histogram->scale()});
+    }
+  }
+  return out;
+}
+
+double MetricsRegistry::ValueOf(std::string_view name, std::string_view labels,
+                                double fallback) const {
+  for (const Sample& sample : Samples()) {
+    if (sample.name == name && sample.labels == labels) return sample.value;
+  }
+  return fallback;
+}
+
+MetricsRegistry* DefaultRegistry() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+void RegisterFailpointCollector(MetricsRegistry* registry) {
+  registry->AddCollector("failpoints", []() {
+    std::string out =
+        "# HELP xmlsec_failpoint_trips_total times each fault-injection "
+        "site has fired since process start\n"
+        "# TYPE xmlsec_failpoint_trips_total counter\n";
+    for (std::string_view site : failpoint::Sites()) {
+      out += "xmlsec_failpoint_trips_total{site=\"" + std::string(site) +
+             "\"} " + std::to_string(failpoint::TriggerCount(site)) + "\n";
+    }
+    return out;
+  });
+}
+
+}  // namespace obs
+}  // namespace xmlsec

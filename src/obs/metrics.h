@@ -1,0 +1,219 @@
+#ifndef XMLSEC_OBS_METRICS_H_
+#define XMLSEC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xmlsec {
+namespace obs {
+
+/// Observability subsystem: a registry of named counters, gauges, and
+/// fixed-bucket histograms, with Prometheus text-format exposition.
+///
+/// Design goals (mirroring the `failpoint` armed-count pattern):
+///
+///  * The HOT PATH — `Counter::Inc`, `Histogram::Observe` — is a single
+///    relaxed atomic add on a per-thread *shard*, so the worker pool of
+///    the TCP listener never contends on a metrics cache line.  Values
+///    are aggregated lazily, at scrape time.
+///  * Registration is cheap but mutex-guarded; instrumented layers
+///    resolve their handles ONCE (at construction) and keep raw
+///    pointers.  Handles are stable for the registry's lifetime.
+///  * Building with `-DXMLSEC_METRICS_NOOP=ON` compiles the hot path
+///    out entirely (the ablation baseline for measuring instrumentation
+///    overhead; see DESIGN.md "Observability").
+///
+/// Naming scheme: `xmlsec_<layer>_<what>_<unit>` with Prometheus
+/// conventions (`_total` for counters, `_seconds` for latency
+/// histograms, plain nouns for gauges).
+
+/// Number of per-thread shards.  A power of two; threads are assigned
+/// round-robin, so up to `kMetricShards` threads increment without ever
+/// sharing a cache line.
+inline constexpr size_t kMetricShards = 16;
+
+namespace internal {
+/// Stable shard index of the calling thread, in [0, kMetricShards).
+size_t ThreadShard();
+}  // namespace internal
+
+/// Monotonic counter, sharded per thread.
+class Counter {
+ public:
+  void Inc(int64_t delta = 1) {
+#ifdef XMLSEC_METRICS_NOOP
+    (void)delta;
+#else
+    shards_[internal::ThreadShard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+#endif
+  }
+
+  /// Sum over all shards (scrape path; not a hot-path call).
+  int64_t Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Point-in-time value (queue depth, busy workers).  Sets are rare and
+/// absolute, so a single atomic suffices — no sharding.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram, sharded per thread.  Observations and bucket
+/// upper bounds are integers in an arbitrary unit chosen at creation
+/// (latency histograms use nanoseconds); `scale` converts to the
+/// exposition unit (1e-9 renders nanoseconds as Prometheus seconds).
+class Histogram {
+ public:
+  void Observe(int64_t value) {
+#ifdef XMLSEC_METRICS_NOOP
+    (void)value;
+#else
+    Shard& shard = shards_[internal::ThreadShard()];
+    shard.counts[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+#endif
+  }
+
+  int64_t Count() const;  ///< total observations (all shards, all buckets)
+  int64_t Sum() const;    ///< sum of observed values (unscaled unit)
+  /// Per-bucket (non-cumulative) counts; last entry is the +Inf bucket.
+  std::vector<int64_t> BucketCounts() const;
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  double scale() const { return scale_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::vector<int64_t> bounds, double scale);
+
+  size_t BucketOf(int64_t value) const {
+    size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i]) ++i;  // le: inclusive
+    return i;
+  }
+
+  std::vector<int64_t> bounds_;  ///< ascending upper bounds; +Inf implicit
+  double scale_;
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<int64_t>[]> counts;  ///< bounds_.size()+1
+    std::atomic<int64_t> sum{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Default latency bucket bounds in nanoseconds: 100µs … 5s, roughly
+/// logarithmic — wide enough for a cache hit and a pathological
+/// million-node labeling run alike.
+const std::vector<int64_t>& DefaultLatencyBoundsNs();
+
+/// The registry: owns every metric, groups them into families (same
+/// name, different label sets), renders the Prometheus text format.
+///
+/// `Get*` returns the existing metric when (name, labels) was already
+/// registered — the help text and bucket layout of the first
+/// registration win.  Asking for a name that exists with a DIFFERENT
+/// type is a programming error and returns a process-wide dummy metric
+/// (never nullptr, so call sites need no checks).
+class MetricsRegistry {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name, std::string_view help,
+                      const Labels& labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help,
+                  const Labels& labels = {});
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          std::vector<int64_t> bounds, double scale = 1.0,
+                          const Labels& labels = {});
+
+  /// Registers a named collector: a callback whose output (complete
+  /// exposition lines, each ending in '\n') is appended to every
+  /// scrape.  Re-registering the same name replaces the callback — so
+  /// layers can register idempotently.  Used to expose state owned by
+  /// other subsystems (e.g. failpoint trip counts) without coupling
+  /// them to obs.
+  void AddCollector(std::string name, std::function<std::string()> render);
+
+  /// Prometheus text exposition format (version 0.0.4): families sorted
+  /// by name, `# HELP` / `# TYPE` once per family, histogram
+  /// `_bucket{le=...}` series cumulative with a final `le="+Inf"`.
+  std::string RenderPrometheus() const;
+
+  /// Flat snapshot for tests and tools.  Histograms appear as
+  /// `<name>_count` and `<name>_sum` samples.
+  struct Sample {
+    std::string name;
+    std::string labels;  ///< canonical rendering, "" when unlabeled
+    double value;
+  };
+  std::vector<Sample> Samples() const;
+
+  /// Scrape-time value of a counter/gauge sample, or `fallback` when
+  /// the (name, labels) pair does not exist.
+  double ValueOf(std::string_view name, std::string_view labels = "",
+                 double fallback = 0.0) const;
+
+ private:
+  struct Family {
+    char type = 'c';  // 'c' counter, 'g' gauge, 'h' histogram
+    std::string help;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family, std::less<>> families_;
+  std::map<std::string, std::function<std::string()>, std::less<>>
+      collectors_;
+};
+
+/// The process-wide registry.  Layers default to it when no explicit
+/// registry is configured; tests pass their own for isolation.
+MetricsRegistry* DefaultRegistry();
+
+/// Renders `k1="v1",k2="v2"` with keys sorted and values escaped per
+/// the exposition format (backslash, double-quote, newline).
+std::string CanonicalLabels(const MetricsRegistry::Labels& labels);
+
+/// Registers the `xmlsec_failpoint_trips_total{site=...}` collector on
+/// `registry` (idempotent), exposing `failpoint::TriggerCount` per site
+/// so chaos drills and production fault telemetry share one scrape.
+void RegisterFailpointCollector(MetricsRegistry* registry);
+
+}  // namespace obs
+}  // namespace xmlsec
+
+#endif  // XMLSEC_OBS_METRICS_H_

@@ -1,0 +1,58 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace xmlsec {
+namespace obs {
+
+namespace {
+
+int64_t ThresholdFromEnv() {
+  const char* spec = std::getenv("XMLSEC_TRACE_SLOW_MS");
+  if (spec == nullptr || *spec == '\0') return -1;
+  char* end = nullptr;
+  long long parsed = std::strtoll(spec, &end, 10);
+  if (end == nullptr || *end != '\0' || parsed < 0) return -1;
+  return parsed;
+}
+
+std::atomic<int64_t>& Threshold() {
+  static std::atomic<int64_t> threshold{ThresholdFromEnv()};
+  return threshold;
+}
+
+}  // namespace
+
+int64_t RequestTrace::NsOf(std::string_view name) const {
+  for (const auto& [span, ns] : spans_) {
+    if (span == name) return ns;
+  }
+  return -1;
+}
+
+std::string RequestTrace::Summary() const {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "total=%.3fms",
+                static_cast<double>(ElapsedNs()) / 1e6);
+  std::string out = buffer;
+  for (const auto& [name, ns] : spans_) {
+    std::snprintf(buffer, sizeof(buffer), " %.*s=%.3fms",
+                  static_cast<int>(name.size()), name.data(),
+                  static_cast<double>(ns) / 1e6);
+    out += buffer;
+  }
+  return out;
+}
+
+int64_t SlowTraceThresholdMs() {
+  return Threshold().load(std::memory_order_relaxed);
+}
+
+void SetSlowTraceThresholdMs(int64_t ms) {
+  Threshold().store(ms < 0 ? -1 : ms, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace xmlsec

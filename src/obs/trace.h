@@ -1,0 +1,111 @@
+#ifndef XMLSEC_OBS_TRACE_H_
+#define XMLSEC_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xmlsec {
+namespace obs {
+
+/// Per-request stage trace.
+///
+/// One `RequestTrace` rides along a single request through the serving
+/// pipeline (parse → auth → cache probe → repository lookup → labeling →
+/// prune → loosen → query/serialize → audit), recording how long each
+/// stage took.  It is intentionally NOT thread-safe: a request is served
+/// by exactly one worker, and the trace dies with the response — only
+/// its aggregates (stage histograms, slow-request log lines) survive.
+///
+/// Usage:
+///
+///     obs::RequestTrace trace;
+///     {
+///       auto span = trace.Span("auth");
+///       Authenticate(...);
+///     }                       // span closes, duration recorded
+///     trace.Record("label", stats.label_ns);   // externally-timed stage
+///     if (trace.ElapsedNs() >= threshold) log(trace.Summary());
+class RequestTrace {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RequestTrace() : start_(Clock::now()) {}
+  RequestTrace(const RequestTrace&) = delete;
+  RequestTrace& operator=(const RequestTrace&) = delete;
+
+  /// RAII span: records `now - construction` under `name` when it goes
+  /// out of scope.
+  class Scope {
+   public:
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() {
+      trace_->Record(name_, std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(Clock::now() -
+                                                          begin_)
+                                .count());
+    }
+
+   private:
+    friend class RequestTrace;
+    Scope(RequestTrace* trace, std::string_view name)
+        : trace_(trace), name_(name), begin_(Clock::now()) {}
+    RequestTrace* trace_;
+    std::string_view name_;  ///< must outlive the scope (string literals)
+    Clock::time_point begin_;
+  };
+
+  /// Opens a span named `name` (a string literal; the trace keeps the
+  /// view).  Guaranteed copy elision makes the returned Scope live in
+  /// the caller's frame.
+  Scope Span(std::string_view name) { return Scope(this, name); }
+
+  /// Records an externally-measured stage duration.
+  void Record(std::string_view name, int64_t ns) {
+    spans_.emplace_back(name, ns);
+  }
+
+  /// Duration of the first span named `name`, or -1 when absent.
+  int64_t NsOf(std::string_view name) const;
+
+  /// Wall-clock nanoseconds since the trace was constructed.
+  int64_t ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  const std::vector<std::pair<std::string_view, int64_t>>& spans() const {
+    return spans_;
+  }
+
+  /// One-line breakdown: `total=12.345ms auth=0.021ms label=7.9ms ...`
+  /// — the payload of a slow-request audit record.
+  std::string Summary() const;
+
+ private:
+  Clock::time_point start_;
+  std::vector<std::pair<std::string_view, int64_t>> spans_;
+};
+
+/// The slow-request threshold in milliseconds, from the
+/// `XMLSEC_TRACE_SLOW_MS` environment variable (read once):
+///
+///   * unset / unparsable / negative → -1: slow tracing disabled;
+///   * 0 → every request is considered slow (drill / debugging mode);
+///   * N > 0 → requests taking ≥ N ms log their span breakdown through
+///     the audit sink.
+int64_t SlowTraceThresholdMs();
+
+/// Overrides the threshold at runtime (tests, `xacl_tool`).  Pass the
+/// same semantics as the environment variable; this wins over it.
+void SetSlowTraceThresholdMs(int64_t ms);
+
+}  // namespace obs
+}  // namespace xmlsec
+
+#endif  // XMLSEC_OBS_TRACE_H_

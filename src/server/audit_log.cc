@@ -16,6 +16,7 @@ std::string AuditEntry::ToString() const {
                    static_cast<long long>(visible_nodes),
                    static_cast<long long>(total_nodes));
   if (cache_hit) out += " [cache]";
+  if (!trace.empty()) out += " trace{" + trace + "}";
   return out;
 }
 

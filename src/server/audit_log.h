@@ -25,8 +25,15 @@ struct AuditEntry {
   int64_t visible_nodes = 0;
   int64_t total_nodes = 0;
   bool cache_hit = false;
+  /// Slow-request span breakdown (`total=..ms auth=..ms label=..ms ...`),
+  /// attached by the document server when the request exceeded the
+  /// `XMLSEC_TRACE_SLOW_MS` threshold; empty otherwise.  Streaming it
+  /// through the audit sink gives operators a per-stage post-mortem of
+  /// every slow access without a separate log pipeline.
+  std::string trace;
 
-  /// One-line rendering: `time user@ip(sym) GET uri -> status k/n [hit]`.
+  /// One-line rendering:
+  /// `time user@ip(sym) GET uri -> status k/n [hit] trace{...}`.
   std::string ToString() const;
 };
 

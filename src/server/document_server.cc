@@ -23,10 +23,97 @@ void FailClosed(ServerResponse* response, int status,
   response->body.clear();
 }
 
+int64_t NsBetween(obs::RequestTrace::Clock::time_point begin,
+                  obs::RequestTrace::Clock::time_point end) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+      .count();
+}
+
+/// The stages the serving pipeline reports span timings for.
+constexpr std::string_view kStages[] = {
+    "auth",       // authentication + subject resolution
+    "cache_get",  // view-cache probe
+    "lookup",     // repository document / authorization-set lookup
+    "clone",      // working-copy clone of the stored document
+    "label",      // compute-view tree labeling (paper Fig. 2)
+    "prune",      // prune pass
+    "loosen",     // DTD loosening (+ optional output validation)
+    "query",      // XPath-over-view evaluation
+    "serialize",  // view unparse
+    "cache_put",  // view-cache insert
+    "audit",      // audit-trail append
+};
+
 }  // namespace
+
+SecureDocumentServer::SecureDocumentServer(const Repository* repository,
+                                           const UserDirectory* users,
+                                           const authz::GroupStore* groups,
+                                           ServerConfig config)
+    : repository_(repository),
+      users_(users),
+      groups_(groups),
+      config_(std::move(config)),
+      cache_(config_.view_cache_capacity) {
+  // Resolve every metric handle ONCE; the request hot path only does
+  // relaxed atomic adds (see src/obs/metrics.h).
+  obs::MetricsRegistry* registry =
+      config_.metrics != nullptr ? config_.metrics : obs::DefaultRegistry();
+  instruments_.registry = registry;
+  instruments_.requests = registry->GetCounter(
+      "xmlsec_requests_total",
+      "requests handled by the secure document server");
+  instruments_.slow_requests = registry->GetCounter(
+      "xmlsec_slow_requests_total",
+      "requests at or above the XMLSEC_TRACE_SLOW_MS threshold");
+  instruments_.cache_bypass = registry->GetCounter(
+      "xmlsec_view_cache_bypass_total",
+      "requests that bypassed an enabled view cache (query present or "
+      "time-limited authorizations loaded)");
+  instruments_.request_seconds = registry->GetHistogram(
+      "xmlsec_request_duration_seconds",
+      "end-to-end secure-serving latency", obs::DefaultLatencyBoundsNs(),
+      1e-9);
+  for (std::string_view stage : kStages) {
+    instruments_.stages[stage] = registry->GetHistogram(
+        "xmlsec_stage_duration_seconds",
+        "per-stage latency of the secure-serving pipeline",
+        obs::DefaultLatencyBoundsNs(), 1e-9,
+        {{"stage", std::string(stage)}});
+  }
+  cache_.BindMetrics(
+      registry->GetCounter("xmlsec_view_cache_hits_total",
+                           "view-cache hits"),
+      registry->GetCounter("xmlsec_view_cache_misses_total",
+                           "view-cache misses"),
+      registry->GetCounter(
+          "xmlsec_view_cache_evictions_total",
+          "view-cache entries dropped (LRU eviction or stale "
+          "invalidation)"));
+  obs::RegisterFailpointCollector(registry);
+}
+
+obs::Counter* SecureDocumentServer::Instruments::StatusCounter(
+    int http_status) const {
+  std::lock_guard<std::mutex> lock(status_mutex);
+  auto it = status_counters.find(http_status);
+  if (it != status_counters.end()) return it->second;
+  obs::Counter* counter = registry->GetCounter(
+      "xmlsec_http_responses_total", "HTTP responses by status code",
+      {{"status", std::to_string(http_status)}});
+  status_counters.emplace(http_status, counter);
+  return counter;
+}
+
+obs::Histogram* SecureDocumentServer::Instruments::Stage(
+    std::string_view name) const {
+  auto it = stages.find(name);
+  return it == stages.end() ? nullptr : it->second;
+}
 
 Result<authz::View> SecureDocumentServer::ComputeView(
     const authz::Requester& rq, std::string_view uri) const {
+  const auto lookup_begin = obs::RequestTrace::Clock::now();
   // Fault-injection sites around every repository lookup: a failed
   // lookup aborts the request instead of proceeding with a partial
   // (possibly permissive-by-omission) authorization state.
@@ -50,14 +137,22 @@ Result<authz::View> SecureDocumentServer::ComputeView(
   }
   authz::ProcessorOptions options = config_.processor;
   options.policy = repository_->PolicyOf(uri, options.policy);
+  const int64_t lookup_ns =
+      NsBetween(lookup_begin, obs::RequestTrace::Clock::now());
   authz::SecurityProcessor processor(groups_, options);
-  return processor.ComputeView(*doc, instance, schema, rq);
+  Result<authz::View> view =
+      processor.ComputeView(*doc, instance, schema, rq);
+  if (view.ok()) view->stats.lookup_ns = lookup_ns;
+  return view;
 }
 
 ServerResponse SecureDocumentServer::Handle(
     const ServerRequest& request) const {
+  obs::RequestTrace trace;
+  instruments_.requests->Inc();
   ServerResponse response;
   bool cache_hit = false;
+  std::string slow_trace;
   auto record = [&]() {
     if (audit_ == nullptr) return;
     AuditEntry entry;
@@ -71,6 +166,7 @@ ServerResponse SecureDocumentServer::Handle(
     entry.visible_nodes = response.stats.prune.nodes_after;
     entry.total_nodes = response.stats.prune.nodes_before;
     entry.cache_hit = cache_hit;
+    entry.trace = slow_trace;
     audit_->Record(std::move(entry));
   };
   // Success responses additionally pass the audit gate: if the audit
@@ -80,7 +176,29 @@ ServerResponse SecureDocumentServer::Handle(
     if (response.http_status == 200 && failpoint::ShouldFail("server.audit")) {
       FailClosed(&response, 500, "Internal Server Error");
     }
+    // Aggregate the request into the observability registry: per-stage
+    // histograms, end-to-end latency, per-status totals.
+    const int64_t total_ns = trace.ElapsedNs();
+    instruments_.request_seconds->Observe(total_ns);
+    instruments_.StatusCounter(response.http_status)->Inc();
+    for (const auto& [stage, ns] : trace.spans()) {
+      if (obs::Histogram* histogram = instruments_.Stage(stage)) {
+        histogram->Observe(ns);
+      }
+    }
+    // Slow request?  Attach the span breakdown to this access's audit
+    // record, so the post-mortem travels through the audit sink.
+    const int64_t threshold_ms = obs::SlowTraceThresholdMs();
+    if (threshold_ms >= 0 && total_ns >= threshold_ms * 1'000'000) {
+      instruments_.slow_requests->Inc();
+      slow_trace = trace.Summary();
+    }
+    const auto audit_begin = obs::RequestTrace::Clock::now();
     record();
+    if (obs::Histogram* histogram = instruments_.Stage("audit")) {
+      histogram->Observe(
+          NsBetween(audit_begin, obs::RequestTrace::Clock::now()));
+    }
     return response;
   };
 
@@ -94,7 +212,11 @@ ServerResponse SecureDocumentServer::Handle(
     return budgeted && std::chrono::steady_clock::now() >= deadline;
   };
 
-  Status auth_status = users_->Authenticate(request.user, request.password);
+  Status auth_status;
+  {
+    auto span = trace.Span("auth");
+    auth_status = users_->Authenticate(request.user, request.password);
+  }
   if (!auth_status.ok()) {
     response.http_status = 401;
     response.reason = "Unauthorized";
@@ -115,17 +237,30 @@ ServerResponse SecureDocumentServer::Handle(
   const bool cacheable = config_.view_cache_capacity > 0 &&
                          request.query.empty() &&
                          !repository_->has_time_limited_auths();
+  if (config_.view_cache_capacity > 0 && !cacheable) {
+    instruments_.cache_bypass->Inc();
+  }
   ViewCache::Key cache_key{request.uri, rq.user, rq.ip, rq.sym};
   if (cacheable) {
-    // Fault-injection site: a corrupt/failed cache probe must deny, not
-    // fall through to a stale or wrong rendering.
-    if (failpoint::ShouldFail("server.cache_get")) {
+    // The span must close before finalize() aggregates it, so the probe
+    // runs in an inner scope and the outcome is acted on afterwards.
+    bool cache_fault = false;
+    std::optional<std::string> hit;
+    {
+      auto span = trace.Span("cache_get");
+      // Fault-injection site: a corrupt/failed cache probe must deny,
+      // not fall through to a stale or wrong rendering.
+      if (failpoint::ShouldFail("server.cache_get")) {
+        cache_fault = true;
+      } else {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        hit = cache_.Get(cache_key, repository_->version());
+      }
+    }
+    if (cache_fault) {
       FailClosed(&response, 500, "Internal Server Error");
       return finalize();
     }
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    std::optional<std::string> hit =
-        cache_.Get(cache_key, repository_->version());
     if (hit.has_value()) {
       response.body = std::move(*hit);
       cache_hit = true;
@@ -153,6 +288,11 @@ ServerResponse SecureDocumentServer::Handle(
     return finalize();
   }
   response.stats = view->stats;
+  trace.Record("lookup", view->stats.lookup_ns);
+  trace.Record("clone", view->stats.clone_ns);
+  trace.Record("label", view->stats.label_ns);
+  trace.Record("prune", view->stats.prune_ns);
+  trace.Record("loosen", view->stats.loosen_ns);
 
   if (over_budget()) {
     FailClosed(&response, 504, "Gateway Timeout");
@@ -177,30 +317,39 @@ ServerResponse SecureDocumentServer::Handle(
       FailClosed(&response, 500, "Internal Server Error");
       return finalize();
     }
-    xpath::VariableBindings vars;
-    vars.emplace("user", xpath::Value(rq.user));
-    vars.emplace("ip", xpath::Value(rq.ip));
-    vars.emplace("sym", xpath::Value(rq.sym));
-    Result<xpath::NodeSet> selected = xpath::SelectXPath(
-        request.query, view->document->root(), &vars);
-    if (!selected.ok()) {
+    std::string body;
+    Status query_status;
+    {
+      auto span = trace.Span("query");
+      xpath::VariableBindings vars;
+      vars.emplace("user", xpath::Value(rq.user));
+      vars.emplace("ip", xpath::Value(rq.ip));
+      vars.emplace("sym", xpath::Value(rq.sym));
+      Result<xpath::NodeSet> selected = xpath::SelectXPath(
+          request.query, view->document->root(), &vars);
+      if (!selected.ok()) {
+        query_status = selected.status();
+      } else {
+        body = "<query-result count=\"" +
+               std::to_string(selected->size()) + "\">\n";
+        for (const xml::Node* node : *selected) {
+          if (node->IsAttribute()) {
+            body += "<attribute name=\"" + node->NodeName() + "\">" +
+                    xml::EscapeText(node->NodeValue()) + "</attribute>\n";
+          } else {
+            body += xml::SerializeNode(*node) + "\n";
+          }
+        }
+        body += "</query-result>\n";
+      }
+    }
+    if (!query_status.ok()) {
       response.http_status = 400;
       response.reason = "Bad Request";
       response.content_type = "text/plain";
-      response.body = selected.status().ToString() + "\n";
+      response.body = query_status.ToString() + "\n";
       return finalize();
     }
-    std::string body = "<query-result count=\"" +
-                       std::to_string(selected->size()) + "\">\n";
-    for (const xml::Node* node : *selected) {
-      if (node->IsAttribute()) {
-        body += "<attribute name=\"" + node->NodeName() + "\">" +
-                xml::EscapeText(node->NodeValue()) + "</attribute>\n";
-      } else {
-        body += xml::SerializeNode(*node) + "\n";
-      }
-    }
-    body += "</query-result>\n";
     if (over_budget()) {
       FailClosed(&response, 504, "Gateway Timeout");
       return finalize();
@@ -215,16 +364,20 @@ ServerResponse SecureDocumentServer::Handle(
     FailClosed(&response, 500, "Internal Server Error");
     return finalize();
   }
-  xml::SerializeOptions serialize = config_.serialize;
-  if (config_.emit_loosened_dtd) {
-    serialize.doctype = xml::DoctypeMode::kInternal;
+  {
+    auto span = trace.Span("serialize");
+    xml::SerializeOptions serialize = config_.serialize;
+    if (config_.emit_loosened_dtd) {
+      serialize.doctype = xml::DoctypeMode::kInternal;
+    }
+    response.body = view->ToXml(serialize);
   }
-  response.body = view->ToXml(serialize);
   if (over_budget()) {
     FailClosed(&response, 504, "Gateway Timeout");
     return finalize();
   }
   if (cacheable) {
+    auto span = trace.Span("cache_put");
     // Fault-injection site: an insert fault only degrades (the computed
     // view is still correct and still served) — it must never deny.
     if (!failpoint::ShouldFail("server.cache_put")) {
@@ -240,10 +393,14 @@ std::string SecureDocumentServer::HandleHttp(std::string_view raw_request,
                                              std::string_view sym) const {
   Result<HttpRequest> parsed = ParseHttpRequest(raw_request);
   if (!parsed.ok()) {
+    instruments_.requests->Inc();
+    instruments_.StatusCounter(400)->Inc();
     return BuildHttpResponse(400, "Bad Request", "text/plain",
                              parsed.status().ToString() + "\n");
   }
   if (parsed->method != "GET" && parsed->method != "HEAD") {
+    instruments_.requests->Inc();
+    instruments_.StatusCounter(405)->Inc();
     return BuildHttpResponse(405, "Method Not Allowed", "text/plain",
                              "only GET is supported\n");
   }
@@ -263,6 +420,8 @@ std::string SecureDocumentServer::HandleHttp(std::string_view raw_request,
     Result<std::pair<std::string, std::string>> credentials =
         ParseBasicAuth(auth_it->second);
     if (!credentials.ok()) {
+      instruments_.requests->Inc();
+      instruments_.StatusCounter(401)->Inc();
       return BuildHttpResponse(401, "Unauthorized", "text/plain",
                                credentials.status().ToString() + "\n");
     }

@@ -1,6 +1,7 @@
 #ifndef XMLSEC_SERVER_DOCUMENT_SERVER_H_
 #define XMLSEC_SERVER_DOCUMENT_SERVER_H_
 
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -8,6 +9,8 @@
 #include "common/result.h"
 #include "authz/processor.h"
 #include "authz/subject.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/audit_log.h"
 #include "server/http.h"
 #include "server/repository.h"
@@ -38,6 +41,12 @@ struct ServerConfig {
   /// stalling a worker indefinitely.  `0` disables the budget; a
   /// negative value expires every request immediately (test hook).
   int request_budget_ms = 0;
+  /// Metrics registry the server instruments (per-stage latency
+  /// histograms, per-status response counters, cache hit/miss, slow
+  /// requests).  nullptr selects the process-wide
+  /// `obs::DefaultRegistry()`; tests pass their own for isolation.  The
+  /// registry must outlive the server.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// A request to the secure document server, independent of transport.
@@ -73,12 +82,7 @@ class SecureDocumentServer {
   SecureDocumentServer(const Repository* repository,
                        const UserDirectory* users,
                        const authz::GroupStore* groups,
-                       ServerConfig config = {})
-      : repository_(repository),
-        users_(users),
-        groups_(groups),
-        config_(std::move(config)),
-        cache_(config_.view_cache_capacity) {}
+                       ServerConfig config = {});
 
   /// Full request cycle; never returns a C++ error — failures map to
   /// HTTP-style statuses in the response.
@@ -102,6 +106,9 @@ class SecureDocumentServer {
   Result<authz::View> ComputeView(const authz::Requester& rq,
                                   std::string_view uri) const;
 
+  /// The registry this server instruments (never nullptr).
+  obs::MetricsRegistry* metrics() const { return instruments_.registry; }
+
   /// Cache statistics (zero when caching is disabled).
   const ViewCache& view_cache() const { return cache_; }
 
@@ -110,6 +117,28 @@ class SecureDocumentServer {
   void set_audit_log(AuditLog* log) { audit_ = log; }
 
  private:
+  /// Metric handles, resolved once at construction (the hot path never
+  /// does a name lookup).  See DESIGN.md "Observability" for the metric
+  /// naming scheme.
+  struct Instruments {
+    obs::MetricsRegistry* registry = nullptr;
+    obs::Counter* requests = nullptr;
+    obs::Counter* slow_requests = nullptr;
+    obs::Counter* cache_bypass = nullptr;
+    obs::Histogram* request_seconds = nullptr;
+    /// stage name -> duration histogram (auth, cache_get, lookup,
+    /// clone, label, prune, loosen, query, serialize, cache_put,
+    /// audit).
+    std::map<std::string_view, obs::Histogram*> stages;
+    /// Lazily-populated per-status response counters
+    /// (`xmlsec_http_responses_total{status="..."}`).
+    mutable std::mutex status_mutex;
+    mutable std::map<int, obs::Counter*> status_counters;
+
+    obs::Counter* StatusCounter(int http_status) const;
+    obs::Histogram* Stage(std::string_view name) const;
+  };
+
   const Repository* repository_;
   const UserDirectory* users_;
   const authz::GroupStore* groups_;
@@ -119,6 +148,7 @@ class SecureDocumentServer {
   mutable std::mutex cache_mutex_;
   mutable ViewCache cache_;
   AuditLog* audit_ = nullptr;
+  Instruments instruments_;
 };
 
 }  // namespace server

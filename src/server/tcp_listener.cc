@@ -55,17 +55,80 @@ timeval MsToTimeval(int ms) {
   return tv;
 }
 
-/// Liveness probes are answered by the listener itself (they must keep
-/// working while the document path is faulted or overloaded).
-bool IsHealthzRequest(std::string_view head) {
-  constexpr std::string_view kPrefix = "GET /healthz";
-  if (!StartsWith(head, kPrefix)) return false;
-  if (head.size() == kPrefix.size()) return true;
-  char next = head[kPrefix.size()];
+/// Listener-served endpoint probe (`/healthz`, `/metrics`): these are
+/// answered by the listener itself (they must keep working while the
+/// document path is faulted or overloaded).
+bool IsLocalEndpoint(std::string_view head, std::string_view prefix) {
+  if (!StartsWith(head, prefix)) return false;
+  if (head.size() == prefix.size()) return true;
+  char next = head[prefix.size()];
   return next == ' ' || next == '?' || next == '\r' || next == '\n';
 }
 
+bool IsHealthzRequest(std::string_view head) {
+  return IsLocalEndpoint(head, "GET /healthz");
+}
+
+bool IsMetricsRequest(std::string_view head) {
+  return IsLocalEndpoint(head, "GET /metrics");
+}
+
 }  // namespace
+
+TcpHttpListener::TcpHttpListener(const SecureDocumentServer* server,
+                                 std::string sym_for_loopback,
+                                 ListenerConfig config)
+    : server_(server),
+      sym_for_loopback_(std::move(sym_for_loopback)),
+      config_(config) {
+  registry_ = config_.metrics != nullptr ? config_.metrics
+                                         : obs::DefaultRegistry();
+  served_ = registry_->GetCounter("xmlsec_listener_requests_total",
+                                  "connections served through the worker "
+                                  "pool (excluding healthz/metrics)");
+  shed_ = registry_->GetCounter(
+      "xmlsec_listener_shed_total",
+      "connections shed with 503 Retry-After (accept queue full)");
+  read_timeouts_c_ = registry_->GetCounter(
+      "xmlsec_listener_read_timeouts_total",
+      "request heads that missed the read deadline (408, slowloris)");
+  write_timeouts_c_ = registry_->GetCounter(
+      "xmlsec_listener_write_timeouts_total",
+      "responses dropped on the write deadline (slow reader)");
+  oversized_heads_c_ = registry_->GetCounter(
+      "xmlsec_listener_oversized_heads_total",
+      "request heads rejected with 431 (incremental head cap)");
+  health_checks_c_ = registry_->GetCounter(
+      "xmlsec_listener_health_checks_total", "GET /healthz probes served");
+  metrics_scrapes_c_ = registry_->GetCounter(
+      "xmlsec_listener_metrics_scrapes_total", "GET /metrics scrapes served");
+  status_408_ = registry_->GetCounter("xmlsec_http_responses_total",
+                                      "HTTP responses by status code",
+                                      {{"status", "408"}});
+  status_431_ = registry_->GetCounter("xmlsec_http_responses_total",
+                                      "HTTP responses by status code",
+                                      {{"status", "431"}});
+  status_503_ = registry_->GetCounter("xmlsec_http_responses_total",
+                                      "HTTP responses by status code",
+                                      {{"status", "503"}});
+  queue_depth_g_ = registry_->GetGauge(
+      "xmlsec_listener_queue_depth",
+      "accepted connections waiting for a free worker");
+  workers_busy_g_ = registry_->GetGauge(
+      "xmlsec_listener_workers_busy", "workers serving a connection now");
+  obs::RegisterFailpointCollector(registry_);
+  CaptureBaselines();
+}
+
+void TcpHttpListener::CaptureBaselines() {
+  served_base_ = served_->Value();
+  shed_base_ = shed_->Value();
+  read_timeouts_base_ = read_timeouts_c_->Value();
+  write_timeouts_base_ = write_timeouts_c_->Value();
+  oversized_heads_base_ = oversized_heads_c_->Value();
+  health_checks_base_ = health_checks_c_->Value();
+  metrics_scrapes_base_ = metrics_scrapes_c_->Value();
+}
 
 TcpHttpListener::~TcpHttpListener() { Stop(); }
 
@@ -106,12 +169,11 @@ Status TcpHttpListener::Start(uint16_t port) {
 
   stopping_.store(false);
   draining_.store(false);
-  requests_served_.store(0);
-  requests_shed_.store(0);
-  read_timeouts_.store(0);
-  write_timeouts_.store(0);
-  oversized_heads_.store(0);
-  health_checks_.store(0);
+  // Registry counters are monotonic (Prometheus semantics); the
+  // accessors report per-Start deltas instead of resetting.
+  CaptureBaselines();
+  queue_depth_g_->Set(0);
+  workers_busy_g_->Set(0);
 
   int worker_count = std::max(1, config_.worker_threads);
   workers_.reserve(static_cast<size_t>(worker_count));
@@ -181,13 +243,15 @@ void TcpHttpListener::AcceptLoop() {
         shed = true;
       } else {
         queue_.push_back(connection);
+        queue_depth_g_->Set(static_cast<int64_t>(queue_.size()));
       }
     }
     if (shed) {
       // Overload: answer 503 + Retry-After instead of queueing without
       // bound (the response is tiny, so this cannot stall the accept
       // loop on a healthy kernel buffer).
-      requests_shed_.fetch_add(1);
+      shed_->Inc();
+      status_503_->Inc();
       WriteAll(connection,
                BuildHttpResponse(503, "Service Unavailable", "text/plain",
                                  "overloaded; retry shortly\n",
@@ -213,14 +277,15 @@ void TcpHttpListener::WorkerLoop() {
       }
       fd = queue_.front();
       queue_.pop_front();
+      queue_depth_g_->Set(static_cast<int64_t>(queue_.size()));
       in_flight_fds_.insert(fd);
-      in_flight_.fetch_add(1);
+      workers_busy_g_->Set(in_flight_.fetch_add(1) + 1);
     }
     ServeConnection(fd);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       in_flight_fds_.erase(fd);
-      in_flight_.fetch_sub(1);
+      workers_busy_g_->Set(in_flight_.fetch_sub(1) - 1);
       if (queue_.empty() && in_flight_fds_.empty()) {
         drained_cv_.notify_all();
       }
@@ -301,7 +366,7 @@ bool TcpHttpListener::WriteAll(int connection_fd, std::string_view data) {
   while (written < data.size()) {
     int remaining = RemainingMs(config_.write_timeout_ms, deadline);
     if (remaining == 0) {  // Slow reader: drop, don't stall the worker.
-      write_timeouts_.fetch_add(1);
+      write_timeouts_c_->Inc();
       return false;
     }
     pollfd pfd{connection_fd, POLLOUT, 0};
@@ -311,7 +376,7 @@ bool TcpHttpListener::WriteAll(int connection_fd, std::string_view data) {
       return false;
     }
     if (ready == 0) {
-      write_timeouts_.fetch_add(1);
+      write_timeouts_c_->Inc();
       return false;
     }
     // MSG_NOSIGNAL: a peer that closed mid-response must surface as
@@ -328,6 +393,9 @@ bool TcpHttpListener::WriteAll(int connection_fd, std::string_view data) {
 }
 
 std::string TcpHttpListener::HealthzResponse() const {
+  // Every numeric field below is read from the metrics registry (via the
+  // per-Start delta accessors): /healthz and /metrics share one source
+  // of truth, healthz keeps its ready/draining liveness semantics.
   const bool is_draining = draining_.load();
   std::string body = "{";
   body += std::string("\"status\":\"") +
@@ -336,15 +404,23 @@ std::string TcpHttpListener::HealthzResponse() const {
   body += ",\"queue_depth\":" + std::to_string(queue_depth());
   body += ",\"queue_limit\":" + std::to_string(config_.accept_queue_limit);
   body += ",\"in_flight\":" + std::to_string(in_flight_.load());
-  body += ",\"served\":" + std::to_string(requests_served_.load());
-  body += ",\"shed\":" + std::to_string(requests_shed_.load());
-  body += ",\"read_timeouts\":" + std::to_string(read_timeouts_.load());
-  body += ",\"write_timeouts\":" + std::to_string(write_timeouts_.load());
-  body += ",\"oversized_heads\":" + std::to_string(oversized_heads_.load());
+  body += ",\"served\":" + std::to_string(requests_served());
+  body += ",\"shed\":" + std::to_string(requests_shed());
+  body += ",\"read_timeouts\":" + std::to_string(read_timeouts());
+  body += ",\"write_timeouts\":" + std::to_string(write_timeouts());
+  body += ",\"oversized_heads\":" + std::to_string(oversized_heads());
   body += "}\n";
   return BuildHttpResponse(is_draining ? 503 : 200,
                            is_draining ? "Service Unavailable" : "OK",
                            "application/json", body);
+}
+
+std::string TcpHttpListener::MetricsResponse() const {
+  // The exposition is rendered even while draining: observability is
+  // most valuable exactly when the server is unhealthy.
+  return BuildHttpResponse(200, "OK",
+                           "text/plain; version=0.0.4; charset=utf-8",
+                           registry_->RenderPrometheus());
 }
 
 void TcpHttpListener::ServeConnection(int connection_fd) {
@@ -360,11 +436,13 @@ void TcpHttpListener::ServeConnection(int connection_fd) {
   int error_status = 0;
   if (!ReadHead(connection_fd, &head, &error_status)) {
     if (error_status == 408) {
-      read_timeouts_.fetch_add(1);
+      read_timeouts_c_->Inc();
+      status_408_->Inc();
       WriteAll(connection_fd,
                BuildHttpResponse(408, "Request Timeout", "text/plain", ""));
     } else if (error_status == 431) {
-      oversized_heads_.fetch_add(1);
+      oversized_heads_c_->Inc();
+      status_431_->Inc();
       WriteAll(connection_fd,
                BuildHttpResponse(431, "Request Header Fields Too Large",
                                  "text/plain", ""));
@@ -374,15 +452,20 @@ void TcpHttpListener::ServeConnection(int connection_fd) {
   if (head.empty()) return;
 
   if (IsHealthzRequest(head)) {
-    health_checks_.fetch_add(1);
+    health_checks_c_->Inc();
     WriteAll(connection_fd, HealthzResponse());
+    return;
+  }
+  if (IsMetricsRequest(head)) {
+    metrics_scrapes_c_->Inc();
+    WriteAll(connection_fd, MetricsResponse());
     return;
   }
 
   std::string ip = PeerAddress(connection_fd);
   std::string sym = ip == "127.0.0.1" ? sym_for_loopback_ : "";
   std::string response = server_->HandleHttp(head, ip, sym);
-  requests_served_.fetch_add(1);
+  served_->Inc();
   WriteAll(connection_fd, response);
 }
 

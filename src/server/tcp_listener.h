@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "server/document_server.h"
 
 namespace xmlsec {
@@ -40,6 +41,12 @@ struct ListenerConfig {
   /// `Stop()` grace period: in-flight and queued requests may finish for
   /// this long, then remaining connections are force-closed.
   int drain_timeout_ms = 2000;
+  /// Metrics registry backing the listener counters, `/healthz` and the
+  /// `GET /metrics` Prometheus endpoint.  nullptr selects the
+  /// process-wide `obs::DefaultRegistry()`.  Pass the SAME registry the
+  /// `SecureDocumentServer` instruments so one scrape covers transport
+  /// and enforcement.  Must outlive the listener.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// HTTP/1.0 listener over POSIX sockets — the actual "requested via an
@@ -54,7 +61,16 @@ struct ListenerConfig {
 ///  * `GET /healthz` served by the listener itself: `200 ready` /
 ///    `503 draining` plus pool/queue/shed counters (never touches the
 ///    document repository, so it works even under failpoints);
+///  * `GET /metrics` served by the listener itself: Prometheus
+///    text-format exposition of the attached registry — transport
+///    counters, per-stage pipeline histograms, cache and failpoint
+///    telemetry — available even while draining;
 ///  * graceful drain on `Stop()` with a hard deadline, then force-close.
+///
+/// All listener counters live in the metrics registry (one source of
+/// truth for `/healthz`, `/metrics`, and the accessors below); the
+/// accessors report deltas since the last `Start()` so a restarted or
+/// test-local listener still observes its own traffic.
 ///
 /// The requester's numeric address comes from the peer socket; the
 /// symbolic name is derived from a static suffix (reverse DNS is out of
@@ -63,10 +79,7 @@ class TcpHttpListener {
  public:
   explicit TcpHttpListener(const SecureDocumentServer* server,
                            std::string sym_for_loopback = "localhost",
-                           ListenerConfig config = {})
-      : server_(server),
-        sym_for_loopback_(std::move(sym_for_loopback)),
-        config_(config) {}
+                           ListenerConfig config = {});
 
   ~TcpHttpListener();
 
@@ -85,16 +98,30 @@ class TcpHttpListener {
   /// Idempotent; a stopped listener object can be Start()ed again.
   void Stop();
 
-  // --- Counters (all monotonic since Start, except gauges) --------------
-  int64_t requests_served() const { return requests_served_.load(); }
-  int64_t requests_shed() const { return requests_shed_.load(); }
-  int64_t read_timeouts() const { return read_timeouts_.load(); }
-  int64_t write_timeouts() const { return write_timeouts_.load(); }
-  int64_t oversized_heads() const { return oversized_heads_.load(); }
-  int64_t health_checks() const { return health_checks_.load(); }
+  // --- Counters (registry-backed; deltas since Start, except gauges) ----
+  int64_t requests_served() const { return Delta(served_, served_base_); }
+  int64_t requests_shed() const { return Delta(shed_, shed_base_); }
+  int64_t read_timeouts() const {
+    return Delta(read_timeouts_c_, read_timeouts_base_);
+  }
+  int64_t write_timeouts() const {
+    return Delta(write_timeouts_c_, write_timeouts_base_);
+  }
+  int64_t oversized_heads() const {
+    return Delta(oversized_heads_c_, oversized_heads_base_);
+  }
+  int64_t health_checks() const {
+    return Delta(health_checks_c_, health_checks_base_);
+  }
+  int64_t metrics_scrapes() const {
+    return Delta(metrics_scrapes_c_, metrics_scrapes_base_);
+  }
   bool draining() const { return draining_.load(); }
   size_t queue_depth() const;
   int in_flight() const { return in_flight_.load(); }
+
+  /// The registry serving `GET /metrics` (never nullptr).
+  obs::MetricsRegistry* metrics() const { return registry_; }
 
  private:
   void AcceptLoop();
@@ -114,6 +141,13 @@ class TcpHttpListener {
   /// response in flight), then closes.
   static void GracefulClose(int connection_fd, int max_drain_ms);
   std::string HealthzResponse() const;
+  std::string MetricsResponse() const;
+
+  static int64_t Delta(const obs::Counter* counter, int64_t baseline) {
+    return counter->Value() - baseline;
+  }
+  /// Re-captures the per-Start baselines of every counter.
+  void CaptureBaselines();
 
   const SecureDocumentServer* server_;
   std::string sym_for_loopback_;
@@ -132,12 +166,28 @@ class TcpHttpListener {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> draining_{false};
   std::atomic<int> in_flight_{0};
-  std::atomic<int64_t> requests_served_{0};
-  std::atomic<int64_t> requests_shed_{0};
-  std::atomic<int64_t> read_timeouts_{0};
-  std::atomic<int64_t> write_timeouts_{0};
-  std::atomic<int64_t> oversized_heads_{0};
-  std::atomic<int64_t> health_checks_{0};
+
+  // Registry-backed instrumentation (resolved once, in the ctor).
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Counter* served_ = nullptr;
+  obs::Counter* shed_ = nullptr;
+  obs::Counter* read_timeouts_c_ = nullptr;
+  obs::Counter* write_timeouts_c_ = nullptr;
+  obs::Counter* oversized_heads_c_ = nullptr;
+  obs::Counter* health_checks_c_ = nullptr;
+  obs::Counter* metrics_scrapes_c_ = nullptr;
+  obs::Counter* status_408_ = nullptr;  ///< listener-generated responses
+  obs::Counter* status_431_ = nullptr;
+  obs::Counter* status_503_ = nullptr;
+  obs::Gauge* queue_depth_g_ = nullptr;
+  obs::Gauge* workers_busy_g_ = nullptr;
+  int64_t served_base_ = 0;
+  int64_t shed_base_ = 0;
+  int64_t read_timeouts_base_ = 0;
+  int64_t write_timeouts_base_ = 0;
+  int64_t oversized_heads_base_ = 0;
+  int64_t health_checks_base_ = 0;
+  int64_t metrics_scrapes_base_ = 0;
 };
 
 /// Test/client helper: opens a connection to 127.0.0.1:`port`, sends

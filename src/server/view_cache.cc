@@ -10,8 +10,11 @@ std::optional<std::string> ViewCache::Get(const Key& key, uint64_t version) {
       // Stale: computed against an older repository state.
       lru_.erase(it->second.lru_position);
       entries_.erase(it);
+      ++evictions_;
+      if (metric_evictions_ != nullptr) metric_evictions_->Inc();
     }
     ++misses_;
+    if (metric_misses_ != nullptr) metric_misses_->Inc();
     return std::nullopt;
   }
   // Refresh LRU position.
@@ -19,6 +22,7 @@ std::optional<std::string> ViewCache::Get(const Key& key, uint64_t version) {
   lru_.push_front(key);
   it->second.lru_position = lru_.begin();
   ++hits_;
+  if (metric_hits_ != nullptr) metric_hits_->Inc();
   return it->second.body;
 }
 
@@ -32,6 +36,8 @@ void ViewCache::Put(const Key& key, uint64_t version, std::string body) {
   while (entries_.size() >= capacity_) {
     entries_.erase(lru_.back());
     lru_.pop_back();
+    ++evictions_;
+    if (metric_evictions_ != nullptr) metric_evictions_->Inc();
   }
   lru_.push_front(key);
   entries_.emplace(key, Entry{version, std::move(body), lru_.begin()});
@@ -40,6 +46,13 @@ void ViewCache::Put(const Key& key, uint64_t version, std::string body) {
 void ViewCache::Clear() {
   entries_.clear();
   lru_.clear();
+}
+
+void ViewCache::BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                            obs::Counter* evictions) {
+  metric_hits_ = hits;
+  metric_misses_ = misses;
+  metric_evictions_ = evictions;
 }
 
 }  // namespace server

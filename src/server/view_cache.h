@@ -8,6 +8,8 @@
 #include <string>
 #include <tuple>
 
+#include "obs/metrics.h"
+
 namespace xmlsec {
 namespace server {
 
@@ -47,9 +49,19 @@ class ViewCache {
 
   void Clear();
 
+  /// Mirrors hit/miss/eviction tallies into registry counters (the
+  /// observability subsystem).  Pass nullptrs to detach.  The counters
+  /// must outlive the cache; increments happen under the owning
+  /// server's cache mutex, so the relaxed counter hot path is enough.
+  void BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                   obs::Counter* evictions);
+
   size_t size() const { return entries_.size(); }
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
+  /// Entries dropped: LRU capacity evictions plus stale invalidations
+  /// (entry computed against an older repository version).
+  int64_t evictions() const { return evictions_; }
 
  private:
   struct Entry {
@@ -63,6 +75,10 @@ class ViewCache {
   std::list<Key> lru_;  // Front = most recently used.
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
+  obs::Counter* metric_evictions_ = nullptr;
 };
 
 }  // namespace server

@@ -1,0 +1,279 @@
+// Unit tests of the observability subsystem: sharded counters merging
+// correctly under concurrency, histogram bucket semantics, registry
+// family/label bookkeeping, Prometheus exposition format, collectors,
+// and request-trace spans with the slow-trace threshold.
+//
+// The concurrency tests double as the TSan target for the subsystem
+// (see .github/workflows chaos-tsan job).
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xmlsec {
+namespace obs {
+namespace {
+
+#ifdef XMLSEC_METRICS_NOOP
+// The ablation build compiles Inc/Observe out; value-accumulation tests
+// would (correctly) see zeros.  Nothing to test beyond "it links".
+TEST(MetricsNoop, HotPathCompiledOut) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("noop_total", "noop");
+  counter->Inc(41);
+  EXPECT_EQ(counter->Value(), 0);
+}
+#else
+
+TEST(Counter, AccumulatesAcrossShards) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test_total", "help");
+  EXPECT_EQ(counter->Value(), 0);
+  counter->Inc();
+  counter->Inc(41);
+  EXPECT_EQ(counter->Value(), 42);
+}
+
+TEST(Counter, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test_total", "help");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kIncrements; ++i) counter->Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<int64_t>(kThreads) * kIncrements);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("depth", "help");
+  gauge->Set(7);
+  EXPECT_EQ(gauge->Value(), 7);
+  gauge->Add(-3);
+  EXPECT_EQ(gauge->Value(), 4);
+  gauge->Set(0);
+  EXPECT_EQ(gauge->Value(), 0);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusive) {
+  MetricsRegistry registry;
+  // Bounds 10, 100: buckets are (-inf,10], (10,100], (100,+inf).
+  Histogram* h =
+      registry.GetHistogram("h_test", "help", {10, 100}, 1.0);
+  h->Observe(10);    // on the boundary -> first bucket (le is inclusive)
+  h->Observe(11);    // second bucket
+  h->Observe(100);   // second bucket
+  h->Observe(101);   // +Inf bucket
+  h->Observe(-5);    // first bucket
+  std::vector<int64_t> buckets = h->BucketCounts();
+  ASSERT_EQ(buckets.size(), 3u);  // two bounds + implicit +Inf
+  EXPECT_EQ(buckets[0], 2);
+  EXPECT_EQ(buckets[1], 2);
+  EXPECT_EQ(buckets[2], 1);
+  EXPECT_EQ(h->Count(), 5);
+  EXPECT_EQ(h->Sum(), 10 + 11 + 100 + 101 - 5);
+}
+
+TEST(Histogram, ConcurrentObservationsAreLossless) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h_test", "help",
+                                       DefaultLatencyBoundsNs(), 1e-9);
+  constexpr int kThreads = 8;
+  constexpr int kObservations = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (int i = 0; i < kObservations; ++i) {
+        h->Observe(1000 * (t + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h->Count(),
+            static_cast<int64_t>(kThreads) * kObservations);
+  int64_t want_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    want_sum += static_cast<int64_t>(1000) * (t + 1) * kObservations;
+  }
+  EXPECT_EQ(h->Sum(), want_sum);
+}
+
+TEST(Registry, SameNameAndLabelsReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x_total", "help");
+  Counter* b = registry.GetCounter("x_total", "different help ignored");
+  EXPECT_EQ(a, b);
+  Counter* labeled =
+      registry.GetCounter("x_total", "help", {{"stage", "label"}});
+  EXPECT_NE(a, labeled);
+  Counter* labeled_again =
+      registry.GetCounter("x_total", "help", {{"stage", "label"}});
+  EXPECT_EQ(labeled, labeled_again);
+}
+
+TEST(Registry, TypeMismatchReturnsDummyNotNull) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("x_total", "help");
+  counter->Inc(5);
+  Gauge* wrong = registry.GetGauge("x_total", "help");
+  ASSERT_NE(wrong, nullptr);
+  wrong->Set(99);  // must be safe
+  EXPECT_EQ(counter->Value(), 5);  // real metric untouched
+  // The dummy is not part of the registry's exposition.
+  EXPECT_EQ(registry.ValueOf("x_total"), 5.0);
+}
+
+TEST(Registry, RenderPrometheusFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("req_total", "requests", {{"status", "200"}})->Inc(3);
+  registry.GetCounter("req_total", "requests", {{"status", "404"}})->Inc(1);
+  registry.GetGauge("depth", "queue depth")->Set(2);
+  Histogram* h = registry.GetHistogram("lat_seconds", "latency",
+                                       {1000, 1000000}, 1e-9);
+  h->Observe(500);      // le 1000
+  h->Observe(2000);     // le 1000000
+  h->Observe(5000000);  // +Inf
+  std::string text = registry.RenderPrometheus();
+
+  EXPECT_NE(text.find("# HELP req_total requests\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE req_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("req_total{status=\"200\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("req_total{status=\"404\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("depth 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram\n"), std::string::npos);
+  // Buckets are cumulative and scaled by 1e-9.
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"1e-06\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"0.001\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 3\n"), std::string::npos);
+  // Sum is scaled: (500 + 2000 + 5000000) * 1e-9.
+  EXPECT_NE(text.find("lat_seconds_sum 0.0050025\n"), std::string::npos);
+}
+
+TEST(Registry, EveryLineIsCommentOrSample) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total", "a")->Inc();
+  registry.GetGauge("b", "b")->Set(1);
+  registry.GetHistogram("c_seconds", "c", DefaultLatencyBoundsNs(), 1e-9)
+      ->Observe(42);
+  std::string text = registry.RenderPrometheus();
+  size_t start = 0;
+  int samples = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "text must end with a newline";
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    // sample:  name{labels} value   |   name value
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    char* parse_end = nullptr;
+    std::strtod(value.c_str(), &parse_end);
+    EXPECT_EQ(*parse_end, '\0') << "unparsable value in: " << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0);
+}
+
+TEST(Registry, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("esc_total", "h", {{"k", "a\"b\\c\nd"}})->Inc();
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("esc_total{k=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(Registry, CollectorAppendedAndReplacedByName) {
+  MetricsRegistry registry;
+  registry.AddCollector("probe", [] {
+    return std::string("probe_total 1\n");
+  });
+  EXPECT_NE(registry.RenderPrometheus().find("probe_total 1\n"),
+            std::string::npos);
+  registry.AddCollector("probe", [] {
+    return std::string("probe_total 2\n");
+  });
+  std::string text = registry.RenderPrometheus();
+  EXPECT_EQ(text.find("probe_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("probe_total 2\n"), std::string::npos);
+}
+
+TEST(Registry, ValueOfAndSamples) {
+  MetricsRegistry registry;
+  registry.GetCounter("v_total", "h", {{"s", "x"}})->Inc(7);
+  EXPECT_EQ(registry.ValueOf("v_total", "s=\"x\""), 7.0);
+  EXPECT_EQ(registry.ValueOf("v_total", "s=\"y\"", -1.0), -1.0);
+  EXPECT_EQ(registry.ValueOf("absent", "", -1.0), -1.0);
+  bool found = false;
+  for (const MetricsRegistry::Sample& sample : registry.Samples()) {
+    if (sample.name == "v_total" && sample.labels == "s=\"x\"") {
+      EXPECT_EQ(sample.value, 7.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+#endif  // XMLSEC_METRICS_NOOP
+
+TEST(Trace, SpansRecordInOrder) {
+  RequestTrace trace;
+  {
+    auto span = trace.Span("auth");
+    (void)span;
+  }
+  trace.Record("label", 1234567);
+  ASSERT_EQ(trace.spans().size(), 2u);
+  EXPECT_EQ(trace.spans()[0].first, "auth");
+  EXPECT_GE(trace.spans()[0].second, 0);
+  EXPECT_EQ(trace.NsOf("label"), 1234567);
+  EXPECT_EQ(trace.NsOf("absent"), -1);
+  EXPECT_GE(trace.ElapsedNs(), trace.spans()[0].second);
+}
+
+TEST(Trace, SummaryListsTotalThenStages) {
+  RequestTrace trace;
+  trace.Record("auth", 21000);      // 0.021 ms
+  trace.Record("label", 7900000);   // 7.9 ms
+  std::string summary = trace.Summary();
+  EXPECT_EQ(summary.rfind("total=", 0), 0u) << summary;
+  EXPECT_NE(summary.find(" auth=0.021ms"), std::string::npos) << summary;
+  EXPECT_NE(summary.find(" label=7.900ms"), std::string::npos) << summary;
+}
+
+TEST(Trace, SlowThresholdOverride) {
+  const int64_t original = SlowTraceThresholdMs();
+  SetSlowTraceThresholdMs(0);
+  EXPECT_EQ(SlowTraceThresholdMs(), 0);
+  SetSlowTraceThresholdMs(250);
+  EXPECT_EQ(SlowTraceThresholdMs(), 250);
+  SetSlowTraceThresholdMs(-1);
+  EXPECT_EQ(SlowTraceThresholdMs(), -1);
+  SetSlowTraceThresholdMs(original);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xmlsec

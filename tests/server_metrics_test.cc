@@ -1,0 +1,251 @@
+// Integration tests of the observability subsystem on the real serving
+// path: the server and listener share one MetricsRegistry, `GET
+// /metrics` exposes valid Prometheus text with the core families, the
+// cache counters progress with traffic, and the slow-trace threshold
+// routes span breakdowns into the audit trail.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/audit_log.h"
+#include "server/document_server.h"
+#include "server/http.h"
+#include "server/repository.h"
+#include "server/tcp_listener.h"
+#include "server/user_directory.h"
+#include "workload/docgen.h"
+
+namespace xmlsec {
+namespace server {
+namespace {
+
+class ServerMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        repo_.AddDtd("laboratory.xml", workload::LaboratoryDtd()).ok());
+    ASSERT_TRUE(repo_
+                    .AddDocument("CSlab.xml",
+                                 "<laboratory>"
+                                 "<project name=\"P\" type=\"public\">"
+                                 "<manager><fname>A</fname>"
+                                 "<lname>B</lname></manager>"
+                                 "<paper category=\"private\">"
+                                 "<title>Secret</title></paper>"
+                                 "<paper category=\"public\">"
+                                 "<title>Known</title></paper>"
+                                 "</project></laboratory>",
+                                 "laboratory.xml")
+                    .ok());
+    ASSERT_TRUE(users_.CreateUser("tom", "secret").ok());
+    ASSERT_TRUE(groups_.AddMembership("tom", "Foreign").ok());
+    ASSERT_TRUE(repo_.AddXacl(
+                        "<xacl>"
+                        "<authorization subject=\"Public\" "
+                        "object=\"CSlab.xml\" path=\"/laboratory\" "
+                        "sign=\"+\" type=\"RW\"/>"
+                        "<authorization subject=\"Foreign\" "
+                        "object=\"laboratory.xml\" "
+                        "path='//paper[./@category=&quot;private&quot;]' "
+                        "sign=\"-\" type=\"R\"/>"
+                        "</xacl>")
+                    .ok());
+    ServerConfig config;
+    config.view_cache_capacity = 8;
+    config.metrics = &registry_;  // isolated from DefaultRegistry()
+    server_ = std::make_unique<SecureDocumentServer>(&repo_, &users_,
+                                                     &groups_, config);
+    server_->set_audit_log(&audit_);
+    ListenerConfig listener_config;
+    listener_config.metrics = &registry_;  // same registry: one scrape
+    listener_ = std::make_unique<TcpHttpListener>(
+        server_.get(), "client.lab.example", listener_config);
+    Status started = listener_->Start(0);
+    ASSERT_TRUE(started.ok()) << started;
+  }
+
+  void TearDown() override {
+    listener_->Stop();
+    obs::SetSlowTraceThresholdMs(-1);
+  }
+
+  std::string AuthRequest() const {
+    return "GET /CSlab.xml HTTP/1.0\r\nAuthorization: Basic " +
+           Base64Encode("tom:secret") + "\r\n\r\n";
+  }
+
+  std::string Scrape() {
+    auto response =
+        FetchHttp(listener_->port(), "GET /metrics HTTP/1.0\r\n\r\n");
+    EXPECT_TRUE(response.ok()) << response.status();
+    return response.ok() ? *response : std::string();
+  }
+
+  obs::MetricsRegistry registry_;
+  Repository repo_;
+  UserDirectory users_;
+  authz::GroupStore groups_;
+  AuditLog audit_;
+  std::unique_ptr<SecureDocumentServer> server_;
+  std::unique_ptr<TcpHttpListener> listener_;
+};
+
+TEST_F(ServerMetricsTest, MetricsEndpointSpeaksPrometheus) {
+  auto served = FetchHttp(listener_->port(), AuthRequest());
+  ASSERT_TRUE(served.ok()) << served.status();
+  std::string response = Scrape();
+  ASSERT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(
+      response.find("Content-Type: text/plain; version=0.0.4"),
+      std::string::npos);
+
+  // Every body line must be a comment or `name[{labels}] value`.
+  size_t body_start = response.find("\r\n\r\n");
+  ASSERT_NE(body_start, std::string::npos);
+  std::string body = response.substr(body_start + 4);
+  ASSERT_FALSE(body.empty());
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t end = body.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "body must end with newline";
+    std::string line = body.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    char* parse_end = nullptr;
+    std::strtod(line.c_str() + space + 1, &parse_end);
+    EXPECT_EQ(*parse_end, '\0') << "unparsable sample: " << line;
+  }
+}
+
+TEST_F(ServerMetricsTest, CoreFamiliesPresent) {
+#ifdef XMLSEC_METRICS_NOOP
+  GTEST_SKIP() << "counters compiled out in the ablation build";
+#endif
+  // One miss, one hit, so cache and stage families have data.
+  ASSERT_TRUE(FetchHttp(listener_->port(), AuthRequest()).ok());
+  ASSERT_TRUE(FetchHttp(listener_->port(), AuthRequest()).ok());
+  std::string body = Scrape();
+  for (const char* family : {
+           "# TYPE xmlsec_requests_total counter",
+           "# TYPE xmlsec_request_duration_seconds histogram",
+           "# TYPE xmlsec_stage_duration_seconds histogram",
+           "# TYPE xmlsec_http_responses_total counter",
+           "# TYPE xmlsec_view_cache_hits_total counter",
+           "# TYPE xmlsec_view_cache_misses_total counter",
+           "# TYPE xmlsec_listener_requests_total counter",
+           "# TYPE xmlsec_listener_queue_depth gauge",
+       }) {
+    EXPECT_NE(body.find(family), std::string::npos) << family;
+  }
+  for (const char* sample : {
+           "xmlsec_stage_duration_seconds_count{stage=\"label\"}",
+           "xmlsec_stage_duration_seconds_count{stage=\"prune\"}",
+           "xmlsec_stage_duration_seconds_count{stage=\"serialize\"}",
+           "xmlsec_http_responses_total{status=\"200\"}",
+           "xmlsec_failpoint_trips_total{site=",
+       }) {
+    EXPECT_NE(body.find(sample), std::string::npos) << sample;
+  }
+}
+
+TEST_F(ServerMetricsTest, CacheCountersProgressWithTraffic) {
+#ifdef XMLSEC_METRICS_NOOP
+  GTEST_SKIP() << "counters compiled out in the ablation build";
+#endif
+  ASSERT_TRUE(FetchHttp(listener_->port(), AuthRequest()).ok());
+  EXPECT_EQ(registry_.ValueOf("xmlsec_view_cache_misses_total"), 1.0);
+  EXPECT_EQ(registry_.ValueOf("xmlsec_view_cache_hits_total"), 0.0);
+  ASSERT_TRUE(FetchHttp(listener_->port(), AuthRequest()).ok());
+  ASSERT_TRUE(FetchHttp(listener_->port(), AuthRequest()).ok());
+  EXPECT_EQ(registry_.ValueOf("xmlsec_view_cache_misses_total"), 1.0);
+  EXPECT_EQ(registry_.ValueOf("xmlsec_view_cache_hits_total"), 2.0);
+  EXPECT_EQ(registry_.ValueOf("xmlsec_requests_total"), 3.0);
+  EXPECT_EQ(registry_.ValueOf("xmlsec_http_responses_total",
+                              "status=\"200\""),
+            3.0);
+}
+
+TEST_F(ServerMetricsTest, StatusCountersCoverErrors) {
+#ifdef XMLSEC_METRICS_NOOP
+  GTEST_SKIP() << "counters compiled out in the ablation build";
+#endif
+  // 401: wrong password.  404: unknown document.
+  std::string bad_auth =
+      "GET /CSlab.xml HTTP/1.0\r\nAuthorization: Basic " +
+      Base64Encode("tom:wrong") + "\r\n\r\n";
+  ASSERT_TRUE(FetchHttp(listener_->port(), bad_auth).ok());
+  ASSERT_TRUE(
+      FetchHttp(listener_->port(), "GET /Nope.xml HTTP/1.0\r\n\r\n").ok());
+  EXPECT_EQ(registry_.ValueOf("xmlsec_http_responses_total",
+                              "status=\"401\""),
+            1.0);
+  EXPECT_EQ(registry_.ValueOf("xmlsec_http_responses_total",
+                              "status=\"404\""),
+            1.0);
+}
+
+TEST_F(ServerMetricsTest, SlowTraceLandsInAuditTrail) {
+#ifdef XMLSEC_METRICS_NOOP
+  GTEST_SKIP() << "counters compiled out in the ablation build";
+#endif
+  obs::SetSlowTraceThresholdMs(0);  // every request is "slow"
+  ASSERT_TRUE(FetchHttp(listener_->port(), AuthRequest()).ok());
+  obs::SetSlowTraceThresholdMs(-1);
+
+  std::vector<AuditEntry> entries = audit_.Entries();
+  ASSERT_FALSE(entries.empty());
+  const AuditEntry& entry = entries.back();
+  EXPECT_FALSE(entry.trace.empty());
+  std::string line = entry.ToString();
+  EXPECT_NE(line.find("trace{total="), std::string::npos) << line;
+  EXPECT_NE(line.find("label="), std::string::npos) << line;
+  EXPECT_NE(line.find("serialize="), std::string::npos) << line;
+  EXPECT_GE(registry_.ValueOf("xmlsec_slow_requests_total"), 1.0);
+}
+
+TEST_F(ServerMetricsTest, SlowTraceDisabledLeavesAuditClean) {
+  obs::SetSlowTraceThresholdMs(-1);
+  ASSERT_TRUE(FetchHttp(listener_->port(), AuthRequest()).ok());
+  std::vector<AuditEntry> entries = audit_.Entries();
+  ASSERT_FALSE(entries.empty());
+  EXPECT_TRUE(entries.back().trace.empty());
+  EXPECT_EQ(entries.back().ToString().find("trace{"), std::string::npos);
+}
+
+TEST_F(ServerMetricsTest, HealthzAgreesWithRegistry) {
+#ifdef XMLSEC_METRICS_NOOP
+  GTEST_SKIP() << "counters compiled out in the ablation build";
+#endif
+  ASSERT_TRUE(FetchHttp(listener_->port(), AuthRequest()).ok());
+  auto health =
+      FetchHttp(listener_->port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(health.ok()) << health.status();
+  // The /healthz "served" figure and the registry counter are the same
+  // number — the listener keeps no private tallies.
+  EXPECT_NE(health->find("\"served\":1"), std::string::npos) << *health;
+  EXPECT_EQ(
+      registry_.ValueOf("xmlsec_listener_requests_total"), 1.0);
+  EXPECT_EQ(registry_.ValueOf("xmlsec_listener_health_checks_total"),
+            1.0);
+}
+
+TEST_F(ServerMetricsTest, ScrapeWorksWhileDraining) {
+  // /metrics is served by the listener itself and must stay available
+  // during drain (the moment an operator most wants telemetry).
+  // Simplest observable proxy: a scrape right before Stop() succeeds
+  // and includes the listener families even with zero traffic.
+  std::string body = Scrape();
+  EXPECT_NE(body.find("xmlsec_listener_shed_total"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xmlsec

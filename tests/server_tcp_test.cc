@@ -15,6 +15,15 @@ namespace xmlsec {
 namespace server {
 namespace {
 
+// The registry-backed listener tallies are compiled out in the
+// -DXMLSEC_METRICS_NOOP=ON ablation build; behavioral assertions still
+// run there, exact-count assertions are gated on this flag.
+#ifdef XMLSEC_METRICS_NOOP
+constexpr bool kTalliesEnabled = false;
+#else
+constexpr bool kTalliesEnabled = true;
+#endif
+
 class TcpServerTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -75,7 +84,7 @@ TEST_F(TcpServerTest, ServesViewOverRealSocket) {
   EXPECT_NE(response->find("Known"), std::string::npos);
   // The schema denial for Foreign holds across the wire.
   EXPECT_EQ(response->find("Secret"), std::string::npos);
-  EXPECT_EQ(listener_->requests_served(), 1);
+  if (kTalliesEnabled) EXPECT_EQ(listener_->requests_served(), 1);
 }
 
 TEST_F(TcpServerTest, AnonymousPeerAddressIsUsed) {
@@ -100,7 +109,7 @@ TEST_F(TcpServerTest, SequentialClients) {
     ASSERT_TRUE(response.ok()) << response.status();
     EXPECT_NE(response->find("200 OK"), std::string::npos);
   }
-  EXPECT_EQ(listener_->requests_served(), 8);
+  if (kTalliesEnabled) EXPECT_EQ(listener_->requests_served(), 8);
 }
 
 TEST_F(TcpServerTest, ConcurrentClients) {
@@ -127,7 +136,7 @@ TEST_F(TcpServerTest, HealthzReportsReadyAndCounters) {
   EXPECT_NE(health->find("\"status\":\"ready\""), std::string::npos);
   EXPECT_NE(health->find("\"workers\":"), std::string::npos);
   EXPECT_NE(health->find("\"shed\":"), std::string::npos);
-  EXPECT_EQ(listener_->health_checks(), 1);
+  if (kTalliesEnabled) EXPECT_EQ(listener_->health_checks(), 1);
   // Health probes are not document requests.
   EXPECT_EQ(listener_->requests_served(), 0);
 }
@@ -150,7 +159,7 @@ TEST_F(TcpServerTest, WorkerPoolHandlesManyConcurrentClients) {
     EXPECT_NE(response.find("200 OK"), std::string::npos);
     EXPECT_NE(response.find("</laboratory>"), std::string::npos);
   }
-  EXPECT_EQ(listener_->requests_served(), kClients);
+  if (kTalliesEnabled) EXPECT_EQ(listener_->requests_served(), kClients);
   EXPECT_EQ(listener_->in_flight(), 0);
 }
 
