@@ -13,6 +13,7 @@
 #include "authz/labeling.h"
 #include "authz/loosening.h"
 #include "authz/processor.h"
+#include "authz/projector.h"
 #include "authz/prune.h"
 #include "workload/authgen.h"
 #include "workload/docgen.h"
@@ -48,6 +49,30 @@ struct Fixture {
 
 Fixture& SharedFixture() {
   static Fixture* fixture = new Fixture(10000);
+  return *fixture;
+}
+
+/// Deny-heavy mix under the default closed policy: most of the tree is
+/// redacted, so a view is a small slice of the original — the case the
+/// projection pipeline exists for (the clone pipeline still copies the
+/// whole tree before throwing most of it away).
+struct DenyHeavyFixture {
+  DenyHeavyFixture() {
+    doc = workload::GenerateDocument(workload::ConfigForNodeBudget(10000));
+    AuthGenConfig auth_config;
+    auth_config.count = 64;
+    auth_config.negative_fraction = 0.7;
+    auth_config.seed = 29;
+    workload = workload::GenerateAuthorizations(*doc, "d.xml", "s.dtd",
+                                                auth_config);
+  }
+
+  std::unique_ptr<xml::Document> doc;
+  GeneratedWorkload workload;
+};
+
+DenyHeavyFixture& SharedDenyHeavyFixture() {
+  static DenyHeavyFixture* fixture = new DenyHeavyFixture();
   return *fixture;
 }
 
@@ -108,6 +133,49 @@ void BM_StagePrune(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StagePrune);
+
+void BM_StageProject(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  for (auto _ : state) {
+    auto view = authz::ProjectView(*f.doc, f.workload.instance_auths,
+                                   f.workload.schema_auths,
+                                   f.workload.requester, f.workload.groups,
+                                   authz::PolicyOptions{});
+    benchmark::DoNotOptimize(view);
+  }
+}
+BENCHMARK(BM_StageProject);
+
+/// View construction (lookup excluded, loosening included) through each
+/// pipeline on the deny-heavy workload — both live in this binary so
+/// the speedup ratio is directly comparable run to run.
+void RunViewConstruction(benchmark::State& state,
+                         authz::ViewPipeline pipeline) {
+  DenyHeavyFixture& f = SharedDenyHeavyFixture();
+  authz::ProcessorOptions options;
+  options.pipeline = pipeline;
+  authz::SecurityProcessor processor(&f.workload.groups, options);
+  int64_t visible = 0;
+  for (auto _ : state) {
+    auto view =
+        processor.ComputeView(*f.doc, f.workload.instance_auths,
+                              f.workload.schema_auths, f.workload.requester);
+    benchmark::DoNotOptimize(view);
+    visible = view->empty() ? 0 : view->document->node_count();
+  }
+  state.counters["nodes"] = static_cast<double>(f.doc->node_count());
+  state.counters["visible_nodes"] = static_cast<double>(visible);
+}
+
+void BM_ViewConstructionClone(benchmark::State& state) {
+  RunViewConstruction(state, authz::ViewPipeline::kCloneLabelPrune);
+}
+BENCHMARK(BM_ViewConstructionClone);
+
+void BM_ViewConstructionProject(benchmark::State& state) {
+  RunViewConstruction(state, authz::ViewPipeline::kProject);
+}
+BENCHMARK(BM_ViewConstructionProject);
 
 void BM_StageLoosen(benchmark::State& state) {
   Fixture& f = SharedFixture();

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# CI gate for the view-construction hot path: builds bench_pipeline,
+# reruns the view-construction benchmarks with repetitions, and fails
+# when either
+#
+#   1. the single-pass projection pipeline is not at least RATIO_FLOOR
+#      (default 1.5x) faster than the legacy clone->label->prune
+#      pipeline on the deny-heavy workload (both run in the same
+#      binary, so the ratio is machine-independent), or
+#
+#   2. the p50 of BM_ViewConstructionProject regressed more than
+#      MAX_REGRESSION_PCT (default 15%) against the committed baseline
+#      in bench/baselines/BENCH_pipeline.json.  The absolute check is
+#      advisory off-CI (machines differ); set XMLSEC_BENCH_STRICT=1 to
+#      make it fail the gate, as CI does.
+#
+# Runnable locally:
+#
+#   scripts/check_bench.sh [build_dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BASELINE="bench/baselines/BENCH_pipeline.json"
+REPS="${XMLSEC_BENCH_REPS:-7}"
+MIN_TIME="${XMLSEC_BENCH_MIN_TIME:-0.1}"
+RATIO_FLOOR="${XMLSEC_BENCH_RATIO_FLOOR:-1.5}"
+MAX_REGRESSION_PCT="${XMLSEC_BENCH_REGRESSION_PCT:-15}"
+STRICT="${XMLSEC_BENCH_STRICT:-${CI:+1}}"
+STRICT="${STRICT:-0}"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_pipeline
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+# Repetitions give one JSON entry per rep (the capturing reporter skips
+# aggregate rows), so the p50 below is a median over real reruns.
+XMLSEC_BENCH_JSON="$OUT" "$BUILD_DIR/bench/bench_pipeline" \
+  --benchmark_filter='BM_ViewConstruction' \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_min_time="$MIN_TIME" > /dev/null
+
+python3 - "$OUT" "$BASELINE" "$RATIO_FLOOR" "$MAX_REGRESSION_PCT" \
+    "$STRICT" <<'PY'
+import json, statistics, sys
+
+out_path, baseline_path, ratio_floor, max_pct, strict = sys.argv[1:6]
+ratio_floor, max_pct = float(ratio_floor), float(max_pct)
+strict = strict == "1"
+
+def p50(entries, name):
+    samples = [e["ns_per_op"] for e in entries
+               if e["name"].split("/")[0] == name]
+    if not samples:
+        sys.exit(f"check_bench: no samples for {name} in {out_path}")
+    return statistics.median(samples)
+
+entries = json.load(open(out_path))
+clone = p50(entries, "BM_ViewConstructionClone")
+project = p50(entries, "BM_ViewConstructionProject")
+ratio = clone / project
+print(f"check_bench: p50 clone={clone/1e6:.3f}ms "
+      f"project={project/1e6:.3f}ms ratio={ratio:.2f}x "
+      f"(floor {ratio_floor}x)")
+failed = False
+if ratio < ratio_floor:
+    print(f"check_bench: FAIL: projection only {ratio:.2f}x faster than "
+          f"the clone pipeline (floor {ratio_floor}x)", file=sys.stderr)
+    failed = True
+
+try:
+    baseline = json.load(open(baseline_path))
+except FileNotFoundError:
+    print(f"check_bench: no baseline at {baseline_path}; skipping "
+          "regression check")
+    baseline = None
+if baseline is not None:
+    base = p50(baseline, "BM_ViewConstructionProject")
+    delta_pct = (project - base) / base * 100.0
+    print(f"check_bench: baseline p50={base/1e6:.3f}ms "
+          f"delta={delta_pct:+.1f}% (limit +{max_pct}%)")
+    if delta_pct > max_pct:
+        message = (f"view construction p50 regressed {delta_pct:+.1f}% "
+                   f"vs baseline (limit +{max_pct}%)")
+        if strict:
+            print(f"check_bench: FAIL: {message}", file=sys.stderr)
+            failed = True
+        else:
+            print(f"check_bench: WARNING (non-strict): {message}")
+
+sys.exit(1 if failed else 0)
+PY
+
+echo "check_bench: OK"

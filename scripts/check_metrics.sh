@@ -67,6 +67,7 @@ for family in \
     'xmlsec_request_duration_seconds_bucket' \
     'xmlsec_request_duration_seconds_count' \
     'xmlsec_stage_duration_seconds_count\{stage="label"\}' \
+    'xmlsec_stage_duration_seconds_count\{stage="project"\}' \
     'xmlsec_stage_duration_seconds_count\{stage="prune"\}' \
     'xmlsec_stage_duration_seconds_count\{stage="serialize"\}' \
     'xmlsec_http_responses_total\{status="200"\}' \

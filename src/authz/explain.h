@@ -16,9 +16,8 @@
 namespace xmlsec {
 namespace authz {
 
-/// Names of the 6-tuple slots, in priority order (paper §6.1).
-enum class LabelSlot : int { kL = 0, kR, kLD, kRD, kLW, kRW };
-
+/// Human-readable name of a 6-tuple slot (the enum itself lives in
+/// labeling.h, shared with the projector).
 const char* LabelSlotName(LabelSlot slot);
 
 /// Why one slot of one node carries its sign.

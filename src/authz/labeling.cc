@@ -28,26 +28,16 @@ char SignChar(TriSign s) {
   return '?';
 }
 
-/// Slot indices of the 6-tuple.
-enum Slot : int { kL = 0, kR = 1, kLD = 2, kRD = 3, kLW = 4, kRW = 5 };
-
-/// Explicit (pre-propagation) slot signs for every node, indexed by
-/// doc_order.
-struct InitialLabels {
-  std::vector<std::array<TriSign, 6>> slots;
-
-  explicit InitialLabels(size_t n)
-      : slots(n, {TriSign::kEps, TriSign::kEps, TriSign::kEps, TriSign::kEps,
-                  TriSign::kEps, TriSign::kEps}) {}
-
-  TriSign Get(const Node* node, Slot slot) const {
-    return slots[static_cast<size_t>(node->doc_order())][slot];
-  }
-};
+constexpr LabelSlot kL = LabelSlot::kL;
+constexpr LabelSlot kR = LabelSlot::kR;
+constexpr LabelSlot kLD = LabelSlot::kLD;
+constexpr LabelSlot kRD = LabelSlot::kRD;
+constexpr LabelSlot kLW = LabelSlot::kLW;
+constexpr LabelSlot kRW = LabelSlot::kRW;
 
 /// Which slot an authorization contributes to for a given target node.
-Slot SlotFor(const Authorization& auth, bool schema_level,
-             bool target_is_attribute) {
+LabelSlot SlotFor(const Authorization& auth, bool schema_level,
+                  bool target_is_attribute) {
   bool recursive = IsRecursive(auth.type);
   if (target_is_attribute) recursive = false;  // R on attribute acts as L.
   if (schema_level) return recursive ? kRD : kLD;
@@ -124,59 +114,6 @@ Result<xpath::NodeSet> TargetNodes(const Authorization& auth,
   return set;
 }
 
-/// Runs requester filtering + initial labeling for both authorization
-/// levels; shared by the propagation labeler and the naive baseline.
-Result<InitialLabels> ComputeInitialLabels(
-    const Document& doc, std::span<const Authorization> instance_auths,
-    std::span<const Authorization> schema_auths, const Requester& rq,
-    const GroupStore& groups, PolicyOptions policy, LabelingStats* stats) {
-  const auto node_count = static_cast<size_t>(doc.node_count());
-  InitialLabels initial(node_count);
-
-  // Per (node, slot) candidate lists, sparse.
-  std::unordered_map<uint64_t, std::vector<const Authorization*>> candidates;
-  const xpath::VariableBindings bindings = RequesterBindings(rq);
-
-  auto collect = [&](std::span<const Authorization> auths,
-                     bool schema_level) -> Status {
-    for (const Authorization& auth : auths) {
-      if (static_cast<int>(auth.action) != policy.action) continue;
-      if (!auth.AppliesAtTime(rq.time)) continue;
-      if (!RequesterMatches(rq, auth.subject, groups)) continue;
-      if (stats != nullptr) {
-        (schema_level ? stats->applicable_schema_auths
-                      : stats->applicable_instance_auths)++;
-      }
-      XMLSEC_ASSIGN_OR_RETURN(xpath::NodeSet targets,
-                              TargetNodes(auth, doc, bindings));
-      if (stats != nullptr) {
-        stats->xpath_evaluations++;
-        stats->target_nodes += static_cast<int64_t>(targets.size());
-      }
-      for (const Node* node : targets) {
-        if (!node->IsElement() && !node->IsAttribute()) continue;
-        Slot slot = SlotFor(auth, schema_level, node->IsAttribute());
-        uint64_t key =
-            static_cast<uint64_t>(node->doc_order()) * 6 +
-            static_cast<uint64_t>(slot);
-        candidates[key].push_back(&auth);
-      }
-    }
-    return Status::OK();
-  };
-
-  XMLSEC_RETURN_IF_ERROR(collect(instance_auths, /*schema_level=*/false));
-  XMLSEC_RETURN_IF_ERROR(collect(schema_auths, /*schema_level=*/true));
-
-  for (const auto& [key, auths] : candidates) {
-    size_t node_index = key / 6;
-    int slot = static_cast<int>(key % 6);
-    initial.slots[node_index][slot] =
-        ResolveSlot(auths, groups, policy.conflict);
-  }
-  return initial;
-}
-
 TriSign First2(TriSign a, TriSign b) {
   return a != TriSign::kEps ? a : b;
 }
@@ -184,7 +121,7 @@ TriSign First2(TriSign a, TriSign b) {
 /// Pre-order propagation (paper Fig. 2, procedure `label`).
 class Propagator {
  public:
-  Propagator(const InitialLabels& initial, LabelMap* labels)
+  Propagator(const ExplicitSigns& initial, LabelMap* labels)
       : initial_(initial), labels_(labels) {}
 
   void LabelRoot(const Element* root) {
@@ -198,14 +135,14 @@ class Propagator {
   /// Copies the node's initial tuple into the label map and records the
   /// explicit values.
   NodeLabel& Init(const Node* node) {
-    const auto& slots = initial_.slots[static_cast<size_t>(node->doc_order())];
+    const auto& slots = initial_.Row(node);
     NodeLabel& lab = labels_->At(node);
-    lab.l = slots[kL];
-    lab.r = slots[kR];
-    lab.ld = slots[kLD];
-    lab.rd = slots[kRD];
-    lab.lw = slots[kLW];
-    lab.rw = slots[kRW];
+    lab.l = slots[static_cast<size_t>(kL)];
+    lab.r = slots[static_cast<size_t>(kR)];
+    lab.ld = slots[static_cast<size_t>(kLD)];
+    lab.rd = slots[static_cast<size_t>(kRD)];
+    lab.lw = slots[static_cast<size_t>(kLW)];
+    lab.rw = slots[static_cast<size_t>(kRW)];
     lab.l_explicit = lab.l;
     lab.ld_explicit = lab.ld;
     lab.lw_explicit = lab.lw;
@@ -254,11 +191,62 @@ class Propagator {
     lab.final_sign = FirstDef({lab.l, inst, lab.ld, schema, lab.lw, weak});
   }
 
-  const InitialLabels& initial_;
+  const ExplicitSigns& initial_;
   LabelMap* labels_;
 };
 
 }  // namespace
+
+Result<ExplicitSigns> ComputeExplicitSigns(
+    const Document& doc, std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths, const Requester& rq,
+    const GroupStore& groups, PolicyOptions policy, LabelingStats* stats) {
+  const auto node_count = static_cast<size_t>(doc.node_count());
+  ExplicitSigns initial(node_count);
+
+  // Per (node, slot) candidate lists, sparse.
+  std::unordered_map<uint64_t, std::vector<const Authorization*>> candidates;
+  const xpath::VariableBindings bindings = RequesterBindings(rq);
+
+  auto collect = [&](std::span<const Authorization> auths,
+                     bool schema_level) -> Status {
+    for (const Authorization& auth : auths) {
+      if (static_cast<int>(auth.action) != policy.action) continue;
+      if (!auth.AppliesAtTime(rq.time)) continue;
+      if (!RequesterMatches(rq, auth.subject, groups)) continue;
+      if (stats != nullptr) {
+        (schema_level ? stats->applicable_schema_auths
+                      : stats->applicable_instance_auths)++;
+      }
+      XMLSEC_ASSIGN_OR_RETURN(xpath::NodeSet targets,
+                              TargetNodes(auth, doc, bindings));
+      if (stats != nullptr) {
+        stats->xpath_evaluations++;
+        stats->target_nodes += static_cast<int64_t>(targets.size());
+      }
+      for (const Node* node : targets) {
+        if (!node->IsElement() && !node->IsAttribute()) continue;
+        LabelSlot slot = SlotFor(auth, schema_level, node->IsAttribute());
+        uint64_t key =
+            static_cast<uint64_t>(node->doc_order()) * 6 +
+            static_cast<uint64_t>(slot);
+        candidates[key].push_back(&auth);
+      }
+    }
+    return Status::OK();
+  };
+
+  XMLSEC_RETURN_IF_ERROR(collect(instance_auths, /*schema_level=*/false));
+  XMLSEC_RETURN_IF_ERROR(collect(schema_auths, /*schema_level=*/true));
+
+  for (const auto& [key, auths] : candidates) {
+    size_t node_index = key / 6;
+    auto slot = static_cast<size_t>(key % 6);
+    initial.MutableRow(node_index)[slot] =
+        ResolveSlot(auths, groups, policy.conflict);
+  }
+  return initial;
+}
 
 char TriSignToChar(TriSign s) { return SignChar(s); }
 
@@ -292,8 +280,8 @@ Result<LabelMap> TreeLabeler::Label(const Document& doc,
     return Status::InvalidArgument("document has no root element");
   }
   XMLSEC_ASSIGN_OR_RETURN(
-      InitialLabels initial,
-      ComputeInitialLabels(doc, instance_auths, schema_auths, rq, *groups_,
+      ExplicitSigns initial,
+      ComputeExplicitSigns(doc, instance_auths, schema_auths, rq, *groups_,
                            policy_, stats));
   LabelMap labels(static_cast<size_t>(doc.node_count()));
   Propagator propagator(initial, &labels);
@@ -313,8 +301,8 @@ Result<LabelMap> LabelTreeNaive(const Document& doc,
     return Status::InvalidArgument("document has no root element");
   }
   XMLSEC_ASSIGN_OR_RETURN(
-      InitialLabels initial,
-      ComputeInitialLabels(doc, instance_auths, schema_auths, rq, groups,
+      ExplicitSigns initial,
+      ComputeExplicitSigns(doc, instance_auths, schema_auths, rq, groups,
                            policy, nullptr));
   LabelMap labels(static_cast<size_t>(doc.node_count()));
 

@@ -1,6 +1,7 @@
 #ifndef XMLSEC_AUTHZ_LABELING_H_
 #define XMLSEC_AUTHZ_LABELING_H_
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -77,6 +78,45 @@ class LabelMap {
   std::vector<NodeLabel> labels_;
 };
 
+/// Slot indices of the 6-tuple ⟨L, R, LD, RD, LW, RW⟩.
+enum class LabelSlot : int { kL = 0, kR = 1, kLD = 2, kRD = 3, kLW = 4,
+                             kRW = 5 };
+
+/// Explicit (pre-propagation) slot signs for every node of one document,
+/// indexed by `doc_order()`: the outcome of requester filtering, XPath
+/// target marking, subject-specificity override, and per-slot conflict
+/// resolution — everything of the paper's `initial_label` — before any
+/// parent→child propagation.
+///
+/// Shared by `TreeLabeler`, the naive oracle, and the single-pass view
+/// projector (authz/projector.h), which fuses the propagation pass with
+/// the copy-out of visible nodes.
+class ExplicitSigns {
+ public:
+  ExplicitSigns() = default;
+  explicit ExplicitSigns(size_t node_count)
+      : slots_(node_count, kAllEps) {}
+
+  TriSign Get(const xml::Node* node, LabelSlot slot) const {
+    return slots_[static_cast<size_t>(node->doc_order())]
+                 [static_cast<size_t>(slot)];
+  }
+  const std::array<TriSign, 6>& Row(const xml::Node* node) const {
+    return slots_[static_cast<size_t>(node->doc_order())];
+  }
+  std::array<TriSign, 6>& MutableRow(size_t node_index) {
+    return slots_[node_index];
+  }
+
+  size_t size() const { return slots_.size(); }
+
+ private:
+  static constexpr std::array<TriSign, 6> kAllEps = {
+      TriSign::kEps, TriSign::kEps, TriSign::kEps,
+      TriSign::kEps, TriSign::kEps, TriSign::kEps};
+  std::vector<std::array<TriSign, 6>> slots_;
+};
+
 /// Counters from one labeling run (exposed for benchmarks and
 /// EXPERIMENTS.md).
 struct LabelingStats {
@@ -123,6 +163,17 @@ class TreeLabeler {
   const GroupStore* groups_;
   PolicyOptions policy_;
 };
+
+/// Runs requester filtering and initial labeling for both authorization
+/// levels: evaluates every applicable authorization's path expression
+/// once against `doc` and resolves each (node, slot) candidate list by
+/// subject specificity and the conflict policy.  The propagation passes
+/// (`TreeLabeler`, `ProjectView`) consume the result.
+Result<ExplicitSigns> ComputeExplicitSigns(
+    const xml::Document& doc, std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths, const Requester& rq,
+    const GroupStore& groups, PolicyOptions policy,
+    LabelingStats* stats = nullptr);
 
 /// Reference labeler that applies the model's *declarative* semantics
 /// independently per node (for each node, walk its ancestor chain to find

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "authz/loosening.h"
+#include "authz/projector.h"
 #include "common/failpoint.h"
 #include "xml/validator.h"
 
@@ -24,9 +25,9 @@ int64_t NsSince(StageClock::time_point begin) {
 Result<View> SecurityProcessor::ComputeView(
     const xml::Document& doc, std::span<const Authorization> instance_auths,
     std::span<const Authorization> schema_auths, const Requester& rq) const {
-  // Fault-injection site: a fault inside labeling/prune must abort the
-  // whole view computation (fail closed) — a partially labeled tree must
-  // never escape as a served view.
+  // Fault-injection site: a fault inside labeling/projection must abort
+  // the whole view computation (fail closed) — a partially labeled tree
+  // must never escape as a served view.
   XMLSEC_RETURN_IF_ERROR(failpoint::Check("authz.compute_view"));
   for (const Authorization& auth : schema_auths) {
     if (IsWeak(auth.type)) {
@@ -36,32 +37,49 @@ Result<View> SecurityProcessor::ComputeView(
     }
   }
 
-  // Work on a clone so the cached original stays intact.
-  StageClock::time_point stage_begin = StageClock::now();
-  std::unique_ptr<xml::Node> cloned = doc.Clone(/*deep=*/true);
-  auto view_doc = std::unique_ptr<xml::Document>(
-      static_cast<xml::Document*>(cloned.release()));
-
   View view;
-  view.stats.clone_ns = NsSince(stage_begin);
+  std::unique_ptr<xml::Document> view_doc;
 
-  stage_begin = StageClock::now();
-  TreeLabeler labeler(groups_, options_.policy);
-  XMLSEC_ASSIGN_OR_RETURN(
-      LabelMap labels,
-      labeler.Label(*view_doc, instance_auths, schema_auths, rq,
-                    &view.stats.labeling));
-  view.stats.label_ns = NsSince(stage_begin);
+  if (options_.pipeline == ViewPipeline::kProject) {
+    // Single-pass projection over the shared original (projector.h):
+    // explicit signs, then one fused propagate-and-copy walk.
+    ProjectionStats pstats;
+    XMLSEC_ASSIGN_OR_RETURN(
+        view_doc, ProjectView(doc, instance_auths, schema_auths, rq,
+                              *groups_, options_.policy, &pstats));
+    view.stats.labeling = pstats.labeling;
+    view.stats.prune = pstats.prune;
+    view.stats.label_ns = pstats.label_ns;
+    view.stats.project_ns = pstats.project_ns;
+  } else {
+    // Paper-literal pipeline: work on a clone so the cached original
+    // stays intact, label it, prune it back down.
+    StageClock::time_point stage_begin = StageClock::now();
+    std::unique_ptr<xml::Node> cloned = doc.Clone(/*deep=*/true);
+    view_doc = std::unique_ptr<xml::Document>(
+        static_cast<xml::Document*>(cloned.release()));
+    view.stats.project_ns = NsSince(stage_begin);
 
-  stage_begin = StageClock::now();
-  PruneDocument(view_doc.get(), labels, options_.policy.completeness,
-                &view.stats.prune);
-  view.stats.prune_ns = NsSince(stage_begin);
+    stage_begin = StageClock::now();
+    TreeLabeler labeler(groups_, options_.policy);
+    XMLSEC_ASSIGN_OR_RETURN(
+        LabelMap labels,
+        labeler.Label(*view_doc, instance_auths, schema_auths, rq,
+                      &view.stats.labeling));
+    view.stats.label_ns = NsSince(stage_begin);
+
+    stage_begin = StageClock::now();
+    PruneDocument(view_doc.get(), labels, options_.policy.completeness,
+                  &view.stats.prune);
+    view.stats.prune_ns = NsSince(stage_begin);
+  }
 
   // Attach the loosened DTD so the published view hides redactions.
-  stage_begin = StageClock::now();
-  if (view_doc->dtd() != nullptr) {
-    view_doc->set_dtd(std::make_unique<xml::Dtd>(LoosenDtd(*view_doc->dtd())));
+  // (The projection pipeline never copied the original DTD at all; the
+  // clone pipeline replaces the copy its clone carried.)
+  StageClock::time_point stage_begin = StageClock::now();
+  if (doc.dtd() != nullptr) {
+    view_doc->set_dtd(std::make_unique<xml::Dtd>(LoosenDtd(*doc.dtd())));
     if (options_.validate_output && view_doc->root() != nullptr) {
       xml::ValidationOptions vopts;
       vopts.add_default_attributes = false;  // Do not re-add pruned attrs.

@@ -9,6 +9,7 @@
 #include "authz/authorization.h"
 #include "authz/labeling.h"
 #include "authz/policy.h"
+#include "authz/projector.h"
 #include "authz/prune.h"
 #include "authz/subject.h"
 #include "xml/dom.h"
@@ -17,12 +18,26 @@
 namespace xmlsec {
 namespace authz {
 
+/// How `SecurityProcessor::ComputeView` materializes the view.
+enum class ViewPipeline {
+  /// Single-pass projection (authz/projector.h): one walk over the
+  /// shared original document, copying only visible nodes.  The
+  /// default — a deny-heavy request allocates its visible slice, not
+  /// the whole tree.
+  kProject,
+  /// The paper-literal clone → label → prune pipeline.  Kept as the
+  /// differential-testing oracle and benchmark baseline; byte-identical
+  /// output (view_projection_test).
+  kCloneLabelPrune,
+};
+
 /// Configuration of the security processor.
 struct ProcessorOptions {
   PolicyOptions policy;
   /// Check the *output* view against the loosened DTD (an invariant of
   /// the construction — §6.2); enable in tests and debugging.
   bool validate_output = false;
+  ViewPipeline pipeline = ViewPipeline::kProject;
 };
 
 /// Aggregated metrics of one view computation.
@@ -30,13 +45,18 @@ struct ViewStats {
   LabelingStats labeling;
   PruneStats prune;
   /// Per-stage wall-clock durations in nanoseconds, filled by the
-  /// security processor (clone/label/prune/loosen) and the document
+  /// security processor (project/label/prune/loosen) and the document
   /// server (repository lookup).  The serving layer feeds these into
   /// the observability subsystem's stage histograms and slow-request
   /// traces (src/obs); keeping them here costs four clock reads per
   /// view and spares the processor any dependency on obs.
+  ///
+  /// Under the projection pipeline `project_ns` covers the fused
+  /// propagate-and-copy walk and `prune_ns` stays 0; under the legacy
+  /// clone pipeline `project_ns` holds the deep-clone time and
+  /// `prune_ns` the prune pass.
   int64_t lookup_ns = 0;
-  int64_t clone_ns = 0;
+  int64_t project_ns = 0;
   int64_t label_ns = 0;
   int64_t prune_ns = 0;
   int64_t loosen_ns = 0;
@@ -59,12 +79,15 @@ struct View {
 };
 
 /// Server-side security processor (paper §7): labels a document for a
-/// requester, prunes it, and attaches the loosened DTD.
+/// requester, derives the visible view, and attaches the loosened DTD.
 ///
 /// The execution cycle mirrors the paper's four steps; parsing and
 /// unparsing live in the `xml` library, so `ComputeView` covers the tree
 /// labeling and transformation steps and never mutates the input
-/// document (it works on a deep clone).
+/// document — by default it projects the visible slice out of the shared
+/// original in a single pass (`ViewPipeline::kProject`); the paper's
+/// literal clone→label→prune cycle remains available as
+/// `ViewPipeline::kCloneLabelPrune`.
 class SecurityProcessor {
  public:
   SecurityProcessor(const GroupStore* groups, ProcessorOptions options = {})

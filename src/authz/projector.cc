@@ -1,0 +1,242 @@
+#include "authz/projector.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace xmlsec {
+namespace authz {
+
+namespace {
+
+using xml::Attr;
+using xml::Document;
+using xml::Element;
+using xml::Node;
+
+using StageClock = std::chrono::steady_clock;
+
+int64_t NsSince(StageClock::time_point begin) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             StageClock::now() - begin)
+      .count();
+}
+
+TriSign First2(TriSign a, TriSign b) { return a != TriSign::kEps ? a : b; }
+
+/// The working 6-tuple of one element during the fused walk — the same
+/// values `TreeLabeler`'s Propagator would store in the LabelMap, held
+/// on the recursion stack instead of materialized per node.
+struct Signs {
+  TriSign l = TriSign::kEps;
+  TriSign r = TriSign::kEps;
+  TriSign ld = TriSign::kEps;
+  TriSign rd = TriSign::kEps;
+  TriSign lw = TriSign::kEps;
+  TriSign rw = TriSign::kEps;
+  TriSign l_explicit = TriSign::kEps;
+  TriSign ld_explicit = TriSign::kEps;
+  TriSign lw_explicit = TriSign::kEps;
+  TriSign final_sign = TriSign::kEps;
+};
+
+bool IsPermitted(TriSign sign, CompletenessPolicy completeness) {
+  if (completeness == CompletenessPolicy::kClosed) {
+    return sign == TriSign::kPlus;
+  }
+  return sign != TriSign::kMinus;  // Open: ε reads as permission.
+}
+
+/// The fused propagate-and-copy recursion.  Mirrors, rule for rule,
+/// `Propagator` (labeling.cc) for the sign computation and `Pruner`
+/// (prune.cc) for what survives and for the stat counters.
+class Projector {
+ public:
+  Projector(const ExplicitSigns& initial, CompletenessPolicy completeness,
+            PruneStats* stats)
+      : initial_(initial), completeness_(completeness), stats_(stats) {}
+
+  /// Projects the subtree rooted at `el`; returns nullptr when nothing
+  /// of it is visible (the caller accounts the removal).
+  std::unique_ptr<Element> ProjectElement(const Element* el,
+                                          const Signs& parent) {
+    Signs lab = Init(el);
+    // Most specific object overrides: the node's own recursive signs (of
+    // either strength) suppress the propagated pair; schema-level
+    // recursive signs propagate independently.
+    if (lab.r == TriSign::kEps && lab.rw == TriSign::kEps) {
+      lab.r = parent.r;
+      lab.rw = parent.rw;
+    }
+    lab.rd = First2(lab.rd, parent.rd);
+    lab.final_sign =
+        FirstDef({lab.l, lab.r, lab.ld, lab.rd, lab.lw, lab.rw});
+    const bool self_permitted = Permitted(lab.final_sign);
+    const bool values_permitted = self_permitted;  // text visibility
+
+    std::unique_ptr<Element> out;
+    auto ensure_out = [&]() -> Element* {
+      if (out == nullptr) {
+        out = std::make_unique<Element>(el->tag());
+        out->set_source_position(el->line(), el->column());
+      }
+      return out.get();
+    };
+
+    for (const auto& attr : el->attributes()) {
+      if (Permitted(AttributeFinalSign(attr.get(), lab))) {
+        std::unique_ptr<Node> cloned = attr->Clone(/*deep=*/true);
+        std::unique_ptr<Attr> owned(static_cast<Attr*>(cloned.release()));
+        Status s = ensure_out()->AddAttribute(std::move(owned));
+        assert(s.ok());
+        (void)s;
+      } else {
+        Count(&PruneStats::removed_attributes);
+      }
+    }
+
+    for (const auto& child : el->children()) {
+      if (child->IsElement()) {
+        std::unique_ptr<Element> sub =
+            ProjectElement(static_cast<const Element*>(child.get()), lab);
+        if (sub != nullptr) {
+          ensure_out()->AppendChild(std::move(sub));
+        } else {
+          Count(&PruneStats::removed_elements);
+        }
+      } else {
+        // Text / CDATA / comment / PI nodes are the "values" of the
+        // paper's tree: visible iff their element is.
+        if (values_permitted) {
+          ensure_out()->AppendChild(child->Clone(/*deep=*/false));
+        } else {
+          Count(&PruneStats::removed_character_data);
+        }
+      }
+    }
+
+    if (out == nullptr) {
+      // Nothing visible below: the element survives only on its own
+      // permission (a permitted-but-empty element keeps its tags).
+      if (!self_permitted) return nullptr;
+      ensure_out();
+      return out;
+    }
+    if (!self_permitted && stats_ != nullptr) {
+      stats_->skeleton_elements++;  // Tag-skeleton preservation.
+    }
+    return out;
+  }
+
+  /// Visibility of a node carrying no derived authorization — the fate
+  /// of prolog/epilog comments and PIs, which plain tree authorizations
+  /// never target.
+  bool EpsilonPermitted() const {
+    return IsPermitted(TriSign::kEps, completeness_);
+  }
+
+  void CountDocLevel(int64_t PruneStats::*field) { Count(field); }
+
+ private:
+  Signs Init(const Node* node) const {
+    const auto& slots = initial_.Row(node);
+    Signs lab;
+    lab.l = slots[static_cast<size_t>(LabelSlot::kL)];
+    lab.r = slots[static_cast<size_t>(LabelSlot::kR)];
+    lab.ld = slots[static_cast<size_t>(LabelSlot::kLD)];
+    lab.rd = slots[static_cast<size_t>(LabelSlot::kRD)];
+    lab.lw = slots[static_cast<size_t>(LabelSlot::kLW)];
+    lab.rw = slots[static_cast<size_t>(LabelSlot::kRW)];
+    lab.l_explicit = lab.l;
+    lab.ld_explicit = lab.ld;
+    lab.lw_explicit = lab.lw;
+    return lab;
+  }
+
+  TriSign AttributeFinalSign(const Attr* attr, const Signs& parent) const {
+    Signs lab = Init(attr);
+    // An element's Local authorizations cover its direct attributes; its
+    // merged recursive signs cover them too, at lower priority (same
+    // sequence as the element rule: instance, schema, weak).
+    TriSign inst = First2(parent.l_explicit, parent.r);
+    TriSign schema = First2(parent.ld_explicit, parent.rd);
+    TriSign weak = First2(parent.lw_explicit, parent.rw);
+    return FirstDef({lab.l, inst, lab.ld, schema, lab.lw, weak});
+  }
+
+  bool Permitted(TriSign sign) const {
+    return IsPermitted(sign, completeness_);
+  }
+
+  void Count(int64_t PruneStats::*field) {
+    if (stats_ != nullptr) (stats_->*field)++;
+  }
+
+  const ExplicitSigns& initial_;
+  CompletenessPolicy completeness_;
+  PruneStats* stats_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Document>> ProjectView(
+    const Document& doc, std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths, const Requester& rq,
+    const GroupStore& groups, PolicyOptions policy, ProjectionStats* stats) {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("document has no root element");
+  }
+
+  StageClock::time_point stage_begin = StageClock::now();
+  XMLSEC_ASSIGN_OR_RETURN(
+      ExplicitSigns initial,
+      ComputeExplicitSigns(doc, instance_auths, schema_auths, rq, groups,
+                           policy,
+                           stats != nullptr ? &stats->labeling : nullptr));
+  if (stats != nullptr) {
+    stats->labeling.labeled_nodes = doc.node_count();
+    stats->label_ns = NsSince(stage_begin);
+    stats->prune.nodes_before = doc.node_count();
+  }
+
+  stage_begin = StageClock::now();
+  PruneStats* prune_stats = stats != nullptr ? &stats->prune : nullptr;
+  Projector projector(initial, policy.completeness, prune_stats);
+
+  auto out = std::make_unique<Document>();
+  if (doc.has_xml_decl()) {
+    out->SetXmlDecl(doc.version(), doc.encoding(), doc.standalone());
+  }
+  out->set_doctype_name(doc.doctype_name());
+  out->set_doctype_system_id(doc.doctype_system_id());
+
+  const Signs no_parent;  // All ε: the root merges against nothing.
+  for (const auto& child : doc.children()) {
+    if (child->IsElement()) {
+      std::unique_ptr<Element> projected = projector.ProjectElement(
+          static_cast<const Element*>(child.get()), no_parent);
+      if (projected != nullptr) {
+        out->AppendChild(std::move(projected));
+      } else {
+        projector.CountDocLevel(&PruneStats::removed_elements);
+      }
+    } else {
+      // Prolog/epilog comments and PIs carry no derived authorization:
+      // the completeness policy alone decides them (prune.cc does the
+      // same through the default ε label).
+      if (projector.EpsilonPermitted()) {
+        out->AppendChild(child->Clone(/*deep=*/false));
+      } else {
+        projector.CountDocLevel(&PruneStats::removed_character_data);
+      }
+    }
+  }
+  out->Reindex();
+  if (stats != nullptr) {
+    stats->prune.nodes_after = out->node_count();
+    stats->project_ns = NsSince(stage_begin);
+  }
+  return out;
+}
+
+}  // namespace authz
+}  // namespace xmlsec

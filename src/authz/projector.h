@@ -1,0 +1,66 @@
+#ifndef XMLSEC_AUTHZ_PROJECTOR_H_
+#define XMLSEC_AUTHZ_PROJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/result.h"
+#include "authz/authorization.h"
+#include "authz/labeling.h"
+#include "authz/policy.h"
+#include "authz/prune.h"
+#include "authz/subject.h"
+#include "xml/dom.h"
+
+namespace xmlsec {
+namespace authz {
+
+/// Metrics of one projection run.  `labeling`/`prune` carry the same
+/// counters as the clone→label→prune pipeline (the projector emulates
+/// the pruner's bookkeeping exactly, so dashboards and the audit trail
+/// are pipeline-agnostic).
+struct ProjectionStats {
+  LabelingStats labeling;
+  PruneStats prune;
+  /// Explicit-sign computation (XPath target marking + conflict
+  /// resolution) — the analogue of the labeler's up-front work.
+  int64_t label_ns = 0;
+  /// The fused propagate-and-copy walk.
+  int64_t project_ns = 0;
+};
+
+/// Single-pass view projection (the compute-view of paper §6/Fig. 2
+/// without materializing the full document).
+///
+/// One pre-order walk over the *original* — immutable, shared — document
+/// evaluates the 6-tuple labeling in place (identical propagation rules
+/// to `TreeLabeler`) and copies into a fresh output document only:
+///
+///   * nodes whose final sign is permitted under `policy.completeness`,
+///   * the tag skeleton of denied elements with a permitted descendant
+///     or attribute (the paper's structure preservation), and
+///   * the document metadata (XML declaration, DOCTYPE identifiers).
+///
+/// The output is byte-identical, once serialized, to what
+/// `Clone` + `TreeLabeler` + `PruneDocument` produce (asserted by
+/// `view_projection_test` over randomized workloads), but a deny-heavy
+/// request allocates only its visible slice instead of the whole tree,
+/// and the three traversals collapse into one.
+///
+/// The attached DTD is NOT copied — the caller (SecurityProcessor)
+/// attaches the loosened DTD it derives from the original, which the
+/// legacy pipeline computed from the clone's identical copy anyway.
+///
+/// Fails with InvalidArgument when the document has no root element
+/// (mirrors `TreeLabeler::Label`).
+Result<std::unique_ptr<xml::Document>> ProjectView(
+    const xml::Document& doc, std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths, const Requester& rq,
+    const GroupStore& groups, PolicyOptions policy,
+    ProjectionStats* stats = nullptr);
+
+}  // namespace authz
+}  // namespace xmlsec
+
+#endif  // XMLSEC_AUTHZ_PROJECTOR_H_

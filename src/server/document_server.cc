@@ -21,6 +21,7 @@ void FailClosed(ServerResponse* response, int status,
   response->reason = std::string(reason);
   response->content_type = "text/plain";
   response->body.clear();
+  response->shared_body.reset();
 }
 
 int64_t NsBetween(obs::RequestTrace::Clock::time_point begin,
@@ -34,9 +35,9 @@ constexpr std::string_view kStages[] = {
     "auth",       // authentication + subject resolution
     "cache_get",  // view-cache probe
     "lookup",     // repository document / authorization-set lookup
-    "clone",      // working-copy clone of the stored document
+    "project",    // single-pass view projection (legacy: deep clone)
     "label",      // compute-view tree labeling (paper Fig. 2)
-    "prune",      // prune pass
+    "prune",      // prune pass (zero under the projection pipeline)
     "loosen",     // DTD loosening (+ optional output validation)
     "query",      // XPath-over-view evaluation
     "serialize",  // view unparse
@@ -146,6 +147,55 @@ Result<authz::View> SecureDocumentServer::ComputeView(
   return view;
 }
 
+SecureDocumentServer::CacheKeyInfo SecureDocumentServer::NormalizedCacheKey(
+    const authz::Requester& rq, const std::string& uri) const {
+  // Soundness: once time-limited authorizations are excluded (the
+  // caller bypasses the cache for those), the computed view depends on
+  // the requester ONLY through (a) which action-matching authorization
+  // subjects the requester matches — `RequesterMatches` per auth — and
+  // (b) the $user/$ip/$sym/$time bindings that an *applicable*
+  // authorization path may reference.  The fingerprint encodes (a)
+  // positionally, one character per action-matching authorization of
+  // the document and of its DTD; for (b) the raw requester triple is
+  // appended to the key when any applicable path carries an XPath
+  // variable, and a `$time` reference disables caching outright.
+  CacheKeyInfo info;
+  info.key.uri = uri;
+  authz::PolicyOptions policy =
+      repository_->PolicyOf(uri, config_.processor.policy);
+  std::string fingerprint;
+  bool needs_identity = false;
+  auto consider = [&](std::span<const authz::Authorization> auths,
+                      char level_tag) {
+    fingerprint.push_back(level_tag);
+    for (const authz::Authorization& auth : auths) {
+      if (static_cast<int>(auth.action) != policy.action) continue;
+      const bool applies =
+          authz::RequesterMatches(rq, auth.subject, *groups_);
+      fingerprint.push_back(applies ? '1' : '0');
+      if (applies && auth.object.path.find('$') != std::string::npos) {
+        if (auth.object.path.find("$time") != std::string::npos) {
+          info.time_dependent = true;
+        } else {
+          // $user/$ip/$sym (or an unknown variable — be conservative):
+          // the view reads the identity itself.
+          needs_identity = true;
+        }
+      }
+    }
+  };
+  consider(repository_->InstanceAuths(uri), 'i');
+  std::string dtd_uri = repository_->DtdUriOf(uri);
+  if (!dtd_uri.empty()) consider(repository_->SchemaAuths(dtd_uri), 's');
+  info.key.subject = std::move(fingerprint);
+  if (needs_identity) {
+    info.key.user = rq.user;
+    info.key.ip = rq.ip;
+    info.key.sym = rq.sym;
+  }
+  return info;
+}
+
 ServerResponse SecureDocumentServer::Handle(
     const ServerRequest& request) const {
   obs::RequestTrace trace;
@@ -234,18 +284,15 @@ ServerResponse SecureDocumentServer::Handle(
   // Serve memoized renderings when safe: plain GETs only, and never
   // while time-limited authorizations are loaded (their outcome depends
   // on the request time).
-  const bool cacheable = config_.view_cache_capacity > 0 &&
-                         request.query.empty() &&
-                         !repository_->has_time_limited_auths();
-  if (config_.view_cache_capacity > 0 && !cacheable) {
-    instruments_.cache_bypass->Inc();
-  }
-  ViewCache::Key cache_key{request.uri, rq.user, rq.ip, rq.sym};
+  bool cacheable = config_.view_cache_capacity > 0 &&
+                   request.query.empty() &&
+                   !repository_->has_time_limited_auths();
+  ViewCache::Key cache_key;
   if (cacheable) {
     // The span must close before finalize() aggregates it, so the probe
     // runs in an inner scope and the outcome is acted on afterwards.
     bool cache_fault = false;
-    std::optional<std::string> hit;
+    std::shared_ptr<const std::string> hit;
     {
       auto span = trace.Span("cache_get");
       // Fault-injection site: a corrupt/failed cache probe must deny,
@@ -253,19 +300,29 @@ ServerResponse SecureDocumentServer::Handle(
       if (failpoint::ShouldFail("server.cache_get")) {
         cache_fault = true;
       } else {
-        std::lock_guard<std::mutex> lock(cache_mutex_);
-        hit = cache_.Get(cache_key, repository_->version());
+        CacheKeyInfo info = NormalizedCacheKey(rq, request.uri);
+        if (info.time_dependent) {
+          // An applicable path references $time: the view varies with
+          // the request instant, so memoizing it would be unsound.
+          cacheable = false;
+        } else {
+          cache_key = std::move(info.key);
+          hit = cache_.Get(cache_key, repository_->version());
+        }
       }
     }
     if (cache_fault) {
       FailClosed(&response, 500, "Internal Server Error");
       return finalize();
     }
-    if (hit.has_value()) {
-      response.body = std::move(*hit);
+    if (hit != nullptr) {
+      response.shared_body = std::move(hit);
       cache_hit = true;
       return finalize();
     }
+  }
+  if (config_.view_cache_capacity > 0 && !cacheable) {
+    instruments_.cache_bypass->Inc();
   }
 
   if (over_budget()) {
@@ -289,9 +346,13 @@ ServerResponse SecureDocumentServer::Handle(
   }
   response.stats = view->stats;
   trace.Record("lookup", view->stats.lookup_ns);
-  trace.Record("clone", view->stats.clone_ns);
+  trace.Record("project", view->stats.project_ns);
   trace.Record("label", view->stats.label_ns);
-  trace.Record("prune", view->stats.prune_ns);
+  if (view->stats.prune_ns > 0) {
+    // Only the legacy clone pipeline has a distinct prune pass; the
+    // projection pipeline folds it into "project".
+    trace.Record("prune", view->stats.prune_ns);
+  }
   trace.Record("loosen", view->stats.loosen_ns);
 
   if (over_budget()) {
@@ -381,7 +442,6 @@ ServerResponse SecureDocumentServer::Handle(
     // Fault-injection site: an insert fault only degrades (the computed
     // view is still correct and still served) — it must never deny.
     if (!failpoint::ShouldFail("server.cache_put")) {
-      std::lock_guard<std::mutex> lock(cache_mutex_);
       cache_.Put(cache_key, repository_->version(), response.body);
     }
   }
@@ -430,9 +490,9 @@ std::string SecureDocumentServer::HandleHttp(std::string_view raw_request,
   }
 
   ServerResponse response = Handle(request);
-  return BuildHttpResponse(response.http_status, response.reason,
-                           response.content_type,
-                           parsed->method == "HEAD" ? "" : response.body);
+  return BuildHttpResponse(
+      response.http_status, response.reason, response.content_type,
+      parsed->method == "HEAD" ? std::string_view() : response.body_view());
 }
 
 }  // namespace server

@@ -2,6 +2,7 @@
 #define XMLSEC_SERVER_DOCUMENT_SERVER_H_
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -65,8 +66,17 @@ struct ServerResponse {
   int http_status = 200;
   std::string reason = "OK";
   std::string content_type = "text/xml";
+  /// Rendered body of a freshly computed response.  A view-cache hit
+  /// sets `shared_body` instead — the cached rendering is shared, not
+  /// copied per request — so readers go through `body_view()`.
   std::string body;
+  std::shared_ptr<const std::string> shared_body;
   authz::ViewStats stats;
+
+  std::string_view body_view() const {
+    return shared_body != nullptr ? std::string_view(*shared_body)
+                                  : std::string_view(body);
+  }
 };
 
 /// The complete server-side enforcement point of the paper (§7): it
@@ -139,13 +149,31 @@ class SecureDocumentServer {
     obs::Histogram* Stage(std::string_view name) const;
   };
 
+  /// The cache key a request normalizes to, plus whether the request
+  /// must bypass the cache because an applicable authorization path
+  /// references `$time`.
+  struct CacheKeyInfo {
+    ViewCache::Key key;
+    bool time_dependent = false;
+  };
+
+  /// Normalizes the requester to an effective-subject cache key: the
+  /// key carries a fingerprint of *which* authorization subjects the
+  /// requester matches rather than the raw (user, ip, sym) triple, so
+  /// requesters that are indistinguishable to the policy share one
+  /// cached view.  The raw triple is kept only when an applicable
+  /// authorization path mentions an XPath requester variable (the view
+  /// then depends on the identity itself, not just on what it matches).
+  CacheKeyInfo NormalizedCacheKey(const authz::Requester& rq,
+                                  const std::string& uri) const;
+
   const Repository* repository_;
   const UserDirectory* users_;
   const authz::GroupStore* groups_;
   ServerConfig config_;
-  /// Render cache; mutated on the read path, guarded for concurrent
-  /// transports (the TCP listener may serve requests from many threads).
-  mutable std::mutex cache_mutex_;
+  /// Render cache; locks internally per shard, so concurrent
+  /// transports (the TCP listener serves from many threads) never
+  /// serialize on a server-global cache mutex.
   mutable ViewCache cache_;
   AuditLog* audit_ = nullptr;
   Instruments instruments_;

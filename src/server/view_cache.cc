@@ -1,51 +1,109 @@
 #include "server/view_cache.h"
 
+#include <algorithm>
+#include <functional>
+
 namespace xmlsec {
 namespace server {
 
-std::optional<std::string> ViewCache::Get(const Key& key, uint64_t version) {
-  auto it = entries_.find(key);
-  if (it == entries_.end() || it->second.version != version) {
-    if (it != entries_.end()) {
+namespace {
+// A shard narrower than this suffers hash-imbalance evictions (a
+// capacity-8 cache over 8 shards holds one entry per shard, so two
+// keys hashing together evict each other).  Small caches therefore
+// stay single-sharded — strict LRU — and sharding kicks in only once
+// the capacity can absorb the imbalance.
+constexpr size_t kMinEntriesPerShard = 8;
+}  // namespace
+
+ViewCache::ViewCache(size_t capacity, size_t shards) : capacity_(capacity) {
+  size_t shard_count =
+      capacity == 0
+          ? 1
+          : std::max<size_t>(
+                1, std::min(shards, capacity / kMinEntriesPerShard));
+  shard_capacity_ =
+      capacity == 0 ? 0 : (capacity + shard_count - 1) / shard_count;
+  shards_ = std::vector<Shard>(shard_count);
+}
+
+ViewCache::Shard& ViewCache::ShardFor(const Key& key) {
+  if (shards_.size() == 1) return shards_[0];
+  std::hash<std::string> h;
+  size_t seed = h(key.uri);
+  auto mix = [&seed, &h](const std::string& s) {
+    seed ^= h(s) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  };
+  mix(key.user);
+  mix(key.ip);
+  mix(key.sym);
+  mix(key.subject);
+  return shards_[seed % shards_.size()];
+}
+
+std::shared_ptr<const std::string> ViewCache::Get(const Key& key,
+                                                  uint64_t version) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end() || it->second.version != version) {
+    if (it != shard.entries.end()) {
       // Stale: computed against an older repository state.
-      lru_.erase(it->second.lru_position);
-      entries_.erase(it);
-      ++evictions_;
+      shard.lru.erase(it->second.lru_position);
+      shard.entries.erase(it);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
       if (metric_evictions_ != nullptr) metric_evictions_->Inc();
     }
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     if (metric_misses_ != nullptr) metric_misses_->Inc();
-    return std::nullopt;
+    return nullptr;
   }
-  // Refresh LRU position.
-  lru_.erase(it->second.lru_position);
-  lru_.push_front(key);
-  it->second.lru_position = lru_.begin();
-  ++hits_;
+  // Refresh LRU position: relink the node to the front in place
+  // (iterators stay valid across splice — no erase/reinsert churn).
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_position);
+  hits_.fetch_add(1, std::memory_order_relaxed);
   if (metric_hits_ != nullptr) metric_hits_->Inc();
   return it->second.body;
 }
 
 void ViewCache::Put(const Key& key, uint64_t version, std::string body) {
+  Put(key, version, std::make_shared<const std::string>(std::move(body)));
+}
+
+void ViewCache::Put(const Key& key, uint64_t version,
+                    std::shared_ptr<const std::string> body) {
   if (capacity_ == 0) return;
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    lru_.erase(it->second.lru_position);
-    entries_.erase(it);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    // Overwrite in place and refresh recency; no erase/reinsert.
+    it->second.version = version;
+    it->second.body = std::move(body);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_position);
+    return;
   }
-  while (entries_.size() >= capacity_) {
-    entries_.erase(lru_.back());
-    lru_.pop_back();
-    ++evictions_;
+  while (shard.entries.size() >= shard_capacity_) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
     if (metric_evictions_ != nullptr) metric_evictions_->Inc();
   }
-  lru_.push_front(key);
-  entries_.emplace(key, Entry{version, std::move(body), lru_.begin()});
+  shard.lru.push_front(key);
+  shard.entries.emplace(key, Entry{version, std::move(body), shard.lru.begin()});
 }
 
 void ViewCache::Clear() {
-  entries_.clear();
-  lru_.clear();
+  int64_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    dropped += static_cast<int64_t>(shard.entries.size());
+    shard.entries.clear();
+    shard.lru.clear();
+  }
+  if (dropped > 0) {
+    evictions_.fetch_add(dropped, std::memory_order_relaxed);
+    if (metric_evictions_ != nullptr) metric_evictions_->Inc(dropped);
+  }
 }
 
 void ViewCache::BindMetrics(obs::Counter* hits, obs::Counter* misses,
@@ -53,6 +111,15 @@ void ViewCache::BindMetrics(obs::Counter* hits, obs::Counter* misses,
   metric_hits_ = hits;
   metric_misses_ = misses;
   metric_evictions_ = evictions;
+}
+
+size_t ViewCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
 }
 
 }  // namespace server

@@ -1,81 +1,122 @@
 #ifndef XMLSEC_SERVER_VIEW_CACHE_H_
 #define XMLSEC_SERVER_VIEW_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
-#include <optional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "obs/metrics.h"
 
 namespace xmlsec {
 namespace server {
 
-/// LRU cache of rendered views, keyed by (document URI, requester).
+/// Sharded LRU cache of rendered views, keyed by (document URI,
+/// effective subject).
 ///
 /// The paper computes views on line per request (§7); since a view
-/// depends only on the document, the policy, and the requester triple, a
-/// server can memoize the rendered result.  Entries carry the repository
-/// `version` they were computed against and are dropped when the
-/// repository has changed since (documents or authorizations added).
+/// depends only on the document, the policy, and what the requester
+/// *matches*, a server can memoize the rendered result.  Entries carry
+/// the repository `version` they were computed against and are dropped
+/// when the repository has changed since (documents or authorizations
+/// added).
+///
+/// The cache locks internally: the key space is split across shards,
+/// each with its own mutex, map, and LRU list, so concurrent transports
+/// never serialize on one global cache lock.  Capacity is enforced per
+/// shard (`capacity / shards`, rounded up), so LRU order is
+/// approximate across shards; small caches (fewer than 8 entries per
+/// requested shard) collapse to a single shard and keep strict LRU.
+/// Callers that need strict order at any capacity pass `shards = 1`.
 ///
 /// Requests with time-limited authorizations must bypass the cache (the
 /// server checks this; see `Repository::has_time_limited_auths`).
 class ViewCache {
  public:
+  static constexpr size_t kDefaultShards = 8;
+
   /// `capacity` = maximum number of cached views (0 disables caching).
-  explicit ViewCache(size_t capacity) : capacity_(capacity) {}
+  explicit ViewCache(size_t capacity, size_t shards = kDefaultShards);
 
   struct Key {
     std::string uri;
+    /// Raw requester triple.  Left empty by the server when the
+    /// normalized `subject` fingerprint alone determines the view (no
+    /// applicable authorization path mentions `$user`/`$ip`/`$sym`).
     std::string user;
     std::string ip;
     std::string sym;
+    /// Effective-subject fingerprint: one bit per action-matching
+    /// authorization, set iff the requester matches its subject.  Two
+    /// requesters with the same fingerprint receive byte-identical
+    /// views, so they share one entry (see DESIGN.md, "Cache-key
+    /// normalization").
+    std::string subject;
 
     friend bool operator<(const Key& a, const Key& b) {
-      return std::tie(a.uri, a.user, a.ip, a.sym) <
-             std::tie(b.uri, b.user, b.ip, b.sym);
+      return std::tie(a.uri, a.user, a.ip, a.sym, a.subject) <
+             std::tie(b.uri, b.user, b.ip, b.sym, b.subject);
     }
   };
 
   /// Cached rendered body for `key`, when present and computed against
-  /// `version`.  Refreshes LRU order.
-  std::optional<std::string> Get(const Key& key, uint64_t version);
+  /// `version`; nullptr on miss.  Refreshes LRU order.  The body is
+  /// shared, not copied — a hit is allocation-free.
+  std::shared_ptr<const std::string> Get(const Key& key, uint64_t version);
 
   /// Stores a rendered body.  No-op when capacity is 0.
   void Put(const Key& key, uint64_t version, std::string body);
+  void Put(const Key& key, uint64_t version,
+           std::shared_ptr<const std::string> body);
 
+  /// Drops every entry.  Dropped entries count as evictions — a flush
+  /// is an invalidation, and flushing must not make the eviction
+  /// counters understate cache churn.
   void Clear();
 
   /// Mirrors hit/miss/eviction tallies into registry counters (the
   /// observability subsystem).  Pass nullptrs to detach.  The counters
-  /// must outlive the cache; increments happen under the owning
-  /// server's cache mutex, so the relaxed counter hot path is enough.
+  /// must outlive the cache; bind before concurrent use (the pointers
+  /// themselves are not synchronized).
   void BindMetrics(obs::Counter* hits, obs::Counter* misses,
                    obs::Counter* evictions);
 
-  size_t size() const { return entries_.size(); }
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
-  /// Entries dropped: LRU capacity evictions plus stale invalidations
-  /// (entry computed against an older repository version).
-  int64_t evictions() const { return evictions_; }
+  size_t size() const;
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Entries dropped: LRU capacity evictions, stale invalidations
+  /// (entry computed against an older repository version), and flushes
+  /// via `Clear()`.
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
     uint64_t version;
-    std::string body;
+    std::shared_ptr<const std::string> body;
     std::list<Key>::iterator lru_position;
   };
 
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<Key, Entry> entries;
+    std::list<Key> lru;  // Front = most recently used.
+  };
+
+  Shard& ShardFor(const Key& key);
+
   size_t capacity_;
-  std::map<Key, Entry> entries_;
-  std::list<Key> lru_;  // Front = most recently used.
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t evictions_ = 0;
+  size_t shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
   obs::Counter* metric_hits_ = nullptr;
   obs::Counter* metric_misses_ = nullptr;
   obs::Counter* metric_evictions_ = nullptr;

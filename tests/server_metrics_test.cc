@@ -18,6 +18,7 @@
 #include "server/repository.h"
 #include "server/tcp_listener.h"
 #include "server/user_directory.h"
+#include "server/view_cache.h"
 #include "workload/docgen.h"
 
 namespace xmlsec {
@@ -170,6 +171,31 @@ TEST_F(ServerMetricsTest, CacheCountersProgressWithTraffic) {
   EXPECT_EQ(registry_.ValueOf("xmlsec_http_responses_total",
                               "status=\"200\""),
             3.0);
+}
+
+TEST_F(ServerMetricsTest, CacheClearTalliesEvictions) {
+#ifdef XMLSEC_METRICS_NOOP
+  GTEST_SKIP() << "counters compiled out in the ablation build";
+#endif
+  // A flush is an invalidation: entries dropped by Clear() must reach
+  // the eviction counters, or /metrics silently understates churn.
+  ViewCache cache(4, /*shards=*/1);
+  cache.BindMetrics(
+      registry_.GetCounter("test_cache_hits", "test"),
+      registry_.GetCounter("test_cache_misses", "test"),
+      registry_.GetCounter("test_cache_evictions", "test"));
+  cache.Put({"a", "u", "i", "s"}, 1, "A");
+  cache.Put({"b", "u", "i", "s"}, 1, "B");
+  cache.Clear();
+  EXPECT_EQ(cache.evictions(), 2);
+  EXPECT_EQ(registry_.ValueOf("test_cache_evictions"), 2.0);
+  // The tallies keep progressing in lockstep after the flush.
+  cache.Put({"c", "u", "i", "s"}, 1, "C");
+  ASSERT_NE(cache.Get({"c", "u", "i", "s"}, 1), nullptr);
+  EXPECT_EQ(registry_.ValueOf("test_cache_hits"), 1.0);
+  cache.Clear();
+  EXPECT_EQ(cache.evictions(), 3);
+  EXPECT_EQ(registry_.ValueOf("test_cache_evictions"), 3.0);
 }
 
 TEST_F(ServerMetricsTest, StatusCountersCoverErrors) {

@@ -408,16 +408,25 @@ TEST_F(ServerTest, ViewCacheServesIdenticalBodies) {
   ServerResponse first = server.Handle(request);
   ServerResponse second = server.Handle(request);
   EXPECT_EQ(first.http_status, 200);
-  EXPECT_EQ(first.body, second.body);
+  // The hit carries the shared cached rendering, not a per-request
+  // copy.
+  ASSERT_NE(second.shared_body, nullptr);
+  EXPECT_EQ(first.body_view(), second.body_view());
   EXPECT_EQ(server.view_cache().hits(), 1);
   EXPECT_EQ(server.view_cache().misses(), 1);
 
-  // A different requester gets its own entry — and a different view.
+  // Two hits share one rendering: the same string object is served.
+  ServerResponse third = server.Handle(request);
+  ASSERT_NE(third.shared_body, nullptr);
+  EXPECT_EQ(third.shared_body.get(), second.shared_body.get());
+
+  // A requester matching a different set of authorization subjects
+  // gets its own entry — and a different view.
   ServerRequest anon = request;
   anon.user.clear();
   anon.password.clear();
   ServerResponse other = server.Handle(anon);
-  EXPECT_NE(other.body, first.body);
+  EXPECT_NE(other.body_view(), first.body_view());
   EXPECT_EQ(server.view_cache().misses(), 2);
 }
 
@@ -470,29 +479,88 @@ TEST_F(ServerTest, ViewCacheBypassedForTimeLimitedPolicies) {
 }
 
 TEST(ViewCacheTest, LruEviction) {
-  ViewCache cache(2);
+  // One shard: the test asserts strict global LRU order.
+  ViewCache cache(2, /*shards=*/1);
   cache.Put({"a", "u", "i", "s"}, 1, "A");
   cache.Put({"b", "u", "i", "s"}, 1, "B");
-  EXPECT_TRUE(cache.Get({"a", "u", "i", "s"}, 1).has_value());  // a is MRU
-  cache.Put({"c", "u", "i", "s"}, 1, "C");                      // evicts b
-  EXPECT_FALSE(cache.Get({"b", "u", "i", "s"}, 1).has_value());
-  EXPECT_TRUE(cache.Get({"a", "u", "i", "s"}, 1).has_value());
-  EXPECT_TRUE(cache.Get({"c", "u", "i", "s"}, 1).has_value());
+  EXPECT_NE(cache.Get({"a", "u", "i", "s"}, 1), nullptr);  // a is MRU
+  cache.Put({"c", "u", "i", "s"}, 1, "C");                 // evicts b
+  EXPECT_EQ(cache.Get({"b", "u", "i", "s"}, 1), nullptr);
+  EXPECT_NE(cache.Get({"a", "u", "i", "s"}, 1), nullptr);
+  EXPECT_NE(cache.Get({"c", "u", "i", "s"}, 1), nullptr);
   EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1);
 }
 
 TEST(ViewCacheTest, VersionMismatchDropsEntry) {
-  ViewCache cache(4);
+  ViewCache cache(4, /*shards=*/1);
   cache.Put({"a", "u", "i", "s"}, 1, "A");
-  EXPECT_FALSE(cache.Get({"a", "u", "i", "s"}, 2).has_value());
+  EXPECT_EQ(cache.Get({"a", "u", "i", "s"}, 2), nullptr);
   EXPECT_EQ(cache.size(), 0u);  // Stale entry evicted on access.
+  EXPECT_EQ(cache.evictions(), 1);
 }
 
 TEST(ViewCacheTest, ZeroCapacityDisables) {
   ViewCache cache(0);
   cache.Put({"a", "u", "i", "s"}, 1, "A");
-  EXPECT_FALSE(cache.Get({"a", "u", "i", "s"}, 1).has_value());
+  EXPECT_EQ(cache.Get({"a", "u", "i", "s"}, 1), nullptr);
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ViewCacheTest, HitsShareOneBody) {
+  ViewCache cache(4, /*shards=*/1);
+  cache.Put({"a", "u", "i", "s"}, 1, "A");
+  std::shared_ptr<const std::string> first = cache.Get({"a", "u", "i", "s"}, 1);
+  std::shared_ptr<const std::string> second =
+      cache.Get({"a", "u", "i", "s"}, 1);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), second.get());  // No per-hit copy.
+  EXPECT_EQ(*first, "A");
+}
+
+TEST(ViewCacheTest, ClearCountsDroppedEntriesAsEvictions) {
+  ViewCache cache(4, /*shards=*/1);
+  cache.Put({"a", "u", "i", "s"}, 1, "A");
+  cache.Put({"b", "u", "i", "s"}, 1, "B");
+  EXPECT_EQ(cache.evictions(), 0);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.evictions(), 2);  // A flush is an invalidation.
+  cache.Clear();                    // Empty flush adds nothing.
+  EXPECT_EQ(cache.evictions(), 2);
+}
+
+TEST(ViewCacheTest, PutOverwriteRefreshesEntry) {
+  ViewCache cache(2, /*shards=*/1);
+  cache.Put({"a", "u", "i", "s"}, 1, "A");
+  cache.Put({"b", "u", "i", "s"}, 1, "B");
+  cache.Put({"a", "u", "i", "s"}, 2, "A2");  // Overwrite: a becomes MRU.
+  cache.Put({"c", "u", "i", "s"}, 1, "C");   // Evicts b, not a.
+  EXPECT_EQ(cache.Get({"b", "u", "i", "s"}, 1), nullptr);
+  std::shared_ptr<const std::string> a = cache.Get({"a", "u", "i", "s"}, 2);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(*a, "A2");
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ViewCacheTest, ShardedCapacityAndIsolation) {
+  // Capacity 64 spreads over the default 8 shards (8 slots each), so 8
+  // entries fit regardless of how the keys hash, and the aggregate
+  // counters stay exact across shards.
+  ViewCache cache(64);
+  for (int i = 0; i < 8; ++i) {
+    cache.Put({"doc" + std::to_string(i), "u", "i", "s"}, 1,
+              "body" + std::to_string(i));
+  }
+  EXPECT_EQ(cache.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    std::shared_ptr<const std::string> hit =
+        cache.Get({"doc" + std::to_string(i), "u", "i", "s"}, 1);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, "body" + std::to_string(i));
+  }
+  EXPECT_EQ(cache.hits(), 8);
+  EXPECT_EQ(cache.misses(), 0);
 }
 
 TEST_F(ServerTest, FullHttpCycle) {

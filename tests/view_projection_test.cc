@@ -1,0 +1,408 @@
+// Differential property suite for the single-pass view projector: on
+// randomized docgen/authgen workloads, under every conflict-resolution
+// and completeness option, the projection pipeline must produce views
+// that are BYTE-IDENTICAL (once serialized, loosened DTD included) to
+// the paper-literal clone → label → prune pipeline, with equal stage
+// statistics — plus a concurrent-serving test that exercises the
+// sharded view cache under ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "authz/processor.h"
+#include "authz/projector.h"
+#include "server/document_server.h"
+#include "server/repository.h"
+#include "server/user_directory.h"
+#include "workload/authgen.h"
+#include "workload/docgen.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xmlsec {
+namespace authz {
+namespace {
+
+using workload::AuthGenConfig;
+using workload::DocGenConfig;
+using workload::GeneratedWorkload;
+using xml::Document;
+
+struct Scenario {
+  uint64_t seed;
+  int depth;
+  int fanout;
+  int auth_count;
+  double negative_fraction;
+};
+
+void PrintTo(const Scenario& s, std::ostream* os) {
+  *os << "seed=" << s.seed << " depth=" << s.depth << " fanout=" << s.fanout
+      << " auths=" << s.auth_count << " neg=" << s.negative_fraction;
+}
+
+/// Serialization that pins down everything the server can emit,
+/// including the loosened DTD as an internal subset — the strictest
+/// observable equality between the two pipelines.
+std::string Render(const View& view) {
+  xml::SerializeOptions options;
+  options.doctype = xml::DoctypeMode::kInternal;
+  return view.ToXml(options);
+}
+
+void ExpectSameStats(const ViewStats& a, const ViewStats& b) {
+  EXPECT_EQ(a.labeling.applicable_instance_auths,
+            b.labeling.applicable_instance_auths);
+  EXPECT_EQ(a.labeling.applicable_schema_auths,
+            b.labeling.applicable_schema_auths);
+  EXPECT_EQ(a.labeling.xpath_evaluations, b.labeling.xpath_evaluations);
+  EXPECT_EQ(a.labeling.target_nodes, b.labeling.target_nodes);
+  EXPECT_EQ(a.labeling.labeled_nodes, b.labeling.labeled_nodes);
+  EXPECT_EQ(a.prune.nodes_before, b.prune.nodes_before);
+  EXPECT_EQ(a.prune.nodes_after, b.prune.nodes_after);
+  EXPECT_EQ(a.prune.removed_elements, b.prune.removed_elements);
+  EXPECT_EQ(a.prune.removed_attributes, b.prune.removed_attributes);
+  EXPECT_EQ(a.prune.removed_character_data,
+            b.prune.removed_character_data);
+  EXPECT_EQ(a.prune.skeleton_elements, b.prune.skeleton_elements);
+}
+
+class ViewProjectionTest : public ::testing::TestWithParam<Scenario> {
+ protected:
+  void SetUp() override {
+    const Scenario& s = GetParam();
+    DocGenConfig doc_config;
+    doc_config.depth = s.depth;
+    doc_config.fanout = s.fanout;
+    doc_config.seed = s.seed;
+    doc_ = workload::GenerateDocument(doc_config);
+
+    AuthGenConfig auth_config;
+    auth_config.count = s.auth_count;
+    auth_config.negative_fraction = s.negative_fraction;
+    auth_config.seed = s.seed * 1000 + 17;
+    workload_ = workload::GenerateAuthorizations(*doc_, "d.xml", "s.dtd",
+                                                 auth_config);
+  }
+
+  std::unique_ptr<Document> doc_;
+  GeneratedWorkload workload_;
+};
+
+TEST_P(ViewProjectionTest, ProjectionMatchesClonePipelineByteForByte) {
+  for (ConflictPolicy conflict :
+       {ConflictPolicy::kDenialsTakePrecedence,
+        ConflictPolicy::kPermissionsTakePrecedence,
+        ConflictPolicy::kNothingTakesPrecedence}) {
+    for (CompletenessPolicy completeness :
+         {CompletenessPolicy::kClosed, CompletenessPolicy::kOpen}) {
+      ProcessorOptions clone_options;
+      clone_options.policy.conflict = conflict;
+      clone_options.policy.completeness = completeness;
+      clone_options.pipeline = ViewPipeline::kCloneLabelPrune;
+      ProcessorOptions project_options = clone_options;
+      project_options.pipeline = ViewPipeline::kProject;
+
+      SecurityProcessor legacy(&workload_.groups, clone_options);
+      SecurityProcessor fused(&workload_.groups, project_options);
+      auto expected =
+          legacy.ComputeView(*doc_, workload_.instance_auths,
+                             workload_.schema_auths, workload_.requester);
+      auto actual =
+          fused.ComputeView(*doc_, workload_.instance_auths,
+                            workload_.schema_auths, workload_.requester);
+      ASSERT_TRUE(expected.ok()) << expected.status();
+      ASSERT_TRUE(actual.ok()) << actual.status();
+      SCOPED_TRACE(std::string(ConflictPolicyToString(conflict)) + " / " +
+                   std::string(CompletenessPolicyToString(completeness)));
+      EXPECT_EQ(expected->empty(), actual->empty());
+      EXPECT_EQ(Render(*expected), Render(*actual));
+      ExpectSameStats(expected->stats, actual->stats);
+    }
+  }
+}
+
+TEST_P(ViewProjectionTest, ProjectionLeavesOriginalUntouched) {
+  const std::string before = xml::SerializeDocument(*doc_);
+  const int64_t nodes_before = doc_->node_count();
+  ProcessorOptions options;
+  options.pipeline = ViewPipeline::kProject;
+  SecurityProcessor processor(&workload_.groups, options);
+  auto view = processor.ComputeView(*doc_, workload_.instance_auths,
+                                    workload_.schema_auths,
+                                    workload_.requester);
+  ASSERT_TRUE(view.ok()) << view.status();
+  // The projector reads the shared original; it must never mutate it
+  // (the whole point of killing the per-request deep clone).
+  EXPECT_EQ(xml::SerializeDocument(*doc_), before);
+  EXPECT_EQ(doc_->node_count(), nodes_before);
+}
+
+TEST_P(ViewProjectionTest, ProjectionIsDeterministic) {
+  ProcessorOptions options;
+  options.pipeline = ViewPipeline::kProject;
+  SecurityProcessor processor(&workload_.groups, options);
+  auto a = processor.ComputeView(*doc_, workload_.instance_auths,
+                                 workload_.schema_auths,
+                                 workload_.requester);
+  auto b = processor.ComputeView(*doc_, workload_.instance_auths,
+                                 workload_.schema_auths,
+                                 workload_.requester);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(Render(*a), Render(*b));
+}
+
+std::vector<Scenario> MakeScenarios() {
+  std::vector<Scenario> out;
+  uint64_t seed = 100;
+  for (int depth : {2, 4}) {
+    for (int fanout : {2, 4}) {
+      for (int auths : {4, 32, 128}) {
+        // Deny-heavy and permit-heavy mixes: both prune shapes.
+        for (double negative : {0.3, 0.7}) {
+          out.push_back(Scenario{seed++, depth, fanout, auths, negative});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ViewProjectionTest,
+                         ::testing::ValuesIn(MakeScenarios()));
+
+// --- Deterministic semantics cases --------------------------------------
+
+class ProjectionSemanticsTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& xml) {
+    auto parsed = xml::ParseDocument(xml);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    doc_ = std::move(*parsed);
+  }
+
+  static Authorization Auth(const std::string& group, const std::string& uri,
+                            const std::string& path, Sign sign,
+                            AuthType type) {
+    Authorization auth;
+    auth.subject = *Subject::Make(group, "*", "*");
+    auth.object.uri = uri;
+    auth.object.path = path;
+    auth.sign = sign;
+    auth.type = type;
+    return auth;
+  }
+
+  /// Asserts both pipelines agree byte-for-byte and returns the view.
+  std::string AgreedView(std::span<const Authorization> instance,
+                         std::span<const Authorization> schema,
+                         PolicyOptions policy = {}) {
+    Requester rq;
+    rq.user = "tom";
+    rq.ip = "1.2.3.4";
+    rq.sym = "host.example";
+    ProcessorOptions clone_options;
+    clone_options.policy = policy;
+    clone_options.pipeline = ViewPipeline::kCloneLabelPrune;
+    ProcessorOptions project_options = clone_options;
+    project_options.pipeline = ViewPipeline::kProject;
+    SecurityProcessor legacy(&groups_, clone_options);
+    SecurityProcessor fused(&groups_, project_options);
+    auto expected = legacy.ComputeView(*doc_, instance, schema, rq);
+    auto actual = fused.ComputeView(*doc_, instance, schema, rq);
+    EXPECT_TRUE(expected.ok()) << expected.status();
+    EXPECT_TRUE(actual.ok()) << actual.status();
+    if (!expected.ok() || !actual.ok()) return std::string();
+    EXPECT_EQ(Render(*expected), Render(*actual));
+    ExpectSameStats(expected->stats, actual->stats);
+    return Render(*actual);
+  }
+
+  GroupStore groups_;
+  std::unique_ptr<Document> doc_;
+};
+
+TEST_F(ProjectionSemanticsTest, WeakInstanceOverriddenBySchema) {
+  Load("<r><a><b>secret</b></a></r>");
+  // A weak instance-level permission loses to a schema-level denial —
+  // both pipelines must resolve the override identically.
+  std::vector<Authorization> instance = {
+      Auth("Public", "d.xml", "//a", Sign::kPlus, AuthType::kRecursiveWeak)};
+  std::vector<Authorization> schema = {
+      Auth("Public", "s.dtd", "//a", Sign::kMinus, AuthType::kRecursive)};
+  std::string view = AgreedView(instance, schema);
+  EXPECT_EQ(view.find("secret"), std::string::npos);
+}
+
+TEST_F(ProjectionSemanticsTest, StrongInstanceOverridesSchema) {
+  Load("<r><a><b>visible</b></a></r>");
+  std::vector<Authorization> instance = {
+      Auth("Public", "d.xml", "//a", Sign::kPlus, AuthType::kRecursive)};
+  std::vector<Authorization> schema = {
+      Auth("Public", "s.dtd", "//a", Sign::kMinus, AuthType::kRecursive)};
+  std::string view = AgreedView(instance, schema);
+  EXPECT_NE(view.find("visible"), std::string::npos);
+}
+
+TEST_F(ProjectionSemanticsTest, SkeletonTagsPreserved) {
+  Load("<r><hidden><leaf>keep</leaf></hidden></r>");
+  // The wrapper is denied but its descendant is permitted: its tags
+  // survive as structure in both pipelines.
+  std::vector<Authorization> instance = {
+      Auth("Public", "d.xml", "/r", Sign::kPlus, AuthType::kLocal),
+      Auth("Public", "d.xml", "//hidden", Sign::kMinus, AuthType::kLocal),
+      Auth("Public", "d.xml", "//leaf", Sign::kPlus, AuthType::kRecursive)};
+  std::string view = AgreedView(instance, {});
+  EXPECT_NE(view.find("<hidden>"), std::string::npos);
+  EXPECT_NE(view.find("keep"), std::string::npos);
+}
+
+TEST_F(ProjectionSemanticsTest, DenyAllYieldsEmptyViewInBothPipelines) {
+  Load("<r><a>x</a></r>");
+  std::vector<Authorization> instance = {
+      Auth("Public", "d.xml", "/r", Sign::kMinus, AuthType::kRecursive)};
+  Requester rq;
+  rq.user = "tom";
+  for (ViewPipeline pipeline :
+       {ViewPipeline::kProject, ViewPipeline::kCloneLabelPrune}) {
+    ProcessorOptions options;
+    options.pipeline = pipeline;
+    SecurityProcessor processor(&groups_, options);
+    auto view = processor.ComputeView(*doc_, instance, {}, rq);
+    ASSERT_TRUE(view.ok()) << view.status();
+    EXPECT_TRUE(view->empty());
+  }
+}
+
+TEST_F(ProjectionSemanticsTest, LoosenedDtdAttachedByBothPipelines) {
+  Load("<?xml version=\"1.0\"?>\n"
+       "<!DOCTYPE r [\n"
+       "<!ELEMENT r (a)>\n"
+       "<!ELEMENT a (#PCDATA)>\n"
+       "<!ATTLIST a k CDATA #REQUIRED>\n"
+       "]>\n"
+       "<r><a k=\"v\">text</a></r>");
+  ASSERT_NE(doc_->dtd(), nullptr);
+  std::vector<Authorization> instance = {
+      Auth("Public", "d.xml", "/r", Sign::kPlus, AuthType::kRecursive),
+      Auth("Public", "d.xml", "//a/@k", Sign::kMinus, AuthType::kLocal)};
+  std::string view = AgreedView(instance, {});
+  // The served view hides the redacted attribute and its DTD no longer
+  // requires it (loosening) — identically in both pipelines.
+  EXPECT_EQ(view.find("k=\"v\""), std::string::npos);
+  EXPECT_NE(view.find("<!DOCTYPE"), std::string::npos);
+  EXPECT_EQ(view.find("#REQUIRED"), std::string::npos);
+}
+
+TEST_F(ProjectionSemanticsTest, RootlessDocumentRejected) {
+  auto doc = std::make_unique<Document>();
+  Requester rq;
+  ProcessorOptions options;
+  options.pipeline = ViewPipeline::kProject;
+  SecurityProcessor processor(&groups_, options);
+  auto view = processor.ComputeView(*doc, {}, {}, rq);
+  EXPECT_FALSE(view.ok());
+}
+
+// --- Concurrent serving over the sharded cache (TSan-exercised) ---------
+
+TEST(ViewCacheConcurrencyTest, ConcurrentServingIsRaceFreeAndCoherent) {
+  using server::Repository;
+  using server::SecureDocumentServer;
+  using server::ServerConfig;
+  using server::ServerRequest;
+  using server::ServerResponse;
+  using server::UserDirectory;
+
+  obs::MetricsRegistry registry;
+  Repository repo;
+  UserDirectory users;
+  GroupStore groups;
+  ASSERT_TRUE(
+      repo.AddDtd("laboratory.xml", workload::LaboratoryDtd()).ok());
+  constexpr int kDocs = 4;
+  for (int d = 0; d < kDocs; ++d) {
+    auto doc = workload::GenerateLaboratory(3, 3, /*seed=*/700 + d);
+    ASSERT_TRUE(repo.AddDocument("doc" + std::to_string(d) + ".xml",
+                                 xml::SerializeDocument(*doc),
+                                 "laboratory.xml")
+                    .ok());
+  }
+  constexpr int kUsers = 4;
+  for (int u = 0; u < kUsers; ++u) {
+    std::string name = "user" + std::to_string(u);
+    ASSERT_TRUE(users.CreateUser(name, "pw").ok());
+    // Distinct group per user: each requester matches a different
+    // subject set, so every (doc, user) pair is its own cache entry.
+    ASSERT_TRUE(groups.AddMembership(name, "G" + std::to_string(u)).ok());
+    ASSERT_TRUE(repo.AddXacl("<xacl><authorization subject=\"G" +
+                             std::to_string(u) +
+                             "\" object=\"laboratory.xml\" "
+                             "path=\"//paper[" +
+                             std::to_string(u + 1) +
+                             "]\" sign=\"-\" type=\"R\"/></xacl>")
+                    .ok());
+  }
+  ASSERT_TRUE(
+      repo.AddXacl("<xacl><authorization subject=\"Public\" "
+                   "object=\"laboratory.xml\" path=\"/laboratory\" "
+                   "sign=\"+\" type=\"R\"/></xacl>")
+          .ok());
+
+  ServerConfig config;
+  config.view_cache_capacity = 64;  // Sharded: 8 shards of 8.
+  config.metrics = &registry;
+  SecureDocumentServer server(&repo, &users, &groups, config);
+
+  // Reference bodies, computed single-threaded.
+  std::string expected[kDocs][kUsers];
+  for (int d = 0; d < kDocs; ++d) {
+    for (int u = 0; u < kUsers; ++u) {
+      ServerRequest request;
+      request.uri = "doc" + std::to_string(d) + ".xml";
+      request.user = "user" + std::to_string(u);
+      request.password = "pw";
+      ServerResponse response = server.Handle(request);
+      ASSERT_EQ(response.http_status, 200);
+      expected[d][u] = std::string(response.body_view());
+    }
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 50;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const int d = (t + i) % kDocs;
+        const int u = (t * 3 + i) % kUsers;
+        ServerRequest request;
+        request.uri = "doc" + std::to_string(d) + ".xml";
+        request.user = "user" + std::to_string(u);
+        request.password = "pw";
+        ServerResponse response = server.Handle(request);
+        if (response.http_status != 200 ||
+            response.body_view() != expected[d][u]) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(wrong.load(), 0);
+  // Every concurrent request after the warm-up pass is a hit.
+  EXPECT_EQ(server.view_cache().misses(), kDocs * kUsers);
+  EXPECT_EQ(server.view_cache().hits(),
+            static_cast<int64_t>(kThreads) * kRequestsPerThread);
+}
+
+}  // namespace
+}  // namespace authz
+}  // namespace xmlsec
