@@ -3,9 +3,20 @@
 // paper's "fast on-line computation of the view" claim (§1, §6).  The
 // expected shape is linear in document size and near-flat in the number
 // of authorizations beyond the XPath evaluation cost.
+//
+// B4: XPath labeling vs the schema-compiled policy automaton
+// (analysis/policy_automaton.h) on the same fixture — the table-lookup
+// path must beat per-request XPath evaluation by a wide margin (the
+// check_bench.sh gate enforces a ratio floor), and the one-time compile
+// cost is measured separately to show it amortizes.
+
+// This binary has its own main (see bench/CMakeLists.txt OWN_MAIN):
+// results are also written to BENCH_labeling.json for trend tracking.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+#include "analysis/policy_automaton.h"
 #include "authz/labeling.h"
 #include "authz/prune.h"
 #include "workload/authgen.h"
@@ -137,5 +148,139 @@ BENCHMARK(BM_LabelByShape)
     ->Args({4, 8})    // shallow, wide
     ->Args({2, 64});  // very wide
 
+/// Shared ~16k-node fixture of the B4 pair: same shape and size as
+/// bench_pipeline's stage fixture (64 auths, seed 23), but with a fully
+/// *decidable* policy (no value predicates) — the fragment the compiler
+/// exists for, where every authorization resolves by table lookup.  The
+/// check_bench.sh ratio gate runs on this pair; the default
+/// predicate mix (where residual XPath evaluation dominates both
+/// pipelines) is measured separately below, ungated.
+struct CompiledFixture {
+  explicit CompiledFixture(double predicate_fraction) {
+    doc = workload::GenerateDocument(workload::ConfigForNodeBudget(10000));
+    AuthGenConfig auth_config;
+    auth_config.count = 64;
+    auth_config.seed = 23;
+    auth_config.predicate_fraction = predicate_fraction;
+    workload = workload::GenerateAuthorizations(*doc, "d.xml", "s.dtd",
+                                                auth_config);
+    auto compiled = analysis::PolicyAutomaton::Compile(
+        *doc->dtd(), workload.instance_auths, workload.schema_auths);
+    if (compiled.ok()) automaton = std::move(*compiled);
+  }
+
+  std::unique_ptr<xml::Document> doc;
+  GeneratedWorkload workload;
+  std::unique_ptr<analysis::PolicyAutomaton> automaton;
+};
+
+CompiledFixture& SharedCompiledFixture() {
+  static CompiledFixture* fixture =
+      new CompiledFixture(/*predicate_fraction=*/0.0);
+  return *fixture;
+}
+
+/// Default authgen mix: a quarter of the paths carry value predicates
+/// and stay residual (partially-decidable policy).
+CompiledFixture& SharedResidualFixture() {
+  static CompiledFixture* fixture =
+      new CompiledFixture(/*predicate_fraction=*/0.25);
+  return *fixture;
+}
+
+/// B4 baseline: the per-request XPath labeling stage (explicit signs via
+/// 64 XPath evaluations, then the propagation pass).
+void BM_StageLabel(benchmark::State& state) {
+  CompiledFixture& f = SharedCompiledFixture();
+  TreeLabeler labeler(&f.workload.groups, PolicyOptions{});
+  for (auto _ : state) {
+    auto labels = labeler.Label(*f.doc, f.workload.instance_auths,
+                                f.workload.schema_auths, f.workload.requester);
+    benchmark::DoNotOptimize(labels);
+  }
+  state.counters["nodes"] = static_cast<double>(f.doc->node_count());
+}
+BENCHMARK(BM_StageLabel);
+
+/// Shared loop of the compiled-stage benchmarks: explicit signs through
+/// the precompiled automaton (residual predicated auths still via
+/// XPath), then the same propagation pass `TreeLabeler::Label` runs.
+void RunCompiledStage(benchmark::State& state, CompiledFixture& f) {
+  if (f.automaton == nullptr) {
+    state.SkipWithError("policy automaton failed to compile");
+    return;
+  }
+  authz::LabelingStats stats;
+  for (auto _ : state) {
+    stats = authz::LabelingStats{};
+    bool mismatch = false;
+    auto signs = f.automaton->ComputeSigns(*f.doc, f.workload.requester,
+                                           f.workload.groups, PolicyOptions{},
+                                           &stats, &mismatch);
+    if (!signs.ok() || mismatch) {
+      state.SkipWithError("compiled labeling fell back");
+      return;
+    }
+    auto labels = authz::PropagateSigns(*f.doc, *signs);
+    benchmark::DoNotOptimize(labels);
+  }
+  state.counters["nodes"] = static_cast<double>(f.doc->node_count());
+  state.counters["table_nodes"] = static_cast<double>(stats.table_nodes);
+  state.counters["residual_nodes"] =
+      static_cast<double>(stats.residual_nodes);
+  state.counters["residual_xpath_evals"] =
+      static_cast<double>(stats.xpath_evaluations);
+}
+
+/// B4 compiled: table lookups only (the gated pair's fast side).
+void BM_StageLabelCompiled(benchmark::State& state) {
+  RunCompiledStage(state, SharedCompiledFixture());
+}
+BENCHMARK(BM_StageLabelCompiled);
+
+/// B4 partial-policy variant (ungated): default predicate mix, so ~1/4
+/// of the authorizations stay residual and their per-request XPath
+/// evaluation bounds the achievable speedup.
+void BM_StageLabelCompiledResidualMix(benchmark::State& state) {
+  RunCompiledStage(state, SharedResidualFixture());
+}
+BENCHMARK(BM_StageLabelCompiledResidualMix);
+
+/// XPath baseline of the partial-policy variant.
+void BM_StageLabelResidualMix(benchmark::State& state) {
+  CompiledFixture& f = SharedResidualFixture();
+  TreeLabeler labeler(&f.workload.groups, PolicyOptions{});
+  for (auto _ : state) {
+    auto labels = labeler.Label(*f.doc, f.workload.instance_auths,
+                                f.workload.schema_auths, f.workload.requester);
+    benchmark::DoNotOptimize(labels);
+  }
+  state.counters["nodes"] = static_cast<double>(f.doc->node_count());
+}
+BENCHMARK(BM_StageLabelResidualMix);
+
+/// B4 amortization: the one-time product construction the server pays
+/// per (document, policy version) — not per request.
+void BM_AutomatonCompile(benchmark::State& state) {
+  CompiledFixture& f = SharedCompiledFixture();
+  size_t states = 0;
+  for (auto _ : state) {
+    auto automaton = analysis::PolicyAutomaton::Compile(
+        *f.doc->dtd(), f.workload.instance_auths, f.workload.schema_auths);
+    if (!automaton.ok()) {
+      state.SkipWithError("compile failed");
+      return;
+    }
+    states = (*automaton)->stats().states;
+    benchmark::DoNotOptimize(automaton);
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_AutomatonCompile);
+
 }  // namespace
 }  // namespace xmlsec
+
+int main(int argc, char** argv) {
+  return xmlsec::bench::RunWithJson(argc, argv, "BENCH_labeling.json");
+}

@@ -7,6 +7,7 @@
 //                     <user[:groups]> <ip> <sym> <node-xpath>
 //   xacl_tool lint    <doc.xml> <doc-uri> <dtd.dtd> <dtd-uri> <xacl.xml>
 //   xacl_tool analyze <dtd.dtd> <dtd-uri> <xacl.xml> [<doc-uri>]
+//   xacl_tool compile <dtd.dtd> <dtd-uri> <xacl.xml> [<doc-uri>]
 //   xacl_tool check   <xacl.xml>
 //   xacl_tool loosen  <dtd.dtd>
 //   xacl_tool metrics <doc.xml> <doc-uri> <dtd.dtd> <dtd-uri> <xacl.xml>
@@ -18,6 +19,9 @@
 //   analyze  static schema-only policy analysis: satisfiability,
 //            shadowing, conflicts, and the per-subject decision
 //            coverage table — no document instance needed
+//   compile  builds the schema-compiled policy automaton and prints the
+//            static decidability report: which authorizations resolve by
+//            table lookup and which stay on the per-request XPath path
 //   check    validates an XACL file and prints its authorizations
 //   loosen   prints the loosened version of a DTD (paper §6.2)
 //   metrics  runs the request through the full secure document server
@@ -35,6 +39,7 @@
 #include <sstream>
 
 #include "analysis/analyzer.h"
+#include "analysis/policy_automaton.h"
 #include "authz/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -211,12 +216,72 @@ int RunAnalyze(int argc, char** argv) {
   }
 
   authz::GroupStore groups;
+  // Structural policy errors (weak schema-level authorizations,
+  // unparsable paths, inverted validity windows) must gate an automated
+  // analyze step too — without this, a CI pipeline running only
+  // `analyze` exits 0 on a policy the server would reject outright.
+  int exit_code = 0;
+  std::vector<authz::LintFinding> lint_errors;
+  for (authz::LintFinding& finding :
+       authz::LintPolicy(instance, schema, groups, nullptr, dtd->get())) {
+    if (finding.severity == authz::LintSeverity::kError) {
+      lint_errors.push_back(std::move(finding));
+    }
+  }
+  if (!lint_errors.empty()) {
+    std::printf("%s", authz::LintReport(lint_errors).c_str());
+    exit_code = 1;
+  }
   analysis::PolicyAnalysis analysis = analysis::AnalyzePolicy(
       instance, schema, groups, **dtd, analysis::AnalyzerOptions{});
   std::printf("%s", analysis::AnalysisReport(analysis).c_str());
   for (const authz::LintFinding& finding : analysis.findings) {
-    if (finding.severity == authz::LintSeverity::kError) return 1;
+    if (finding.severity == authz::LintSeverity::kError) exit_code = 1;
   }
+  return exit_code;
+}
+
+int RunCompile(int argc, char** argv) {
+  if (argc != 5 && argc != 6) {
+    std::fprintf(stderr,
+                 "usage: xacl_tool compile <dtd.dtd> <dtd-uri> <xacl.xml> "
+                 "[<doc-uri>]\n");
+    return 2;
+  }
+  auto dtd_text = ReadFile(argv[2]);
+  if (!dtd_text.ok()) return Fail(dtd_text.status());
+  auto dtd = xml::ParseDtd(*dtd_text);
+  if (!dtd.ok()) return Fail(dtd.status());
+  const std::string dtd_uri = argv[3];
+  auto xacl_text = ReadFile(argv[4]);
+  if (!xacl_text.ok()) return Fail(xacl_text.status());
+  auto xacl = authz::ParseXacl(*xacl_text);
+  if (!xacl.ok()) return Fail(xacl.status());
+  const std::string doc_uri = argc == 6 ? argv[5] : "";
+
+  std::vector<authz::Authorization> instance;
+  std::vector<authz::Authorization> schema;
+  for (authz::Authorization& auth : xacl->authorizations) {
+    if (auth.object.uri == dtd_uri) {
+      schema.push_back(std::move(auth));
+    } else if (doc_uri.empty() || auth.object.uri == doc_uri) {
+      instance.push_back(std::move(auth));
+    } else {
+      std::fprintf(stderr, "note: ignoring authorization on '%s'\n",
+                   auth.object.uri.c_str());
+    }
+  }
+
+  auto automaton =
+      analysis::PolicyAutomaton::Compile(**dtd, instance, schema);
+  if (!automaton.ok()) return Fail(automaton.status());
+  std::printf("%s", (*automaton)->Report().c_str());
+  const analysis::AutomatonStats& stats = (*automaton)->stats();
+  std::fprintf(stderr,
+               "compiled: %zu states, %zu transitions; %zu decidable / "
+               "%zu partially-decidable / %zu opaque authorization(s)\n",
+               stats.states, stats.transitions, stats.decidable_auths,
+               stats.partial_auths, stats.opaque_auths);
   return 0;
 }
 
@@ -397,6 +462,7 @@ int main(int argc, char** argv) {
   if (mode == "view") return RunView(argc, argv);
   if (mode == "lint") return RunLint(argc, argv);
   if (mode == "analyze") return RunAnalyze(argc, argv);
+  if (mode == "compile") return RunCompile(argc, argv);
   if (mode == "explain") return RunExplain(argc, argv);
   if (mode == "metrics") return RunMetrics(argc, argv);
   std::fprintf(stderr,
@@ -408,6 +474,8 @@ int main(int argc, char** argv) {
                "  xacl_tool lint <doc.xml> <doc-uri> <dtd.dtd> <dtd-uri> "
                "<xacl.xml>\n"
                "  xacl_tool analyze <dtd.dtd> <dtd-uri> <xacl.xml> "
+               "[<doc-uri>]\n"
+               "  xacl_tool compile <dtd.dtd> <dtd-uri> <xacl.xml> "
                "[<doc-uri>]\n"
                "  xacl_tool explain <doc.xml> <doc-uri> <dtd.dtd> <dtd-uri> "
                "<xacl.xml> <user[:groups]> <ip> <sym> <node-xpath>\n"

@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
-# CI gate for the view-construction hot path: builds bench_pipeline,
-# reruns the view-construction benchmarks with repetitions, and fails
-# when either
+# CI gate for the view-construction hot path: builds bench_pipeline and
+# bench_labeling, reruns the gated benchmarks with repetitions, and
+# fails when any of
 #
 #   1. the single-pass projection pipeline is not at least RATIO_FLOOR
 #      (default 1.5x) faster than the legacy clone->label->prune
 #      pipeline on the deny-heavy workload (both run in the same
-#      binary, so the ratio is machine-independent), or
+#      binary, so the ratio is machine-independent),
 #
-#   2. the p50 of BM_ViewConstructionProject regressed more than
-#      MAX_REGRESSION_PCT (default 15%) against the committed baseline
-#      in bench/baselines/BENCH_pipeline.json.  The absolute check is
-#      advisory off-CI (machines differ); set XMLSEC_BENCH_STRICT=1 to
-#      make it fail the gate, as CI does.
+#   2. the schema-compiled labeling stage (BM_StageLabelCompiled) is
+#      not at least LABELING_RATIO_FLOOR (default 3x) faster than the
+#      per-request XPath stage (BM_StageLabel) on the fully decidable
+#      16k-node fixture — the table-lookup payoff of the policy
+#      automaton, also machine-independent, or
+#
+#   3. a gated benchmark's p50 regressed more than MAX_REGRESSION_PCT
+#      (default 15%) against its committed baseline in
+#      bench/baselines/.  The absolute check is advisory off-CI
+#      (machines differ); set XMLSEC_BENCH_STRICT=1 to make it fail
+#      the gate, as CI does.
 #
 # Runnable locally:
 #
@@ -20,10 +26,12 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-BASELINE="bench/baselines/BENCH_pipeline.json"
+PIPELINE_BASELINE="bench/baselines/BENCH_pipeline.json"
+LABELING_BASELINE="bench/baselines/BENCH_labeling.json"
 REPS="${XMLSEC_BENCH_REPS:-7}"
 MIN_TIME="${XMLSEC_BENCH_MIN_TIME:-0.1}"
 RATIO_FLOOR="${XMLSEC_BENCH_RATIO_FLOOR:-1.5}"
+LABELING_RATIO_FLOOR="${XMLSEC_BENCH_LABELING_RATIO_FLOOR:-3.0}"
 MAX_REGRESSION_PCT="${XMLSEC_BENCH_REGRESSION_PCT:-15}"
 STRICT="${XMLSEC_BENCH_STRICT:-${CI:+1}}"
 STRICT="${STRICT:-0}"
@@ -31,65 +39,87 @@ STRICT="${STRICT:-0}"
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 fi
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_pipeline
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_pipeline \
+  bench_labeling
 
-OUT="$(mktemp)"
-trap 'rm -f "$OUT"' EXIT
+PIPE_OUT="$(mktemp)"
+LABEL_OUT="$(mktemp)"
+trap 'rm -f "$PIPE_OUT" "$LABEL_OUT"' EXIT
 
 # Repetitions give one JSON entry per rep (the capturing reporter skips
-# aggregate rows), so the p50 below is a median over real reruns.
-XMLSEC_BENCH_JSON="$OUT" "$BUILD_DIR/bench/bench_pipeline" \
+# aggregate rows), so the p50s below are medians over real reruns.
+XMLSEC_BENCH_JSON="$PIPE_OUT" "$BUILD_DIR/bench/bench_pipeline" \
   --benchmark_filter='BM_ViewConstruction' \
   --benchmark_repetitions="$REPS" \
   --benchmark_min_time="$MIN_TIME" > /dev/null
+XMLSEC_BENCH_JSON="$LABEL_OUT" "$BUILD_DIR/bench/bench_labeling" \
+  --benchmark_filter='^BM_StageLabel$|^BM_StageLabelCompiled$' \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_min_time="$MIN_TIME" > /dev/null
 
-python3 - "$OUT" "$BASELINE" "$RATIO_FLOOR" "$MAX_REGRESSION_PCT" \
-    "$STRICT" <<'PY'
+python3 - "$PIPE_OUT" "$LABEL_OUT" "$PIPELINE_BASELINE" \
+    "$LABELING_BASELINE" "$RATIO_FLOOR" "$LABELING_RATIO_FLOOR" \
+    "$MAX_REGRESSION_PCT" "$STRICT" <<'PY'
 import json, statistics, sys
 
-out_path, baseline_path, ratio_floor, max_pct, strict = sys.argv[1:6]
-ratio_floor, max_pct = float(ratio_floor), float(max_pct)
+(pipe_path, label_path, pipe_baseline_path, label_baseline_path,
+ ratio_floor, labeling_floor, max_pct, strict) = sys.argv[1:9]
+ratio_floor, labeling_floor = float(ratio_floor), float(labeling_floor)
+max_pct = float(max_pct)
 strict = strict == "1"
+failed = False
 
-def p50(entries, name):
+def p50(entries, name, path):
     samples = [e["ns_per_op"] for e in entries
                if e["name"].split("/")[0] == name]
     if not samples:
-        sys.exit(f"check_bench: no samples for {name} in {out_path}")
+        sys.exit(f"check_bench: no samples for {name} in {path}")
     return statistics.median(samples)
 
-entries = json.load(open(out_path))
-clone = p50(entries, "BM_ViewConstructionClone")
-project = p50(entries, "BM_ViewConstructionProject")
-ratio = clone / project
-print(f"check_bench: p50 clone={clone/1e6:.3f}ms "
-      f"project={project/1e6:.3f}ms ratio={ratio:.2f}x "
-      f"(floor {ratio_floor}x)")
-failed = False
-if ratio < ratio_floor:
-    print(f"check_bench: FAIL: projection only {ratio:.2f}x faster than "
-          f"the clone pipeline (floor {ratio_floor}x)", file=sys.stderr)
-    failed = True
+def check_ratio(label, slow, fast, floor):
+    global failed
+    ratio = slow / fast
+    print(f"check_bench: {label}: p50 slow={slow/1e6:.3f}ms "
+          f"fast={fast/1e6:.3f}ms ratio={ratio:.2f}x (floor {floor}x)")
+    if ratio < floor:
+        print(f"check_bench: FAIL: {label} only {ratio:.2f}x "
+              f"(floor {floor}x)", file=sys.stderr)
+        failed = True
 
-try:
-    baseline = json.load(open(baseline_path))
-except FileNotFoundError:
-    print(f"check_bench: no baseline at {baseline_path}; skipping "
-          "regression check")
-    baseline = None
-if baseline is not None:
-    base = p50(baseline, "BM_ViewConstructionProject")
-    delta_pct = (project - base) / base * 100.0
-    print(f"check_bench: baseline p50={base/1e6:.3f}ms "
+def check_regression(label, baseline_path, name, current):
+    global failed
+    try:
+        baseline = json.load(open(baseline_path))
+    except FileNotFoundError:
+        print(f"check_bench: no baseline at {baseline_path}; skipping "
+              "regression check")
+        return
+    base = p50(baseline, name, baseline_path)
+    delta_pct = (current - base) / base * 100.0
+    print(f"check_bench: {label}: baseline p50={base/1e6:.3f}ms "
           f"delta={delta_pct:+.1f}% (limit +{max_pct}%)")
     if delta_pct > max_pct:
-        message = (f"view construction p50 regressed {delta_pct:+.1f}% "
-                   f"vs baseline (limit +{max_pct}%)")
+        message = (f"{label} p50 regressed {delta_pct:+.1f}% vs baseline "
+                   f"(limit +{max_pct}%)")
         if strict:
             print(f"check_bench: FAIL: {message}", file=sys.stderr)
             failed = True
         else:
             print(f"check_bench: WARNING (non-strict): {message}")
+
+pipe = json.load(open(pipe_path))
+clone = p50(pipe, "BM_ViewConstructionClone", pipe_path)
+project = p50(pipe, "BM_ViewConstructionProject", pipe_path)
+check_ratio("clone/project", clone, project, ratio_floor)
+check_regression("view construction", pipe_baseline_path,
+                 "BM_ViewConstructionProject", project)
+
+label = json.load(open(label_path))
+xpath = p50(label, "BM_StageLabel", label_path)
+compiled = p50(label, "BM_StageLabelCompiled", label_path)
+check_ratio("xpath/compiled labeling", xpath, compiled, labeling_floor)
+check_regression("compiled labeling", label_baseline_path,
+                 "BM_StageLabelCompiled", compiled)
 
 sys.exit(1 if failed else 0)
 PY

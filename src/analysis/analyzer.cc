@@ -199,6 +199,11 @@ PolicyAnalysis AnalyzePolicy(std::span<const Authorization> instance,
                              const GroupStore& groups, const xml::Dtd& dtd,
                              const AnalyzerOptions& options) {
   PolicyAnalysis out;
+  // Decidability is schema-independent (the verdict holds against every
+  // DTD), so it is reported even when the graph below is unusable.
+  out.decidability = ClassifyAuthorizations(instance, schema);
+  out.decidability_report =
+      DecidabilityReport(instance, schema, out.decidability);
   SchemaGraph graph = SchemaGraph::Build(dtd);
   if (!graph.valid()) {
     out.findings.push_back(LintFinding{
@@ -362,6 +367,9 @@ PolicyAnalysis AnalyzePolicy(std::span<const Authorization> instance,
 
 std::string AnalysisReport(const PolicyAnalysis& analysis) {
   std::string out = authz::LintReport(analysis.findings);
+  if (!analysis.decidability_report.empty()) {
+    out += "\n" + analysis.decidability_report;
+  }
   std::string table = analysis.coverage.ToString();
   if (!table.empty()) {
     out += "\n" + table;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/policy_automaton.h"
 #include "analysis/schema_paths.h"
 #include "authz/authorization.h"
 #include "authz/lint.h"
@@ -78,6 +79,14 @@ struct CoverageTable {
 struct PolicyAnalysis {
   std::vector<authz::LintFinding> findings;
   CoverageTable coverage;
+  /// Per-authorization compiler verdicts (policy_automaton.h), in the
+  /// same concatenated (instance, then schema) order as `auth_index` —
+  /// which authorizations the policy compiler resolves by table lookup
+  /// and which stay on the per-request XPath path, with reasons.
+  std::vector<AuthClassification> decidability;
+  /// `DecidabilityReport` over `decidability`, rendered while the
+  /// authorization texts are at hand.
+  std::string decidability_report;
 };
 
 /// Analyzes a policy purely against a DTD — no document instance.  The

@@ -1,0 +1,490 @@
+#include "analysis/policy_automaton.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <utility>
+
+namespace xmlsec {
+namespace analysis {
+
+namespace {
+
+using authz::Authorization;
+using authz::ExplicitSigns;
+using authz::GroupStore;
+using authz::LabelingStats;
+using authz::PolicyOptions;
+using authz::Requester;
+using authz::ResolveSlotCandidates;
+using authz::SlotCandidates;
+using authz::SlotForTarget;
+using authz::TriSign;
+using xml::Attr;
+using xml::Document;
+using xml::Element;
+
+/// Element id of the document-context state (state 0), which is not an
+/// element at all.
+constexpr uint32_t kDocumentId = UINT32_MAX;
+
+constexpr std::array<TriSign, 6> kAllEps = {
+    TriSign::kEps, TriSign::kEps, TriSign::kEps,
+    TriSign::kEps, TriSign::kEps, TriSign::kEps};
+
+Decidability VerdictOf(PathCompilability c) {
+  switch (c) {
+    case PathCompilability::kDecidable:
+      return Decidability::kDecidable;
+    case PathCompilability::kValueDependent:
+      return Decidability::kPartial;
+    case PathCompilability::kOpaque:
+      return Decidability::kOpaque;
+  }
+  return Decidability::kOpaque;
+}
+
+}  // namespace
+
+std::string_view DecidabilityToString(Decidability d) {
+  switch (d) {
+    case Decidability::kDecidable:
+      return "decidable";
+    case Decidability::kPartial:
+      return "partially-decidable";
+    case Decidability::kOpaque:
+      return "opaque";
+  }
+  return "?";
+}
+
+std::vector<AuthClassification> ClassifyAuthorizations(
+    std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths) {
+  std::vector<AuthClassification> out;
+  out.reserve(instance_auths.size() + schema_auths.size());
+  auto classify = [&](std::span<const Authorization> auths,
+                      bool schema_level) {
+    for (const Authorization& auth : auths) {
+      PathClassification p = ClassifyPath(auth.object.path);
+      AuthClassification c;
+      c.decidability = VerdictOf(p.verdict);
+      c.schema_level = schema_level;
+      c.uses_requester_variables = p.uses_requester_variables;
+      c.residual_predicates = std::move(p.residual_predicates);
+      c.reason = std::move(p.reason);
+      out.push_back(std::move(c));
+    }
+  };
+  classify(instance_auths, /*schema_level=*/false);
+  classify(schema_auths, /*schema_level=*/true);
+  return out;
+}
+
+std::string DecidabilityReport(std::span<const Authorization> instance_auths,
+                               std::span<const Authorization> schema_auths,
+                               std::span<const AuthClassification> classes) {
+  size_t decidable = 0;
+  size_t partial = 0;
+  size_t opaque = 0;
+  for (const AuthClassification& c : classes) {
+    switch (c.decidability) {
+      case Decidability::kDecidable:
+        decidable++;
+        break;
+      case Decidability::kPartial:
+        partial++;
+        break;
+      case Decidability::kOpaque:
+        opaque++;
+        break;
+    }
+  }
+  std::string out = "decidability: " + std::to_string(decidable) +
+                    " decidable, " + std::to_string(partial) +
+                    " partially-decidable, " + std::to_string(opaque) +
+                    " opaque (of " + std::to_string(classes.size()) + ")\n";
+  for (size_t i = 0; i < classes.size(); ++i) {
+    const AuthClassification& c = classes[i];
+    const Authorization& auth =
+        i < instance_auths.size() ? instance_auths[i]
+                                  : schema_auths[i - instance_auths.size()];
+    out += "auth#" + std::to_string(i);
+    out += c.schema_level ? " [schema] " : " [instance] ";
+    out += DecidabilityToString(c.decidability);
+    out += ": " + auth.ToString() + "\n";
+    if (!c.residual_predicates.empty()) {
+      out += "    residual predicates:";
+      for (const std::string& pred : c.residual_predicates) {
+        out += " [" + pred + "]";
+      }
+      out += "\n";
+    }
+    if (c.uses_requester_variables) {
+      out += "    uses requester variables\n";
+    }
+    if (!c.reason.empty()) {
+      out += "    reason: " + c.reason + "\n";
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<PolicyAutomaton>> PolicyAutomaton::Compile(
+    const xml::Dtd& dtd, std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths,
+    const AutomatonOptions& options) {
+  SchemaGraph graph = SchemaGraph::Build(dtd, options.root);
+  if (!graph.valid()) {
+    return Status::InvalidArgument(
+        "cannot compile policy automaton: DTD declares no usable root "
+        "element");
+  }
+
+  auto automaton = std::unique_ptr<PolicyAutomaton>(new PolicyAutomaton());
+  PolicyAutomaton& a = *automaton;
+  a.root_ = graph.root();
+  a.instance_.assign(instance_auths.begin(), instance_auths.end());
+  a.schema_.assign(schema_auths.begin(), schema_auths.end());
+  a.classifications_ = ClassifyAuthorizations(a.instance_, a.schema_);
+
+  // Partition into the compiled set (word automata pointing into the
+  // owned copies — populated after the vectors stop growing) and the
+  // residual sets the engine evaluates through XPath per request.
+  size_t class_index = 0;
+  auto partition = [&](const std::vector<Authorization>& owned,
+                       bool schema_level,
+                       std::vector<Authorization>* residual) -> Status {
+    for (const Authorization& auth : owned) {
+      AuthClassification& c = a.classifications_[class_index++];
+      if (c.decidability == Decidability::kDecidable) {
+        auto word = PathWordAutomaton::Compile(auth.object.path);
+        if (word.ok()) {
+          a.decidable_.push_back(
+              CompiledAuth{&auth, schema_level, std::move(*word)});
+          continue;
+        }
+        // ClassifyPath and the word compiler accept the same fragment;
+        // a disagreement is a bug, but degrading to residual keeps the
+        // automaton sound rather than wrong.
+        c.decidability = Decidability::kOpaque;
+        c.reason = word.status().message();
+      }
+      residual->push_back(auth);
+    }
+    return Status::OK();
+  };
+  XMLSEC_RETURN_IF_ERROR(
+      partition(a.instance_, /*schema_level=*/false, &a.residual_instance_));
+  XMLSEC_RETURN_IF_ERROR(
+      partition(a.schema_, /*schema_level=*/true, &a.residual_schema_));
+  for (const AuthClassification& c : a.classifications_) {
+    switch (c.decidability) {
+      case Decidability::kDecidable:
+        a.stats_.decidable_auths++;
+        break;
+      case Decidability::kPartial:
+        a.stats_.partial_auths++;
+        break;
+      case Decidability::kOpaque:
+        a.stats_.opaque_auths++;
+        break;
+    }
+  }
+
+  // Intern the reachable element vocabulary.
+  for (const std::string& name : graph.reachable()) {
+    a.element_ids_.emplace(name,
+                           static_cast<uint32_t>(a.element_names_.size()));
+    a.element_names_.push_back(name);
+    std::vector<std::string> attrs = graph.Attributes(name);
+    std::sort(attrs.begin(), attrs.end());
+    a.declared_attrs_.push_back(std::move(attrs));
+  }
+
+  // Product construction: BFS over (element, per-auth NFA state sets).
+  const size_t n = a.decidable_.size();
+  std::vector<uint64_t> start_bits(n, PathWordAutomaton::kStartBits);
+  std::map<std::pair<uint32_t, std::vector<uint64_t>>, uint32_t> ids;
+  struct WorkItem {
+    uint32_t state;
+    std::vector<uint64_t> bits;
+  };
+  std::deque<WorkItem> queue;
+  a.states_.emplace_back();
+  a.states_[0].element_id = kDocumentId;
+  ids.emplace(std::make_pair(kDocumentId, start_bits), 0u);
+  queue.push_back(WorkItem{0, std::move(start_bits)});
+
+  std::vector<std::string> doc_children = {graph.root()};
+  while (!queue.empty()) {
+    WorkItem item = std::move(queue.front());
+    queue.pop_front();
+    const uint32_t element_id = a.states_[item.state].element_id;
+    const std::vector<std::string>& children =
+        element_id == kDocumentId ? doc_children
+                                  : graph.Children(a.element_names_[element_id]);
+    std::vector<std::pair<uint32_t, uint32_t>> transitions;
+    transitions.reserve(children.size());
+    for (const std::string& child : children) {
+      const uint32_t child_id = a.element_ids_.at(child);
+      std::vector<uint64_t> next_bits(n);
+      for (size_t i = 0; i < n; ++i) {
+        next_bits[i] = a.decidable_[i].word.Move(item.bits[i], child);
+      }
+      auto [it, inserted] =
+          ids.emplace(std::make_pair(child_id, next_bits),
+                      static_cast<uint32_t>(a.states_.size()));
+      if (inserted) {
+        if (a.states_.size() >= options.max_states) {
+          return Status::InvalidArgument(
+              "policy automaton exceeds the state cap (" +
+              std::to_string(options.max_states) +
+              "); serve through the XPath path instead");
+        }
+        State st;
+        st.element_id = child_id;
+        for (size_t i = 0; i < n; ++i) {
+          const CompiledAuth& ca = a.decidable_[i];
+          if (ca.word.AcceptsElement(next_bits[i])) {
+            auto slot = static_cast<size_t>(SlotForTarget(
+                *ca.auth, ca.schema_level, /*target_is_attribute=*/false));
+            st.element_slots[slot].push_back(static_cast<uint32_t>(i));
+          }
+          if (ca.word.HasAttributeTests(next_bits[i])) st.attr_tests = true;
+        }
+        for (const std::string& attr : a.declared_attrs_[child_id]) {
+          State::AttrEntry entry;
+          entry.name = attr;
+          bool any = false;
+          for (size_t i = 0; i < n; ++i) {
+            const CompiledAuth& ca = a.decidable_[i];
+            if (ca.word.AcceptsAttribute(next_bits[i], attr)) {
+              auto slot = static_cast<size_t>(SlotForTarget(
+                  *ca.auth, ca.schema_level, /*target_is_attribute=*/true));
+              entry.slots[slot].push_back(static_cast<uint32_t>(i));
+              any = true;
+            }
+          }
+          if (any) st.attrs.push_back(std::move(entry));
+        }
+        a.states_.push_back(std::move(st));
+        queue.push_back(WorkItem{it->second, std::move(next_bits)});
+      }
+      transitions.emplace_back(child_id, it->second);
+      a.stats_.transitions++;
+    }
+    std::sort(transitions.begin(), transitions.end());
+    a.states_[item.state].transitions = std::move(transitions);
+  }
+  a.stats_.states = a.states_.size();
+  return automaton;
+}
+
+const PolicyAutomaton::State* PolicyAutomaton::TransitionTo(
+    const State& from, uint32_t element_id) const {
+  auto it = std::lower_bound(
+      from.transitions.begin(), from.transitions.end(),
+      std::make_pair(element_id, uint32_t{0}),
+      [](const std::pair<uint32_t, uint32_t>& a,
+         const std::pair<uint32_t, uint32_t>& b) { return a.first < b.first; });
+  if (it == from.transitions.end() || it->first != element_id) return nullptr;
+  return &states_[it->second];
+}
+
+Result<ExplicitSigns> PolicyAutomaton::ComputeSigns(
+    const Document& doc, const Requester& rq, const GroupStore& groups,
+    PolicyOptions policy, LabelingStats* stats, bool* schema_mismatch) const {
+  if (schema_mismatch != nullptr) *schema_mismatch = false;
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("document has no root element");
+  }
+  ExplicitSigns out(static_cast<size_t>(doc.node_count()));
+
+  // Request-time applicability of the decidable set (action, validity
+  // window, requester match) — the only per-request inputs the table
+  // resolution depends on.
+  std::vector<uint8_t> mask(decidable_.size(), 0);
+  for (size_t i = 0; i < decidable_.size(); ++i) {
+    const Authorization& auth = *decidable_[i].auth;
+    if (static_cast<int>(auth.action) != policy.action) continue;
+    if (!auth.AppliesAtTime(rq.time)) continue;
+    if (!RequesterMatches(rq, auth.subject, groups)) continue;
+    mask[i] = 1;
+    if (stats != nullptr) {
+      (decidable_[i].schema_level ? stats->applicable_schema_auths
+                                  : stats->applicable_instance_auths)++;
+    }
+  }
+
+  // Residual authorizations still evaluate through XPath, once each.
+  XMLSEC_ASSIGN_OR_RETURN(
+      SlotCandidates residual,
+      authz::CollectSlotCandidates(doc, residual_instance_, residual_schema_,
+                                   rq, groups, policy, stats));
+
+  // Lazily resolved per-state rows, cached for this request: subject
+  // specificity and conflict resolution depend only on the applicable
+  // candidate set of the state, never on the concrete node.
+  struct ResolvedState {
+    bool ready = false;
+    std::array<TriSign, 6> element = kAllEps;
+    std::vector<std::array<TriSign, 6>> attrs;
+  };
+  std::vector<ResolvedState> resolved(states_.size());
+  std::vector<const Authorization*> merged;  // per-slot scratch
+
+  auto resolve_lists =
+      [&](const std::array<std::vector<uint32_t>, 6>& lists) {
+        std::array<TriSign, 6> row = kAllEps;
+        for (size_t slot = 0; slot < 6; ++slot) {
+          merged.clear();
+          for (uint32_t id : lists[slot]) {
+            if (mask[id] != 0) merged.push_back(decidable_[id].auth);
+          }
+          if (!merged.empty()) {
+            row[slot] = ResolveSlotCandidates(merged, groups, policy.conflict);
+          }
+        }
+        return row;
+      };
+  auto rows_of = [&](const State& st) -> ResolvedState& {
+    auto sid = static_cast<size_t>(&st - states_.data());
+    ResolvedState& rs = resolved[sid];
+    if (!rs.ready) {
+      rs.element = resolve_lists(st.element_slots);
+      rs.attrs.reserve(st.attrs.size());
+      for (const State::AttrEntry& entry : st.attrs) {
+        rs.attrs.push_back(resolve_lists(entry.slots));
+      }
+      rs.ready = true;
+    }
+    return rs;
+  };
+  // Joint resolution where residual authorizations landed: merge both
+  // candidate lists per slot so most-specific-subject overrides apply
+  // across the decidable/residual split, exactly as ComputeExplicitSigns
+  // resolves the combined candidate map.
+  auto joint_row = [&](const std::array<std::vector<uint32_t>, 6>* lists,
+                       int64_t doc_order) {
+    std::array<TriSign, 6> row = kAllEps;
+    for (size_t slot = 0; slot < 6; ++slot) {
+      merged.clear();
+      if (lists != nullptr) {
+        for (uint32_t id : (*lists)[slot]) {
+          if (mask[id] != 0) merged.push_back(decidable_[id].auth);
+        }
+      }
+      auto it = residual.slots.find(
+          SlotCandidates::KeyOf(doc_order, static_cast<authz::LabelSlot>(slot)));
+      if (it != residual.slots.end()) {
+        merged.insert(merged.end(), it->second.begin(), it->second.end());
+      }
+      if (!merged.empty()) {
+        row[slot] = ResolveSlotCandidates(merged, groups, policy.conflict);
+      }
+    }
+    return row;
+  };
+
+  int64_t table_nodes = 0;
+  int64_t residual_nodes = 0;
+  std::function<bool(const Element*, const State&)> walk =
+      [&](const Element* el, const State& st) -> bool {
+    const auto order = static_cast<size_t>(el->doc_order());
+    if (residual.touched[order] != 0) {
+      out.MutableRow(order) = joint_row(&st.element_slots, el->doc_order());
+      residual_nodes++;
+    } else {
+      out.MutableRow(order) = rows_of(st).element;
+      table_nodes++;
+    }
+
+    for (const auto& attr : el->attributes()) {
+      const auto attr_order = static_cast<size_t>(attr->doc_order());
+      const bool touched = residual.touched[attr_order] != 0;
+      const State::AttrEntry* entry = nullptr;
+      size_t entry_index = 0;
+      for (size_t k = 0; k < st.attrs.size(); ++k) {
+        if (st.attrs[k].name == attr->name()) {
+          entry = &st.attrs[k];
+          entry_index = k;
+          break;
+        }
+      }
+      if (entry != nullptr) {
+        if (touched) {
+          out.MutableRow(attr_order) =
+              joint_row(&entry->slots, attr->doc_order());
+          residual_nodes++;
+        } else {
+          out.MutableRow(attr_order) = rows_of(st).attrs[entry_index];
+          table_nodes++;
+        }
+        continue;
+      }
+      const std::vector<std::string>& declared = declared_attrs_[st.element_id];
+      if (!std::binary_search(declared.begin(), declared.end(),
+                              attr->name()) &&
+          st.attr_tests) {
+        // An attribute the DTD does not declare, in a context where some
+        // compiled authorization tests attributes: acceptance cannot be
+        // read off the table, and the document is invalid anyway.
+        return false;
+      }
+      if (touched) {
+        out.MutableRow(attr_order) = joint_row(nullptr, attr->doc_order());
+        residual_nodes++;
+      } else {
+        table_nodes++;  // row stays all-ε, exactly like the XPath path
+      }
+    }
+
+    for (const auto& child : el->children()) {
+      if (!child->IsElement()) continue;  // values carry no explicit signs
+      const auto* child_el = static_cast<const Element*>(child.get());
+      auto id_it = element_ids_.find(child_el->tag());
+      if (id_it == element_ids_.end()) return false;  // undeclared element
+      const State* next = TransitionTo(st, id_it->second);
+      if (next == nullptr) return false;  // content model violation
+      if (!walk(child_el, *next)) return false;
+    }
+    return true;
+  };
+
+  bool ok = true;
+  for (const auto& child : doc.children()) {
+    if (!child->IsElement()) continue;
+    const auto* el = static_cast<const Element*>(child.get());
+    auto id_it = element_ids_.find(el->tag());
+    const State* next = id_it == element_ids_.end()
+                            ? nullptr
+                            : TransitionTo(states_[0], id_it->second);
+    if (next == nullptr || !walk(el, *next)) {
+      ok = false;
+      break;
+    }
+  }
+  if (!ok) {
+    if (schema_mismatch != nullptr) *schema_mismatch = true;
+    return out;  // meaningless; the caller must fall back
+  }
+  if (stats != nullptr) {
+    stats->table_nodes += table_nodes;
+    stats->residual_nodes += residual_nodes;
+    stats->labeled_nodes = doc.node_count();
+  }
+  return out;
+}
+
+std::string PolicyAutomaton::Report() const {
+  std::string out = "policy automaton over root '" + root_ + "': " +
+                    std::to_string(stats_.states) + " states, " +
+                    std::to_string(stats_.transitions) + " transitions\n";
+  out += DecidabilityReport(instance_, schema_, classifications_);
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace xmlsec

@@ -1,0 +1,194 @@
+#ifndef XMLSEC_ANALYSIS_POLICY_AUTOMATON_H_
+#define XMLSEC_ANALYSIS_POLICY_AUTOMATON_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/schema_paths.h"
+#include "authz/authorization.h"
+#include "authz/labeling.h"
+#include "authz/policy.h"
+#include "authz/subject.h"
+#include "common/result.h"
+#include "xml/dom.h"
+#include "xml/dtd.h"
+
+namespace xmlsec {
+namespace analysis {
+
+/// Static decidability of one authorization against a DTD (grounded in
+/// Cheney, "Static Enforceability of XPath-Based Access Control
+/// Policies": the schema-decidable fragment resolves by table lookup).
+enum class Decidability {
+  kDecidable,  ///< resolved entirely by automaton table lookup
+  kPartial,    ///< structure compiles; value-dependent predicates remain
+  kOpaque,     ///< outside the compilable fragment: full XPath fallback
+};
+
+std::string_view DecidabilityToString(Decidability d);
+
+/// Per-authorization compiler verdict, with reasons — one entry of the
+/// static decidability report.
+struct AuthClassification {
+  Decidability decidability = Decidability::kDecidable;
+  bool schema_level = false;
+  bool uses_requester_variables = false;
+  /// kPartial / kOpaque: the offending predicates, unparsed.
+  std::vector<std::string> residual_predicates;
+  /// kOpaque: which construct defeated compilation.
+  std::string reason;
+};
+
+/// Classifies every authorization of a policy (instance set first, then
+/// schema set — the concatenated index order `LintPolicy` uses).  Pure
+/// per-path work; building the product automaton is not required.
+std::vector<AuthClassification> ClassifyAuthorizations(
+    std::span<const authz::Authorization> instance_auths,
+    std::span<const authz::Authorization> schema_auths);
+
+/// Renders the per-authorization classification as text (the
+/// `xacl_tool analyze` / `xacl_tool compile` decidability section).
+std::string DecidabilityReport(
+    std::span<const authz::Authorization> instance_auths,
+    std::span<const authz::Authorization> schema_auths,
+    std::span<const AuthClassification> classes);
+
+struct AutomatonOptions {
+  /// Cap on the product construction.  On overflow `Compile` fails and
+  /// the caller keeps serving through the XPath path — the automaton is
+  /// an optimization, never a correctness requirement.
+  size_t max_states = 65536;
+  /// Overrides the schema root element (empty: the DTD's doctype name).
+  std::string root;
+};
+
+struct AutomatonStats {
+  size_t states = 0;
+  size_t transitions = 0;
+  size_t decidable_auths = 0;
+  size_t partial_auths = 0;
+  size_t opaque_auths = 0;
+};
+
+/// The schema-compiled policy automaton (tentpole of the static labeling
+/// compiler).
+///
+/// `Compile` abstractly interprets each authorization's XPath over the
+/// DTD content-model graph and builds the product DFA whose states are
+/// DTD element contexts — (element type, per-authorization NFA state
+/// sets), i.e. element type × schema-path equivalence class — with a
+/// transition table keyed by child element name.  Each state carries,
+/// per label slot, the list of statically decidable authorizations that
+/// explicitly target the element (and each declared attribute) in that
+/// context.  Authorizations classified kPartial or kOpaque go to a
+/// residual list that still evaluates through XPath per request.
+///
+/// `ComputeSigns` then labels a document by threading automaton states
+/// down the tree: for most nodes the explicit 6-tuple row is a table
+/// lookup (resolved lazily per state and cached for the request, since
+/// subject specificity and conflict resolution depend only on the
+/// requester-applicable candidate set, not on the node); nodes a
+/// residual authorization landed on merge both candidate lists and
+/// resolve jointly, which keeps the most-specific-subject override
+/// sound across the decidable/residual split.
+///
+/// Exactness: for the predicate-free compiled fragment, XPath selection
+/// depends only on the root-to-node tag word, so table acceptance equals
+/// runtime selection on ANY document — valid or not — as long as every
+/// tag/attribute the walk meets is part of the compiled schema.  A
+/// transition miss or an undeclared attribute under live attribute
+/// tests (possible only on documents invalid against the DTD) aborts
+/// via `*schema_mismatch`, and the caller serves through the XPath path.
+class PolicyAutomaton : public authz::ExplicitSignEngine {
+ public:
+  static Result<std::unique_ptr<PolicyAutomaton>> Compile(
+      const xml::Dtd& dtd,
+      std::span<const authz::Authorization> instance_auths,
+      std::span<const authz::Authorization> schema_auths,
+      const AutomatonOptions& options = {});
+
+  // authz::ExplicitSignEngine:
+  Result<authz::ExplicitSigns> ComputeSigns(
+      const xml::Document& doc, const authz::Requester& rq,
+      const authz::GroupStore& groups, authz::PolicyOptions policy,
+      authz::LabelingStats* stats, bool* schema_mismatch) const override;
+
+  const AutomatonStats& stats() const { return stats_; }
+  /// Concatenated (instance, then schema) input order.
+  const std::vector<AuthClassification>& classifications() const {
+    return classifications_;
+  }
+  /// The decidability report for this policy, automaton header line
+  /// included.
+  std::string Report() const;
+
+  /// The residual (value-dependent / opaque) authorization subsets the
+  /// engine evaluates through XPath per request.
+  std::span<const authz::Authorization> residual_instance() const {
+    return residual_instance_;
+  }
+  std::span<const authz::Authorization> residual_schema() const {
+    return residual_schema_;
+  }
+
+ private:
+  /// One statically decidable authorization: its word automaton plus a
+  /// pointer into the owned copies below.
+  struct CompiledAuth {
+    const authz::Authorization* auth;
+    bool schema_level;
+    PathWordAutomaton word;
+  };
+
+  /// One product state: the element context's transition row plus the
+  /// per-slot decidable candidate lists (authorization indices into
+  /// `decidable_`) for the element node and each declared attribute
+  /// that any candidate targets.
+  struct State {
+    uint32_t element_id = 0;
+    /// Sorted by element id; children the content model admits.
+    std::vector<std::pair<uint32_t, uint32_t>> transitions;
+    std::array<std::vector<uint32_t>, 6> element_slots;
+    struct AttrEntry {
+      std::string name;
+      std::array<std::vector<uint32_t>, 6> slots;
+    };
+    std::vector<AttrEntry> attrs;
+    /// Some decidable authorization has a live attribute test here: an
+    /// attribute the DTD does not declare cannot be proven untargeted,
+    /// so meeting one forces the schema-mismatch fallback.
+    bool attr_tests = false;
+  };
+
+  PolicyAutomaton() = default;
+
+  const State* TransitionTo(const State& from, uint32_t element_id) const;
+
+  std::vector<authz::Authorization> instance_;
+  std::vector<authz::Authorization> schema_;
+  std::vector<authz::Authorization> residual_instance_;
+  std::vector<authz::Authorization> residual_schema_;
+  std::vector<CompiledAuth> decidable_;
+  std::vector<AuthClassification> classifications_;
+
+  std::unordered_map<std::string, uint32_t> element_ids_;
+  std::vector<std::string> element_names_;
+  /// Declared attribute names per element id, sorted (the undeclared-
+  /// attribute guard binary-searches these).
+  std::vector<std::vector<std::string>> declared_attrs_;
+
+  std::vector<State> states_;  ///< state 0: the document context
+  std::string root_;
+  AutomatonStats stats_;
+};
+
+}  // namespace analysis
+}  // namespace xmlsec
+
+#endif  // XMLSEC_ANALYSIS_POLICY_AUTOMATON_H_

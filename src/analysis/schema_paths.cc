@@ -412,6 +412,47 @@ Result<CompiledQuery> CompileQuery(const Machine& machine,
   return out;
 }
 
+/// Collects the unparsed predicate expressions of a location path (the
+/// classifier's residual list), in path order.  Predicates nested inside
+/// other predicates are not listed separately — their enclosing
+/// predicate already names them.
+void CollectPredicateStrings(const Expr& expr, std::vector<std::string>* out) {
+  if (expr.kind == Expr::Kind::kBinary && expr.op == BinaryOp::kUnion) {
+    if (expr.lhs != nullptr) CollectPredicateStrings(*expr.lhs, out);
+    if (expr.rhs != nullptr) CollectPredicateStrings(*expr.rhs, out);
+    return;
+  }
+  if (expr.kind != Expr::Kind::kPath) return;
+  for (const auto& pred : expr.base_predicates) {
+    out->push_back(pred->ToString());
+  }
+  for (const Step& step : expr.steps) {
+    for (const auto& pred : step.predicates) {
+      out->push_back(pred->ToString());
+    }
+  }
+}
+
+bool ExprUsesVariables(const Expr& expr) {
+  if (expr.kind == Expr::Kind::kVariable) return true;
+  if (expr.lhs != nullptr && ExprUsesVariables(*expr.lhs)) return true;
+  if (expr.rhs != nullptr && ExprUsesVariables(*expr.rhs)) return true;
+  if (expr.operand != nullptr && ExprUsesVariables(*expr.operand)) return true;
+  if (expr.base != nullptr && ExprUsesVariables(*expr.base)) return true;
+  for (const auto& arg : expr.args) {
+    if (arg != nullptr && ExprUsesVariables(*arg)) return true;
+  }
+  for (const auto& pred : expr.base_predicates) {
+    if (pred != nullptr && ExprUsesVariables(*pred)) return true;
+  }
+  for (const Step& step : expr.steps) {
+    for (const auto& pred : step.predicates) {
+      if (pred != nullptr && ExprUsesVariables(*pred)) return true;
+    }
+  }
+  return false;
+}
+
 /// Product item of the containment searches.
 struct ProductItem {
   std::string element;  ///< empty = document node
@@ -447,7 +488,7 @@ SchemaGraph SchemaGraph::Build(const xml::Dtd& dtd, const std::string& root) {
     std::vector<std::string> sources;
     for (const auto& [name, decl] : dtd.elements()) {
       (void)decl;
-      if (referenced.count(name) == 0) sources.push_back(name);
+      if (!referenced.contains(name)) sources.push_back(name);
     }
     start = sources.size() == 1 ? sources.front()
                                 : dtd.elements().begin()->first;
@@ -539,7 +580,7 @@ bool AbstractSelection::Overlaps(const AbstractSelection& other) const {
                                        : other;
   const AbstractSelection& large = &small == this ? other : *this;
   for (const SchemaPoint& p : small.points) {
-    if (large.points.count(p) > 0) return true;
+    if (large.points.contains(p)) return true;
   }
   return false;
 }
@@ -715,6 +756,102 @@ bool PathAnalyzer::CoversAllInstances(const PathQuery& b,
     }
   }
   return true;
+}
+
+// --- ClassifyPath -------------------------------------------------------
+
+std::string_view PathCompilabilityToString(PathCompilability c) {
+  switch (c) {
+    case PathCompilability::kDecidable:
+      return "decidable";
+    case PathCompilability::kValueDependent:
+      return "partially-decidable";
+    case PathCompilability::kOpaque:
+      return "opaque";
+  }
+  return "?";
+}
+
+PathClassification ClassifyPath(const std::string& path) {
+  PathClassification out;
+  if (path.empty()) return out;  // the whole-document object: root only
+  auto compiled = xpath::CompileXPath(path);
+  if (!compiled.ok()) {
+    out.verdict = PathCompilability::kOpaque;
+    out.reason = "path does not compile: " + compiled.status().message();
+    return out;
+  }
+  out.uses_requester_variables = ExprUsesVariables(**compiled);
+  // The NFA construction never consults the schema graph; a null graph
+  // is fine for pure classification.
+  Machine machine(nullptr);
+  auto nfa = machine.Compile(**compiled, /*context_is_document=*/true);
+  if (!nfa.ok()) {
+    out.verdict = PathCompilability::kOpaque;
+    out.reason = nfa.status().message();
+    CollectPredicateStrings(**compiled, &out.residual_predicates);
+    return out;
+  }
+  if (nfa->has_predicates) {
+    out.verdict = PathCompilability::kValueDependent;
+    CollectPredicateStrings(**compiled, &out.residual_predicates);
+  }
+  return out;
+}
+
+// --- PathWordAutomaton --------------------------------------------------
+
+struct PathWordAutomaton::Impl {
+  std::unique_ptr<Expr> owner;  ///< predicates in `nfa` point into this
+  Nfa nfa;
+};
+
+Result<PathWordAutomaton> PathWordAutomaton::Compile(const std::string& path) {
+  auto impl = std::make_shared<Impl>();
+  Machine machine(nullptr);  // compilation never consults the graph
+  if (path.empty()) {
+    impl->nfa = machine.RootOnly();
+  } else {
+    XMLSEC_ASSIGN_OR_RETURN(impl->owner, xpath::CompileXPath(path));
+    XMLSEC_ASSIGN_OR_RETURN(
+        impl->nfa, machine.Compile(*impl->owner,
+                                   /*context_is_document=*/true));
+  }
+  PathWordAutomaton out;
+  out.impl_ = std::move(impl);
+  return out;
+}
+
+uint64_t PathWordAutomaton::Move(uint64_t bits,
+                                 const std::string& element) const {
+  const Nfa& nfa = impl_->nfa;
+  uint64_t next = 0;
+  for (size_t q = 0; q < nfa.states.size(); ++q) {
+    if ((bits & (uint64_t{1} << q)) == 0) continue;
+    const Nfa::State& state = nfa.states[q];
+    if (state.any_loop) next |= uint64_t{1} << q;
+    for (const Nfa::Edge& edge : state.edges) {
+      if (edge.any || edge.name == element) next |= uint64_t{1} << edge.to;
+    }
+  }
+  return next;
+}
+
+bool PathWordAutomaton::AcceptsElement(uint64_t bits) const {
+  return impl_->nfa.AcceptsElement(bits);
+}
+
+bool PathWordAutomaton::AcceptsAttribute(uint64_t bits,
+                                         const std::string& attr) const {
+  return impl_->nfa.AcceptsAttribute(bits, attr);
+}
+
+bool PathWordAutomaton::HasAttributeTests(uint64_t bits) const {
+  return impl_->nfa.AcceptsAnyAttribute(bits);
+}
+
+bool PathWordAutomaton::has_predicates() const {
+  return impl_->nfa.has_predicates;
 }
 
 }  // namespace analysis

@@ -1,9 +1,12 @@
 #ifndef XMLSEC_ANALYSIS_SCHEMA_PATHS_H_
 #define XMLSEC_ANALYSIS_SCHEMA_PATHS_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
@@ -33,7 +36,7 @@ class SchemaGraph {
   const std::string& root() const { return root_; }
 
   bool HasElement(const std::string& name) const {
-    return children_.count(name) > 0;
+    return children_.contains(name);
   }
   /// Distinct child-element names admitted by `element`'s content model
   /// (declared targets only).
@@ -91,7 +94,7 @@ struct AbstractSelection {
 
   bool definitely_empty() const { return !unknown && points.empty(); }
   bool MayContain(const SchemaPoint& p) const {
-    return unknown || points.count(p) > 0;
+    return unknown || points.contains(p);
   }
   bool Overlaps(const AbstractSelection& other) const;
 };
@@ -162,6 +165,73 @@ class PathAnalyzer {
 
  private:
   const SchemaGraph* graph_;
+};
+
+/// Static compilability of one authorization path — the decidability
+/// classification of the policy compiler (analysis/policy_automaton.h).
+enum class PathCompilability {
+  /// Selection depends only on the root-to-node tag word: the policy
+  /// compiler resolves every target by table lookup, on any document.
+  kDecidable,
+  /// The structure compiles but the path carries predicates whose truth
+  /// depends on document values or requester bindings ($user/$ip/$sym/
+  /// $time): the authorization stays on the per-request XPath path.
+  kValueDependent,
+  /// Outside the compilable fragment (reverse/sibling axes, filter
+  /// bases, non-element node tests, over-long paths): full fallback.
+  kOpaque,
+};
+
+std::string_view PathCompilabilityToString(PathCompilability c);
+
+struct PathClassification {
+  PathCompilability verdict = PathCompilability::kDecidable;
+  /// Unparsed offending predicates (kValueDependent), in path order —
+  /// lint's fix-it hints and the decidability report name these.
+  std::vector<std::string> residual_predicates;
+  /// The path mentions an XPath variable anywhere ($user and friends).
+  bool uses_requester_variables = false;
+  /// kOpaque: which construct defeated compilation.
+  std::string reason;
+};
+
+/// Classifies `path` for the policy compiler.  Schema-independent: the
+/// verdict holds against every DTD.  An empty path (the whole-document
+/// object) is decidable.
+PathClassification ClassifyPath(const std::string& path);
+
+/// A compiled word automaton over root-to-node element-tag words — the
+/// interpreter's internal NFA behind a stable interface, the building
+/// block of the policy-automaton product construction.  A run consumes
+/// the element names on the root-to-node path of a document node
+/// starting from `kStartBits` (the document node; the empty word); the
+/// node is selected iff the final state set accepts it.
+///
+/// Unlike the containment machinery this wrapper applies NO predicate
+/// pruning: callers must only trust Accepts* verdicts of predicate-free
+/// automata (`has_predicates() == false`), for which acceptance is
+/// *exact* on any document — not just an over-approximation.
+class PathWordAutomaton {
+ public:
+  /// Compiles `path`; empty compiles the root-only automaton (the
+  /// paper's whole-document object).  Fails outside the compilable
+  /// fragment — the same verdict `ClassifyPath` reports as kOpaque.
+  static Result<PathWordAutomaton> Compile(const std::string& path);
+
+  static constexpr uint64_t kStartBits = 1;  ///< the start state's bit
+
+  uint64_t Move(uint64_t bits, const std::string& element) const;
+  bool AcceptsElement(uint64_t bits) const;
+  bool AcceptsAttribute(uint64_t bits, const std::string& attr) const;
+  /// Any attribute test live in `bits` — the guard the product
+  /// construction stores per state to stay exact on attributes the DTD
+  /// does not declare.
+  bool HasAttributeTests(uint64_t bits) const;
+  bool has_predicates() const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<const Impl> impl_;
 };
 
 }  // namespace analysis

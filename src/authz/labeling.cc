@@ -35,51 +35,6 @@ constexpr LabelSlot kRD = LabelSlot::kRD;
 constexpr LabelSlot kLW = LabelSlot::kLW;
 constexpr LabelSlot kRW = LabelSlot::kRW;
 
-/// Which slot an authorization contributes to for a given target node.
-LabelSlot SlotFor(const Authorization& auth, bool schema_level,
-                  bool target_is_attribute) {
-  bool recursive = IsRecursive(auth.type);
-  if (target_is_attribute) recursive = false;  // R on attribute acts as L.
-  if (schema_level) return recursive ? kRD : kLD;
-  if (IsWeak(auth.type)) return recursive ? kRW : kLW;
-  return recursive ? kR : kL;
-}
-
-/// Resolves one node/slot candidate list: drop authorizations overridden
-/// by a strictly more specific subject, then combine the survivors per
-/// the conflict policy.
-TriSign ResolveSlot(const std::vector<const Authorization*>& candidates,
-                    const GroupStore& groups, ConflictPolicy policy) {
-  bool any_plus = false;
-  bool any_minus = false;
-  for (const Authorization* a : candidates) {
-    bool overridden = false;
-    for (const Authorization* b : candidates) {
-      if (a != b && SubjectLess(b->subject, a->subject, groups)) {
-        overridden = true;
-        break;
-      }
-    }
-    if (overridden) continue;
-    if (a->sign == Sign::kPlus) {
-      any_plus = true;
-    } else {
-      any_minus = true;
-    }
-  }
-  if (!any_plus && !any_minus) return TriSign::kEps;
-  switch (policy) {
-    case ConflictPolicy::kDenialsTakePrecedence:
-      return any_minus ? TriSign::kMinus : TriSign::kPlus;
-    case ConflictPolicy::kPermissionsTakePrecedence:
-      return any_plus ? TriSign::kPlus : TriSign::kMinus;
-    case ConflictPolicy::kNothingTakesPrecedence:
-      if (any_plus && any_minus) return TriSign::kEps;
-      return any_plus ? TriSign::kPlus : TriSign::kMinus;
-  }
-  return TriSign::kEps;
-}
-
 /// Bindings for `$user`, `$ip`, `$sym`, and `$time` inside authorization
 /// path expressions — self-referential policies such as
 /// `//record[@owner=$user]` need no per-user authorization entries.
@@ -197,15 +152,53 @@ class Propagator {
 
 }  // namespace
 
-Result<ExplicitSigns> ComputeExplicitSigns(
+LabelSlot SlotForTarget(const Authorization& auth, bool schema_level,
+                        bool target_is_attribute) {
+  bool recursive = IsRecursive(auth.type);
+  if (target_is_attribute) recursive = false;  // R on attribute acts as L.
+  if (schema_level) return recursive ? kRD : kLD;
+  if (IsWeak(auth.type)) return recursive ? kRW : kLW;
+  return recursive ? kR : kL;
+}
+
+TriSign ResolveSlotCandidates(const std::vector<const Authorization*>& candidates,
+                              const GroupStore& groups, ConflictPolicy policy) {
+  bool any_plus = false;
+  bool any_minus = false;
+  for (const Authorization* a : candidates) {
+    bool overridden = false;
+    for (const Authorization* b : candidates) {
+      if (a != b && SubjectLess(b->subject, a->subject, groups)) {
+        overridden = true;
+        break;
+      }
+    }
+    if (overridden) continue;
+    if (a->sign == Sign::kPlus) {
+      any_plus = true;
+    } else {
+      any_minus = true;
+    }
+  }
+  if (!any_plus && !any_minus) return TriSign::kEps;
+  switch (policy) {
+    case ConflictPolicy::kDenialsTakePrecedence:
+      return any_minus ? TriSign::kMinus : TriSign::kPlus;
+    case ConflictPolicy::kPermissionsTakePrecedence:
+      return any_plus ? TriSign::kPlus : TriSign::kMinus;
+    case ConflictPolicy::kNothingTakesPrecedence:
+      if (any_plus && any_minus) return TriSign::kEps;
+      return any_plus ? TriSign::kPlus : TriSign::kMinus;
+  }
+  return TriSign::kEps;
+}
+
+Result<SlotCandidates> CollectSlotCandidates(
     const Document& doc, std::span<const Authorization> instance_auths,
     std::span<const Authorization> schema_auths, const Requester& rq,
     const GroupStore& groups, PolicyOptions policy, LabelingStats* stats) {
-  const auto node_count = static_cast<size_t>(doc.node_count());
-  ExplicitSigns initial(node_count);
-
-  // Per (node, slot) candidate lists, sparse.
-  std::unordered_map<uint64_t, std::vector<const Authorization*>> candidates;
+  SlotCandidates out;
+  out.touched.assign(static_cast<size_t>(doc.node_count()), 0);
   const xpath::VariableBindings bindings = RequesterBindings(rq);
 
   auto collect = [&](std::span<const Authorization> auths,
@@ -226,11 +219,11 @@ Result<ExplicitSigns> ComputeExplicitSigns(
       }
       for (const Node* node : targets) {
         if (!node->IsElement() && !node->IsAttribute()) continue;
-        LabelSlot slot = SlotFor(auth, schema_level, node->IsAttribute());
-        uint64_t key =
-            static_cast<uint64_t>(node->doc_order()) * 6 +
-            static_cast<uint64_t>(slot);
-        candidates[key].push_back(&auth);
+        LabelSlot slot = SlotForTarget(auth, schema_level,
+                                       node->IsAttribute());
+        out.slots[SlotCandidates::KeyOf(node->doc_order(), slot)].push_back(
+            &auth);
+        out.touched[static_cast<size_t>(node->doc_order())] = 1;
       }
     }
     return Status::OK();
@@ -238,14 +231,32 @@ Result<ExplicitSigns> ComputeExplicitSigns(
 
   XMLSEC_RETURN_IF_ERROR(collect(instance_auths, /*schema_level=*/false));
   XMLSEC_RETURN_IF_ERROR(collect(schema_auths, /*schema_level=*/true));
+  return out;
+}
 
-  for (const auto& [key, auths] : candidates) {
+Result<ExplicitSigns> ComputeExplicitSigns(
+    const Document& doc, std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths, const Requester& rq,
+    const GroupStore& groups, PolicyOptions policy, LabelingStats* stats) {
+  ExplicitSigns initial(static_cast<size_t>(doc.node_count()));
+  XMLSEC_ASSIGN_OR_RETURN(
+      SlotCandidates candidates,
+      CollectSlotCandidates(doc, instance_auths, schema_auths, rq, groups,
+                            policy, stats));
+  for (const auto& [key, auths] : candidates.slots) {
     size_t node_index = key / 6;
     auto slot = static_cast<size_t>(key % 6);
     initial.MutableRow(node_index)[slot] =
-        ResolveSlot(auths, groups, policy.conflict);
+        ResolveSlotCandidates(auths, groups, policy.conflict);
   }
   return initial;
+}
+
+LabelMap PropagateSigns(const Document& doc, const ExplicitSigns& initial) {
+  LabelMap labels(static_cast<size_t>(doc.node_count()));
+  Propagator propagator(initial, &labels);
+  propagator.LabelRoot(doc.root());
+  return labels;
 }
 
 char TriSignToChar(TriSign s) { return SignChar(s); }
@@ -283,9 +294,7 @@ Result<LabelMap> TreeLabeler::Label(const Document& doc,
       ExplicitSigns initial,
       ComputeExplicitSigns(doc, instance_auths, schema_auths, rq, *groups_,
                            policy_, stats));
-  LabelMap labels(static_cast<size_t>(doc.node_count()));
-  Propagator propagator(initial, &labels);
-  propagator.LabelRoot(doc.root());
+  LabelMap labels = PropagateSigns(doc, initial);
   if (stats != nullptr) {
     stats->labeled_nodes = doc.node_count();
   }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -125,6 +126,15 @@ struct LabelingStats {
   int64_t xpath_evaluations = 0;
   int64_t target_nodes = 0;  ///< total nodes selected by authorizations
   int64_t labeled_nodes = 0;
+  /// Compiled-labeling split (zero under the pure XPath path): nodes
+  /// whose explicit signs came from an automaton table row vs. nodes a
+  /// residual (value-dependent) authorization landed on, requiring a
+  /// joint per-slot resolution with the XPath-evaluated candidates.
+  int64_t table_nodes = 0;
+  int64_t residual_nodes = 0;
+  /// 1 when a compiled labeling attempt aborted on a schema mismatch and
+  /// the request was served through the XPath path instead.
+  int64_t compiled_fallbacks = 0;
 };
 
 /// The compute-view tree labeler (paper Fig. 2).
@@ -174,6 +184,70 @@ Result<ExplicitSigns> ComputeExplicitSigns(
     std::span<const Authorization> schema_auths, const Requester& rq,
     const GroupStore& groups, PolicyOptions policy,
     LabelingStats* stats = nullptr);
+
+/// Which slot of the 6-tuple an authorization contributes to for a given
+/// target node.  Recursive types act as Local on attribute targets (an
+/// attribute has no subtree to propagate into).
+LabelSlot SlotForTarget(const Authorization& auth, bool schema_level,
+                        bool target_is_attribute);
+
+/// Resolves one (node, slot) candidate list: drop authorizations whose
+/// subject is strictly less specific than another candidate's, then
+/// combine the survivors per the conflict policy.  Order-independent;
+/// duplicate pointers are harmless.
+TriSign ResolveSlotCandidates(const std::vector<const Authorization*>& candidates,
+                              const GroupStore& groups, ConflictPolicy policy);
+
+/// Sparse per-(node, slot) candidate lists — the target-marking half of
+/// `initial_label`, before subject-specificity and conflict resolution.
+/// Keys are `doc_order * 6 + slot`; `touched[doc_order]` flags nodes
+/// holding at least one candidate.  The compiled labeling path collects
+/// these for the *residual* (value-dependent) authorizations only and
+/// joint-resolves them with the automaton's table candidates; the pure
+/// XPath path resolves them directly into an `ExplicitSigns`.
+struct SlotCandidates {
+  std::unordered_map<uint64_t, std::vector<const Authorization*>> slots;
+  std::vector<uint8_t> touched;
+
+  static uint64_t KeyOf(int64_t doc_order, LabelSlot slot) {
+    return static_cast<uint64_t>(doc_order) * 6 +
+           static_cast<uint64_t>(slot);
+  }
+};
+
+/// Requester filtering + XPath target marking for both authorization
+/// levels.  The returned pointers refer into the input spans.
+Result<SlotCandidates> CollectSlotCandidates(
+    const xml::Document& doc, std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths, const Requester& rq,
+    const GroupStore& groups, PolicyOptions policy,
+    LabelingStats* stats = nullptr);
+
+/// The pre-order propagation pass alone (paper Fig. 2, procedure
+/// `label`) over precomputed explicit signs.  `TreeLabeler::Label` is
+/// `ComputeExplicitSigns` followed by this; the compiled labeling path
+/// substitutes automaton table lookups for the first half.
+LabelMap PropagateSigns(const xml::Document& doc, const ExplicitSigns& initial);
+
+/// Interface of a schema-compiled explicit-sign source (implemented by
+/// `analysis::PolicyAutomaton`).  `ComputeSigns` replaces
+/// `ComputeExplicitSigns` on the serving path: statically decidable
+/// authorizations resolve by table lookup while residual value-dependent
+/// ones still evaluate through XPath.  When the document does not
+/// conform to the schema the engine was compiled from, the engine sets
+/// `*schema_mismatch` and returns; the caller must discard the result
+/// and fall back to the XPath path (fail-safe, never fail-open).
+class ExplicitSignEngine {
+ public:
+  virtual ~ExplicitSignEngine() = default;
+
+  virtual Result<ExplicitSigns> ComputeSigns(const xml::Document& doc,
+                                             const Requester& rq,
+                                             const GroupStore& groups,
+                                             PolicyOptions policy,
+                                             LabelingStats* stats,
+                                             bool* schema_mismatch) const = 0;
+};
 
 /// Reference labeler that applies the model's *declarative* semantics
 /// independently per node (for each node, walk its ancestor chain to find

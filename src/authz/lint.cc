@@ -133,6 +133,38 @@ std::vector<LintFinding> LintPolicy(
                   auth.object.path,
               index);
         }
+        // Compiled-labeling advisories (meaningful only when a schema
+        // is in play — without a DTD there is no automaton to defeat):
+        // a value-dependent or opaque path keeps this authorization on
+        // the per-request XPath path instead of the automaton's table.
+        if (path_analyzer != nullptr) {
+          analysis::PathClassification cls =
+              analysis::ClassifyPath(auth.object.path);
+          if (cls.verdict == analysis::PathCompilability::kValueDependent) {
+            std::string hint =
+                cls.residual_predicates.empty()
+                    ? std::string("a value-dependent predicate")
+                    : "predicate [" + cls.residual_predicates.front() + "]";
+            add(LintSeverity::kWarning, "value-dependent-path",
+                "object path defeats static compilation: " + hint +
+                    " depends on document values" +
+                    (cls.uses_requester_variables
+                         ? " or requester bindings ($user/$ip/$sym/$time)"
+                         : "") +
+                    "; the authorization is re-evaluated through XPath on "
+                    "every request — drop the predicate or split the "
+                    "policy by subject to make it table-resolvable",
+                index);
+          } else if (cls.verdict == analysis::PathCompilability::kOpaque) {
+            add(LintSeverity::kWarning, "opaque-path",
+                "object path is outside the statically compilable "
+                "fragment (" +
+                    cls.reason +
+                    "); the authorization always falls back to per-request "
+                    "XPath evaluation",
+                index);
+          }
+        }
       }
     }
 

@@ -25,6 +25,13 @@ int64_t NsSince(StageClock::time_point begin) {
 Result<View> SecurityProcessor::ComputeView(
     const xml::Document& doc, std::span<const Authorization> instance_auths,
     std::span<const Authorization> schema_auths, const Requester& rq) const {
+  return ComputeView(doc, instance_auths, schema_auths, rq, nullptr);
+}
+
+Result<View> SecurityProcessor::ComputeView(
+    const xml::Document& doc, std::span<const Authorization> instance_auths,
+    std::span<const Authorization> schema_auths, const Requester& rq,
+    const ExplicitSignEngine* engine) const {
   // Fault-injection site: a fault inside labeling/projection must abort
   // the whole view computation (fail closed) — a partially labeled tree
   // must never escape as a served view.
@@ -41,16 +48,48 @@ Result<View> SecurityProcessor::ComputeView(
   std::unique_ptr<xml::Document> view_doc;
 
   if (options_.pipeline == ViewPipeline::kProject) {
-    // Single-pass projection over the shared original (projector.h):
-    // explicit signs, then one fused propagate-and-copy walk.
-    ProjectionStats pstats;
-    XMLSEC_ASSIGN_OR_RETURN(
-        view_doc, ProjectView(doc, instance_auths, schema_auths, rq,
-                              *groups_, options_.policy, &pstats));
-    view.stats.labeling = pstats.labeling;
-    view.stats.prune = pstats.prune;
-    view.stats.label_ns = pstats.label_ns;
-    view.stats.project_ns = pstats.project_ns;
+    bool projected_compiled = false;
+    bool compiled_fallback = false;
+    if (options_.labeling == LabelingMode::kCompiled && engine != nullptr) {
+      // Compiled path: explicit signs come from the policy automaton's
+      // table rows (plus XPath for the residual authorizations), then
+      // the same fused propagate-and-copy walk — byte-identical views
+      // by construction.
+      StageClock::time_point stage_begin = StageClock::now();
+      bool schema_mismatch = false;
+      XMLSEC_ASSIGN_OR_RETURN(
+          ExplicitSigns signs,
+          engine->ComputeSigns(doc, rq, *groups_, options_.policy,
+                               &view.stats.labeling, &schema_mismatch));
+      if (schema_mismatch) {
+        // The document does not conform to the schema the automaton was
+        // compiled from: discard and serve through the XPath path.
+        view.stats.labeling = LabelingStats{};
+        compiled_fallback = true;
+      } else {
+        view.stats.label_ns = NsSince(stage_begin);
+        stage_begin = StageClock::now();
+        XMLSEC_ASSIGN_OR_RETURN(
+            view_doc, ProjectWithSigns(doc, signs,
+                                       options_.policy.completeness,
+                                       &view.stats.prune));
+        view.stats.project_ns = NsSince(stage_begin);
+        projected_compiled = true;
+      }
+    }
+    if (!projected_compiled) {
+      // Single-pass projection over the shared original (projector.h):
+      // explicit signs, then one fused propagate-and-copy walk.
+      ProjectionStats pstats;
+      XMLSEC_ASSIGN_OR_RETURN(
+          view_doc, ProjectView(doc, instance_auths, schema_auths, rq,
+                                *groups_, options_.policy, &pstats));
+      view.stats.labeling = pstats.labeling;
+      view.stats.prune = pstats.prune;
+      view.stats.label_ns = pstats.label_ns;
+      view.stats.project_ns = pstats.project_ns;
+      if (compiled_fallback) view.stats.labeling.compiled_fallbacks = 1;
+    }
   } else {
     // Paper-literal pipeline: work on a clone so the cached original
     // stays intact, label it, prune it back down.

@@ -31,6 +31,20 @@ enum class ViewPipeline {
   kCloneLabelPrune,
 };
 
+/// Which explicit-sign source feeds the projection pipeline.
+enum class LabelingMode {
+  /// Evaluate every applicable authorization's XPath per request
+  /// (labeling.cc) — the always-correct baseline.
+  kXPath,
+  /// Table lookups in a schema-compiled policy automaton
+  /// (analysis/policy_automaton.h) for statically decidable
+  /// authorizations, XPath only for the residual value-dependent ones.
+  /// Requires an `ExplicitSignEngine`; without one — or when the engine
+  /// reports a schema mismatch — the request silently serves through
+  /// the XPath path (`LabelingStats::compiled_fallbacks`).
+  kCompiled,
+};
+
 /// Configuration of the security processor.
 struct ProcessorOptions {
   PolicyOptions policy;
@@ -38,6 +52,7 @@ struct ProcessorOptions {
   /// the construction — §6.2); enable in tests and debugging.
   bool validate_output = false;
   ViewPipeline pipeline = ViewPipeline::kProject;
+  LabelingMode labeling = LabelingMode::kXPath;
 };
 
 /// Aggregated metrics of one view computation.
@@ -103,6 +118,18 @@ class SecurityProcessor {
                            std::span<const Authorization> instance_auths,
                            std::span<const Authorization> schema_auths,
                            const Requester& rq) const;
+
+  /// As above, labeling through `engine` when
+  /// `options().labeling == LabelingMode::kCompiled` and `engine` is
+  /// non-null.  The engine must have been compiled from the same policy
+  /// (instance + schema authorization sets) passed here — the spans are
+  /// still needed for the XPath fallback when the document mismatches
+  /// the compiled schema.
+  Result<View> ComputeView(const xml::Document& doc,
+                           std::span<const Authorization> instance_auths,
+                           std::span<const Authorization> schema_auths,
+                           const Requester& rq,
+                           const ExplicitSignEngine* engine) const;
 
   const ProcessorOptions& options() const { return options_; }
 

@@ -195,12 +195,30 @@ Result<std::unique_ptr<Document>> ProjectView(
   if (stats != nullptr) {
     stats->labeling.labeled_nodes = doc.node_count();
     stats->label_ns = NsSince(stage_begin);
-    stats->prune.nodes_before = doc.node_count();
   }
 
   stage_begin = StageClock::now();
-  PruneStats* prune_stats = stats != nullptr ? &stats->prune : nullptr;
-  Projector projector(initial, policy.completeness, prune_stats);
+  XMLSEC_ASSIGN_OR_RETURN(
+      std::unique_ptr<Document> out,
+      ProjectWithSigns(doc, initial, policy.completeness,
+                       stats != nullptr ? &stats->prune : nullptr));
+  if (stats != nullptr) {
+    stats->project_ns = NsSince(stage_begin);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Document>> ProjectWithSigns(const Document& doc,
+                                                   const ExplicitSigns& initial,
+                                                   CompletenessPolicy completeness,
+                                                   PruneStats* stats) {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("document has no root element");
+  }
+  if (stats != nullptr) {
+    stats->nodes_before = doc.node_count();
+  }
+  Projector projector(initial, completeness, stats);
 
   auto out = std::make_unique<Document>();
   if (doc.has_xml_decl()) {
@@ -232,8 +250,7 @@ Result<std::unique_ptr<Document>> ProjectView(
   }
   out->Reindex();
   if (stats != nullptr) {
-    stats->prune.nodes_after = out->node_count();
-    stats->project_ns = NsSince(stage_begin);
+    stats->nodes_after = out->node_count();
   }
   return out;
 }

@@ -60,6 +60,17 @@ Result<std::unique_ptr<xml::Document>> ProjectView(
     const GroupStore& groups, PolicyOptions policy,
     ProjectionStats* stats = nullptr);
 
+/// The fused propagate-and-copy walk alone, over precomputed explicit
+/// signs.  `ProjectView` is `ComputeExplicitSigns` followed by this; the
+/// compiled labeling path (`ProcessorOptions::labeling = kCompiled`)
+/// substitutes automaton table lookups for the first half and reuses
+/// this walk unchanged, which is what makes its views byte-identical to
+/// the XPath pipelines by construction.  Fills `stats` (when given) with
+/// the pruner-compatible counters, including `nodes_before`/`nodes_after`.
+Result<std::unique_ptr<xml::Document>> ProjectWithSigns(
+    const xml::Document& doc, const ExplicitSigns& initial,
+    CompletenessPolicy completeness, PruneStats* stats = nullptr);
+
 }  // namespace authz
 }  // namespace xmlsec
 

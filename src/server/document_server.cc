@@ -82,6 +82,27 @@ SecureDocumentServer::SecureDocumentServer(const Repository* repository,
         obs::DefaultLatencyBoundsNs(), 1e-9,
         {{"stage", std::string(stage)}});
   }
+  instruments_.automaton_compiles = registry->GetCounter(
+      "xmlsec_policy_automaton_compiles_total",
+      "policy automata compiled (per document, on policy change)");
+  instruments_.automaton_compile_failures = registry->GetCounter(
+      "xmlsec_policy_automaton_compile_failures_total",
+      "policy-automaton compiles that failed (the document serves "
+      "through the XPath path)");
+  instruments_.compiled_table_nodes = registry->GetCounter(
+      "xmlsec_compiled_table_nodes_total",
+      "nodes labeled by automaton table lookup");
+  instruments_.compiled_residual_nodes = registry->GetCounter(
+      "xmlsec_compiled_residual_nodes_total",
+      "nodes labeled through residual (value-dependent) XPath "
+      "evaluations under compiled labeling");
+  instruments_.compiled_fallbacks = registry->GetCounter(
+      "xmlsec_compiled_fallbacks_total",
+      "compiled-labeling requests that fell back to the XPath path "
+      "(schema mismatch)");
+  instruments_.automaton_states = registry->GetGauge(
+      "xmlsec_policy_automaton_states",
+      "state count of the most recently compiled policy automaton");
   cache_.BindMetrics(
       registry->GetCounter("xmlsec_view_cache_hits_total",
                            "view-cache hits"),
@@ -112,6 +133,41 @@ obs::Histogram* SecureDocumentServer::Instruments::Stage(
   return it == stages.end() ? nullptr : it->second;
 }
 
+std::shared_ptr<const analysis::PolicyAutomaton>
+SecureDocumentServer::AutomatonFor(
+    const std::string& uri, const xml::Document& doc,
+    std::span<const authz::Authorization> instance,
+    std::span<const authz::Authorization> schema) const {
+  if (doc.dtd() == nullptr) return nullptr;
+  const uint64_t version = repository_->version();
+  {
+    std::lock_guard<std::mutex> lock(automata_mutex_);
+    auto it = automata_.find(uri);
+    if (it != automata_.end() && it->second.version == version) {
+      return it->second.automaton;
+    }
+  }
+  // Compile outside the lock — only the winner of a racing recompile is
+  // kept, which is harmless (same inputs, same automaton).
+  Result<std::unique_ptr<analysis::PolicyAutomaton>> compiled =
+      analysis::PolicyAutomaton::Compile(*doc.dtd(), instance, schema);
+  std::shared_ptr<const analysis::PolicyAutomaton> automaton;
+  if (compiled.ok()) {
+    automaton = std::shared_ptr<const analysis::PolicyAutomaton>(
+        std::move(*compiled));
+    instruments_.automaton_compiles->Inc();
+    instruments_.automaton_states->Set(
+        static_cast<int64_t>(automaton->stats().states));
+  } else {
+    // Memoize the failure too: the XPath path stays correct, and the
+    // compile is not retried until the repository changes.
+    instruments_.automaton_compile_failures->Inc();
+  }
+  std::lock_guard<std::mutex> lock(automata_mutex_);
+  automata_[uri] = AutomatonEntry{version, automaton};
+  return automaton;
+}
+
 Result<authz::View> SecureDocumentServer::ComputeView(
     const authz::Requester& rq, std::string_view uri) const {
   const auto lookup_begin = obs::RequestTrace::Clock::now();
@@ -140,10 +196,22 @@ Result<authz::View> SecureDocumentServer::ComputeView(
   options.policy = repository_->PolicyOf(uri, options.policy);
   const int64_t lookup_ns =
       NsBetween(lookup_begin, obs::RequestTrace::Clock::now());
+  std::shared_ptr<const analysis::PolicyAutomaton> automaton;
+  if (options.labeling == authz::LabelingMode::kCompiled &&
+      options.pipeline == authz::ViewPipeline::kProject) {
+    automaton = AutomatonFor(std::string(uri), *doc, instance, schema);
+  }
   authz::SecurityProcessor processor(groups_, options);
   Result<authz::View> view =
-      processor.ComputeView(*doc, instance, schema, rq);
-  if (view.ok()) view->stats.lookup_ns = lookup_ns;
+      processor.ComputeView(*doc, instance, schema, rq, automaton.get());
+  if (view.ok()) {
+    view->stats.lookup_ns = lookup_ns;
+    instruments_.compiled_table_nodes->Inc(view->stats.labeling.table_nodes);
+    instruments_.compiled_residual_nodes->Inc(
+        view->stats.labeling.residual_nodes);
+    instruments_.compiled_fallbacks->Inc(
+        view->stats.labeling.compiled_fallbacks);
+  }
   return view;
 }
 

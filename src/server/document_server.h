@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "analysis/policy_automaton.h"
 #include "authz/processor.h"
 #include "authz/subject.h"
 #include "obs/metrics.h"
@@ -140,6 +141,17 @@ class SecureDocumentServer {
     /// clone, label, prune, loosen, query, serialize, cache_put,
     /// audit).
     std::map<std::string_view, obs::Histogram*> stages;
+    /// Compiled-labeling instrumentation (LabelingMode::kCompiled):
+    /// automaton (re)compiles and failures, nodes labeled by table
+    /// lookup vs. through the residual XPath evaluations, requests that
+    /// fell back to the XPath path on a schema mismatch, and the state
+    /// count of the most recently compiled automaton.
+    obs::Counter* automaton_compiles = nullptr;
+    obs::Counter* automaton_compile_failures = nullptr;
+    obs::Counter* compiled_table_nodes = nullptr;
+    obs::Counter* compiled_residual_nodes = nullptr;
+    obs::Counter* compiled_fallbacks = nullptr;
+    obs::Gauge* automaton_states = nullptr;
     /// Lazily-populated per-status response counters
     /// (`xmlsec_http_responses_total{status="..."}`).
     mutable std::mutex status_mutex;
@@ -167,6 +179,24 @@ class SecureDocumentServer {
   CacheKeyInfo NormalizedCacheKey(const authz::Requester& rq,
                                   const std::string& uri) const;
 
+  /// One memoized policy automaton per document URI, compiled from the
+  /// document's DTD and its (document, DTD) authorization sets at a
+  /// repository version.  A null `automaton` memoizes a failed compile
+  /// (state-cap overflow, rootless DTD): the document keeps serving
+  /// through the XPath path without retrying the compile per request.
+  struct AutomatonEntry {
+    uint64_t version = 0;
+    std::shared_ptr<const analysis::PolicyAutomaton> automaton;
+  };
+
+  /// Returns the cached automaton for `uri`, (re)compiling when the
+  /// repository changed since the cached entry.  nullptr when the
+  /// document has no DTD or the policy does not compile.
+  std::shared_ptr<const analysis::PolicyAutomaton> AutomatonFor(
+      const std::string& uri, const xml::Document& doc,
+      std::span<const authz::Authorization> instance,
+      std::span<const authz::Authorization> schema) const;
+
   const Repository* repository_;
   const UserDirectory* users_;
   const authz::GroupStore* groups_;
@@ -175,6 +205,8 @@ class SecureDocumentServer {
   /// transports (the TCP listener serves from many threads) never
   /// serialize on a server-global cache mutex.
   mutable ViewCache cache_;
+  mutable std::mutex automata_mutex_;
+  mutable std::map<std::string, AutomatonEntry, std::less<>> automata_;
   AuditLog* audit_ = nullptr;
   Instruments instruments_;
 };

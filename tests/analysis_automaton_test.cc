@@ -1,0 +1,381 @@
+// Unit tests of the schema-compiled policy automaton: decidability
+// classification, the product construction, the decidability report,
+// table-lookup labeling, residual handling, and the schema-mismatch
+// guard (analysis/policy_automaton.h).
+
+#include "analysis/policy_automaton.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/schema_paths.h"
+#include "authz/labeling.h"
+#include "workload/authgen.h"
+#include "workload/docgen.h"
+#include "xml/dtd_parser.h"
+#include "xml/parser.h"
+#include "xml/validator.h"
+
+namespace xmlsec {
+namespace analysis {
+namespace {
+
+using authz::Authorization;
+using authz::AuthType;
+using authz::ExplicitSigns;
+using authz::GroupStore;
+using authz::LabelingStats;
+using authz::PolicyOptions;
+using authz::Requester;
+using authz::Sign;
+using authz::Subject;
+
+Authorization Auth(const std::string& group, const std::string& uri,
+                   const std::string& path, Sign sign, AuthType type) {
+  Authorization auth;
+  auth.subject = *Subject::Make(group, "*", "*");
+  auth.object.uri = uri;
+  auth.object.path = path;
+  auth.sign = sign;
+  auth.type = type;
+  return auth;
+}
+
+std::unique_ptr<xml::Dtd> Dtd(const std::string& source,
+                              const std::string& name) {
+  auto dtd = xml::ParseDtd(source);
+  EXPECT_TRUE(dtd.ok()) << dtd.status();
+  (*dtd)->set_name(name);
+  return std::move(*dtd);
+}
+
+Requester Tom() {
+  Requester rq;
+  rq.user = "tom";
+  rq.ip = "1.2.3.4";
+  rq.sym = "host.example";
+  return rq;
+}
+
+// --- Classification -----------------------------------------------------
+
+TEST(ClassifyPathTest, PredicateFreeChildDescendantPathsAreDecidable) {
+  for (const char* path :
+       {"", "/r", "/r/a/b", "//a", "/r//a", "//a/@k", "//a | //b",
+        "descendant-or-self::node()/child::a"}) {
+    PathClassification c = ClassifyPath(path);
+    EXPECT_EQ(c.verdict, PathCompilability::kDecidable) << path;
+    EXPECT_TRUE(c.residual_predicates.empty()) << path;
+  }
+}
+
+TEST(ClassifyPathTest, PredicatesAreValueDependent) {
+  PathClassification c = ClassifyPath("//a[./@k=\"v\"]");
+  EXPECT_EQ(c.verdict, PathCompilability::kValueDependent);
+  ASSERT_EQ(c.residual_predicates.size(), 1u);
+  EXPECT_NE(c.residual_predicates[0].find("attribute::k"),
+            std::string::npos);
+  EXPECT_FALSE(c.uses_requester_variables);
+}
+
+TEST(ClassifyPathTest, RequesterVariablesAreFlagged) {
+  PathClassification c = ClassifyPath("//a[./@owner=$user]");
+  EXPECT_EQ(c.verdict, PathCompilability::kValueDependent);
+  EXPECT_TRUE(c.uses_requester_variables);
+}
+
+TEST(ClassifyPathTest, UnsupportedAxesAreOpaque) {
+  PathClassification c = ClassifyPath("//a/parent::r");
+  EXPECT_EQ(c.verdict, PathCompilability::kOpaque);
+  EXPECT_FALSE(c.reason.empty());
+}
+
+TEST(ClassifyPathTest, UnparsablePathIsOpaque) {
+  PathClassification c = ClassifyPath("//a[unclosed");
+  EXPECT_EQ(c.verdict, PathCompilability::kOpaque);
+  EXPECT_NE(c.reason.find("does not compile"), std::string::npos);
+}
+
+TEST(ClassifyAuthorizationsTest, OrderIsInstanceThenSchema) {
+  std::vector<Authorization> instance = {
+      Auth("G", "d.xml", "//a", Sign::kPlus, AuthType::kRecursive)};
+  std::vector<Authorization> schema = {
+      Auth("G", "s.dtd", "//a[./@k=\"v\"]", Sign::kMinus,
+           AuthType::kRecursive)};
+  auto classes = ClassifyAuthorizations(instance, schema);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].decidability, Decidability::kDecidable);
+  EXPECT_FALSE(classes[0].schema_level);
+  EXPECT_EQ(classes[1].decidability, Decidability::kPartial);
+  EXPECT_TRUE(classes[1].schema_level);
+
+  std::string report = DecidabilityReport(instance, schema, classes);
+  EXPECT_NE(report.find("1 decidable, 1 partially-decidable, 0 opaque"),
+            std::string::npos);
+  EXPECT_NE(report.find("auth#0 [instance] decidable"), std::string::npos);
+  EXPECT_NE(report.find("auth#1 [schema] partially-decidable"),
+            std::string::npos);
+}
+
+// --- Compilation --------------------------------------------------------
+
+TEST(PolicyAutomatonTest, RootlessDtdDoesNotCompile) {
+  xml::Dtd empty;
+  auto automaton = PolicyAutomaton::Compile(empty, {}, {});
+  EXPECT_FALSE(automaton.ok());
+}
+
+TEST(PolicyAutomatonTest, StateCapOverflowFailsCompile) {
+  auto dtd = Dtd("<!ELEMENT r (a)>\n<!ELEMENT a (a?)>", "r");
+  std::vector<Authorization> instance = {
+      Auth("G", "d.xml", "/r/a/a/a/a", Sign::kMinus, AuthType::kLocal)};
+  AutomatonOptions options;
+  options.max_states = 3;  // The chain alone needs more contexts.
+  auto automaton = PolicyAutomaton::Compile(*dtd, instance, {}, options);
+  EXPECT_FALSE(automaton.ok());
+  EXPECT_NE(automaton.status().message().find("state cap"),
+            std::string::npos);
+}
+
+TEST(PolicyAutomatonTest, RecursiveDtdFoldsIntoFiniteStates) {
+  // part is recursive; the automaton must fold the unbounded tag words
+  // into finitely many (element, NFA-set) contexts.
+  auto dtd = Dtd("<!ELEMENT r (part*)>\n<!ELEMENT part (part*)>", "r");
+  std::vector<Authorization> instance = {
+      Auth("G", "d.xml", "//part", Sign::kPlus, AuthType::kRecursive)};
+  auto automaton = PolicyAutomaton::Compile(*dtd, instance, {});
+  ASSERT_TRUE(automaton.ok()) << automaton.status();
+  // document, r, and the (saturated) part context(s): tiny, not
+  // depth-dependent.
+  EXPECT_LE((*automaton)->stats().states, 4u);
+}
+
+TEST(PolicyAutomatonTest, ReportCarriesHeaderAndVerdicts) {
+  auto dtd = Dtd("<!ELEMENT r (a*)>\n<!ELEMENT a (#PCDATA)>", "r");
+  std::vector<Authorization> instance = {
+      Auth("G", "d.xml", "//a", Sign::kPlus, AuthType::kRecursive),
+      Auth("G", "d.xml", "//a[./@k=\"v\"]", Sign::kMinus, AuthType::kLocal)};
+  auto automaton = PolicyAutomaton::Compile(*dtd, instance, {});
+  ASSERT_TRUE(automaton.ok());
+  std::string report = (*automaton)->Report();
+  EXPECT_NE(report.find("policy automaton over root 'r'"),
+            std::string::npos);
+  EXPECT_NE(report.find("partially-decidable"), std::string::npos);
+  EXPECT_EQ((*automaton)->stats().decidable_auths, 1u);
+  EXPECT_EQ((*automaton)->stats().partial_auths, 1u);
+}
+
+// --- Labeling through the table -----------------------------------------
+
+/// Compiles, labels `xml` through the automaton, and returns the signs
+/// with the oracle's signs for comparison.
+struct LabeledPair {
+  ExplicitSigns compiled;
+  ExplicitSigns oracle;
+  LabelingStats stats;
+  bool mismatch = false;
+};
+
+LabeledPair LabelBothWays(const std::string& xml_text,
+                          const std::string& dtd_text,
+                          std::vector<Authorization> instance,
+                          std::vector<Authorization> schema = {}) {
+  LabeledPair out;
+  auto doc = xml::ParseDocument(xml_text);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  auto dtd = Dtd(dtd_text, (*doc)->root()->tag());
+  (*doc)->set_dtd(std::move(dtd));
+  EXPECT_TRUE(xml::ValidateDocument(doc->get()).ok());
+  (*doc)->Reindex();
+
+  auto automaton =
+      PolicyAutomaton::Compile(*(*doc)->dtd(), instance, schema);
+  EXPECT_TRUE(automaton.ok()) << automaton.status();
+  GroupStore groups;
+  EXPECT_TRUE(groups.AddMembership("tom", "G").ok());
+  auto compiled = (*automaton)->ComputeSigns(
+      **doc, Tom(), groups, PolicyOptions{}, &out.stats, &out.mismatch);
+  EXPECT_TRUE(compiled.ok()) << compiled.status();
+  auto oracle = authz::ComputeExplicitSigns(**doc, instance, schema, Tom(),
+                                            groups, PolicyOptions{});
+  EXPECT_TRUE(oracle.ok());
+  out.compiled = std::move(*compiled);
+  out.oracle = std::move(*oracle);
+  return out;
+}
+
+void ExpectSameSigns(LabeledPair& pair) {
+  ASSERT_EQ(pair.compiled.size(), pair.oracle.size());
+  for (size_t i = 0; i < pair.compiled.size(); ++i) {
+    for (size_t s = 0; s < 6; ++s) {
+      EXPECT_EQ(pair.compiled.MutableRow(i)[s], pair.oracle.MutableRow(i)[s])
+          << "node " << i << " slot " << s;
+    }
+  }
+}
+
+TEST(PolicyAutomatonTest, TableSignsMatchXPathSigns) {
+  LabeledPair pair = LabelBothWays(
+      "<r><a k=\"1\"><b>x</b></a><a k=\"2\"><b>y</b></a></r>",
+      "<!ELEMENT r (a*)>\n<!ELEMENT a (b*)>\n<!ELEMENT b (#PCDATA)>\n"
+      "<!ATTLIST a k CDATA #IMPLIED>",
+      {Auth("G", "d.xml", "/r", Sign::kPlus, AuthType::kRecursive),
+       Auth("G", "d.xml", "//b", Sign::kMinus, AuthType::kLocal),
+       Auth("G", "d.xml", "//a/@k", Sign::kMinus, AuthType::kLocal)});
+  EXPECT_FALSE(pair.mismatch);
+  ExpectSameSigns(pair);
+  EXPECT_EQ(pair.stats.xpath_evaluations, 0);
+  EXPECT_EQ(pair.stats.residual_nodes, 0);
+  EXPECT_GT(pair.stats.table_nodes, 0);
+}
+
+TEST(PolicyAutomatonTest, ResidualAndTableResolveJointly) {
+  // The decidable denial and the residual (predicated) permission land
+  // on the same node: joint resolution must apply the conflict policy
+  // across the split exactly like the pure XPath path.
+  LabeledPair pair = LabelBothWays(
+      "<r><a k=\"v\">x</a></r>",
+      "<!ELEMENT r (a*)>\n<!ELEMENT a (#PCDATA)>\n"
+      "<!ATTLIST a k CDATA #IMPLIED>",
+      {Auth("G", "d.xml", "//a", Sign::kMinus, AuthType::kLocal),
+       Auth("G", "d.xml", "//a[./@k=\"v\"]", Sign::kPlus,
+            AuthType::kLocal)});
+  EXPECT_FALSE(pair.mismatch);
+  ExpectSameSigns(pair);
+  EXPECT_EQ(pair.stats.xpath_evaluations, 1);
+  EXPECT_GT(pair.stats.residual_nodes, 0);
+}
+
+TEST(PolicyAutomatonTest, SubjectSpecificityOverridesAcrossTheSplit) {
+  // A more specific subject (user) on the residual side must override a
+  // less specific one (group) resolved from the table — the joint
+  // resolution spans both candidate lists.
+  auto doc = xml::ParseDocument("<r><a k=\"v\">x</a></r>");
+  ASSERT_TRUE(doc.ok());
+  auto dtd = Dtd(
+      "<!ELEMENT r (a*)>\n<!ELEMENT a (#PCDATA)>\n"
+      "<!ATTLIST a k CDATA #IMPLIED>",
+      "r");
+  (*doc)->set_dtd(std::move(dtd));
+  ASSERT_TRUE(xml::ValidateDocument(doc->get()).ok());
+  (*doc)->Reindex();
+
+  GroupStore groups;
+  ASSERT_TRUE(groups.AddMembership("tom", "Staff").ok());
+  std::vector<Authorization> instance = {
+      Auth("Staff", "d.xml", "//a", Sign::kMinus, AuthType::kLocal),
+      Auth("tom", "d.xml", "//a[./@k=\"v\"]", Sign::kPlus,
+           AuthType::kLocal)};
+  auto automaton =
+      PolicyAutomaton::Compile(*(*doc)->dtd(), instance, {});
+  ASSERT_TRUE(automaton.ok());
+  bool mismatch = false;
+  auto compiled = (*automaton)->ComputeSigns(**doc, Tom(), groups,
+                                             PolicyOptions{}, nullptr,
+                                             &mismatch);
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_FALSE(mismatch);
+  auto oracle = authz::ComputeExplicitSigns(**doc, instance, {}, Tom(),
+                                            groups, PolicyOptions{});
+  ASSERT_TRUE(oracle.ok());
+  const xml::Node* a = (*doc)->root()->children()[0].get();
+  // tom's permission wins over Staff's denial despite the conflict
+  // policy preferring denials (most specific subject first).
+  EXPECT_EQ(compiled->Get(a, authz::LabelSlot::kL), authz::TriSign::kPlus);
+  EXPECT_EQ(oracle->Get(a, authz::LabelSlot::kL), authz::TriSign::kPlus);
+}
+
+TEST(PolicyAutomatonTest, UndeclaredElementSetsMismatch) {
+  auto doc = xml::ParseDocument("<r><zzz/></r>");
+  ASSERT_TRUE(doc.ok());
+  (*doc)->Reindex();
+  auto dtd = Dtd("<!ELEMENT r (a*)>\n<!ELEMENT a (#PCDATA)>", "r");
+  std::vector<Authorization> instance = {
+      Auth("G", "d.xml", "/r", Sign::kPlus, AuthType::kRecursive)};
+  auto automaton = PolicyAutomaton::Compile(*dtd, instance, {});
+  ASSERT_TRUE(automaton.ok());
+  GroupStore groups;
+  bool mismatch = false;
+  auto signs = (*automaton)->ComputeSigns(**doc, Tom(), groups,
+                                          PolicyOptions{}, nullptr,
+                                          &mismatch);
+  ASSERT_TRUE(signs.ok());
+  EXPECT_TRUE(mismatch);
+}
+
+TEST(PolicyAutomatonTest, UndeclaredAttributeIsSafeWithoutAttrTests) {
+  // No compiled authorization tests attributes, so an undeclared
+  // attribute is provably untargeted by the decidable set: no fallback.
+  auto doc = xml::ParseDocument("<r><a extra=\"1\">x</a></r>");
+  ASSERT_TRUE(doc.ok());
+  (*doc)->Reindex();
+  auto dtd = Dtd("<!ELEMENT r (a*)>\n<!ELEMENT a (#PCDATA)>", "r");
+  std::vector<Authorization> instance = {
+      Auth("G", "d.xml", "//a", Sign::kPlus, AuthType::kRecursive)};
+  auto automaton = PolicyAutomaton::Compile(*dtd, instance, {});
+  ASSERT_TRUE(automaton.ok());
+  GroupStore groups;
+  bool mismatch = false;
+  auto signs = (*automaton)->ComputeSigns(**doc, Tom(), groups,
+                                          PolicyOptions{}, nullptr,
+                                          &mismatch);
+  ASSERT_TRUE(signs.ok());
+  EXPECT_FALSE(mismatch);
+
+  // With a live attribute test in that context, the same undeclared
+  // attribute cannot be proven untargeted: fallback.
+  std::vector<Authorization> with_attr = {
+      Auth("G", "d.xml", "//a", Sign::kPlus, AuthType::kRecursive),
+      Auth("G", "d.xml", "//a/@k", Sign::kMinus, AuthType::kLocal)};
+  auto automaton2 = PolicyAutomaton::Compile(*dtd, with_attr, {});
+  ASSERT_TRUE(automaton2.ok());
+  mismatch = false;
+  signs = (*automaton2)->ComputeSigns(**doc, Tom(), groups,
+                                      PolicyOptions{}, nullptr, &mismatch);
+  ASSERT_TRUE(signs.ok());
+  EXPECT_TRUE(mismatch);
+}
+
+TEST(PolicyAutomatonTest, RandomizedWorkloadSignsMatchOracle) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    workload::DocGenConfig doc_config;
+    doc_config.depth = 4;
+    doc_config.fanout = 3;
+    doc_config.seed = seed;
+    auto doc = workload::GenerateDocument(doc_config);
+    ASSERT_NE(doc->dtd(), nullptr);
+    workload::AuthGenConfig auth_config;
+    auth_config.count = 48;
+    auth_config.seed = seed * 31 + 5;
+    auto workload = workload::GenerateAuthorizations(*doc, "d.xml", "s.dtd",
+                                                     auth_config);
+    auto automaton = PolicyAutomaton::Compile(
+        *doc->dtd(), workload.instance_auths, workload.schema_auths);
+    ASSERT_TRUE(automaton.ok()) << automaton.status();
+    bool mismatch = false;
+    LabelingStats stats;
+    auto compiled = (*automaton)->ComputeSigns(
+        *doc, workload.requester, workload.groups, PolicyOptions{}, &stats,
+        &mismatch);
+    ASSERT_TRUE(compiled.ok());
+    ASSERT_FALSE(mismatch) << "seed " << seed;
+    auto oracle = authz::ComputeExplicitSigns(
+        *doc, workload.instance_auths, workload.schema_auths,
+        workload.requester, workload.groups, PolicyOptions{});
+    ASSERT_TRUE(oracle.ok());
+    ASSERT_EQ(compiled->size(), oracle->size());
+    for (size_t i = 0; i < compiled->size(); ++i) {
+      for (size_t s = 0; s < 6; ++s) {
+        ASSERT_EQ(compiled->MutableRow(i)[s], oracle->MutableRow(i)[s])
+            << "seed " << seed << " node " << i << " slot " << s;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace xmlsec

@@ -96,6 +96,54 @@ class ServerMetricsTest : public ::testing::Test {
   std::unique_ptr<TcpHttpListener> listener_;
 };
 
+TEST_F(ServerMetricsTest, CompiledLabelingServesIdenticalViews) {
+#ifdef XMLSEC_METRICS_NOOP
+  GTEST_SKIP() << "counters compiled out in the ablation build";
+#endif
+  // A second server over the same repository with the schema-compiled
+  // labeling engine: views must be byte-identical to the XPath server's,
+  // the automaton must compile once and be reused, and no request may
+  // fall back (the document is valid against its DTD).
+  obs::MetricsRegistry compiled_registry;
+  ServerConfig config;
+  config.metrics = &compiled_registry;
+  config.processor.labeling = authz::LabelingMode::kCompiled;
+  SecureDocumentServer compiled_server(&repo_, &users_, &groups_, config);
+
+  ServerRequest request;
+  request.user = "tom";
+  request.password = "secret";
+  request.ip = "150.100.30.8";
+  request.sym = "client.lab.example";
+  request.uri = "CSlab.xml";
+
+  ServerResponse xpath_response = server_->Handle(request);
+  ServerResponse first = compiled_server.Handle(request);
+  ServerResponse second = compiled_server.Handle(request);
+  ASSERT_EQ(xpath_response.http_status, 200);
+  ASSERT_EQ(first.http_status, 200);
+  EXPECT_EQ(first.body_view(), xpath_response.body_view());
+  EXPECT_EQ(second.body_view(), xpath_response.body_view());
+  EXPECT_NE(first.body_view().find("Known"), std::string_view::npos);
+  EXPECT_EQ(first.body_view().find("Secret"), std::string_view::npos);
+
+  auto value = [&](const char* name) {
+    return compiled_registry
+        .GetCounter(name, "")
+        ->Value();
+  };
+  EXPECT_EQ(value("xmlsec_policy_automaton_compiles_total"), 1);
+  EXPECT_EQ(value("xmlsec_policy_automaton_compile_failures_total"), 0);
+  EXPECT_EQ(value("xmlsec_compiled_fallbacks_total"), 0);
+  EXPECT_GT(value("xmlsec_compiled_table_nodes_total"), 0);
+  // The private-paper denial carries a value predicate: residual.
+  EXPECT_GT(value("xmlsec_compiled_residual_nodes_total"), 0);
+  EXPECT_GT(compiled_registry
+                .GetGauge("xmlsec_policy_automaton_states", "")
+                ->Value(),
+            0);
+}
+
 TEST_F(ServerMetricsTest, MetricsEndpointSpeaksPrometheus) {
   auto served = FetchHttp(listener_->port(), AuthRequest());
   ASSERT_TRUE(served.ok()) << served.status();

@@ -1,10 +1,15 @@
-// Differential property suite for the single-pass view projector: on
-// randomized docgen/authgen workloads, under every conflict-resolution
-// and completeness option, the projection pipeline must produce views
-// that are BYTE-IDENTICAL (once serialized, loosened DTD included) to
-// the paper-literal clone → label → prune pipeline, with equal stage
-// statistics — plus a concurrent-serving test that exercises the
-// sharded view cache under ThreadSanitizer.
+// Differential property suite for the view pipelines: on randomized
+// docgen/authgen workloads, under every conflict-resolution and
+// completeness option, three implementations must produce views that
+// are BYTE-IDENTICAL once serialized (loosened DTD included):
+//
+//   1. the paper-literal clone → label → prune oracle,
+//   2. the fused single-pass projector (XPath labeling),
+//   3. the schema-compiled policy automaton feeding the same projector
+//      (table lookups + residual XPath, analysis/policy_automaton.h),
+//
+// with equal stage statistics — plus a concurrent-serving test that
+// exercises the sharded view cache under ThreadSanitizer.
 
 #include <gtest/gtest.h>
 
@@ -14,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/policy_automaton.h"
 #include "authz/processor.h"
 #include "authz/projector.h"
 #include "server/document_server.h"
@@ -21,6 +27,7 @@
 #include "server/user_directory.h"
 #include "workload/authgen.h"
 #include "workload/docgen.h"
+#include "xml/dtd_parser.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 
@@ -157,6 +164,81 @@ TEST_P(ViewProjectionTest, ProjectionIsDeterministic) {
   EXPECT_EQ(Render(*a), Render(*b));
 }
 
+TEST_P(ViewProjectionTest, CompiledMatchesBothPipelinesByteForByte) {
+  ASSERT_NE(doc_->dtd(), nullptr);
+  // One automaton per (DTD, policy), shared across every request below —
+  // exactly how the server caches it.
+  auto automaton = analysis::PolicyAutomaton::Compile(
+      *doc_->dtd(), workload_.instance_auths, workload_.schema_auths);
+  ASSERT_TRUE(automaton.ok()) << automaton.status();
+  EXPECT_GE((*automaton)->stats().states, 1u);
+
+  for (ConflictPolicy conflict :
+       {ConflictPolicy::kDenialsTakePrecedence,
+        ConflictPolicy::kPermissionsTakePrecedence,
+        ConflictPolicy::kNothingTakesPrecedence}) {
+    for (CompletenessPolicy completeness :
+         {CompletenessPolicy::kClosed, CompletenessPolicy::kOpen}) {
+      ProcessorOptions clone_options;
+      clone_options.policy.conflict = conflict;
+      clone_options.policy.completeness = completeness;
+      clone_options.pipeline = ViewPipeline::kCloneLabelPrune;
+      ProcessorOptions project_options = clone_options;
+      project_options.pipeline = ViewPipeline::kProject;
+      ProcessorOptions compiled_options = project_options;
+      compiled_options.labeling = LabelingMode::kCompiled;
+
+      SecurityProcessor oracle(&workload_.groups, clone_options);
+      SecurityProcessor fused(&workload_.groups, project_options);
+      SecurityProcessor compiled(&workload_.groups, compiled_options);
+      auto expected =
+          oracle.ComputeView(*doc_, workload_.instance_auths,
+                             workload_.schema_auths, workload_.requester);
+      auto via_xpath =
+          fused.ComputeView(*doc_, workload_.instance_auths,
+                            workload_.schema_auths, workload_.requester);
+      auto via_table = compiled.ComputeView(
+          *doc_, workload_.instance_auths, workload_.schema_auths,
+          workload_.requester, automaton->get());
+      ASSERT_TRUE(expected.ok()) << expected.status();
+      ASSERT_TRUE(via_xpath.ok()) << via_xpath.status();
+      ASSERT_TRUE(via_table.ok()) << via_table.status();
+      SCOPED_TRACE(std::string(ConflictPolicyToString(conflict)) + " / " +
+                   std::string(CompletenessPolicyToString(completeness)));
+      EXPECT_EQ(Render(*expected), Render(*via_xpath));
+      EXPECT_EQ(Render(*expected), Render(*via_table));
+
+      // The document is valid against the DTD the automaton was
+      // compiled from: no fallback, and every node is accounted to
+      // either the table or the residual XPath path.
+      const LabelingStats& stats = via_table->stats.labeling;
+      EXPECT_EQ(stats.compiled_fallbacks, 0);
+      // table/residual counters cover the element and attribute nodes
+      // (text nodes carry no explicit signs).
+      EXPECT_GT(stats.table_nodes, 0);
+      EXPECT_LE(stats.table_nodes + stats.residual_nodes,
+                doc_->node_count());
+      // Requester filtering is identical; only the residual subset still
+      // evaluates XPath.
+      EXPECT_EQ(stats.applicable_instance_auths,
+                expected->stats.labeling.applicable_instance_auths);
+      EXPECT_EQ(stats.applicable_schema_auths,
+                expected->stats.labeling.applicable_schema_auths);
+      EXPECT_LE(stats.xpath_evaluations,
+                expected->stats.labeling.xpath_evaluations);
+      // Prune statistics agree exactly (same projector walk).
+      EXPECT_EQ(expected->stats.prune.nodes_after,
+                via_table->stats.prune.nodes_after);
+      EXPECT_EQ(expected->stats.prune.removed_elements,
+                via_table->stats.prune.removed_elements);
+      EXPECT_EQ(expected->stats.prune.removed_attributes,
+                via_table->stats.prune.removed_attributes);
+      EXPECT_EQ(expected->stats.prune.skeleton_elements,
+                via_table->stats.prune.skeleton_elements);
+    }
+  }
+}
+
 std::vector<Scenario> MakeScenarios() {
   std::vector<Scenario> out;
   uint64_t seed = 100;
@@ -220,6 +302,37 @@ class ProjectionSemanticsTest : public ::testing::Test {
     if (!expected.ok() || !actual.ok()) return std::string();
     EXPECT_EQ(Render(*expected), Render(*actual));
     ExpectSameStats(expected->stats, actual->stats);
+    return Render(*actual);
+  }
+
+  /// Computes the view through the compiled engine and asserts it is
+  /// byte-identical to the clone→label→prune oracle.
+  std::string CompiledAgreedView(std::span<const Authorization> instance,
+                                 std::span<const Authorization> schema,
+                                 const analysis::PolicyAutomaton* automaton,
+                                 PolicyOptions policy = {},
+                                 LabelingStats* stats_out = nullptr) {
+    Requester rq;
+    rq.user = "tom";
+    rq.ip = "1.2.3.4";
+    rq.sym = "host.example";
+    ProcessorOptions clone_options;
+    clone_options.policy = policy;
+    clone_options.pipeline = ViewPipeline::kCloneLabelPrune;
+    ProcessorOptions compiled_options;
+    compiled_options.policy = policy;
+    compiled_options.pipeline = ViewPipeline::kProject;
+    compiled_options.labeling = LabelingMode::kCompiled;
+    SecurityProcessor oracle(&groups_, clone_options);
+    SecurityProcessor compiled(&groups_, compiled_options);
+    auto expected = oracle.ComputeView(*doc_, instance, schema, rq);
+    auto actual =
+        compiled.ComputeView(*doc_, instance, schema, rq, automaton);
+    EXPECT_TRUE(expected.ok()) << expected.status();
+    EXPECT_TRUE(actual.ok()) << actual.status();
+    if (!expected.ok() || !actual.ok()) return std::string();
+    EXPECT_EQ(Render(*expected), Render(*actual));
+    if (stats_out != nullptr) *stats_out = actual->stats.labeling;
     return Render(*actual);
   }
 
@@ -307,6 +420,104 @@ TEST_F(ProjectionSemanticsTest, RootlessDocumentRejected) {
   SecurityProcessor processor(&groups_, options);
   auto view = processor.ComputeView(*doc, {}, {}, rq);
   EXPECT_FALSE(view.ok());
+}
+
+// --- Compiled labeling semantics ----------------------------------------
+
+TEST_F(ProjectionSemanticsTest, CompiledWeakStrongOverride) {
+  Load("<?xml version=\"1.0\"?>\n"
+       "<!DOCTYPE r [\n"
+       "<!ELEMENT r (a)>\n"
+       "<!ELEMENT a (b)>\n"
+       "<!ELEMENT b (#PCDATA)>\n"
+       "]>\n"
+       "<r><a><b>secret</b></a></r>");
+  ASSERT_NE(doc_->dtd(), nullptr);
+  // Weak instance-level permission vs. strong schema-level denial: the
+  // override must resolve identically through the automaton's table.
+  std::vector<Authorization> instance = {
+      Auth("Public", "d.xml", "//a", Sign::kPlus, AuthType::kRecursiveWeak)};
+  std::vector<Authorization> schema = {
+      Auth("Public", "s.dtd", "//a", Sign::kMinus, AuthType::kRecursive)};
+  auto automaton =
+      analysis::PolicyAutomaton::Compile(*doc_->dtd(), instance, schema);
+  ASSERT_TRUE(automaton.ok()) << automaton.status();
+  EXPECT_EQ((*automaton)->stats().decidable_auths, 2u);
+  LabelingStats stats;
+  std::string view = CompiledAgreedView(instance, schema, automaton->get(),
+                                        PolicyOptions{}, &stats);
+  EXPECT_EQ(view.find("secret"), std::string::npos);
+  // Fully decidable policy: no XPath at all on the serving path.
+  EXPECT_EQ(stats.xpath_evaluations, 0);
+  EXPECT_EQ(stats.residual_nodes, 0);
+  EXPECT_GT(stats.table_nodes, 0);
+
+  // Strong instance beats schema — again, pure table resolution.
+  instance[0].type = AuthType::kRecursive;
+  auto automaton2 =
+      analysis::PolicyAutomaton::Compile(*doc_->dtd(), instance, schema);
+  ASSERT_TRUE(automaton2.ok());
+  view = CompiledAgreedView(instance, schema, automaton2->get());
+  EXPECT_NE(view.find("secret"), std::string::npos);
+}
+
+TEST_F(ProjectionSemanticsTest, CompiledValueDependentSubjectsFallBackToXPath) {
+  Load("<?xml version=\"1.0\"?>\n"
+       "<!DOCTYPE r [\n"
+       "<!ELEMENT r (a*)>\n"
+       "<!ELEMENT a (#PCDATA)>\n"
+       "<!ATTLIST a owner CDATA #IMPLIED>\n"
+       "]>\n"
+       "<r><a owner=\"tom\">mine</a><a owner=\"ann\">hers</a></r>");
+  ASSERT_NE(doc_->dtd(), nullptr);
+  // Self-referential policy: the $user binding makes the path value-
+  // dependent, so this authorization must stay on the per-request XPath
+  // path (residual) while the decidable root grant uses the table.
+  std::vector<Authorization> instance = {
+      Auth("Public", "d.xml", "/r", Sign::kPlus, AuthType::kLocal),
+      Auth("Public", "d.xml", "//a[./@owner=$user]", Sign::kPlus,
+           AuthType::kRecursive)};
+  auto automaton =
+      analysis::PolicyAutomaton::Compile(*doc_->dtd(), instance, {});
+  ASSERT_TRUE(automaton.ok()) << automaton.status();
+  EXPECT_EQ((*automaton)->stats().decidable_auths, 1u);
+  EXPECT_EQ((*automaton)->stats().partial_auths, 1u);
+  EXPECT_EQ((*automaton)->residual_instance().size(), 1u);
+  LabelingStats stats;
+  PolicyOptions closed;
+  closed.completeness = CompletenessPolicy::kClosed;
+  std::string view = CompiledAgreedView(instance, {}, automaton->get(),
+                                        closed, &stats);
+  // Requester "tom" sees their own record only.
+  EXPECT_NE(view.find("mine"), std::string::npos);
+  EXPECT_EQ(view.find("hers"), std::string::npos);
+  // The residual authorization was evaluated through XPath and landed
+  // on a node; no schema-mismatch fallback happened.
+  EXPECT_EQ(stats.xpath_evaluations, 1);
+  EXPECT_GT(stats.residual_nodes, 0);
+  EXPECT_EQ(stats.compiled_fallbacks, 0);
+}
+
+TEST_F(ProjectionSemanticsTest, CompiledSchemaMismatchFallsBackWholeRequest) {
+  Load("<r><a><b>text</b></a></r>");
+  // An automaton compiled from a DTD the served document does NOT
+  // conform to: the walk meets an undeclared element, aborts, and the
+  // request transparently serves through the XPath path.
+  auto foreign_dtd = xml::ParseDtd("<!ELEMENT r (c)>\n<!ELEMENT c EMPTY>");
+  ASSERT_TRUE(foreign_dtd.ok());
+  (*foreign_dtd)->set_name("r");
+  std::vector<Authorization> instance = {
+      Auth("Public", "d.xml", "/r", Sign::kPlus, AuthType::kRecursive)};
+  auto automaton =
+      analysis::PolicyAutomaton::Compile(**foreign_dtd, instance, {});
+  ASSERT_TRUE(automaton.ok()) << automaton.status();
+  LabelingStats stats;
+  std::string view = CompiledAgreedView(instance, {}, automaton->get(),
+                                        PolicyOptions{}, &stats);
+  EXPECT_NE(view.find("text"), std::string::npos);
+  EXPECT_EQ(stats.compiled_fallbacks, 1);
+  EXPECT_EQ(stats.table_nodes, 0);
+  EXPECT_EQ(stats.residual_nodes, 0);
 }
 
 // --- Concurrent serving over the sharded cache (TSan-exercised) ---------
