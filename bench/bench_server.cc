@@ -9,12 +9,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "bench_json.h"
 #include "obs/metrics.h"
+#include "server/audit_log.h"
+#include "server/audit_wal.h"
 #include "server/document_server.h"
 #include "server/http.h"
 #include "server/repository.h"
@@ -205,6 +210,74 @@ void BM_TcpConcurrentLoad(benchmark::State& state) {
   state.counters["shed"] = static_cast<double>(listener.requests_shed());
 }
 BENCHMARK(BM_TcpConcurrentLoad)->Arg(1)->Arg(4)->UseRealTime();
+
+/// The durable-audit tax.  Same concurrent TCP load with the WAL
+/// attached and its background group-commit fsync writer running:
+///
+///  * Arg = 0 (`enqueue` ack): the request hot path only enqueues; the
+///    writer fsyncs behind it.  This is the gated configuration — it
+///    must stay within 15% of BM_TcpConcurrentLoad (4 workers).
+///  * Arg = 1 (`fsync` ack): every 200 response additionally waits for
+///    its group commit.  Informational: with 4 closed-loop clients the
+///    commit group is small, so each response eats a large fraction of
+///    a raw fsync (~100us on CI disks) — a durability/latency tradeoff
+///    the operator opts into, not a regression.
+void BM_TcpConcurrentLoadWal(benchmark::State& state) {
+  ServerFixture& f = Fixture();
+  std::string wal_path =
+      "/tmp/bench_audit_wal_" + std::to_string(::getpid()) + ".log";
+  std::remove(wal_path.c_str());
+  AuditWal wal;
+  if (!wal.Open(wal_path, {}, nullptr).ok()) {
+    state.SkipWithError("WAL failed to open");
+    return;
+  }
+  AuditLog audit;
+  audit.AttachWal(&wal);
+  ServerConfig config;
+  config.view_cache_capacity = 64;
+  config.audit_durability = state.range(0) == 1 ? AuditDurability::kFsync
+                                                : AuditDurability::kEnqueue;
+  SecureDocumentServer server(&f.repo, &f.users, &f.groups, config);
+  server.set_audit_log(&audit);
+  ListenerConfig listener_config;
+  listener_config.worker_threads = 4;
+  listener_config.accept_queue_limit = 256;
+  TcpHttpListener listener(&server, "bench.example", listener_config);
+  if (!listener.Start(0).ok()) {
+    state.SkipWithError("listener failed to start");
+    return;
+  }
+  constexpr int kClientThreads = 4;
+  constexpr int kRequestsPerThread = 8;
+  int64_t completed = 0;
+  for (auto _ : state) {
+    std::atomic<int64_t> round_ok{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClientThreads);
+    for (int c = 0; c < kClientThreads; ++c) {
+      clients.emplace_back([&] {
+        for (int r = 0; r < kRequestsPerThread; ++r) {
+          auto response = FetchHttp(listener.port(), f.raw_request);
+          if (response.ok() &&
+              response->find("200 OK") != std::string::npos) {
+            round_ok.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    completed += round_ok.load();
+  }
+  listener.Stop();
+  audit.DetachWal();
+  wal.Close();
+  std::remove(wal_path.c_str());
+  state.SetItemsProcessed(completed);
+  state.counters["fsync_ack"] = static_cast<double>(state.range(0));
+  state.counters["fsyncs"] = static_cast<double>(wal.fsyncs());
+}
+BENCHMARK(BM_TcpConcurrentLoadWal)->Arg(0)->Arg(1)->UseRealTime();
 
 /// The instrumentation hot path itself: one counter increment plus one
 /// histogram observation (what a single pipeline stage costs the

@@ -11,14 +11,32 @@
 // exercise `/CSlab.xml`, `/healthz`, and `/metrics` against a real
 // socket.  The bound port is printed on stdout (one line, flushed) so
 // callers passing port 0 can discover the ephemeral port.
+//
+// Serve-mode environment:
+//   XMLSEC_AUDIT_WAL=<path>        durable audit WAL (CRC-framed,
+//                                  group-commit fsync; torn tails are
+//                                  truncated on reopen and reported)
+//   XMLSEC_AUDIT_DURABILITY=fsync  positive responses wait for the
+//                                  group commit (default: enqueue)
+//   XMLSEC_AUDIT_DEGRADED=memory   serve with memory-only audit while
+//                                  the WAL sink fails (default:
+//                                  fail-closed 503)
+//   XMLSEC_MANIFEST=<file>         repository manifest reloaded on
+//                                  SIGHUP / POST /admin/reload (without
+//                                  it, reload rebuilds the built-in
+//                                  demo repository)
 
+#include <csignal>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "server/audit_log.h"
+#include "server/audit_wal.h"
+#include "server/config_files.h"
 #include "server/document_server.h"
 #include "server/http.h"
 #include "server/repository.h"
@@ -43,6 +61,35 @@ constexpr char kCSlabXml[] =
     "<paper category=\"public\"><title>Serving XML securely</title></paper>"
     "</project>"
     "</laboratory>";
+
+/// SIGHUP => reload the policy repository (classic daemon semantics).
+volatile std::sig_atomic_t g_reload_requested = 0;
+/// SIGTERM/SIGINT => drain the listener and commit the WAL tail before
+/// exiting, so a normal stop never leaves a torn frame behind.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void OnSighup(int) { g_reload_requested = 1; }
+void OnShutdown(int) { g_shutdown_requested = 1; }
+
+/// Builds the demo repository from scratch — also the SIGHUP/admin
+/// reload path when no manifest is configured: the rebuild happens off
+/// to the side and is atomically swapped in.
+Result<std::shared_ptr<const server::Repository>> BuildRepository() {
+  auto repo = std::make_shared<server::Repository>();
+  XMLSEC_RETURN_IF_ERROR(
+      repo->AddDtd("laboratory.xml", workload::LaboratoryDtd()));
+  XMLSEC_RETURN_IF_ERROR(
+      repo->AddDocument("CSlab.xml", kCSlabXml, "laboratory.xml"));
+  XMLSEC_RETURN_IF_ERROR(repo->AddXacl(R"(<xacl>
+        <authorization subject="Public" object="CSlab.xml"
+            path="/laboratory" sign="+" type="RW"/>
+        <authorization subject="Foreign" object="laboratory.xml"
+            path='//paper[./@category="private"]' sign="-" type="R"/>
+        <authorization subject="Public" object="laboratory.xml"
+            path="//fund" sign="-" type="R"/>
+      </xacl>)"));
+  return std::shared_ptr<const server::Repository>(std::move(repo));
+}
 
 void Send(const server::SecureDocumentServer& server, const char* label,
           const std::string& raw, const char* ip, const char* sym) {
@@ -69,31 +116,13 @@ int main(int argc, char** argv) {
     if (serve_seconds <= 0) serve_seconds = 30;
   }
 
-  server::Repository repo;
   server::UserDirectory users;
   authz::GroupStore groups;
 
   // Populate the repository: schema, document, policy.
-  if (Status s = repo.AddDtd("laboratory.xml", workload::LaboratoryDtd());
-      !s.ok()) {
-    std::fprintf(stderr, "%s\n", s.ToString().c_str());
-    return 1;
-  }
-  if (Status s = repo.AddDocument("CSlab.xml", kCSlabXml, "laboratory.xml");
-      !s.ok()) {
-    std::fprintf(stderr, "%s\n", s.ToString().c_str());
-    return 1;
-  }
-  if (Status s = repo.AddXacl(R"(<xacl>
-        <authorization subject="Public" object="CSlab.xml"
-            path="/laboratory" sign="+" type="RW"/>
-        <authorization subject="Foreign" object="laboratory.xml"
-            path='//paper[./@category="private"]' sign="-" type="R"/>
-        <authorization subject="Public" object="laboratory.xml"
-            path="//fund" sign="-" type="R"/>
-      </xacl>)");
-      !s.ok()) {
-    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  auto initial_repo = BuildRepository();
+  if (!initial_repo.ok()) {
+    std::fprintf(stderr, "%s\n", initial_repo.status().ToString().c_str());
     return 1;
   }
 
@@ -111,22 +140,101 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  server::SecureDocumentServer server(&repo, &users, &groups);
+  server::ServerConfig config;
+  if (const char* durability = std::getenv("XMLSEC_AUDIT_DURABILITY");
+      durability != nullptr && std::string(durability) == "fsync") {
+    config.audit_durability = server::AuditDurability::kFsync;
+  }
+  if (const char* degraded = std::getenv("XMLSEC_AUDIT_DEGRADED");
+      degraded != nullptr && std::string(degraded) == "memory") {
+    config.audit_degraded_mode = server::AuditDegradedMode::kMemoryAudit;
+  }
+  server::SecureDocumentServer server(*initial_repo, &users, &groups,
+                                      config);
 
   if (serve_mode) {
     // CI / interactive mode: a real listener on the requested port, kept
     // alive long enough for an external scrape, then a clean drain.
     server::AuditLog audit;
+    server::AuditWal wal;
+    if (const char* wal_path = std::getenv("XMLSEC_AUDIT_WAL");
+        wal_path != nullptr && wal_path[0] != '\0') {
+      server::AuditWal::VerifyReport recovered;
+      if (Status s = wal.Open(wal_path, {}, &recovered); !s.ok()) {
+        std::fprintf(stderr, "audit WAL: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      if (!recovered.clean()) {
+        std::fprintf(stderr,
+                     "audit WAL: truncated %llu torn byte(s), kept %llu "
+                     "intact frame(s)\n",
+                     static_cast<unsigned long long>(recovered.torn_bytes()),
+                     static_cast<unsigned long long>(recovered.frames));
+      }
+      audit.AttachWal(&wal);
+    }
+    // WAL first, then set_audit_log: the attach binds WAL health into
+    // the server's metrics registry.
     server.set_audit_log(&audit);
-    server::TcpHttpListener listener(&server, "demo.lab.example");
+
+    // Reload sources: a manifest when configured, the built-in demo
+    // repository otherwise.  Either way the candidate builds off to the
+    // side and swaps atomically; a failed build leaves serving intact.
+    const char* manifest = std::getenv("XMLSEC_MANIFEST");
+    auto reload = [&]() -> Status {
+      Result<std::shared_ptr<const server::Repository>> next =
+          manifest != nullptr && manifest[0] != '\0'
+              ? server::LoadRepositoryManifest(manifest, groups)
+              : BuildRepository();
+      if (!next.ok()) return next.status();
+      server.SwapRepository(*next);
+      return Status::OK();
+    };
+
+    server::ListenerConfig listener_config;
+    listener_config.reload_handler = reload;
+    server::TcpHttpListener listener(&server, "demo.lab.example",
+                                     listener_config);
     if (Status s = listener.Start(serve_port); !s.ok()) {
       std::fprintf(stderr, "listener: %s\n", s.ToString().c_str());
       return 1;
     }
+    std::signal(SIGHUP, OnSighup);
+    std::signal(SIGTERM, OnShutdown);
+    std::signal(SIGINT, OnShutdown);
     std::printf("listening 127.0.0.1:%u\n", listener.port());
     std::fflush(stdout);
-    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+    // Poll so a SIGHUP/SIGTERM is honoured within ~200ms of delivery.
+    const auto stop_at = std::chrono::steady_clock::now() +
+                         std::chrono::seconds(serve_seconds);
+    while (std::chrono::steady_clock::now() < stop_at &&
+           !g_shutdown_requested) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      if (g_reload_requested) {
+        g_reload_requested = 0;
+        if (Status s = reload(); s.ok()) {
+          // Keep the SIGHUP path visible in the same counters the admin
+          // endpoint uses, so /healthz "reloads" covers both.
+          server.metrics()
+              ->GetCounter("xmlsec_listener_reloads_total",
+                           "successful POST /admin/reload repository swaps")
+              ->Inc();
+          std::fprintf(stderr, "reload: ok\n");
+        } else {
+          server.metrics()
+              ->GetCounter(
+                  "xmlsec_listener_reload_failures_total",
+                  "POST /admin/reload attempts rejected (build/validation "
+                  "failure; the previous repository stays live)")
+              ->Inc();
+          std::fprintf(stderr, "reload failed (still serving previous "
+                               "policy): %s\n",
+                       s.ToString().c_str());
+        }
+      }
+    }
     listener.Stop();
+    if (wal.open()) wal.Close();
     std::printf("served %lld requests\n",
                 static_cast<long long>(listener.requests_served()));
     return 0;

@@ -12,6 +12,7 @@
 //   xacl_tool loosen  <dtd.dtd>
 //   xacl_tool metrics <doc.xml> <doc-uri> <dtd.dtd> <dtd-uri> <xacl.xml>
 //                     <user[:groups]> <ip> <sym> [repeat]
+//   xacl_tool audit-verify <wal-file> [--print]
 //
 //   view     computes and prints the requester's view of the document
 //   explain  reports why one node is (in)visible to the requester
@@ -29,6 +30,11 @@
 //            and prints the resulting observability registry snapshot
 //            in Prometheus text format — per-stage latency histograms,
 //            cache hit/miss, per-status totals
+//   audit-verify
+//            replays a durable-audit WAL frame by frame, validates each
+//            CRC, and reports intact frames vs. torn/corrupt tail bytes;
+//            exits non-zero on any torn or corrupt frame so CI and
+//            operators can attest the trail after a crash
 //
 // Build & run:  ./build/examples/xacl_tool check policy.xml
 
@@ -43,6 +49,7 @@
 #include "authz/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/audit_wal.h"
 #include "server/document_server.h"
 #include "server/repository.h"
 #include "server/user_directory.h"
@@ -453,6 +460,37 @@ int RunMetrics(int argc, char** argv) {
   return status == 200 ? 0 : 1;
 }
 
+int RunAuditVerify(int argc, char** argv) {
+  if (argc != 3 && argc != 4) {
+    std::fprintf(stderr,
+                 "usage: xacl_tool audit-verify <wal-file> [--print]\n");
+    return 2;
+  }
+  const bool print = argc == 4 && std::string(argv[3]) == "--print";
+  std::vector<std::string> payloads;
+  auto report =
+      server::AuditWal::Verify(argv[2], print ? &payloads : nullptr);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s: %llu frame(s), %llu payload byte(s), %llu/%llu file "
+              "byte(s) intact\n",
+              argv[2], static_cast<unsigned long long>(report->frames),
+              static_cast<unsigned long long>(report->payload_bytes),
+              static_cast<unsigned long long>(report->valid_bytes),
+              static_cast<unsigned long long>(report->file_bytes));
+  for (const std::string& payload : payloads) {
+    std::printf("  %s\n", payload.c_str());
+  }
+  if (!report->clean()) {
+    std::fprintf(stderr, "error: %llu torn byte(s) at offset %llu (%s)\n",
+                 static_cast<unsigned long long>(report->torn_bytes()),
+                 static_cast<unsigned long long>(report->valid_bytes),
+                 report->crc_mismatch ? "CRC mismatch or corrupt length"
+                                      : "short frame, crash mid-write");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -465,6 +503,7 @@ int main(int argc, char** argv) {
   if (mode == "compile") return RunCompile(argc, argv);
   if (mode == "explain") return RunExplain(argc, argv);
   if (mode == "metrics") return RunMetrics(argc, argv);
+  if (mode == "audit-verify") return RunAuditVerify(argc, argv);
   std::fprintf(stderr,
                "usage:\n"
                "  xacl_tool check <xacl.xml>\n"
@@ -480,6 +519,7 @@ int main(int argc, char** argv) {
                "  xacl_tool explain <doc.xml> <doc-uri> <dtd.dtd> <dtd-uri> "
                "<xacl.xml> <user[:groups]> <ip> <sym> <node-xpath>\n"
                "  xacl_tool metrics <doc.xml> <doc-uri> <dtd.dtd> <dtd-uri> "
-               "<xacl.xml> <user[:groups]> <ip> <sym> [repeat]\n");
+               "<xacl.xml> <user[:groups]> <ip> <sym> [repeat]\n"
+               "  xacl_tool audit-verify <wal-file> [--print]\n");
   return 2;
 }

@@ -1,20 +1,25 @@
 #!/usr/bin/env bash
 # CI gate for the observability subsystem: boots the example server on
-# an ephemeral port, sends real traffic, scrapes GET /metrics, and
-# fails on (1) any malformed exposition line or (2) a missing core
-# metric family.  Runnable locally:
+# an ephemeral port with the durable audit WAL in fsync-ack mode, sends
+# real traffic, scrapes GET /metrics, exercises the admin reload
+# endpoint, and fails on (1) any malformed exposition line, (2) a
+# missing core metric family, or (3) a WAL that does not replay clean
+# under `xacl_tool audit-verify`.  Runnable locally:
 #
 #   scripts/check_metrics.sh ./build/examples/policy_server
 set -euo pipefail
 
 SERVER_BIN="${1:-./build/examples/policy_server}"
+TOOL_BIN="${2:-$(dirname "$SERVER_BIN")/xacl_tool}"
 OUT="$(mktemp)"
+WAL="$(mktemp -u).audit.wal"
 
-"$SERVER_BIN" --serve 0 30 > "$OUT" &
+XMLSEC_AUDIT_WAL="$WAL" XMLSEC_AUDIT_DURABILITY=fsync \
+  "$SERVER_BIN" --serve 0 30 > "$OUT" &
 SERVER_PID=$!
 cleanup() {
   kill "$SERVER_PID" 2>/dev/null || true
-  rm -f "$OUT"
+  rm -f "$OUT" "$WAL"
 }
 trap cleanup EXIT
 
@@ -46,6 +51,25 @@ curl -fsS "http://127.0.0.1:$PORT/CSlab.xml" > /dev/null
 curl -fsS "http://127.0.0.1:$PORT/CSlab.xml" > /dev/null
 curl -sS "http://127.0.0.1:$PORT/Missing.xml" > /dev/null || true
 
+# Atomic hot-reload round-trip: the admin endpoint rebuilds the
+# repository off to the side and swaps it in; serving must continue.
+RELOAD=$(curl -fsS -X POST "http://127.0.0.1:$PORT/admin/reload")
+if ! printf '%s' "$RELOAD" | grep -q 'reloaded'; then
+  echo "check_metrics: admin reload failed: $RELOAD" >&2
+  exit 1
+fi
+curl -fsS "http://127.0.0.1:$PORT/CSlab.xml" > /dev/null
+
+# The healthz degraded flag must be false while the WAL is healthy, and
+# the reload above must be counted.
+HEALTH=$(curl -fsS "http://127.0.0.1:$PORT/healthz")
+for want in '"degraded":false' '"reloads":1'; do
+  if ! printf '%s' "$HEALTH" | grep -qF "$want"; then
+    echo "check_metrics: healthz missing $want: $HEALTH" >&2
+    exit 1
+  fi
+done
+
 SCRAPE=$(curl -fsS "http://127.0.0.1:$PORT/metrics")
 
 # --- 1. Format check: every line must be a comment or a sample
@@ -76,6 +100,12 @@ for family in \
     'xmlsec_listener_requests_total' \
     'xmlsec_listener_shed_total' \
     'xmlsec_listener_queue_depth' \
+    'xmlsec_listener_reloads_total' \
+    'xmlsec_audit_queue_depth' \
+    'xmlsec_audit_fsync_total' \
+    'xmlsec_audit_sink_failures_total' \
+    'xmlsec_audit_degraded' \
+    'xmlsec_audit_denied_total' \
     'xmlsec_failpoint_trips_total'; do
   if ! printf '%s\n' "$SCRAPE" | grep -qE "^$family"; then
     echo "check_metrics: missing core family: $family" >&2
@@ -83,6 +113,19 @@ for family in \
   fi
 done
 [ "$MISSING" -eq 0 ] || exit 1
+
+# --- 3. Durable audit post-check: stop the server cleanly, then replay
+#        the WAL — every acknowledged access must verify frame-intact.
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+if [ ! -s "$WAL" ]; then
+  echo "check_metrics: audit WAL was not written at $WAL" >&2
+  exit 1
+fi
+if ! "$TOOL_BIN" audit-verify "$WAL"; then
+  echo "check_metrics: audit-verify found torn/corrupt frames" >&2
+  exit 1
+fi
 
 SAMPLES=$(printf '%s\n' "$SCRAPE" | grep -c '^xmlsec' || true)
 echo "check_metrics: OK ($SAMPLES xmlsec samples, port $PORT)"

@@ -44,6 +44,9 @@ inline constexpr std::string_view kSites[] = {
     "server.query",         // XPath-over-view evaluation
     "server.serialize",     // view unparse
     "server.audit",         // audit-trail append (no audit -> no view)
+    "audit.wal_write",      // WAL frame write in the background writer
+    "audit.wal_fsync",      // WAL group-commit fsync
+    "server.reload",        // repository hot-reload (admin path)
 };
 
 /// All registered sites (the taxonomy above).

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/str_util.h"
+#include "server/audit_wal.h"
 
 namespace xmlsec {
 namespace server {
@@ -22,36 +23,89 @@ std::string AuditEntry::ToString() const {
 
 AuditLog::~AuditLog() { DetachFileSink(); }
 
-void AuditLog::Record(AuditEntry entry) {
+void AuditLog::Remember(AuditEntry entry) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (sink_ != nullptr) {
-    std::string line = entry.ToString();
-    line.push_back('\n');
-    if (sink_bytes_ + line.size() > sink_options_.rotate_bytes &&
-        sink_bytes_ > 0) {
-      RotateLocked();
-    }
-    if (sink_ == nullptr ||
-        std::fwrite(line.data(), 1, line.size(), sink_) != line.size()) {
-      ++sink_write_failures_;
-    } else {
-      sink_bytes_ += line.size();
-      // Durability over throughput: an audit trail that lags the crash
-      // it should explain is useless.
-      std::fflush(sink_);
-    }
-  }
   entries_.push_back(std::move(entry));
   ++total_recorded_;
   while (entries_.size() > capacity_) entries_.pop_front();
 }
 
+void AuditLog::WriteSinkLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  if (sink_ == nullptr) return;
+  const size_t bytes = line.size() + 1;  // trailing newline
+  if (sink_bytes_ + bytes > sink_options_.rotate_bytes && sink_bytes_ > 0) {
+    RotateLocked();
+  }
+  if (sink_ == nullptr ||
+      std::fwrite(line.data(), 1, line.size(), sink_) != line.size() ||
+      std::fputc('\n', sink_) == EOF) {
+    ++sink_write_failures_;
+    return;
+  }
+  sink_bytes_ += bytes;
+  // Batched flush: one flush per N records / M bytes instead of one per
+  // record — the libc buffer absorbs bursts, `Flush`/`Detach` and
+  // rotation drain it deterministically.
+  unflushed_bytes_ += bytes;
+  if (++unflushed_records_ >= sink_options_.flush_every_records ||
+      unflushed_bytes_ >= sink_options_.flush_every_bytes) {
+    std::fflush(sink_);
+    unflushed_records_ = 0;
+    unflushed_bytes_ = 0;
+  }
+}
+
+void AuditLog::Record(AuditEntry entry) {
+  AuditWal* wal = wal_.load(std::memory_order_acquire);
+  const bool has_sink = sink_attached_.load(std::memory_order_acquire);
+  if (wal != nullptr || has_sink) {
+    // Format OUTSIDE every lock: ToString is the expensive part of a
+    // record, and serializing it behind a global mutex was the old
+    // sink's hot-path bottleneck.
+    std::string line = entry.ToString();
+    if (wal != nullptr) {
+      // Enqueue-mode durability: failures are counted by the WAL; the
+      // in-memory trail below still keeps the entry.
+      (void)wal->Append(line);
+    }
+    if (has_sink) WriteSinkLine(line);
+  }
+  Remember(std::move(entry));
+}
+
+Status AuditLog::RecordDurable(AuditEntry entry, AuditDurability durability) {
+  AuditWal* wal = wal_.load(std::memory_order_acquire);
+  const bool has_sink = sink_attached_.load(std::memory_order_acquire);
+  std::string line;
+  if (wal != nullptr || has_sink) line = entry.ToString();
+  if (wal != nullptr) {
+    Result<uint64_t> seq = wal->Append(line);
+    if (!seq.ok()) return seq.status();
+    if (durability == AuditDurability::kFsync) {
+      Status durable = wal->WaitDurable(*seq);
+      // The frame was dropped: the entry exists nowhere durable, and
+      // the caller must not pretend otherwise.  It decides whether to
+      // fail the request closed or degrade to RecordMemoryOnly.
+      if (!durable.ok()) return durable;
+    }
+  }
+  if (has_sink) WriteSinkLine(line);
+  Remember(std::move(entry));
+  return Status::OK();
+}
+
+void AuditLog::RecordMemoryOnly(AuditEntry entry) {
+  Remember(std::move(entry));
+}
+
 Status AuditLog::AttachFileSink(std::string path, FileSinkOptions options) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(sink_mutex_);
   if (sink_ != nullptr) {
     std::fflush(sink_);
     std::fclose(sink_);
     sink_ = nullptr;
+    sink_attached_.store(false, std::memory_order_release);
   }
   std::FILE* file = std::fopen(path.c_str(), "a");
   if (file == nullptr) {
@@ -63,31 +117,57 @@ Status AuditLog::AttachFileSink(std::string path, FileSinkOptions options) {
   sink_options_ = options;
   if (sink_options_.rotate_bytes == 0) sink_options_.rotate_bytes = 1;
   if (sink_options_.max_rotated_files < 0) sink_options_.max_rotated_files = 0;
+  if (sink_options_.flush_every_records == 0) {
+    sink_options_.flush_every_records = 1;
+  }
+  if (sink_options_.flush_every_bytes == 0) sink_options_.flush_every_bytes = 1;
   sink_bytes_ = position > 0 ? static_cast<size_t>(position) : 0;
+  unflushed_records_ = 0;
+  unflushed_bytes_ = 0;
+  sink_attached_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
 void AuditLog::DetachFileSink() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_attached_.store(false, std::memory_order_release);
   if (sink_ == nullptr) return;
   std::fflush(sink_);
   std::fclose(sink_);
   sink_ = nullptr;
   sink_path_.clear();
   sink_bytes_ = 0;
+  unflushed_records_ = 0;
+  unflushed_bytes_ = 0;
+}
+
+void AuditLog::AttachWal(AuditWal* wal) {
+  wal_.store(wal, std::memory_order_release);
+}
+
+bool AuditLog::degraded() const {
+  AuditWal* wal = wal_.load(std::memory_order_acquire);
+  return wal != nullptr && !wal->healthy();
 }
 
 Status AuditLog::Flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (sink_ == nullptr) return Status::OK();
-  if (std::fflush(sink_) != 0) {
-    return Status::Internal("audit sink flush failed");
+  {
+    std::lock_guard<std::mutex> lock(sink_mutex_);
+    if (sink_ != nullptr) {
+      if (std::fflush(sink_) != 0) {
+        return Status::Internal("audit sink flush failed");
+      }
+      unflushed_records_ = 0;
+      unflushed_bytes_ = 0;
+    }
   }
+  AuditWal* wal = wal_.load(std::memory_order_acquire);
+  if (wal != nullptr) return wal->Flush();
   return Status::OK();
 }
 
 int64_t AuditLog::sink_write_failures() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(sink_mutex_);
   return sink_write_failures_;
 }
 
@@ -95,6 +175,8 @@ void AuditLog::RotateLocked() {
   std::fflush(sink_);
   std::fclose(sink_);
   sink_ = nullptr;
+  unflushed_records_ = 0;
+  unflushed_bytes_ = 0;
   // Shift path.N-1 -> path.N, ..., path -> path.1; the oldest falls off.
   int keep = sink_options_.max_rotated_files;
   if (keep > 0) {
@@ -111,7 +193,10 @@ void AuditLog::RotateLocked() {
   }
   sink_ = std::fopen(sink_path_.c_str(), "a");
   sink_bytes_ = 0;
-  if (sink_ == nullptr) ++sink_write_failures_;
+  if (sink_ == nullptr) {
+    ++sink_write_failures_;
+    sink_attached_.store(false, std::memory_order_release);
+  }
 }
 
 std::vector<AuditEntry> AuditLog::Entries() const {

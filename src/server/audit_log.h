@@ -1,6 +1,7 @@
 #ifndef XMLSEC_SERVER_AUDIT_LOG_H_
 #define XMLSEC_SERVER_AUDIT_LOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
@@ -12,6 +13,22 @@
 
 namespace xmlsec {
 namespace server {
+
+class AuditWal;
+
+/// Acknowledgment level for a durable audit record (the paper's "no
+/// audit, no view" guarantee, made explicit per server config):
+///
+///  * `kEnqueue` — the record is accepted once the WAL's bounded queue
+///    holds it; the background writer makes it durable within the
+///    group-commit window.  A crash inside that window can lose it.
+///  * `kFsync`   — the caller blocks until the frame is fsync-durable;
+///    a positive response is only sent for accesses whose audit record
+///    survives any subsequent crash.
+enum class AuditDurability {
+  kEnqueue,
+  kFsync,
+};
 
 /// One access decision, as recorded by the document server.
 struct AuditEntry {
@@ -39,11 +56,18 @@ struct AuditEntry {
 
 /// Bounded in-memory audit trail, thread-safe.  A security server must
 /// be able to answer "who saw what, when" — this collects the decisions
-/// the enforcement point makes.  Persistence is optional: attach a file
-/// sink (`AttachFileSink`) to stream every entry to disk with
-/// size-based rotation, so shed/denied requests under fault injection
-/// remain auditable after the process exits; or drain programmatically
-/// with `TakeAll`.
+/// the enforcement point makes.  Persistence is layered on top:
+///
+///  * `AttachFileSink` streams every entry as a text line to disk with
+///    size-based rotation (legacy sink; flush-to-OS only, batched).
+///  * `AttachWal` routes entries through a crash-safe `AuditWal`
+///    (CRC-framed, group-commit fsync); `RecordDurable` then gives the
+///    caller real acknowledgment semantics (see `AuditDurability`).
+///
+/// Locking: entry formatting happens OUTSIDE any lock, the in-memory
+/// deque and the file sink are guarded by separate mutexes, and the
+/// WAL does its own synchronization — a slow disk never serializes
+/// concurrent `Record` calls behind one global critical section.
 class AuditLog {
  public:
   /// File-sink knobs.
@@ -53,6 +77,10 @@ class AuditLog {
     /// Rotated generations kept (`path.1` .. `path.N`); older are
     /// deleted.
     int max_rotated_files = 3;
+    /// Flush buffered output to the OS every this-many records...
+    size_t flush_every_records = 32;
+    /// ...or once this many bytes are buffered, whichever is first.
+    size_t flush_every_bytes = 64 << 10;
   };
 
   /// Keeps at most `capacity` most recent entries.
@@ -62,7 +90,22 @@ class AuditLog {
   AuditLog(const AuditLog&) = delete;
   AuditLog& operator=(const AuditLog&) = delete;
 
+  /// Fire-and-forget record: stores in memory, streams to the file sink
+  /// (when attached) with batched flushes, and enqueues on the WAL
+  /// (when attached) without waiting for durability.
   void Record(AuditEntry entry);
+
+  /// Records with explicit acknowledgment through the attached WAL.
+  /// On WAL failure (queue full, closed, or — in `kFsync` mode — a
+  /// dropped batch) the entry is NOT stored anywhere and the error is
+  /// returned: the caller owns the decision (fail the request closed,
+  /// or degrade to `RecordMemoryOnly`).  Without a WAL attached this
+  /// behaves like `Record` and returns OK.
+  Status RecordDurable(AuditEntry entry, AuditDurability durability);
+
+  /// Records into the bounded memory deque only — the degraded-mode
+  /// trail while the durable sink is failing.  Never touches disk.
+  void RecordMemoryOnly(AuditEntry entry);
 
   /// Streams every subsequent entry (one `ToString` line each) to
   /// `path`, rotating by size.  The file is opened in append mode so a
@@ -76,11 +119,23 @@ class AuditLog {
   /// Flushes and closes the sink.  Idempotent.
   void DetachFileSink();
 
-  /// Flushes buffered sink output to the OS.
+  /// Routes subsequent records through `wal` (non-owning; the WAL must
+  /// outlive its attachment).  Pass nullptr to detach.
+  void AttachWal(AuditWal* wal);
+  void DetachWal() { AttachWal(nullptr); }
+  AuditWal* wal() const { return wal_.load(std::memory_order_acquire); }
+
+  /// True while a WAL is attached and its sink is failing — the signal
+  /// the server maps to its configured degraded mode.
+  bool degraded() const;
+
+  /// Flushes buffered sink output to the OS and (when a WAL is
+  /// attached) waits until everything enqueued so far is fsync-durable.
   Status Flush();
 
-  /// Entries that could not be written to the sink (disk full, rotation
-  /// failure, ...).  They are still retained in memory.
+  /// Entries that could not be written to the legacy file sink (disk
+  /// full, rotation failure, ...).  They are still retained in memory.
+  /// WAL failures are counted separately (`AuditWal::sink_failures`).
   int64_t sink_write_failures() const;
 
   /// Snapshot of the current entries, oldest first.
@@ -93,21 +148,36 @@ class AuditLog {
   int64_t total_recorded() const;
 
  private:
+  /// Appends `entry` to the bounded memory deque.
+  void Remember(AuditEntry entry);
+  /// Writes one formatted line (no trailing newline) to the file sink,
+  /// rotating and batch-flushing as needed.  No-op when detached.
+  void WriteSinkLine(const std::string& line);
   /// Rotates `sink_path_` -> `.1` -> `.2` ... and reopens; caller holds
-  /// `mutex_`.
+  /// `sink_mutex_`.
   void RotateLocked();
 
+  // --- In-memory trail (guarded by mutex_) ---------------------------
   mutable std::mutex mutex_;
   size_t capacity_;
   std::deque<AuditEntry> entries_;
   int64_t total_recorded_ = 0;
 
-  // File sink state (all guarded by mutex_).
+  // --- Legacy file sink (guarded by sink_mutex_) ---------------------
+  mutable std::mutex sink_mutex_;
   std::FILE* sink_ = nullptr;
   std::string sink_path_;
   FileSinkOptions sink_options_;
   size_t sink_bytes_ = 0;
+  size_t unflushed_records_ = 0;
+  size_t unflushed_bytes_ = 0;
   int64_t sink_write_failures_ = 0;
+  /// Lock-free "is a sink attached" probe so detached operation skips
+  /// formatting entirely.
+  std::atomic<bool> sink_attached_{false};
+
+  // --- Durable WAL (self-synchronizing; pointer swapped atomically) --
+  std::atomic<AuditWal*> wal_{nullptr};
 };
 
 }  // namespace server

@@ -1,0 +1,562 @@
+#include "server/audit_wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace xmlsec {
+namespace server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Frame header: little-endian u32 payload length + u32 CRC32(payload).
+constexpr size_t kHeaderBytes = 8;
+/// Sanity cap on a single frame; a length field above this is treated
+/// as corruption (prevents a flipped bit from provoking a giant read).
+constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+void PutU32(unsigned char* out, uint32_t value) {
+  out[0] = static_cast<unsigned char>(value & 0xff);
+  out[1] = static_cast<unsigned char>((value >> 8) & 0xff);
+  out[2] = static_cast<unsigned char>((value >> 16) & 0xff);
+  out[3] = static_cast<unsigned char>((value >> 24) & 0xff);
+}
+
+uint32_t GetU32(const unsigned char* in) {
+  return static_cast<uint32_t>(in[0]) | (static_cast<uint32_t>(in[1]) << 8) |
+         (static_cast<uint32_t>(in[2]) << 16) |
+         (static_cast<uint32_t>(in[3]) << 24);
+}
+
+/// EINTR-safe full write.
+bool WriteAllFd(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, p + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// EINTR-safe pread of exactly `size` bytes; false on short read.
+bool ReadExactAt(int fd, void* data, size_t size, uint64_t offset) {
+  char* p = static_cast<char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::pread(fd, p + done, size - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Scans frames from offset 0; shared by Open (recovery) and Verify.
+AuditWal::VerifyReport ScanFrames(int fd, uint64_t file_bytes,
+                                  std::vector<std::string>* payloads) {
+  AuditWal::VerifyReport report;
+  report.file_bytes = file_bytes;
+  uint64_t offset = 0;
+  std::string payload;
+  while (offset + kHeaderBytes <= file_bytes) {
+    unsigned char header[kHeaderBytes];
+    if (!ReadExactAt(fd, header, sizeof(header), offset)) break;
+    const uint32_t length = GetU32(header);
+    const uint32_t stored_crc = GetU32(header + 4);
+    if (length > kMaxFrameBytes) {
+      report.crc_mismatch = true;  // Implausible length: corruption.
+      break;
+    }
+    if (offset + kHeaderBytes + length > file_bytes) break;  // Short tail.
+    payload.resize(length);
+    if (length > 0 &&
+        !ReadExactAt(fd, payload.data(), length, offset + kHeaderBytes)) {
+      break;
+    }
+    if (Crc32(payload) != stored_crc) {
+      report.crc_mismatch = true;
+      break;
+    }
+    ++report.frames;
+    report.payload_bytes += length;
+    offset += kHeaderBytes + length;
+    if (payloads != nullptr) payloads->push_back(payload);
+  }
+  report.valid_bytes = offset;
+  return report;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  // Table-driven IEEE CRC-32 (polynomial 0xEDB88320), computed once.
+  static const std::array<uint32_t, 256>* table = [] {
+    auto* t = new std::array<uint32_t, 256>();
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      (*t)[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    crc = (*table)[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+AuditWal::~AuditWal() { Close(); }
+
+Status AuditWal::Open(std::string path, Options options,
+                      VerifyReport* report) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0 || writer_.joinable()) {
+    return Status::InvalidArgument("audit WAL already open");
+  }
+  if (options.rotate_bytes == 0) options.rotate_bytes = 1;
+  if (options.max_rotated_files < 0) options.max_rotated_files = 0;
+  if (options.queue_limit == 0) options.queue_limit = 1;
+  if (options.fsync_interval_ms < 0) options.fsync_interval_ms = 0;
+  if (options.fsync_batch_frames == 0) options.fsync_batch_frames = 1;
+
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open audit WAL '" + path +
+                            "': " + strerror(errno));
+  }
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return Status::Internal("cannot size audit WAL '" + path + "'");
+  }
+  // Crash recovery: find the last intact frame and cut the torn tail
+  // (a partial frame from a write interrupted by the crash) so every
+  // byte past Open() is a verified prefix of history.
+  VerifyReport scan =
+      ScanFrames(fd, static_cast<uint64_t>(end), /*payloads=*/nullptr);
+  if (!scan.clean()) {
+    if (::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0) {
+      ::close(fd);
+      return Status::Internal("cannot truncate torn audit WAL tail of '" +
+                              path + "'");
+    }
+  }
+  if (report != nullptr) *report = scan;
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return Status::Internal("cannot seek audit WAL '" + path + "'");
+  }
+
+  fd_ = fd;
+  path_ = std::move(path);
+  options_ = options;
+  file_bytes_ = scan.valid_bytes;
+  next_seq_ = 0;
+  durable_seq_ = 0;
+  failed_seq_ = 0;
+  stop_ = false;
+  crash_ = false;
+  healthy_.store(true, std::memory_order_relaxed);
+  if (metric_degraded_ != nullptr) metric_degraded_->Set(0);
+  writer_ = std::thread([this] { WriterLoop(); });
+  return Status::OK();
+}
+
+void AuditWal::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0 && !writer_.joinable()) return;
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  queue_.clear();
+  if (metric_queue_depth_ != nullptr) metric_queue_depth_->Set(0);
+  ack_cv_.notify_all();
+}
+
+bool AuditWal::open() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fd_ >= 0 || writer_.joinable();
+}
+
+Result<uint64_t> AuditWal::Append(std::string payload) {
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ || fd_ < 0) {
+      sink_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (metric_failures_ != nullptr) metric_failures_->Inc();
+      return Status::Internal("audit WAL is closed");
+    }
+    if (queue_.size() >= options_.queue_limit) {
+      // Bounded queue: refusing the record (and telling the caller) is
+      // the fail-closed move; silently dropping it would break the
+      // audit-completeness guarantee invisibly.
+      sink_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (metric_failures_ != nullptr) metric_failures_->Inc();
+      return Status::Internal("audit WAL queue full (" +
+                              std::to_string(options_.queue_limit) + ")");
+    }
+    seq = ++next_seq_;
+    queue_.emplace_back(seq, std::move(payload));
+    if (metric_queue_depth_ != nullptr) {
+      metric_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
+  }
+  work_cv_.notify_one();
+  return seq;
+}
+
+Status AuditWal::WaitDurable(uint64_t seq) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  waiter_pending_ = true;
+  work_cv_.notify_one();  // Prompt commit: a waiter shortens the window.
+  ack_cv_.wait(lock, [&] {
+    return durable_seq_ >= seq || failed_seq_ >= seq ||
+           (stop_ && !writer_.joinable());
+  });
+  waiter_pending_ = false;
+  // A frame can be both past the durable watermark and inside a failed
+  // batch (the watermark advances over failed ranges so later waiters
+  // are never stuck); failure wins — the caller must not treat a
+  // dropped record as durable.
+  if (failed_seq_ >= seq) {
+    return Status::Internal("audit WAL frame " + std::to_string(seq) +
+                            " was dropped by a sink failure");
+  }
+  if (durable_seq_ >= seq) return Status::OK();
+  return Status::Internal("audit WAL closed before frame " +
+                          std::to_string(seq) + " committed");
+}
+
+Status AuditWal::Flush() {
+  uint64_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    target = next_seq_;
+  }
+  if (target == 0) return Status::OK();
+  return WaitDurable(target);
+}
+
+size_t AuditWal::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void AuditWal::BindMetrics(obs::Gauge* queue_depth, obs::Counter* fsyncs,
+                           obs::Counter* sink_failures,
+                           obs::Gauge* degraded) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metric_queue_depth_ = queue_depth;
+  metric_fsyncs_ = fsyncs;
+  metric_failures_ = sink_failures;
+  metric_degraded_ = degraded;
+  if (metric_degraded_ != nullptr) {
+    metric_degraded_->Set(healthy_.load(std::memory_order_relaxed) ? 0 : 1);
+  }
+}
+
+void AuditWal::CrashForTest(size_t torn_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    crash_ = true;
+    queue_.clear();  // Unwritten frames die with the "process".
+  }
+  work_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);  // No fsync: whatever the kernel kept is what survives.
+    fd_ = -1;
+  }
+  if (torn_bytes > 0) {
+    // Fabricate the on-disk residue of a frame write cut mid-flight: a
+    // header promising more payload than follows (or, under 8 bytes, a
+    // header that itself is short).
+    int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+    if (fd >= 0) {
+      std::string torn(torn_bytes, '\xAB');
+      if (torn_bytes >= kHeaderBytes) {
+        PutU32(reinterpret_cast<unsigned char*>(torn.data()),
+               kMaxFrameBytes - 1);  // Plausible length, payload missing.
+        PutU32(reinterpret_cast<unsigned char*>(torn.data()) + 4,
+               0xDEADBEEFu);
+      }
+      WriteAllFd(fd, torn.data(), torn.size());
+      ::close(fd);
+    }
+  }
+  ack_cv_.notify_all();
+}
+
+Result<AuditWal::VerifyReport> AuditWal::Verify(
+    const std::string& path, std::vector<std::string>* payloads) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open audit WAL '" + path +
+                            "': " + strerror(errno));
+  }
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return Status::Internal("cannot size audit WAL '" + path + "'");
+  }
+  VerifyReport report = ScanFrames(fd, static_cast<uint64_t>(end), payloads);
+  ::close(fd);
+  return report;
+}
+
+bool AuditWal::Rotate() {
+  // Rotation is a commit point: the outgoing generation must be fully
+  // durable before it is renamed out from under the live path.
+  if (::fsync(fd_) != 0) return false;
+  ::close(fd_);
+  fd_ = -1;
+  const int keep = options_.max_rotated_files;
+  if (keep > 0) {
+    std::string oldest = path_ + "." + std::to_string(keep);
+    std::remove(oldest.c_str());
+    for (int i = keep - 1; i >= 1; --i) {
+      std::string from = path_ + "." + std::to_string(i);
+      std::string to = path_ + "." + std::to_string(i + 1);
+      std::rename(from.c_str(), to.c_str());  // Missing generations: no-op.
+    }
+    std::rename(path_.c_str(), (path_ + ".1").c_str());
+  } else {
+    std::remove(path_.c_str());
+  }
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  file_bytes_ = 0;
+  return fd_ >= 0;
+}
+
+void AuditWal::SetHealthy(bool healthy) {
+  bool was = healthy_.exchange(healthy, std::memory_order_relaxed);
+  if (was != healthy && metric_degraded_ != nullptr) {
+    metric_degraded_->Set(healthy ? 0 : 1);
+  }
+}
+
+void AuditWal::NoteFailure(int64_t failed_operations) {
+  sink_failures_.fetch_add(failed_operations, std::memory_order_relaxed);
+  if (metric_failures_ != nullptr) metric_failures_->Inc(failed_operations);
+  SetHealthy(false);
+}
+
+void AuditWal::WriterLoop() {
+  std::vector<std::pair<uint64_t, std::string>> batch;
+  std::string chunk;             // Reused frame buffer: one write per batch.
+  uint64_t written_seq = 0;      // Highest frame written to the fd.
+  size_t uncommitted_frames = 0;
+  auto window_start = Clock::now();
+
+  auto commit = [&](std::unique_lock<std::mutex>& lock) {
+    // Group commit: one fsync acknowledges every frame written since
+    // the previous one.  Called with the lock HELD; drops it for the
+    // syscall so appenders never stall behind the disk.
+    const uint64_t target = written_seq;
+    lock.unlock();
+    bool ok = !failpoint::ShouldFail("audit.wal_fsync") &&
+              fd_ >= 0 && ::fsync(fd_) == 0;
+    lock.lock();
+    if (ok) {
+      fsyncs_.fetch_add(1, std::memory_order_relaxed);
+      if (metric_fsyncs_ != nullptr) metric_fsyncs_->Inc();
+      if (target > durable_seq_) durable_seq_ = target;
+      SetHealthy(true);
+    } else {
+      // The frames were written but their durability is unknown; report
+      // them failed (conservative) and advance the watermark so later
+      // waiters do not hang behind the failed window.
+      NoteFailure(static_cast<int64_t>(uncommitted_frames == 0
+                                           ? 1
+                                           : uncommitted_frames));
+      if (target > failed_seq_) failed_seq_ = target;
+      if (target > durable_seq_) durable_seq_ = target;
+    }
+    uncommitted_frames = 0;
+    window_start = Clock::now();
+    ack_cv_.notify_all();
+  };
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Frames below the batch threshold are not urgent on their own: the
+  // writer lets the group-commit window fill so concurrent appenders
+  // share one write and one fsync.  Waiters and shutdown always break
+  // the pause.
+  auto urgent = [&] {
+    return stop_ || waiter_pending_ ||
+           queue_.size() >= options_.fsync_batch_frames;
+  };
+  for (;;) {
+    if (queue_.empty() && !stop_) {
+      if (uncommitted_frames == 0) {
+        work_cv_.wait(lock, [&] {
+          return stop_ || !queue_.empty() || waiter_pending_;
+        });
+        if (!urgent()) {
+          window_start = Clock::now();
+          work_cv_.wait_until(
+              lock,
+              window_start +
+                  std::chrono::milliseconds(options_.fsync_interval_ms),
+              urgent);
+        }
+      } else {
+        // Frames are written but not yet fsynced: sleep at most to the
+        // end of the group-commit window.
+        work_cv_.wait_until(
+            lock,
+            window_start +
+                std::chrono::milliseconds(options_.fsync_interval_ms),
+            urgent);
+        if (queue_.empty() && !stop_) {
+          const bool window_over =
+              Clock::now() - window_start >=
+              std::chrono::milliseconds(options_.fsync_interval_ms);
+          if (window_over || waiter_pending_) commit(lock);
+          continue;
+        }
+      }
+      if (queue_.empty() && waiter_pending_ && uncommitted_frames == 0 &&
+          !stop_) {
+        // Spurious waiter wake with nothing pending: the waiter's frame
+        // is either already resolved or still queued elsewhere.
+        ack_cv_.notify_all();
+        work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      }
+    }
+    if (stop_ && queue_.empty()) break;
+
+    batch.clear();
+    while (!queue_.empty()) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    if (metric_queue_depth_ != nullptr) metric_queue_depth_->Set(0);
+    const bool want_prompt_commit = waiter_pending_ || stop_;
+    lock.unlock();
+
+    // --- File I/O, outside the lock ------------------------------------
+    // Frames are serialized into `chunk` and hit the kernel as ONE
+    // write per batch (amortizing syscalls across concurrent
+    // appenders); the buffer is flushed early only at a rotation
+    // boundary or an injected fault.
+    bool failed = false;
+    uint64_t last_attempted = written_seq;
+    size_t frames_written = 0;
+    chunk.clear();
+    size_t chunk_frames = 0;
+    uint64_t chunk_seq = written_seq;
+    auto flush_chunk = [&]() -> bool {
+      if (chunk.empty()) return true;
+      if (fd_ < 0 || !WriteAllFd(fd_, chunk.data(), chunk.size())) {
+        return false;
+      }
+      file_bytes_ += chunk.size();
+      written_seq = chunk_seq;
+      frames_written += chunk_frames;
+      chunk.clear();
+      chunk_frames = 0;
+      return true;
+    };
+    for (auto& [seq, payload] : batch) {
+      last_attempted = seq;
+      if (failed) continue;  // Drop the rest of the batch on failure.
+      if (failpoint::ShouldFail("audit.wal_write")) {
+        // Frames buffered before the faulted one still get their write.
+        if (!flush_chunk()) chunk.clear();
+        failed = true;
+        continue;
+      }
+      if (fd_ >= 0 && file_bytes_ + chunk.size() > 0 &&
+          file_bytes_ + chunk.size() + kHeaderBytes + payload.size() >
+              options_.rotate_bytes) {
+        if (!flush_chunk() || !Rotate()) {
+          failed = true;
+          continue;
+        }
+        // Rotation fsynced the old generation: everything written so
+        // far is durable.
+        lock.lock();
+        fsyncs_.fetch_add(1, std::memory_order_relaxed);
+        if (metric_fsyncs_ != nullptr) metric_fsyncs_->Inc();
+        if (written_seq > durable_seq_) durable_seq_ = written_seq;
+        uncommitted_frames = 0;
+        ack_cv_.notify_all();
+        lock.unlock();
+      }
+      if (fd_ < 0) {
+        failed = true;
+        continue;
+      }
+      unsigned char header[kHeaderBytes];
+      PutU32(header, static_cast<uint32_t>(payload.size()));
+      PutU32(header + 4, Crc32(payload));
+      chunk.append(reinterpret_cast<const char*>(header), kHeaderBytes);
+      chunk.append(payload);
+      chunk_seq = seq;
+      ++chunk_frames;
+    }
+    if (!failed && !flush_chunk()) failed = true;
+
+    lock.lock();
+    uncommitted_frames += frames_written;
+    if (failed) {
+      NoteFailure(static_cast<int64_t>(batch.size() - frames_written));
+      if (last_attempted > failed_seq_) failed_seq_ = last_attempted;
+      ack_cv_.notify_all();
+    }
+    const bool window_over =
+        Clock::now() - window_start >=
+        std::chrono::milliseconds(options_.fsync_interval_ms);
+    if (uncommitted_frames > 0 &&
+        (want_prompt_commit || waiter_pending_ || window_over ||
+         uncommitted_frames >= options_.fsync_batch_frames)) {
+      commit(lock);
+    }
+    if (failed && uncommitted_frames == 0) {
+      // Nothing to fsync, but the failed watermark must still unblock
+      // waiters past it.
+      if (last_attempted > durable_seq_) durable_seq_ = last_attempted;
+      ack_cv_.notify_all();
+    }
+    if (stop_ && queue_.empty()) break;
+  }
+  // Final commit so a clean Close() leaves a fully durable log; a
+  // simulated crash skips it.
+  if (!crash_ && uncommitted_frames > 0) commit(lock);
+  ack_cv_.notify_all();
+}
+
+}  // namespace server
+}  // namespace xmlsec

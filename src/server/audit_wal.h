@@ -1,0 +1,190 @@
+#ifndef XMLSEC_SERVER_AUDIT_WAL_H_
+#define XMLSEC_SERVER_AUDIT_WAL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace xmlsec {
+namespace server {
+
+/// Durable audit write-ahead log.
+///
+/// The audit trail is first-class security state: after a crash the
+/// server must still answer "who saw what, when".  The WAL provides
+/// that guarantee without putting an fsync on every request:
+///
+///  * `Append` formats nothing and blocks on nothing but a bounded
+///    queue — the request hot path hands the record to a background
+///    writer and (in enqueue mode) returns immediately.
+///  * The writer emits length-prefixed, CRC32-framed records and
+///    group-commits them: one fsync covers every frame queued since the
+///    previous commit.  A caller that needs the paper's strict "no
+///    audit, no view" guarantee calls `WaitDurable(seq)` and is woken
+///    by the commit that makes its frame durable (fsync-ack mode).
+///  * On `Open` the tail of an existing log is scanned; a torn frame
+///    (crash mid-write) is detected by its length/CRC and the file is
+///    truncated back to the last intact frame, so the log is always a
+///    clean prefix of acknowledged history.
+///
+/// Frame layout (little-endian):
+///
+///     [u32 payload_length][u32 crc32(payload)][payload bytes]
+///
+/// Failure semantics: a failed write, rotation, or fsync drops the
+/// affected batch (the in-memory `AuditLog` still holds the entries),
+/// fails any waiter on those frames, counts into `sink_failures`, and
+/// marks the WAL unhealthy.  The writer keeps retrying with later
+/// batches; the first success flips it back to healthy.  The server
+/// maps "unhealthy" to its configured degraded mode (fail-closed 503 or
+/// serve-with-memory-audit); see `ServerConfig::audit_degraded_mode`.
+///
+/// Fault injection: sites `audit.wal_write` and `audit.wal_fsync`
+/// (common/failpoint.h) fail the corresponding operation in the writer.
+class AuditWal {
+ public:
+  struct Options {
+    /// Rotate when the current file would exceed this size.
+    size_t rotate_bytes = 8 << 20;
+    /// Rotated generations kept (`path.1` .. `path.N`).
+    int max_rotated_files = 3;
+    /// Bounded append queue; a full queue is a sink failure (the
+    /// record is NOT silently dropped on the floor — Append reports it
+    /// and the caller decides).
+    size_t queue_limit = 4096;
+    /// Group-commit window: without waiters, batches are fsynced once
+    /// this many milliseconds of writes have accumulated.  Waiters
+    /// (fsync-ack mode) always trigger a prompt commit.
+    int fsync_interval_ms = 5;
+    /// Force a commit once this many frames are written uncommitted.
+    size_t fsync_batch_frames = 64;
+  };
+
+  /// Outcome of replaying a WAL file (see `Verify` and the
+  /// `xacl_tool audit-verify` subcommand).
+  struct VerifyReport {
+    uint64_t frames = 0;         ///< intact frames
+    uint64_t payload_bytes = 0;  ///< payload bytes across intact frames
+    uint64_t file_bytes = 0;     ///< total file size
+    uint64_t valid_bytes = 0;    ///< offset of the first non-intact byte
+    /// Bytes past the last intact frame (0 when the file is clean).
+    uint64_t torn_bytes() const { return file_bytes - valid_bytes; }
+    /// True when the tail was a frame whose CRC did not match (bit rot
+    /// or a partially overwritten sector) rather than a short write.
+    bool crc_mismatch = false;
+    bool clean() const { return valid_bytes == file_bytes; }
+  };
+
+  AuditWal() = default;
+  ~AuditWal();
+
+  AuditWal(const AuditWal&) = delete;
+  AuditWal& operator=(const AuditWal&) = delete;
+
+  /// Opens (or creates) the log at `path`, truncates any torn tail,
+  /// and starts the background writer.  `report`, when non-null,
+  /// receives the recovery scan outcome.
+  Status Open(std::string path, Options options,
+              VerifyReport* report = nullptr);
+
+  /// Flushes, fsyncs, and joins the writer.  Idempotent.
+  void Close();
+
+  bool open() const;
+  const std::string& path() const { return path_; }
+
+  /// Enqueues one payload as a frame; returns its sequence number (for
+  /// `WaitDurable`).  Fails when the WAL is closed or the bounded
+  /// queue is full — both count as sink failures.
+  Result<uint64_t> Append(std::string payload);
+
+  /// Blocks until every frame up to `seq` is fsync-durable.  Returns
+  /// an error when the batch containing `seq` failed (dropped by a
+  /// write/fsync fault) or the WAL closed before committing it.
+  Status WaitDurable(uint64_t seq);
+
+  /// Append barrier: waits until everything enqueued so far is
+  /// durable.
+  Status Flush();
+
+  /// False while the sink is failing (last batch dropped).  Flips back
+  /// on the first subsequent successful commit.
+  bool healthy() const { return healthy_.load(std::memory_order_relaxed); }
+
+  int64_t sink_failures() const {
+    return sink_failures_.load(std::memory_order_relaxed);
+  }
+  int64_t fsyncs() const { return fsyncs_.load(std::memory_order_relaxed); }
+  size_t queue_depth() const;
+
+  /// Mirrors queue depth / fsync count / failures / degraded state
+  /// into registry metrics.  Pass nullptrs to detach.  Bind before
+  /// concurrent use; the counters must outlive the WAL.
+  void BindMetrics(obs::Gauge* queue_depth, obs::Counter* fsyncs,
+                   obs::Counter* sink_failures, obs::Gauge* degraded);
+
+  /// Crash simulation for recovery tests: abandons the queue, abruptly
+  /// closes the descriptor WITHOUT committing, then appends
+  /// `torn_bytes` of a partial frame to the file — exactly what a
+  /// power cut mid-write leaves behind.  The object is unusable
+  /// afterwards (reopen a fresh AuditWal on the path to recover).
+  void CrashForTest(size_t torn_bytes);
+
+  /// Replays the WAL at `path` without opening it for writing:
+  /// validates every frame, reports the torn/corrupt tail.  When
+  /// `payloads` is non-null the intact payloads are appended to it.
+  static Result<VerifyReport> Verify(const std::string& path,
+                                     std::vector<std::string>* payloads =
+                                         nullptr);
+
+ private:
+  void WriterLoop();
+  /// Rotates `path_` -> `.1` -> ... under the writer (no lock needed:
+  /// only the writer touches the file).
+  bool Rotate();
+  void SetHealthy(bool healthy);
+  void NoteFailure(int64_t dropped_frames);
+
+  std::string path_;
+  Options options_;
+  int fd_ = -1;
+  size_t file_bytes_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< writer waits for frames / stop
+  std::condition_variable ack_cv_;   ///< WaitDurable waits for commits
+  std::deque<std::pair<uint64_t, std::string>> queue_;
+  uint64_t next_seq_ = 0;     ///< last assigned sequence number
+  uint64_t durable_seq_ = 0;  ///< highest fsync-acknowledged sequence
+  uint64_t failed_seq_ = 0;   ///< highest sequence dropped by a fault
+  bool waiter_pending_ = false;
+  bool stop_ = false;
+  bool crash_ = false;  ///< simulated crash: skip the final commit
+  std::thread writer_;
+
+  std::atomic<bool> healthy_{true};
+  std::atomic<int64_t> sink_failures_{0};
+  std::atomic<int64_t> fsyncs_{0};
+
+  obs::Gauge* metric_queue_depth_ = nullptr;
+  obs::Counter* metric_fsyncs_ = nullptr;
+  obs::Counter* metric_failures_ = nullptr;
+  obs::Gauge* metric_degraded_ = nullptr;
+};
+
+/// IEEE CRC-32 (the zlib/PNG polynomial) over `data` — the frame
+/// checksum of the audit WAL.  Exposed for tests and tooling.
+uint32_t Crc32(std::string_view data);
+
+}  // namespace server
+}  // namespace xmlsec
+
+#endif  // XMLSEC_SERVER_AUDIT_WAL_H_

@@ -1,9 +1,16 @@
 #include "server/config_files.h"
 
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
+#include <vector>
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
+#include "analysis/analyzer.h"
+#include "authz/lint.h"
+#include "server/repository.h"
 
 namespace xmlsec {
 namespace server {
@@ -68,6 +75,130 @@ std::string SaveGroupsFile(const authz::GroupStore& groups) {
     out += "\n";
   }
   return out;
+}
+
+namespace {
+
+Result<std::string> ReadFileText(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot read file '" + path + "'");
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Resolves a manifest-relative path against the manifest's directory.
+std::string ResolveRelative(const std::string& base_dir,
+                            const std::string& path) {
+  if (path.empty() || path.front() == '/' || base_dir.empty()) return path;
+  return base_dir + "/" + path;
+}
+
+std::vector<std::string> SplitFields(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == ' ' || c == '\t') {
+      if (!current.empty()) fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const Repository>> LoadRepositoryManifest(
+    const std::string& manifest_path, const authz::GroupStore& groups) {
+  // Fault-injection site: a reload failure at ANY point must leave the
+  // serving repository untouched; failing before the first file read is
+  // the earliest (and in tests, the deterministic) abort.
+  XMLSEC_RETURN_IF_ERROR(failpoint::Check("server.reload"));
+  XMLSEC_ASSIGN_OR_RETURN(std::string manifest, ReadFileText(manifest_path));
+  std::string base_dir;
+  if (size_t slash = manifest_path.rfind('/'); slash != std::string::npos) {
+    base_dir = manifest_path.substr(0, slash);
+  }
+
+  // Build the candidate ENTIRELY off to the side: no request can
+  // observe it until the caller swaps it in, so a failure anywhere
+  // below is a rollback by construction.
+  auto repo = std::make_shared<Repository>();
+  int line_number = 0;
+  for (const std::string& raw_line : SplitString(manifest, '\n')) {
+    ++line_number;
+    std::string line = raw_line;
+    if (size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::vector<std::string> fields =
+        SplitFields(StripAsciiWhitespace(line));
+    if (fields.empty()) continue;
+    auto fail = [&](const std::string& what) {
+      return Status::ParseError("manifest line " +
+                                std::to_string(line_number) + ": " + what);
+    };
+    if (fields[0] == "dtd") {
+      if (fields.size() != 3) return fail("expected 'dtd <uri> <file>'");
+      XMLSEC_ASSIGN_OR_RETURN(
+          std::string text, ReadFileText(ResolveRelative(base_dir, fields[2])));
+      XMLSEC_RETURN_IF_ERROR(repo->AddDtd(fields[1], text));
+    } else if (fields[0] == "doc") {
+      if (fields.size() != 3 && fields.size() != 4) {
+        return fail("expected 'doc <uri> <file> [dtd-uri]'");
+      }
+      XMLSEC_ASSIGN_OR_RETURN(
+          std::string text, ReadFileText(ResolveRelative(base_dir, fields[2])));
+      XMLSEC_RETURN_IF_ERROR(repo->AddDocument(
+          fields[1], text, fields.size() == 4 ? fields[3] : ""));
+    } else if (fields[0] == "xacl") {
+      if (fields.size() != 2) return fail("expected 'xacl <file>'");
+      XMLSEC_ASSIGN_OR_RETURN(
+          std::string text, ReadFileText(ResolveRelative(base_dir, fields[1])));
+      XMLSEC_RETURN_IF_ERROR(repo->AddXacl(text));
+    } else {
+      return fail("unknown directive '" + fields[0] + "'");
+    }
+  }
+
+  // The gate: a repository that loads but carries an error-grade policy
+  // defect (uncompilable path, weak schema authorization, empty
+  // validity window, ...) must not go live.  Warnings pass — they are
+  // an author's concern, not a serving hazard.
+  for (const std::string& uri : repo->DocumentUris()) {
+    const xml::Document* doc = repo->FindDocument(uri);
+    std::span<const authz::Authorization> instance = repo->InstanceAuths(uri);
+    std::span<const authz::Authorization> schema;
+    const xml::Dtd* dtd = nullptr;
+    std::string dtd_uri = repo->DtdUriOf(uri);
+    if (!dtd_uri.empty()) {
+      schema = repo->SchemaAuths(dtd_uri);
+      dtd = repo->FindDtd(dtd_uri);
+    }
+    std::vector<authz::LintFinding> findings =
+        authz::LintPolicy(instance, schema, groups, doc, dtd);
+    if (dtd != nullptr) {
+      analysis::AnalyzerOptions options;
+      options.coverage = false;
+      analysis::PolicyAnalysis analysis =
+          analysis::AnalyzePolicy(instance, schema, groups, *dtd, options);
+      findings.insert(findings.end(), analysis.findings.begin(),
+                      analysis.findings.end());
+    }
+    for (const authz::LintFinding& finding : findings) {
+      if (finding.severity == authz::LintSeverity::kError) {
+        return Status::ValidationError(
+            "manifest rejected: document '" + uri + "': [" + finding.code +
+            "] " + finding.message);
+      }
+    }
+  }
+  return std::shared_ptr<const Repository>(std::move(repo));
 }
 
 }  // namespace server

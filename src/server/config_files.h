@@ -1,14 +1,18 @@
 #ifndef XMLSEC_SERVER_CONFIG_FILES_H_
 #define XMLSEC_SERVER_CONFIG_FILES_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "authz/subject.h"
 
 namespace xmlsec {
 namespace server {
+
+class Repository;
 
 /// Loads Apache-AuthGroupFile-style group definitions into a
 /// `GroupStore` (the deployment style the paper's §1.1 discusses):
@@ -27,6 +31,28 @@ Status LoadGroupsFile(std::string_view text, authz::GroupStore* groups);
 /// Inverse of `LoadGroupsFile`: one `group: members...` line per group,
 /// sorted, reloadable.
 std::string SaveGroupsFile(const authz::GroupStore& groups);
+
+/// Builds a complete `Repository` from a manifest file — the unit of
+/// atomic policy hot-reload.  Line format (paths relative to the
+/// manifest's directory; `#` comments and blank lines allowed):
+///
+/// ```
+/// dtd  <uri> <file>           # register a DTD
+/// doc  <uri> <file> [dtd-uri] # register a document (optional DTD)
+/// xacl <file>                 # load an XACL authorization sheet
+/// ```
+///
+/// The build is gated: after every resource loads (parse + validate at
+/// registration), the combined policy of each document runs through
+/// `authz::LintPolicy` and — when the document has a DTD —
+/// `analysis::AnalyzePolicy`; any error-severity finding fails the
+/// load.  Nothing is published on failure: the caller's live
+/// repository is untouched (rollback is the absence of a swap).
+///
+/// Fault-injection site: `server.reload` fails the build before any
+/// file is read.
+Result<std::shared_ptr<const Repository>> LoadRepositoryManifest(
+    const std::string& manifest_path, const authz::GroupStore& groups);
 
 }  // namespace server
 }  // namespace xmlsec

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/failpoint.h"
+#include "server/audit_wal.h"
 #include "xpath/evaluator.h"
 
 namespace xmlsec {
@@ -51,7 +52,17 @@ SecureDocumentServer::SecureDocumentServer(const Repository* repository,
                                            const UserDirectory* users,
                                            const authz::GroupStore* groups,
                                            ServerConfig config)
-    : repository_(repository),
+    // Aliasing shared_ptr: non-owning, the caller keeps the repository
+    // alive — existing embedders keep working unchanged.
+    : SecureDocumentServer(
+          std::shared_ptr<const Repository>(
+              std::shared_ptr<const Repository>(), repository),
+          users, groups, std::move(config)) {}
+
+SecureDocumentServer::SecureDocumentServer(
+    std::shared_ptr<const Repository> repository, const UserDirectory* users,
+    const authz::GroupStore* groups, ServerConfig config)
+    : repository_(std::move(repository)),
       users_(users),
       groups_(groups),
       config_(std::move(config)),
@@ -103,6 +114,25 @@ SecureDocumentServer::SecureDocumentServer(const Repository* repository,
   instruments_.automaton_states = registry->GetGauge(
       "xmlsec_policy_automaton_states",
       "state count of the most recently compiled policy automaton");
+  // Audit-durability families are registered here — not lazily on WAL
+  // attach — so the scrape always carries them and dashboards can alert
+  // on absence-of-data vs. zero.
+  instruments_.audit_queue_depth = registry->GetGauge(
+      "xmlsec_audit_queue_depth",
+      "audit WAL frames waiting for the background writer");
+  instruments_.audit_fsyncs = registry->GetCounter(
+      "xmlsec_audit_fsync_total", "audit WAL group commits (fsync calls)");
+  instruments_.audit_sink_failures = registry->GetCounter(
+      "xmlsec_audit_sink_failures_total",
+      "audit WAL frames dropped by sink failures (write/rotate/fsync "
+      "errors, queue overflow)");
+  instruments_.audit_degraded = registry->GetGauge(
+      "xmlsec_audit_degraded",
+      "1 while the durable audit sink is failing, 0 otherwise");
+  instruments_.audit_denied = registry->GetCounter(
+      "xmlsec_audit_denied_total",
+      "positive accesses denied (fail-closed) or degraded because the "
+      "audit record could not be durably acknowledged");
   cache_.BindMetrics(
       registry->GetCounter("xmlsec_view_cache_hits_total",
                            "view-cache hits"),
@@ -113,6 +143,41 @@ SecureDocumentServer::SecureDocumentServer(const Repository* repository,
           "view-cache entries dropped (LRU eviction or stale "
           "invalidation)"));
   obs::RegisterFailpointCollector(registry);
+}
+
+SecureDocumentServer::~SecureDocumentServer() {
+  if (audit_ != nullptr && audit_->wal() != nullptr) {
+    audit_->wal()->BindMetrics(nullptr, nullptr, nullptr, nullptr);
+  }
+}
+
+void SecureDocumentServer::set_audit_log(AuditLog* log) {
+  // Unbind the previous log's WAL before re-pointing: its bound
+  // gauges belong to this server's registry lifetime.
+  if (audit_ != nullptr && audit_->wal() != nullptr && audit_ != log) {
+    audit_->wal()->BindMetrics(nullptr, nullptr, nullptr, nullptr);
+  }
+  audit_ = log;
+  if (log != nullptr && log->wal() != nullptr) {
+    log->wal()->BindMetrics(
+        instruments_.audit_queue_depth, instruments_.audit_fsyncs,
+        instruments_.audit_sink_failures, instruments_.audit_degraded);
+  }
+}
+
+void SecureDocumentServer::SwapRepository(
+    std::shared_ptr<const Repository> next) {
+  std::lock_guard<std::mutex> lock(repository_mutex_);
+  repository_ = std::move(next);
+  // No cache purge needed: the new repository's version is globally
+  // unique, so every cached view/automaton is stale by version check
+  // and evicts on its next probe.
+}
+
+std::shared_ptr<const Repository> SecureDocumentServer::repository_snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(repository_mutex_);
+  return repository_;
 }
 
 obs::Counter* SecureDocumentServer::Instruments::StatusCounter(
@@ -135,11 +200,11 @@ obs::Histogram* SecureDocumentServer::Instruments::Stage(
 
 std::shared_ptr<const analysis::PolicyAutomaton>
 SecureDocumentServer::AutomatonFor(
-    const std::string& uri, const xml::Document& doc,
+    const Repository& repo, const std::string& uri, const xml::Document& doc,
     std::span<const authz::Authorization> instance,
     std::span<const authz::Authorization> schema) const {
   if (doc.dtd() == nullptr) return nullptr;
-  const uint64_t version = repository_->version();
+  const uint64_t version = repo.version();
   {
     std::lock_guard<std::mutex> lock(automata_mutex_);
     auto it = automata_.find(uri);
@@ -170,12 +235,19 @@ SecureDocumentServer::AutomatonFor(
 
 Result<authz::View> SecureDocumentServer::ComputeView(
     const authz::Requester& rq, std::string_view uri) const {
+  std::shared_ptr<const Repository> repo = repository_snapshot();
+  return ComputeViewOn(*repo, rq, uri);
+}
+
+Result<authz::View> SecureDocumentServer::ComputeViewOn(
+    const Repository& repo, const authz::Requester& rq,
+    std::string_view uri) const {
   const auto lookup_begin = obs::RequestTrace::Clock::now();
   // Fault-injection sites around every repository lookup: a failed
   // lookup aborts the request instead of proceeding with a partial
   // (possibly permissive-by-omission) authorization state.
   XMLSEC_RETURN_IF_ERROR(failpoint::Check("repo.find_document"));
-  const xml::Document* doc = repository_->FindDocument(uri);
+  const xml::Document* doc = repo.FindDocument(uri);
   if (doc == nullptr) {
     return Status::NotFound("document '" + std::string(uri) +
                             "' is not registered");
@@ -185,21 +257,21 @@ Result<authz::View> SecureDocumentServer::ComputeView(
   // authorizations" would serve the WHOLE document.  Abort instead.
   XMLSEC_RETURN_IF_ERROR(failpoint::Check("repo.instance_auths"));
   std::span<const authz::Authorization> instance =
-      repository_->InstanceAuths(uri);
+      repo.InstanceAuths(uri);
   std::span<const authz::Authorization> schema;
-  std::string dtd_uri = repository_->DtdUriOf(uri);
+  std::string dtd_uri = repo.DtdUriOf(uri);
   if (!dtd_uri.empty()) {
     XMLSEC_RETURN_IF_ERROR(failpoint::Check("repo.schema_auths"));
-    schema = repository_->SchemaAuths(dtd_uri);
+    schema = repo.SchemaAuths(dtd_uri);
   }
   authz::ProcessorOptions options = config_.processor;
-  options.policy = repository_->PolicyOf(uri, options.policy);
+  options.policy = repo.PolicyOf(uri, options.policy);
   const int64_t lookup_ns =
       NsBetween(lookup_begin, obs::RequestTrace::Clock::now());
   std::shared_ptr<const analysis::PolicyAutomaton> automaton;
   if (options.labeling == authz::LabelingMode::kCompiled &&
       options.pipeline == authz::ViewPipeline::kProject) {
-    automaton = AutomatonFor(std::string(uri), *doc, instance, schema);
+    automaton = AutomatonFor(repo, std::string(uri), *doc, instance, schema);
   }
   authz::SecurityProcessor processor(groups_, options);
   Result<authz::View> view =
@@ -216,7 +288,8 @@ Result<authz::View> SecureDocumentServer::ComputeView(
 }
 
 SecureDocumentServer::CacheKeyInfo SecureDocumentServer::NormalizedCacheKey(
-    const authz::Requester& rq, const std::string& uri) const {
+    const Repository& repo, const authz::Requester& rq,
+    const std::string& uri) const {
   // Soundness: once time-limited authorizations are excluded (the
   // caller bypasses the cache for those), the computed view depends on
   // the requester ONLY through (a) which action-matching authorization
@@ -230,7 +303,7 @@ SecureDocumentServer::CacheKeyInfo SecureDocumentServer::NormalizedCacheKey(
   CacheKeyInfo info;
   info.key.uri = uri;
   authz::PolicyOptions policy =
-      repository_->PolicyOf(uri, config_.processor.policy);
+      repo.PolicyOf(uri, config_.processor.policy);
   std::string fingerprint;
   bool needs_identity = false;
   auto consider = [&](std::span<const authz::Authorization> auths,
@@ -252,9 +325,9 @@ SecureDocumentServer::CacheKeyInfo SecureDocumentServer::NormalizedCacheKey(
       }
     }
   };
-  consider(repository_->InstanceAuths(uri), 'i');
-  std::string dtd_uri = repository_->DtdUriOf(uri);
-  if (!dtd_uri.empty()) consider(repository_->SchemaAuths(dtd_uri), 's');
+  consider(repo.InstanceAuths(uri), 'i');
+  std::string dtd_uri = repo.DtdUriOf(uri);
+  if (!dtd_uri.empty()) consider(repo.SchemaAuths(dtd_uri), 's');
   info.key.subject = std::move(fingerprint);
   if (needs_identity) {
     info.key.user = rq.user;
@@ -285,7 +358,26 @@ ServerResponse SecureDocumentServer::Handle(
     entry.total_nodes = response.stats.prune.nodes_before;
     entry.cache_hit = cache_hit;
     entry.trace = slow_trace;
-    audit_->Record(std::move(entry));
+    if (response.http_status != 200 || audit_->wal() == nullptr) {
+      // Denials, errors, and WAL-less deployments: fire-and-forget.
+      audit_->Record(std::move(entry));
+      return;
+    }
+    // Positive access with a durable WAL attached: the response only
+    // leaves once the record is acknowledged at the configured level
+    // ("no audit, no view", made explicit).
+    Status durable =
+        audit_->RecordDurable(entry, config_.audit_durability);
+    if (durable.ok()) return;
+    instruments_.audit_denied->Inc();
+    if (config_.audit_degraded_mode == AuditDegradedMode::kFailClosed) {
+      // Deny the access; the trail must not claim a 200 was served, so
+      // the (memory-only, best-effort) record carries the denial.
+      FailClosed(&response, 503, "Service Unavailable");
+      entry.http_status = 503;
+    }
+    // kMemoryAudit: serve anyway, record in the bounded memory trail.
+    audit_->RecordMemoryOnly(std::move(entry));
   };
   // Success responses additionally pass the audit gate: if the audit
   // trail cannot accept the access record, the access itself is denied
@@ -294,16 +386,7 @@ ServerResponse SecureDocumentServer::Handle(
     if (response.http_status == 200 && failpoint::ShouldFail("server.audit")) {
       FailClosed(&response, 500, "Internal Server Error");
     }
-    // Aggregate the request into the observability registry: per-stage
-    // histograms, end-to-end latency, per-status totals.
     const int64_t total_ns = trace.ElapsedNs();
-    instruments_.request_seconds->Observe(total_ns);
-    instruments_.StatusCounter(response.http_status)->Inc();
-    for (const auto& [stage, ns] : trace.spans()) {
-      if (obs::Histogram* histogram = instruments_.Stage(stage)) {
-        histogram->Observe(ns);
-      }
-    }
     // Slow request?  Attach the span breakdown to this access's audit
     // record, so the post-mortem travels through the audit sink.
     const int64_t threshold_ms = obs::SlowTraceThresholdMs();
@@ -311,14 +394,30 @@ ServerResponse SecureDocumentServer::Handle(
       instruments_.slow_requests->Inc();
       slow_trace = trace.Summary();
     }
+    // The audit gate may amend the response (fail-closed 503), so it
+    // runs BEFORE the per-status aggregation.
     const auto audit_begin = obs::RequestTrace::Clock::now();
     record();
     if (obs::Histogram* histogram = instruments_.Stage("audit")) {
       histogram->Observe(
           NsBetween(audit_begin, obs::RequestTrace::Clock::now()));
     }
+    // Aggregate the request into the observability registry: per-stage
+    // histograms, end-to-end latency, per-status totals.
+    instruments_.request_seconds->Observe(total_ns);
+    instruments_.StatusCounter(response.http_status)->Inc();
+    for (const auto& [stage, ns] : trace.spans()) {
+      if (obs::Histogram* histogram = instruments_.Stage(stage)) {
+        histogram->Observe(ns);
+      }
+    }
     return response;
   };
+
+  // ONE repository snapshot per request: a concurrent SwapRepository
+  // publishes a complete new repository for LATER requests; this one
+  // serves (and caches) consistently against what it saw at entry.
+  const std::shared_ptr<const Repository> repo = repository_snapshot();
 
   // Per-request wall-clock budget: checked at stage boundaries so a
   // pathological request aborts with 504 instead of pinning a worker.
@@ -354,7 +453,7 @@ ServerResponse SecureDocumentServer::Handle(
   // on the request time).
   bool cacheable = config_.view_cache_capacity > 0 &&
                    request.query.empty() &&
-                   !repository_->has_time_limited_auths();
+                   !repo->has_time_limited_auths();
   ViewCache::Key cache_key;
   if (cacheable) {
     // The span must close before finalize() aggregates it, so the probe
@@ -368,14 +467,14 @@ ServerResponse SecureDocumentServer::Handle(
       if (failpoint::ShouldFail("server.cache_get")) {
         cache_fault = true;
       } else {
-        CacheKeyInfo info = NormalizedCacheKey(rq, request.uri);
+        CacheKeyInfo info = NormalizedCacheKey(*repo, rq, request.uri);
         if (info.time_dependent) {
           // An applicable path references $time: the view varies with
           // the request instant, so memoizing it would be unsound.
           cacheable = false;
         } else {
           cache_key = std::move(info.key);
-          hit = cache_.Get(cache_key, repository_->version());
+          hit = cache_.Get(cache_key, repo->version());
         }
       }
     }
@@ -398,7 +497,7 @@ ServerResponse SecureDocumentServer::Handle(
     return finalize();
   }
 
-  Result<authz::View> view = ComputeView(rq, request.uri);
+  Result<authz::View> view = ComputeViewOn(*repo, rq, request.uri);
   if (!view.ok()) {
     if (view.status().code() == StatusCode::kNotFound) {
       response.http_status = 404;
@@ -510,7 +609,7 @@ ServerResponse SecureDocumentServer::Handle(
     // Fault-injection site: an insert fault only degrades (the computed
     // view is still correct and still served) — it must never deny.
     if (!failpoint::ShouldFail("server.cache_put")) {
-      cache_.Put(cache_key, repository_->version(), response.body);
+      cache_.Put(cache_key, repo->version(), response.body);
     }
   }
   return finalize();

@@ -23,6 +23,19 @@
 namespace xmlsec {
 namespace server {
 
+/// What the server does while the durable audit sink is failing (disk
+/// full, I/O error, queue overflow).  Either way the degradation is
+/// visible in `/healthz` (`degraded`) and the `xmlsec_audit_degraded`
+/// gauge.
+enum class AuditDegradedMode {
+  /// Deny positive accesses with `503` (empty body) until the sink
+  /// recovers — the strict reading of "no audit, no view".  Default.
+  kFailClosed,
+  /// Keep serving; accesses are recorded in the bounded in-memory
+  /// trail only (lost on crash, drainable via the audit API).
+  kMemoryAudit,
+};
+
 /// Server configuration.
 struct ServerConfig {
   authz::ProcessorOptions processor;
@@ -43,6 +56,14 @@ struct ServerConfig {
   /// stalling a worker indefinitely.  `0` disables the budget; a
   /// negative value expires every request immediately (test hook).
   int request_budget_ms = 0;
+  /// Acknowledgment level required before a positive (200) response
+  /// leaves the server when the audit log routes through a WAL:
+  /// `kEnqueue` accepts queue admission, `kFsync` waits for the
+  /// group commit (see `AuditDurability`).  Denials and errors are
+  /// always recorded fire-and-forget.
+  AuditDurability audit_durability = AuditDurability::kEnqueue;
+  /// Behaviour while the durable audit sink is failing.
+  AuditDegradedMode audit_degraded_mode = AuditDegradedMode::kFailClosed;
   /// Metrics registry the server instruments (per-stage latency
   /// histograms, per-status response counters, cache hit/miss, slow
   /// requests).  nullptr selects the process-wide
@@ -90,10 +111,22 @@ struct ServerResponse {
 /// guarantees a query can never observe data the view hides.
 class SecureDocumentServer {
  public:
+  /// Non-owning construction: `repository` must outlive the server (or
+  /// its replacement via `SwapRepository`).
   SecureDocumentServer(const Repository* repository,
                        const UserDirectory* users,
                        const authz::GroupStore* groups,
                        ServerConfig config = {});
+
+  /// Owning construction for hot-reloadable deployments.
+  SecureDocumentServer(std::shared_ptr<const Repository> repository,
+                       const UserDirectory* users,
+                       const authz::GroupStore* groups,
+                       ServerConfig config = {});
+
+  /// Unbinds any WAL metrics `set_audit_log` bound: they point into
+  /// this server's registry, which may die before the WAL does.
+  ~SecureDocumentServer();
 
   /// Full request cycle; never returns a C++ error — failures map to
   /// HTTP-style statuses in the response.
@@ -124,8 +157,27 @@ class SecureDocumentServer {
   const ViewCache& view_cache() const { return cache_; }
 
   /// Attaches an audit trail; every handled request is recorded.  The
-  /// log must outlive the server.  Pass nullptr to detach.
-  void set_audit_log(AuditLog* log) { audit_ = log; }
+  /// log must outlive the server.  Pass nullptr to detach.  When the
+  /// log routes through an `AuditWal` (attach the WAL BEFORE calling
+  /// this), the WAL's health metrics are bound into this server's
+  /// registry.
+  void set_audit_log(AuditLog* log);
+
+  /// Atomic hot-reload (RCU): publishes `next` as the repository every
+  /// subsequent request snapshots; requests already in flight finish
+  /// on the snapshot they took.  The view and automaton caches
+  /// invalidate naturally — the new repository carries a version no
+  /// cached entry was stamped with.  Never pass nullptr.
+  void SwapRepository(std::shared_ptr<const Repository> next);
+
+  /// The repository snapshot a request arriving now would serve from.
+  std::shared_ptr<const Repository> repository_snapshot() const;
+
+  /// True while the attached audit log reports its durable sink
+  /// failing — surfaced as `degraded` in `/healthz`.
+  bool audit_degraded() const {
+    return audit_ != nullptr && audit_->degraded();
+  }
 
  private:
   /// Metric handles, resolved once at construction (the hot path never
@@ -152,6 +204,16 @@ class SecureDocumentServer {
     obs::Counter* compiled_residual_nodes = nullptr;
     obs::Counter* compiled_fallbacks = nullptr;
     obs::Gauge* automaton_states = nullptr;
+    /// Durable-audit health (see server/audit_wal.h): bound into the
+    /// attached WAL by `set_audit_log` so the scrape always carries the
+    /// families, even before (or without) a WAL.
+    obs::Gauge* audit_queue_depth = nullptr;
+    obs::Counter* audit_fsyncs = nullptr;
+    obs::Counter* audit_sink_failures = nullptr;
+    obs::Gauge* audit_degraded = nullptr;
+    /// Positive accesses denied (or degraded) because their audit
+    /// record could not be durably acknowledged.
+    obs::Counter* audit_denied = nullptr;
     /// Lazily-populated per-status response counters
     /// (`xmlsec_http_responses_total{status="..."}`).
     mutable std::mutex status_mutex;
@@ -176,8 +238,16 @@ class SecureDocumentServer {
   /// cached view.  The raw triple is kept only when an applicable
   /// authorization path mentions an XPath requester variable (the view
   /// then depends on the identity itself, not just on what it matches).
-  CacheKeyInfo NormalizedCacheKey(const authz::Requester& rq,
+  CacheKeyInfo NormalizedCacheKey(const Repository& repo,
+                                  const authz::Requester& rq,
                                   const std::string& uri) const;
+
+  /// `ComputeView` against an explicit repository snapshot — the whole
+  /// request pipeline reads ONE snapshot, so a concurrent
+  /// `SwapRepository` can never show it a half-consistent state.
+  Result<authz::View> ComputeViewOn(const Repository& repo,
+                                    const authz::Requester& rq,
+                                    std::string_view uri) const;
 
   /// One memoized policy automaton per document URI, compiled from the
   /// document's DTD and its (document, DTD) authorization sets at a
@@ -193,11 +263,15 @@ class SecureDocumentServer {
   /// repository changed since the cached entry.  nullptr when the
   /// document has no DTD or the policy does not compile.
   std::shared_ptr<const analysis::PolicyAutomaton> AutomatonFor(
-      const std::string& uri, const xml::Document& doc,
+      const Repository& repo, const std::string& uri,
+      const xml::Document& doc,
       std::span<const authz::Authorization> instance,
       std::span<const authz::Authorization> schema) const;
 
-  const Repository* repository_;
+  /// RCU-published repository: readers snapshot the `shared_ptr` once
+  /// per request (one small critical section), writers swap it whole.
+  mutable std::mutex repository_mutex_;
+  std::shared_ptr<const Repository> repository_;
   const UserDirectory* users_;
   const authz::GroupStore* groups_;
   ServerConfig config_;

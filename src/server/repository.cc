@@ -1,5 +1,6 @@
 #include "server/repository.h"
 
+#include <atomic>
 #include <limits>
 
 #include "authz/xacl.h"
@@ -10,6 +11,22 @@
 namespace xmlsec {
 namespace server {
 
+namespace {
+/// Process-wide version source: hot-reload builds a second Repository
+/// and swaps it in; drawing versions from one counter guarantees the
+/// new snapshot's version differs from anything caches have seen.
+std::atomic<uint64_t> g_repository_version{0};
+}  // namespace
+
+Repository::Repository()
+    : version_(g_repository_version.fetch_add(1, std::memory_order_relaxed) +
+               1) {}
+
+void Repository::Bump() {
+  version_ =
+      g_repository_version.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 Status Repository::AddDtd(std::string_view uri, std::string_view text) {
   if (dtds_.find(uri) != dtds_.end()) {
     return Status::AlreadyExists("DTD '" + std::string(uri) +
@@ -18,7 +35,7 @@ Status Repository::AddDtd(std::string_view uri, std::string_view text) {
   XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<xml::Dtd> dtd, xml::ParseDtd(text));
   dtds_.emplace(std::string(uri), std::move(dtd));
   dtd_texts_.emplace(std::string(uri), std::string(text));
-  ++version_;
+  Bump();
   return Status::OK();
 }
 
@@ -69,7 +86,7 @@ Status Repository::AddDocument(std::string_view uri, std::string_view text,
   }
   entry.document = std::move(doc);
   documents_.emplace(std::string(uri), std::move(entry));
-  ++version_;
+  Bump();
   return Status::OK();
 }
 
@@ -91,7 +108,7 @@ Status Repository::SetDocumentPolicy(std::string_view doc_uri,
                             "' is not registered");
   }
   it->second.policy = policy;
-  ++version_;
+  Bump();
   return Status::OK();
 }
 
@@ -126,14 +143,14 @@ Status Repository::AddAuthorization(const authz::Authorization& auth) {
     }
     schema_auths_[uri].push_back(auth);
     ++authorization_count_;
-    ++version_;
+    Bump();
     has_time_limited_auths_ |= time_limited;
     return Status::OK();
   }
   if (documents_.find(uri) != documents_.end()) {
     instance_auths_[uri].push_back(auth);
     ++authorization_count_;
-    ++version_;
+    Bump();
     has_time_limited_auths_ |= time_limited;
     return Status::OK();
   }
@@ -161,7 +178,7 @@ Status Repository::RemoveDocument(std::string_view uri) {
     authorization_count_ -= auth_it->second.size();
     instance_auths_.erase(auth_it);
   }
-  ++version_;
+  Bump();
   return Status::OK();
 }
 
@@ -186,7 +203,7 @@ Status Repository::ReplaceDocument(std::string_view uri,
     return added;
   }
   documents_.find(uri)->second.policy = saved_policy;
-  ++version_;
+  Bump();
   return Status::OK();
 }
 
@@ -195,7 +212,7 @@ Status Repository::ClearInstanceAuths(std::string_view doc_uri) {
   if (it == instance_auths_.end()) return Status::OK();
   authorization_count_ -= it->second.size();
   instance_auths_.erase(it);
-  ++version_;
+  Bump();
   return Status::OK();
 }
 

@@ -24,7 +24,7 @@ namespace server {
 /// document URI, schema level keyed by DTD URI.
 class Repository {
  public:
-  Repository() = default;
+  Repository();
 
   // --- Schemas ---------------------------------------------------------
 
@@ -94,6 +94,9 @@ class Repository {
 
   /// Monotonic counter bumped on every mutation (document, DTD, or
   /// authorization added) — used by `ViewCache` for invalidation.
+  /// Versions are unique across every `Repository` in the process, so a
+  /// freshly built snapshot swapped in by hot-reload can never collide
+  /// with the version a cached view or automaton was stamped with.
   uint64_t version() const { return version_; }
 
   /// True when any stored authorization carries a validity window;
@@ -101,6 +104,9 @@ class Repository {
   bool has_time_limited_auths() const { return has_time_limited_auths_; }
 
  private:
+  /// Advances `version_` to the next process-globally-unique value.
+  void Bump();
+
   struct DocumentEntry {
     std::unique_ptr<xml::Document> document;
     std::string dtd_uri;

@@ -73,6 +73,10 @@ bool IsMetricsRequest(std::string_view head) {
   return IsLocalEndpoint(head, "GET /metrics");
 }
 
+bool IsReloadRequest(std::string_view head) {
+  return IsLocalEndpoint(head, "POST /admin/reload");
+}
+
 }  // namespace
 
 TcpHttpListener::TcpHttpListener(const SecureDocumentServer* server,
@@ -102,6 +106,13 @@ TcpHttpListener::TcpHttpListener(const SecureDocumentServer* server,
       "xmlsec_listener_health_checks_total", "GET /healthz probes served");
   metrics_scrapes_c_ = registry_->GetCounter(
       "xmlsec_listener_metrics_scrapes_total", "GET /metrics scrapes served");
+  reloads_c_ = registry_->GetCounter(
+      "xmlsec_listener_reloads_total",
+      "successful POST /admin/reload repository swaps");
+  reload_failures_c_ = registry_->GetCounter(
+      "xmlsec_listener_reload_failures_total",
+      "POST /admin/reload attempts rejected (build/validation failure; "
+      "the previous repository stays live)");
   status_408_ = registry_->GetCounter("xmlsec_http_responses_total",
                                       "HTTP responses by status code",
                                       {{"status", "408"}});
@@ -128,6 +139,8 @@ void TcpHttpListener::CaptureBaselines() {
   oversized_heads_base_ = oversized_heads_c_->Value();
   health_checks_base_ = health_checks_c_->Value();
   metrics_scrapes_base_ = metrics_scrapes_c_->Value();
+  reloads_base_ = reloads_c_->Value();
+  reload_failures_base_ = reload_failures_c_->Value();
 }
 
 TcpHttpListener::~TcpHttpListener() { Stop(); }
@@ -409,6 +422,13 @@ std::string TcpHttpListener::HealthzResponse() const {
   body += ",\"read_timeouts\":" + std::to_string(read_timeouts());
   body += ",\"write_timeouts\":" + std::to_string(write_timeouts());
   body += ",\"oversized_heads\":" + std::to_string(oversized_heads());
+  // Durable-audit health: `degraded` flips while the WAL sink is
+  // failing (the server is then denying 503 or serving memory-audited,
+  // per its configured degraded mode).
+  body += std::string(",\"degraded\":") +
+          (server_->audit_degraded() ? "true" : "false");
+  body += ",\"reloads\":" + std::to_string(reloads());
+  body += ",\"reload_failures\":" + std::to_string(reload_failures());
   body += "}\n";
   return BuildHttpResponse(is_draining ? 503 : 200,
                            is_draining ? "Service Unavailable" : "OK",
@@ -459,6 +479,29 @@ void TcpHttpListener::ServeConnection(int connection_fd) {
   if (IsMetricsRequest(head)) {
     metrics_scrapes_c_->Inc();
     WriteAll(connection_fd, MetricsResponse());
+    return;
+  }
+  if (IsReloadRequest(head)) {
+    // Admin reload: build-and-swap runs on this worker; requests on the
+    // other workers keep serving the previous snapshot until the swap
+    // publishes, and keep it alive until they finish (RCU).
+    if (!config_.reload_handler) {
+      WriteAll(connection_fd,
+               BuildHttpResponse(404, "Not Found", "text/plain",
+                                 "no reload handler configured\n"));
+      return;
+    }
+    Status reloaded = config_.reload_handler();
+    if (reloaded.ok()) {
+      reloads_c_->Inc();
+      WriteAll(connection_fd,
+               BuildHttpResponse(200, "OK", "text/plain", "reloaded\n"));
+    } else {
+      reload_failures_c_->Inc();
+      WriteAll(connection_fd,
+               BuildHttpResponse(500, "Internal Server Error", "text/plain",
+                                 reloaded.ToString() + "\n"));
+    }
     return;
   }
 

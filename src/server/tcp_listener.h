@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <set>
 #include <string>
@@ -41,6 +42,13 @@ struct ListenerConfig {
   /// `Stop()` grace period: in-flight and queued requests may finish for
   /// this long, then remaining connections are force-closed.
   int drain_timeout_ms = 2000;
+  /// Admin hook behind `POST /admin/reload`: rebuilds the policy
+  /// repository and atomically swaps it into the document server (the
+  /// listener holds the server const, so the owner — who can mutate —
+  /// wires this).  An OK status answers `200`; an error answers `500`
+  /// with the error text (the admin endpoint is trusted, unlike the
+  /// fail-closed document path).  Unset: the endpoint answers `404`.
+  std::function<Status()> reload_handler;
   /// Metrics registry backing the listener counters, `/healthz` and the
   /// `GET /metrics` Prometheus endpoint.  nullptr selects the
   /// process-wide `obs::DefaultRegistry()`.  Pass the SAME registry the
@@ -116,6 +124,10 @@ class TcpHttpListener {
   int64_t metrics_scrapes() const {
     return Delta(metrics_scrapes_c_, metrics_scrapes_base_);
   }
+  int64_t reloads() const { return Delta(reloads_c_, reloads_base_); }
+  int64_t reload_failures() const {
+    return Delta(reload_failures_c_, reload_failures_base_);
+  }
   bool draining() const { return draining_.load(); }
   size_t queue_depth() const;
   int in_flight() const { return in_flight_.load(); }
@@ -176,6 +188,8 @@ class TcpHttpListener {
   obs::Counter* oversized_heads_c_ = nullptr;
   obs::Counter* health_checks_c_ = nullptr;
   obs::Counter* metrics_scrapes_c_ = nullptr;
+  obs::Counter* reloads_c_ = nullptr;
+  obs::Counter* reload_failures_c_ = nullptr;
   obs::Counter* status_408_ = nullptr;  ///< listener-generated responses
   obs::Counter* status_431_ = nullptr;
   obs::Counter* status_503_ = nullptr;
@@ -188,6 +202,8 @@ class TcpHttpListener {
   int64_t oversized_heads_base_ = 0;
   int64_t health_checks_base_ = 0;
   int64_t metrics_scrapes_base_ = 0;
+  int64_t reloads_base_ = 0;
+  int64_t reload_failures_base_ = 0;
 };
 
 /// Test/client helper: opens a connection to 127.0.0.1:`port`, sends

@@ -21,6 +21,7 @@
 #include "common/failpoint.h"
 #include "obs/metrics.h"
 #include "server/audit_log.h"
+#include "server/audit_wal.h"
 #include "server/document_server.h"
 #include "server/http.h"
 #include "server/repository.h"
@@ -131,14 +132,37 @@ class ChaosTest : public ::testing::Test {
                         "sign=\"-\" type=\"R\"/>"
                         "</xacl>")
                     .ok());
+    // Every chaos scenario runs with the durable WAL attached in
+    // fsync-ack mode: faults anywhere (including the WAL's own
+    // failpoint sites) must degrade fail-closed, and the surviving log
+    // must verify clean afterwards (`xacl_tool audit-verify` replays
+    // these files as a CI post-step).
+    wal_path_ = ::testing::TempDir() + "chaos_wal_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".log";
+    std::remove(wal_path_.c_str());
+    ASSERT_TRUE(wal_.Open(wal_path_, {}, nullptr).ok());
+    audit_.AttachWal(&wal_);
   }
 
   void TearDown() override {
     failpoint::DisableAll();
     if (listener_ != nullptr) listener_->Stop();
+    audit_.DetachWal();
+    if (wal_.open()) {
+      EXPECT_TRUE(wal_.Flush().ok());
+      wal_.Close();
+      auto report = AuditWal::Verify(wal_path_);
+      ASSERT_TRUE(report.ok()) << report.status();
+      EXPECT_TRUE(report->clean())
+          << "chaos left a torn frame in " << wal_path_;
+    }
   }
 
   void StartServer(ServerConfig server_config, ListenerConfig config) {
+    server_config.audit_durability = AuditDurability::kFsync;
     server_ = std::make_unique<SecureDocumentServer>(&repo_, &users_,
                                                      &groups_, server_config);
     server_->set_audit_log(&audit_);
@@ -159,6 +183,8 @@ class ChaosTest : public ::testing::Test {
   UserDirectory users_;
   authz::GroupStore groups_;
   AuditLog audit_;
+  AuditWal wal_;
+  std::string wal_path_;
   std::unique_ptr<SecureDocumentServer> server_;
   std::unique_ptr<TcpHttpListener> listener_;
 };
@@ -298,7 +324,8 @@ TEST_F(ChaosTest, FailpointSweepProvesFailClosed) {
   StartServer(server_config, {});
 
   for (std::string_view site : failpoint::Sites()) {
-    if (site == "xml.parse") continue;  // Registration-time; below.
+    if (site == "xml.parse") continue;      // Registration-time; below.
+    if (site == "server.reload") continue;  // Reload-time; reload suite.
     SCOPED_TRACE(std::string(site));
     // Start every site with a COLD cache: the recovery request of the
     // previous iteration memoized the view, which would let cache-hit

@@ -1,0 +1,303 @@
+// Atomic policy hot-reload: a manifest builds a complete candidate
+// repository off to the side, the lint/analysis gate rejects
+// error-grade policies before they can go live, a failure at any point
+// (including an injected fault) leaves the serving repository
+// untouched, the admin endpoint and counters work, and readers
+// hammering the server during swaps never observe a half-loaded
+// repository or a stale view after the final swap.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "server/audit_log.h"
+#include "server/config_files.h"
+#include "server/document_server.h"
+#include "server/http.h"
+#include "server/repository.h"
+#include "server/tcp_listener.h"
+#include "server/user_directory.h"
+#include "workload/docgen.h"
+
+namespace xmlsec {
+namespace server {
+namespace {
+
+constexpr char kDocXml[] =
+    "<laboratory><project name=\"P\" type=\"public\">"
+    "<manager><fname>A</fname><lname>B</lname></manager>"
+    "<paper category=\"private\"><title>Secret</title></paper>"
+    "<paper category=\"public\"><title>Known</title></paper>"
+    "</project></laboratory>";
+
+constexpr char kGrantAllXacl[] =
+    "<xacl><authorization subject=\"Public\" object=\"CSlab.xml\" "
+    "path=\"/laboratory\" sign=\"+\" type=\"RW\"/></xacl>";
+
+constexpr char kDenyPrivateXacl[] =
+    "<xacl>"
+    "<authorization subject=\"Public\" object=\"CSlab.xml\" "
+    "path=\"/laboratory\" sign=\"+\" type=\"RW\"/>"
+    "<authorization subject=\"Public\" object=\"laboratory.xml\" "
+    "path='//paper[./@category=&quot;private&quot;]' "
+    "sign=\"-\" type=\"R\"/>"
+    "</xacl>";
+
+void WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out << text;
+}
+
+/// Lays out `manifest`, `lab.dtd`, `doc.xml`, and `policy.xacl` in the
+/// test temp dir and returns the manifest path.
+std::string WriteManifest(const std::string& stem, const char* xacl) {
+  std::string dir = ::testing::TempDir();
+  WriteFile(dir + stem + "_lab.dtd", workload::LaboratoryDtd());
+  WriteFile(dir + stem + "_doc.xml", kDocXml);
+  WriteFile(dir + stem + "_policy.xacl", xacl);
+  std::string manifest_path = dir + stem + "_manifest.txt";
+  WriteFile(manifest_path,
+            "# test repository manifest\n"
+            "dtd laboratory.xml " + stem + "_lab.dtd\n"
+            "doc CSlab.xml " + stem + "_doc.xml laboratory.xml\n"
+            "xacl " + stem + "_policy.xacl\n");
+  return manifest_path;
+}
+
+class ReloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DisableAll(); }
+  void TearDown() override { failpoint::DisableAll(); }
+
+  authz::GroupStore groups_;
+  UserDirectory users_;
+};
+
+TEST_F(ReloadTest, ManifestBuildsAServableRepository) {
+  std::string manifest = WriteManifest("reload_valid", kDenyPrivateXacl);
+  auto repo = LoadRepositoryManifest(manifest, groups_);
+  ASSERT_TRUE(repo.ok()) << repo.status();
+  SecureDocumentServer server(*repo, &users_, &groups_, {});
+  std::string response = server.HandleHttp("GET /CSlab.xml HTTP/1.0\r\n\r\n",
+                                           "10.0.0.8", "lab.example");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("Known"), std::string::npos);
+  EXPECT_EQ(response.find("Secret"), std::string::npos)
+      << "manifest policy not enforced";
+}
+
+TEST_F(ReloadTest, MissingFileAndBadDirectiveAreRejectedWithLineNumbers) {
+  std::string dir = ::testing::TempDir();
+  std::string manifest = dir + "reload_bad_manifest.txt";
+  WriteFile(manifest, "doc CSlab.xml does_not_exist.xml\n");
+  auto missing = LoadRepositoryManifest(manifest, groups_);
+  EXPECT_FALSE(missing.ok());
+
+  WriteFile(manifest, "frobnicate a b\n");
+  auto unknown = LoadRepositoryManifest(manifest, groups_);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("line 1"), std::string::npos)
+      << unknown.status();
+}
+
+TEST_F(ReloadTest, GateRejectsErrorGradePolicy) {
+  // valid-from > valid-until is the lint's `empty-window` ERROR: the
+  // sheet parses and loads, but the gate must keep it from going live.
+  std::string manifest = WriteManifest(
+      "reload_gate",
+      "<xacl><authorization subject=\"Public\" object=\"CSlab.xml\" "
+      "path=\"/laboratory\" sign=\"+\" type=\"RW\" "
+      "valid-from=\"100\" valid-until=\"50\"/></xacl>");
+  auto repo = LoadRepositoryManifest(manifest, groups_);
+  ASSERT_FALSE(repo.ok());
+  EXPECT_NE(repo.status().message().find("empty-window"), std::string::npos)
+      << repo.status();
+}
+
+TEST_F(ReloadTest, FailedReloadLeavesTheServingRepositoryUntouched) {
+  std::string good = WriteManifest("reload_keep", kDenyPrivateXacl);
+  auto initial = LoadRepositoryManifest(good, groups_);
+  ASSERT_TRUE(initial.ok()) << initial.status();
+  SecureDocumentServer server(*initial, &users_, &groups_, {});
+  const Repository* before = server.repository_snapshot().get();
+
+  // Failure mode 1: gate rejection.
+  std::string bad = WriteManifest(
+      "reload_keep_bad",
+      "<xacl><authorization subject=\"Public\" object=\"CSlab.xml\" "
+      "path=\"/laboratory\" sign=\"+\" type=\"RW\" "
+      "valid-from=\"100\" valid-until=\"50\"/></xacl>");
+  auto rejected = LoadRepositoryManifest(bad, groups_);
+  EXPECT_FALSE(rejected.ok());
+
+  // Failure mode 2: injected fault inside the load itself.
+  failpoint::Enable("server.reload");
+  auto faulted = LoadRepositoryManifest(good, groups_);
+  EXPECT_FALSE(faulted.ok());
+  EXPECT_GT(failpoint::TriggerCount("server.reload"), 0);
+  failpoint::Disable("server.reload");
+
+  // Rollback is the absence of a swap: same repository, same behavior.
+  EXPECT_EQ(server.repository_snapshot().get(), before);
+  std::string response = server.HandleHttp("GET /CSlab.xml HTTP/1.0\r\n\r\n",
+                                           "10.0.0.8", "lab.example");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_EQ(response.find("Secret"), std::string::npos);
+}
+
+TEST_F(ReloadTest, SwapRepositoryChangesServedPolicyAtomically) {
+  auto permissive = LoadRepositoryManifest(
+      WriteManifest("reload_swap_a", kGrantAllXacl), groups_);
+  auto restrictive = LoadRepositoryManifest(
+      WriteManifest("reload_swap_b", kDenyPrivateXacl), groups_);
+  ASSERT_TRUE(permissive.ok() && restrictive.ok());
+  SecureDocumentServer server(*permissive, &users_, &groups_, {});
+
+  std::string open_view = server.HandleHttp(
+      "GET /CSlab.xml HTTP/1.0\r\n\r\n", "10.0.0.8", "lab.example");
+  EXPECT_NE(open_view.find("Secret"), std::string::npos)
+      << "permissive policy should expose the private paper";
+
+  server.SwapRepository(*restrictive);
+  std::string pruned_view = server.HandleHttp(
+      "GET /CSlab.xml HTTP/1.0\r\n\r\n", "10.0.0.8", "lab.example");
+  EXPECT_NE(pruned_view.find("200 OK"), std::string::npos);
+  EXPECT_NE(pruned_view.find("Known"), std::string::npos);
+  EXPECT_EQ(pruned_view.find("Secret"), std::string::npos)
+      << "stale view served after swap";
+}
+
+// --- Admin endpoint ------------------------------------------------------
+
+TEST_F(ReloadTest, AdminReloadEndpointDrivesTheHandler) {
+  auto repo = LoadRepositoryManifest(
+      WriteManifest("reload_admin", kDenyPrivateXacl), groups_);
+  ASSERT_TRUE(repo.ok());
+  SecureDocumentServer server(*repo, &users_, &groups_, {});
+
+  std::atomic<int> calls{0};
+  std::atomic<bool> fail_next{false};
+  ListenerConfig config;
+  config.reload_handler = [&]() -> Status {
+    calls.fetch_add(1);
+    if (fail_next.load()) return Status::Internal("simulated reload fault");
+    return Status::OK();
+  };
+  TcpHttpListener listener(&server, "lab.example", config);
+  ASSERT_TRUE(listener.Start(0).ok());
+
+  auto ok = FetchHttp(listener.port(),
+                      "POST /admin/reload HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_NE(ok->find("200 OK"), std::string::npos) << *ok;
+  EXPECT_NE(ok->find("reloaded"), std::string::npos);
+  EXPECT_EQ(calls.load(), 1);
+
+  fail_next.store(true);
+  auto failed = FetchHttp(listener.port(),
+                          "POST /admin/reload HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(failed.ok());
+  EXPECT_NE(failed->find("500"), std::string::npos) << *failed;
+  EXPECT_NE(failed->find("simulated reload fault"), std::string::npos);
+
+#ifndef XMLSEC_METRICS_NOOP
+  EXPECT_EQ(listener.reloads(), 1);
+  EXPECT_EQ(listener.reload_failures(), 1);
+  auto health = FetchHttp(listener.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(health.ok());
+  EXPECT_NE(health->find("\"reloads\":1"), std::string::npos) << *health;
+  EXPECT_NE(health->find("\"reload_failures\":1"), std::string::npos);
+#endif
+  listener.Stop();
+}
+
+TEST_F(ReloadTest, AdminReloadWithoutHandlerIs404) {
+  auto repo = LoadRepositoryManifest(
+      WriteManifest("reload_nohandler", kDenyPrivateXacl), groups_);
+  ASSERT_TRUE(repo.ok());
+  SecureDocumentServer server(*repo, &users_, &groups_, {});
+  TcpHttpListener listener(&server, "lab.example");
+  ASSERT_TRUE(listener.Start(0).ok());
+  auto response = FetchHttp(listener.port(),
+                            "POST /admin/reload HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("404"), std::string::npos) << *response;
+  listener.Stop();
+}
+
+// --- Reload under load ---------------------------------------------------
+
+TEST_F(ReloadTest, ReadersNeverSeeAHalfLoadedRepositoryDuringSwaps) {
+  auto permissive = LoadRepositoryManifest(
+      WriteManifest("reload_chaos_a", kGrantAllXacl), groups_);
+  auto restrictive = LoadRepositoryManifest(
+      WriteManifest("reload_chaos_b", kDenyPrivateXacl), groups_);
+  ASSERT_TRUE(permissive.ok() && restrictive.ok());
+  SecureDocumentServer server(*permissive, &users_, &groups_, {});
+  TcpHttpListener listener(&server, "lab.example");
+  ASSERT_TRUE(listener.Start(0).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> served{0};
+  constexpr int kReaders = 4;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto response =
+            FetchHttp(listener.port(), "GET /CSlab.xml HTTP/1.0\r\n\r\n");
+        if (!response.ok()) continue;
+        if (response->find("200 OK") == std::string::npos) {
+          torn.fetch_add(1);
+          continue;
+        }
+        served.fetch_add(1);
+        // Every 200 is a COMPLETE view from exactly one policy: the
+        // public paper always present, the document well-terminated,
+        // and the private paper either fully there (permissive) or
+        // fully absent (restrictive) — never truncated mid-swap.
+        if (response->find("Known") == std::string::npos ||
+            response->find("</laboratory>") == std::string::npos) {
+          torn.fetch_add(1);
+        }
+        bool has_secret_title =
+            response->find("Secret") != std::string::npos;
+        bool has_private_paper =
+            response->find("category=\"private\"") != std::string::npos;
+        if (has_secret_title != has_private_paper) torn.fetch_add(1);
+      }
+    });
+  }
+
+  // Hammer swaps while the readers run.
+  for (int i = 0; i < 50; ++i) {
+    server.SwapRepository(i % 2 == 0 ? *restrictive : *permissive);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  server.SwapRepository(*restrictive);
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  listener.Stop();
+
+  EXPECT_EQ(torn.load(), 0) << "a reader observed a torn/partial view";
+  EXPECT_GT(served.load(), 0);
+
+  // No stale view after the final swap: the restrictive policy rules.
+  std::string final_view = server.HandleHttp(
+      "GET /CSlab.xml HTTP/1.0\r\n\r\n", "10.0.0.8", "lab.example");
+  EXPECT_NE(final_view.find("200 OK"), std::string::npos);
+  EXPECT_EQ(final_view.find("Secret"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xmlsec

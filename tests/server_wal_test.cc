@@ -1,0 +1,491 @@
+// Durability suite for the audit WAL: frame round-trips, CRC catches
+// corruption, crash simulation leaves a torn tail that reopen truncates
+// while every fsync-acked frame survives, injected sink faults degrade
+// the serving path per config (fail-closed 503 vs memory-only audit),
+// and the AuditLog front-end stays data-race-free under concurrent
+// record/flush/rotate/detach (run under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "obs/metrics.h"
+#include "server/audit_log.h"
+#include "server/audit_wal.h"
+#include "server/document_server.h"
+#include "server/http.h"
+#include "server/repository.h"
+#include "server/tcp_listener.h"
+#include "server/user_directory.h"
+#include "workload/docgen.h"
+
+namespace xmlsec {
+namespace server {
+namespace {
+
+#ifdef XMLSEC_METRICS_NOOP
+constexpr bool kTalliesEnabled = false;
+#else
+constexpr bool kTalliesEnabled = true;
+#endif
+
+std::string TempPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+  std::remove((path + ".2").c_str());
+  return path;
+}
+
+// --- Frame format --------------------------------------------------------
+
+TEST(Crc32Test, MatchesTheIeeeReferenceVector) {
+  // The canonical CRC-32 check value ("123456789" -> 0xCBF43926).
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(AuditWalTest, AppendFlushVerifyRoundTrip) {
+  std::string path = TempPath("wal_roundtrip.log");
+  AuditWal wal;
+  ASSERT_TRUE(wal.Open(path, {}, nullptr).ok());
+  std::vector<std::string> written = {"alpha", "", std::string(3000, 'x'),
+                                      "final entry"};
+  for (const std::string& payload : written) {
+    auto seq = wal.Append(payload);
+    ASSERT_TRUE(seq.ok()) << seq.status();
+  }
+  ASSERT_TRUE(wal.Flush().ok());
+  wal.Close();
+
+  std::vector<std::string> read_back;
+  auto report = AuditWal::Verify(path, &read_back);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->clean());
+  EXPECT_EQ(report->frames, written.size());
+  EXPECT_EQ(read_back, written);
+}
+
+TEST(AuditWalTest, AppendAfterCloseFailsAndCounts) {
+  std::string path = TempPath("wal_closed.log");
+  AuditWal wal;
+  ASSERT_TRUE(wal.Open(path, {}, nullptr).ok());
+  wal.Close();
+  auto seq = wal.Append("too late");
+  EXPECT_FALSE(seq.ok());
+  EXPECT_GE(wal.sink_failures(), 1);
+}
+
+TEST(AuditWalTest, RotationKeepsAckedFramesAcrossGenerations) {
+  std::string path = TempPath("wal_rotate.log");
+  AuditWal::Options options;
+  options.rotate_bytes = 256;  // A few frames per generation.
+  options.max_rotated_files = 2;
+  AuditWal wal;
+  ASSERT_TRUE(wal.Open(path, options, nullptr).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(wal.Append("payload payload payload #" + std::to_string(i))
+                    .ok());
+  }
+  ASSERT_TRUE(wal.Flush().ok());
+  wal.Close();
+
+  // The active file and at least one rotated generation exist, and every
+  // surviving file verifies clean (rotation is a commit point).
+  EXPECT_TRUE(std::ifstream(path).good());
+  EXPECT_TRUE(std::ifstream(path + ".1").good());
+  for (const std::string& p : {path, path + ".1"}) {
+    auto report = AuditWal::Verify(p);
+    ASSERT_TRUE(report.ok()) << p << ": " << report.status();
+    EXPECT_TRUE(report->clean()) << p;
+  }
+}
+
+TEST(AuditWalTest, VerifyFlagsABitFlippedPayload) {
+  std::string path = TempPath("wal_bitflip.log");
+  AuditWal wal;
+  ASSERT_TRUE(wal.Open(path, {}, nullptr).ok());
+  ASSERT_TRUE(wal.Append("intact frame one").ok());
+  ASSERT_TRUE(wal.Append("frame that will rot").ok());
+  ASSERT_TRUE(wal.Flush().ok());
+  wal.Close();
+
+  // Flip one byte inside the SECOND frame's payload.
+  std::fstream file(path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good());
+  file.seekp(8 + 16 + 8 + 4);  // frame1 header+payload, frame2 header, +4
+  file.put('X');
+  file.close();
+
+  auto report = AuditWal::Verify(path);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->clean());
+  EXPECT_TRUE(report->crc_mismatch);
+  EXPECT_EQ(report->frames, 1u) << "only the intact prefix counts";
+}
+
+// --- Crash recovery ------------------------------------------------------
+
+TEST(WalCrashRecoveryTest, FsyncAckedFramesSurviveACrashMidWrite) {
+  std::string path = TempPath("wal_crash.log");
+  std::vector<std::string> acked;
+  {
+    AuditWal wal;
+    ASSERT_TRUE(wal.Open(path, {}, nullptr).ok());
+    for (int i = 0; i < 5; ++i) {
+      std::string payload = "acked entry " + std::to_string(i);
+      auto seq = wal.Append(payload);
+      ASSERT_TRUE(seq.ok());
+      // Fsync-ack mode: once WaitDurable returns OK the frame must
+      // survive ANY subsequent crash.
+      ASSERT_TRUE(wal.WaitDurable(*seq).ok());
+      acked.push_back(std::move(payload));
+    }
+    // Power cut mid-write: a partial frame lands after the acked tail.
+    wal.CrashForTest(/*torn_bytes=*/13);
+  }
+
+  // Reopen recovers: the torn tail is detected and truncated; every
+  // acked frame is intact.
+  AuditWal::VerifyReport recovered;
+  AuditWal reopened;
+  ASSERT_TRUE(reopened.Open(path, {}, &recovered).ok());
+  EXPECT_EQ(recovered.torn_bytes(), 13u);
+  EXPECT_EQ(recovered.frames, acked.size());
+  // The log accepts new appends after recovery.
+  ASSERT_TRUE(reopened.Append("post-recovery entry").ok());
+  ASSERT_TRUE(reopened.Flush().ok());
+  reopened.Close();
+
+  std::vector<std::string> read_back;
+  auto report = AuditWal::Verify(path, &read_back);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << "reopen must have truncated the tear";
+  ASSERT_EQ(read_back.size(), acked.size() + 1);
+  for (size_t i = 0; i < acked.size(); ++i) {
+    EXPECT_EQ(read_back[i], acked[i]);
+  }
+  EXPECT_EQ(read_back.back(), "post-recovery entry");
+}
+
+TEST(WalCrashRecoveryTest, ShortHeaderTearIsAlsoTruncated) {
+  std::string path = TempPath("wal_crash_short.log");
+  {
+    AuditWal wal;
+    ASSERT_TRUE(wal.Open(path, {}, nullptr).ok());
+    ASSERT_TRUE(wal.Append("the only durable frame").ok());
+    ASSERT_TRUE(wal.Flush().ok());
+    wal.CrashForTest(/*torn_bytes=*/3);  // Not even a full length word.
+  }
+  AuditWal::VerifyReport recovered;
+  AuditWal reopened;
+  ASSERT_TRUE(reopened.Open(path, {}, &recovered).ok());
+  reopened.Close();
+  EXPECT_EQ(recovered.torn_bytes(), 3u);
+  EXPECT_FALSE(recovered.crc_mismatch) << "a short write is not bit rot";
+  auto report = AuditWal::Verify(path);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean());
+  EXPECT_EQ(report->frames, 1u);
+}
+
+TEST(WalCrashRecoveryTest, InjectedWriteFaultFailsTheWaiterThenRecovers) {
+  failpoint::DisableAll();
+  std::string path = TempPath("wal_fault_write.log");
+  AuditWal wal;
+  ASSERT_TRUE(wal.Open(path, {}, nullptr).ok());
+
+  failpoint::Enable("audit.wal_write");
+  auto seq = wal.Append("doomed");
+  ASSERT_TRUE(seq.ok()) << "enqueue itself succeeds";
+  Status waited = wal.WaitDurable(*seq);
+  EXPECT_FALSE(waited.ok()) << "the dropped batch must fail its waiter";
+  EXPECT_FALSE(wal.healthy());
+  EXPECT_GE(wal.sink_failures(), 1);
+  failpoint::Disable("audit.wal_write");
+
+  // The writer keeps going: the next batch commits and health returns.
+  auto seq2 = wal.Append("survivor");
+  ASSERT_TRUE(seq2.ok());
+  EXPECT_TRUE(wal.WaitDurable(*seq2).ok());
+  EXPECT_TRUE(wal.healthy());
+  wal.Close();
+
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(AuditWal::Verify(path, &payloads).ok());
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "survivor");
+}
+
+TEST(WalCrashRecoveryTest, InjectedFsyncFaultFailsTheWaiterThenRecovers) {
+  failpoint::DisableAll();
+  std::string path = TempPath("wal_fault_fsync.log");
+  AuditWal wal;
+  ASSERT_TRUE(wal.Open(path, {}, nullptr).ok());
+
+  failpoint::Enable("audit.wal_fsync");
+  auto seq = wal.Append("uncommitted");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_FALSE(wal.WaitDurable(*seq).ok());
+  EXPECT_FALSE(wal.healthy());
+  failpoint::Disable("audit.wal_fsync");
+
+  auto seq2 = wal.Append("committed");
+  ASSERT_TRUE(seq2.ok());
+  EXPECT_TRUE(wal.WaitDurable(*seq2).ok());
+  EXPECT_TRUE(wal.healthy());
+  wal.Close();
+}
+
+// --- AuditLog front-end --------------------------------------------------
+
+AuditEntry MakeEntry(int i) {
+  AuditEntry entry;
+  entry.time = 1000 + i;
+  entry.user = "tom";
+  entry.ip = "10.0.0.8";
+  entry.sym = "lab.example";
+  entry.uri = "/CSlab.xml";
+  entry.http_status = 200;
+  entry.visible_nodes = 4;
+  entry.total_nodes = 9;
+  return entry;
+}
+
+TEST(AuditLogWalTest, RecordDurableFsyncLandsOnDisk) {
+  std::string path = TempPath("wal_audit_log.log");
+  AuditWal wal;
+  ASSERT_TRUE(wal.Open(path, {}, nullptr).ok());
+  AuditLog log;
+  log.AttachWal(&wal);
+  ASSERT_TRUE(
+      log.RecordDurable(MakeEntry(1), AuditDurability::kFsync).ok());
+  EXPECT_EQ(log.size(), 1u);
+  log.DetachWal();
+  wal.Close();
+
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(AuditWal::Verify(path, &payloads).ok());
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], MakeEntry(1).ToString());
+}
+
+TEST(AuditLogWalTest, DurableFailureStoresNothingAndReportsDegraded) {
+  failpoint::DisableAll();
+  std::string path = TempPath("wal_audit_fail.log");
+  AuditWal wal;
+  ASSERT_TRUE(wal.Open(path, {}, nullptr).ok());
+  AuditLog log;
+  log.AttachWal(&wal);
+  EXPECT_FALSE(log.degraded());
+
+  failpoint::Enable("audit.wal_fsync");
+  Status s = log.RecordDurable(MakeEntry(7), AuditDurability::kFsync);
+  EXPECT_FALSE(s.ok());
+  // The contract: on failure the entry is stored NOWHERE — the caller
+  // decides between fail-closed and RecordMemoryOnly.
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.degraded());
+  log.RecordMemoryOnly(MakeEntry(7));
+  EXPECT_EQ(log.size(), 1u);
+  failpoint::Disable("audit.wal_fsync");
+  log.DetachWal();
+  wal.Close();
+}
+
+TEST(AuditLogWalTest, ConcurrentRecordFlushRotateDetachIsRaceFree) {
+  // The TSan target: recorders, a flusher, a sink-rotator, and a WAL
+  // toggler all running against one AuditLog.  Asserts only totals —
+  // the point is that the sanitizer observes the interleavings.
+  std::string wal_path = TempPath("wal_tsan.log");
+  std::string sink_path = TempPath("wal_tsan_sink.log");
+  AuditWal wal;
+  ASSERT_TRUE(wal.Open(wal_path, {}, nullptr).ok());
+  AuditLog log;
+  AuditLog::FileSinkOptions sink_options;
+  sink_options.rotate_bytes = 2048;  // Rotate constantly under load.
+  sink_options.flush_every_records = 4;
+  ASSERT_TRUE(log.AttachFileSink(sink_path, sink_options).ok());
+  log.AttachWal(&wal);
+
+  constexpr int kRecorders = 4;
+  constexpr int kPerRecorder = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kRecorders; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerRecorder; ++i) {
+        if (i % 16 == 0) {
+          (void)log.RecordDurable(MakeEntry(t * 1000 + i),
+                                  AuditDurability::kFsync);
+        } else {
+          log.Record(MakeEntry(t * 1000 + i));
+        }
+      }
+    });
+  }
+  threads.emplace_back([&log] {
+    for (int i = 0; i < 50; ++i) (void)log.Flush();
+  });
+  threads.emplace_back([&log, &wal] {
+    for (int i = 0; i < 50; ++i) {
+      log.DetachWal();
+      log.AttachWal(&wal);
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(log.total_recorded(), kRecorders * kPerRecorder);
+  ASSERT_TRUE(log.Flush().ok());
+  log.DetachWal();
+  log.DetachFileSink();
+  wal.Close();
+  // Whatever reached the WAL is framed intact.
+  auto report = AuditWal::Verify(wal_path);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean());
+}
+
+// --- Degraded-mode serving -----------------------------------------------
+
+class DegradedModeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::DisableAll();
+    ASSERT_TRUE(
+        repo_.AddDtd("laboratory.xml", workload::LaboratoryDtd()).ok());
+    ASSERT_TRUE(repo_
+                    .AddDocument("CSlab.xml",
+                                 "<laboratory><project name=\"P\" "
+                                 "type=\"public\"><manager><fname>A</fname>"
+                                 "<lname>B</lname></manager>"
+                                 "<paper category=\"public\">"
+                                 "<title>Known</title></paper>"
+                                 "</project></laboratory>",
+                                 "laboratory.xml")
+                    .ok());
+    ASSERT_TRUE(repo_.AddXacl(
+                        "<xacl><authorization subject=\"Public\" "
+                        "object=\"CSlab.xml\" path=\"/laboratory\" "
+                        "sign=\"+\" type=\"RW\"/></xacl>")
+                    .ok());
+    ASSERT_TRUE(users_.CreateUser("tom", "secret").ok());
+    wal_path_ = TempPath("wal_degraded.log");
+    ASSERT_TRUE(wal_.Open(wal_path_, {}, nullptr).ok());
+    audit_.AttachWal(&wal_);
+  }
+
+  void TearDown() override {
+    failpoint::DisableAll();
+    audit_.DetachWal();
+    if (wal_.open()) wal_.Close();
+  }
+
+  std::unique_ptr<SecureDocumentServer> MakeServer(ServerConfig config) {
+    auto server = std::make_unique<SecureDocumentServer>(&repo_, &users_,
+                                                         &groups_, config);
+    server->set_audit_log(&audit_);
+    return server;
+  }
+
+  static std::string Request() {
+    return "GET /CSlab.xml HTTP/1.0\r\n\r\n";
+  }
+
+  Repository repo_;
+  UserDirectory users_;
+  authz::GroupStore groups_;
+  AuditLog audit_;
+  AuditWal wal_;
+  std::string wal_path_;
+};
+
+TEST_F(DegradedModeTest, FailClosedAnswers503WithEmptyBodyOnWalFault) {
+  ServerConfig config;
+  config.audit_durability = AuditDurability::kFsync;
+  config.audit_degraded_mode = AuditDegradedMode::kFailClosed;
+  auto server = MakeServer(config);
+
+  failpoint::Enable("audit.wal_fsync");
+  std::string response =
+      server->HandleHttp(Request(), "10.0.0.8", "lab.example");
+  EXPECT_NE(response.find("503"), std::string::npos) << response;
+  EXPECT_NE(response.find("Content-Length: 0"), std::string::npos);
+  EXPECT_EQ(response.find("Known"), std::string::npos)
+      << "no view bytes without a durable audit record";
+  // The degraded-mode trail still has the (amended) entry in memory.
+  ASSERT_GE(audit_.size(), 1u);
+  EXPECT_EQ(audit_.Entries().back().http_status, 503);
+  failpoint::Disable("audit.wal_fsync");
+
+  // Fault cleared: serving resumes with durable audit.
+  std::string ok = server->HandleHttp(Request(), "10.0.0.8", "lab.example");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("Known"), std::string::npos);
+}
+
+TEST_F(DegradedModeTest, MemoryAuditModeKeepsServingThroughWalFault) {
+  ServerConfig config;
+  config.audit_durability = AuditDurability::kFsync;
+  config.audit_degraded_mode = AuditDegradedMode::kMemoryAudit;
+  auto server = MakeServer(config);
+
+  failpoint::Enable("audit.wal_fsync");
+  std::string response =
+      server->HandleHttp(Request(), "10.0.0.8", "lab.example");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("Known"), std::string::npos);
+  // The access is still on the in-memory trail.
+  ASSERT_GE(audit_.size(), 1u);
+  EXPECT_EQ(audit_.Entries().back().http_status, 200);
+  EXPECT_TRUE(server->audit_degraded());
+  failpoint::Disable("audit.wal_fsync");
+}
+
+TEST_F(DegradedModeTest, HealthzAndMetricsExposeDegradedState) {
+  if (!kTalliesEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::MetricsRegistry registry;
+  ServerConfig config;
+  config.metrics = &registry;
+  config.audit_durability = AuditDurability::kFsync;
+  auto server = MakeServer(config);
+  ListenerConfig listener_config;
+  listener_config.metrics = &registry;
+  TcpHttpListener listener(server.get(), "lab.example", listener_config);
+  ASSERT_TRUE(listener.Start(0).ok());
+
+  auto healthy = FetchHttp(listener.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_NE(healthy->find("\"degraded\":false"), std::string::npos)
+      << *healthy;
+
+  failpoint::Enable("audit.wal_fsync");
+  (void)FetchHttp(listener.port(), Request());
+  auto degraded = FetchHttp(listener.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_NE(degraded->find("\"degraded\":true"), std::string::npos)
+      << *degraded;
+
+  auto scrape = FetchHttp(listener.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(scrape.ok());
+  for (const char* family :
+       {"xmlsec_audit_queue_depth", "xmlsec_audit_fsync_total",
+        "xmlsec_audit_sink_failures_total", "xmlsec_audit_degraded",
+        "xmlsec_audit_denied_total"}) {
+    EXPECT_NE(scrape->find(family), std::string::npos)
+        << "missing metric family " << family;
+  }
+  EXPECT_NE(scrape->find("xmlsec_audit_degraded 1"), std::string::npos)
+      << *scrape;
+  failpoint::Disable("audit.wal_fsync");
+  listener.Stop();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xmlsec
