@@ -21,6 +21,10 @@
 //   XMLSEC_AUDIT_DEGRADED=memory   serve with memory-only audit while
 //                                  the WAL sink fails (default:
 //                                  fail-closed 503)
+//   XMLSEC_QUERY_REWRITE=1         answer `?query=` through the
+//                                  policy-safe query rewriter instead
+//                                  of materializing the view (falls
+//                                  back per request when unsupported)
 //   XMLSEC_MANIFEST=<file>         repository manifest reloaded on
 //                                  SIGHUP / POST /admin/reload (without
 //                                  it, reload rebuilds the built-in
@@ -148,6 +152,10 @@ int main(int argc, char** argv) {
   if (const char* degraded = std::getenv("XMLSEC_AUDIT_DEGRADED");
       degraded != nullptr && std::string(degraded) == "memory") {
     config.audit_degraded_mode = server::AuditDegradedMode::kMemoryAudit;
+  }
+  if (const char* rewrite = std::getenv("XMLSEC_QUERY_REWRITE");
+      rewrite != nullptr && std::string(rewrite) == "1") {
+    config.query_path = server::QueryPathMode::kRewrite;
   }
   server::SecureDocumentServer server(*initial_repo, &users, &groups,
                                       config);

@@ -8,6 +8,7 @@
 //   xacl_tool lint    <doc.xml> <doc-uri> <dtd.dtd> <dtd-uri> <xacl.xml>
 //   xacl_tool analyze <dtd.dtd> <dtd-uri> <xacl.xml> [<doc-uri>]
 //   xacl_tool compile <dtd.dtd> <dtd-uri> <xacl.xml> [<doc-uri>]
+//   xacl_tool rewrite <dtd.dtd> <dtd-uri> <xacl.xml> <query> [<doc-uri>]
 //   xacl_tool check   <xacl.xml>
 //   xacl_tool loosen  <dtd.dtd>
 //   xacl_tool metrics <doc.xml> <doc-uri> <dtd.dtd> <dtd-uri> <xacl.xml>
@@ -23,6 +24,11 @@
 //   compile  builds the schema-compiled policy automaton and prints the
 //            static decidability report: which authorizations resolve by
 //            table lookup and which stay on the per-request XPath path
+//   rewrite  compiles the policy automaton, prints its decidability
+//            header, and rewrites <query> into its policy-safe form
+//            (accessibility guards folded into every location step) —
+//            or reports why the query must stay on the materialized
+//            path
 //   check    validates an XACL file and prints its authorizations
 //   loosen   prints the loosened version of a DTD (paper §6.2)
 //   metrics  runs the request through the full secure document server
@@ -54,6 +60,7 @@
 #include "server/repository.h"
 #include "server/user_directory.h"
 #include "authz/lint.h"
+#include "rewrite/rewriter.h"
 #include "authz/loosening.h"
 #include "authz/processor.h"
 #include "authz/xacl.h"
@@ -292,6 +299,63 @@ int RunCompile(int argc, char** argv) {
   return 0;
 }
 
+int RunRewrite(int argc, char** argv) {
+  if (argc != 6 && argc != 7) {
+    std::fprintf(stderr,
+                 "usage: xacl_tool rewrite <dtd.dtd> <dtd-uri> <xacl.xml> "
+                 "<query> [<doc-uri>]\n");
+    return 2;
+  }
+  auto dtd_text = ReadFile(argv[2]);
+  if (!dtd_text.ok()) return Fail(dtd_text.status());
+  auto dtd = xml::ParseDtd(*dtd_text);
+  if (!dtd.ok()) return Fail(dtd.status());
+  const std::string dtd_uri = argv[3];
+  auto xacl_text = ReadFile(argv[4]);
+  if (!xacl_text.ok()) return Fail(xacl_text.status());
+  auto xacl = authz::ParseXacl(*xacl_text);
+  if (!xacl.ok()) return Fail(xacl.status());
+  const std::string query = argv[5];
+  const std::string doc_uri = argc == 7 ? argv[6] : "";
+
+  std::vector<authz::Authorization> instance;
+  std::vector<authz::Authorization> schema;
+  for (authz::Authorization& auth : xacl->authorizations) {
+    if (auth.object.uri == dtd_uri) {
+      schema.push_back(std::move(auth));
+    } else if (doc_uri.empty() || auth.object.uri == doc_uri) {
+      instance.push_back(std::move(auth));
+    } else {
+      std::fprintf(stderr, "note: ignoring authorization on '%s'\n",
+                   auth.object.uri.c_str());
+    }
+  }
+
+  auto automaton =
+      analysis::PolicyAutomaton::Compile(**dtd, instance, schema);
+  if (!automaton.ok()) return Fail(automaton.status());
+  const analysis::AutomatonStats& stats = (*automaton)->stats();
+  std::printf("policy: %zu states, %zu transitions; %zu decidable / "
+              "%zu partially-decidable / %zu opaque authorization(s)\n",
+              stats.states, stats.transitions, stats.decidable_auths,
+              stats.partial_auths, stats.opaque_auths);
+
+  rewrite::QueryRewriter rewriter(std::move(*automaton));
+  auto rewritten = rewriter.Rewrite(query);
+  if (!rewritten.ok()) return Fail(rewritten.status());
+  if (!rewritten->ok()) {
+    std::printf(
+        "unsupported: %s (the server serves this query through the "
+        "materialized view)\n",
+        std::string(rewrite::UnsupportedReasonToString(rewritten->unsupported))
+            .c_str());
+    return 1;
+  }
+  std::printf("source:    %s\nrewritten: %s\n", rewritten->source.c_str(),
+              rewritten->expr->ToString().c_str());
+  return 0;
+}
+
 int RunExplain(int argc, char** argv) {
   if (argc != 11) {
     std::fprintf(stderr,
@@ -501,6 +565,7 @@ int main(int argc, char** argv) {
   if (mode == "lint") return RunLint(argc, argv);
   if (mode == "analyze") return RunAnalyze(argc, argv);
   if (mode == "compile") return RunCompile(argc, argv);
+  if (mode == "rewrite") return RunRewrite(argc, argv);
   if (mode == "explain") return RunExplain(argc, argv);
   if (mode == "metrics") return RunMetrics(argc, argv);
   if (mode == "audit-verify") return RunAuditVerify(argc, argv);
@@ -516,6 +581,8 @@ int main(int argc, char** argv) {
                "[<doc-uri>]\n"
                "  xacl_tool compile <dtd.dtd> <dtd-uri> <xacl.xml> "
                "[<doc-uri>]\n"
+               "  xacl_tool rewrite <dtd.dtd> <dtd-uri> <xacl.xml> "
+               "<query> [<doc-uri>]\n"
                "  xacl_tool explain <doc.xml> <doc-uri> <dtd.dtd> <dtd-uri> "
                "<xacl.xml> <user[:groups]> <ip> <sym> <node-xpath>\n"
                "  xacl_tool metrics <doc.xml> <doc-uri> <dtd.dtd> <dtd-uri> "

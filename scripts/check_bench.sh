@@ -14,7 +14,13 @@
 #      16k-node fixture — the table-lookup payoff of the policy
 #      automaton, also machine-independent, or
 #
-#   3. a gated benchmark's p50 regressed more than MAX_REGRESSION_PCT
+#   3. the rewritten query path (BM_QueryRewrite) is not at least
+#      REWRITE_RATIO_FLOOR (default 3x) faster than answering the same
+#      selective query over the materialized view (BM_QueryOverView) on
+#      the decidable 16k-node fixture — the whole point of policy-safe
+#      query rewriting, machine-independent, or
+#
+#   4. a gated benchmark's p50 regressed more than MAX_REGRESSION_PCT
 #      (default 15%) against its committed baseline in
 #      bench/baselines/.  The absolute check is advisory off-CI
 #      (machines differ); set XMLSEC_BENCH_STRICT=1 to make it fail
@@ -28,10 +34,12 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 PIPELINE_BASELINE="bench/baselines/BENCH_pipeline.json"
 LABELING_BASELINE="bench/baselines/BENCH_labeling.json"
+SERVER_BASELINE="bench/baselines/BENCH_server.json"
 REPS="${XMLSEC_BENCH_REPS:-7}"
 MIN_TIME="${XMLSEC_BENCH_MIN_TIME:-0.1}"
 RATIO_FLOOR="${XMLSEC_BENCH_RATIO_FLOOR:-1.5}"
 LABELING_RATIO_FLOOR="${XMLSEC_BENCH_LABELING_RATIO_FLOOR:-3.0}"
+REWRITE_RATIO_FLOOR="${XMLSEC_BENCH_REWRITE_RATIO_FLOOR:-3.0}"
 MAX_REGRESSION_PCT="${XMLSEC_BENCH_REGRESSION_PCT:-15}"
 STRICT="${XMLSEC_BENCH_STRICT:-${CI:+1}}"
 STRICT="${STRICT:-0}"
@@ -40,11 +48,12 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 fi
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_pipeline \
-  bench_labeling
+  bench_labeling bench_server
 
 PIPE_OUT="$(mktemp)"
 LABEL_OUT="$(mktemp)"
-trap 'rm -f "$PIPE_OUT" "$LABEL_OUT"' EXIT
+SERVER_OUT="$(mktemp)"
+trap 'rm -f "$PIPE_OUT" "$LABEL_OUT" "$SERVER_OUT"' EXIT
 
 # Repetitions give one JSON entry per rep (the capturing reporter skips
 # aggregate rows), so the p50s below are medians over real reruns.
@@ -56,15 +65,22 @@ XMLSEC_BENCH_JSON="$LABEL_OUT" "$BUILD_DIR/bench/bench_labeling" \
   --benchmark_filter='^BM_StageLabel$|^BM_StageLabelCompiled$' \
   --benchmark_repetitions="$REPS" \
   --benchmark_min_time="$MIN_TIME" > /dev/null
+XMLSEC_BENCH_JSON="$SERVER_OUT" "$BUILD_DIR/bench/bench_server" \
+  --benchmark_filter='^BM_QueryOverView$|^BM_QueryRewrite$' \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_min_time="$MIN_TIME" > /dev/null
 
-python3 - "$PIPE_OUT" "$LABEL_OUT" "$PIPELINE_BASELINE" \
-    "$LABELING_BASELINE" "$RATIO_FLOOR" "$LABELING_RATIO_FLOOR" \
+python3 - "$PIPE_OUT" "$LABEL_OUT" "$SERVER_OUT" "$PIPELINE_BASELINE" \
+    "$LABELING_BASELINE" "$SERVER_BASELINE" "$RATIO_FLOOR" \
+    "$LABELING_RATIO_FLOOR" "$REWRITE_RATIO_FLOOR" \
     "$MAX_REGRESSION_PCT" "$STRICT" <<'PY'
 import json, statistics, sys
 
-(pipe_path, label_path, pipe_baseline_path, label_baseline_path,
- ratio_floor, labeling_floor, max_pct, strict) = sys.argv[1:9]
+(pipe_path, label_path, server_path, pipe_baseline_path,
+ label_baseline_path, server_baseline_path, ratio_floor, labeling_floor,
+ rewrite_floor, max_pct, strict) = sys.argv[1:12]
 ratio_floor, labeling_floor = float(ratio_floor), float(labeling_floor)
+rewrite_floor = float(rewrite_floor)
 max_pct = float(max_pct)
 strict = strict == "1"
 failed = False
@@ -120,6 +136,14 @@ compiled = p50(label, "BM_StageLabelCompiled", label_path)
 check_ratio("xpath/compiled labeling", xpath, compiled, labeling_floor)
 check_regression("compiled labeling", label_baseline_path,
                  "BM_StageLabelCompiled", compiled)
+
+server = json.load(open(server_path))
+over_view = p50(server, "BM_QueryOverView", server_path)
+rewritten = p50(server, "BM_QueryRewrite", server_path)
+check_ratio("materialized/rewritten query", over_view, rewritten,
+            rewrite_floor)
+check_regression("rewritten query", server_baseline_path,
+                 "BM_QueryRewrite", rewritten)
 
 sys.exit(1 if failed else 0)
 PY

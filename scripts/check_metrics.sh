@@ -15,6 +15,7 @@ OUT="$(mktemp)"
 WAL="$(mktemp -u).audit.wal"
 
 XMLSEC_AUDIT_WAL="$WAL" XMLSEC_AUDIT_DURABILITY=fsync \
+  XMLSEC_QUERY_REWRITE=1 \
   "$SERVER_BIN" --serve 0 30 > "$OUT" &
 SERVER_PID=$!
 cleanup() {
@@ -46,10 +47,13 @@ for _ in $(seq 1 100); do
 done
 
 # Real traffic: two document fetches (a slow-trace-eligible pipeline run
-# plus a repeat), one bad document (404 counter).
+# plus a repeat), one bad document (404 counter), and two query
+# requests — one the rewriter serves, one (id()) it must fall back on.
 curl -fsS "http://127.0.0.1:$PORT/CSlab.xml" > /dev/null
 curl -fsS "http://127.0.0.1:$PORT/CSlab.xml" > /dev/null
 curl -sS "http://127.0.0.1:$PORT/Missing.xml" > /dev/null || true
+curl -fsS "http://127.0.0.1:$PORT/CSlab.xml?query=//paper" > /dev/null
+curl -fsS "http://127.0.0.1:$PORT/CSlab.xml?query=id(%22x%22)" > /dev/null
 
 # Atomic hot-reload round-trip: the admin endpoint rebuilds the
 # repository off to the side and swaps it in; serving must continue.
@@ -106,13 +110,28 @@ for family in \
     'xmlsec_audit_sink_failures_total' \
     'xmlsec_audit_degraded' \
     'xmlsec_audit_denied_total' \
-    'xmlsec_failpoint_trips_total'; do
+    'xmlsec_failpoint_trips_total' \
+    'xmlsec_rewrite_compiles_total' \
+    'xmlsec_rewrite_fallbacks_total\{reason="unsupported_function"\}' \
+    'xmlsec_rewrite_served_total'; do
   if ! printf '%s\n' "$SCRAPE" | grep -qE "^$family"; then
     echo "check_metrics: missing core family: $family" >&2
     MISSING=1
   fi
 done
 [ "$MISSING" -eq 0 ] || exit 1
+
+# --- 2b. The query traffic above ran with XMLSEC_QUERY_REWRITE=1, so
+#         the counters must show one rewritten answer and one counted
+#         fallback — not just registered-but-zero families.
+for want in \
+    'xmlsec_rewrite_served_total [1-9]' \
+    'xmlsec_rewrite_fallbacks_total\{reason="unsupported_function"\} [1-9]'; do
+  if ! printf '%s\n' "$SCRAPE" | grep -qE "^$want"; then
+    echo "check_metrics: expected nonzero sample: $want" >&2
+    exit 1
+  fi
+done
 
 # --- 3. Durable audit post-check: stop the server cleanly, then replay
 #        the WAL — every acknowledged access must verify frame-intact.

@@ -478,6 +478,207 @@ Result<ExplicitSigns> PolicyAutomaton::ComputeSigns(
   return out;
 }
 
+// --- Incremental per-node resolution (Resolver) ------------------------
+//
+// The resolution rules below mirror `ComputeSigns` exactly — same
+// applicability mask, same lazy per-state rows, same residual joint
+// resolution, same mismatch conditions — only the traversal differs:
+// `ComputeSigns` walks the whole tree once, the resolver threads the
+// parent chain of each node on demand and memoizes.  The equivalence is
+// enforced by the rewrite property suite (tests/rewrite_test.cc).
+
+PolicyAutomaton::Resolver::Resolver(const PolicyAutomaton* owner,
+                                    const xml::Document* doc,
+                                    const GroupStore* groups,
+                                    PolicyOptions policy)
+    : owner_(owner), doc_(doc), groups_(groups), policy_(policy) {}
+
+Result<std::unique_ptr<PolicyAutomaton::Resolver>>
+PolicyAutomaton::NewResolver(const Document& doc, const Requester& rq,
+                             const GroupStore& groups,
+                             PolicyOptions policy) const {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("document has no root element");
+  }
+  auto resolver = std::unique_ptr<Resolver>(
+      new Resolver(this, &doc, &groups, policy));
+  resolver->mask_.assign(decidable_.size(), 0);
+  for (size_t i = 0; i < decidable_.size(); ++i) {
+    const Authorization& auth = *decidable_[i].auth;
+    if (static_cast<int>(auth.action) != policy.action) continue;
+    if (!auth.AppliesAtTime(rq.time)) continue;
+    if (!RequesterMatches(rq, auth.subject, groups)) continue;
+    resolver->mask_[i] = 1;
+  }
+  XMLSEC_ASSIGN_OR_RETURN(
+      resolver->residual_,
+      authz::CollectSlotCandidates(doc, residual_instance_, residual_schema_,
+                                   rq, groups, policy, /*stats=*/nullptr));
+  resolver->resolved_.resize(states_.size());
+  resolver->state_memo_.assign(static_cast<size_t>(doc.node_count()),
+                               Resolver::kStateUnknown);
+  return resolver;
+}
+
+std::array<TriSign, 6> PolicyAutomaton::Resolver::ResolveLists(
+    const std::array<std::vector<uint32_t>, 6>& lists) {
+  std::array<TriSign, 6> row = kAllEps;
+  for (size_t slot = 0; slot < 6; ++slot) {
+    scratch_.clear();
+    for (uint32_t id : lists[slot]) {
+      if (mask_[id] != 0) scratch_.push_back(owner_->decidable_[id].auth);
+    }
+    if (!scratch_.empty()) {
+      row[slot] = ResolveSlotCandidates(scratch_, *groups_, policy_.conflict);
+    }
+  }
+  return row;
+}
+
+std::array<TriSign, 6> PolicyAutomaton::Resolver::JointRow(
+    const std::array<std::vector<uint32_t>, 6>* lists, int64_t doc_order) {
+  std::array<TriSign, 6> row = kAllEps;
+  for (size_t slot = 0; slot < 6; ++slot) {
+    scratch_.clear();
+    if (lists != nullptr) {
+      for (uint32_t id : (*lists)[slot]) {
+        if (mask_[id] != 0) scratch_.push_back(owner_->decidable_[id].auth);
+      }
+    }
+    auto it = residual_.slots.find(SlotCandidates::KeyOf(
+        doc_order, static_cast<authz::LabelSlot>(slot)));
+    if (it != residual_.slots.end()) {
+      scratch_.insert(scratch_.end(), it->second.begin(), it->second.end());
+    }
+    if (!scratch_.empty()) {
+      row[slot] = ResolveSlotCandidates(scratch_, *groups_, policy_.conflict);
+    }
+  }
+  return row;
+}
+
+const PolicyAutomaton::Resolver::ResolvedState&
+PolicyAutomaton::Resolver::Rows(size_t state_id) {
+  ResolvedState& rs = resolved_[state_id];
+  if (!rs.ready) {
+    const State& st = owner_->states_[state_id];
+    rs.element = ResolveLists(st.element_slots);
+    rs.attrs.reserve(st.attrs.size());
+    for (const State::AttrEntry& entry : st.attrs) {
+      rs.attrs.push_back(ResolveLists(entry.slots));
+    }
+    rs.ready = true;
+  }
+  return rs;
+}
+
+int32_t PolicyAutomaton::Resolver::StateFor(const Element* el) {
+  const auto order = static_cast<size_t>(el->doc_order());
+  if (order >= state_memo_.size()) {
+    mismatch_ = true;  // Node outside the resolver's document.
+    return kStateMismatch;
+  }
+  int32_t memo = state_memo_[order];
+  if (memo != kStateUnknown) return memo;
+
+  const xml::Node* parent = el->parent();
+  size_t from_id = 0;  // state 0: the document context
+  if (parent == nullptr) {
+    mismatch_ = true;  // Detached element — not part of any document.
+    return state_memo_[order] = kStateMismatch;
+  }
+  if (parent->IsElement()) {
+    int32_t parent_state = StateFor(static_cast<const Element*>(parent));
+    if (parent_state < 0) return state_memo_[order] = kStateMismatch;
+    from_id = static_cast<size_t>(parent_state);
+  } else if (parent->type() != xml::NodeType::kDocument) {
+    mismatch_ = true;
+    return state_memo_[order] = kStateMismatch;
+  }
+
+  auto id_it = owner_->element_ids_.find(el->tag());
+  if (id_it == owner_->element_ids_.end()) {
+    mismatch_ = true;  // Undeclared element.
+    return state_memo_[order] = kStateMismatch;
+  }
+  const State* next =
+      owner_->TransitionTo(owner_->states_[from_id], id_it->second);
+  if (next == nullptr) {
+    mismatch_ = true;  // Content-model violation.
+    return state_memo_[order] = kStateMismatch;
+  }
+  return state_memo_[order] =
+             static_cast<int32_t>(next - owner_->states_.data());
+}
+
+std::array<TriSign, 6> PolicyAutomaton::Resolver::ElementRow(
+    const Element& el) {
+  int32_t state_id = StateFor(&el);
+  if (state_id < 0) return kAllEps;
+  const auto order = static_cast<size_t>(el.doc_order());
+  if (order < residual_.touched.size() && residual_.touched[order] != 0) {
+    residual_nodes_++;
+    return JointRow(&owner_->states_[static_cast<size_t>(state_id)]
+                         .element_slots,
+                    el.doc_order());
+  }
+  table_nodes_++;
+  return Rows(static_cast<size_t>(state_id)).element;
+}
+
+std::array<TriSign, 6> PolicyAutomaton::Resolver::AttrRow(const Attr& attr) {
+  const xml::Node* parent = attr.parent();
+  if (parent == nullptr || !parent->IsElement()) {
+    mismatch_ = true;
+    return kAllEps;
+  }
+  int32_t state_id = StateFor(static_cast<const Element*>(parent));
+  if (state_id < 0) return kAllEps;
+  const State& st = owner_->states_[static_cast<size_t>(state_id)];
+  const auto order = static_cast<size_t>(attr.doc_order());
+  const bool touched =
+      order < residual_.touched.size() && residual_.touched[order] != 0;
+
+  for (size_t k = 0; k < st.attrs.size(); ++k) {
+    if (st.attrs[k].name != attr.name()) continue;
+    if (touched) {
+      residual_nodes_++;
+      return JointRow(&st.attrs[k].slots, attr.doc_order());
+    }
+    table_nodes_++;
+    return Rows(static_cast<size_t>(state_id)).attrs[k];
+  }
+
+  const std::vector<std::string>& declared =
+      owner_->declared_attrs_[st.element_id];
+  if (!std::binary_search(declared.begin(), declared.end(), attr.name()) &&
+      st.attr_tests) {
+    // Same guard as ComputeSigns: an undeclared attribute under live
+    // attribute tests cannot be proven untargeted by the table.
+    mismatch_ = true;
+    return kAllEps;
+  }
+  if (touched) {
+    residual_nodes_++;
+    return JointRow(nullptr, attr.doc_order());
+  }
+  table_nodes_++;
+  return kAllEps;
+}
+
+std::array<TriSign, 6> PolicyAutomaton::Resolver::RowFor(
+    const xml::Node& node) {
+  if (mismatch_) return kAllEps;
+  switch (node.type()) {
+    case xml::NodeType::kElement:
+      return ElementRow(static_cast<const Element&>(node));
+    case xml::NodeType::kAttribute:
+      return AttrRow(static_cast<const Attr&>(node));
+    default:
+      return kAllEps;  // Values carry no explicit signs.
+  }
+}
+
 std::string PolicyAutomaton::Report() const {
   std::string out = "policy automaton over root '" + root_ + "': " +
                     std::to_string(stats_.states) + " states, " +

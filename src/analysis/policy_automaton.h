@@ -137,6 +137,91 @@ class PolicyAutomaton : public authz::ExplicitSignEngine {
     return residual_schema_;
   }
 
+  /// Incremental per-request sign resolution — the automaton's lazy
+  /// counterpart to `ComputeSigns`, built for consumers that touch only
+  /// a slice of the document (the query rewriter's visibility oracle).
+  ///
+  /// `RowFor` returns the explicit pre-propagation 6-tuple of an element
+  /// or attribute node, memoizing the automaton state of every element
+  /// on the way up (parent-chain threading instead of a whole-tree
+  /// walk), the per-state resolved rows, and the residual joint
+  /// resolution — the same values `ComputeSigns` would have written for
+  /// that node, at cost proportional to the nodes actually visited.
+  ///
+  /// Fail-safe: meeting an undeclared element, a content-model
+  /// violation, or an undeclared attribute under live attribute tests
+  /// latches `schema_mismatch()` (sticky).  From then on every `RowFor`
+  /// returns all-ε; the caller MUST check the latch and discard its
+  /// conclusions — under an open completeness policy an all-ε row reads
+  /// as permission, so serving through a mismatched resolver would fail
+  /// open.
+  class Resolver {
+   public:
+    /// Explicit 6-tuple of an element or attribute (all-ε for other
+    /// node types, which carry no explicit signs).  The node must
+    /// belong to the document the resolver was created for.
+    std::array<authz::TriSign, 6> RowFor(const xml::Node& node);
+
+    bool schema_mismatch() const { return mismatch_; }
+    /// Nodes resolved by pure table lookup vs. through a residual joint
+    /// resolution, for `LabelingStats`-style accounting.
+    int64_t table_nodes() const { return table_nodes_; }
+    int64_t residual_nodes() const { return residual_nodes_; }
+
+   private:
+    friend class PolicyAutomaton;
+
+    static constexpr int32_t kStateUnknown = -2;
+    static constexpr int32_t kStateMismatch = -1;
+
+    /// Lazily resolved per-state rows (same request-scoped cache as
+    /// `ComputeSigns`' `rows_of`).
+    struct ResolvedState {
+      bool ready = false;
+      std::array<authz::TriSign, 6> element{};
+      std::vector<std::array<authz::TriSign, 6>> attrs;
+    };
+
+    Resolver(const PolicyAutomaton* owner, const xml::Document* doc,
+             const authz::GroupStore* groups, authz::PolicyOptions policy);
+
+    /// Automaton state id of `el`, threading (and memoizing) the parent
+    /// chain; `kStateMismatch` latches `mismatch_`.
+    int32_t StateFor(const xml::Element* el);
+    const ResolvedState& Rows(size_t state_id);
+    std::array<authz::TriSign, 6> ResolveLists(
+        const std::array<std::vector<uint32_t>, 6>& lists);
+    std::array<authz::TriSign, 6> JointRow(
+        const std::array<std::vector<uint32_t>, 6>* lists,
+        int64_t doc_order);
+    std::array<authz::TriSign, 6> ElementRow(const xml::Element& el);
+    std::array<authz::TriSign, 6> AttrRow(const xml::Attr& attr);
+
+    const PolicyAutomaton* owner_;
+    const xml::Document* doc_;
+    const authz::GroupStore* groups_;
+    authz::PolicyOptions policy_;
+    /// Request-time applicability of the decidable set.
+    std::vector<uint8_t> mask_;
+    /// Residual (value-dependent) candidates, collected once.
+    authz::SlotCandidates residual_;
+    std::vector<ResolvedState> resolved_;
+    /// Per-element memoized state id, indexed by doc_order.
+    std::vector<int32_t> state_memo_;
+    std::vector<const authz::Authorization*> scratch_;
+    bool mismatch_ = false;
+    int64_t table_nodes_ = 0;
+    int64_t residual_nodes_ = 0;
+  };
+
+  /// Builds a resolver for one (document, requester) pair.  Fails only
+  /// when the residual XPath evaluation fails or the document has no
+  /// root; an automaton/schema disagreement surfaces later through
+  /// `Resolver::schema_mismatch`.
+  Result<std::unique_ptr<Resolver>> NewResolver(
+      const xml::Document& doc, const authz::Requester& rq,
+      const authz::GroupStore& groups, authz::PolicyOptions policy) const;
+
  private:
   /// One statically decidable authorization: its word automaton plus a
   /// pointer into the owned copies below.

@@ -42,6 +42,7 @@ inline constexpr std::string_view kSites[] = {
     "server.cache_get",     // view-cache probe
     "server.cache_put",     // view-cache insert (degrades, never denies)
     "server.query",         // XPath-over-view evaluation
+    "rewrite.compile",      // query rewriting (guard insertion / oracle)
     "server.serialize",     // view unparse
     "server.audit",         // audit-trail append (no audit -> no view)
     "audit.wal_write",      // WAL frame write in the background writer

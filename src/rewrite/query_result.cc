@@ -1,0 +1,27 @@
+#include "rewrite/query_result.h"
+
+#include "xml/serializer.h"
+
+namespace xmlsec {
+namespace rewrite {
+
+std::string BuildQueryResultBody(const xpath::NodeSet& nodes,
+                                 const xpath::NodeFilter* filter) {
+  std::string body =
+      "<query-result count=\"" + std::to_string(nodes.size()) + "\">\n";
+  for (const xml::Node* node : nodes) {
+    if (node->IsAttribute()) {
+      body += "<attribute name=\"" + xml::EscapeAttrValue(node->NodeName()) +
+              "\">" + xml::EscapeText(node->NodeValue()) + "</attribute>\n";
+    } else if (filter != nullptr && *filter) {
+      body += xml::SerializeNodeFiltered(*node, *filter) + "\n";
+    } else {
+      body += xml::SerializeNode(*node) + "\n";
+    }
+  }
+  body += "</query-result>\n";
+  return body;
+}
+
+}  // namespace rewrite
+}  // namespace xmlsec

@@ -1,0 +1,30 @@
+#ifndef XMLSEC_REWRITE_QUERY_RESULT_H_
+#define XMLSEC_REWRITE_QUERY_RESULT_H_
+
+#include <string>
+
+#include "xpath/value.h"
+
+namespace xmlsec {
+namespace rewrite {
+
+/// Renders a `/query` node-set as the server's `<query-result>` body —
+/// the ONE serializer both query paths share, so a rewritten answer is
+/// byte-identical to the materialized one.
+///
+/// Shape: `<query-result count="N">`, one line per node — attributes as
+/// `<attribute name="...">value</attribute>` (name and value escaped),
+/// other nodes serialized as XML — then `</query-result>`.
+///
+/// `filter` prunes invisible descendants out of serialized subtrees
+/// (the rewrite path passes the visibility oracle; the materialized
+/// path passes `nullptr` — its view is already pruned).  The selected
+/// nodes themselves are NOT filtered here: the evaluator's guards
+/// already decided membership.
+std::string BuildQueryResultBody(const xpath::NodeSet& nodes,
+                                 const xpath::NodeFilter* filter);
+
+}  // namespace rewrite
+}  // namespace xmlsec
+
+#endif  // XMLSEC_REWRITE_QUERY_RESULT_H_

@@ -1,0 +1,124 @@
+#include "rewrite/rewriter.h"
+
+#include <utility>
+
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlsec {
+namespace rewrite {
+
+namespace {
+
+using xpath::Expr;
+using xpath::Step;
+
+std::unique_ptr<Expr> MakeGuardCall() {
+  auto call = std::make_unique<Expr>(Expr::Kind::kFunctionCall);
+  call->function_name = std::string(xpath::kAccessibleFunctionName);
+  return call;
+}
+
+/// Walks the AST inserting the guard; returns the first unsupported
+/// construct met (short-circuits the rest of the walk).
+class GuardInserter {
+ public:
+  UnsupportedReason Transform(Expr* expr) {
+    Visit(expr);
+    return reason_;
+  }
+
+ private:
+  void Fail(UnsupportedReason reason) {
+    if (reason_ == UnsupportedReason::kNone) reason_ = reason;
+  }
+
+  void VisitStep(Step* step) {
+    if (reason_ != UnsupportedReason::kNone) return;
+    for (auto& pred : step->predicates) Visit(pred.get());
+    // Guard FIRST: positional predicates ([2], [position() < 3],
+    // [last()]) must count visible siblings only, which requires the
+    // candidate list to be filtered before any user predicate runs.
+    step->predicates.insert(step->predicates.begin(), MakeGuardCall());
+  }
+
+  void Visit(Expr* expr) {
+    if (expr == nullptr || reason_ != UnsupportedReason::kNone) return;
+    switch (expr->kind) {
+      case Expr::Kind::kBinary:
+        Visit(expr->lhs.get());
+        Visit(expr->rhs.get());
+        break;
+      case Expr::Kind::kNegate:
+        Visit(expr->operand.get());
+        break;
+      case Expr::Kind::kLiteral:
+      case Expr::Kind::kNumber:
+      case Expr::Kind::kVariable:
+        break;
+      case Expr::Kind::kFunctionCall:
+        if (expr->function_name == xpath::kAccessibleFunctionName) {
+          return Fail(UnsupportedReason::kReservedFunction);
+        }
+        if (expr->function_name == "id") {
+          // id() resolves through the document's ID map; the evaluator
+          // filters its results only under hooks, but its *argument*
+          // string-values could leak structure through error shapes the
+          // materialized path cannot produce — keep it on the
+          // materialized path until proven equivalent.
+          return Fail(UnsupportedReason::kUnsupportedFunction);
+        }
+        for (auto& arg : expr->args) Visit(arg.get());
+        break;
+      case Expr::Kind::kPath:
+        // The filter base needs no guard of its own: every node-set a
+        // base can produce comes out of guarded steps (the one other
+        // node-set source, id(), is rejected above), so its predicates
+        // already count visible nodes — while a guard on a non-node-set
+        // base (a bare literal parses as kPath{base}) would turn a
+        // plain value into an evaluation error.
+        Visit(expr->base.get());
+        for (auto& pred : expr->base_predicates) Visit(pred.get());
+        for (Step& step : expr->steps) VisitStep(&step);
+        break;
+    }
+  }
+
+  UnsupportedReason reason_ = UnsupportedReason::kNone;
+};
+
+}  // namespace
+
+std::string_view UnsupportedReasonToString(UnsupportedReason reason) {
+  switch (reason) {
+    case UnsupportedReason::kNone:
+      return "none";
+    case UnsupportedReason::kReservedFunction:
+      return "reserved_function";
+    case UnsupportedReason::kUnsupportedFunction:
+      return "unsupported_function";
+  }
+  return "unknown";
+}
+
+RewrittenQuery RewriteExpr(const Expr& query) {
+  RewrittenQuery out;
+  out.source = query.ToString();
+  std::unique_ptr<Expr> copy = query.Clone();
+  GuardInserter inserter;
+  out.unsupported = inserter.Transform(copy.get());
+  if (out.unsupported == UnsupportedReason::kNone) {
+    out.expr = std::move(copy);
+  }
+  return out;
+}
+
+Result<RewrittenQuery> QueryRewriter::Rewrite(
+    std::string_view query_text) const {
+  XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Expr> parsed,
+                          xpath::CompileXPath(query_text));
+  return RewriteExpr(*parsed);
+}
+
+}  // namespace rewrite
+}  // namespace xmlsec

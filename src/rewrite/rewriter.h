@@ -1,0 +1,84 @@
+#ifndef XMLSEC_REWRITE_REWRITER_H_
+#define XMLSEC_REWRITE_REWRITER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "analysis/policy_automaton.h"
+#include "authz/policy.h"
+#include "authz/subject.h"
+#include "common/result.h"
+#include "rewrite/visibility.h"
+#include "xpath/ast.h"
+
+namespace xmlsec {
+namespace rewrite {
+
+/// Why a query could not be rewritten (the server counts these as
+/// `xmlsec_rewrite_fallbacks_total{reason=...}` and serves through the
+/// materialized path instead).
+enum class UnsupportedReason {
+  kNone,
+  /// The user query names the reserved guard function — refused outright
+  /// so a requester can never pre-seat (or confuse) the guard.
+  kReservedFunction,
+  /// The query uses a function whose view-semantics the rewriter cannot
+  /// reproduce over the original tree (currently: `id()`, whose ID map
+  /// is built at parse time and cannot be re-filtered soundly).
+  kUnsupportedFunction,
+};
+
+std::string_view UnsupportedReasonToString(UnsupportedReason reason);
+
+/// A rewritten query: the original AST with the accessibility guard
+/// `__xmlsec-accessible()` inserted as the FIRST predicate of every
+/// location step (guard-first keeps positional predicates counting
+/// visible nodes only, exactly as they would over the materialized
+/// view).
+struct RewrittenQuery {
+  std::unique_ptr<xpath::Expr> expr;
+  /// `ToString()` of the pre-rewrite AST.  Evaluation errors that quote
+  /// the expression must quote THIS, not the guarded form — the two
+  /// query paths are required to answer byte-identically, and the guard
+  /// function must never leak into a response.
+  std::string source;
+  UnsupportedReason unsupported = UnsupportedReason::kNone;
+
+  bool ok() const { return unsupported == UnsupportedReason::kNone; }
+};
+
+/// Rewrites a parsed query.  Never mutates `query`; on an unsupported
+/// construct the result carries the reason and a null expr.
+RewrittenQuery RewriteExpr(const xpath::Expr& query);
+
+/// Per-(document, policy) query rewriter, cached by the server next to
+/// the automaton entry.  Stateless across requests: `Rewrite` transforms
+/// query text, `NewOracle` builds the per-request visibility oracle the
+/// rewritten query evaluates against.
+class QueryRewriter {
+ public:
+  explicit QueryRewriter(
+      std::shared_ptr<const analysis::PolicyAutomaton> automaton)
+      : automaton_(std::move(automaton)) {}
+
+  /// Parses and rewrites.  Parse failures return the parser's status
+  /// (the server maps it to 400, same as the materialized path).
+  Result<RewrittenQuery> Rewrite(std::string_view query_text) const;
+
+  Result<std::unique_ptr<VisibilityOracle>> NewOracle(
+      const xml::Document& doc, const authz::Requester& rq,
+      const authz::GroupStore& groups, authz::PolicyOptions policy) const {
+    return VisibilityOracle::Create(doc, automaton_, rq, groups, policy);
+  }
+
+  const analysis::PolicyAutomaton& automaton() const { return *automaton_; }
+
+ private:
+  std::shared_ptr<const analysis::PolicyAutomaton> automaton_;
+};
+
+}  // namespace rewrite
+}  // namespace xmlsec
+
+#endif  // XMLSEC_REWRITE_REWRITER_H_

@@ -1,0 +1,171 @@
+#include "rewrite/visibility.h"
+
+#include <utility>
+
+namespace xmlsec {
+namespace rewrite {
+
+namespace {
+
+using authz::TriSign;
+
+TriSign First2(TriSign a, TriSign b) { return a != TriSign::kEps ? a : b; }
+
+}  // namespace
+
+Result<std::unique_ptr<VisibilityOracle>> VisibilityOracle::Create(
+    const xml::Document& doc,
+    std::shared_ptr<const analysis::PolicyAutomaton> automaton,
+    const authz::Requester& rq, const authz::GroupStore& groups,
+    authz::PolicyOptions policy) {
+  if (automaton == nullptr) {
+    return Status::InvalidArgument("visibility oracle requires an automaton");
+  }
+  XMLSEC_ASSIGN_OR_RETURN(auto resolver,
+                          automaton->NewResolver(doc, rq, groups, policy));
+  return std::unique_ptr<VisibilityOracle>(
+      new VisibilityOracle(&doc, std::move(automaton), std::move(resolver),
+                           policy.completeness));
+}
+
+VisibilityOracle::VisibilityOracle(
+    const xml::Document* doc,
+    std::shared_ptr<const analysis::PolicyAutomaton> automaton,
+    std::unique_ptr<analysis::PolicyAutomaton::Resolver> resolver,
+    authz::CompletenessPolicy completeness)
+    : doc_(doc),
+      automaton_(std::move(automaton)),
+      resolver_(std::move(resolver)),
+      completeness_(completeness),
+      signs_(static_cast<size_t>(doc->node_count())),
+      in_view_(static_cast<size_t>(doc->node_count()), -1) {}
+
+bool VisibilityOracle::Permitted(TriSign sign) const {
+  if (completeness_ == authz::CompletenessPolicy::kClosed) {
+    return sign == TriSign::kPlus;
+  }
+  return sign != TriSign::kMinus;  // Open: ε reads as permission.
+}
+
+const VisibilityOracle::ElementSigns& VisibilityOracle::SignsOf(
+    const xml::Element* el) {
+  ElementSigns& out = signs_[static_cast<size_t>(el->doc_order())];
+  if (out.ready) return out;
+
+  const std::array<TriSign, 6> row = resolver_->RowFor(*el);
+  out.l = row[static_cast<size_t>(authz::LabelSlot::kL)];
+  out.r = row[static_cast<size_t>(authz::LabelSlot::kR)];
+  out.ld = row[static_cast<size_t>(authz::LabelSlot::kLD)];
+  out.rd = row[static_cast<size_t>(authz::LabelSlot::kRD)];
+  out.lw = row[static_cast<size_t>(authz::LabelSlot::kLW)];
+  out.rw = row[static_cast<size_t>(authz::LabelSlot::kRW)];
+
+  // Parent merge (projector.cc, rule for rule): the node's own recursive
+  // signs of either strength suppress the propagated pair; schema-level
+  // recursive signs propagate independently.  The root merges against
+  // all-ε (its parent is the document node).
+  const xml::Node* parent = el->parent();
+  if (parent != nullptr && parent->IsElement()) {
+    const ElementSigns& up = SignsOf(static_cast<const xml::Element*>(parent));
+    if (out.r == TriSign::kEps && out.rw == TriSign::kEps) {
+      out.r = up.r;
+      out.rw = up.rw;
+    }
+    out.rd = First2(out.rd, up.rd);
+  }
+  out.self_permitted = Permitted(
+      authz::FirstDef({out.l, out.r, out.ld, out.rd, out.lw, out.rw}));
+  out.ready = true;
+  return out;
+}
+
+bool VisibilityOracle::AttributePermitted(const xml::Attr* attr) {
+  const xml::Node* parent = attr->parent();
+  if (parent == nullptr || !parent->IsElement()) return false;
+  const ElementSigns& up = SignsOf(static_cast<const xml::Element*>(parent));
+
+  const std::array<TriSign, 6> row = resolver_->RowFor(*attr);
+  // An element's Local authorizations cover its direct attributes; its
+  // merged recursive signs cover them too, at lower priority (same
+  // sequence as the element rule: instance, schema, weak).
+  TriSign inst = First2(up.l, up.r);
+  TriSign schema = First2(up.ld, up.rd);
+  TriSign weak = First2(up.lw, up.rw);
+  return Permitted(authz::FirstDef(
+      {row[static_cast<size_t>(authz::LabelSlot::kL)], inst,
+       row[static_cast<size_t>(authz::LabelSlot::kLD)], schema,
+       row[static_cast<size_t>(authz::LabelSlot::kLW)], weak}));
+}
+
+bool VisibilityOracle::ElementInView(const xml::Element* el) {
+  int8_t& memo = in_view_[static_cast<size_t>(el->doc_order())];
+  if (memo >= 0) return memo != 0;
+
+  // Tag-skeleton preservation: the element appears when itself
+  // permitted, or when any attribute or descendant element is (the
+  // projector keeps the tags of every ancestor of a visible node).
+  bool visible = SignsOf(el).self_permitted;
+  if (!visible) {
+    for (const auto& attr : el->attributes()) {
+      if (AttributePermitted(attr.get())) {
+        visible = true;
+        break;
+      }
+    }
+  }
+  if (!visible) {
+    for (const auto& child : el->children()) {
+      if (child->IsElement() &&
+          ElementInView(static_cast<const xml::Element*>(child.get()))) {
+        visible = true;
+        break;
+      }
+    }
+  }
+  memo = visible ? 1 : 0;
+  return visible;
+}
+
+bool VisibilityOracle::InView(const xml::Node* node) {
+  if (node == nullptr || resolver_->schema_mismatch()) return false;
+  bool answer = false;
+  switch (node->type()) {
+    case xml::NodeType::kDocument:
+      answer = true;
+      break;
+    case xml::NodeType::kElement:
+      answer = ElementInView(static_cast<const xml::Element*>(node));
+      break;
+    case xml::NodeType::kAttribute:
+      // A permitted attribute forces its element (and every ancestor)
+      // into the view, so permission alone decides membership.
+      answer = AttributePermitted(static_cast<const xml::Attr*>(node));
+      break;
+    default: {
+      // Text / CDATA / comment / PI: the "values" of the paper's tree,
+      // visible iff their element is itself permitted.  At document
+      // level no authorization ever targets them — the completeness
+      // policy alone decides (projector.cc, prolog/epilog rule).
+      const xml::Node* parent = node->parent();
+      if (parent != nullptr && parent->IsElement()) {
+        answer = SignsOf(static_cast<const xml::Element*>(parent))
+                     .self_permitted;
+      } else {
+        answer = Permitted(TriSign::kEps);
+      }
+      break;
+    }
+  }
+  // A mismatch latched mid-computation poisons the answer (ε rows read
+  // as permission under an open policy): fail closed.
+  return resolver_->schema_mismatch() ? false : answer;
+}
+
+bool VisibilityOracle::RootVisible() {
+  const xml::Element* root = doc_->root();
+  if (root == nullptr) return false;
+  return InView(root);
+}
+
+}  // namespace rewrite
+}  // namespace xmlsec

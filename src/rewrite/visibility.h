@@ -1,0 +1,104 @@
+#ifndef XMLSEC_REWRITE_VISIBILITY_H_
+#define XMLSEC_REWRITE_VISIBILITY_H_
+
+#include <memory>
+#include <vector>
+
+#include "analysis/policy_automaton.h"
+#include "authz/labeling.h"
+#include "authz/policy.h"
+#include "authz/subject.h"
+#include "common/result.h"
+#include "xml/dom.h"
+#include "xpath/value.h"
+
+namespace xmlsec {
+namespace rewrite {
+
+/// Per-request view-membership oracle over the *original* document — the
+/// runtime half of the query rewriter.
+///
+/// `InView(n)` answers "would `n` appear in the requester's materialized
+/// view?" without building that view: explicit 6-tuple rows come from
+/// `PolicyAutomaton::Resolver` (lazy table lookups + residual joint
+/// resolution), and this class replays the projector's propagation and
+/// pruning rules (authz/projector.cc) on top — parent-merge of recursive
+/// signs, `first_def` final signs, attribute propagation from the owning
+/// element, tag-skeleton preservation (an element stays when any
+/// descendant or attribute is visible), text/comment/PI visibility tied
+/// to the owning element's own permission, and the completeness policy
+/// for doc-level prolog nodes.  Memoized per node, so a query touching a
+/// slice of the document pays only for that slice (plus the subtrees of
+/// skeleton checks).
+///
+/// Fail-safe: any schema mismatch in the resolver latches
+/// `schema_mismatch()` and every subsequent answer is `false`.  Callers
+/// MUST check the latch after evaluation and discard the result — the
+/// server falls back to the materialized path, it never serves a
+/// mismatched oracle's answers.
+class VisibilityOracle {
+ public:
+  /// The automaton must have been compiled from the policy this document
+  /// is served under; `doc` must outlive the oracle and be `Reindex()`ed.
+  static Result<std::unique_ptr<VisibilityOracle>> Create(
+      const xml::Document& doc,
+      std::shared_ptr<const analysis::PolicyAutomaton> automaton,
+      const authz::Requester& rq, const authz::GroupStore& groups,
+      authz::PolicyOptions policy);
+
+  /// True when `node` would appear in the materialized view.  Always
+  /// false once `schema_mismatch()` latched.
+  bool InView(const xml::Node* node);
+
+  /// True when the view would be non-empty (the root element survives
+  /// pruning) — the rewriter's analogue of the server's empty-view 404.
+  bool RootVisible();
+
+  bool schema_mismatch() const { return resolver_->schema_mismatch(); }
+
+  /// Resolution-split counters, for `xmlsec_rewrite_*` accounting.
+  int64_t table_nodes() const { return resolver_->table_nodes(); }
+  int64_t residual_nodes() const { return resolver_->residual_nodes(); }
+
+  /// `InView` bound as an evaluator/serializer filter.  The oracle must
+  /// outlive the returned callable.
+  xpath::NodeFilter Filter() {
+    return [this](const xml::Node* node) { return InView(node); };
+  }
+
+ private:
+  /// Post-propagation working signs of one element (projector `Signs`,
+  /// memoized by doc_order).  `l`, `ld`, `lw` never merge with the
+  /// parent, so they double as the explicit values the attribute rule
+  /// propagates.
+  struct ElementSigns {
+    bool ready = false;
+    bool self_permitted = false;
+    authz::TriSign l, r, ld, rd, lw, rw;
+  };
+
+  VisibilityOracle(const xml::Document* doc,
+                   std::shared_ptr<const analysis::PolicyAutomaton> automaton,
+                   std::unique_ptr<analysis::PolicyAutomaton::Resolver>
+                       resolver,
+                   authz::CompletenessPolicy completeness);
+
+  const ElementSigns& SignsOf(const xml::Element* el);
+  bool ElementInView(const xml::Element* el);
+  bool AttributePermitted(const xml::Attr* attr);
+  bool Permitted(authz::TriSign sign) const;
+
+  const xml::Document* doc_;
+  /// Keeps the compiled policy alive for the oracle's lifetime (the
+  /// server hot-swaps policies under RCU).
+  std::shared_ptr<const analysis::PolicyAutomaton> automaton_;
+  std::unique_ptr<analysis::PolicyAutomaton::Resolver> resolver_;
+  authz::CompletenessPolicy completeness_;
+  std::vector<ElementSigns> signs_;     ///< by doc_order (elements only)
+  std::vector<int8_t> in_view_;         ///< by doc_order; -1 unknown
+};
+
+}  // namespace rewrite
+}  // namespace xmlsec
+
+#endif  // XMLSEC_REWRITE_VISIBILITY_H_

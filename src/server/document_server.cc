@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/failpoint.h"
+#include "rewrite/query_result.h"
 #include "server/audit_wal.h"
 #include "xpath/evaluator.h"
 
@@ -40,6 +41,7 @@ constexpr std::string_view kStages[] = {
     "label",      // compute-view tree labeling (paper Fig. 2)
     "prune",      // prune pass (zero under the projection pipeline)
     "loosen",     // DTD loosening (+ optional output validation)
+    "rewrite",    // query rewriting (guard insertion + oracle setup)
     "query",      // XPath-over-view evaluation
     "serialize",  // view unparse
     "cache_put",  // view-cache insert
@@ -114,6 +116,25 @@ SecureDocumentServer::SecureDocumentServer(
   instruments_.automaton_states = registry->GetGauge(
       "xmlsec_policy_automaton_states",
       "state count of the most recently compiled policy automaton");
+  instruments_.rewrite_served = registry->GetCounter(
+      "xmlsec_rewrite_served_total",
+      "queries answered through the rewrite path (no view materialized)");
+  instruments_.rewrite_compiles = registry->GetCounter(
+      "xmlsec_rewrite_compiles_total",
+      "query rewriters built (per document, on policy change)");
+  // Every fallback reason is registered eagerly so the scrape always
+  // carries the full family and dashboards can tell zero from absent.
+  for (std::string_view reason :
+       {std::string_view("no_automaton"), std::string_view("reserved_function"),
+        std::string_view("unsupported_function"),
+        std::string_view("oracle_error"),
+        std::string_view("schema_mismatch")}) {
+    instruments_.rewrite_fallbacks[reason] = registry->GetCounter(
+        "xmlsec_rewrite_fallbacks_total",
+        "queries that fell back from the rewrite path to the "
+        "materialized path, by reason",
+        {{"reason", std::string(reason)}});
+  }
   // Audit-durability families are registered here — not lazily on WAL
   // attach — so the scrape always carries them and dashboards can alert
   // on absence-of-data vs. zero.
@@ -231,6 +252,23 @@ SecureDocumentServer::AutomatonFor(
   std::lock_guard<std::mutex> lock(automata_mutex_);
   automata_[uri] = AutomatonEntry{version, automaton};
   return automaton;
+}
+
+std::shared_ptr<const rewrite::QueryRewriter>
+SecureDocumentServer::RewriterFor(
+    const Repository& repo, const std::string& uri,
+    std::shared_ptr<const analysis::PolicyAutomaton> automaton) const {
+  const uint64_t version = repo.version();
+  std::lock_guard<std::mutex> lock(automata_mutex_);
+  auto it = rewriters_.find(uri);
+  if (it != rewriters_.end() && it->second.version == version) {
+    return it->second.rewriter;
+  }
+  auto rewriter =
+      std::make_shared<const rewrite::QueryRewriter>(std::move(automaton));
+  rewriters_[uri] = RewriterEntry{version, rewriter};
+  instruments_.rewrite_compiles->Inc();
+  return rewriter;
 }
 
 Result<authz::View> SecureDocumentServer::ComputeView(
@@ -474,6 +512,10 @@ ServerResponse SecureDocumentServer::Handle(
           cacheable = false;
         } else {
           cache_key = std::move(info.key);
+          // Defense in depth: `cacheable` already excludes query
+          // requests, but the key still carries the query string so a
+          // full-view rendering can never collide with a query result.
+          cache_key.query = request.query;
           hit = cache_.Get(cache_key, repo->version());
         }
       }
@@ -495,6 +537,164 @@ ServerResponse SecureDocumentServer::Handle(
   if (over_budget()) {
     FailClosed(&response, 504, "Gateway Timeout");
     return finalize();
+  }
+
+  // Policy-safe query rewriting: answer `?query=` over the ORIGINAL
+  // document with accessibility guards, skipping view materialization
+  // entirely.  Any condition rewriting cannot handle falls through to
+  // the materialized path below (counted, never an error); responses
+  // are byte-identical between the two paths.
+  if (!request.query.empty() &&
+      config_.query_path == QueryPathMode::kRewrite) {
+    enum class Outcome { kServed, kTerminal, kFallback };
+    auto serve_rewritten = [&]() -> Outcome {
+      auto span = trace.Span("rewrite");
+      auto fall_back = [&](std::string_view reason) {
+        auto it = instruments_.rewrite_fallbacks.find(reason);
+        if (it != instruments_.rewrite_fallbacks.end()) it->second->Inc();
+        return Outcome::kFallback;
+      };
+      // Same fault domain as the materialized query path: an injected
+      // evaluator fault denies — it must not silently fall back and
+      // mask the fault.
+      if (failpoint::ShouldFail("server.query")) {
+        FailClosed(&response, 500, "Internal Server Error");
+        return Outcome::kTerminal;
+      }
+      // Fault-injection site: a fault anywhere in guard insertion or
+      // oracle construction must deny, never serve an unguarded (hence
+      // unpruned) evaluation and never a partial result.
+      if (failpoint::ShouldFail("rewrite.compile")) {
+        FailClosed(&response, 500, "Internal Server Error");
+        return Outcome::kTerminal;
+      }
+      // Repository lookups, same failpoints and same outcomes as
+      // ComputeViewOn: the rewrite path must not weaken the lookup
+      // fault behaviour just because it skips the view.
+      if (!failpoint::Check("repo.find_document").ok()) {
+        FailClosed(&response, 500, "Internal Server Error");
+        return Outcome::kTerminal;
+      }
+      const xml::Document* doc = repo->FindDocument(request.uri);
+      if (doc == nullptr) {
+        response.http_status = 404;
+        response.reason = "Not Found";
+        response.content_type = "text/plain";
+        response.body = Status::NotFound("document '" + request.uri +
+                                         "' is not registered")
+                            .ToString() +
+                        "\n";
+        return Outcome::kTerminal;
+      }
+      if (!failpoint::Check("repo.instance_auths").ok()) {
+        FailClosed(&response, 500, "Internal Server Error");
+        return Outcome::kTerminal;
+      }
+      std::span<const authz::Authorization> instance =
+          repo->InstanceAuths(request.uri);
+      std::span<const authz::Authorization> schema;
+      std::string dtd_uri = repo->DtdUriOf(request.uri);
+      if (!dtd_uri.empty()) {
+        if (!failpoint::Check("repo.schema_auths").ok()) {
+          FailClosed(&response, 500, "Internal Server Error");
+          return Outcome::kTerminal;
+        }
+        schema = repo->SchemaAuths(dtd_uri);
+      }
+      authz::PolicyOptions policy =
+          repo->PolicyOf(request.uri, config_.processor.policy);
+
+      std::shared_ptr<const analysis::PolicyAutomaton> automaton =
+          AutomatonFor(*repo, request.uri, *doc, instance, schema);
+      if (automaton == nullptr) return fall_back("no_automaton");
+      std::shared_ptr<const rewrite::QueryRewriter> rewriter =
+          RewriterFor(*repo, request.uri, automaton);
+
+      Result<std::unique_ptr<rewrite::VisibilityOracle>> oracle =
+          rewriter->NewOracle(*doc, rq, *groups_, policy);
+      if (!oracle.ok()) return fall_back("oracle_error");
+      // Root visibility FIRST, parse errors second — the materialized
+      // path 404s an all-hidden document before it ever parses the
+      // query, and the two paths must be indistinguishable.
+      if (!(*oracle)->RootVisible()) {
+        if ((*oracle)->schema_mismatch()) {
+          return fall_back("schema_mismatch");
+        }
+        // The closed-world 404, byte-identical to the empty-view one.
+        response.http_status = 404;
+        response.reason = "Not Found";
+        response.content_type = "text/plain";
+        response.body = "NotFound: document '" + request.uri +
+                        "' is not registered\n";
+        return Outcome::kTerminal;
+      }
+
+      Result<rewrite::RewrittenQuery> rewritten =
+          rewriter->Rewrite(request.query);
+      if (!rewritten.ok()) {
+        response.http_status = 400;
+        response.reason = "Bad Request";
+        response.content_type = "text/plain";
+        response.body = rewritten.status().ToString() + "\n";
+        return Outcome::kTerminal;
+      }
+      if (!rewritten->ok()) {
+        return fall_back(
+            rewrite::UnsupportedReasonToString(rewritten->unsupported));
+      }
+
+      std::string body;
+      Status query_status;
+      bool mismatch = false;
+      {
+        auto query_span = trace.Span("query");
+        xpath::VariableBindings vars;
+        vars.emplace("user", xpath::Value(rq.user));
+        vars.emplace("ip", xpath::Value(rq.ip));
+        vars.emplace("sym", xpath::Value(rq.sym));
+        xpath::NodeFilter filter = (*oracle)->Filter();
+        xpath::EvalHooks hooks;
+        hooks.node_visible = filter;
+        xpath::Evaluator evaluator;
+        Result<xpath::Value> value =
+            evaluator.Evaluate(*rewritten->expr, doc->root(), &vars, &hooks);
+        // A mismatch discovered DURING evaluation poisons the result
+        // (the oracle answered false for nodes the view might show):
+        // discard everything and let the materialized path answer.
+        if ((*oracle)->schema_mismatch()) {
+          mismatch = true;
+        } else if (!value.ok()) {
+          query_status = value.status();
+        } else if (!value->is_node_set()) {
+          // Quote the ORIGINAL expression, exactly as SelectXPath over
+          // the view would — the guard must never leak into a response.
+          query_status = Status::InvalidArgument(
+              "XPath expression does not yield a node-set: " +
+              rewritten->source);
+        } else {
+          body = rewrite::BuildQueryResultBody(value->nodes(), &filter);
+        }
+      }
+      if (mismatch) return fall_back("schema_mismatch");
+      if (!query_status.ok()) {
+        response.http_status = 400;
+        response.reason = "Bad Request";
+        response.content_type = "text/plain";
+        response.body = query_status.ToString() + "\n";
+        return Outcome::kTerminal;
+      }
+      if (over_budget()) {
+        FailClosed(&response, 504, "Gateway Timeout");
+        return Outcome::kTerminal;
+      }
+      instruments_.rewrite_served->Inc();
+      instruments_.compiled_table_nodes->Inc((*oracle)->table_nodes());
+      instruments_.compiled_residual_nodes->Inc((*oracle)->residual_nodes());
+      response.body = std::move(body);
+      return Outcome::kServed;
+    };
+    const Outcome outcome = serve_rewritten();
+    if (outcome != Outcome::kFallback) return finalize();
   }
 
   Result<authz::View> view = ComputeViewOn(*repo, rq, request.uri);
@@ -558,17 +758,9 @@ ServerResponse SecureDocumentServer::Handle(
       if (!selected.ok()) {
         query_status = selected.status();
       } else {
-        body = "<query-result count=\"" +
-               std::to_string(selected->size()) + "\">\n";
-        for (const xml::Node* node : *selected) {
-          if (node->IsAttribute()) {
-            body += "<attribute name=\"" + node->NodeName() + "\">" +
-                    xml::EscapeText(node->NodeValue()) + "</attribute>\n";
-          } else {
-            body += xml::SerializeNode(*node) + "\n";
-          }
-        }
-        body += "</query-result>\n";
+        // The ONE result serializer both query paths share (the view is
+        // already pruned, so no filter) — see rewrite/query_result.h.
+        body = rewrite::BuildQueryResultBody(*selected, nullptr);
       }
     }
     if (!query_status.ok()) {

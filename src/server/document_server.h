@@ -13,6 +13,7 @@
 #include "authz/subject.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rewrite/rewriter.h"
 #include "server/audit_log.h"
 #include "server/http.h"
 #include "server/repository.h"
@@ -34,6 +35,20 @@ enum class AuditDegradedMode {
   /// Keep serving; accesses are recorded in the bounded in-memory
   /// trail only (lost on crash, drainable via the audit API).
   kMemoryAudit,
+};
+
+/// How `?query=` requests are answered.
+enum class QueryPathMode {
+  /// Materialize the requester's view, then evaluate the query over it
+  /// (evaluation after enforcement — always available).
+  kMaterialize,
+  /// Rewrite the query with accessibility guards and evaluate it over
+  /// the ORIGINAL document through the policy automaton's visibility
+  /// oracle — no view is built.  Falls back to kMaterialize per request
+  /// whenever rewriting is unavailable (no automaton, unsupported
+  /// construct, schema mismatch, oracle failure); the fallback is
+  /// counted, never an error.
+  kRewrite,
 };
 
 /// Server configuration.
@@ -64,6 +79,8 @@ struct ServerConfig {
   AuditDurability audit_durability = AuditDurability::kEnqueue;
   /// Behaviour while the durable audit sink is failing.
   AuditDegradedMode audit_degraded_mode = AuditDegradedMode::kFailClosed;
+  /// How `?query=` requests are served (see `QueryPathMode`).
+  QueryPathMode query_path = QueryPathMode::kMaterialize;
   /// Metrics registry the server instruments (per-stage latency
   /// histograms, per-status response counters, cache hit/miss, slow
   /// requests).  nullptr selects the process-wide
@@ -204,6 +221,12 @@ class SecureDocumentServer {
     obs::Counter* compiled_residual_nodes = nullptr;
     obs::Counter* compiled_fallbacks = nullptr;
     obs::Gauge* automaton_states = nullptr;
+    /// Query-rewrite path (QueryPathMode::kRewrite): queries answered
+    /// without materializing the view, rewriter (re)builds on policy
+    /// change, and per-reason fallbacks to the materialized path.
+    obs::Counter* rewrite_served = nullptr;
+    obs::Counter* rewrite_compiles = nullptr;
+    std::map<std::string_view, obs::Counter*> rewrite_fallbacks;
     /// Durable-audit health (see server/audit_wal.h): bound into the
     /// attached WAL by `set_audit_log` so the scrape always carries the
     /// families, even before (or without) a WAL.
@@ -268,6 +291,21 @@ class SecureDocumentServer {
       std::span<const authz::Authorization> instance,
       std::span<const authz::Authorization> schema) const;
 
+  /// One memoized query rewriter per document URI, stamped with the
+  /// repository version it was built at (next to the automaton cache —
+  /// same lifecycle, same lock).
+  struct RewriterEntry {
+    uint64_t version = 0;
+    std::shared_ptr<const rewrite::QueryRewriter> rewriter;
+  };
+
+  /// The cached rewriter for `uri`, rebuilt when the repository moved.
+  /// `automaton` must be non-null (the caller fell back already
+  /// otherwise).
+  std::shared_ptr<const rewrite::QueryRewriter> RewriterFor(
+      const Repository& repo, const std::string& uri,
+      std::shared_ptr<const analysis::PolicyAutomaton> automaton) const;
+
   /// RCU-published repository: readers snapshot the `shared_ptr` once
   /// per request (one small critical section), writers swap it whole.
   mutable std::mutex repository_mutex_;
@@ -281,6 +319,7 @@ class SecureDocumentServer {
   mutable ViewCache cache_;
   mutable std::mutex automata_mutex_;
   mutable std::map<std::string, AutomatonEntry, std::less<>> automata_;
+  mutable std::map<std::string, RewriterEntry, std::less<>> rewriters_;
   AuditLog* audit_ = nullptr;
   Instruments instruments_;
 };

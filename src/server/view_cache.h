@@ -57,10 +57,15 @@ class ViewCache {
     /// views, so they share one entry (see DESIGN.md, "Cache-key
     /// normalization").
     std::string subject;
+    /// The request's `?query=` string.  The server only caches plain
+    /// GETs (empty query), so this is belt-and-braces: even if that
+    /// gating ever regresses, a cached full-view rendering can never be
+    /// served for a query request (or vice versa, or across queries).
+    std::string query;
 
     friend bool operator<(const Key& a, const Key& b) {
-      return std::tie(a.uri, a.user, a.ip, a.sym, a.subject) <
-             std::tie(b.uri, b.user, b.ip, b.sym, b.subject);
+      return std::tie(a.uri, a.user, a.ip, a.sym, a.subject, a.query) <
+             std::tie(b.uri, b.user, b.ip, b.sym, b.subject, b.query);
     }
   };
 

@@ -13,22 +13,31 @@ void AppendIndent(std::string* out, int indent, int depth) {
   out->append(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
 }
 
+/// True when `node` survives `filter` (no filter keeps everything).
+bool Kept(const NodeFilter* filter, const Node* node) {
+  return filter == nullptr || !*filter || (*filter)(node);
+}
+
 /// True when the element's children should each go on their own line:
-/// pretty-printing must not alter mixed content.
-bool HasOnlyStructuralChildren(const Element& el) {
-  if (el.children().empty()) return false;
+/// pretty-printing must not alter mixed content.  Only children the
+/// filter keeps count — a filtered tree must print like its pruned copy.
+bool HasOnlyStructuralChildren(const Element& el, const NodeFilter* filter) {
+  bool any = false;
   for (const auto& child : el.children()) {
+    if (!Kept(filter, child.get())) continue;
+    any = true;
     if (child->IsText() && !IsXmlWhitespace(child->NodeValue())) return false;
   }
-  return true;
+  return any;
 }
 
 void SerializeNodeImpl(const Node& node, std::string* out, int indent,
-                       int depth) {
+                       int depth, const NodeFilter* filter) {
   switch (node.type()) {
     case NodeType::kDocument: {
       for (const auto& child : node.children()) {
-        SerializeNodeImpl(*child, out, indent, depth);
+        if (!Kept(filter, child.get())) continue;
+        SerializeNodeImpl(*child, out, indent, depth, filter);
         if (indent >= 0) out->push_back('\n');
       }
       break;
@@ -38,22 +47,32 @@ void SerializeNodeImpl(const Node& node, std::string* out, int indent,
       out->push_back('<');
       out->append(el.tag());
       for (const auto& attr : el.attributes()) {
+        if (!Kept(filter, attr.get())) continue;
         out->push_back(' ');
         out->append(attr->name());
         out->append("=\"");
         out->append(EscapeAttrValue(attr->value()));
         out->push_back('"');
       }
-      if (el.children().empty()) {
+      bool any_child = false;
+      for (const auto& child : el.children()) {
+        if (Kept(filter, child.get())) {
+          any_child = true;
+          break;
+        }
+      }
+      if (!any_child) {
         out->append("/>");
         break;
       }
       out->push_back('>');
-      const bool structural = indent >= 0 && HasOnlyStructuralChildren(el);
+      const bool structural =
+          indent >= 0 && HasOnlyStructuralChildren(el, filter);
       for (const auto& child : el.children()) {
+        if (!Kept(filter, child.get())) continue;
         if (structural && child->IsText()) continue;  // Old pretty-space.
         if (structural) AppendIndent(out, indent, depth + 1);
-        SerializeNodeImpl(*child, out, indent, depth + 1);
+        SerializeNodeImpl(*child, out, indent, depth + 1, filter);
       }
       if (structural) AppendIndent(out, indent, depth);
       out->append("</");
@@ -181,7 +200,7 @@ std::string SerializeDocument(const Document& doc,
       break;
   }
   for (const auto& child : doc.children()) {
-    SerializeNodeImpl(*child, &out, options.indent, 0);
+    SerializeNodeImpl(*child, &out, options.indent, 0, nullptr);
     if (options.indent >= 0) out.push_back('\n');
   }
   // Drop a trailing newline duplication.
@@ -194,7 +213,14 @@ std::string SerializeDocument(const Document& doc,
 
 std::string SerializeNode(const Node& node, int indent) {
   std::string out;
-  SerializeNodeImpl(node, &out, indent, 0);
+  SerializeNodeImpl(node, &out, indent, 0, nullptr);
+  return out;
+}
+
+std::string SerializeNodeFiltered(const Node& node, const NodeFilter& filter,
+                                  int indent) {
+  std::string out;
+  SerializeNodeImpl(node, &out, indent, 0, &filter);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef XMLSEC_XML_SERIALIZER_H_
 #define XMLSEC_XML_SERIALIZER_H_
 
+#include <functional>
 #include <string>
 
 #include "xml/dom.h"
@@ -39,6 +40,19 @@ std::string SerializeDocument(const Document& doc,
 
 /// Serializes a single subtree (element and descendants).
 std::string SerializeNode(const Node& node, int indent = -1);
+
+/// Subtree membership predicate for `SerializeNodeFiltered`: false hides
+/// the node (and, for elements, its whole subtree).
+using NodeFilter = std::function<bool(const Node*)>;
+
+/// Serializes the subtree rooted at `node` as it would appear after
+/// pruning: descendants and attributes failing `filter` are omitted, and
+/// an element whose children are all filtered collapses to the empty
+/// form (`<a/>`), byte-identical to serializing the pruned copy.  The
+/// top node itself is not filtered — the caller decides its fate.  A
+/// null filter serializes verbatim.
+std::string SerializeNodeFiltered(const Node& node, const NodeFilter& filter,
+                                  int indent = -1);
 
 /// Renders a DTD as external-subset text (`<!ELEMENT ...>` lines) —
 /// used to publish the loosened DTD next to a computed view.

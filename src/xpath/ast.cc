@@ -102,6 +102,38 @@ std::string StepToString(const Step& step) {
 
 }  // namespace
 
+Step Step::Clone() const {
+  Step out;
+  out.axis = axis;
+  out.test = test;
+  out.name = name;
+  out.predicates.reserve(predicates.size());
+  for (const auto& pred : predicates) out.predicates.push_back(pred->Clone());
+  return out;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto out = std::make_unique<Expr>(kind);
+  out->op = op;
+  if (lhs != nullptr) out->lhs = lhs->Clone();
+  if (rhs != nullptr) out->rhs = rhs->Clone();
+  if (operand != nullptr) out->operand = operand->Clone();
+  out->literal = literal;
+  out->number = number;
+  out->function_name = function_name;
+  out->args.reserve(args.size());
+  for (const auto& arg : args) out->args.push_back(arg->Clone());
+  if (base != nullptr) out->base = base->Clone();
+  out->base_predicates.reserve(base_predicates.size());
+  for (const auto& pred : base_predicates) {
+    out->base_predicates.push_back(pred->Clone());
+  }
+  out->absolute = absolute;
+  out->steps.reserve(steps.size());
+  for (const Step& step : steps) out->steps.push_back(step.Clone());
+  return out;
+}
+
 std::string Expr::ToString() const {
   switch (kind) {
     case Kind::kBinary:

@@ -65,6 +65,9 @@ struct Step {
   NodeTestKind test = NodeTestKind::kName;
   std::string name;       ///< for kName (and kPi target when given)
   std::vector<std::unique_ptr<Expr>> predicates;
+
+  /// Deep copy (predicates cloned recursively).
+  Step Clone() const;
 };
 
 /// A parsed XPath expression tree.
@@ -109,6 +112,10 @@ struct Expr {
 
   /// Unparses back to (canonical) XPath syntax, for diagnostics.
   std::string ToString() const;
+
+  /// Deep copy of the whole expression tree — the query rewriter
+  /// (src/rewrite) transforms a copy, never the caller's AST.
+  std::unique_ptr<Expr> Clone() const;
 };
 
 }  // namespace xpath

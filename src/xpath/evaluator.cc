@@ -36,8 +36,8 @@ const Node* RootOf(const Node* node) {
 
 class EvalImpl {
  public:
-  explicit EvalImpl(const VariableBindings* variables)
-      : ctx_variables_(variables) {}
+  EvalImpl(const VariableBindings* variables, const EvalHooks* hooks)
+      : ctx_variables_(variables), hooks_(hooks) {}
 
   Result<Value> Evaluate(const Expr& expr, const Context& ctx) const {
     switch (expr.kind) {
@@ -45,7 +45,7 @@ class EvalImpl {
         return EvaluateBinary(expr, ctx);
       case Expr::Kind::kNegate: {
         XMLSEC_ASSIGN_OR_RETURN(Value inner, Evaluate(*expr.operand, ctx));
-        return Value(-inner.ToNumber());
+        return Value(-ToNumberV(inner));
       }
       case Expr::Kind::kLiteral:
         return Value(expr.literal);
@@ -92,15 +92,15 @@ class EvalImpl {
       case BinaryOp::kGe:
         return Value(Compare(expr.op, lhs, rhs));
       case BinaryOp::kAdd:
-        return Value(lhs.ToNumber() + rhs.ToNumber());
+        return Value(ToNumberV(lhs) + ToNumberV(rhs));
       case BinaryOp::kSub:
-        return Value(lhs.ToNumber() - rhs.ToNumber());
+        return Value(ToNumberV(lhs) - ToNumberV(rhs));
       case BinaryOp::kMul:
-        return Value(lhs.ToNumber() * rhs.ToNumber());
+        return Value(ToNumberV(lhs) * ToNumberV(rhs));
       case BinaryOp::kDiv:
-        return Value(lhs.ToNumber() / rhs.ToNumber());
+        return Value(ToNumberV(lhs) / ToNumberV(rhs));
       case BinaryOp::kMod:
-        return Value(std::fmod(lhs.ToNumber(), rhs.ToNumber()));
+        return Value(std::fmod(ToNumberV(lhs), ToNumberV(rhs)));
       case BinaryOp::kUnion: {
         if (!lhs.is_node_set() || !rhs.is_node_set()) {
           return Status::InvalidArgument(
@@ -135,15 +135,39 @@ class EvalImpl {
     }
   }
 
+  /// String-value through the visibility hook when one is installed:
+  /// policy-aware evaluation must read the text the *view* would carry,
+  /// not the original document's.
+  std::string StringValue(const Node& node) const {
+    if (hooks_ != nullptr && hooks_->node_visible) {
+      return StringValueOf(node, hooks_->node_visible);
+    }
+    return StringValueOf(node);
+  }
+
+  /// `Value::ToString`/`ToNumber` with the node-set case routed through
+  /// the hook-aware string-value (Value itself cannot know about hooks).
+  std::string ToStringV(const Value& v) const {
+    if (v.is_node_set()) {
+      return v.nodes().empty() ? std::string()
+                               : StringValue(*v.nodes().front());
+    }
+    return v.ToString();
+  }
+  double ToNumberV(const Value& v) const {
+    if (v.is_node_set()) return StringToNumber(ToStringV(v));
+    return v.ToNumber();
+  }
+
   /// XPath 1.0 §3.4 comparison semantics.
-  static bool Compare(BinaryOp op, const Value& lhs, const Value& rhs) {
+  bool Compare(BinaryOp op, const Value& lhs, const Value& rhs) const {
     const bool relational = op == BinaryOp::kLt || op == BinaryOp::kLe ||
                             op == BinaryOp::kGt || op == BinaryOp::kGe;
     if (lhs.is_node_set() && rhs.is_node_set()) {
       for (const Node* a : lhs.nodes()) {
-        const std::string sa = StringValueOf(*a);
+        const std::string sa = StringValue(*a);
         for (const Node* b : rhs.nodes()) {
-          const std::string sb = StringValueOf(*b);
+          const std::string sb = StringValue(*b);
           bool hit = relational
                          ? NumCompare(op, StringToNumber(sa),
                                       StringToNumber(sb))
@@ -163,7 +187,7 @@ class EvalImpl {
         return op == BinaryOp::kEq ? a == b : a != b;
       }
       for (const Node* n : set.nodes()) {
-        const std::string sv = StringValueOf(*n);
+        const std::string sv = StringValue(*n);
         bool hit;
         if (relational || other.kind() == Value::Kind::kNumber ||
             other.kind() == Value::Kind::kBool) {
@@ -235,6 +259,7 @@ class EvalImpl {
   }
 
   const VariableBindings* ctx_variables_;
+  const EvalHooks* hooks_;
 
   Result<NodeSet> ApplyStep(const Step& step, const Node* node) const {
     NodeSet candidates = AxisNodes(step.axis, node);
@@ -244,6 +269,26 @@ class EvalImpl {
       if (MatchesTest(step, candidate)) tested.push_back(candidate);
     }
     for (const auto& pred : step.predicates) {
+      // Fast path for the rewriter's injected guard (always the first
+      // predicate of a rewritten step): a bare membership filter needs
+      // no per-candidate context or value boxing — and on large
+      // candidate lists that generic machinery costs more than the
+      // visibility checks themselves.  Semantics are identical to the
+      // generic path: the guard returns a boolean, so position-mapping
+      // never applies, and without hooks the generic path still
+      // rejects the reserved name as unknown.
+      if (hooks_ != nullptr && hooks_->node_visible &&
+          pred->kind == Expr::Kind::kFunctionCall &&
+          pred->function_name == kAccessibleFunctionName &&
+          pred->args.empty()) {
+        NodeSet kept;
+        kept.reserve(tested.size());
+        for (const Node* candidate : tested) {
+          if (hooks_->node_visible(candidate)) kept.push_back(candidate);
+        }
+        tested = std::move(kept);
+        continue;
+      }
       XMLSEC_ASSIGN_OR_RETURN(tested, FilterByPredicate(*pred, tested));
     }
     return tested;
@@ -420,6 +465,18 @@ class EvalImpl {
       if (!expr.args.empty()) return arity_error("0");
       return Value(false);
     }
+    if (name == kAccessibleFunctionName) {
+      // The rewriter's injected accessibility guard.  Resolvable only
+      // under policy-aware hooks — in a plain evaluation the reserved
+      // name fails like any unknown function, so user input can never
+      // invoke (or spoof) the guard.
+      if (hooks_ == nullptr || !hooks_->node_visible) {
+        return Status::InvalidArgument("unknown XPath function '" + name +
+                                       "'");
+      }
+      if (!expr.args.empty()) return arity_error("0");
+      return Value(hooks_->node_visible(ctx.node));
+    }
 
     // Evaluate arguments eagerly (no lazy semantics needed).
     std::vector<Value> args;
@@ -460,35 +517,35 @@ class EvalImpl {
     }
     if (name == "string") {
       if (args.size() > 1) return arity_error("0 or 1");
-      if (args.empty()) return Value(StringValueOf(*ctx.node));
-      return Value(args[0].ToString());
+      if (args.empty()) return Value(StringValue(*ctx.node));
+      return Value(ToStringV(args[0]));
     }
     if (name == "concat") {
       if (args.size() < 2) return arity_error("2 or more");
       std::string out;
-      for (const Value& v : args) out += v.ToString();
+      for (const Value& v : args) out += ToStringV(v);
       return Value(std::move(out));
     }
     if (name == "starts-with") {
       if (args.size() != 2) return arity_error("2");
-      return Value(StartsWith(args[0].ToString(), args[1].ToString()));
+      return Value(StartsWith(ToStringV(args[0]), ToStringV(args[1])));
     }
     if (name == "contains") {
       if (args.size() != 2) return arity_error("2");
-      return Value(args[0].ToString().find(args[1].ToString()) !=
+      return Value(ToStringV(args[0]).find(ToStringV(args[1])) !=
                    std::string::npos);
     }
     if (name == "substring-before") {
       if (args.size() != 2) return arity_error("2");
-      std::string s = args[0].ToString();
-      size_t pos = s.find(args[1].ToString());
+      std::string s = ToStringV(args[0]);
+      size_t pos = s.find(ToStringV(args[1]));
       return Value(pos == std::string::npos ? std::string()
                                             : s.substr(0, pos));
     }
     if (name == "substring-after") {
       if (args.size() != 2) return arity_error("2");
-      std::string s = args[0].ToString();
-      std::string needle = args[1].ToString();
+      std::string s = ToStringV(args[0]);
+      std::string needle = ToStringV(args[1]);
       size_t pos = s.find(needle);
       return Value(pos == std::string::npos ? std::string()
                                             : s.substr(pos + needle.size()));
@@ -500,20 +557,20 @@ class EvalImpl {
     if (name == "string-length") {
       if (args.size() > 1) return arity_error("0 or 1");
       std::string s =
-          args.empty() ? StringValueOf(*ctx.node) : args[0].ToString();
+          args.empty() ? StringValue(*ctx.node) : ToStringV(args[0]);
       return Value(static_cast<double>(s.size()));
     }
     if (name == "normalize-space") {
       if (args.size() > 1) return arity_error("0 or 1");
       std::string s =
-          args.empty() ? StringValueOf(*ctx.node) : args[0].ToString();
+          args.empty() ? StringValue(*ctx.node) : ToStringV(args[0]);
       return Value(NormalizeSpace(s));
     }
     if (name == "translate") {
       if (args.size() != 3) return arity_error("3");
-      std::string s = args[0].ToString();
-      std::string from = args[1].ToString();
-      std::string to = args[2].ToString();
+      std::string s = ToStringV(args[0]);
+      std::string from = ToStringV(args[1]);
+      std::string to = ToStringV(args[2]);
       std::string out;
       out.reserve(s.size());
       for (char c : s) {
@@ -536,8 +593,8 @@ class EvalImpl {
     }
     if (name == "number") {
       if (args.size() > 1) return arity_error("0 or 1");
-      if (args.empty()) return Value(StringToNumber(StringValueOf(*ctx.node)));
-      return Value(args[0].ToNumber());
+      if (args.empty()) return Value(StringToNumber(StringValue(*ctx.node)));
+      return Value(ToNumberV(args[0]));
     }
     if (name == "sum") {
       if (args.size() != 1 || !args[0].is_node_set()) {
@@ -545,32 +602,32 @@ class EvalImpl {
       }
       double total = 0;
       for (const Node* n : args[0].nodes()) {
-        total += StringToNumber(StringValueOf(*n));
+        total += StringToNumber(StringValue(*n));
       }
       return Value(total);
     }
     if (name == "floor") {
       if (args.size() != 1) return arity_error("1");
-      return Value(std::floor(args[0].ToNumber()));
+      return Value(std::floor(ToNumberV(args[0])));
     }
     if (name == "ceiling") {
       if (args.size() != 1) return arity_error("1");
-      return Value(std::ceil(args[0].ToNumber()));
+      return Value(std::ceil(ToNumberV(args[0])));
     }
     if (name == "round") {
       if (args.size() != 1) return arity_error("1");
-      double v = args[0].ToNumber();
+      double v = ToNumberV(args[0]);
       if (std::isnan(v) || std::isinf(v)) return Value(v);
       return Value(std::floor(v + 0.5));
     }
     return Status::InvalidArgument("unknown XPath function '" + name + "'");
   }
 
-  static Result<Value> EvaluateSubstring(const std::vector<Value>& args) {
-    std::string s = args[0].ToString();
-    double start = args[1].ToNumber();
+  Result<Value> EvaluateSubstring(const std::vector<Value>& args) const {
+    std::string s = ToStringV(args[0]);
+    double start = ToNumberV(args[1]);
     double length = args.size() == 3
-                        ? args[2].ToNumber()
+                        ? ToNumberV(args[2])
                         : std::numeric_limits<double>::infinity();
     if (std::isnan(start) || std::isnan(length)) return Value(std::string());
     double begin = std::floor(start + 0.5);
@@ -590,12 +647,12 @@ class EvalImpl {
     std::vector<std::string> wanted;
     if (arg.is_node_set()) {
       for (const Node* n : arg.nodes()) {
-        for (std::string& token : SplitString(StringValueOf(*n), ' ')) {
+        for (std::string& token : SplitString(StringValue(*n), ' ')) {
           if (!token.empty()) wanted.push_back(std::move(token));
         }
       }
     } else {
-      std::string joined = arg.ToString();
+      std::string joined = ToStringV(arg);
       std::string current;
       for (char c : joined + " ") {
         if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
@@ -619,7 +676,15 @@ class EvalImpl {
       for (const Node* n : all) {
         const Element* el = n->AsElement();
         if (el == nullptr) continue;
+        if (hooks_ != nullptr && hooks_->node_visible &&
+            !hooks_->node_visible(el)) {
+          continue;  // Policy-aware: hidden elements are not addressable.
+        }
         for (const auto& attr : el->attributes()) {
+          if (hooks_ != nullptr && hooks_->node_visible &&
+              !hooks_->node_visible(attr.get())) {
+            continue;
+          }
           const xml::AttrDecl* decl = dtd->FindAttr(el->tag(), attr->name());
           if (decl == nullptr || decl->type != xml::AttrType::kId) continue;
           for (const std::string& id : wanted) {
@@ -639,19 +704,20 @@ class EvalImpl {
 }  // namespace
 
 Result<Value> Evaluator::Evaluate(const Expr& expr, const xml::Node* context,
-                                  const VariableBindings* variables) const {
+                                  const VariableBindings* variables,
+                                  const EvalHooks* hooks) const {
   if (context == nullptr) {
     return Status::InvalidArgument("XPath context node is null");
   }
-  EvalImpl impl(variables);
+  EvalImpl impl(variables, hooks);
   Context ctx{context, 1, 1, variables};
   return impl.Evaluate(expr, ctx);
 }
 
 Result<NodeSet> Evaluator::SelectNodes(
     const Expr& expr, const xml::Node* context,
-    const VariableBindings* variables) const {
-  XMLSEC_ASSIGN_OR_RETURN(Value v, Evaluate(expr, context, variables));
+    const VariableBindings* variables, const EvalHooks* hooks) const {
+  XMLSEC_ASSIGN_OR_RETURN(Value v, Evaluate(expr, context, variables, hooks));
   if (!v.is_node_set()) {
     return Status::InvalidArgument(
         "XPath expression does not yield a node-set: " + expr.ToString());

@@ -18,6 +18,24 @@ namespace xpath {
 /// evaluation errors (XPath 1.0 semantics).
 using VariableBindings = std::map<std::string, Value, std::less<>>;
 
+/// The reserved accessibility-guard function the query rewriter
+/// (src/rewrite) injects as the first predicate of every step.  It is
+/// not part of the user-facing XPath surface: without hooks the name is
+/// rejected exactly like any unknown function, so a user query carrying
+/// it cannot widen its own view (the rewriter additionally refuses to
+/// rewrite such a query).
+inline constexpr std::string_view kAccessibleFunctionName =
+    "__xmlsec-accessible";
+
+/// Callbacks a policy-aware evaluation threads through every step.  When
+/// `node_visible` is set, the reserved guard function resolves through
+/// it, and string-values (hence comparisons, string(), number(), sum(),
+/// ...) are computed over visible text only — evaluation behaves as if
+/// it ran over the materialized view while touching the original tree.
+struct EvalHooks {
+  NodeFilter node_visible;
+};
+
 /// Evaluates compiled XPath expressions against a DOM tree.
 ///
 /// The evaluator is stateless across calls and safe to reuse; node-set
@@ -30,12 +48,16 @@ class Evaluator {
   /// Evaluates `expr` with `context` as the context node (position 1,
   /// size 1).  `context` may be the document node or any node within it.
   /// `variables` supplies values for `$name` references (may be null).
+  /// `hooks` (may be null) enables policy-aware evaluation — see
+  /// `EvalHooks`.
   Result<Value> Evaluate(const Expr& expr, const xml::Node* context,
-                         const VariableBindings* variables = nullptr) const;
+                         const VariableBindings* variables = nullptr,
+                         const EvalHooks* hooks = nullptr) const;
 
   /// Evaluates and requires a node-set result.
   Result<NodeSet> SelectNodes(const Expr& expr, const xml::Node* context,
-                              const VariableBindings* variables = nullptr) const;
+                              const VariableBindings* variables = nullptr,
+                              const EvalHooks* hooks = nullptr) const;
 };
 
 /// One-shot convenience: compile and evaluate `expr_text` against

@@ -66,6 +66,48 @@ std::string StringValueOf(const xml::Node& node) {
   }
 }
 
+namespace {
+
+/// Mirrors Element::TextContent but skips subtrees the filter hides.  An
+/// element that fails the filter contributes nothing: a visible text node
+/// implies its whole ancestor chain is in the view (projector.cc keeps a
+/// text node only under a self-permitted — hence kept — element), so
+/// descending into hidden elements could never find visible text.
+void AppendVisibleText(const xml::Node& node, const NodeFilter& filter,
+                       std::string* out) {
+  for (const auto& child : node.children()) {
+    if (child->IsText()) {
+      if (filter(child.get())) out->append(child->NodeValue());
+    } else if (child->IsElement()) {
+      if (filter(child.get())) AppendVisibleText(*child, filter, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string StringValueOf(const xml::Node& node, const NodeFilter& filter) {
+  if (!filter) return StringValueOf(node);
+  switch (node.type()) {
+    case xml::NodeType::kElement: {
+      std::string out;
+      AppendVisibleText(node, filter, &out);
+      return out;
+    }
+    case xml::NodeType::kDocument: {
+      const xml::Element* root =
+          static_cast<const xml::Document&>(node).root();
+      std::string out;
+      if (root != nullptr && filter(root)) {
+        AppendVisibleText(*root, filter, &out);
+      }
+      return out;
+    }
+    default:
+      return node.NodeValue();
+  }
+}
+
 double StringToNumber(std::string_view s) {
   std::string_view trimmed = StripAsciiWhitespace(s);
   if (trimmed.empty()) return std::nan("");

@@ -1,6 +1,7 @@
 #ifndef XMLSEC_XPATH_VALUE_H_
 #define XMLSEC_XPATH_VALUE_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,17 @@ class Value {
 /// text for elements and the document, the value for attributes, the data
 /// for text/comment/PI nodes.
 std::string StringValueOf(const xml::Node& node);
+
+/// Node visibility predicate for policy-aware evaluation: true when the
+/// node is part of the requester's view (src/rewrite binds this to its
+/// visibility oracle).
+using NodeFilter = std::function<bool(const xml::Node*)>;
+
+/// String-value restricted to visible nodes: descendant text of an
+/// element (or the document) contributes only when the text node — and
+/// every element on the way down — passes `filter`.  Equals the plain
+/// string-value of the same node in the materialized view.
+std::string StringValueOf(const xml::Node& node, const NodeFilter& filter);
 
 /// Parses a string as an XPath number (optional sign, decimal); NaN when
 /// the trimmed string is not a number.

@@ -1,0 +1,634 @@
+// Tests for the policy-safe query rewriter (src/rewrite): the
+// randomized materialized-vs-rewritten equivalence suite (the two query
+// paths must answer byte-identically, error encodings included), the
+// guard-insertion unit tests, the shared result serializer, the
+// view-cache query-key separation, the schema-mismatch fail-safe, and
+// server-level path equivalence with its fallback accounting.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/policy_automaton.h"
+#include "authz/labeling.h"
+#include "authz/processor.h"
+#include "obs/metrics.h"
+#include "rewrite/query_result.h"
+#include "rewrite/rewriter.h"
+#include "rewrite/visibility.h"
+#include "server/document_server.h"
+#include "server/repository.h"
+#include "server/user_directory.h"
+#include "server/view_cache.h"
+#include "workload/authgen.h"
+#include "workload/docgen.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlsec {
+namespace rewrite {
+namespace {
+
+using workload::AuthGenConfig;
+using workload::DocGenConfig;
+using workload::GeneratedWorkload;
+
+// --- RewriteExpr unit tests ---------------------------------------------
+
+std::string Rewritten(std::string_view query) {
+  auto parsed = xpath::CompileXPath(query);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  RewrittenQuery rewritten = RewriteExpr(**parsed);
+  EXPECT_TRUE(rewritten.ok())
+      << UnsupportedReasonToString(rewritten.unsupported);
+  return rewritten.expr == nullptr ? std::string() : rewritten.expr->ToString();
+}
+
+TEST(RewriteExprTest, GuardsEveryStep) {
+  std::string out = Rewritten("/laboratory/project/paper");
+  // One guard per location step.
+  size_t count = 0;
+  for (size_t at = out.find(xpath::kAccessibleFunctionName);
+       at != std::string::npos;
+       at = out.find(xpath::kAccessibleFunctionName, at + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u) << out;
+}
+
+TEST(RewriteExprTest, GuardComesBeforePositionalPredicate) {
+  std::string out = Rewritten("//paper[2]");
+  size_t guard = out.find(xpath::kAccessibleFunctionName);
+  size_t positional = out.find("[2]");
+  ASSERT_NE(guard, std::string::npos) << out;
+  ASSERT_NE(positional, std::string::npos) << out;
+  // Guard-first: [2] must count guarded (visible) candidates.
+  EXPECT_LT(guard, positional) << out;
+}
+
+TEST(RewriteExprTest, GuardsStepsInsidePredicatesAndFunctionArgs) {
+  std::string out = Rewritten("//project[paper/@category = \"x\"]"
+                              "[count(.//title) > 0]");
+  size_t count = 0;
+  for (size_t at = out.find(xpath::kAccessibleFunctionName);
+       at != std::string::npos;
+       at = out.find(xpath::kAccessibleFunctionName, at + 1)) {
+    ++count;
+  }
+  // //project, paper, @category, .//title (self + descendant steps).
+  EXPECT_GE(count, 4u) << out;
+}
+
+TEST(RewriteExprTest, BareLiteralSurvivesUnguarded) {
+  auto parsed = xpath::CompileXPath("\"hello\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  RewrittenQuery rewritten = RewriteExpr(**parsed);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(rewritten.expr->ToString().find(xpath::kAccessibleFunctionName),
+            std::string::npos);
+}
+
+TEST(RewriteExprTest, RecordsOriginalSource) {
+  auto parsed = xpath::CompileXPath("//paper");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  RewrittenQuery rewritten = RewriteExpr(**parsed);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(rewritten.source, (*parsed)->ToString());
+  EXPECT_EQ(rewritten.source.find(xpath::kAccessibleFunctionName),
+            std::string::npos);
+}
+
+TEST(RewriteExprTest, ReservedGuardFunctionIsRefused) {
+  std::string query =
+      "//paper[" + std::string(xpath::kAccessibleFunctionName) + "()]";
+  auto parsed = xpath::CompileXPath(query);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  RewrittenQuery rewritten = RewriteExpr(**parsed);
+  EXPECT_FALSE(rewritten.ok());
+  EXPECT_EQ(rewritten.unsupported, UnsupportedReason::kReservedFunction);
+  EXPECT_EQ(rewritten.expr, nullptr);
+}
+
+TEST(RewriteExprTest, IdFunctionIsUnsupported) {
+  auto parsed = xpath::CompileXPath("id(\"chapter1\")");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  RewrittenQuery rewritten = RewriteExpr(**parsed);
+  EXPECT_FALSE(rewritten.ok());
+  EXPECT_EQ(rewritten.unsupported, UnsupportedReason::kUnsupportedFunction);
+}
+
+TEST(RewriteExprTest, GuardUnresolvableWithoutHooks) {
+  // A user query carrying the reserved name must not evaluate: without
+  // hooks the evaluator treats it as an unknown function.
+  auto doc = xml::ParseDocument("<a><b/></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  std::string query =
+      "//b[" + std::string(xpath::kAccessibleFunctionName) + "()]";
+  auto result = xpath::SelectXPath(query, (*doc)->root());
+  EXPECT_FALSE(result.ok());
+}
+
+// --- Shared result serializer -------------------------------------------
+
+TEST(QueryResultTest, EscapesAttributeValuesAndText) {
+  auto doc = xml::ParseDocument(
+      "<r a=\"x&amp;y&lt;z\"><c>5 &lt; 6 &amp; 7 &gt; 2</c></r>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+
+  auto attrs = xpath::SelectXPath("//@a", (*doc)->root());
+  ASSERT_TRUE(attrs.ok()) << attrs.status();
+  std::string body = BuildQueryResultBody(*attrs, nullptr);
+  EXPECT_NE(body.find("<attribute name=\"a\">x&amp;y&lt;z</attribute>"),
+            std::string::npos)
+      << body;
+
+  auto text = xpath::SelectXPath("//c/text()", (*doc)->root());
+  ASSERT_TRUE(text.ok()) << text.status();
+  body = BuildQueryResultBody(*text, nullptr);
+  EXPECT_NE(body.find("5 &lt; 6 &amp; 7 &gt; 2"), std::string::npos) << body;
+  EXPECT_EQ(body.find("5 < 6"), std::string::npos) << body;
+}
+
+TEST(QueryResultTest, CountAttributeAndFilteredSerialization) {
+  auto doc = xml::ParseDocument("<r><keep/><drop/></r>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  auto nodes = xpath::SelectXPath("/r", (*doc)->root());
+  ASSERT_TRUE(nodes.ok()) << nodes.status();
+
+  xpath::NodeFilter filter = [](const xml::Node* node) {
+    return node->NodeName() != "drop";
+  };
+  std::string body = BuildQueryResultBody(*nodes, &filter);
+  EXPECT_NE(body.find("count=\"1\""), std::string::npos) << body;
+  EXPECT_NE(body.find("<keep/>"), std::string::npos) << body;
+  EXPECT_EQ(body.find("<drop"), std::string::npos) << body;
+}
+
+// --- View-cache key separation ------------------------------------------
+
+TEST(ViewCacheQueryKeyTest, FullViewEntryNeverServesAQuery) {
+  server::ViewCache cache(/*capacity=*/4, /*shards=*/1);
+  server::ViewCache::Key full{"d.xml", "tom", "1.2.3.4", "host", "s", ""};
+  cache.Put(full, /*version=*/1, "full view body");
+
+  server::ViewCache::Key query = full;
+  query.query = "//a";
+  EXPECT_EQ(cache.Get(query, 1), nullptr);
+  ASSERT_NE(cache.Get(full, 1), nullptr);
+
+  // And distinct queries never collide with each other either.
+  cache.Put(query, 1, "query body");
+  server::ViewCache::Key other = full;
+  other.query = "//b";
+  EXPECT_EQ(cache.Get(other, 1), nullptr);
+  EXPECT_EQ(*cache.Get(query, 1), "query body");
+}
+
+// --- Schema-mismatch fail-safe ------------------------------------------
+
+TEST(VisibilityOracleTest, UndeclaredTagLatchesMismatchAndAnswersFalse) {
+  auto dtd_doc = xml::ParseDocument("<laboratory/>");
+  ASSERT_TRUE(dtd_doc.ok());
+  std::string dtd_text = workload::LaboratoryDtd();
+  auto lab = workload::GenerateLaboratory(1, 1, /*seed=*/1);
+  ASSERT_NE(lab, nullptr);
+  ASSERT_NE(lab->dtd(), nullptr);
+
+  std::vector<authz::Authorization> instance;
+  std::vector<authz::Authorization> schema;
+  auto automaton_result =
+      analysis::PolicyAutomaton::Compile(*lab->dtd(), instance, schema);
+  ASSERT_TRUE(automaton_result.ok()) << automaton_result.status();
+  std::shared_ptr<const analysis::PolicyAutomaton> automaton =
+      std::move(*automaton_result);
+
+  // A document whose tags the compiled schema has never seen.
+  auto alien = xml::ParseDocument("<martian><crater/></martian>");
+  ASSERT_TRUE(alien.ok()) << alien.status();
+
+  authz::Requester rq;
+  rq.user = "tom";
+  authz::GroupStore groups;
+  authz::PolicyOptions policy;
+  policy.completeness = authz::CompletenessPolicy::kOpen;
+
+  auto oracle =
+      VisibilityOracle::Create(**alien, automaton, rq, groups, policy);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  // Even under the open policy — where unlabeled nodes are visible — a
+  // mismatched walk must answer false, never fail open.
+  EXPECT_FALSE((*oracle)->InView((*alien)->root()));
+  EXPECT_TRUE((*oracle)->schema_mismatch());
+  EXPECT_FALSE((*oracle)->RootVisible());
+}
+
+// --- Materialized-vs-rewritten equivalence ------------------------------
+
+struct Scenario {
+  uint64_t seed;
+  int depth;
+  int fanout;
+  int auth_count;
+};
+
+void PrintTo(const Scenario& s, std::ostream* os) {
+  *os << "seed=" << s.seed << " depth=" << s.depth << " fanout=" << s.fanout
+      << " auths=" << s.auth_count;
+}
+
+/// One encoded answer: "404", "400: <status>", or the response body.
+/// Both answerers use this encoding, so string equality == protocol
+/// equality.
+std::string Encode404() { return "404"; }
+std::string EncodeError(const Status& status) {
+  return "400: " + status.ToString();
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<Scenario> {
+ protected:
+  void SetUp() override {
+    const Scenario& s = GetParam();
+    DocGenConfig doc_config;
+    doc_config.depth = s.depth;
+    doc_config.fanout = s.fanout;
+    doc_config.seed = s.seed;
+    doc_ = workload::GenerateDocument(doc_config);
+    ASSERT_NE(doc_, nullptr);
+    ASSERT_NE(doc_->dtd(), nullptr);
+
+    AuthGenConfig auth_config;
+    auth_config.count = s.auth_count;
+    auth_config.seed = s.seed * 1000 + 17;
+    workload_ = workload::GenerateAuthorizations(*doc_, "d.xml", "s.dtd",
+                                                 auth_config);
+
+    auto automaton = analysis::PolicyAutomaton::Compile(
+        *doc_->dtd(), workload_.instance_auths, workload_.schema_auths);
+    ASSERT_TRUE(automaton.ok()) << automaton.status();
+    automaton_ = std::move(*automaton);
+  }
+
+  /// The materialized path: compute the view, then query it — exactly
+  /// the server's fallback path (document_server.cc).
+  std::string MaterializedAnswer(authz::PolicyOptions policy,
+                                 const std::string& query) {
+    authz::ProcessorOptions options;
+    options.policy = policy;
+    authz::SecurityProcessor processor(&workload_.groups, options);
+    auto view = processor.ComputeView(*doc_, workload_.instance_auths,
+                                      workload_.schema_auths,
+                                      workload_.requester);
+    EXPECT_TRUE(view.ok()) << view.status();
+    if (!view.ok()) return "materialize-error";
+    if (view->empty()) return Encode404();
+    xpath::VariableBindings vars = Bindings();
+    auto selected = xpath::SelectXPath(query, view->document->root(), &vars);
+    if (!selected.ok()) return EncodeError(selected.status());
+    return BuildQueryResultBody(*selected, nullptr);
+  }
+
+  /// The rewrite path: guards + oracle over the ORIGINAL document —
+  /// mirrors the server's serve_rewritten flow.  `fell_back` reports
+  /// conditions where the server would fall back to the materialized
+  /// path (never an error, but nothing to compare either).
+  std::string RewrittenAnswer(authz::PolicyOptions policy,
+                              const std::string& query, bool* fell_back) {
+    *fell_back = false;
+    QueryRewriter rewriter(automaton_);
+    auto oracle = rewriter.NewOracle(*doc_, workload_.requester,
+                                     workload_.groups, policy);
+    EXPECT_TRUE(oracle.ok()) << oracle.status();
+    if (!oracle.ok()) return "oracle-error";
+    if (!(*oracle)->RootVisible()) {
+      if ((*oracle)->schema_mismatch()) {
+        *fell_back = true;
+        return "";
+      }
+      return Encode404();
+    }
+    auto rewritten = rewriter.Rewrite(query);
+    if (!rewritten.ok()) return EncodeError(rewritten.status());
+    if (!rewritten->ok()) {
+      *fell_back = true;
+      return "";
+    }
+    xpath::VariableBindings vars = Bindings();
+    xpath::NodeFilter filter = (*oracle)->Filter();
+    xpath::EvalHooks hooks;
+    hooks.node_visible = filter;
+    xpath::Evaluator evaluator;
+    auto value =
+        evaluator.Evaluate(*rewritten->expr, doc_->root(), &vars, &hooks);
+    if ((*oracle)->schema_mismatch()) {
+      *fell_back = true;
+      return "";
+    }
+    if (!value.ok()) return EncodeError(value.status());
+    if (!value->is_node_set()) {
+      return EncodeError(Status::InvalidArgument(
+          "XPath expression does not yield a node-set: " +
+          rewritten->source));
+    }
+    return BuildQueryResultBody(value->nodes(), &filter);
+  }
+
+  xpath::VariableBindings Bindings() const {
+    xpath::VariableBindings vars;
+    vars.emplace("user", xpath::Value(workload_.requester.user));
+    vars.emplace("ip", xpath::Value(workload_.requester.ip));
+    vars.emplace("sym", xpath::Value(workload_.requester.sym));
+    return vars;
+  }
+
+  /// Deterministic query templates built from vocabulary actually
+  /// present in the generated document.
+  std::vector<std::string> Queries() const {
+    std::vector<std::string> tags;
+    std::vector<std::pair<std::string, std::string>> attrs;  // tag, attr
+    std::set<std::string> seen_tags;
+    CollectVocabulary(doc_->root(), &tags, &attrs, &seen_tags);
+
+    std::vector<std::string> queries;
+    std::string root_tag = doc_->root()->NodeName();
+    queries.push_back("/" + root_tag);
+    queries.push_back("/" + root_tag + "/*");
+    for (size_t i = 0; i < tags.size() && i < 4; ++i) {
+      const std::string& tag = tags[i];
+      queries.push_back("//" + tag);
+      queries.push_back("//" + tag + "[2]");
+      queries.push_back("//" + tag + "[position() < 3]");
+      queries.push_back("//" + tag + "/text()");
+      queries.push_back("/descendant::" + tag + "[last()]");
+    }
+    if (tags.size() >= 2) {
+      queries.push_back("//" + tags[0] + " | //" + tags[1]);
+      queries.push_back("//" + tags[0] + "[count(.//" + tags[1] + ") > 0]");
+    }
+    for (size_t i = 0; i < attrs.size() && i < 3; ++i) {
+      queries.push_back("//" + attrs[i].first + "[@" + attrs[i].second + "]");
+      queries.push_back("//" + attrs[i].first + "/@" + attrs[i].second);
+      queries.push_back("//*[string-length(@" + attrs[i].second + ") > 2]");
+    }
+    // Error encodings must match too: non-node-set result ...
+    queries.push_back("count(//" + root_tag + ")");
+    // ... and an unknown variable.
+    queries.push_back("//" + root_tag + "[$nosuch = 1]");
+    return queries;
+  }
+
+  static void CollectVocabulary(
+      const xml::Element* el, std::vector<std::string>* tags,
+      std::vector<std::pair<std::string, std::string>>* attrs,
+      std::set<std::string>* seen_tags) {
+    if (el == nullptr) return;
+    if (seen_tags->insert(std::string(el->NodeName())).second) {
+      tags->push_back(std::string(el->NodeName()));
+    }
+    for (const auto& attr : el->attributes()) {
+      if (attrs->size() < 8) {
+        attrs->emplace_back(std::string(el->NodeName()),
+                            std::string(attr->name()));
+      }
+    }
+    for (const auto& child : el->children()) {
+      CollectVocabulary(child->AsElement(), tags, attrs, seen_tags);
+    }
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  GeneratedWorkload workload_;
+  std::shared_ptr<const analysis::PolicyAutomaton> automaton_;
+};
+
+TEST_P(EquivalenceTest, RewrittenAnswersMatchMaterializedByteForByte) {
+  const authz::ConflictPolicy conflicts[] = {
+      authz::ConflictPolicy::kDenialsTakePrecedence,
+      authz::ConflictPolicy::kPermissionsTakePrecedence,
+      authz::ConflictPolicy::kNothingTakesPrecedence,
+  };
+  const authz::CompletenessPolicy completeness[] = {
+      authz::CompletenessPolicy::kClosed,
+      authz::CompletenessPolicy::kOpen,
+  };
+  int compared = 0;
+  for (authz::ConflictPolicy conflict : conflicts) {
+    for (authz::CompletenessPolicy complete : completeness) {
+      authz::PolicyOptions policy;
+      policy.conflict = conflict;
+      policy.completeness = complete;
+      for (const std::string& query : Queries()) {
+        bool fell_back = false;
+        std::string rewritten = RewrittenAnswer(policy, query, &fell_back);
+        if (fell_back) continue;  // Server would serve materialized.
+        std::string materialized = MaterializedAnswer(policy, query);
+        EXPECT_EQ(rewritten, materialized)
+            << "conflict=" << static_cast<int>(conflict)
+            << " completeness=" << static_cast<int>(complete)
+            << " query=" << query;
+        ++compared;
+      }
+    }
+  }
+  // The suite must actually exercise the rewrite path, not fall back
+  // its way to vacuous success.
+  EXPECT_GT(compared, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, EquivalenceTest,
+    ::testing::Values(Scenario{1, 3, 3, 8}, Scenario{2, 4, 3, 16},
+                      Scenario{3, 3, 4, 24}, Scenario{4, 5, 2, 12},
+                      Scenario{5, 4, 4, 32}, Scenario{6, 3, 3, 6},
+                      Scenario{7, 5, 3, 20}, Scenario{8, 4, 2, 40}),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+// --- Server-level path equivalence --------------------------------------
+
+class ServerEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        repo_.AddDtd("laboratory.xml", workload::LaboratoryDtd()).ok());
+    ASSERT_TRUE(repo_
+                    .AddDocument("CSlab.xml",
+                                 "<laboratory>"
+                                 "<project name=\"P\" type=\"public\">"
+                                 "<manager><fname>A</fname>"
+                                 "<lname>B</lname></manager>"
+                                 "<paper category=\"private\">"
+                                 "<title>Secret</title></paper>"
+                                 "<paper category=\"public\">"
+                                 "<title>Known</title></paper>"
+                                 "</project></laboratory>",
+                                 "laboratory.xml")
+                    .ok());
+    // A well-formed-only document: no DTD, so no automaton — query
+    // requests against it must fall back (and still answer).
+    ASSERT_TRUE(repo_.AddDocument("plain.xml",
+                                  "<notes><n>alpha</n><n>beta</n></notes>")
+                    .ok());
+    ASSERT_TRUE(users_.CreateUser("tom", "secret").ok());
+    ASSERT_TRUE(groups_.AddMembership("tom", "Foreign").ok());
+    ASSERT_TRUE(repo_.AddXacl(
+                        "<xacl>"
+                        "<authorization subject=\"Public\" "
+                        "object=\"CSlab.xml\" path=\"/laboratory\" "
+                        "sign=\"+\" type=\"RW\"/>"
+                        "<authorization subject=\"Public\" "
+                        "object=\"plain.xml\" path=\"/notes\" "
+                        "sign=\"+\" type=\"RW\"/>"
+                        "<authorization subject=\"Foreign\" "
+                        "object=\"laboratory.xml\" "
+                        "path='//paper[./@category=&quot;private&quot;]' "
+                        "sign=\"-\" type=\"R\"/>"
+                        "</xacl>")
+                    .ok());
+
+    server::ServerConfig materialize_config;
+    materialize_config.metrics = &materialize_registry_;
+    materialize_ = std::make_unique<server::SecureDocumentServer>(
+        &repo_, &users_, &groups_, materialize_config);
+
+    server::ServerConfig rewrite_config;
+    rewrite_config.query_path = server::QueryPathMode::kRewrite;
+    rewrite_config.metrics = &rewrite_registry_;
+    rewrite_ = std::make_unique<server::SecureDocumentServer>(
+        &repo_, &users_, &groups_, rewrite_config);
+  }
+
+  server::ServerRequest Request(const std::string& uri,
+                                const std::string& query) const {
+    server::ServerRequest request;
+    request.user = "tom";
+    request.password = "secret";
+    request.ip = "10.0.0.1";
+    request.sym = "client.lab.example";
+    request.uri = uri;
+    request.query = query;
+    return request;
+  }
+
+  server::Repository repo_;
+  server::UserDirectory users_;
+  authz::GroupStore groups_;
+  obs::MetricsRegistry materialize_registry_;
+  obs::MetricsRegistry rewrite_registry_;
+  std::unique_ptr<server::SecureDocumentServer> materialize_;
+  std::unique_ptr<server::SecureDocumentServer> rewrite_;
+};
+
+TEST_F(ServerEquivalenceTest, ResponsesAreByteIdenticalAcrossPaths) {
+  const char* queries[] = {
+      "//paper",
+      "//paper[1]",
+      "//title/text()",
+      "//paper/@category",
+      "//paper[./@category=\"public\"]",
+      "//nosuchtag",
+      "count(//paper)",        // 400: non-node-set, quoting the original
+      "//paper[",              // 400: parse error
+  };
+  for (const char* query : queries) {
+    server::ServerResponse a = materialize_->Handle(Request("CSlab.xml",
+                                                            query));
+    server::ServerResponse b = rewrite_->Handle(Request("CSlab.xml", query));
+    EXPECT_EQ(a.http_status, b.http_status) << query;
+    EXPECT_EQ(a.body_view(), b.body_view()) << query;
+    EXPECT_EQ(a.content_type, b.content_type) << query;
+  }
+  // The rewrite server really served those through the rewriter: every
+  // 200 above, minus fallbacks (none here), counts.
+  EXPECT_GT(rewrite_registry_.ValueOf("xmlsec_rewrite_served_total"), 0.0);
+  EXPECT_GT(rewrite_registry_.ValueOf("xmlsec_rewrite_compiles_total"), 0.0);
+  EXPECT_EQ(materialize_registry_.ValueOf("xmlsec_rewrite_served_total"),
+            0.0);
+}
+
+TEST_F(ServerEquivalenceTest, RewrittenQueryNeverLeaksDeniedContent) {
+  server::ServerResponse response =
+      rewrite_->Handle(Request("CSlab.xml", "//title"));
+  EXPECT_EQ(response.http_status, 200);
+  EXPECT_NE(response.body_view().find("Known"), std::string_view::npos);
+  EXPECT_EQ(response.body_view().find("Secret"), std::string_view::npos);
+
+  // String-value coercions are filtered too: comparing against the
+  // hidden title must not match it.
+  response = rewrite_->Handle(
+      Request("CSlab.xml", "//paper[title=\"Secret\"]"));
+  EXPECT_NE(response.body_view().find("count=\"0\""), std::string_view::npos)
+      << response.body_view();
+}
+
+TEST_F(ServerEquivalenceTest, UnsupportedQueryFallsBackCounted) {
+  server::ServerResponse a =
+      materialize_->Handle(Request("CSlab.xml", "id(\"x\")"));
+  server::ServerResponse b = rewrite_->Handle(Request("CSlab.xml",
+                                                      "id(\"x\")"));
+  EXPECT_EQ(a.http_status, b.http_status);
+  EXPECT_EQ(a.body_view(), b.body_view());
+  EXPECT_EQ(rewrite_registry_.ValueOf("xmlsec_rewrite_fallbacks_total",
+                                      "reason=\"unsupported_function\""),
+            1.0);
+}
+
+TEST_F(ServerEquivalenceTest, NoAutomatonFallsBackCounted) {
+  server::ServerResponse a = materialize_->Handle(Request("plain.xml",
+                                                          "//n"));
+  server::ServerResponse b = rewrite_->Handle(Request("plain.xml", "//n"));
+  EXPECT_EQ(a.http_status, 200);
+  EXPECT_EQ(a.body_view(), b.body_view());
+  EXPECT_EQ(rewrite_registry_.ValueOf("xmlsec_rewrite_fallbacks_total",
+                                      "reason=\"no_automaton\""),
+            1.0);
+  EXPECT_EQ(rewrite_registry_.ValueOf("xmlsec_rewrite_served_total"), 0.0);
+}
+
+TEST_F(ServerEquivalenceTest, ReservedFunctionInUserQueryFallsBackSafely) {
+  std::string query =
+      "//paper[" + std::string(xpath::kAccessibleFunctionName) + "()]";
+  server::ServerResponse a = materialize_->Handle(Request("CSlab.xml",
+                                                          query));
+  server::ServerResponse b = rewrite_->Handle(Request("CSlab.xml", query));
+  // Materialized path: unknown function → 400.  Rewrite path: refuses
+  // to rewrite, falls back to the materialized path → same 400.
+  EXPECT_EQ(a.http_status, 400);
+  EXPECT_EQ(a.http_status, b.http_status);
+  EXPECT_EQ(a.body_view(), b.body_view());
+  EXPECT_EQ(rewrite_registry_.ValueOf("xmlsec_rewrite_fallbacks_total",
+                                      "reason=\"reserved_function\""),
+            1.0);
+}
+
+TEST_F(ServerEquivalenceTest, AllHiddenDocumentYields404OnBothPaths) {
+  // A document that a stranger (no matching subject) cannot see at all.
+  server::ServerRequest request;
+  request.user = "anonymous";
+  request.ip = "203.0.113.9";
+  request.sym = "outside.example";
+  request.uri = "CSlab.xml";
+  request.query = "//paper";
+  // Public covers everyone; deny the whole lab to make it invisible.
+  ASSERT_TRUE(repo_.AddXacl("<xacl>"
+                            "<authorization subject=\"Public\" "
+                            "object=\"CSlab.xml\" path=\"/laboratory\" "
+                            "sign=\"-\" type=\"R\"/>"
+                            "</xacl>")
+                  .ok());
+  server::ServerResponse a = materialize_->Handle(request);
+  server::ServerResponse b = rewrite_->Handle(request);
+  EXPECT_EQ(a.http_status, 404);
+  EXPECT_EQ(b.http_status, 404);
+  EXPECT_EQ(a.body_view(), b.body_view());
+}
+
+}  // namespace
+}  // namespace rewrite
+}  // namespace xmlsec

@@ -321,6 +321,10 @@ TEST_F(ChaosTest, ExpiredRequestBudgetAnswers504WithEmptyBody) {
 TEST_F(ChaosTest, FailpointSweepProvesFailClosed) {
   ServerConfig server_config;
   server_config.view_cache_capacity = 8;  // Exercise the cache sites.
+  // Queries serve through the rewrite path so its sites fire too; the
+  // plain view request of each iteration still covers every
+  // materialized-path site.
+  server_config.query_path = QueryPathMode::kRewrite;
   StartServer(server_config, {});
 
   for (std::string_view site : failpoint::Sites()) {
@@ -399,6 +403,35 @@ TEST_F(ChaosTest, MandatoryPathFailpointsDeny) {
     EXPECT_EQ(response->find("<laboratory"), std::string::npos);
     failpoint::Disable(site);
   }
+}
+
+TEST_F(ChaosTest, RewriteCompileFaultFailsClosedAndIsAudited) {
+  // A fault anywhere in query rewriting must deny with an EMPTY 5xx —
+  // never an unguarded (over-broad) evaluation, never a partial result,
+  // and never a silent fallback that masks the fault — and the denial
+  // must reach the audit trail.
+  ServerConfig server_config;
+  server_config.query_path = QueryPathMode::kRewrite;
+  StartServer(server_config, {});
+
+  const int64_t recorded_before = audit_.total_recorded();
+  failpoint::Enable("rewrite.compile");
+  auto denied = FetchHttp(listener_->port(), AuthorizedRequest("//title"));
+  ASSERT_TRUE(denied.ok());
+  EXPECT_NE(denied->find("HTTP/1.0 5"), std::string::npos) << *denied;
+  EXPECT_NE(denied->find("Content-Length: 0"), std::string::npos);
+  EXPECT_EQ(denied->find("Secret"), std::string::npos);  // Never over-broad.
+  EXPECT_EQ(denied->find("Known"), std::string::npos);   // Never partial.
+  failpoint::Disable("rewrite.compile");
+  EXPECT_GT(failpoint::TriggerCount("rewrite.compile"), 0);
+  EXPECT_GT(audit_.total_recorded(), recorded_before);
+
+  // Fault cleared: the rewrite path serves the correct pruned answer.
+  auto ok = FetchHttp(listener_->port(), AuthorizedRequest("//title"));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_NE(ok->find("200 OK"), std::string::npos);
+  EXPECT_NE(ok->find("Known"), std::string::npos);
+  EXPECT_EQ(ok->find("Secret"), std::string::npos);
 }
 
 TEST_F(ChaosTest, CachePutFaultDegradesWithoutDenying) {
