@@ -5,7 +5,8 @@
 //
 // Build & run:  ./build/examples/policy_server
 //
-// `policy_server --serve <port> [seconds]` skips the scripted demo and
+// `policy_server [--event-loops=N] --serve <port> [seconds]` skips the
+// scripted demo and
 // instead keeps the TCP listener alive for `seconds` (default 30) so an
 // external client — curl, a CI scrape script, a load generator — can
 // exercise `/CSlab.xml`, `/healthz`, and `/metrics` against a real
@@ -29,6 +30,10 @@
 //                                  SIGHUP / POST /admin/reload (without
 //                                  it, reload rebuilds the built-in
 //                                  demo repository)
+//   XMLSEC_EVENT_LOOPS=N           serve through N per-core epoll event
+//                                  loops with SO_REUSEPORT-sharded
+//                                  accept (0/unset = legacy worker
+//                                  pool); `--event-loops=N` overrides
 
 #include <csignal>
 #include <chrono>
@@ -37,6 +42,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "server/audit_log.h"
 #include "server/audit_wal.h"
@@ -109,14 +115,34 @@ int main(int argc, char** argv) {
   bool serve_mode = false;
   uint16_t serve_port = 0;
   int serve_seconds = 30;
-  if (argc >= 2 && std::string(argv[1]) == "--serve") {
-    if (argc < 3 || argc > 4) {
-      std::fprintf(stderr, "usage: policy_server [--serve <port> [seconds]]\n");
+  // Serving-mode selection: `--event-loops=N` (N per-core epoll loops
+  // with SO_REUSEPORT-sharded accept; 0 = legacy worker pool), or the
+  // XMLSEC_EVENT_LOOPS env var; the flag wins.
+  int event_loops = 0;
+  if (const char* loops_env = std::getenv("XMLSEC_EVENT_LOOPS");
+      loops_env != nullptr && loops_env[0] != '\0') {
+    event_loops = std::atoi(loops_env);
+  }
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (size_t i = 0; i < args.size();) {
+    if (args[i].rfind("--event-loops=", 0) == 0) {
+      event_loops = std::atoi(args[i].c_str() + 14);
+      args.erase(args.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  if (event_loops < 0) event_loops = 0;
+  if (!args.empty() && args[0] == "--serve") {
+    if (args.size() < 2 || args.size() > 3) {
+      std::fprintf(stderr,
+                   "usage: policy_server [--event-loops=N] "
+                   "[--serve <port> [seconds]]\n");
       return 2;
     }
     serve_mode = true;
-    serve_port = static_cast<uint16_t>(std::atoi(argv[2]));
-    if (argc == 4) serve_seconds = std::atoi(argv[3]);
+    serve_port = static_cast<uint16_t>(std::atoi(args[1].c_str()));
+    if (args.size() == 3) serve_seconds = std::atoi(args[2].c_str());
     if (serve_seconds <= 0) serve_seconds = 30;
   }
 
@@ -200,6 +226,7 @@ int main(int argc, char** argv) {
     };
 
     server::ListenerConfig listener_config;
+    listener_config.event_loops = event_loops;
     listener_config.reload_handler = reload;
     server::TcpHttpListener listener(&server, "demo.lab.example",
                                      listener_config);

@@ -20,7 +20,18 @@
 #      the decidable 16k-node fixture — the whole point of policy-safe
 #      query rewriting, machine-independent, or
 #
-#   4. a gated benchmark's p50 regressed more than MAX_REGRESSION_PCT
+#   4. the per-core event loops do not scale: on hosts with >= 4 cores,
+#      BM_TcpConcurrentLoad with 4 event loops must move at least
+#      SCALING_RATIO_FLOOR (default 2.5x) the items/s of 1 event loop
+#      on the 16k-node fixture with the view cache off (requests are
+#      CPU-bound view computations, so loops should saturate cores).
+#      On 2-3 core hosts a reduced smoke gate runs instead, pinned to
+#      2 cores via taskset: 4 loops (oversubscribed onto 2 cores) must
+#      still beat 1 loop by SCALING_SMOKE_FLOOR (default 1.3x).
+#      Single-core hosts skip the gate with a note — there is nothing
+#      to scale onto, or
+#
+#   5. a gated benchmark's p50 regressed more than MAX_REGRESSION_PCT
 #      (default 15%) against its committed baseline in
 #      bench/baselines/.  The absolute check is advisory off-CI
 #      (machines differ); set XMLSEC_BENCH_STRICT=1 to make it fail
@@ -40,6 +51,8 @@ MIN_TIME="${XMLSEC_BENCH_MIN_TIME:-0.1}"
 RATIO_FLOOR="${XMLSEC_BENCH_RATIO_FLOOR:-1.5}"
 LABELING_RATIO_FLOOR="${XMLSEC_BENCH_LABELING_RATIO_FLOOR:-3.0}"
 REWRITE_RATIO_FLOOR="${XMLSEC_BENCH_REWRITE_RATIO_FLOOR:-3.0}"
+SCALING_RATIO_FLOOR="${XMLSEC_BENCH_SCALING_RATIO_FLOOR:-2.5}"
+SCALING_SMOKE_FLOOR="${XMLSEC_BENCH_SCALING_SMOKE_FLOOR:-1.3}"
 MAX_REGRESSION_PCT="${XMLSEC_BENCH_REGRESSION_PCT:-15}"
 STRICT="${XMLSEC_BENCH_STRICT:-${CI:+1}}"
 STRICT="${STRICT:-0}"
@@ -53,7 +66,8 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_pipeline \
 PIPE_OUT="$(mktemp)"
 LABEL_OUT="$(mktemp)"
 SERVER_OUT="$(mktemp)"
-trap 'rm -f "$PIPE_OUT" "$LABEL_OUT" "$SERVER_OUT"' EXIT
+SCALING_OUT="$(mktemp)"
+trap 'rm -f "$PIPE_OUT" "$LABEL_OUT" "$SERVER_OUT" "$SCALING_OUT"' EXIT
 
 # Repetitions give one JSON entry per rep (the capturing reporter skips
 # aggregate rows), so the p50s below are medians over real reruns.
@@ -69,6 +83,31 @@ XMLSEC_BENCH_JSON="$SERVER_OUT" "$BUILD_DIR/bench/bench_server" \
   --benchmark_filter='^BM_QueryOverView$|^BM_QueryRewrite$' \
   --benchmark_repetitions="$REPS" \
   --benchmark_min_time="$MIN_TIME" > /dev/null
+
+# Event-loop scaling gate.  The TCP bench is expensive (32 full-view
+# requests per iteration), so it gets its own rep count.
+CORES="$(nproc)"
+SCALING_REPS="${XMLSEC_BENCH_SCALING_REPS:-3}"
+SCALING_MODE="skip"
+if [ "$CORES" -ge 4 ]; then
+  SCALING_MODE="full"
+  XMLSEC_BENCH_JSON="$SCALING_OUT" "$BUILD_DIR/bench/bench_server" \
+    --benchmark_filter='^BM_TcpConcurrentLoad/(1|4)(/|$)' \
+    --benchmark_repetitions="$SCALING_REPS" \
+    --benchmark_min_time="$MIN_TIME" > /dev/null
+elif [ "$CORES" -ge 2 ] && command -v taskset > /dev/null; then
+  # Pin to exactly 2 cores so the smoke ratio means the same thing on a
+  # 2-core runner and a 3-core one.
+  SCALING_MODE="smoke"
+  XMLSEC_BENCH_JSON="$SCALING_OUT" taskset -c 0,1 \
+    "$BUILD_DIR/bench/bench_server" \
+    --benchmark_filter='^BM_TcpConcurrentLoad/(1|4)(/|$)' \
+    --benchmark_repetitions="$SCALING_REPS" \
+    --benchmark_min_time="$MIN_TIME" > /dev/null
+else
+  echo "check_bench: NOTE: $CORES core(s) — skipping the event-loop" \
+    "scaling gate (nothing to scale onto)"
+fi
 
 python3 - "$PIPE_OUT" "$LABEL_OUT" "$SERVER_OUT" "$PIPELINE_BASELINE" \
     "$LABELING_BASELINE" "$SERVER_BASELINE" "$RATIO_FLOOR" \
@@ -147,5 +186,37 @@ check_regression("rewritten query", server_baseline_path,
 
 sys.exit(1 if failed else 0)
 PY
+
+if [ "$SCALING_MODE" != "skip" ]; then
+  python3 - "$SCALING_OUT" "$SCALING_MODE" "$SCALING_RATIO_FLOOR" \
+      "$SCALING_SMOKE_FLOOR" <<'PY'
+import json, statistics, sys
+
+out_path, mode, full_floor, smoke_floor = sys.argv[1:5]
+floor = float(full_floor) if mode == "full" else float(smoke_floor)
+entries = json.load(open(out_path))
+
+def p50(arg):
+    prefix = f"BM_TcpConcurrentLoad/{arg}"
+    samples = [e["ns_per_op"] for e in entries
+               if e["name"] == prefix or e["name"].startswith(prefix + "/")]
+    if not samples:
+        sys.exit(f"check_bench: no samples for {prefix} in {out_path}")
+    return statistics.median(samples)
+
+# Each iteration completes the same fixed request count, so the
+# throughput ratio is the inverse ns_per_op ratio.
+one, four = p50(1), p50(4)
+ratio = one / four
+label = ("4 loops vs 1 (full)" if mode == "full"
+         else "4 loops vs 1 (2-core taskset smoke)")
+print(f"check_bench: event-loop scaling {label}: "
+      f"1-loop p50={one/1e6:.1f}ms 4-loop p50={four/1e6:.1f}ms "
+      f"ratio={ratio:.2f}x (floor {floor}x)")
+if ratio < floor:
+    sys.exit(f"check_bench: FAIL: event loops scaled only {ratio:.2f}x "
+             f"(floor {floor}x)")
+PY
+fi
 
 echo "check_bench: OK"

@@ -1,0 +1,471 @@
+#include "server/event_loop.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "server/http.h"
+
+namespace xmlsec {
+namespace server {
+
+namespace {
+
+/// Milliseconds until `at`, rounded up, clamped to [0, 60'000].
+int MsUntil(EventLoop::Clock::time_point now,
+            EventLoop::Clock::time_point at) {
+  if (at <= now) return 0;
+  auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(at - now).count();
+  if (std::chrono::milliseconds(ms) < at - now) ++ms;  // round up
+  if (ms > 60'000) return 60'000;
+  return static_cast<int>(ms);
+}
+
+bool HeadComplete(const std::string& head) {
+  return head.find("\r\n\r\n") != std::string::npos ||
+         head.find("\n\n") != std::string::npos;
+}
+
+}  // namespace
+
+EventLoop::EventLoop(int index, const EventLoopShared* shared,
+                     obs::Gauge* depth_gauge, obs::Counter* accepts)
+    : index_(index),
+      shared_(shared),
+      depth_gauge_(depth_gauge),
+      accepts_(accepts) {}
+
+EventLoop::~EventLoop() {
+  // Join() must have run (or StartThread never did); release the fds.
+  if (thread_.joinable()) thread_.join();
+  CloseListen();
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  for (auto& [fd, conn] : conns_) close(fd);
+  // Hand-offs that were queued but never adopted.
+  size_t head = handoff_head_.load(std::memory_order_acquire);
+  size_t tail = handoff_tail_.load(std::memory_order_acquire);
+  for (; head != tail; ++head) {
+    close(handoff_slots_[head % kHandoffCapacity]);
+  }
+}
+
+Status EventLoop::Init(int listen_fd) {
+  listen_fd_ = listen_fd;
+  epoll_fd_ = epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    return Status::Internal(std::string("epoll_create1(): ") +
+                            strerror(errno));
+  }
+  wake_fd_ = eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    return Status::Internal(std::string("eventfd(): ") + strerror(errno));
+  }
+  epoll_event wake_ev{};
+  wake_ev.events = EPOLLIN;
+  wake_ev.data.fd = wake_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake_ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(wake): ") +
+                            strerror(errno));
+  }
+  if (listen_fd_ >= 0) {
+    // Non-blocking accept: AcceptReady drains to EAGAIN and returns to
+    // epoll_wait — a blocking accept would wedge the whole loop.
+    int flags = fcntl(listen_fd_, F_GETFL, 0);
+    fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+    epoll_event listen_ev{};
+    listen_ev.events = EPOLLIN;
+    listen_ev.data.fd = listen_fd_;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &listen_ev) != 0) {
+      return Status::Internal(std::string("epoll_ctl(listen): ") +
+                              strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+void EventLoop::StartThread() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+void EventLoop::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::Wake() {
+  if (wake_fd_ < 0) return;
+  uint64_t one = 1;
+  // A full eventfd counter (impossible here) or EINTR: the wakeup is
+  // already pending either way.
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+bool EventLoop::OfferHandoff(int fd) {
+  size_t tail = handoff_tail_.load(std::memory_order_relaxed);
+  size_t head = handoff_head_.load(std::memory_order_acquire);
+  if (tail - head >= kHandoffCapacity) return false;  // ring full: shed
+  handoff_slots_[tail % kHandoffCapacity] = fd;
+  handoff_tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+int EventLoop::TimeoutMs(Clock::time_point now) const {
+  Clock::time_point next = Clock::time_point::max();
+  if (!deadlines_.empty()) next = deadlines_.begin()->first;
+  if (drain_armed_ && drain_deadline_ < next) next = drain_deadline_;
+  if (next == Clock::time_point::max()) return -1;
+  return MsUntil(now, next);
+}
+
+void EventLoop::Run() {
+  epoll_event events[64];
+  for (;;) {
+    const bool stopping = shared_->stopping->load(std::memory_order_acquire);
+    if (stopping) {
+      CloseListen();  // No new connections; in-flight ones may finish.
+      if (!drain_armed_) {
+        drain_armed_ = true;
+        drain_deadline_ = shared_->now() +
+                          std::chrono::milliseconds(
+                              std::max(0, shared_->drain_timeout_ms));
+      }
+      if (conns_.empty()) break;
+      if (shared_->now() >= drain_deadline_) {
+        // Hard drain deadline: yank the transport from under whatever
+        // is still open (mirrors the legacy force-close).
+        while (!conns_.empty()) CloseConnection(conns_.begin()->first);
+        break;
+      }
+    }
+    int timeout = TimeoutMs(shared_->now());
+    int n = epoll_wait(epoll_fd_, events, 64, timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // Unrecoverable epoll failure: bail out, Stop() joins us.
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        DrainWakeAndHandoffs();
+        continue;
+      }
+      if (fd == listen_fd_ && listen_fd_ >= 0) {
+        AcceptReady();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // Closed earlier in this batch.
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 &&
+          it->second.state != ConnState::kReadHead &&
+          it->second.state != ConnState::kDrain) {
+        CloseConnection(fd);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0 &&
+          it->second.state == ConnState::kWrite) {
+        OnWritable(fd, it->second);
+        // The connection may have been closed or re-registered; refind.
+        it = conns_.find(fd);
+        if (it == conns_.end()) continue;
+      }
+      if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0 &&
+          it->second.state != ConnState::kWrite) {
+        OnReadable(fd, it->second);
+      }
+    }
+    ExpireDeadlines(shared_->now());
+  }
+  CloseListen();
+}
+
+void EventLoop::CloseListen() {
+  if (listen_fd_ < 0) return;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void EventLoop::AcceptReady() {
+  for (;;) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // EAGAIN (drained) or the listen socket went away.
+    }
+    int flags = fcntl(fd, F_GETFL, 0);
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (shared_->so_sndbuf > 0) {
+      setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &shared_->so_sndbuf,
+                 sizeof(shared_->so_sndbuf));
+    }
+    accepts_->Inc();
+    RouteAccepted(fd);
+  }
+}
+
+void EventLoop::RouteAccepted(int fd) {
+  const auto& targets = shared_->handoff_targets;
+  if (targets.size() > 1) {
+    // Fallback mode: this loop accepts for everyone and round-robins
+    // over the SPSC rings; a full ring or a target at its bound keeps
+    // the connection here (AdoptOrShed then applies OUR bound).
+    EventLoop* target = targets[rr_next_++ % targets.size()];
+    if (target != this &&
+        target->open_connections() < shared_->max_connections &&
+        target->OfferHandoff(fd)) {
+      target->Wake();
+      return;
+    }
+  }
+  AdoptOrShed(fd);
+}
+
+void EventLoop::AdoptOrShed(int fd) {
+  if (open_connections_.load(std::memory_order_relaxed) >=
+      shared_->max_connections) {
+    // Overload: this loop is at its connection bound.  Answer 503 +
+    // Retry-After through the normal non-blocking write machinery so
+    // the tiny response is actually delivered (an immediate close
+    // with unread request bytes would RST it away).
+    shared_->shed->Inc();
+    shared_->status_503->Inc();
+    AdoptConnection(
+        fd, /*shed=*/true,
+        BuildHttpResponse(503, "Service Unavailable", "text/plain",
+                          "overloaded; retry shortly\n",
+                          "Retry-After: 1\r\n"));
+    return;
+  }
+  AdoptConnection(fd, /*shed=*/false, "");
+}
+
+void EventLoop::AdoptConnection(int fd, bool shed,
+                                std::string shed_response) {
+  auto [it, inserted] = conns_.emplace(fd, Connection{});
+  Connection& conn = it->second;
+  conn.deadline_it = deadlines_.end();
+  conn.shed = shed;
+  if (!shed) {
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    PublishDepth();
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  if (shed) {
+    StartResponse(fd, conn, std::move(shed_response));
+  } else {
+    SetDeadline(fd, conn,
+                shared_->now() + std::chrono::milliseconds(
+                                     std::max(0, shared_->read_timeout_ms)));
+  }
+}
+
+void EventLoop::DrainWakeAndHandoffs() {
+  uint64_t drained;
+  while (read(wake_fd_, &drained, sizeof(drained)) > 0) {
+  }
+  // Adopt queued hand-offs (fallback mode; the ring is empty when each
+  // loop accepts for itself).
+  for (;;) {
+    size_t head = handoff_head_.load(std::memory_order_relaxed);
+    size_t tail = handoff_tail_.load(std::memory_order_acquire);
+    if (head == tail) break;
+    int fd = handoff_slots_[head % kHandoffCapacity];
+    handoff_head_.store(head + 1, std::memory_order_release);
+    if (shared_->stopping->load(std::memory_order_acquire)) {
+      close(fd);  // Arrived after the drain began: nothing to serve.
+      continue;
+    }
+    AdoptOrShed(fd);  // Already non-blocking (the acceptor set it).
+  }
+}
+
+void EventLoop::OnReadable(int fd, Connection& conn) {
+  char buffer[4096];
+  if (conn.state == ConnState::kDrain) {
+    for (;;) {
+      ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+      if (n > 0) continue;  // Discard late client bytes.
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      CloseConnection(fd);  // FIN or error: the buffer is clean.
+      return;
+    }
+  }
+  // kReadHead: accumulate with the incremental size cap.
+  for (;;) {
+    ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // Wait on.
+      CloseConnection(fd);  // Peer reset; nobody left to answer.
+      return;
+    }
+    if (n == 0) {
+      // Peer half-closed.  A truncated head is handed to the parser
+      // (answered 400); an empty one is silently dropped.
+      if (conn.head.empty()) {
+        CloseConnection(fd);
+      } else {
+        Dispatch(fd, conn);
+      }
+      return;
+    }
+    conn.head.append(buffer, static_cast<size_t>(n));
+    if (conn.head.size() > shared_->max_request_head) {
+      shared_->oversized_heads->Inc();
+      shared_->status_431->Inc();
+      StartResponse(fd, conn,
+                    BuildHttpResponse(431, "Request Header Fields Too Large",
+                                      "text/plain", ""));
+      return;
+    }
+    if (HeadComplete(conn.head)) {
+      Dispatch(fd, conn);
+      return;
+    }
+  }
+}
+
+void EventLoop::Dispatch(int fd, Connection& conn) {
+  // The request runs INLINE on this loop thread: requests are CPU-bound
+  // (view computation), so per-core loops serving serially is exactly
+  // the parallelism model — N loops saturate N cores.  See DESIGN.md
+  // "Threading model" for what may block here (reload, fsync-ack).
+  std::string response = shared_->respond(conn.head, fd);
+  if (response.empty()) {
+    CloseConnection(fd);
+    return;
+  }
+  StartResponse(fd, conn, std::move(response));
+}
+
+void EventLoop::StartResponse(int fd, Connection& conn,
+                              std::string response) {
+  conn.state = ConnState::kWrite;
+  conn.out = std::move(response);
+  conn.out_off = 0;
+  SetDeadline(fd, conn,
+              shared_->now() + std::chrono::milliseconds(
+                                   std::max(0, shared_->write_timeout_ms)));
+  TryWrite(fd, conn);
+}
+
+void EventLoop::TryWrite(int fd, Connection& conn) {
+  while (conn.out_off < conn.out.size()) {
+    // MSG_NOSIGNAL: a peer that closed mid-response must surface as
+    // EPIPE, not kill the process with SIGPIPE.
+    ssize_t n = send(fd, conn.out.data() + conn.out_off,
+                     conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        UpdateInterest(fd, EPOLLOUT);
+        return;  // Kernel buffer full: resume on EPOLLOUT.
+      }
+      CloseConnection(fd);
+      return;
+    }
+    conn.out_off += static_cast<size_t>(n);
+  }
+  BeginDrain(fd, conn);
+}
+
+void EventLoop::OnWritable(int fd, Connection& conn) { TryWrite(fd, conn); }
+
+void EventLoop::BeginDrain(int fd, Connection& conn) {
+  // Half-close our side (response + FIN pushed out), then briefly read
+  // whatever the client still sends so close() cannot turn into an RST
+  // that destroys the response in flight — the event-loop equivalent of
+  // the legacy GracefulClose.
+  shutdown(fd, SHUT_WR);
+  conn.state = ConnState::kDrain;
+  conn.out.clear();
+  conn.out_off = 0;
+  UpdateInterest(fd, EPOLLIN);
+  SetDeadline(fd, conn,
+              shared_->now() + std::chrono::milliseconds(
+                                   std::max(0, shared_->close_drain_ms)));
+}
+
+void EventLoop::ExpireDeadlines(Clock::time_point now) {
+  while (!deadlines_.empty() && deadlines_.begin()->first <= now) {
+    int fd = deadlines_.begin()->second;
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) {
+      deadlines_.erase(deadlines_.begin());
+      continue;
+    }
+    Connection& conn = it->second;
+    ClearDeadline(conn);
+    switch (conn.state) {
+      case ConnState::kReadHead:
+        // Deadline expired mid-head (slowloris): 408 and close.
+        shared_->read_timeouts->Inc();
+        shared_->status_408->Inc();
+        StartResponse(fd, conn,
+                      BuildHttpResponse(408, "Request Timeout", "text/plain",
+                                        ""));
+        break;
+      case ConnState::kWrite:
+        // Slow reader: drop the connection, don't hold the buffer.
+        shared_->write_timeouts->Inc();
+        CloseConnection(fd);
+        break;
+      case ConnState::kDrain:
+        CloseConnection(fd);
+        break;
+    }
+  }
+}
+
+void EventLoop::SetDeadline(int fd, Connection& conn, Clock::time_point at) {
+  ClearDeadline(conn);
+  conn.deadline_it = deadlines_.emplace(at, fd);
+}
+
+void EventLoop::ClearDeadline(Connection& conn) {
+  if (conn.deadline_it != deadlines_.end()) {
+    deadlines_.erase(conn.deadline_it);
+    conn.deadline_it = deadlines_.end();
+  }
+}
+
+void EventLoop::UpdateInterest(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EventLoop::CloseConnection(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  ClearDeadline(it->second);
+  const bool shed = it->second.shed;
+  conns_.erase(it);
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  close(fd);
+  if (!shed) {
+    open_connections_.fetch_sub(1, std::memory_order_relaxed);
+    PublishDepth();
+  }
+}
+
+void EventLoop::PublishDepth() {
+  depth_gauge_->Set(
+      static_cast<int64_t>(open_connections_.load(std::memory_order_relaxed)));
+}
+
+}  // namespace server
+}  // namespace xmlsec

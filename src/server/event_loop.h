@@ -1,0 +1,210 @@
+#ifndef XMLSEC_SERVER_EVENT_LOOP_H_
+#define XMLSEC_SERVER_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace xmlsec {
+namespace server {
+
+class EventLoop;
+
+/// Immutable context shared by every event loop of one listener.  Built
+/// once in `TcpHttpListener::Start` and never mutated while loops run,
+/// so loops read it without synchronization; the only cross-thread
+/// fields are the `stopping` flag (atomic) and the sharded obs
+/// counters.
+struct EventLoopShared {
+  using Clock = std::chrono::steady_clock;
+
+  /// Produces the full response bytes for a complete request head
+  /// (document path, /healthz, /metrics, /admin/reload — the reload
+  /// handler runs inline on the calling loop).  An empty return means
+  /// "nothing to answer" (empty head).
+  std::function<std::string(const std::string& head, int connection_fd)>
+      respond;
+  /// Time source for every deadline.  Production: steady_clock::now.
+  /// Tests inject a manual clock and kick `EventLoop::Wake` after
+  /// advancing it, so deadline behavior (408 slowloris, slow-reader
+  /// close, drain cutoff) is asserted without wall-clock sleeps.
+  std::function<Clock::time_point()> now;
+  std::atomic<bool>* stopping = nullptr;
+
+  int read_timeout_ms = 5000;
+  int write_timeout_ms = 5000;
+  int drain_timeout_ms = 2000;      ///< Stop(): in-flight grace period.
+  int close_drain_ms = 100;         ///< post-response half-close drain
+  size_t max_request_head = 64 * 1024;
+  int so_sndbuf = 0;  ///< SO_SNDBUF for accepted sockets; 0 = default
+  /// Per-loop open-connection bound; a loop at its bound sheds new
+  /// arrivals with `503 Retry-After` (the event-loop analogue of the
+  /// legacy bounded accept queue).
+  size_t max_connections = 64;
+
+  /// Hand-off fallback (SO_REUSEPORT unavailable): the loops, in index
+  /// order, that the accepting loop round-robins connections across
+  /// (itself included).  Populated by the listener after construction,
+  /// BEFORE any loop thread starts; empty in REUSEPORT mode (each loop
+  /// accepts for itself).
+  std::vector<EventLoop*> handoff_targets;
+
+  // Shared, sharded counters (same registry families as the legacy
+  // worker pool — one dashboard covers both modes).
+  obs::Counter* shed = nullptr;
+  obs::Counter* read_timeouts = nullptr;
+  obs::Counter* write_timeouts = nullptr;
+  obs::Counter* oversized_heads = nullptr;
+  obs::Counter* status_408 = nullptr;
+  obs::Counter* status_431 = nullptr;
+  obs::Counter* status_503 = nullptr;
+};
+
+/// One per-core event loop: a LEVEL-TRIGGERED epoll instance owning its
+/// own SO_REUSEPORT accept socket (or, in the hand-off fallback, a
+/// lock-free SPSC ring fed by loop 0), a private connection table with
+/// non-blocking state-machine reads/writes, and a sorted-deadline map
+/// enforcing the read/write/drain deadlines.
+///
+/// Level-triggered was chosen over edge-triggered deliberately: the
+/// loop already drains each socket to EAGAIN on every readiness event,
+/// so ET would only save redundant wakeups, while LT removes a whole
+/// class of lost-wakeup bugs (a short read that leaves bytes buffered
+/// is simply reported again).  See DESIGN.md "Threading model".
+///
+/// Everything mutable (connection table, deadline map, epoll interest
+/// set) is owned by exactly one loop thread; the only writers from
+/// other threads are `Wake` (an eventfd write) and `OfferHandoff` (the
+/// SPSC ring), both lock-free.
+class EventLoop {
+ public:
+  using Clock = EventLoopShared::Clock;
+
+  /// `depth_gauge` and `accepts` are this loop's OWN per-loop series
+  /// (`{loop="<index>"}`): only this loop writes them, so the
+  /// accounting is exact under sharding — the scrape sums the series.
+  EventLoop(int index, const EventLoopShared* shared,
+            obs::Gauge* depth_gauge, obs::Counter* accepts);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance and wake eventfd and adopts
+  /// `listen_fd` (this loop's SO_REUSEPORT socket; -1 for a hand-off
+  /// consumer, which only receives connections via `OfferHandoff`).
+  /// The loop owns and closes `listen_fd`.
+  Status Init(int listen_fd);
+
+  /// Starts the loop thread.  `Init` must have succeeded.
+  void StartThread();
+
+  /// Joins the loop thread (after `stopping` was set and `Wake`
+  /// called).  The loop drains in-flight connections up to
+  /// `drain_timeout_ms`, then force-closes the rest.
+  void Join();
+
+  /// Nudges the loop out of epoll_wait: stop requests, hand-offs, and
+  /// manual-clock tests (advance the clock, then Wake so deadlines are
+  /// re-evaluated "now").  Callable from any thread.
+  void Wake();
+
+  /// Hands an accepted connection to this loop (fallback mode: loop 0
+  /// accepts for everyone).  Single producer (the accepting loop),
+  /// single consumer (this loop).  False when the ring is full — the
+  /// caller sheds.  Call `Wake` after a successful batch.
+  bool OfferHandoff(int fd);
+
+  /// Open non-shed connections owned by this loop (exact: incremented
+  /// by the adopter, decremented on close).  Readable from any thread.
+  size_t open_connections() const {
+    return open_connections_.load(std::memory_order_relaxed);
+  }
+
+  int index() const { return index_; }
+
+ private:
+  enum class ConnState {
+    kReadHead,  ///< accumulating the request head (read deadline)
+    kWrite,     ///< flushing the response (write deadline)
+    kDrain,     ///< half-closed, discarding client bytes until FIN
+  };
+
+  struct Connection {
+    ConnState state = ConnState::kReadHead;
+    bool shed = false;  ///< over-limit courtesy 503; not counted open
+    std::string head;
+    std::string out;
+    size_t out_off = 0;
+    /// Position in `deadlines_`; `deadlines_.end()` when unarmed.
+    std::multimap<Clock::time_point, int>::iterator deadline_it;
+  };
+
+  void Run();
+  int TimeoutMs(Clock::time_point now) const;
+  void AcceptReady();
+  /// Fallback routing: round-robins the accepted fd across
+  /// `handoff_targets` (adopting locally when it is this loop's turn or
+  /// the target ring is full); REUSEPORT mode adopts directly.
+  void RouteAccepted(int fd);
+  /// Adopts, shedding with 503 when this loop is at its bound.
+  void AdoptOrShed(int fd);
+  void AdoptConnection(int fd, bool shed, std::string shed_response);
+  void DrainWakeAndHandoffs();
+  void OnReadable(int fd, Connection& conn);
+  void OnWritable(int fd, Connection& conn);
+  /// Parses/dispatches the completed head and starts the response.
+  void Dispatch(int fd, Connection& conn);
+  void StartResponse(int fd, Connection& conn, std::string response);
+  /// Flushes what the socket accepts without blocking; transitions to
+  /// kDrain on completion, arms EPOLLOUT on EAGAIN, closes on error.
+  void TryWrite(int fd, Connection& conn);
+  void BeginDrain(int fd, Connection& conn);
+  void ExpireDeadlines(Clock::time_point now);
+  void SetDeadline(int fd, Connection& conn, Clock::time_point at);
+  void ClearDeadline(Connection& conn);
+  void UpdateInterest(int fd, uint32_t events);
+  void CloseConnection(int fd);
+  void CloseListen();
+  void PublishDepth();
+
+  const int index_;
+  const EventLoopShared* shared_;
+  obs::Gauge* depth_gauge_;
+  obs::Counter* accepts_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+
+  std::unordered_map<int, Connection> conns_;
+  std::multimap<Clock::time_point, int> deadlines_;
+  std::atomic<size_t> open_connections_{0};
+
+  bool drain_armed_ = false;
+  Clock::time_point drain_deadline_{};
+  size_t rr_next_ = 0;  ///< fallback round-robin cursor (accepting loop)
+
+  /// Lock-free SPSC hand-off ring (fallback when SO_REUSEPORT is
+  /// unavailable): slots hold connection fds; head_ is consumer-owned,
+  /// tail_ producer-owned.  Power-of-two capacity.
+  static constexpr size_t kHandoffCapacity = 128;
+  std::vector<int> handoff_slots_{std::vector<int>(kHandoffCapacity, -1)};
+  std::atomic<size_t> handoff_head_{0};
+  std::atomic<size_t> handoff_tail_{0};
+};
+
+}  // namespace server
+}  // namespace xmlsec
+
+#endif  // XMLSEC_SERVER_EVENT_LOOP_H_

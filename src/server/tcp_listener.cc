@@ -11,8 +11,10 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <utility>
 
 #include "common/str_util.h"
+#include "server/event_loop.h"
 
 namespace xmlsec {
 namespace server {
@@ -146,9 +148,10 @@ void TcpHttpListener::CaptureBaselines() {
 TcpHttpListener::~TcpHttpListener() { Stop(); }
 
 Status TcpHttpListener::Start(uint16_t port) {
-  if (listen_fd_ >= 0 || !workers_.empty()) {
+  if (listen_fd_ >= 0 || !workers_.empty() || !loops_.empty()) {
     return Status::InvalidArgument("listener already started");
   }
+  if (config_.event_loops > 0) return StartEventLoops(port);
   listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     return Status::Internal(std::string("socket(): ") + strerror(errno));
@@ -198,6 +201,10 @@ Status TcpHttpListener::Start(uint16_t port) {
 }
 
 void TcpHttpListener::Stop() {
+  if (!loops_.empty()) {
+    StopEventLoops();
+    return;
+  }
   if (listen_fd_ < 0 && workers_.empty() && !accept_thread_.joinable()) {
     return;  // Already stopped; idempotent.
   }
@@ -237,9 +244,194 @@ void TcpHttpListener::Stop() {
   draining_.store(false);
 }
 
+Status TcpHttpListener::StartEventLoops(uint16_t port) {
+  const int loop_count = std::max(1, config_.event_loops);
+  const int backlog =
+      static_cast<int>(std::clamp<size_t>(config_.accept_queue_limit, 16, 128));
+
+  // One SO_REUSEPORT listen socket per loop: the kernel shards incoming
+  // connections across them by 4-tuple hash, so accept itself never
+  // serializes on a shared queue.  The first socket discovers the port
+  // (the caller may pass 0); the rest bind the discovered port.
+  auto open_listen = [&](uint16_t bind_port, bool reuseport,
+                         int* out_fd) -> Status {
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Internal(std::string("socket(): ") + strerror(errno));
+    }
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (reuseport &&
+        setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      close(fd);
+      return Status::Unimplemented("SO_REUSEPORT unavailable");
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(bind_port);
+    if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        listen(fd, backlog) != 0) {
+      Status out =
+          Status::Internal(std::string("bind/listen(): ") + strerror(errno));
+      close(fd);
+      return out;
+    }
+    socklen_t len = sizeof(addr);
+    getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    if (bind_port == 0) port_ = ntohs(addr.sin_port);
+    *out_fd = fd;
+    return Status::OK();
+  };
+
+  bool reuseport = !config_.force_accept_handoff;
+  std::vector<int> listen_fds;
+  port_ = port;
+  int first_fd = -1;
+  Status first = open_listen(port, reuseport, &first_fd);
+  if (!first.ok() && reuseport) {
+    // SO_REUSEPORT refused (exotic kernel): fall back to one acceptor
+    // with sharded hand-off rings.
+    reuseport = false;
+    first = open_listen(port, /*reuseport=*/false, &first_fd);
+  }
+  if (!first.ok()) return first;
+  if (port == 0) port = port_; else port_ = port;
+  listen_fds.push_back(first_fd);
+  if (reuseport) {
+    for (int i = 1; i < loop_count; ++i) {
+      int fd = -1;
+      if (Status s = open_listen(port_, /*reuseport=*/true, &fd); !s.ok()) {
+        // Sharded bind failed mid-way: degrade to the hand-off fallback
+        // on the sockets we do have (loop 0 accepts for everyone).
+        reuseport = false;
+        break;
+      }
+      listen_fds.push_back(fd);
+    }
+  }
+
+  stopping_.store(false);
+  draining_.store(false);
+  CaptureBaselines();
+
+  auto shared = std::make_unique<EventLoopShared>();
+  shared->respond = [this](const std::string& head, int fd) {
+    return RespondToHead(head, fd);
+  };
+  shared->now = config_.clock
+                    ? config_.clock
+                    : [] { return std::chrono::steady_clock::now(); };
+  shared->stopping = &stopping_;
+  shared->read_timeout_ms = config_.read_timeout_ms;
+  shared->write_timeout_ms = config_.write_timeout_ms;
+  shared->drain_timeout_ms = config_.drain_timeout_ms;
+  shared->max_request_head = config_.max_request_head;
+  shared->so_sndbuf = config_.so_sndbuf;
+  shared->max_connections = std::max<size_t>(1, config_.accept_queue_limit);
+  shared->shed = shed_;
+  shared->read_timeouts = read_timeouts_c_;
+  shared->write_timeouts = write_timeouts_c_;
+  shared->oversized_heads = oversized_heads_c_;
+  shared->status_408 = status_408_;
+  shared->status_431 = status_431_;
+  shared->status_503 = status_503_;
+
+  std::vector<std::unique_ptr<EventLoop>> loops;
+  for (int i = 0; i < loop_count; ++i) {
+    // Per-loop series: each gauge/counter is written only by its
+    // owning loop; /healthz and the accessors sum them at read time.
+    obs::MetricsRegistry::Labels labels{{"loop", std::to_string(i)}};
+    obs::Gauge* depth = registry_->GetGauge(
+        "xmlsec_listener_queue_depth",
+        "accepted connections waiting for a free worker", labels);
+    obs::Counter* accepts = registry_->GetCounter(
+        "xmlsec_listener_loop_accepts_total",
+        "connections accepted, per event loop", labels);
+    depth->Set(0);
+    int fd = -1;
+    if (reuseport) {
+      fd = static_cast<size_t>(i) < listen_fds.size() ? listen_fds[i] : -1;
+    } else {
+      fd = i == 0 ? listen_fds[0] : -1;
+    }
+    auto loop = std::make_unique<EventLoop>(i, shared.get(), depth, accepts);
+    if (Status s = loop->Init(fd); !s.ok()) {
+      // Sockets not yet adopted by a loop must be closed here.
+      for (size_t remaining = loops.size() + 1; remaining < listen_fds.size();
+           ++remaining) {
+        if (reuseport) close(listen_fds[remaining]);
+      }
+      return s;
+    }
+    loops.push_back(std::move(loop));
+  }
+  // In fallback mode the extra REUSEPORT sockets never existed; in
+  // REUSEPORT mode every socket was adopted by its loop above.
+  if (!reuseport && loop_count > 1) {
+    // Loop 0 accepts for everyone and round-robins connections across
+    // the SPSC hand-off rings (itself included).  Populated before any
+    // loop thread starts, never mutated after.
+    for (auto& loop : loops) shared->handoff_targets.push_back(loop.get());
+  }
+
+  loop_shared_ = std::move(shared);
+  {
+    std::lock_guard<std::mutex> lock(loops_mutex_);
+    loops_ = std::move(loops);
+  }
+  for (auto& loop : loops_) loop->StartThread();
+  return Status::OK();
+}
+
+void TcpHttpListener::StopEventLoops() {
+  draining_.store(true);
+  stopping_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(loops_mutex_);
+    for (auto& loop : loops_) loop->Wake();
+  }
+  // Joining outside the lock: each loop drains in-flight connections up
+  // to the drain deadline, then force-closes; Wake() callers only touch
+  // the eventfds, which stay valid until the clear below.
+  for (auto& loop : loops_) loop->Join();
+  {
+    std::lock_guard<std::mutex> lock(loops_mutex_);
+    loops_.clear();
+  }
+  loop_shared_.reset();
+  draining_.store(false);
+  stopping_.store(false);
+}
+
+void TcpHttpListener::Wake() {
+  std::lock_guard<std::mutex> lock(loops_mutex_);
+  for (auto& loop : loops_) loop->Wake();
+}
+
 size_t TcpHttpListener::queue_depth() const {
+  {
+    std::lock_guard<std::mutex> lock(loops_mutex_);
+    if (!loops_.empty()) {
+      size_t total = 0;
+      for (const auto& loop : loops_) total += loop->open_connections();
+      return total;
+    }
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+int TcpHttpListener::in_flight() const {
+  {
+    std::lock_guard<std::mutex> lock(loops_mutex_);
+    if (!loops_.empty()) {
+      size_t total = 0;
+      for (const auto& loop : loops_) total += loop->open_connections();
+      return static_cast<int>(total);
+    }
+  }
+  return in_flight_.load();
 }
 
 void TcpHttpListener::AcceptLoop() {
@@ -248,6 +440,10 @@ void TcpHttpListener::AcceptLoop() {
     if (connection < 0) {
       if (stopping_.load() || errno == EBADF || errno == EINVAL) return;
       continue;  // Transient (EINTR, ECONNABORTED).
+    }
+    if (config_.so_sndbuf > 0) {
+      setsockopt(connection, SOL_SOCKET, SO_SNDBUF, &config_.so_sndbuf,
+                 sizeof(config_.so_sndbuf));
     }
     bool shed = false;
     {
@@ -410,13 +606,21 @@ std::string TcpHttpListener::HealthzResponse() const {
   // per-Start delta accessors): /healthz and /metrics share one source
   // of truth, healthz keeps its ready/draining liveness semantics.
   const bool is_draining = draining_.load();
+  const bool event_mode = config_.event_loops > 0;
   std::string body = "{";
   body += std::string("\"status\":\"") +
           (is_draining ? "draining" : "ready") + "\"";
-  body += ",\"workers\":" + std::to_string(std::max(1, config_.worker_threads));
+  // In event-loop mode the loops ARE the workers (requests execute
+  // inline on loop threads); report both views so dashboards built for
+  // either mode keep working.
+  body += ",\"workers\":" +
+          std::to_string(event_mode ? std::max(1, config_.event_loops)
+                                    : std::max(1, config_.worker_threads));
+  body += ",\"event_loops\":" +
+          std::to_string(event_mode ? std::max(1, config_.event_loops) : 0);
   body += ",\"queue_depth\":" + std::to_string(queue_depth());
   body += ",\"queue_limit\":" + std::to_string(config_.accept_queue_limit);
-  body += ",\"in_flight\":" + std::to_string(in_flight_.load());
+  body += ",\"in_flight\":" + std::to_string(in_flight());
   body += ",\"served\":" + std::to_string(requests_served());
   body += ",\"shed\":" + std::to_string(requests_shed());
   body += ",\"read_timeouts\":" + std::to_string(read_timeouts());
@@ -469,47 +673,47 @@ void TcpHttpListener::ServeConnection(int connection_fd) {
     }
     return;  // error_status 0: peer gone, nothing to answer.
   }
-  if (head.empty()) return;
+  std::string response = RespondToHead(head, connection_fd);
+  if (!response.empty()) WriteAll(connection_fd, response);
+}
+
+std::string TcpHttpListener::RespondToHead(const std::string& head,
+                                           int connection_fd) {
+  if (head.empty()) return "";
 
   if (IsHealthzRequest(head)) {
     health_checks_c_->Inc();
-    WriteAll(connection_fd, HealthzResponse());
-    return;
+    return HealthzResponse();
   }
   if (IsMetricsRequest(head)) {
     metrics_scrapes_c_->Inc();
-    WriteAll(connection_fd, MetricsResponse());
-    return;
+    return MetricsResponse();
   }
   if (IsReloadRequest(head)) {
-    // Admin reload: build-and-swap runs on this worker; requests on the
-    // other workers keep serving the previous snapshot until the swap
-    // publishes, and keep it alive until they finish (RCU).
+    // Admin reload: build-and-swap runs on this worker (or event loop —
+    // the swap is allowed to block the loop; DESIGN.md "Threading
+    // model"); requests elsewhere keep serving the previous snapshot
+    // until the swap publishes, and keep it alive until they finish
+    // (RCU).
     if (!config_.reload_handler) {
-      WriteAll(connection_fd,
-               BuildHttpResponse(404, "Not Found", "text/plain",
-                                 "no reload handler configured\n"));
-      return;
+      return BuildHttpResponse(404, "Not Found", "text/plain",
+                               "no reload handler configured\n");
     }
     Status reloaded = config_.reload_handler();
     if (reloaded.ok()) {
       reloads_c_->Inc();
-      WriteAll(connection_fd,
-               BuildHttpResponse(200, "OK", "text/plain", "reloaded\n"));
-    } else {
-      reload_failures_c_->Inc();
-      WriteAll(connection_fd,
-               BuildHttpResponse(500, "Internal Server Error", "text/plain",
-                                 reloaded.ToString() + "\n"));
+      return BuildHttpResponse(200, "OK", "text/plain", "reloaded\n");
     }
-    return;
+    reload_failures_c_->Inc();
+    return BuildHttpResponse(500, "Internal Server Error", "text/plain",
+                             reloaded.ToString() + "\n");
   }
 
   std::string ip = PeerAddress(connection_fd);
   std::string sym = ip == "127.0.0.1" ? sym_for_loopback_ : "";
   std::string response = server_->HandleHttp(head, ip, sym);
   served_->Inc();
-  WriteAll(connection_fd, response);
+  return response;
 }
 
 Result<std::string> FetchHttp(uint16_t port, std::string_view request) {

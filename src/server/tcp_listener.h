@@ -2,10 +2,12 @@
 #define XMLSEC_SERVER_TCP_LISTENER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -19,16 +21,41 @@
 namespace xmlsec {
 namespace server {
 
+class EventLoop;
+struct EventLoopShared;
+
 /// Robustness knobs of the TCP serving path.  Every limit fails closed:
 /// a violated limit produces a clean HTTP error (408/431/503) and a
 /// closed connection, never a hung worker or a partial view.
 struct ListenerConfig {
-  /// Worker threads serving accepted connections.  The accept loop never
-  /// serves inline, so a slow client can stall at most one worker.
+  /// Worker threads serving accepted connections (legacy bounded-pool
+  /// mode, `event_loops == 0`).  The accept loop never serves inline,
+  /// so a slow client can stall at most one worker.
   int worker_threads = 4;
-  /// Accepted connections waiting for a free worker.  Beyond this the
-  /// listener sheds load: `503 Service Unavailable` + `Retry-After`
-  /// instead of letting the backlog (and tail latency) grow unboundedly.
+  /// Per-core event loops (> 0 selects the epoll serving path): each
+  /// loop owns its own `SO_REUSEPORT` accept socket — the kernel shards
+  /// incoming connections across loops — a private connection table
+  /// with non-blocking state-machine reads/writes, and a
+  /// sorted-deadline map enforcing the read/write deadlines.  Requests
+  /// execute inline on their loop (they are CPU-bound view
+  /// computations), so N loops saturate N cores.  When `SO_REUSEPORT`
+  /// is unavailable, loop 0 accepts for everyone and hands connections
+  /// off round-robin over lock-free SPSC rings.  `0` keeps the legacy
+  /// blocking worker pool.
+  int event_loops = 0;
+  /// Test hook: pretend `SO_REUSEPORT` is unavailable so the hand-off
+  /// fallback path is exercised deterministically.
+  bool force_accept_handoff = false;
+  /// Injectable time source for the event-loop deadlines (nullptr =
+  /// `steady_clock::now`).  Deterministic deadline tests install a
+  /// manual clock, advance it, and call `Wake()` — no wall-clock
+  /// sleeps.  Ignored by the legacy pool (which blocks in poll()).
+  std::function<std::chrono::steady_clock::time_point()> clock;
+  /// Legacy pool: accepted connections waiting for a free worker.
+  /// Event loops: open connections each loop owns before it sheds.
+  /// Beyond the bound the listener sheds load: `503 Service
+  /// Unavailable` + `Retry-After` instead of letting the backlog (and
+  /// tail latency) grow unboundedly.
   size_t accept_queue_limit = 64;
   /// Per-connection deadline for reading the request head (slowloris
   /// defence); expiry answers `408 Request Timeout`.
@@ -39,6 +66,11 @@ struct ListenerConfig {
   /// Request-head cap, enforced incrementally while reading; exceeding
   /// it answers `431 Request Header Fields Too Large`.
   size_t max_request_head = 64 * 1024;
+  /// `SO_SNDBUF` applied to accepted connections (0 = kernel default
+  /// with auto-tuning).  Production leaves this 0; the deterministic
+  /// slow-reader tests pin it small so a response reliably overflows
+  /// the socket buffer and exercises the write-deadline path.
+  int so_sndbuf = 0;
   /// `Stop()` grace period: in-flight and queued requests may finish for
   /// this long, then remaining connections are force-closed.
   int drain_timeout_ms = 2000;
@@ -59,10 +91,19 @@ struct ListenerConfig {
 
 /// HTTP/1.0 listener over POSIX sockets — the actual "requested via an
 /// HTTP connection" transport of the paper's §7 scenario, hardened into
-/// a fault-tolerant enforcement point:
+/// a fault-tolerant enforcement point.  Two serving modes share every
+/// limit, endpoint, counter family, and fail-closed guarantee:
 ///
-///  * bounded worker pool + bounded accept queue, overload shed with
-///    `503 Retry-After`;
+///  * `event_loops > 0`: N per-core epoll event loops with
+///    `SO_REUSEPORT`-sharded accept (see `EventLoop`) — the scaling
+///    path; throughput grows near-linearly with loops on multi-core
+///    hosts (gated by `scripts/check_bench.sh`);
+///  * `event_loops == 0`: the legacy bounded worker pool + bounded
+///    accept queue;
+///
+/// with, in both modes:
+///
+///  * overload shed with `503 Retry-After`;
 ///  * poll-based read/write deadlines (with `SO_RCVTIMEO`/`SO_SNDTIMEO`
 ///    as a belt-and-braces fallback), incremental head-size cap,
 ///    `EINTR`-safe partial `recv`/`send` loops;
@@ -95,8 +136,14 @@ class TcpHttpListener {
   TcpHttpListener& operator=(const TcpHttpListener&) = delete;
 
   /// Binds 127.0.0.1:`port` (0 picks an ephemeral port), starts the
-  /// accept loop and the worker pool.
+  /// accept loop and the worker pool — or, with `config.event_loops >
+  /// 0`, the per-core event loops with their sharded accept sockets.
   Status Start(uint16_t port);
+
+  /// Nudges every event loop out of `epoll_wait` so deadlines are
+  /// re-evaluated against the (possibly manual) clock immediately.
+  /// The deterministic-timing test hook; no-op in legacy pool mode.
+  void Wake();
 
   /// The bound port (valid after Start succeeds).
   uint16_t port() const { return port_; }
@@ -129,8 +176,12 @@ class TcpHttpListener {
     return Delta(reload_failures_c_, reload_failures_base_);
   }
   bool draining() const { return draining_.load(); }
+  /// Legacy pool: accepted connections waiting for a worker.  Event
+  /// loops: open connections summed over the per-loop gauges (each
+  /// written only by its owning loop, so the accounting is exact under
+  /// sharding).
   size_t queue_depth() const;
-  int in_flight() const { return in_flight_.load(); }
+  int in_flight() const;
 
   /// The registry serving `GET /metrics` (never nullptr).
   obs::MetricsRegistry* metrics() const { return registry_; }
@@ -139,6 +190,14 @@ class TcpHttpListener {
   void AcceptLoop();
   void WorkerLoop();
   void ServeConnection(int connection_fd);
+  /// Event-loop mode bring-up/teardown (`config_.event_loops > 0`).
+  Status StartEventLoops(uint16_t port);
+  void StopEventLoops();
+  /// Produces the full response for a complete request head — local
+  /// endpoints (/healthz, /metrics, /admin/reload — the reload handler
+  /// runs inline) or the document path — updating the endpoint
+  /// counters.  Shared by both serving modes.  Empty head => "".
+  std::string RespondToHead(const std::string& head, int connection_fd);
   /// Reads the request head with the incremental size cap and read
   /// deadline.  Returns true with the head on success; on failure
   /// `*error_status` is 408 (deadline), 431 (oversize), or 0 (peer gone,
@@ -168,6 +227,14 @@ class TcpHttpListener {
   uint16_t port_ = 0;
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
+
+  /// Event-loop mode state.  `loops_` is stable between Start and the
+  /// end of Stop; `loops_mutex_` guards the accessor/Wake iteration
+  /// against the final clear (the loop threads themselves are joined
+  /// before the clear, so they never race it).
+  mutable std::mutex loops_mutex_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::unique_ptr<EventLoopShared> loop_shared_;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;    ///< Workers wait for connections.

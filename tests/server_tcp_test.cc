@@ -1,5 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -24,7 +32,10 @@ constexpr bool kTalliesEnabled = false;
 constexpr bool kTalliesEnabled = true;
 #endif
 
-class TcpServerTest : public ::testing::Test {
+/// Both serving modes run the whole suite: param is
+/// `ListenerConfig::event_loops` (0 = legacy bounded worker pool,
+/// 4 = per-core epoll event loops).
+class TcpServerTest : public ::testing::TestWithParam<int> {
  protected:
   void SetUp() override {
     ASSERT_TRUE(
@@ -57,15 +68,29 @@ class TcpServerTest : public ::testing::Test {
                     .ok());
     server_ = std::make_unique<SecureDocumentServer>(&repo_, &users_,
                                                      &groups_);
+    ListenerConfig config;
+    config.event_loops = GetParam();
     ASSERT_TRUE(listener_ == nullptr);
-    listener_ = std::make_unique<TcpHttpListener>(server_.get(),
-                                                  "client.lab.example");
+    listener_ = std::make_unique<TcpHttpListener>(
+        server_.get(), "client.lab.example", config);
     Status started = listener_->Start(0);
     ASSERT_TRUE(started.ok()) << started;
     ASSERT_GT(listener_->port(), 0);
   }
 
   void TearDown() override { listener_->Stop(); }
+
+  /// Event loops close a connection only after observing the client's
+  /// FIN (graceful half-close drain), so "no connection left open" is
+  /// eventually-true, not instantly-true, once the clients returned.
+  void WaitForQuiescence() {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (listener_->in_flight() != 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+  }
 
   Repository repo_;
   UserDirectory users_;
@@ -74,7 +99,7 @@ class TcpServerTest : public ::testing::Test {
   std::unique_ptr<TcpHttpListener> listener_;
 };
 
-TEST_F(TcpServerTest, ServesViewOverRealSocket) {
+TEST_P(TcpServerTest, ServesViewOverRealSocket) {
   std::string request =
       "GET /CSlab.xml HTTP/1.0\r\nAuthorization: Basic " +
       Base64Encode("tom:secret") + "\r\n\r\n";
@@ -87,7 +112,7 @@ TEST_F(TcpServerTest, ServesViewOverRealSocket) {
   if (kTalliesEnabled) EXPECT_EQ(listener_->requests_served(), 1);
 }
 
-TEST_F(TcpServerTest, AnonymousPeerAddressIsUsed) {
+TEST_P(TcpServerTest, AnonymousPeerAddressIsUsed) {
   // Anonymous loopback client: 127.0.0.1 / client.lab.example.
   auto response =
       FetchHttp(listener_->port(), "GET /CSlab.xml HTTP/1.0\r\n\r\n");
@@ -96,13 +121,13 @@ TEST_F(TcpServerTest, AnonymousPeerAddressIsUsed) {
   EXPECT_NE(response->find("Secret"), std::string::npos);
 }
 
-TEST_F(TcpServerTest, MalformedRequestGets400) {
+TEST_P(TcpServerTest, MalformedRequestGets400) {
   auto response = FetchHttp(listener_->port(), "NOISE\r\n\r\n");
   ASSERT_TRUE(response.ok());
   EXPECT_NE(response->find("400"), std::string::npos);
 }
 
-TEST_F(TcpServerTest, SequentialClients) {
+TEST_P(TcpServerTest, SequentialClients) {
   for (int i = 0; i < 8; ++i) {
     auto response =
         FetchHttp(listener_->port(), "GET /CSlab.xml HTTP/1.0\r\n\r\n");
@@ -112,7 +137,7 @@ TEST_F(TcpServerTest, SequentialClients) {
   if (kTalliesEnabled) EXPECT_EQ(listener_->requests_served(), 8);
 }
 
-TEST_F(TcpServerTest, ConcurrentClients) {
+TEST_P(TcpServerTest, ConcurrentClients) {
   constexpr int kClients = 6;
   std::vector<std::thread> threads;
   std::vector<std::string> responses(kClients);
@@ -129,21 +154,25 @@ TEST_F(TcpServerTest, ConcurrentClients) {
   }
 }
 
-TEST_F(TcpServerTest, HealthzReportsReadyAndCounters) {
+TEST_P(TcpServerTest, HealthzReportsReadyAndCounters) {
   auto health = FetchHttp(listener_->port(), "GET /healthz HTTP/1.0\r\n\r\n");
   ASSERT_TRUE(health.ok()) << health.status();
   EXPECT_NE(health->find("200"), std::string::npos);
   EXPECT_NE(health->find("\"status\":\"ready\""), std::string::npos);
   EXPECT_NE(health->find("\"workers\":"), std::string::npos);
+  EXPECT_NE(health->find("\"event_loops\":" +
+                         std::to_string(GetParam())),
+            std::string::npos);
   EXPECT_NE(health->find("\"shed\":"), std::string::npos);
   if (kTalliesEnabled) EXPECT_EQ(listener_->health_checks(), 1);
   // Health probes are not document requests.
   EXPECT_EQ(listener_->requests_served(), 0);
 }
 
-TEST_F(TcpServerTest, WorkerPoolHandlesManyConcurrentClients) {
-  // More clients than workers: the queue absorbs the excess and every
-  // request still completes with a full, well-terminated view.
+TEST_P(TcpServerTest, WorkerPoolHandlesManyConcurrentClients) {
+  // More clients than workers (or loops): the queue/loop tables absorb
+  // the excess and every request still completes with a full,
+  // well-terminated view.
   constexpr int kClients = 16;
   std::vector<std::thread> threads;
   std::vector<std::string> responses(kClients);
@@ -160,10 +189,11 @@ TEST_F(TcpServerTest, WorkerPoolHandlesManyConcurrentClients) {
     EXPECT_NE(response.find("</laboratory>"), std::string::npos);
   }
   if (kTalliesEnabled) EXPECT_EQ(listener_->requests_served(), kClients);
+  WaitForQuiescence();
   EXPECT_EQ(listener_->in_flight(), 0);
 }
 
-TEST_F(TcpServerTest, LargeViewIsWrittenCompletely) {
+TEST_P(TcpServerTest, LargeViewIsWrittenCompletely) {
   // A multi-hundred-KiB view must survive short writes on the socket
   // path: the response is complete and byte-exact per Content-Length.
   auto big = workload::GenerateLaboratory(/*projects=*/400,
@@ -193,16 +223,261 @@ TEST_F(TcpServerTest, LargeViewIsWrittenCompletely) {
   EXPECT_NE(body.rfind("</laboratory>"), std::string::npos);
 }
 
-TEST_F(TcpServerTest, StopIsIdempotentAndRestartable) {
+TEST_P(TcpServerTest, StopIsIdempotentAndRestartable) {
   listener_->Stop();
   listener_->Stop();
-  // A fresh listener can bind again.
-  TcpHttpListener second(server_.get());
+  // A fresh listener in the same mode can bind again.
+  ListenerConfig config;
+  config.event_loops = GetParam();
+  TcpHttpListener second(server_.get(), "localhost", config);
   ASSERT_TRUE(second.Start(0).ok());
   auto response = FetchHttp(second.port(), "GET /CSlab.xml HTTP/1.0\r\n\r\n");
   ASSERT_TRUE(response.ok());
   EXPECT_NE(response->find("200 OK"), std::string::npos);
   second.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TcpServerTest, ::testing::Values(0, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return info.param == 0 ? "LegacyPool"
+                                                  : "EventLoops";
+                         });
+
+// --- Deterministic event-loop timing ------------------------------------
+//
+// The event loops take their time source from `ListenerConfig::clock`:
+// these tests install a manual clock, advance it, and call
+// `TcpHttpListener::Wake()` — every deadline behavior (408 slowloris,
+// slow-reader write-timeout close, Stop() drain cutoff) is asserted
+// without a single wall-clock sleep, so the suite runs in milliseconds
+// regardless of how generous the configured deadlines are.
+
+class ManualClock {
+ public:
+  std::chrono::steady_clock::time_point Now() const {
+    return base_ + std::chrono::milliseconds(
+                       offset_ms_.load(std::memory_order_acquire));
+  }
+  void Advance(int64_t ms) {
+    offset_ms_.fetch_add(ms, std::memory_order_acq_rel);
+  }
+
+ private:
+  const std::chrono::steady_clock::time_point base_ =
+      std::chrono::steady_clock::now();
+  std::atomic<int64_t> offset_ms_{0};
+};
+
+/// Raw blocking client socket (the deadline scenarios need partial
+/// sends and unread responses, which FetchHttp cannot express).
+class RawSocket {
+ public:
+  explicit RawSocket(uint16_t port, int rcvbuf = 0) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (rcvbuf > 0) {
+      // Before connect so the advertised window honors it.
+      setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ =
+        fd_ >= 0 &&
+        connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~RawSocket() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  void Send(std::string_view data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n =
+          send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  /// Blocks until the server starts answering (bytes become readable)
+  /// without consuming them.
+  bool WaitReadable() {
+    pollfd pfd{fd_, POLLIN, 0};
+    for (;;) {
+      int ready = poll(&pfd, 1, 10'000);
+      if (ready < 0 && errno == EINTR) continue;
+      return ready > 0;
+    }
+  }
+
+  std::string ReadAll() {
+    std::string out;
+    char buffer[4096];
+    for (;;) {
+      ssize_t n = read(fd_, buffer, sizeof(buffer));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      out.append(buffer, static_cast<size_t>(n));
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+class EventLoopTimingTest : public ::testing::Test {
+ protected:
+  void StartListener(ListenerConfig config) {
+    ASSERT_TRUE(
+        repo_.AddDtd("laboratory.xml", workload::LaboratoryDtd()).ok());
+    ASSERT_TRUE(repo_
+                    .AddDocument("CSlab.xml",
+                                 "<laboratory><project name=\"P\" "
+                                 "type=\"public\"><manager><fname>A</fname>"
+                                 "<lname>B</lname></manager>"
+                                 "</project></laboratory>",
+                                 "laboratory.xml")
+                    .ok());
+    ASSERT_TRUE(repo_.AddXacl(
+                        "<xacl><authorization subject=\"Public\" "
+                        "object=\"CSlab.xml\" path=\"/laboratory\" "
+                        "sign=\"+\" type=\"RW\"/></xacl>")
+                    .ok());
+    server_ = std::make_unique<SecureDocumentServer>(&repo_, &users_,
+                                                     &groups_);
+    config.event_loops = 1;
+    config.clock = [this] { return clock_.Now(); };
+    listener_ = std::make_unique<TcpHttpListener>(server_.get(), "localhost",
+                                                  config);
+    Status started = listener_->Start(0);
+    ASSERT_TRUE(started.ok()) << started;
+  }
+
+  void TearDown() override {
+    if (listener_ != nullptr) listener_->Stop();
+  }
+
+  /// Spins (yield, not sleep) until the loop has adopted `n`
+  /// connections — the moment its deadlines are armed.
+  void WaitForInFlight(int n) {
+    while (listener_->in_flight() < n) std::this_thread::yield();
+  }
+
+  Repository repo_;
+  UserDirectory users_;
+  authz::GroupStore groups_;
+  ManualClock clock_;
+  std::unique_ptr<SecureDocumentServer> server_;
+  std::unique_ptr<TcpHttpListener> listener_;
+};
+
+TEST_F(EventLoopTimingTest, SlowlorisGets408OnManualClock) {
+  ListenerConfig config;
+  config.read_timeout_ms = 30'000;  // Generous — and yet the test is fast.
+  StartListener(config);
+
+  RawSocket client(listener_->port());
+  ASSERT_TRUE(client.connected());
+  client.Send("GET /CSlab.xml HT");  // ... and then never finishes.
+  WaitForInFlight(1);
+
+  // One tick past the read deadline: the loop answers 408 and closes.
+  clock_.Advance(30'001);
+  listener_->Wake();
+  std::string response = client.ReadAll();
+  EXPECT_NE(response.find("408"), std::string::npos) << response;
+  if (kTalliesEnabled) EXPECT_EQ(listener_->read_timeouts(), 1);
+}
+
+TEST_F(EventLoopTimingTest, SlowReaderIsDroppedAtWriteDeadline) {
+  if (!kTalliesEnabled) {
+    // The advance-until-armed loop observes the write_timeouts counter,
+    // which the ablation build compiles out.
+    GTEST_SKIP() << "counters compiled out in the ablation build";
+  }
+  ListenerConfig config;
+  config.read_timeout_ms = 3'600'000;  // Only the write deadline may fire.
+  config.write_timeout_ms = 30'000;
+  // Pin the server-side socket buffer: without this, loopback
+  // auto-tuning absorbs the whole response and the non-blocking write
+  // never parks on EPOLLOUT.
+  config.so_sndbuf = 4096;
+  StartListener(config);
+
+  // A response far larger than the sum of a small receive window and the
+  // server's send buffer, so the non-blocking write parks on EPOLLOUT.
+  auto big = workload::GenerateLaboratory(/*projects=*/400,
+                                          /*papers_per_project=*/6,
+                                          /*seed=*/7);
+  std::string big_text = xml::SerializeDocument(*big);
+  ASSERT_TRUE(repo_.AddDocument("big.xml", big_text, "laboratory.xml").ok());
+  ASSERT_TRUE(repo_.AddXacl(
+                      "<xacl><authorization subject=\"Public\" "
+                      "object=\"big.xml\" path=\"/laboratory\" "
+                      "sign=\"+\" type=\"RW\"/></xacl>")
+                  .ok());
+  // A fast reader sees the full response; the slow reader below must
+  // receive strictly less before the server cuts it off.
+  auto full = FetchHttp(listener_->port(), "GET /big.xml HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(full.ok());
+  const size_t full_size = full->size();
+  ASSERT_GT(full_size, 100u * 1024);
+
+  RawSocket slow(listener_->port(), /*rcvbuf=*/4096);
+  ASSERT_TRUE(slow.connected());
+  slow.Send("GET /big.xml HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(slow.WaitReadable());  // Response under way; never read it.
+
+  // Tick the clock until the armed write deadline fires (the first
+  // advance past arming suffices; the loop tolerates the race where the
+  // deadline is armed after an advance).
+  while (kTalliesEnabled && listener_->write_timeouts() == 0) {
+    clock_.Advance(30'001);
+    listener_->Wake();
+    std::this_thread::yield();
+  }
+  std::string got = slow.ReadAll();  // Drains the buffer, then sees EOF.
+  EXPECT_LT(got.size(), full_size) << "slow reader received a full response";
+  if (kTalliesEnabled) EXPECT_EQ(listener_->write_timeouts(), 1);
+}
+
+TEST_F(EventLoopTimingTest, StopForceClosesAtDrainDeadlineOnManualClock) {
+  ListenerConfig config;
+  config.read_timeout_ms = 3'600'000;  // Only the drain deadline may fire.
+  config.drain_timeout_ms = 30'000;
+  StartListener(config);
+
+  RawSocket staller(listener_->port());
+  ASSERT_TRUE(staller.connected());
+  staller.Send("GET /CS");  // Head never completes; connection stays open.
+  WaitForInFlight(1);
+
+  // Stop() blocks until the loop drains; with the connection stalled
+  // only the drain deadline can release it.  The loop closes its listen
+  // socket in the same iteration it arms the drain deadline, so "new
+  // connections are refused" is the observable signal that exactly one
+  // clock tick past the deadline now suffices.
+  const uint16_t port = listener_->port();
+  std::atomic<bool> stopped{false};
+  std::thread stopper([&] {
+    listener_->Stop();
+    stopped.store(true);
+  });
+  while (RawSocket(port).connected() && !stopped.load()) {
+    std::this_thread::yield();
+  }
+  clock_.Advance(30'001);
+  listener_->Wake();
+  stopper.join();
+  // The stalled connection was force-closed under the client.
+  EXPECT_EQ(staller.ReadAll(), "");
+  EXPECT_EQ(listener_->in_flight(), 0);
 }
 
 }  // namespace
