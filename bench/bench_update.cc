@@ -1,10 +1,16 @@
 // B10 (extension): cost of write enforcement (authz::UpdateProcessor) —
 // each checked operation pays a clone + write-labeling pass, so batches
 // amortize the clone but re-label per op.  Compared against applying the
-// same mutation with no enforcement.
+// same mutation with no enforcement, and — the gated pair — against the
+// compiled-automaton incremental path, which on fully decidable
+// policies re-labels only the mutated subtrees (see scripts/
+// check_bench.sh: BM_UpdateIncremental must beat BM_UpdateFullRelabel
+// by the configured floor on the 16k-node fixture).
 
 #include <benchmark/benchmark.h>
 
+#include "analysis/policy_automaton.h"
+#include "bench_json.h"
 #include "authz/update.h"
 #include "workload/authgen.h"
 #include "workload/docgen.h"
@@ -95,5 +101,102 @@ void BM_CheckedBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_CheckedBatch)->Arg(1)->Arg(8)->Arg(32);
 
+// --- Incremental vs full re-labeling (gated) ----------------------------
+//
+// The same decidable write policy (simple-path grant + carve-out, no
+// value predicates) over the ~16k-node fixture, applying an 8-op batch
+// of point mutations.  The full path re-labels the whole document per
+// op; the incremental path proves signs outside the mutated subtrees
+// unchanged and re-labels only the created regions.
+
+constexpr int64_t kGatedNodes = 16000;
+constexpr int kGatedOps = 32;
+
+Setup MakeDecidableSetup() {
+  Setup setup = MakeSetup(kGatedNodes);
+  // A decidable carve-out so the policy is not a trivial constant map.
+  // Level 3 only, so the level-2 batch targets stay writable.
+  Authorization deny;
+  deny.subject = *Subject::Make("Public", "*", "*");
+  deny.object.uri = "d.xml";
+  deny.object.path = "//n3x3";
+  deny.action = authz::Action::kWrite;
+  deny.sign = Sign::kMinus;
+  deny.type = AuthType::kRecursive;
+  setup.auths.push_back(std::move(deny));
+  return setup;
+}
+
+// Point-mutation mix: three attribute rewrites to one subtree insert,
+// exercising both incremental subpaths (value rewrites keep the label
+// map as-is; creations re-label only the inserted block).
+std::vector<UpdateOp> GatedBatch() {
+  std::vector<UpdateOp> ops;
+  for (int i = 0; i < kGatedOps; ++i) {
+    UpdateOp op;
+    if (i % 4 == 3) {
+      op.kind = UpdateOpKind::kInsertChild;
+      op.target = "/root/*[" + std::to_string(i % 4 + 1) + "]";
+      op.fragment = "<n2x0/>";
+    } else {
+      op.kind = UpdateOpKind::kSetAttribute;
+      op.target = "/root/*[" + std::to_string(i % 4 + 1) + "]/*[" +
+                  std::to_string(i / 4 + 1) + "]";
+      op.name = "a0";
+      op.value = "v" + std::to_string(i);
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+void BM_UpdateFullRelabel(benchmark::State& state) {
+  Setup setup = MakeDecidableSetup();
+  UpdateProcessor processor(&setup.groups);
+  std::vector<UpdateOp> ops = GatedBatch();
+  int64_t full_relabels = 0;
+  for (auto _ : state) {
+    auto outcome = processor.Apply(*setup.doc, setup.auths, {},
+                                   setup.requester, ops,
+                                   /*validate_result=*/false);
+    if (!outcome.ok()) state.SkipWithError(outcome.status().ToString().c_str());
+    full_relabels = outcome.ok() ? outcome->full_relabels : 0;
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["nodes"] = static_cast<double>(setup.doc->node_count());
+  state.counters["full_relabels"] = static_cast<double>(full_relabels);
+}
+BENCHMARK(BM_UpdateFullRelabel);
+
+void BM_UpdateIncremental(benchmark::State& state) {
+  Setup setup = MakeDecidableSetup();
+  auto compiled = analysis::PolicyAutomaton::Compile(*setup.doc->dtd(),
+                                                     setup.auths, {});
+  if (!compiled.ok() || !(*compiled)->fully_decidable()) {
+    state.SkipWithError("gated policy failed to compile fully decidable");
+    return;
+  }
+  UpdateProcessor processor(&setup.groups);
+  std::vector<UpdateOp> ops = GatedBatch();
+  int64_t incremental_relabels = 0;
+  for (auto _ : state) {
+    auto outcome = processor.Apply(*setup.doc, setup.auths, {},
+                                   setup.requester, ops,
+                                   /*validate_result=*/false,
+                                   compiled->get());
+    if (!outcome.ok()) state.SkipWithError(outcome.status().ToString().c_str());
+    incremental_relabels = outcome.ok() ? outcome->incremental_relabels : 0;
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["nodes"] = static_cast<double>(setup.doc->node_count());
+  state.counters["incremental_relabels"] =
+      static_cast<double>(incremental_relabels);
+}
+BENCHMARK(BM_UpdateIncremental);
+
 }  // namespace
 }  // namespace xmlsec
+
+int main(int argc, char** argv) {
+  return xmlsec::bench::RunWithJson(argc, argv, "BENCH_update.json");
+}

@@ -22,6 +22,10 @@
 //   XMLSEC_AUDIT_DEGRADED=memory   serve with memory-only audit while
 //                                  the WAL sink fails (default:
 //                                  fail-closed 503)
+//   XMLSEC_ENABLE_UPDATES=1        serve `POST /update/<uri>` (the
+//                                  write path; off by default — a
+//                                  deployment must opt in to mutation
+//                                  over HTTP)
 //   XMLSEC_QUERY_REWRITE=1         answer `?query=` through the
 //                                  policy-safe query rewriter instead
 //                                  of materializing the view (falls
@@ -182,6 +186,10 @@ int main(int argc, char** argv) {
   if (const char* rewrite = std::getenv("XMLSEC_QUERY_REWRITE");
       rewrite != nullptr && std::string(rewrite) == "1") {
     config.query_path = server::QueryPathMode::kRewrite;
+  }
+  if (const char* updates = std::getenv("XMLSEC_ENABLE_UPDATES");
+      updates != nullptr && std::string(updates) == "1") {
+    config.enable_updates = true;
   }
   server::SecureDocumentServer server(*initial_repo, &users, &groups,
                                       config);

@@ -31,7 +31,13 @@
 #      Single-core hosts skip the gate with a note — there is nothing
 #      to scale onto, or
 #
-#   5. a gated benchmark's p50 regressed more than MAX_REGRESSION_PCT
+#   5. the incremental write path (BM_UpdateIncremental) is not at
+#      least UPDATE_RATIO_FLOOR (default 3x) faster than per-op
+#      whole-document re-labeling (BM_UpdateFullRelabel) for a mixed
+#      point-mutation batch over the decidable 16k-node fixture — the
+#      payoff of subtree-scoped re-labeling, machine-independent, or
+#
+#   6. a gated benchmark's p50 regressed more than MAX_REGRESSION_PCT
 #      (default 15%) against its committed baseline in
 #      bench/baselines/.  The absolute check is advisory off-CI
 #      (machines differ); set XMLSEC_BENCH_STRICT=1 to make it fail
@@ -46,11 +52,13 @@ BUILD_DIR="${1:-build}"
 PIPELINE_BASELINE="bench/baselines/BENCH_pipeline.json"
 LABELING_BASELINE="bench/baselines/BENCH_labeling.json"
 SERVER_BASELINE="bench/baselines/BENCH_server.json"
+UPDATE_BASELINE="bench/baselines/BENCH_update.json"
 REPS="${XMLSEC_BENCH_REPS:-7}"
 MIN_TIME="${XMLSEC_BENCH_MIN_TIME:-0.1}"
 RATIO_FLOOR="${XMLSEC_BENCH_RATIO_FLOOR:-1.5}"
 LABELING_RATIO_FLOOR="${XMLSEC_BENCH_LABELING_RATIO_FLOOR:-3.0}"
 REWRITE_RATIO_FLOOR="${XMLSEC_BENCH_REWRITE_RATIO_FLOOR:-3.0}"
+UPDATE_RATIO_FLOOR="${XMLSEC_BENCH_UPDATE_RATIO_FLOOR:-3.0}"
 SCALING_RATIO_FLOOR="${XMLSEC_BENCH_SCALING_RATIO_FLOOR:-2.5}"
 SCALING_SMOKE_FLOOR="${XMLSEC_BENCH_SCALING_SMOKE_FLOOR:-1.3}"
 MAX_REGRESSION_PCT="${XMLSEC_BENCH_REGRESSION_PCT:-15}"
@@ -61,13 +69,15 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 fi
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_pipeline \
-  bench_labeling bench_server
+  bench_labeling bench_server bench_update
 
 PIPE_OUT="$(mktemp)"
 LABEL_OUT="$(mktemp)"
 SERVER_OUT="$(mktemp)"
+UPDATE_OUT="$(mktemp)"
 SCALING_OUT="$(mktemp)"
-trap 'rm -f "$PIPE_OUT" "$LABEL_OUT" "$SERVER_OUT" "$SCALING_OUT"' EXIT
+trap 'rm -f "$PIPE_OUT" "$LABEL_OUT" "$SERVER_OUT" "$UPDATE_OUT" \
+  "$SCALING_OUT"' EXIT
 
 # Repetitions give one JSON entry per rep (the capturing reporter skips
 # aggregate rows), so the p50s below are medians over real reruns.
@@ -81,6 +91,10 @@ XMLSEC_BENCH_JSON="$LABEL_OUT" "$BUILD_DIR/bench/bench_labeling" \
   --benchmark_min_time="$MIN_TIME" > /dev/null
 XMLSEC_BENCH_JSON="$SERVER_OUT" "$BUILD_DIR/bench/bench_server" \
   --benchmark_filter='^BM_QueryOverView$|^BM_QueryRewrite$' \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_min_time="$MIN_TIME" > /dev/null
+XMLSEC_BENCH_JSON="$UPDATE_OUT" "$BUILD_DIR/bench/bench_update" \
+  --benchmark_filter='^BM_UpdateFullRelabel$|^BM_UpdateIncremental$' \
   --benchmark_repetitions="$REPS" \
   --benchmark_min_time="$MIN_TIME" > /dev/null
 
@@ -109,17 +123,20 @@ else
     "scaling gate (nothing to scale onto)"
 fi
 
-python3 - "$PIPE_OUT" "$LABEL_OUT" "$SERVER_OUT" "$PIPELINE_BASELINE" \
-    "$LABELING_BASELINE" "$SERVER_BASELINE" "$RATIO_FLOOR" \
-    "$LABELING_RATIO_FLOOR" "$REWRITE_RATIO_FLOOR" \
+python3 - "$PIPE_OUT" "$LABEL_OUT" "$SERVER_OUT" "$UPDATE_OUT" \
+    "$PIPELINE_BASELINE" "$LABELING_BASELINE" "$SERVER_BASELINE" \
+    "$UPDATE_BASELINE" "$RATIO_FLOOR" "$LABELING_RATIO_FLOOR" \
+    "$REWRITE_RATIO_FLOOR" "$UPDATE_RATIO_FLOOR" \
     "$MAX_REGRESSION_PCT" "$STRICT" <<'PY'
 import json, statistics, sys
 
-(pipe_path, label_path, server_path, pipe_baseline_path,
- label_baseline_path, server_baseline_path, ratio_floor, labeling_floor,
- rewrite_floor, max_pct, strict) = sys.argv[1:12]
+(pipe_path, label_path, server_path, update_path, pipe_baseline_path,
+ label_baseline_path, server_baseline_path, update_baseline_path,
+ ratio_floor, labeling_floor, rewrite_floor, update_floor, max_pct,
+ strict) = sys.argv[1:15]
 ratio_floor, labeling_floor = float(ratio_floor), float(labeling_floor)
 rewrite_floor = float(rewrite_floor)
+update_floor = float(update_floor)
 max_pct = float(max_pct)
 strict = strict == "1"
 failed = False
@@ -183,6 +200,14 @@ check_ratio("materialized/rewritten query", over_view, rewritten,
             rewrite_floor)
 check_regression("rewritten query", server_baseline_path,
                  "BM_QueryRewrite", rewritten)
+
+update = json.load(open(update_path))
+full_relabel = p50(update, "BM_UpdateFullRelabel", update_path)
+incremental = p50(update, "BM_UpdateIncremental", update_path)
+check_ratio("full/incremental relabel", full_relabel, incremental,
+            update_floor)
+check_regression("incremental update", update_baseline_path,
+                 "BM_UpdateIncremental", incremental)
 
 sys.exit(1 if failed else 0)
 PY

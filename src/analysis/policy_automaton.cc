@@ -520,6 +520,35 @@ PolicyAutomaton::NewResolver(const Document& doc, const Requester& rq,
   return resolver;
 }
 
+namespace {
+
+/// `Resolver` behind the engine-neutral `authz::NodeSignResolver`
+/// interface the update path consumes.
+class ResolverAdapter final : public authz::NodeSignResolver {
+ public:
+  explicit ResolverAdapter(std::unique_ptr<PolicyAutomaton::Resolver> impl)
+      : impl_(std::move(impl)) {}
+
+  std::array<TriSign, 6> RowFor(const xml::Node& node) override {
+    return impl_->RowFor(node);
+  }
+  bool schema_mismatch() const override { return impl_->schema_mismatch(); }
+
+ private:
+  std::unique_ptr<PolicyAutomaton::Resolver> impl_;
+};
+
+}  // namespace
+
+std::unique_ptr<authz::NodeSignResolver> PolicyAutomaton::NewNodeResolver(
+    const Document& doc, const Requester& rq, const GroupStore& groups,
+    PolicyOptions policy) const {
+  Result<std::unique_ptr<Resolver>> resolver =
+      NewResolver(doc, rq, groups, policy);
+  if (!resolver.ok()) return nullptr;
+  return std::make_unique<ResolverAdapter>(std::move(*resolver));
+}
+
 std::array<TriSign, 6> PolicyAutomaton::Resolver::ResolveLists(
     const std::array<std::vector<uint32_t>, 6>& lists) {
   std::array<TriSign, 6> row = kAllEps;

@@ -119,6 +119,20 @@ class PolicyAutomaton : public authz::ExplicitSignEngine {
       const authz::GroupStore& groups, authz::PolicyOptions policy,
       authz::LabelingStats* stats, bool* schema_mismatch) const override;
 
+  /// Every authorization compiled into the table; nothing residual.
+  /// Explicit signs then depend only on root-to-node tag words — the
+  /// premise the update path's incremental re-labeling relies on.
+  bool fully_decidable() const override {
+    return residual_instance_.empty() && residual_schema_.empty();
+  }
+
+  /// `Resolver` behind the `authz::NodeSignResolver` interface (the
+  /// update path's lazy row source); nullptr when construction fails.
+  std::unique_ptr<authz::NodeSignResolver> NewNodeResolver(
+      const xml::Document& doc, const authz::Requester& rq,
+      const authz::GroupStore& groups,
+      authz::PolicyOptions policy) const override;
+
   const AutomatonStats& stats() const { return stats_; }
   /// Concatenated (instance, then schema) input order.
   const std::vector<AuthClassification>& classifications() const {

@@ -73,50 +73,23 @@ TriSign First2(TriSign a, TriSign b) {
   return a != TriSign::kEps ? a : b;
 }
 
-/// Pre-order propagation (paper Fig. 2, procedure `label`).
+/// Pre-order propagation (paper Fig. 2, procedure `label`),
+/// parameterized on the explicit-row source so the same rules serve the
+/// whole-document pass (rows from a precomputed `ExplicitSigns`) and
+/// the subtree-scoped incremental pass (rows from a lazy resolver).
+/// `RowSource` is callable as `std::array<TriSign, 6>(const Node*)`
+/// (by value or reference).
+template <typename RowSource>
 class Propagator {
  public:
-  Propagator(const ExplicitSigns& initial, LabelMap* labels)
-      : initial_(initial), labels_(labels) {}
+  Propagator(const RowSource& rows, LabelMap* labels)
+      : rows_(rows), labels_(labels) {}
 
   void LabelRoot(const Element* root) {
     NodeLabel& lab = Init(root);
     lab.final_sign =
         FirstDef({lab.l, lab.r, lab.ld, lab.rd, lab.lw, lab.rw});
     Descend(root, lab);
-  }
-
- private:
-  /// Copies the node's initial tuple into the label map and records the
-  /// explicit values.
-  NodeLabel& Init(const Node* node) {
-    const auto& slots = initial_.Row(node);
-    NodeLabel& lab = labels_->At(node);
-    lab.l = slots[static_cast<size_t>(kL)];
-    lab.r = slots[static_cast<size_t>(kR)];
-    lab.ld = slots[static_cast<size_t>(kLD)];
-    lab.rd = slots[static_cast<size_t>(kRD)];
-    lab.lw = slots[static_cast<size_t>(kLW)];
-    lab.rw = slots[static_cast<size_t>(kRW)];
-    lab.l_explicit = lab.l;
-    lab.ld_explicit = lab.ld;
-    lab.lw_explicit = lab.lw;
-    return lab;
-  }
-
-  void Descend(const Element* el, const NodeLabel& lab) {
-    for (const auto& attr : el->attributes()) {
-      LabelAttribute(attr.get(), lab);
-    }
-    for (const auto& child : el->children()) {
-      if (child->IsElement()) {
-        LabelElement(static_cast<const Element*>(child.get()), lab);
-      } else {
-        // Text / CDATA / comment / PI nodes are the "values" of the
-        // paper's tree: visible iff their element is.
-        labels_->At(child.get()).final_sign = lab.final_sign;
-      }
-    }
   }
 
   void LabelElement(const Element* el, const NodeLabel& parent) {
@@ -146,8 +119,50 @@ class Propagator {
     lab.final_sign = FirstDef({lab.l, inst, lab.ld, schema, lab.lw, weak});
   }
 
-  const ExplicitSigns& initial_;
+ private:
+  /// Copies the node's initial tuple into the label map and records the
+  /// explicit values.
+  NodeLabel& Init(const Node* node) {
+    const std::array<TriSign, 6> slots = rows_(node);
+    NodeLabel& lab = labels_->At(node);
+    lab.l = slots[static_cast<size_t>(kL)];
+    lab.r = slots[static_cast<size_t>(kR)];
+    lab.ld = slots[static_cast<size_t>(kLD)];
+    lab.rd = slots[static_cast<size_t>(kRD)];
+    lab.lw = slots[static_cast<size_t>(kLW)];
+    lab.rw = slots[static_cast<size_t>(kRW)];
+    lab.l_explicit = lab.l;
+    lab.ld_explicit = lab.ld;
+    lab.lw_explicit = lab.lw;
+    return lab;
+  }
+
+  void Descend(const Element* el, const NodeLabel& lab) {
+    for (const auto& attr : el->attributes()) {
+      LabelAttribute(attr.get(), lab);
+    }
+    for (const auto& child : el->children()) {
+      if (child->IsElement()) {
+        LabelElement(static_cast<const Element*>(child.get()), lab);
+      } else {
+        // Text / CDATA / comment / PI nodes are the "values" of the
+        // paper's tree: visible iff their element is.
+        labels_->At(child.get()).final_sign = lab.final_sign;
+      }
+    }
+  }
+
+  const RowSource& rows_;
   LabelMap* labels_;
+};
+
+/// Row source over a precomputed `ExplicitSigns` (the whole-document
+/// pass).
+struct ExplicitSignsRows {
+  const ExplicitSigns& initial;
+  std::array<TriSign, 6> operator()(const Node* node) const {
+    return initial.Row(node);
+  }
 };
 
 }  // namespace
@@ -254,9 +269,22 @@ Result<ExplicitSigns> ComputeExplicitSigns(
 
 LabelMap PropagateSigns(const Document& doc, const ExplicitSigns& initial) {
   LabelMap labels(static_cast<size_t>(doc.node_count()));
-  Propagator propagator(initial, &labels);
+  ExplicitSignsRows rows{initial};
+  Propagator<ExplicitSignsRows> propagator(rows, &labels);
   propagator.LabelRoot(doc.root());
   return labels;
+}
+
+void RelabelSubtree(const xml::Node* node, const NodeLabel& parent_label,
+                    const ExplicitRowFn& rows, LabelMap* labels) {
+  Propagator<ExplicitRowFn> propagator(rows, labels);
+  if (const Element* el = node->AsElement()) {
+    propagator.LabelElement(el, parent_label);
+  } else if (const Attr* attr = node->AsAttr()) {
+    propagator.LabelAttribute(attr, parent_label);
+  } else {
+    labels->At(node).final_sign = parent_label.final_sign;
+  }
 }
 
 char TriSignToChar(TriSign s) { return SignChar(s); }

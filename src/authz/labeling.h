@@ -3,6 +3,8 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -74,6 +76,16 @@ class LabelMap {
   }
 
   size_t size() const { return labels_.size(); }
+
+  /// Opens a gap of `count` default (ε) labels at index `start`,
+  /// shifting later entries up.  Used by the incremental write path
+  /// when a mutation created one contiguous doc-order block of nodes:
+  /// every surviving label lands at its post-Reindex index with a
+  /// single shift instead of a per-node stash.
+  void InsertGap(size_t start, size_t count) {
+    labels_.insert(labels_.begin() + static_cast<ptrdiff_t>(start), count,
+                   NodeLabel{});
+  }
 
  private:
   std::vector<NodeLabel> labels_;
@@ -229,6 +241,45 @@ Result<SlotCandidates> CollectSlotCandidates(
 /// substitutes automaton table lookups for the first half.
 LabelMap PropagateSigns(const xml::Document& doc, const ExplicitSigns& initial);
 
+/// Explicit-row callback for `RelabelSubtree`: the pre-propagation
+/// 6-tuple of one element or attribute node (never called for other
+/// node kinds).
+using ExplicitRowFn =
+    std::function<std::array<TriSign, 6>(const xml::Node*)>;
+
+/// Subtree-scoped propagation — the incremental half of re-labeling
+/// after an update.  Runs the exact propagation rules of
+/// `PropagateSigns` over `node` and its descendants only, seeded from
+/// `parent_label` (the already-propagated label of `node`'s parent
+/// element, holding merged r/rd/rw and the `*_explicit` values its
+/// attributes inherit).  `node` may be an element, an attribute, or
+/// character data (which copies the parent's final sign, as in the full
+/// pass).  `labels` must already be sized for the current
+/// `Document::Reindex()` numbering; entries outside the subtree are
+/// left untouched.
+void RelabelSubtree(const xml::Node* node, const NodeLabel& parent_label,
+                    const ExplicitRowFn& rows, LabelMap* labels);
+
+/// Lazy per-node explicit-sign source for consumers that touch only a
+/// slice of the document (the update path's incremental re-label).
+/// Obtained from `ExplicitSignEngine::NewNodeResolver`; `RowFor` must
+/// be valid for any node of the document the resolver was created for,
+/// in its *current* `Reindex()` numbering.
+class NodeSignResolver {
+ public:
+  virtual ~NodeSignResolver() = default;
+
+  /// Pre-propagation 6-tuple of `node` (all-ε for node kinds that carry
+  /// no explicit signs).
+  virtual std::array<TriSign, 6> RowFor(const xml::Node& node) = 0;
+
+  /// Sticky: true once any resolved node failed to conform to the
+  /// schema the engine was compiled from.  Callers must then discard
+  /// every row obtained from this resolver and fall back to a full
+  /// re-label (fail-safe, never fail-open).
+  virtual bool schema_mismatch() const = 0;
+};
+
 /// Interface of a schema-compiled explicit-sign source (implemented by
 /// `analysis::PolicyAutomaton`).  `ComputeSigns` replaces
 /// `ComputeExplicitSigns` on the serving path: statically decidable
@@ -247,6 +298,28 @@ class ExplicitSignEngine {
                                              PolicyOptions policy,
                                              LabelingStats* stats,
                                              bool* schema_mismatch) const = 0;
+
+  /// True when *every* authorization compiled into the engine resolved
+  /// statically (no residual value-dependent or opaque paths): explicit
+  /// signs then depend only on each node's root-to-node tag word.  That
+  /// is the soundness premise of subtree-scoped incremental re-labeling
+  /// — a mutation inside a subtree cannot change the tag word (hence
+  /// the explicit row, hence with parent→child-only propagation the
+  /// final sign) of any node outside it.
+  virtual bool fully_decidable() const { return false; }
+
+  /// Per-node resolver over the same table (see `NodeSignResolver`);
+  /// nullptr when the engine does not support lazy resolution or when
+  /// construction failed.  Only meaningful when `fully_decidable()`.
+  virtual std::unique_ptr<NodeSignResolver> NewNodeResolver(
+      const xml::Document& doc, const Requester& rq,
+      const GroupStore& groups, PolicyOptions policy) const {
+    (void)doc;
+    (void)rq;
+    (void)groups;
+    (void)policy;
+    return nullptr;
+  }
 };
 
 /// Reference labeler that applies the model's *declarative* semantics

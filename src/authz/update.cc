@@ -1,7 +1,10 @@
 #include "authz/update.h"
 
-#include "authz/labeling.h"
+#include <unordered_set>
+#include <utility>
+
 #include "xml/parser.h"
+#include "xml/serializer.h"
 #include "xml/validator.h"
 #include "xpath/evaluator.h"
 
@@ -10,6 +13,7 @@ namespace authz {
 
 namespace {
 
+using xml::Attr;
 using xml::Document;
 using xml::Element;
 using xml::Node;
@@ -30,16 +34,58 @@ Status Denied(const UpdateOp& op, const char* what) {
       "')");
 }
 
+/// Parses an insert fragment in the HOST document's DTD context: the
+/// wrapper document carries the host DTD as its internal subset, so
+/// entity references defined by the host schema resolve exactly as they
+/// would inside the document itself — a bare wrapper would silently
+/// drop them (and with them the content being write-checked).
+Result<std::unique_ptr<Document>> ParseFragment(const Document& host,
+                                                const std::string& fragment) {
+  std::string text;
+  if (host.dtd() != nullptr && !host.dtd()->empty()) {
+    text += "<!DOCTYPE fragment [\n";
+    text += xml::SerializeDtd(*host.dtd());
+    text += "]>";
+  }
+  text += "<fragment>" + fragment + "</fragment>";
+  return xml::ParseDocument(text);
+}
+
+/// Materializes DTD attribute defaults on `el` and its descendant
+/// elements (the same rule `xml::ValidateDocument` applies at
+/// registration time), so an inserted subtree is write-checked with
+/// every attribute it will actually carry — defaulted ones included.
+void ApplyAttributeDefaults(Element* el, const xml::Dtd& dtd) {
+  const std::vector<xml::AttrDecl>* attlist = dtd.FindAttlist(el->tag());
+  if (attlist != nullptr) {
+    for (const xml::AttrDecl& decl : *attlist) {
+      if ((decl.default_kind == xml::AttrDefaultKind::kFixed ||
+           decl.default_kind == xml::AttrDefaultKind::kDefault) &&
+          el->FindAttribute(decl.name) == nullptr) {
+        Attr* added = el->SetAttribute(decl.name, decl.default_value);
+        added->set_defaulted(true);
+      }
+    }
+  }
+  for (size_t i = 0; i < el->child_count(); ++i) {
+    if (Element* child = el->child(i)->AsElement()) {
+      ApplyAttributeDefaults(child, dtd);
+    }
+  }
+}
+
 }  // namespace
 
 Result<UpdateOutcome> UpdateProcessor::Apply(
     const Document& doc, std::span<const Authorization> instance_auths,
     std::span<const Authorization> schema_auths, const Requester& rq,
-    std::span<const UpdateOp> ops, bool validate_result) const {
+    std::span<const UpdateOp> ops, bool validate_result,
+    const ExplicitSignEngine* engine) const {
   // Work on a clone; the original is never touched.
   std::unique_ptr<Node> cloned = doc.Clone(/*deep=*/true);
   auto work = std::unique_ptr<Document>(
       static_cast<Document*>(cloned.release()));
+  work->Reindex();
 
   TreeLabeler labeler(groups_, policy_);
   UpdateOutcome outcome;
@@ -49,14 +95,144 @@ Result<UpdateOutcome> UpdateProcessor::Apply(
   vars.emplace("sym", xpath::Value(rq.sym));
   vars.emplace("time", xpath::Value(static_cast<double>(rq.time)));
 
-  for (const UpdateOp& op : ops) {
-    // (Re)label the current state: earlier operations may have changed
-    // which nodes exist and which authorizations select them.
+  // Whole-document labeling of the current clone state; prefers the
+  // compiled engine, falling back to the XPath labeler on engine
+  // failure or schema mismatch (fail-safe, never fail-open).
+  auto full_label = [&]() -> Result<LabelMap> {
     work->Reindex();
-    XMLSEC_ASSIGN_OR_RETURN(
-        LabelMap labels,
-        labeler.Label(*work, instance_auths, schema_auths, rq));
+    if (engine != nullptr) {
+      bool mismatch = false;
+      Result<ExplicitSigns> signs = engine->ComputeSigns(
+          *work, rq, *groups_, policy_, /*stats=*/nullptr, &mismatch);
+      if (signs.ok() && !mismatch) return PropagateSigns(*work, *signs);
+    }
+    return labeler.Label(*work, instance_auths, schema_auths, rq);
+  };
 
+  XMLSEC_ASSIGN_OR_RETURN(LabelMap labels, full_label());
+
+  // Incremental re-labeling applies when the engine proves EVERY
+  // authorization statically decidable: explicit signs then depend only
+  // on root-to-node tag words, which a mutation cannot change outside
+  // the mutated region, and propagation is strictly parent→child — so
+  // signs outside the region are provably unchanged (DESIGN.md, "The
+  // write path").  Anything else falls back to a whole-document
+  // re-label, counted per op.  A schema mismatch disables the
+  // incremental path for the rest of the batch (it would only mismatch
+  // again).
+  bool incremental = engine != nullptr && engine->fully_decidable();
+
+  // On the incremental path the Reindex after a pure deletion is
+  // deferred: surviving doc_orders go stale but stay strictly
+  // increasing in document order (deletion preserves relative order),
+  // which is the only property the XPath evaluator and the label map
+  // rely on between mutations.  `orders_compact` records whether the
+  // dense 0..n-1 numbering — required by the contiguous-gap shortcut
+  // below — currently holds.
+  bool orders_compact = true;
+
+  // Re-labels the clone after a mutation whose created nodes are the
+  // subtrees rooted at `created_roots` (empty for pure deletions and
+  // in-place value rewrites).  Incremental path: signs of surviving
+  // nodes are provably unchanged, so only the created regions are run
+  // through the propagation rules, seeded from each root's (unchanged)
+  // parent label, with explicit rows from the engine's lazy resolver.
+  auto relabel = [&](const std::vector<const Node*>& created_roots)
+      -> Status {
+    if (incremental) {
+      if (created_roots.empty()) {
+        // Nothing was created: a fully decidable explicit sign depends
+        // only on the root-to-node tag word plus request constants
+        // (never on values), so a value rewrite or deletion leaves
+        // every surviving label — and therefore the whole map —
+        // untouched.
+        ++outcome.incremental_relabels;
+        return Status::OK();
+      }
+      if (orders_compact) {
+        // The created subtrees occupy one contiguous doc-order block:
+        // consecutive siblings plus their descendants and attributes
+        // are visited back-to-back by Reindex, and survivors before
+        // the block keep their old numbers.  Shifting the surviving
+        // labels around that gap is equivalent to re-stashing them
+        // node by node, at memmove cost.
+        const size_t old_count = labels.size();
+        work->Reindex();
+        const size_t new_count = static_cast<size_t>(work->node_count());
+        labels.InsertGap(
+            static_cast<size_t>(created_roots.front()->doc_order()),
+            new_count - old_count);
+      } else {
+        // Stale numbering (a deferred deletion ran earlier): stash
+        // every surviving node's label by pointer while the old
+        // doc_orders are still on the nodes, Reindex, and copy the
+        // stash into a map sized for the new numbering.
+        std::unordered_set<const Node*> created;
+        for (const Node* root : created_roots) {
+          xml::ForEachNode(root,
+                           [&](const Node* n) { created.insert(n); });
+        }
+        std::vector<std::pair<const Node*, NodeLabel>> stash;
+        stash.reserve(labels.size());
+        xml::ForEachNode(
+            static_cast<const Node*>(work.get()), [&](const Node* n) {
+              // Created nodes carry no valid doc_order yet (and no
+              // label).
+              if (created.find(n) == created.end()) {
+                stash.emplace_back(n, labels.At(n));
+              }
+            });
+        work->Reindex();
+        LabelMap next(static_cast<size_t>(work->node_count()));
+        for (const auto& [n, lab] : stash) next.At(n) = lab;
+        labels = std::move(next);
+      }
+      orders_compact = true;
+      std::unique_ptr<NodeSignResolver> resolver =
+          engine->NewNodeResolver(*work, rq, *groups_, policy_);
+      bool ok = resolver != nullptr;
+      if (ok) {
+        ExplicitRowFn rows = [&resolver](const Node* n) {
+          return resolver->RowFor(*n);
+        };
+        for (const Node* root : created_roots) {
+          RelabelSubtree(root, labels.At(root->parent()), rows, &labels);
+        }
+        // The latch is sticky: any mismatch poisons every row handed
+        // out above, so the whole map must be discarded.
+        ok = !resolver->schema_mismatch();
+      }
+      if (ok) {
+        ++outcome.incremental_relabels;
+        return Status::OK();
+      }
+      incremental = false;
+    }
+    XMLSEC_ASSIGN_OR_RETURN(labels, full_label());
+    orders_compact = true;
+    ++outcome.full_relabels;
+    return Status::OK();
+  };
+
+  // Post-state check: every node the op created (or rewrote) must carry
+  // a strict '+' write label under the post-mutation labeling — 'ε'
+  // denies.  This is what closes the fail-open gaps: inserted subtrees
+  // and not-yet-existing attributes have no pre-state label to check,
+  // and under value-dependent policies a write can even flip signs on
+  // the nodes it touches.
+  auto post_check = [&](const std::vector<const Node*>& created_roots,
+                        const UpdateOp& op, const char* what) -> Status {
+    for (const Node* root : created_roots) {
+      if (!SubtreeWritable(root, labels)) return Denied(op, what);
+    }
+    return Status::OK();
+  };
+
+  for (const UpdateOp& op : ops) {
+    // Invariant at the top of each iteration: `work` is Reindex()ed and
+    // `labels` is its current write labeling (earlier operations may
+    // have changed which nodes exist and which authorizations select
+    // them).
     XMLSEC_ASSIGN_OR_RETURN(
         xpath::NodeSet selected,
         xpath::SelectXPath(op.target, work->root(), &vars));
@@ -78,11 +254,8 @@ Result<UpdateOutcome> UpdateProcessor::Apply(
         if (labels.FinalSign(element) != TriSign::kPlus) {
           return Denied(op, "no write permission on the target element");
         }
-        // Parse the fragment through a tiny wrapper document so entity
-        // and well-formedness rules apply.
-        XMLSEC_ASSIGN_OR_RETURN(
-            std::unique_ptr<Document> fragment,
-            xml::ParseDocument("<fragment>" + op.fragment + "</fragment>"));
+        XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<Document> fragment,
+                                ParseFragment(*work, op.fragment));
         const Node* anchor = nullptr;
         if (!op.before.empty()) {
           XMLSEC_ASSIGN_OR_RETURN(
@@ -95,12 +268,22 @@ Result<UpdateOutcome> UpdateProcessor::Apply(
           }
           anchor = anchors.front();
         }
+        std::vector<const Node*> created;
         Element* holder = fragment->root();
         while (!holder->children().empty()) {
           std::unique_ptr<Node> child =
               holder->RemoveChild(holder->child(0));
+          if (Element* child_el = child->AsElement()) {
+            if (work->dtd() != nullptr) {
+              ApplyAttributeDefaults(child_el, *work->dtd());
+            }
+          }
+          created.push_back(child.get());
           element->InsertBefore(std::move(child), anchor);
         }
+        XMLSEC_RETURN_IF_ERROR(relabel(created));
+        XMLSEC_RETURN_IF_ERROR(post_check(
+            created, op, "inserted content is not writable by requester"));
         break;
       }
       case UpdateOpKind::kDeleteNode: {
@@ -114,21 +297,39 @@ Result<UpdateOutcome> UpdateProcessor::Apply(
           return Status::InvalidArgument("cannot delete the document root");
         }
         parent->RemoveChild(element);
+        orders_compact = false;
+        XMLSEC_RETURN_IF_ERROR(relabel({}));
         break;
       }
       case UpdateOpKind::kSetAttribute: {
-        const xml::Attr* existing = element->FindAttribute(op.name);
-        const Node* guard = existing != nullptr
-                                ? static_cast<const Node*>(existing)
-                                : static_cast<const Node*>(element);
-        if (labels.FinalSign(guard) != TriSign::kPlus) {
-          return Denied(op, "no write permission on the attribute");
+        Attr* existing = element->FindAttribute(op.name);
+        if (existing != nullptr) {
+          if (labels.FinalSign(existing) != TriSign::kPlus) {
+            return Denied(op, "no write permission on the attribute");
+          }
+          existing->set_value(op.value);
+          XMLSEC_RETURN_IF_ERROR(relabel({}));
+          XMLSEC_RETURN_IF_ERROR(post_check(
+              {existing}, op, "no write permission on the attribute"));
+        } else {
+          // A NEW attribute: '+' on the element lets the requester
+          // extend it, but the created attribute must ALSO be writable
+          // under its own (instance- and schema-level) attribute
+          // authorizations in the post state — otherwise an
+          // attribute-scoped denial could be bypassed by
+          // delete-then-recreate.
+          if (labels.FinalSign(element) != TriSign::kPlus) {
+            return Denied(op, "no write permission on the target element");
+          }
+          Attr* added = element->SetAttribute(op.name, op.value);
+          XMLSEC_RETURN_IF_ERROR(relabel({added}));
+          XMLSEC_RETURN_IF_ERROR(post_check(
+              {added}, op, "no write permission on the attribute"));
         }
-        element->SetAttribute(op.name, op.value);
         break;
       }
       case UpdateOpKind::kRemoveAttribute: {
-        const xml::Attr* existing = element->FindAttribute(op.name);
+        const Attr* existing = element->FindAttribute(op.name);
         if (existing == nullptr) {
           return Status::NotFound("attribute '" + op.name +
                                   "' not present on update target");
@@ -137,6 +338,8 @@ Result<UpdateOutcome> UpdateProcessor::Apply(
           return Denied(op, "no write permission on the attribute");
         }
         element->RemoveAttribute(op.name);
+        orders_compact = false;
+        XMLSEC_RETURN_IF_ERROR(relabel({}));
         break;
       }
       case UpdateOpKind::kSetText: {
@@ -151,10 +354,15 @@ Result<UpdateOutcome> UpdateProcessor::Apply(
                           "existing content is not writable by requester");
           }
         }
+        if (!element->children().empty()) orders_compact = false;
         while (!element->children().empty()) {
           element->RemoveChildAt(element->child_count() - 1);
         }
         element->AppendText(op.value);
+        const Node* text = element->child(element->child_count() - 1);
+        XMLSEC_RETURN_IF_ERROR(relabel({text}));
+        XMLSEC_RETURN_IF_ERROR(post_check(
+            {text}, op, "replacement text is not writable by requester"));
         break;
       }
     }

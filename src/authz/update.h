@@ -1,6 +1,7 @@
 #ifndef XMLSEC_AUTHZ_UPDATE_H_
 #define XMLSEC_AUTHZ_UPDATE_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -8,6 +9,7 @@
 
 #include "common/result.h"
 #include "authz/authorization.h"
+#include "authz/labeling.h"
 #include "authz/policy.h"
 #include "authz/subject.h"
 #include "xml/dom.h"
@@ -42,6 +44,12 @@ struct UpdateOp {
 struct UpdateOutcome {
   std::unique_ptr<xml::Document> document;  ///< mutated copy
   int64_t ops_applied = 0;
+  /// Re-labeling strategy split: ops whose post-state signs were
+  /// recomputed only inside the mutated region (sound when the engine is
+  /// fully decidable) vs. ops that paid a whole-document re-label
+  /// (value-dependent policies, resolver failure, or schema mismatch).
+  int64_t incremental_relabels = 0;
+  int64_t full_relabels = 0;
 };
 
 /// Write-action enforcement — the paper's §8 "support for write and
@@ -51,17 +59,33 @@ struct UpdateOutcome {
 /// carries a '+' write label:
 ///
 ///   * kSetAttribute / kRemoveAttribute: the attribute's label when it
-///     exists, the element's otherwise;
-///   * kSetText: the element and every removed child;
-///   * kInsertChild: the target element (a writer of an element may
-///     extend its content);
+///     exists; creating a NEW attribute requires '+' on the element AND
+///     a '+' post-state label on the created attribute itself, so
+///     attribute-scoped denials (instance or schema level) cannot be
+///     bypassed by delete-then-recreate;
+///   * kSetText: the element and every removed child before the write,
+///     and the created text node after it;
 ///   * kDeleteNode: the element and its *entire* subtree — a requester
-///     cannot delete content they may not even know about.
+///     cannot delete content they may not even know about;
+///   * kInsertChild: the target element before the write (a writer of an
+///     element may extend its content), and — fail-closed — every node
+///     of the inserted subtree after it: the fragment is parsed in the
+///     host document's DTD context (entities resolve, defaulted
+///     attributes materialize) and the whole inserted region must carry
+///     '+' write labels in the post-mutation labeling; 'ε' denies.
 ///
 /// The batch is atomic: it is applied to a clone, each operation checked
 /// against the write labeling of the current clone state, and the result
 /// optionally re-validated against the document's DTD; any failure
 /// leaves the original untouched.
+///
+/// Re-labeling between ops is incremental when `engine` (the compiled
+/// policy automaton) reports the policy fully decidable: signs outside
+/// the mutated region are provably unchanged, so only created nodes are
+/// labeled, via the engine's lazy per-node resolver.  Anything else —
+/// no engine, residual value-dependent authorizations, resolver
+/// construction failure, or a schema mismatch met while resolving —
+/// falls back to a whole-document re-label, counted in the outcome.
 class UpdateProcessor {
  public:
   UpdateProcessor(const GroupStore* groups, PolicyOptions policy = {})
@@ -70,7 +94,7 @@ class UpdateProcessor {
   }
 
   /// Applies `ops` on behalf of `rq`.  Returns PermissionDenied when an
-  /// operation touches a node without a positive write label,
+  /// operation touches or creates a node without a positive write label,
   /// InvalidArgument when a target selects zero or several nodes, and
   /// ValidationError when the mutated document violates its DTD.
   Result<UpdateOutcome> Apply(const xml::Document& doc,
@@ -78,7 +102,8 @@ class UpdateProcessor {
                               std::span<const Authorization> schema_auths,
                               const Requester& rq,
                               std::span<const UpdateOp> ops,
-                              bool validate_result = true) const;
+                              bool validate_result = true,
+                              const ExplicitSignEngine* engine = nullptr) const;
 
  private:
   const GroupStore* groups_;

@@ -48,6 +48,8 @@ inline constexpr std::string_view kSites[] = {
     "audit.wal_write",      // WAL frame write in the background writer
     "audit.wal_fsync",      // WAL group-commit fsync
     "server.reload",        // repository hot-reload (admin path)
+    "update.apply",         // write batch: check + relabel + mutate clone
+    "update.publish",       // write batch: snapshot swap after audit ack
 };
 
 /// All registered sites (the taxonomy above).

@@ -5,6 +5,7 @@
 #include "common/failpoint.h"
 #include "rewrite/query_result.h"
 #include "server/audit_wal.h"
+#include "xml/parser.h"
 #include "xpath/evaluator.h"
 
 namespace xmlsec {
@@ -45,8 +46,92 @@ constexpr std::string_view kStages[] = {
     "query",      // XPath-over-view evaluation
     "serialize",  // view unparse
     "cache_put",  // view-cache insert
+    "update",     // write batch: check + re-label + mutate + publish
     "audit",      // audit-trail append
 };
+
+/// Parses the `<update>` batch body of a `POST /update/<uri>` request:
+///
+///   <update>
+///     <insert target="/lab/people" before="person[2]"><person/></insert>
+///     <delete target="//draft[1]"/>
+///     <set-attribute target="//paper[1]" name="category" value="public"/>
+///     <remove-attribute target="//paper[1]" name="note"/>
+///     <set-text target="//title[1]">New title</set-text>
+///   </update>
+///
+/// Every op carries a `target` XPath that must select exactly one
+/// element (enforced later by the update processor).  `<insert>`
+/// content is re-serialized verbatim as the fragment, so entity and
+/// DTD-context resolution happen exactly once, inside the processor,
+/// against the HOST document's DTD.
+Result<std::vector<authz::UpdateOp>> ParseUpdateOps(std::string_view body) {
+  if (body.empty()) {
+    return Status::InvalidArgument("empty update body");
+  }
+  XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> doc,
+                          xml::ParseDocument(body));
+  const xml::Element* root = doc->root();
+  if (root == nullptr || root->tag() != "update") {
+    return Status::InvalidArgument(
+        "update body must be an XML document with an <update> root");
+  }
+  std::vector<authz::UpdateOp> ops;
+  for (size_t i = 0; i < root->child_count(); ++i) {
+    const xml::Node* child = root->child(i);
+    const xml::Element* op_el = child->AsElement();
+    if (op_el == nullptr) continue;  // inter-op whitespace / comments
+    authz::UpdateOp op;
+    const std::string& tag = op_el->tag();
+    if (tag == "insert") {
+      op.kind = authz::UpdateOpKind::kInsertChild;
+      for (size_t j = 0; j < op_el->child_count(); ++j) {
+        op.fragment += xml::SerializeNode(*op_el->child(j));
+      }
+      if (auto before = op_el->GetAttribute("before")) op.before = *before;
+      if (op.fragment.empty()) {
+        return Status::InvalidArgument("<insert> carries no content");
+      }
+    } else if (tag == "delete") {
+      op.kind = authz::UpdateOpKind::kDeleteNode;
+    } else if (tag == "set-attribute") {
+      op.kind = authz::UpdateOpKind::kSetAttribute;
+      auto name = op_el->GetAttribute("name");
+      auto value = op_el->GetAttribute("value");
+      if (!name.has_value() || name->empty() || !value.has_value()) {
+        return Status::InvalidArgument(
+            "<set-attribute> requires name and value attributes");
+      }
+      op.name = *name;
+      op.value = *value;
+    } else if (tag == "remove-attribute") {
+      op.kind = authz::UpdateOpKind::kRemoveAttribute;
+      auto name = op_el->GetAttribute("name");
+      if (!name.has_value() || name->empty()) {
+        return Status::InvalidArgument(
+            "<remove-attribute> requires a name attribute");
+      }
+      op.name = *name;
+    } else if (tag == "set-text") {
+      op.kind = authz::UpdateOpKind::kSetText;
+      op.value = op_el->TextContent();
+    } else {
+      return Status::InvalidArgument("unknown update operation <" + tag +
+                                     ">");
+    }
+    auto target = op_el->GetAttribute("target");
+    if (!target.has_value() || target->empty()) {
+      return Status::InvalidArgument("<" + tag +
+                                     "> requires a target XPath attribute");
+    }
+    op.target = *target;
+    ops.push_back(std::move(op));
+  }
+  if (ops.empty()) {
+    return Status::InvalidArgument("update batch contains no operations");
+  }
+  return ops;
+}
 
 }  // namespace
 
@@ -154,6 +239,34 @@ SecureDocumentServer::SecureDocumentServer(
       "xmlsec_audit_denied_total",
       "positive accesses denied (fail-closed) or degraded because the "
       "audit record could not be durably acknowledged");
+  instruments_.update_requests = registry->GetCounter(
+      "xmlsec_update_requests_total",
+      "write batches received on POST /update");
+  instruments_.update_applied = registry->GetCounter(
+      "xmlsec_update_applied_total",
+      "write batches applied and published (200)");
+  instruments_.update_denied = registry->GetCounter(
+      "xmlsec_update_denied_total",
+      "write batches denied by write-action labeling (403)");
+  instruments_.update_failed = registry->GetCounter(
+      "xmlsec_update_failed_total",
+      "write batches failed closed (5xx: internal fault, failpoint, or "
+      "unacknowledged audit record)");
+  instruments_.update_ops = registry->GetCounter(
+      "xmlsec_update_ops_applied_total",
+      "individual operations applied by accepted write batches");
+  instruments_.update_relabel_incremental = registry->GetCounter(
+      "xmlsec_update_relabel_incremental_total",
+      "update ops re-labeled only inside the mutated subtree (fully "
+      "decidable compiled policy)");
+  instruments_.update_relabel_full = registry->GetCounter(
+      "xmlsec_update_relabel_full_total",
+      "update ops that paid a whole-document re-label (no automaton, "
+      "residual authorizations, or resolver fallback)");
+  instruments_.update_cache_invalidations = registry->GetCounter(
+      "xmlsec_update_cache_invalidations_total",
+      "cached views dropped by dirty-region invalidation after a "
+      "published write batch");
   cache_.BindMetrics(
       registry->GetCounter("xmlsec_view_cache_hits_total",
                            "view-cache hits"),
@@ -807,6 +920,256 @@ ServerResponse SecureDocumentServer::Handle(
   return finalize();
 }
 
+ServerResponse SecureDocumentServer::HandleUpdate(
+    const ServerRequest& request) const {
+  obs::RequestTrace trace;
+  instruments_.requests->Inc();
+  instruments_.update_requests->Inc();
+  ServerResponse response;
+  std::string slow_trace;
+  int64_t ops_requested = 0;
+  int64_t ops_applied = 0;
+  bool in_update = false;
+  obs::RequestTrace::Clock::time_point update_begin{};
+  // Fire-and-forget record of a non-positive outcome (denial, 4xx,
+  // fail-closed 5xx).  The POSITIVE record is durable and is written
+  // inline below, BEFORE the publish — never here.
+  bool audited = false;
+  auto finalize = [&]() -> ServerResponse {
+    if (in_update) {
+      trace.Record("update", NsBetween(update_begin,
+                                       obs::RequestTrace::Clock::now()));
+      in_update = false;
+    }
+    const int64_t total_ns = trace.ElapsedNs();
+    const int64_t threshold_ms = obs::SlowTraceThresholdMs();
+    if (threshold_ms >= 0 && total_ns >= threshold_ms * 1'000'000) {
+      instruments_.slow_requests->Inc();
+      slow_trace = trace.Summary();
+    }
+    if (audit_ != nullptr && !audited) {
+      AuditEntry entry;
+      entry.time = request.time;
+      entry.user = request.user.empty() ? "anonymous" : request.user;
+      entry.ip = request.ip;
+      entry.sym = request.sym;
+      entry.uri = request.uri;
+      entry.query = "update ops=" + std::to_string(ops_requested);
+      entry.http_status = response.http_status;
+      entry.visible_nodes = ops_applied;
+      entry.total_nodes = ops_requested;
+      entry.trace = slow_trace;
+      audit_->Record(std::move(entry));
+    }
+    if (response.http_status == 200) {
+      instruments_.update_applied->Inc();
+    } else if (response.http_status == 403) {
+      instruments_.update_denied->Inc();
+    } else if (response.http_status >= 500) {
+      instruments_.update_failed->Inc();
+    }
+    instruments_.request_seconds->Observe(total_ns);
+    instruments_.StatusCounter(response.http_status)->Inc();
+    for (const auto& [stage, ns] : trace.spans()) {
+      if (obs::Histogram* histogram = instruments_.Stage(stage)) {
+        histogram->Observe(ns);
+      }
+    }
+    return response;
+  };
+
+  Status auth_status;
+  {
+    auto span = trace.Span("auth");
+    auth_status = users_->Authenticate(request.user, request.password);
+  }
+  if (!auth_status.ok()) {
+    response.http_status = 401;
+    response.reason = "Unauthorized";
+    response.content_type = "text/plain";
+    response.body = auth_status.ToString() + "\n";
+    return finalize();
+  }
+
+  authz::Requester rq;
+  rq.user = request.user.empty() ? "anonymous" : request.user;
+  rq.ip = request.ip;
+  rq.sym = request.sym;
+  rq.time = request.time;
+
+  Result<std::vector<authz::UpdateOp>> ops = ParseUpdateOps(request.body);
+  if (!ops.ok()) {
+    response.http_status = 400;
+    response.reason = "Bad Request";
+    response.content_type = "text/plain";
+    response.body = ops.status().ToString() + "\n";
+    return finalize();
+  }
+  ops_requested = static_cast<int64_t>(ops->size());
+
+  in_update = true;
+  update_begin = obs::RequestTrace::Clock::now();
+  // Writers serialize here; readers never touch this mutex.  The batch
+  // applies against the snapshot current at ITS turn, so concurrent
+  // batches compose instead of overwriting each other's documents.
+  std::lock_guard<std::mutex> update_lock(update_mutex_);
+  const std::shared_ptr<const Repository> repo = repository_snapshot();
+
+  // Same lookup fault domain as the read path: a failed lookup aborts
+  // fail-closed instead of applying the batch against a partial
+  // (possibly permissive-by-omission) authorization state.
+  if (!failpoint::Check("repo.find_document").ok()) {
+    FailClosed(&response, 500, "Internal Server Error");
+    return finalize();
+  }
+  const xml::Document* doc = repo->FindDocument(request.uri);
+  if (doc == nullptr) {
+    response.http_status = 404;
+    response.reason = "Not Found";
+    response.content_type = "text/plain";
+    response.body = Status::NotFound("document '" + request.uri +
+                                     "' is not registered")
+                        .ToString() +
+                    "\n";
+    return finalize();
+  }
+  if (!failpoint::Check("repo.instance_auths").ok()) {
+    FailClosed(&response, 500, "Internal Server Error");
+    return finalize();
+  }
+  std::span<const authz::Authorization> instance =
+      repo->InstanceAuths(request.uri);
+  std::span<const authz::Authorization> schema;
+  std::string dtd_uri = repo->DtdUriOf(request.uri);
+  if (!dtd_uri.empty()) {
+    if (!failpoint::Check("repo.schema_auths").ok()) {
+      FailClosed(&response, 500, "Internal Server Error");
+      return finalize();
+    }
+    schema = repo->SchemaAuths(dtd_uri);
+  }
+  authz::PolicyOptions policy =
+      repo->PolicyOf(request.uri, config_.processor.policy);
+
+  // The compiled policy automaton (shared with the read path's memo):
+  // when it is fully decidable, the processor re-labels only the
+  // mutated subtrees; otherwise it pays whole-document re-labels.
+  std::shared_ptr<const analysis::PolicyAutomaton> automaton =
+      AutomatonFor(*repo, request.uri, *doc, instance, schema);
+
+  // Fault-injection site covering the whole check+mutate step.
+  if (!failpoint::Check("update.apply").ok()) {
+    FailClosed(&response, 500, "Internal Server Error");
+    return finalize();
+  }
+  authz::UpdateProcessor processor(groups_, policy);
+  Result<authz::UpdateOutcome> outcome =
+      processor.Apply(*doc, instance, schema, rq, *ops,
+                      config_.validate_updates, automaton.get());
+  if (!outcome.ok()) {
+    switch (outcome.status().code()) {
+      case StatusCode::kPermissionDenied:
+        // A policy decision, not a fault: the requester may learn WHY
+        // their own write was refused.
+        response.http_status = 403;
+        response.reason = "Forbidden";
+        response.content_type = "text/plain";
+        response.body = outcome.status().ToString() + "\n";
+        break;
+      case StatusCode::kInvalidArgument:
+      case StatusCode::kParseError:
+      case StatusCode::kValidationError:
+      case StatusCode::kNotFound:
+        response.http_status = 400;
+        response.reason = "Bad Request";
+        response.content_type = "text/plain";
+        response.body = outcome.status().ToString() + "\n";
+        break;
+      default:
+        // Internal faults (including injected ones) fail closed.
+        FailClosed(&response, 500, "Internal Server Error");
+        break;
+    }
+    return finalize();
+  }
+
+  Result<std::unique_ptr<Repository>> next =
+      repo->WithUpdatedDocument(request.uri, std::move(outcome->document));
+  if (!next.ok()) {
+    FailClosed(&response, 500, "Internal Server Error");
+    return finalize();
+  }
+  // Fault-injection site between apply and publish: a fault here must
+  // leave the OLD snapshot serving and no positive audit record.
+  if (!failpoint::Check("update.publish").ok()) {
+    FailClosed(&response, 500, "Internal Server Error");
+    return finalize();
+  }
+
+  ops_applied = outcome->ops_applied;
+  response.http_status = 200;
+  response.reason = "OK";
+  response.content_type = "text/xml";
+  response.body = "<update-result ops=\"" + std::to_string(ops_applied) +
+                  "\" incremental=\"" +
+                  std::to_string(outcome->incremental_relabels) +
+                  "\" full=\"" + std::to_string(outcome->full_relabels) +
+                  "\"/>\n";
+
+  // "No audit, no write": the positive record is acknowledged BEFORE
+  // the mutated snapshot becomes visible.  Every failable step is
+  // above; the publish below cannot fail.
+  if (audit_ != nullptr) {
+    AuditEntry entry;
+    entry.time = request.time;
+    entry.user = rq.user;
+    entry.ip = rq.ip;
+    entry.sym = rq.sym;
+    entry.uri = request.uri;
+    entry.query = "update ops=" + std::to_string(ops_requested);
+    entry.http_status = 200;
+    entry.visible_nodes = ops_applied;
+    entry.total_nodes = ops_requested;
+    entry.trace = slow_trace;
+    audited = true;
+    if (failpoint::ShouldFail("server.audit")) {
+      FailClosed(&response, 500, "Internal Server Error");
+      entry.http_status = 500;
+      audit_->Record(std::move(entry));
+      return finalize();
+    }
+    if (audit_->wal() != nullptr) {
+      Status durable = audit_->RecordDurable(entry, config_.audit_durability);
+      if (!durable.ok()) {
+        instruments_.audit_denied->Inc();
+        // Unlike the read path, kMemoryAudit does NOT let a WRITE
+        // through on a failing sink: a lost view is re-computable, a
+        // lost mutation record is not.  Writes always fail closed here.
+        FailClosed(&response, 503, "Service Unavailable");
+        entry.http_status = 503;
+        audit_->RecordMemoryOnly(std::move(entry));
+        return finalize();
+      }
+    } else {
+      audit_->Record(std::move(entry));
+    }
+  }
+
+  // Infallible publish: swap the snapshot, then drop exactly this
+  // document's cached views (dirty-region invalidation — other
+  // documents' entries survive, their doc_version is unchanged).
+  {
+    std::lock_guard<std::mutex> lock(repository_mutex_);
+    repository_ = std::shared_ptr<const Repository>(std::move(*next));
+  }
+  int64_t invalidated = cache_.InvalidateDocument(request.uri);
+  instruments_.update_cache_invalidations->Inc(invalidated);
+  instruments_.update_ops->Inc(ops_applied);
+  instruments_.update_relabel_incremental->Inc(outcome->incremental_relabels);
+  instruments_.update_relabel_full->Inc(outcome->full_relabels);
+  return finalize();
+}
+
 std::string SecureDocumentServer::HandleHttp(std::string_view raw_request,
                                              std::string_view ip,
                                              std::string_view sym) const {
@@ -817,7 +1180,14 @@ std::string SecureDocumentServer::HandleHttp(std::string_view raw_request,
     return BuildHttpResponse(400, "Bad Request", "text/plain",
                              parsed.status().ToString() + "\n");
   }
-  if (parsed->method != "GET" && parsed->method != "HEAD") {
+  // `POST /update/<uri>` routes to the write path; everything else is
+  // the read path.  With updates disabled, POST keeps its historical
+  // 405 — the endpoint simply does not exist.
+  const bool is_update = parsed->method == "POST" &&
+                         config_.enable_updates &&
+                         (parsed->path == "/update" ||
+                          parsed->path.rfind("/update/", 0) == 0);
+  if (!is_update && parsed->method != "GET" && parsed->method != "HEAD") {
     instruments_.requests->Inc();
     instruments_.StatusCounter(405)->Inc();
     return BuildHttpResponse(405, "Method Not Allowed", "text/plain",
@@ -827,12 +1197,20 @@ std::string SecureDocumentServer::HandleHttp(std::string_view raw_request,
   ServerRequest request;
   request.ip = std::string(ip);
   request.sym = std::string(sym);
-  request.uri = parsed->path;
-  if (!request.uri.empty() && request.uri.front() == '/') {
-    request.uri.erase(request.uri.begin());
+  if (is_update) {
+    // Path after "/update/"; "POST /update" with no document is a 404
+    // shaped exactly like an unknown document (closed world).
+    request.uri = parsed->path.size() > 8 ? parsed->path.substr(8)
+                                          : std::string();
+    request.body = parsed->body;
+  } else {
+    request.uri = parsed->path;
+    if (!request.uri.empty() && request.uri.front() == '/') {
+      request.uri.erase(request.uri.begin());
+    }
+    auto query_it = parsed->query.find("query");
+    if (query_it != parsed->query.end()) request.query = query_it->second;
   }
-  auto query_it = parsed->query.find("query");
-  if (query_it != parsed->query.end()) request.query = query_it->second;
 
   auto auth_it = parsed->headers.find("authorization");
   if (auth_it != parsed->headers.end()) {
@@ -848,7 +1226,8 @@ std::string SecureDocumentServer::HandleHttp(std::string_view raw_request,
     request.password = credentials->second;
   }
 
-  ServerResponse response = Handle(request);
+  ServerResponse response = is_update ? HandleUpdate(request)
+                                      : Handle(request);
   return BuildHttpResponse(
       response.http_status, response.reason, response.content_type,
       parsed->method == "HEAD" ? std::string_view() : response.body_view());

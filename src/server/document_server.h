@@ -11,6 +11,7 @@
 #include "analysis/policy_automaton.h"
 #include "authz/processor.h"
 #include "authz/subject.h"
+#include "authz/update.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rewrite/rewriter.h"
@@ -81,6 +82,12 @@ struct ServerConfig {
   AuditDegradedMode audit_degraded_mode = AuditDegradedMode::kFailClosed;
   /// How `?query=` requests are served (see `QueryPathMode`).
   QueryPathMode query_path = QueryPathMode::kMaterialize;
+  /// Whether `POST /update/<uri>` is served (the write path).  Off by
+  /// default: a deployment must opt in to mutation over HTTP.
+  bool enable_updates = false;
+  /// Re-validate the mutated document against its DTD before publishing
+  /// (the update batch fails with 400 on a validity violation).
+  bool validate_updates = true;
   /// Metrics registry the server instruments (per-stage latency
   /// histograms, per-status response counters, cache hit/miss, slow
   /// requests).  nullptr selects the process-wide
@@ -98,6 +105,9 @@ struct ServerRequest {
   std::string uri;       ///< requested document URI
   std::string query;     ///< optional XPath evaluated over the view
   int64_t time = 0;      ///< request time (authorization validity windows)
+  /// Raw entity body of a `POST /update/<uri>` request: an XML batch
+  /// document (see `ParseUpdateBody`).  Empty for reads.
+  std::string body;
 };
 
 /// Transport-level outcome.
@@ -155,12 +165,30 @@ class SecureDocumentServer {
   /// recorded in the attached `AuditLog`.
   ServerResponse Handle(const ServerRequest& request) const;
 
-  /// Parses a raw HTTP request head and serves it.  The connection
-  /// addresses come from the transport.  The document URI is the request
-  /// path without its leading '/'; credentials come from Basic auth; an
-  /// XPath query may be passed as `?query=...`.
+  /// Parses a raw HTTP request (head + body) and serves it.  The
+  /// connection addresses come from the transport.  The document URI is
+  /// the request path without its leading '/'; credentials come from
+  /// Basic auth; an XPath query may be passed as `?query=...`.  `POST
+  /// /update/<uri>` routes to the write path (`HandleUpdate`) when
+  /// `config.enable_updates` is set; both listener modes share this
+  /// entry point, so the write path exists exactly once.
   std::string HandleHttp(std::string_view raw_request, std::string_view ip,
                          std::string_view sym) const;
+
+  /// The audited, fail-closed write path: authenticates the requester,
+  /// parses the `<update>` batch in `request.body`, applies it through
+  /// `authz::UpdateProcessor` against the current repository snapshot
+  /// (write-labeling every touched and created node; incremental
+  /// re-labeling when the document's compiled policy automaton is fully
+  /// decidable), durably audits the accepted batch, and only then
+  /// publishes the mutated document (RCU swap) and drops the document's
+  /// cached views.  Order is load-bearing: every failable step —
+  /// including the `update.apply` / `update.publish` failpoints — runs
+  /// BEFORE the audit record is acknowledged, and the publish itself is
+  /// infallible, so "no audit, no write" holds at every fault site.
+  /// Writers serialize on an internal mutex; readers are never blocked
+  /// (they serve from the previous snapshot until the swap).
+  ServerResponse HandleUpdate(const ServerRequest& request) const;
 
   /// Computes the view of `rq` on `uri` (no authentication — callers
   /// that already authenticated, e.g. tests and benchmarks).
@@ -237,6 +265,17 @@ class SecureDocumentServer {
     /// Positive accesses denied (or degraded) because their audit
     /// record could not be durably acknowledged.
     obs::Counter* audit_denied = nullptr;
+    /// Write path (`POST /update`): batch outcomes, ops applied, the
+    /// incremental-vs-full re-labeling split, and cached views dropped
+    /// by dirty-region invalidation after a publish.
+    obs::Counter* update_requests = nullptr;
+    obs::Counter* update_applied = nullptr;
+    obs::Counter* update_denied = nullptr;
+    obs::Counter* update_failed = nullptr;
+    obs::Counter* update_ops = nullptr;
+    obs::Counter* update_relabel_incremental = nullptr;
+    obs::Counter* update_relabel_full = nullptr;
+    obs::Counter* update_cache_invalidations = nullptr;
     /// Lazily-populated per-status response counters
     /// (`xmlsec_http_responses_total{status="..."}`).
     mutable std::mutex status_mutex;
@@ -308,8 +347,15 @@ class SecureDocumentServer {
 
   /// RCU-published repository: readers snapshot the `shared_ptr` once
   /// per request (one small critical section), writers swap it whole.
+  /// `mutable`: the write path (`HandleUpdate`, const like every
+  /// request entry point) publishes the post-batch snapshot.
   mutable std::mutex repository_mutex_;
-  std::shared_ptr<const Repository> repository_;
+  mutable std::shared_ptr<const Repository> repository_;
+  /// Serializes write batches (`HandleUpdate`): each batch applies
+  /// against the snapshot current at its turn, so two concurrent writers
+  /// cannot publish snapshots that each miss the other's mutation.
+  /// Readers never take this mutex.
+  mutable std::mutex update_mutex_;
   const UserDirectory* users_;
   const authz::GroupStore* groups_;
   ServerConfig config_;

@@ -29,11 +29,6 @@ int MsUntil(EventLoop::Clock::time_point now,
   return static_cast<int>(ms);
 }
 
-bool HeadComplete(const std::string& head) {
-  return head.find("\r\n\r\n") != std::string::npos ||
-         head.find("\n\n") != std::string::npos;
-}
-
 }  // namespace
 
 EventLoop::EventLoop(int index, const EventLoopShared* shared,
@@ -322,7 +317,19 @@ void EventLoop::OnReadable(int fd, Connection& conn) {
       return;
     }
     conn.head.append(buffer, static_cast<size_t>(n));
-    if (conn.head.size() > shared_->max_request_head) {
+    HttpRequestScan scan = ScanHttpRequest(conn.head);
+    if (!scan.head_complete) {
+      if (conn.head.size() > shared_->max_request_head) {
+        shared_->oversized_heads->Inc();
+        shared_->status_431->Inc();
+        StartResponse(fd, conn,
+                      BuildHttpResponse(431, "Request Header Fields Too Large",
+                                        "text/plain", ""));
+        return;
+      }
+      continue;
+    }
+    if (scan.head_end > shared_->max_request_head) {
       shared_->oversized_heads->Inc();
       shared_->status_431->Inc();
       StartResponse(fd, conn,
@@ -330,7 +337,17 @@ void EventLoop::OnReadable(int fd, Connection& conn) {
                                       "text/plain", ""));
       return;
     }
-    if (HeadComplete(conn.head)) {
+    // Reject from the declared Content-Length alone — before buffering
+    // body bytes past the cap.
+    if (scan.content_length > shared_->max_request_body) {
+      shared_->oversized_bodies->Inc();
+      shared_->status_413->Inc();
+      StartResponse(fd, conn,
+                    BuildHttpResponse(413, "Content Too Large",
+                                      "text/plain", ""));
+      return;
+    }
+    if (scan.complete) {
       Dispatch(fd, conn);
       return;
     }

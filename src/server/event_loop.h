@@ -45,6 +45,7 @@ struct EventLoopShared {
   int drain_timeout_ms = 2000;      ///< Stop(): in-flight grace period.
   int close_drain_ms = 100;         ///< post-response half-close drain
   size_t max_request_head = 64 * 1024;
+  size_t max_request_body = 1024 * 1024;
   int so_sndbuf = 0;  ///< SO_SNDBUF for accepted sockets; 0 = default
   /// Per-loop open-connection bound; a loop at its bound sheds new
   /// arrivals with `503 Retry-After` (the event-loop analogue of the
@@ -64,7 +65,9 @@ struct EventLoopShared {
   obs::Counter* read_timeouts = nullptr;
   obs::Counter* write_timeouts = nullptr;
   obs::Counter* oversized_heads = nullptr;
+  obs::Counter* oversized_bodies = nullptr;
   obs::Counter* status_408 = nullptr;
+  obs::Counter* status_413 = nullptr;
   obs::Counter* status_431 = nullptr;
   obs::Counter* status_503 = nullptr;
 };

@@ -7,10 +7,10 @@ namespace server {
 
 namespace {
 
-/// Hard caps on what the parser will even look at — the transport caps
-/// the head too, but the parser must stand on its own against oversized
-/// or degenerate input handed to it directly.
-constexpr size_t kMaxParsedHead = 1 << 20;  // 1 MiB
+/// Hard caps on what the parser will even look at — the transports cap
+/// head and body separately (and tighter), but the parser must stand on
+/// its own against oversized or degenerate input handed to it directly.
+constexpr size_t kMaxParsedRequest = 4 << 20;  // 4 MiB, body included
 constexpr size_t kMaxHeaderCount = 128;
 
 constexpr char kBase64Alphabet[] =
@@ -53,12 +53,26 @@ Status ParseQueryString(std::string_view text,
   return Status::OK();
 }
 
+/// Strict non-negative decimal; rejects empty input, signs, whitespace,
+/// and values over 2^53 (far beyond any transport cap).
+bool ParseContentLength(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 Result<HttpRequest> ParseHttpRequest(std::string_view text) {
-  if (text.size() > kMaxParsedHead) {
-    return Status::InvalidArgument("HTTP request head exceeds " +
-                                   std::to_string(kMaxParsedHead) + " bytes");
+  if (text.size() > kMaxParsedRequest) {
+    return Status::InvalidArgument("HTTP request exceeds " +
+                                   std::to_string(kMaxParsedRequest) +
+                                   " bytes");
   }
   if (text.find('\0') != std::string_view::npos) {
     return Status::ParseError("HTTP request head contains a NUL byte");
@@ -131,7 +145,64 @@ Result<HttpRequest> ParseHttpRequest(std::string_view text) {
     return Status::ParseError(
         "truncated HTTP request head (missing terminating blank line)");
   }
+  std::string_view rest = text.substr(pos);
+  auto cl = request.headers.find("content-length");
+  if (cl != request.headers.end()) {
+    uint64_t declared = 0;
+    if (!ParseContentLength(cl->second, &declared)) {
+      return Status::ParseError("malformed Content-Length '" + cl->second +
+                                "'");
+    }
+    if (rest.size() < declared) {
+      return Status::ParseError(
+          "truncated HTTP request body (Content-Length " + cl->second +
+          ", got " + std::to_string(rest.size()) + " bytes)");
+    }
+    rest = rest.substr(0, static_cast<size_t>(declared));
+  }
+  request.body = std::string(rest);
   return request;
+}
+
+HttpRequestScan ScanHttpRequest(std::string_view data) {
+  HttpRequestScan scan;
+  size_t crlf = data.find("\r\n\r\n");
+  size_t lf = data.find("\n\n");
+  if (crlf == std::string_view::npos && lf == std::string_view::npos) {
+    return scan;
+  }
+  scan.head_complete = true;
+  scan.head_end = crlf != std::string_view::npos &&
+                          (lf == std::string_view::npos || crlf < lf)
+                      ? crlf + 4
+                      : lf + 2;
+  // Case-insensitive Content-Length lookup over the head lines only; a
+  // malformed value reads as 0 so the buffer counts as complete and the
+  // parser rejects it after dispatch.
+  std::string_view head = data.substr(0, scan.head_end);
+  size_t pos = 0;
+  while (pos < head.size()) {
+    size_t end = head.find('\n', pos);
+    if (end == std::string_view::npos) end = head.size();
+    std::string_view line = head.substr(pos, end - pos);
+    pos = end + 1;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string name =
+        AsciiToLower(StripAsciiWhitespace(line.substr(0, colon)));
+    if (name != "content-length") continue;
+    std::string value(StripAsciiWhitespace(line.substr(colon + 1)));
+    if (!value.empty() && value.back() == '\r') value.pop_back();
+    uint64_t declared = 0;
+    if (ParseContentLength(value, &declared)) {
+      scan.content_length = declared;
+    }
+    break;
+  }
+  scan.complete =
+      data.size() >= scan.head_end &&
+      data.size() - scan.head_end >= scan.content_length;
+  return scan;
 }
 
 Result<std::pair<std::string, std::string>> ParseBasicAuth(

@@ -22,17 +22,37 @@ struct HttpRequest {
   std::map<std::string, std::string> headers;
   /// Decoded query parameters.
   std::map<std::string, std::string> query;
+  /// Entity body (POST /update).  Clipped to Content-Length when the
+  /// header is present; everything after the blank line otherwise.
+  std::string body;
 };
 
-/// Parses an HTTP/1.0 / 1.1 request head (request line + headers, up to
-/// the blank line).  Percent-decodes the path and query parameters.
+/// Parses an HTTP/1.0 / 1.1 request: request line + headers, plus the
+/// entity body after the blank line (the write path POSTs update
+/// batches).  Percent-decodes the path and query parameters.
 ///
 /// Hardened against adversarial input: rejects embedded NUL bytes,
-/// heads missing the terminating blank line (truncated reads), oversized
-/// heads, unbounded header counts, control characters in the request
-/// target, and malformed percent-escapes — each with a clean
+/// requests missing the terminating blank line (truncated reads),
+/// oversized input, unbounded header counts, control characters in the
+/// request target, malformed percent-escapes, and bodies shorter than
+/// their declared Content-Length — each with a clean
 /// `ParseError`/`InvalidArgument` instead of a silent mis-parse.
 Result<HttpRequest> ParseHttpRequest(std::string_view text);
+
+/// Completeness scan of an accumulating raw request buffer — how the
+/// transports (blocking reader and event loop) decide when to stop
+/// reading and dispatch, without parsing the full request per byte
+/// batch.
+struct HttpRequestScan {
+  bool head_complete = false;  ///< blank line seen
+  size_t head_end = 0;         ///< offset one past the blank line
+  /// Declared Content-Length (0 when absent or malformed — a malformed
+  /// value is left for `ParseHttpRequest` to reject after dispatch).
+  uint64_t content_length = 0;
+  /// Head complete and `content_length` body bytes buffered.
+  bool complete = false;
+};
+HttpRequestScan ScanHttpRequest(std::string_view data);
 
 /// Extracts "user:password" from a `Basic` Authorization header value.
 /// Returns InvalidArgument on malformed input.

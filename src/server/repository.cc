@@ -33,9 +33,15 @@ Status Repository::AddDtd(std::string_view uri, std::string_view text) {
                                  "' already registered");
   }
   XMLSEC_ASSIGN_OR_RETURN(std::unique_ptr<xml::Dtd> dtd, xml::ParseDtd(text));
-  dtds_.emplace(std::string(uri), std::move(dtd));
+  dtds_.emplace(std::string(uri),
+                std::shared_ptr<const xml::Dtd>(std::move(dtd)));
   dtd_texts_.emplace(std::string(uri), std::string(text));
   Bump();
+  // Documents already bound to this URI (re-registration orders) get new
+  // schema context; their cached views must go stale.
+  for (auto& [doc_uri, entry] : documents_) {
+    if (entry.dtd_uri == uri) entry.doc_version = version_;
+  }
   return Status::OK();
 }
 
@@ -84,9 +90,10 @@ Status Repository::AddDocument(std::string_view uri, std::string_view text,
     XMLSEC_RETURN_IF_ERROR(xml::ValidateDocument(doc.get()));
     doc->Reindex();  // Defaulted attributes got added.
   }
-  entry.document = std::move(doc);
-  documents_.emplace(std::string(uri), std::move(entry));
+  entry.document = std::shared_ptr<const xml::Document>(std::move(doc));
   Bump();
+  entry.doc_version = version_;
+  documents_.emplace(std::string(uri), std::move(entry));
   return Status::OK();
 }
 
@@ -109,6 +116,7 @@ Status Repository::SetDocumentPolicy(std::string_view doc_uri,
   }
   it->second.policy = policy;
   Bump();
+  it->second.doc_version = version_;
   return Status::OK();
 }
 
@@ -145,12 +153,17 @@ Status Repository::AddAuthorization(const authz::Authorization& auth) {
     ++authorization_count_;
     Bump();
     has_time_limited_auths_ |= time_limited;
+    // A schema authorization reaches every document governed by the DTD.
+    for (auto& [doc_uri, entry] : documents_) {
+      if (entry.dtd_uri == uri) entry.doc_version = version_;
+    }
     return Status::OK();
   }
   if (documents_.find(uri) != documents_.end()) {
     instance_auths_[uri].push_back(auth);
     ++authorization_count_;
     Bump();
+    TouchDocument(uri);
     has_time_limited_auths_ |= time_limited;
     return Status::OK();
   }
@@ -204,6 +217,7 @@ Status Repository::ReplaceDocument(std::string_view uri,
   }
   documents_.find(uri)->second.policy = saved_policy;
   Bump();
+  TouchDocument(uri);
   return Status::OK();
 }
 
@@ -213,7 +227,40 @@ Status Repository::ClearInstanceAuths(std::string_view doc_uri) {
   authorization_count_ -= it->second.size();
   instance_auths_.erase(it);
   Bump();
+  TouchDocument(doc_uri);
   return Status::OK();
+}
+
+void Repository::TouchDocument(std::string_view doc_uri) {
+  auto it = documents_.find(doc_uri);
+  if (it != documents_.end()) it->second.doc_version = version_;
+}
+
+uint64_t Repository::DocumentVersion(std::string_view doc_uri) const {
+  auto it = documents_.find(doc_uri);
+  return it == documents_.end() ? 0 : it->second.doc_version;
+}
+
+Result<std::unique_ptr<Repository>> Repository::WithUpdatedDocument(
+    std::string_view doc_uri, std::unique_ptr<xml::Document> doc) const {
+  auto it = documents_.find(doc_uri);
+  if (it == documents_.end()) {
+    return Status::NotFound("document '" + std::string(doc_uri) +
+                            "' is not registered");
+  }
+  if (doc == nullptr || doc->root() == nullptr) {
+    return Status::InvalidArgument("updated document has no root element");
+  }
+  // Copy shares every shared_ptr'd resource; only the metadata maps are
+  // duplicated.  The new snapshot gets its own process-globally-unique
+  // version, and ONLY the replaced document's entry is restamped —
+  // cached views of every other document stay valid across the swap.
+  auto next = std::unique_ptr<Repository>(new Repository(*this));
+  next->Bump();
+  DocumentEntry& entry = next->documents_.find(doc_uri)->second;
+  entry.document = std::shared_ptr<const xml::Document>(std::move(doc));
+  entry.doc_version = next->version_;
+  return next;
 }
 
 std::span<const authz::Authorization> Repository::InstanceAuths(

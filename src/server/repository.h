@@ -99,21 +99,50 @@ class Repository {
   /// with the version a cached view or automaton was stamped with.
   uint64_t version() const { return version_; }
 
+  /// Version of one document: the repository version at the last
+  /// mutation that could change this document's views — its content, its
+  /// policy, an instance authorization on it, or a schema authorization
+  /// on its DTD.  Drawn from the same process-globally-unique counter as
+  /// `version()`, so cache entries stamped with it stay valid across a
+  /// copy-on-write snapshot swap when *their* document was untouched
+  /// (dirty-region invalidation), and can never collide across
+  /// repositories.  0 for unknown documents.
+  uint64_t DocumentVersion(std::string_view doc_uri) const;
+
+  /// Copy-on-write snapshot for the write path: a new repository that
+  /// shares every stored resource with this one except `doc_uri`, whose
+  /// content becomes `doc` (already validated by the caller — the update
+  /// processor re-validates against the DTD before publishing).
+  /// Authorizations, policies, and other documents keep their versions;
+  /// only the replaced document's version advances.
+  Result<std::unique_ptr<Repository>> WithUpdatedDocument(
+      std::string_view doc_uri, std::unique_ptr<xml::Document> doc) const;
+
   /// True when any stored authorization carries a validity window;
   /// cached views would then be time-dependent and must be bypassed.
   bool has_time_limited_auths() const { return has_time_limited_auths_; }
 
  private:
+  /// Shares documents and DTDs, copies the rest — only
+  /// `WithUpdatedDocument` may copy (stored resources are immutable
+  /// once registered, which is what makes sharing sound).
+  Repository(const Repository&) = default;
+
   /// Advances `version_` to the next process-globally-unique value.
   void Bump();
 
+  /// Stamps `doc_uri`'s entry with the current version (no-op when the
+  /// document is unknown).
+  void TouchDocument(std::string_view doc_uri);
+
   struct DocumentEntry {
-    std::unique_ptr<xml::Document> document;
+    std::shared_ptr<const xml::Document> document;
     std::string dtd_uri;
     std::optional<authz::PolicyOptions> policy;
+    uint64_t doc_version = 0;
   };
 
-  std::map<std::string, std::unique_ptr<xml::Dtd>, std::less<>> dtds_;
+  std::map<std::string, std::shared_ptr<const xml::Dtd>, std::less<>> dtds_;
   std::map<std::string, std::string, std::less<>> dtd_texts_;
   std::map<std::string, DocumentEntry, std::less<>> documents_;
   std::map<std::string, std::vector<authz::Authorization>, std::less<>>

@@ -15,6 +15,7 @@
 
 #include "common/str_util.h"
 #include "server/event_loop.h"
+#include "server/http.h"
 
 namespace xmlsec {
 namespace server {
@@ -104,6 +105,10 @@ TcpHttpListener::TcpHttpListener(const SecureDocumentServer* server,
   oversized_heads_c_ = registry_->GetCounter(
       "xmlsec_listener_oversized_heads_total",
       "request heads rejected with 431 (incremental head cap)");
+  oversized_bodies_c_ = registry_->GetCounter(
+      "xmlsec_listener_oversized_bodies_total",
+      "request bodies rejected with 413 (declared or streamed past the "
+      "body cap)");
   health_checks_c_ = registry_->GetCounter(
       "xmlsec_listener_health_checks_total", "GET /healthz probes served");
   metrics_scrapes_c_ = registry_->GetCounter(
@@ -118,6 +123,9 @@ TcpHttpListener::TcpHttpListener(const SecureDocumentServer* server,
   status_408_ = registry_->GetCounter("xmlsec_http_responses_total",
                                       "HTTP responses by status code",
                                       {{"status", "408"}});
+  status_413_ = registry_->GetCounter("xmlsec_http_responses_total",
+                                      "HTTP responses by status code",
+                                      {{"status", "413"}});
   status_431_ = registry_->GetCounter("xmlsec_http_responses_total",
                                       "HTTP responses by status code",
                                       {{"status", "431"}});
@@ -139,6 +147,7 @@ void TcpHttpListener::CaptureBaselines() {
   read_timeouts_base_ = read_timeouts_c_->Value();
   write_timeouts_base_ = write_timeouts_c_->Value();
   oversized_heads_base_ = oversized_heads_c_->Value();
+  oversized_bodies_base_ = oversized_bodies_c_->Value();
   health_checks_base_ = health_checks_c_->Value();
   metrics_scrapes_base_ = metrics_scrapes_c_->Value();
   reloads_base_ = reloads_c_->Value();
@@ -327,13 +336,16 @@ Status TcpHttpListener::StartEventLoops(uint16_t port) {
   shared->write_timeout_ms = config_.write_timeout_ms;
   shared->drain_timeout_ms = config_.drain_timeout_ms;
   shared->max_request_head = config_.max_request_head;
+  shared->max_request_body = config_.max_request_body;
   shared->so_sndbuf = config_.so_sndbuf;
   shared->max_connections = std::max<size_t>(1, config_.accept_queue_limit);
   shared->shed = shed_;
   shared->read_timeouts = read_timeouts_c_;
   shared->write_timeouts = write_timeouts_c_;
   shared->oversized_heads = oversized_heads_c_;
+  shared->oversized_bodies = oversized_bodies_c_;
   shared->status_408 = status_408_;
+  shared->status_413 = status_413_;
   shared->status_431 = status_431_;
   shared->status_503 = status_503_;
 
@@ -530,13 +542,26 @@ bool TcpHttpListener::ReadHead(int connection_fd, std::string* head,
                          std::max(0, config_.read_timeout_ms));
   char buffer[4096];
   for (;;) {
-    if (head->size() > config_.max_request_head) {
-      *error_status = 431;
-      return false;
-    }
-    if (head->find("\r\n\r\n") != std::string::npos ||
-        head->find("\n\n") != std::string::npos) {
-      return true;
+    HttpRequestScan scan = ScanHttpRequest(*head);
+    if (!scan.head_complete) {
+      // Still reading headers: the incremental cap applies to every
+      // byte buffered so far.
+      if (head->size() > config_.max_request_head) {
+        *error_status = 431;
+        return false;
+      }
+    } else {
+      if (scan.head_end > config_.max_request_head) {
+        *error_status = 431;
+        return false;
+      }
+      // Reject an oversized body from the declared Content-Length alone
+      // — before buffering a single body byte past the cap.
+      if (scan.content_length > config_.max_request_body) {
+        *error_status = 413;
+        return false;
+      }
+      if (scan.complete) return true;
     }
     int remaining = RemainingMs(config_.read_timeout_ms, deadline);
     if (remaining == 0) {
@@ -670,6 +695,11 @@ void TcpHttpListener::ServeConnection(int connection_fd) {
       WriteAll(connection_fd,
                BuildHttpResponse(431, "Request Header Fields Too Large",
                                  "text/plain", ""));
+    } else if (error_status == 413) {
+      oversized_bodies_c_->Inc();
+      status_413_->Inc();
+      WriteAll(connection_fd,
+               BuildHttpResponse(413, "Content Too Large", "text/plain", ""));
     }
     return;  // error_status 0: peer gone, nothing to answer.
   }

@@ -66,6 +66,11 @@ struct ListenerConfig {
   /// Request-head cap, enforced incrementally while reading; exceeding
   /// it answers `431 Request Header Fields Too Large`.
   size_t max_request_head = 64 * 1024;
+  /// Entity-body cap (POST /update batches), checked against the
+  /// declared Content-Length as soon as the head completes and
+  /// incrementally while the body streams in; exceeding it answers
+  /// `413 Content Too Large`.
+  size_t max_request_body = 1024 * 1024;
   /// `SO_SNDBUF` applied to accepted connections (0 = kernel default
   /// with auto-tuning).  Production leaves this 0; the deterministic
   /// slow-reader tests pin it small so a response reliably overflows
@@ -165,6 +170,9 @@ class TcpHttpListener {
   int64_t oversized_heads() const {
     return Delta(oversized_heads_c_, oversized_heads_base_);
   }
+  int64_t oversized_bodies() const {
+    return Delta(oversized_bodies_c_, oversized_bodies_base_);
+  }
   int64_t health_checks() const {
     return Delta(health_checks_c_, health_checks_base_);
   }
@@ -198,10 +206,11 @@ class TcpHttpListener {
   /// runs inline) or the document path — updating the endpoint
   /// counters.  Shared by both serving modes.  Empty head => "".
   std::string RespondToHead(const std::string& head, int connection_fd);
-  /// Reads the request head with the incremental size cap and read
-  /// deadline.  Returns true with the head on success; on failure
-  /// `*error_status` is 408 (deadline), 431 (oversize), or 0 (peer gone,
-  /// nothing to answer).
+  /// Reads the full request — head plus any Content-Length body — with
+  /// the incremental size caps and read deadline.  Returns true with the
+  /// raw request on success; on failure `*error_status` is 408
+  /// (deadline), 431 (head oversize), 413 (declared body over
+  /// `max_request_body`), or 0 (peer gone, nothing to answer).
   bool ReadHead(int connection_fd, std::string* head, int* error_status);
   /// EINTR-safe, poll-paced full write with the write deadline;
   /// tolerates short writes.  False when the peer is gone or the
@@ -253,11 +262,13 @@ class TcpHttpListener {
   obs::Counter* read_timeouts_c_ = nullptr;
   obs::Counter* write_timeouts_c_ = nullptr;
   obs::Counter* oversized_heads_c_ = nullptr;
+  obs::Counter* oversized_bodies_c_ = nullptr;
   obs::Counter* health_checks_c_ = nullptr;
   obs::Counter* metrics_scrapes_c_ = nullptr;
   obs::Counter* reloads_c_ = nullptr;
   obs::Counter* reload_failures_c_ = nullptr;
   obs::Counter* status_408_ = nullptr;  ///< listener-generated responses
+  obs::Counter* status_413_ = nullptr;
   obs::Counter* status_431_ = nullptr;
   obs::Counter* status_503_ = nullptr;
   obs::Gauge* queue_depth_g_ = nullptr;
@@ -267,6 +278,7 @@ class TcpHttpListener {
   int64_t read_timeouts_base_ = 0;
   int64_t write_timeouts_base_ = 0;
   int64_t oversized_heads_base_ = 0;
+  int64_t oversized_bodies_base_ = 0;
   int64_t health_checks_base_ = 0;
   int64_t metrics_scrapes_base_ = 0;
   int64_t reloads_base_ = 0;

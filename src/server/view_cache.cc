@@ -106,6 +106,28 @@ void ViewCache::Clear() {
   }
 }
 
+int64_t ViewCache::InvalidateDocument(std::string_view uri) {
+  int64_t dropped = 0;
+  // Keys order by uri first, so a document's entries are one contiguous
+  // run per shard.
+  Key probe;
+  probe.uri = std::string(uri);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.lower_bound(probe);
+    while (it != shard.entries.end() && it->first.uri == probe.uri) {
+      shard.lru.erase(it->second.lru_position);
+      it = shard.entries.erase(it);
+      ++dropped;
+    }
+  }
+  if (dropped > 0) {
+    evictions_.fetch_add(dropped, std::memory_order_relaxed);
+    if (metric_evictions_ != nullptr) metric_evictions_->Inc(dropped);
+  }
+  return dropped;
+}
+
 void ViewCache::BindMetrics(obs::Counter* hits, obs::Counter* misses,
                             obs::Counter* evictions) {
   metric_hits_ = hits;

@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
@@ -83,6 +84,14 @@ class ViewCache {
   /// is an invalidation, and flushing must not make the eviction
   /// counters understate cache churn.
   void Clear();
+
+  /// Dirty-region invalidation for the write path: drops only entries
+  /// keyed by `uri`, leaving every other document's cached views in
+  /// place.  Returns the number of entries dropped (also counted as
+  /// evictions).  Entries are additionally version-stamped per
+  /// document, so this is an eager reclaim on top of the stale-stamp
+  /// check, not the only line of defense.
+  int64_t InvalidateDocument(std::string_view uri);
 
   /// Mirrors hit/miss/eviction tallies into registry counters (the
   /// observability subsystem).  Pass nullptrs to detach.  The counters

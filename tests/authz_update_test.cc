@@ -39,8 +39,14 @@ class UpdateTest : public ::testing::Test {
 
   Result<UpdateOutcome> Apply(const std::vector<Authorization>& auths,
                               const std::vector<UpdateOp>& ops) {
+    return Apply(auths, {}, ops);
+  }
+
+  Result<UpdateOutcome> Apply(const std::vector<Authorization>& auths,
+                              const std::vector<Authorization>& schema,
+                              const std::vector<UpdateOp>& ops) {
     UpdateProcessor processor(&groups_);
-    return processor.Apply(*doc_, auths, {}, requester_, ops,
+    return processor.Apply(*doc_, auths, schema, requester_, ops,
                            /*validate_result=*/false);
   }
 
@@ -116,7 +122,76 @@ TEST_F(UpdateTest, ExplicitAttributeDenialBlocksOnlyThatAttribute) {
   ASSERT_TRUE(allowed.ok()) << allowed.status();
 }
 
+TEST_F(UpdateTest, NewAttributeConsultsSchemaLevelAttributeDenials) {
+  // Regression (fail-open kSetAttribute): creating a NEW attribute
+  // used to be admitted under the element's sign alone, so a
+  // schema-scoped denial on the attribute could be bypassed by
+  // delete-then-recreate.  The created attribute is now re-labeled and
+  // checked under its own authorizations.  The instance grant is WEAK
+  // so the schema-level denial binds (paper tuple order
+  // L, R, LD, RD, LW, RW).
+  std::vector<Authorization> instance = {
+      WriteAuth("Clerks", "//item", Sign::kPlus, AuthType::kRecursiveWeak)};
+  std::vector<Authorization> schema = {
+      WriteAuth("Clerks", "//item/@price", Sign::kMinus, AuthType::kLocal)};
+  UpdateOp op;
+  op.kind = UpdateOpKind::kSetAttribute;
+  op.target = "//item[@sku=\"A1\"]";
+  op.name = "price";
+  op.value = "0";
+  auto outcome = Apply(instance, schema, {op});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kPermissionDenied);
+  // An undenied new attribute on the same element is fine.
+  op.name = "bin";
+  op.value = "7";
+  auto allowed = Apply(instance, schema, {op});
+  ASSERT_TRUE(allowed.ok()) << allowed.status();
+  EXPECT_NE(Compact(*allowed->document).find("bin=\"7\""), std::string::npos);
+}
+
+TEST_F(UpdateTest, DeleteThenRecreateCannotBypassAttributeDenial) {
+  // The full bypass recipe as one batch: remove the protected
+  // attribute, then recreate it with a chosen value.  Either leg must
+  // deny, and the batch is atomic — the original document is intact.
+  std::vector<Authorization> auths = {
+      WriteAuth("Clerks", "//item", Sign::kPlus, AuthType::kRecursive),
+      WriteAuth("Clerks", "//item/@sku", Sign::kMinus, AuthType::kLocal)};
+  UpdateOp remove;
+  remove.kind = UpdateOpKind::kRemoveAttribute;
+  remove.target = "//item[@qty=\"3\"]";
+  remove.name = "sku";
+  UpdateOp recreate;
+  recreate.kind = UpdateOpKind::kSetAttribute;
+  recreate.target = "//item[@qty=\"3\"]";
+  recreate.name = "sku";
+  recreate.value = "A9";
+  auto outcome = Apply(auths, {remove, recreate});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(Compact(*doc_).find("sku=\"A1\""), std::string::npos);
+  EXPECT_EQ(Compact(*doc_).find("A9"), std::string::npos);
+}
+
 TEST_F(UpdateTest, InsertChildFragment) {
+  UpdateOp op;
+  op.kind = UpdateOpKind::kInsertChild;
+  op.target = "/inventory";
+  op.fragment = "<item sku=\"C3\" qty=\"1\"><desc>washers</desc></item>";
+  // The grant must cover the whole inserted subtree, not just the
+  // insertion point — hence Recursive.
+  auto outcome = Apply(
+      {WriteAuth("Clerks", "/inventory", Sign::kPlus, AuthType::kRecursive)},
+      {op});
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_NE(Compact(*outcome->document).find("washers"), std::string::npos);
+}
+
+TEST_F(UpdateTest, InsertSubtreeCheckedBeyondInsertionPoint) {
+  // Regression (fail-open kInsertChild): a Local grant on the parent
+  // used to admit an ARBITRARY subtree because only the insertion
+  // point was checked.  Every inserted node must now carry a write
+  // `+`; the ε on the fragment's descendants denies fail-closed.
   UpdateOp op;
   op.kind = UpdateOpKind::kInsertChild;
   op.target = "/inventory";
@@ -124,8 +199,26 @@ TEST_F(UpdateTest, InsertChildFragment) {
   auto outcome = Apply(
       {WriteAuth("Clerks", "/inventory", Sign::kPlus, AuthType::kLocal)},
       {op});
-  ASSERT_TRUE(outcome.ok()) << outcome.status();
-  EXPECT_NE(Compact(*outcome->document).find("washers"), std::string::npos);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(UpdateTest, InsertCannotSmuggleExplicitlyDeniedNodes) {
+  // Regression (fail-open kInsertChild): even under a recursive grant,
+  // an explicit `-` inside the would-be subtree must win — the denial
+  // is evaluated against the POST-mutation labeling.
+  std::vector<Authorization> auths = {
+      WriteAuth("Clerks", "/inventory", Sign::kPlus, AuthType::kRecursive),
+      WriteAuth("Clerks", "//audit", Sign::kMinus, AuthType::kRecursive)};
+  UpdateOp op;
+  op.kind = UpdateOpKind::kInsertChild;
+  op.target = "/inventory";
+  op.fragment = "<item sku=\"C3\"><audit>forged</audit></item>";
+  auto outcome = Apply(auths, {op});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kPermissionDenied);
+  // The denial leaves the original document untouched.
+  EXPECT_EQ(Compact(*doc_).find("forged"), std::string::npos);
 }
 
 TEST_F(UpdateTest, InsertChildAtAnchor) {

@@ -12,6 +12,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <string>
@@ -130,6 +131,13 @@ class ChaosTest : public ::testing::TestWithParam<int> {
                         "object=\"laboratory.xml\" "
                         "path='//paper[./@category=&quot;private&quot;]' "
                         "sign=\"-\" type=\"R\"/>"
+                        // Write grant for the update-path chaos scenarios:
+                        // the batches below MUST be policy-legal, so the
+                        // only thing standing between them and a publish
+                        // is the fault under test.
+                        "<authorization subject=\"Public\" "
+                        "object=\"CSlab.xml\" path=\"/laboratory\" "
+                        "sign=\"+\" action=\"write\" type=\"R\"/>"
                         "</xacl>")
                     .ok());
     // Every chaos scenario runs with the durable WAL attached in
@@ -185,6 +193,20 @@ class ChaosTest : public ::testing::TestWithParam<int> {
     if (!query.empty()) target += "?query=" + std::string(query);
     return "GET " + target + " HTTP/1.0\r\nAuthorization: Basic " +
            Base64Encode("tom:secret") + "\r\n\r\n";
+  }
+
+  /// A policy-legal write batch: retitles the public paper "Tampered".
+  /// Under any injected fault the word "Tampered" must NEVER become
+  /// visible to a later read — that is the "no audit, no write" probe.
+  std::string UpdateRequest() const {
+    std::string body =
+        "<update><set-text "
+        "target='//paper[./@category=\"public\"]/title'>Tampered"
+        "</set-text></update>";
+    return "POST /update/CSlab.xml HTTP/1.0\r\nAuthorization: Basic " +
+           Base64Encode("tom:secret") +
+           "\r\nContent-Length: " + std::to_string(body.size()) + "\r\n\r\n" +
+           body;
   }
 
   Repository repo_;
@@ -345,7 +367,20 @@ TEST_P(ChaosTest, FailpointSweepProvesFailClosed) {
   // plain view request of each iteration still covers every
   // materialized-path site.
   server_config.query_path = QueryPathMode::kRewrite;
+  server_config.enable_updates = true;  // Sweep the write path too.
   StartServer(server_config, {});
+
+  // Sites the write path passes through BEFORE its publish step: with
+  // the fault armed, an otherwise-legal update batch MUST be refused.
+  // Only these sites get an update probe — a fault-free update would
+  // SUCCEED and publish a cloned repository, detaching `repo_` (a
+  // non-owning alias) from the served snapshot and defeating the
+  // cold-cache version bump below.
+  constexpr std::string_view kWriteMustFail[] = {
+      "repo.find_document", "repo.instance_auths", "repo.schema_auths",
+      "update.apply",       "update.publish",      "server.audit",
+      "audit.wal_write",    "audit.wal_fsync",
+  };
 
   for (std::string_view site : failpoint::Sites()) {
     if (site == "xml.parse") continue;      // Registration-time; below.
@@ -363,10 +398,16 @@ TEST_P(ChaosTest, FailpointSweepProvesFailClosed) {
                     .ok());
     failpoint::Enable(site);
 
-    // Both a plain view request and a query request, so query-path
-    // sites fire too.
-    for (const std::string& request :
-         {AuthorizedRequest(), AuthorizedRequest("//title")}) {
+    // A plain view request and a query request, so query-path sites
+    // fire too; on write-path sites an update probe rides along and
+    // must be refused before anything publishes.
+    std::vector<std::string> requests = {AuthorizedRequest(),
+                                         AuthorizedRequest("//title")};
+    const bool write_must_fail =
+        std::find(std::begin(kWriteMustFail), std::end(kWriteMustFail),
+                  site) != std::end(kWriteMustFail);
+    if (write_must_fail) requests.push_back(UpdateRequest());
+    for (const std::string& request : requests) {
       auto response = FetchHttp(listener_->port(), request);
       ASSERT_TRUE(response.ok()) << response.status();
       // The fail-closed property: no response under fault may contain
@@ -382,6 +423,16 @@ TEST_P(ChaosTest, FailpointSweepProvesFailClosed) {
               << *response;
         }
       }
+    }
+    if (write_must_fail) {
+      // The faulted update must not have landed: the public paper
+      // keeps its original title on a post-fault read.
+      failpoint::Disable(site);
+      auto after = FetchHttp(listener_->port(), AuthorizedRequest());
+      ASSERT_TRUE(after.ok());
+      EXPECT_EQ(after->find("Tampered"), std::string::npos)
+          << "write landed despite failpoint " << site;
+      failpoint::Enable(site);
     }
 
     // Sites on the mandatory path must actually have fired and denied.
@@ -400,6 +451,102 @@ TEST_P(ChaosTest, FailpointSweepProvesFailClosed) {
 
   // Every denial (and recovery) above is on the audit trail.
   EXPECT_GT(audit_.total_recorded(), 0);
+}
+
+TEST_P(ChaosTest, UpdateFailpointsRefuseWriteThenRecover) {
+  // "No audit, no write" in depth: a fault at either write-path site
+  // turns a policy-legal batch into a 5xx with an empty body, a later
+  // read sees the ORIGINAL document, and once the fault clears the
+  // identical batch applies and becomes visible.
+  ServerConfig server_config;
+  server_config.enable_updates = true;
+  StartServer(server_config, {});
+
+  for (std::string_view site : {"update.apply", "update.publish"}) {
+    SCOPED_TRACE(std::string(site));
+    failpoint::Enable(site);
+    auto response = FetchHttp(listener_->port(), UpdateRequest());
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_NE(response->find("HTTP/1.0 5"), std::string::npos)
+        << "faulted write not refused: " << *response;
+    EXPECT_NE(response->find("Content-Length: 0"), std::string::npos)
+        << "5xx body must be empty: " << *response;
+    EXPECT_GT(failpoint::TriggerCount(site), 0);
+    failpoint::Disable(site);
+
+    auto view = FetchHttp(listener_->port(), AuthorizedRequest());
+    ASSERT_TRUE(view.ok());
+    EXPECT_NE(view->find("Known"), std::string::npos);
+    EXPECT_EQ(view->find("Tampered"), std::string::npos)
+        << "refused write became visible after failpoint " << site;
+  }
+
+  // Fault cleared: the same batch now lands, atomically and audibly.
+  auto ok = FetchHttp(listener_->port(), UpdateRequest());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_NE(ok->find("200 OK"), std::string::npos) << *ok;
+  EXPECT_NE(ok->find("<update-result"), std::string::npos);
+  auto view = FetchHttp(listener_->port(), AuthorizedRequest());
+  ASSERT_TRUE(view.ok());
+  EXPECT_NE(view->find("Tampered"), std::string::npos)
+      << "fault-free write did not publish";
+  EXPECT_EQ(view->find("Secret"), std::string::npos);
+  EXPECT_GT(audit_.total_recorded(), 0);
+}
+
+TEST_P(ChaosTest, WalFaultRefusesWritesEvenInMemoryAuditMode) {
+  // Reads may degrade to memory-only auditing when the WAL fails;
+  // writes may NOT — a mutation whose durable record is lost cannot be
+  // recomputed, so the write path stays fail-closed in EVERY mode.
+  ServerConfig server_config;
+  server_config.enable_updates = true;
+  server_config.audit_degraded_mode = AuditDegradedMode::kMemoryAudit;
+  StartServer(server_config, {});
+
+  failpoint::Enable("audit.wal_write");
+  auto refused = FetchHttp(listener_->port(), UpdateRequest());
+  ASSERT_TRUE(refused.ok()) << refused.status();
+  EXPECT_NE(refused->find("HTTP/1.0 503"), std::string::npos)
+      << "write accepted without a durable audit record: " << *refused;
+  // A read under the same fault degrades but still serves (that is what
+  // kMemoryAudit is for) — and still never leaks.
+  auto read = FetchHttp(listener_->port(), AuthorizedRequest());
+  ASSERT_TRUE(read.ok());
+  EXPECT_NE(read->find("200 OK"), std::string::npos)
+      << "degraded-mode read should still serve: " << *read;
+  EXPECT_EQ(read->find("Secret"), std::string::npos);
+  failpoint::Disable("audit.wal_write");
+
+  auto after = FetchHttp(listener_->port(), AuthorizedRequest());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->find("Tampered"), std::string::npos)
+      << "refused write became visible";
+}
+
+TEST_P(ChaosTest, OversizedUpdateBodyRefusedEarly) {
+  // A Content-Length beyond the body cap is refused with 413 before
+  // the server ever sees the batch — in both listener modes.
+  ServerConfig server_config;
+  server_config.enable_updates = true;
+  ListenerConfig config;
+  config.max_request_body = 512;
+  StartServer(server_config, config);
+
+  std::string body = "<update><set-text target='//title'>";
+  body.append(1024, 'x');
+  body += "</set-text></update>";
+  std::string request =
+      "POST /update/CSlab.xml HTTP/1.0\r\nAuthorization: Basic " +
+      Base64Encode("tom:secret") +
+      "\r\nContent-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
+  auto response = FetchHttp(listener_->port(), request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_NE(response->find("HTTP/1.0 413"), std::string::npos) << *response;
+
+  // An in-cap update on the same listener still works.
+  auto ok = FetchHttp(listener_->port(), UpdateRequest());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_NE(ok->find("200 OK"), std::string::npos) << *ok;
 }
 
 TEST_P(ChaosTest, MandatoryPathFailpointsDeny) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "server/document_server.h"
 #include "server/http.h"
 #include "server/repository.h"
@@ -587,6 +590,166 @@ TEST_F(ServerTest, HttpBadRequest) {
   SecureDocumentServer server(&repo_, &users_, &groups_);
   std::string response = server.HandleHttp("garbage", "1.2.3.4", "h");
   EXPECT_NE(response.find("400"), std::string::npos);
+}
+
+// --- POST /update ------------------------------------------------------
+
+/// ServerTest plus a write policy: everyone may write the laboratory
+/// tree, except the private paper (explicit instance-level carve-out,
+/// which suppresses the propagated grant on that subtree).
+class ServerUpdateTest : public ServerTest {
+ protected:
+  void SetUp() override {
+    ServerTest::SetUp();
+    ASSERT_TRUE(repo_.AddXacl(
+                        "<xacl>"
+                        "<authorization subject=\"Public\" "
+                        "object=\"CSlab.xml\" path=\"/laboratory\" "
+                        "sign=\"+\" action=\"write\" type=\"R\"/>"
+                        "<authorization subject=\"Foreign\" "
+                        "object=\"CSlab.xml\" "
+                        "path='//paper[./@category=&quot;private&quot;]' "
+                        "sign=\"-\" action=\"write\" type=\"R\"/>"
+                        "</xacl>")
+                    .ok());
+    config_.enable_updates = true;
+  }
+
+  std::string Post(SecureDocumentServer& server, const std::string& body,
+                   const std::string& uri = "CSlab.xml",
+                   const std::string& credentials = "tom:secret") {
+    std::string raw = "POST /update/" + uri +
+                      " HTTP/1.0\r\nAuthorization: Basic " +
+                      Base64Encode(credentials) +
+                      "\r\nContent-Length: " + std::to_string(body.size()) +
+                      "\r\n\r\n" + body;
+    return server.HandleHttp(raw, "130.100.50.8", "infosys.bld1.it");
+  }
+
+  std::string Get(SecureDocumentServer& server) {
+    std::string raw = "GET /CSlab.xml HTTP/1.0\r\nAuthorization: Basic " +
+                      Base64Encode("tom:secret") + "\r\n\r\n";
+    return server.HandleHttp(raw, "130.100.50.8", "infosys.bld1.it");
+  }
+
+  static std::string SetTitle(const std::string& category,
+                              const std::string& value) {
+    return "<update><set-text target='//paper[./@category=\"" + category +
+           "\"]/title'>" + value + "</set-text></update>";
+  }
+
+  ServerConfig config_;
+};
+
+TEST_F(ServerUpdateTest, UpdateAppliesAndBecomesVisible) {
+  SecureDocumentServer server(&repo_, &users_, &groups_, config_);
+  std::string response = Post(server, SetTitle("public", "Revised"));
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("<update-result ops=\"1\""), std::string::npos)
+      << response;
+  std::string view = Get(server);
+  EXPECT_NE(view.find("Revised"), std::string::npos) << view;
+  EXPECT_EQ(view.find("Known"), std::string::npos);
+#ifndef XMLSEC_METRICS_NOOP
+  EXPECT_EQ(server.metrics()->ValueOf("xmlsec_update_applied_total"), 1.0);
+  EXPECT_GE(server.metrics()->ValueOf("xmlsec_update_ops_applied_total"), 1.0);
+#endif
+}
+
+TEST_F(ServerUpdateTest, UpdatesDisabledByDefault) {
+  SecureDocumentServer server(&repo_, &users_, &groups_);
+  std::string response = Post(server, SetTitle("public", "Revised"));
+  EXPECT_NE(response.find("405"), std::string::npos) << response;
+  std::string view = Get(server);
+  EXPECT_NE(view.find("Known"), std::string::npos);
+}
+
+TEST_F(ServerUpdateTest, WriteDenialIs403AndMutatesNothing) {
+  SecureDocumentServer server(&repo_, &users_, &groups_, config_);
+  std::string response = Post(server, SetTitle("private", "Overwritten"));
+  EXPECT_NE(response.find("HTTP/1.0 403 Forbidden"), std::string::npos)
+      << response;
+  // The batch is atomic: a later read of the unrelated public paper
+  // still serves the original document.
+  std::string view = Get(server);
+  EXPECT_NE(view.find("Known"), std::string::npos);
+#ifndef XMLSEC_METRICS_NOOP
+  EXPECT_EQ(server.metrics()->ValueOf("xmlsec_update_denied_total"), 1.0);
+#endif
+}
+
+TEST_F(ServerUpdateTest, MalformedBatchIs400) {
+  SecureDocumentServer server(&repo_, &users_, &groups_, config_);
+  for (const std::string body :
+       {std::string("not xml"), std::string("<update/>"),
+        std::string("<update><bogus target=\"/x\"/></update>"),
+        std::string("<update><set-text>missing target</set-text></update>")}) {
+    std::string response = Post(server, body);
+    EXPECT_NE(response.find("HTTP/1.0 400"), std::string::npos) << response;
+  }
+}
+
+TEST_F(ServerUpdateTest, UnknownDocumentIs404) {
+  SecureDocumentServer server(&repo_, &users_, &groups_, config_);
+  std::string response =
+      Post(server, SetTitle("public", "Revised"), "nope.xml");
+  EXPECT_NE(response.find("HTTP/1.0 404"), std::string::npos) << response;
+}
+
+TEST_F(ServerUpdateTest, WrongPasswordIs401) {
+  SecureDocumentServer server(&repo_, &users_, &groups_, config_);
+  std::string response = Post(server, SetTitle("public", "Revised"),
+                              "CSlab.xml", "tom:wrong");
+  EXPECT_NE(response.find("HTTP/1.0 401"), std::string::npos) << response;
+}
+
+TEST_F(ServerUpdateTest, UpdateInvalidatesCachedViews) {
+  config_.view_cache_capacity = 8;
+  SecureDocumentServer server(&repo_, &users_, &groups_, config_);
+  std::string first = Get(server);
+  EXPECT_NE(first.find("Known"), std::string::npos);
+  // Warm hit.
+  Get(server);
+#ifndef XMLSEC_METRICS_NOOP
+  EXPECT_GE(server.metrics()->ValueOf("xmlsec_view_cache_hits_total"), 1.0);
+#endif
+  ASSERT_NE(Post(server, SetTitle("public", "Fresh")).find("200 OK"),
+            std::string::npos);
+  std::string after = Get(server);
+  EXPECT_NE(after.find("Fresh"), std::string::npos)
+      << "stale cached view served after update: " << after;
+  EXPECT_EQ(after.find("Known"), std::string::npos);
+#ifndef XMLSEC_METRICS_NOOP
+  EXPECT_GE(server.metrics()->ValueOf("xmlsec_update_cache_invalidations_total"),
+            1.0);
+#endif
+}
+
+TEST_F(ServerUpdateTest, ConcurrentWritersCompose) {
+  SecureDocumentServer server(&repo_, &users_, &groups_, config_);
+  constexpr int kWriters = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < kWriters; ++i) {
+    threads.emplace_back([&, i] {
+      std::string body =
+          "<update><insert target='//project' before='paper[1]'>"
+          "<member><fname>W" +
+          std::to_string(i) +
+          "</fname><lname>Writer</lname></member></insert></update>";
+      std::string response = Post(server, body);
+      if (response.find("200 OK") != std::string::npos) ++ok_count;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Writers serialize on the update mutex; every batch applies against
+  // the snapshot current at its turn, so all of them compose.
+  EXPECT_EQ(ok_count.load(), kWriters);
+  std::string view = Get(server);
+  for (int i = 0; i < kWriters; ++i) {
+    EXPECT_NE(view.find("W" + std::to_string(i)), std::string::npos)
+        << "lost write " << i;
+  }
 }
 
 }  // namespace

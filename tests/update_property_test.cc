@@ -1,0 +1,401 @@
+// Property suites for the write path (DESIGN.md, "The write path"):
+//
+//  * Incremental/full parity — for randomized documents, authorization
+//    mixes, and op batches, applying a batch with the compiled engine
+//    (incremental re-labeling when fully decidable) yields a
+//    byte-identical document, identical op counts, and identical
+//    error outcomes to the whole-document re-label path.
+//  * Batch oracle — a batch that applies equals the sequential
+//    composition of its operations applied one at a time.
+//  * Atomicity — a batch with a denied operation at ANY position
+//    mutates nothing: the caller's document is untouched and no
+//    partial outcome escapes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "analysis/policy_automaton.h"
+#include "authz/labeling.h"
+#include "authz/update.h"
+#include "workload/authgen.h"
+#include "workload/docgen.h"
+#include "xml/serializer.h"
+
+namespace xmlsec {
+namespace authz {
+namespace {
+
+using analysis::PolicyAutomaton;
+using workload::AuthGenConfig;
+using workload::DocGenConfig;
+using workload::GeneratedWorkload;
+using xml::Document;
+using xml::Element;
+using xml::Node;
+
+std::string Compact(const Document& doc) {
+  xml::SerializeOptions options;
+  options.xml_declaration = false;
+  return SerializeDocument(doc, options);
+}
+
+/// Absolute location path selecting exactly `el` (positional predicate
+/// per step), usable as an update target on the same document shape.
+std::string PathTo(const Element* el) {
+  std::string path;
+  const Element* cur = el;
+  while (cur != nullptr) {
+    const Node* parent = cur->parent();
+    int index = 1;
+    if (parent != nullptr) {
+      for (size_t i = 0; i < parent->child_count(); ++i) {
+        const Element* sib = parent->child(i)->AsElement();
+        if (sib == cur) break;
+        if (sib != nullptr && sib->tag() == cur->tag()) ++index;
+      }
+    }
+    path = "/" + cur->tag() + "[" + std::to_string(index) + "]" + path;
+    cur = parent == nullptr ? nullptr : parent->AsElement();
+  }
+  return path;
+}
+
+std::vector<const Element*> AllElements(const Document& doc) {
+  std::vector<const Element*> out;
+  xml::ForEachNode(static_cast<const Node*>(&doc), [&](const Node* n) {
+    if (const Element* el = n->AsElement()) out.push_back(el);
+  });
+  return out;
+}
+
+struct Scenario {
+  uint64_t seed;
+  int depth;
+  int fanout;
+  int auth_count;
+  int op_count;
+};
+
+void PrintTo(const Scenario& s, std::ostream* os) {
+  *os << "seed=" << s.seed << " depth=" << s.depth << " fanout=" << s.fanout
+      << " auths=" << s.auth_count << " ops=" << s.op_count;
+}
+
+class UpdatePropertyTest : public ::testing::TestWithParam<Scenario> {
+ protected:
+  void SetUp() override {
+    const Scenario& s = GetParam();
+    DocGenConfig doc_config;
+    doc_config.depth = s.depth;
+    doc_config.fanout = s.fanout;
+    doc_config.seed = s.seed;
+    doc_ = workload::GenerateDocument(doc_config);
+
+    AuthGenConfig auth_config;
+    auth_config.count = s.auth_count;
+    auth_config.seed = s.seed * 1000 + 17;
+    workload_ = workload::GenerateAuthorizations(*doc_, "d.xml", "s.dtd",
+                                                 auth_config);
+    // The generator emits read authorizations; the write path only
+    // considers write-action ones, so flip the whole policy.
+    for (Authorization& auth : workload_.instance_auths) {
+      auth.action = Action::kWrite;
+    }
+    for (Authorization& auth : workload_.schema_auths) {
+      auth.action = Action::kWrite;
+    }
+    // A broad base grant so random batches are not vacuously denied
+    // under the closed completeness policy; the generated negative
+    // authorizations still carve denied regions out of it.
+    Authorization base;
+    base.subject = *Subject::Make(workload_.requester.user, "*", "*");
+    base.object.uri = "d.xml";
+    base.object.path = "/" + std::string(doc_->root()->tag());
+    base.action = Action::kWrite;
+    base.sign = Sign::kPlus;
+    base.type = AuthType::kRecursive;
+    workload_.instance_auths.push_back(base);
+  }
+
+  /// A batch of `op_count` operations over existing nodes, sampled
+  /// deterministically from the scenario seed.  Deletions are kept at
+  /// the batch tail so earlier targets stay resolvable in the
+  /// sequential oracle.
+  std::vector<UpdateOp> RandomOps() {
+    const Scenario& s = GetParam();
+    std::mt19937_64 rng(s.seed * 7919 + 13);
+    std::vector<const Element*> elements = AllElements(*doc_);
+    auto pick = [&](size_t n) { return rng() % n; };
+    std::vector<UpdateOp> ops;
+    std::vector<UpdateOp> deletes;
+    for (int i = 0; i < s.op_count; ++i) {
+      const Element* el = elements[pick(elements.size())];
+      UpdateOp op;
+      op.target = PathTo(el);
+      switch (pick(5)) {
+        case 0:
+          op.kind = UpdateOpKind::kSetText;
+          op.value = "mutated-" + std::to_string(i);
+          ops.push_back(op);
+          break;
+        case 1: {
+          op.kind = UpdateOpKind::kSetAttribute;
+          if (!el->attributes().empty()) {
+            op.name = el->attributes()[pick(el->attributes().size())]->name();
+          } else {
+            op.name = "a0";
+          }
+          op.value = "v" + std::to_string(i);
+          ops.push_back(op);
+          break;
+        }
+        case 2: {
+          if (el->attributes().empty()) break;  // Thinner mix, same seed.
+          op.kind = UpdateOpKind::kRemoveAttribute;
+          op.name = el->attributes()[pick(el->attributes().size())]->name();
+          ops.push_back(op);
+          break;
+        }
+        case 3: {
+          op.kind = UpdateOpKind::kInsertChild;
+          const Element* donor = elements[pick(elements.size())];
+          op.fragment = "<" + donor->tag() + "/>";
+          ops.push_back(op);
+          break;
+        }
+        default: {
+          if (el->parent() == nullptr ||
+              el->parent()->AsElement() == nullptr) {
+            break;  // Never delete the root.
+          }
+          op.kind = UpdateOpKind::kDeleteNode;
+          deletes.push_back(op);
+          break;
+        }
+      }
+    }
+    ops.insert(ops.end(), deletes.begin(), deletes.end());
+    return ops;
+  }
+
+  Result<UpdateOutcome> Apply(const std::vector<UpdateOp>& ops,
+                              const ExplicitSignEngine* engine,
+                              const Document* doc = nullptr) {
+    UpdateProcessor processor(&workload_.groups);
+    return processor.Apply(doc != nullptr ? *doc : *doc_,
+                           workload_.instance_auths, workload_.schema_auths,
+                           workload_.requester, ops,
+                           /*validate_result=*/false, engine);
+  }
+
+  std::unique_ptr<Document> doc_;
+  GeneratedWorkload workload_;
+};
+
+TEST_P(UpdatePropertyTest, IncrementalEngineMatchesFullRelabel) {
+  std::vector<UpdateOp> ops = RandomOps();
+  if (ops.empty()) GTEST_SKIP() << "empty op mix for this seed";
+
+  auto compiled = PolicyAutomaton::Compile(*doc_->dtd(),
+                                           workload_.instance_auths,
+                                           workload_.schema_auths);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+
+  const std::string before = Compact(*doc_);
+  auto full = Apply(ops, /*engine=*/nullptr);
+  auto incr = Apply(ops, compiled->get());
+
+  // Whatever happens, the input document is never touched.
+  EXPECT_EQ(Compact(*doc_), before);
+
+  ASSERT_EQ(full.ok(), incr.ok())
+      << "engine path diverged: full=" << full.status()
+      << " incremental=" << incr.status();
+  if (!full.ok()) {
+    EXPECT_EQ(full.status().code(), incr.status().code());
+    return;
+  }
+  // Byte-identical result document and identical op accounting — the
+  // incremental path is an optimization, never a semantic change.
+  EXPECT_EQ(Compact(*full->document), Compact(*incr->document));
+  EXPECT_EQ(full->ops_applied, incr->ops_applied);
+  EXPECT_EQ(full->incremental_relabels, 0);
+  // Every op re-labels exactly once, one way or the other.
+  EXPECT_EQ(incr->incremental_relabels + incr->full_relabels,
+            full->full_relabels);
+  if (!(*compiled)->fully_decidable()) {
+    EXPECT_EQ(incr->incremental_relabels, 0)
+        << "incremental path used on an undecidable policy";
+  }
+}
+
+TEST_P(UpdatePropertyTest, BatchEqualsSequentialComposition) {
+  std::vector<UpdateOp> ops = RandomOps();
+  if (ops.empty()) GTEST_SKIP() << "empty op mix for this seed";
+  // Random mixes hit genuine denials and vanished targets; shrink the
+  // batch to an applicable core by dropping the op the error names
+  // (errors quote the target path), so the oracle runs on real data
+  // instead of skipping.
+  auto batch = Apply(ops, /*engine=*/nullptr);
+  for (int guard = 0; !batch.ok() && guard < 32 && !ops.empty(); ++guard) {
+    const std::string& message = batch.status().message();
+    auto offending =
+        std::find_if(ops.begin(), ops.end(), [&](const UpdateOp& op) {
+          return message.find("'" + op.target + "'") != std::string::npos;
+        });
+    if (offending == ops.end()) break;
+    ops.erase(offending);
+    if (ops.empty()) break;
+    batch = Apply(ops, /*engine=*/nullptr);
+  }
+  if (ops.empty() || !batch.ok()) {
+    GTEST_SKIP() << "no applicable core: " << batch.status();
+  }
+
+  // Oracle: the batch is the left fold of its operations.
+  std::unique_ptr<Document> rolling;
+  int64_t applied = 0;
+  for (const UpdateOp& op : ops) {
+    auto step = Apply({op}, /*engine=*/nullptr,
+                      rolling != nullptr ? rolling.get() : doc_.get());
+    ASSERT_TRUE(step.ok()) << "batch applied but step did not: "
+                           << step.status();
+    applied += step->ops_applied;
+    rolling = std::move(step->document);
+  }
+  EXPECT_EQ(Compact(*batch->document), Compact(*rolling));
+  EXPECT_EQ(batch->ops_applied, applied);
+}
+
+TEST_P(UpdatePropertyTest, DeniedOpAtAnyPositionIsAtomic) {
+  // Find a node the requester cannot write; a batch ending there must
+  // fail as a unit even when every earlier op would have applied.
+  TreeLabeler labeler(&workload_.groups,
+                      PolicyOptions{.action = static_cast<int>(Action::kWrite)});
+  auto labels = labeler.Label(*doc_, workload_.instance_auths,
+                              workload_.schema_auths, workload_.requester);
+  ASSERT_TRUE(labels.ok()) << labels.status();
+  const Element* denied_el = nullptr;
+  for (const Element* el : AllElements(*doc_)) {
+    if (labels->FinalSign(el) != TriSign::kPlus) {
+      denied_el = el;
+      break;
+    }
+  }
+  if (denied_el == nullptr) {
+    GTEST_SKIP() << "requester can write everywhere in this scenario";
+  }
+
+  UpdateOp poison;
+  poison.kind = UpdateOpKind::kSetText;
+  poison.target = PathTo(denied_el);
+  poison.value = "forged";
+
+  std::vector<UpdateOp> ops = RandomOps();
+  for (size_t position = 0; position <= ops.size(); ++position) {
+    std::vector<UpdateOp> batch = ops;
+    batch.insert(batch.begin() + static_cast<ptrdiff_t>(position), poison);
+    const std::string before = Compact(*doc_);
+    auto outcome = Apply(batch, /*engine=*/nullptr);
+    ASSERT_FALSE(outcome.ok())
+        << "poison op applied at position " << position;
+    EXPECT_EQ(Compact(*doc_), before) << "denied batch left side effects";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, UpdatePropertyTest,
+    ::testing::Values(Scenario{1, 3, 3, 8, 6}, Scenario{2, 4, 3, 12, 8},
+                      Scenario{3, 2, 5, 6, 5}, Scenario{4, 4, 4, 16, 10},
+                      Scenario{5, 3, 4, 20, 8}, Scenario{6, 5, 2, 10, 12},
+                      Scenario{7, 3, 3, 4, 6}, Scenario{8, 4, 3, 24, 9}));
+
+// Deterministic decidable-policy scenario on the paper's laboratory
+// schema: the compiled automaton must prove full decidability and the
+// write path must serve every op through the incremental re-label.
+TEST(UpdateIncrementalTest, DecidablePolicyServesIncrementally) {
+  std::unique_ptr<Document> doc = workload::GenerateLaboratory(4, 3, 7);
+  GroupStore groups;
+  ASSERT_TRUE(groups.AddMembership("ada", "Staff").ok());
+  Requester rq{"ada", "10.0.0.9", "lab.example"};
+
+  auto auth = [](std::string_view path, Sign sign, AuthType type) {
+    Authorization a;
+    a.subject = *Subject::Make("Staff", "*", "*");
+    a.object.uri = "lab.xml";
+    a.object.path = std::string(path);
+    a.action = Action::kWrite;
+    a.sign = sign;
+    a.type = type;
+    return a;
+  };
+  std::vector<Authorization> instance = {
+      auth("/laboratory", Sign::kPlus, AuthType::kRecursive),
+      auth("//fund", Sign::kMinus, AuthType::kRecursive)};
+
+  auto compiled = PolicyAutomaton::Compile(*doc->dtd(), instance, {});
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  ASSERT_TRUE((*compiled)->fully_decidable());
+
+  std::vector<UpdateOp> ops;
+  UpdateOp retitle;
+  retitle.kind = UpdateOpKind::kSetText;
+  retitle.target = "/laboratory[1]/project[1]/paper[1]/title[1]";
+  retitle.value = "Revised";
+  ops.push_back(retitle);
+  UpdateOp relabel_paper;
+  relabel_paper.kind = UpdateOpKind::kSetAttribute;
+  relabel_paper.target = "/laboratory[1]/project[2]/paper[1]";
+  relabel_paper.name = "category";
+  relabel_paper.value = "public";
+  ops.push_back(relabel_paper);
+  UpdateOp add_member;
+  add_member.kind = UpdateOpKind::kInsertChild;
+  add_member.target = "/laboratory[1]/project[1]";
+  add_member.before = "paper[1]";
+  add_member.fragment = "<member><fname>Tony</fname><lname>Hoare</lname></member>";
+  ops.push_back(add_member);
+
+  UpdateProcessor processor(&groups);
+  auto full = processor.Apply(*doc, instance, {}, rq, ops,
+                              /*validate_result=*/true, nullptr);
+  ASSERT_TRUE(full.ok()) << full.status();
+  auto incr = processor.Apply(*doc, instance, {}, rq, ops,
+                              /*validate_result=*/true, compiled->get());
+  ASSERT_TRUE(incr.ok()) << incr.status();
+
+  xml::SerializeOptions options;
+  options.xml_declaration = false;
+  EXPECT_EQ(SerializeDocument(*full->document, options),
+            SerializeDocument(*incr->document, options));
+  EXPECT_EQ(incr->incremental_relabels, static_cast<int64_t>(ops.size()));
+  EXPECT_EQ(incr->full_relabels, 0);
+  EXPECT_EQ(full->incremental_relabels, 0);
+
+  // The explicit denial still binds on the incremental path: touching
+  // the fund subtree is refused either way.
+  auto funds = doc->root()->GetElementsByTagName("fund");
+  ASSERT_FALSE(funds.empty()) << "seed produced no fund element";
+  UpdateOp touch_fund;
+  touch_fund.kind = UpdateOpKind::kSetText;
+  touch_fund.target = PathTo(funds.front());
+  touch_fund.value = "0";
+  std::vector<UpdateOp> fund_ops = {touch_fund};
+  auto denied_full = processor.Apply(*doc, instance, {}, rq, fund_ops,
+                                     /*validate_result=*/true, nullptr);
+  auto denied_incr =
+      processor.Apply(*doc, instance, {}, rq, fund_ops,
+                      /*validate_result=*/true, compiled->get());
+  ASSERT_FALSE(denied_full.ok());
+  ASSERT_FALSE(denied_incr.ok());
+  EXPECT_EQ(denied_full.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(denied_incr.status().code(), StatusCode::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace authz
+}  // namespace xmlsec
